@@ -1,0 +1,132 @@
+//! Criterion micro-benchmarks for the workloads behind Figures 3-6 and the
+//! per-layer pieces of Figure 8.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hesgx_bench::experiments::figures::scale_stub;
+use hesgx_bench::PaperEnv;
+use hesgx_henn::image::EncryptedMap;
+use hesgx_henn::ops::{self, OpCounter};
+use hesgx_henn::weights::{conv_weight_count, encode_weights};
+use hesgx_nn::layers::ActivationKind;
+use std::hint::black_box;
+
+fn bench_weight_encoding(c: &mut Criterion) {
+    let env = PaperEnv::new(11);
+    let mut group = c.benchmark_group("fig3/weight_encoding");
+    for kernels in [11usize, 26] {
+        let count = conv_weight_count(kernels, 5);
+        let weights: Vec<i64> = (0..count).map(|i| (i as i64 % 63) - 31).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kernels}kernels_5x5")),
+            &weights,
+            |b, w| b.iter(|| black_box(encode_weights(&env.sys, w).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_conv_kernel(c: &mut Criterion) {
+    let env = PaperEnv::new(12);
+    let mut rng = env.rng.fork("bench-conv");
+    let images = vec![(0..784).map(|p| (p % 16) as i64).collect::<Vec<i64>>()];
+    let input =
+        EncryptedMap::encrypt_images(&env.sys, &images, 28, &env.keys.public, &mut rng).unwrap();
+    let mut group = c.benchmark_group("fig4/he_conv_28x28");
+    group.sample_size(10);
+    for k in [1usize, 5, 14, 28] {
+        let weights: Vec<i64> = (0..k * k).map(|i| (i as i64 % 5) - 2).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut counter = OpCounter::default();
+                black_box(
+                    ops::he_conv2d(&env.sys, &input, &weights, &[0], 1, k, 1, &mut counter)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sigmoid_variants(c: &mut Criterion) {
+    let env = PaperEnv::new(13);
+    let mut rng = env.rng.fork("bench-sigmoid");
+    let side = 12;
+    let images = vec![(0..side * side).map(|p| (p as i64 % 31) - 15).collect::<Vec<i64>>()];
+    let input =
+        EncryptedMap::encrypt_images(&env.sys, &images, side, &env.keys.public, &mut rng).unwrap();
+    let model = scale_stub(2);
+    let real = env.inference_enclave(false);
+    let fake = env.inference_enclave(true);
+    let mut group = c.benchmark_group("fig5/sigmoid_12x12");
+    group.sample_size(10);
+    group.bench_function("encrypt_sigmoid_square_relin", |b| {
+        b.iter(|| {
+            let mut counter = OpCounter::default();
+            black_box(
+                ops::he_square_activation(&env.sys, &input, &env.keys.evaluation, &mut counter)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("sgx_sigmoid", |b| {
+        b.iter(|| {
+            black_box(
+                real.activation_map(&env.sys, &input, &model, ActivationKind::Sigmoid)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("fake_sgx_sigmoid", |b| {
+        b.iter(|| {
+            black_box(
+                fake.activation_map(&env.sys, &input, &model, ActivationKind::Sigmoid)
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_pooling_variants(c: &mut Criterion) {
+    let env = PaperEnv::new(14);
+    let mut rng = env.rng.fork("bench-pool");
+    let images = vec![(0..576).map(|p| (p % 17) as i64).collect::<Vec<i64>>()];
+    let input =
+        EncryptedMap::encrypt_images(&env.sys, &images, 24, &env.keys.public, &mut rng).unwrap();
+    let real = env.inference_enclave(false);
+    let mut group = c.benchmark_group("fig6/pooling_24x24");
+    group.sample_size(10);
+    for window in [2usize, 4, 8] {
+        let model = scale_stub(window);
+        group.bench_with_input(
+            BenchmarkId::new("sgx_div", window),
+            &window,
+            |b, &window| {
+                b.iter(|| {
+                    let mut counter = OpCounter::default();
+                    let summed =
+                        ops::he_scaled_mean_pool(&env.sys, &input, window, &mut counter).unwrap();
+                    black_box(real.divide_map(&env.sys, &summed, &model).unwrap())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sgx_pool", window),
+            &window,
+            |b, _| {
+                b.iter(|| black_box(real.pool_full_map(&env.sys, &input, &model, false).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_weight_encoding,
+    bench_conv_kernel,
+    bench_sigmoid_variants,
+    bench_pooling_variants
+);
+criterion_main!(figures);

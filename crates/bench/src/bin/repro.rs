@@ -1,0 +1,94 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p hesgx-bench --bin repro             # everything
+//! cargo run --release -p hesgx-bench --bin repro -- table1   # one experiment
+//! cargo run --release -p hesgx-bench --bin repro -- --quick  # reduced reps
+//! ```
+
+use hesgx_bench::experiments::{ablation, e2e, figures, tables, RunConfig};
+use hesgx_bench::PaperEnv;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1", "table2", "table3", "table4", "table5", "fig3", "fig4", "fig5", "fig6", "model",
+    "fig8", "ablation",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.as_str())
+        .collect();
+    let run_all = selected.is_empty();
+    let wanted = |name: &str| run_all || selected.contains(&name);
+
+    for name in &selected {
+        if !EXPERIMENTS.contains(name) {
+            eprintln!("unknown experiment '{name}'; known: {EXPERIMENTS:?}");
+            std::process::exit(2);
+        }
+    }
+
+    let cfg = RunConfig { quick };
+    println!(
+        "hesgx paper reproduction — ICDCS 2021 'Privacy-Preserving Neural Network Inference Framework via Homomorphic Encryption and SGX'"
+    );
+    println!(
+        "mode: {} | FV n = {} | batchSize = {}",
+        if quick { "quick" } else { "full" },
+        hesgx_bench::PAPER_POLY_DEGREE,
+        hesgx_bench::PAPER_BATCH_SIZE
+    );
+
+    let needs_env = [
+        "table1", "table2", "table3", "table4", "table5", "fig3", "fig4", "fig5", "fig6",
+        "ablation",
+    ]
+    .iter()
+    .any(|e| wanted(e));
+    let mut env = needs_env.then(|| PaperEnv::new(2021));
+
+    if let Some(env) = env.as_mut() {
+        if wanted("table1") {
+            tables::table1_keygen(env, cfg);
+        }
+        if wanted("table2") {
+            tables::table2_image_encryption(env, cfg);
+        }
+        if wanted("table3") {
+            tables::table3_result_decryption(env, cfg);
+        }
+        if wanted("table4") {
+            tables::table4_enc_dec_costs(env, cfg);
+        }
+        if wanted("table5") {
+            tables::table5_relinearization(env, cfg);
+        }
+        if wanted("fig3") {
+            figures::fig3_weight_encoding(env, cfg);
+        }
+        if wanted("fig4") {
+            figures::fig4_conv_kernel(env, cfg);
+        }
+        if wanted("fig5") {
+            figures::fig5_sigmoid(env, cfg);
+        }
+        if wanted("fig6") {
+            figures::fig6_pooling(env, cfg);
+        }
+        if wanted("ablation") {
+            ablation::run_all(env, cfg);
+        }
+    }
+    if wanted("model") {
+        e2e::print_model_table();
+    }
+    if wanted("fig8") {
+        e2e::fig8_end_to_end(cfg);
+    }
+    println!();
+    println!("done.");
+}

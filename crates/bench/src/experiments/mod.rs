@@ -1,0 +1,36 @@
+//! The paper-reproduction experiments, one module per evaluation section.
+//!
+//! Each function prints the regenerated table/figure with the paper's
+//! reported values alongside, and returns a machine-checkable summary used by
+//! the integration tests (shape claims: who wins, ratios, crossovers).
+
+pub mod ablation;
+pub mod e2e;
+pub mod figures;
+pub mod tables;
+
+/// Repetition policy: `quick` trades statistical depth for runtime.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Reduced repetitions / sweep points.
+    pub quick: bool,
+}
+
+impl RunConfig {
+    /// Repetitions, scaled.
+    pub fn reps(&self, full: usize) -> usize {
+        if self.quick {
+            (full / 10).max(3)
+        } else {
+            full
+        }
+    }
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("==================================================================");
+    println!("{title}");
+    println!("==================================================================");
+}

@@ -1,0 +1,82 @@
+//! # hesgx-bench
+//!
+//! Benchmark harness and paper-reproduction driver.
+//!
+//! * Criterion benches (`benches/paper_tables.rs`, `benches/paper_figures.rs`)
+//!   micro-benchmark every operation the paper's Tables I–V and Figures 3–6
+//!   time.
+//! * The `repro` binary regenerates each table and figure end to end and
+//!   checks the paper's *shape claims* (who wins, ratios, crossovers) —
+//!   see `EXPERIMENTS.md` for paper-vs-measured results.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod stats;
+
+use hesgx_crypto::rng::ChaChaRng;
+use hesgx_henn::crt::{CrtKeys, CrtPlainSystem};
+use hesgx_tee::cost::CostModel;
+use hesgx_tee::enclave::{Enclave, EnclaveBuilder, Platform};
+use std::sync::Arc;
+
+/// Polynomial degree used throughout (the paper's n = 1024, §V-A).
+pub const PAPER_POLY_DEGREE: usize = 1024;
+
+/// Batch size used throughout (the paper's batchSize = 10, §V-B).
+pub const PAPER_BATCH_SIZE: usize = 10;
+
+/// A ready-made environment shared by the experiments: one platform, a
+/// single-modulus FV system at the paper's degree, and keys. Enclaves are
+/// minted per experiment via [`PaperEnv::build_enclave`].
+pub struct PaperEnv {
+    /// The simulated SGX platform.
+    pub platform: Arc<Platform>,
+    /// Single-modulus FV system at n = 1024 (t = 65537).
+    pub sys: CrtPlainSystem,
+    /// Keys for `sys`.
+    pub keys: CrtKeys,
+    /// Deterministic randomness for the experiment.
+    pub rng: ChaChaRng,
+}
+
+impl PaperEnv {
+    /// Builds the environment (deterministic in `seed`).
+    pub fn new(seed: u64) -> Self {
+        let platform = Platform::new(seed);
+        let sys = CrtPlainSystem::new(PAPER_POLY_DEGREE, &[65537]).expect("valid parameters");
+        let mut rng = ChaChaRng::from_seed(seed).fork("paper-env");
+        let keys = sys.generate_keys(&mut rng);
+        PaperEnv {
+            platform,
+            sys,
+            keys,
+            rng,
+        }
+    }
+
+    /// Mints a fresh enclave on the platform; `fake` selects the zero-overhead
+    /// `FakeSGX` control model.
+    pub fn build_enclave(&self, name: &str, fake: bool) -> Enclave {
+        let mut builder = EnclaveBuilder::new(name)
+            .add_code(b"bench-enclave-v1")
+            .heap_bytes(512 * 1024 * 1024)
+            .seed(7);
+        if fake {
+            builder = builder.cost_model(CostModel::fake_sgx());
+        }
+        builder.build(self.platform.clone())
+    }
+
+    /// Wraps this environment's keys in an [`hesgx_core::InferenceEnclave`].
+    pub fn inference_enclave(&self, fake: bool) -> hesgx_core::InferenceEnclave {
+        let name = if fake { "bench-fake" } else { "bench-real" };
+        hesgx_core::InferenceEnclave::new(
+            self.build_enclave(name, fake),
+            self.keys.secret.clone(),
+            self.keys.public.clone(),
+            11,
+        )
+    }
+}

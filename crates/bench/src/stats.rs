@@ -1,0 +1,148 @@
+//! Summary statistics matching the paper's reporting style
+//! (average, standard deviation, 96 % confidence interval).
+
+/// Mean / STD / 96 % CI of a sample, in the units of the input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+    /// 96 % confidence interval for the mean (normal approximation,
+    /// z = 2.054 — the paper reports 96 % CIs in Tables I–V).
+    pub ci96: (f64, f64),
+    /// Sample count.
+    pub n: usize,
+}
+
+impl Stats {
+    /// Computes statistics over `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "need at least one sample");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let std = var.sqrt();
+        let half = 2.054 * std / (n as f64).sqrt();
+        Stats {
+            mean,
+            std,
+            ci96: (mean - half, mean + half),
+            n,
+        }
+    }
+}
+
+impl Stats {
+    /// Computes statistics after discarding the top and bottom 10 % of
+    /// samples (scheduler/container noise protection; the reported tables
+    /// note the trimming).
+    pub fn from_samples_trimmed(samples: &[f64]) -> Stats {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let drop = sorted.len() / 10;
+        let kept = &sorted[drop..sorted.len() - drop];
+        Stats::from_samples(if kept.is_empty() { &sorted } else { kept })
+    }
+}
+
+/// Measures `f` `reps` times and returns per-rep durations in milliseconds.
+/// Two warm-up invocations precede the timed runs (allocator and cache
+/// warm-up would otherwise dominate the first sample).
+pub fn time_reps_ms(reps: usize, mut f: impl FnMut()) -> Vec<f64> {
+    f();
+    f();
+    let mut out = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = std::time::Instant::now();
+        f();
+        out.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    out
+}
+
+/// Least-squares linear fit `y = a + b·x`; returns `(a, b, r²)`.
+///
+/// # Panics
+///
+/// Panics when fewer than two points are provided.
+pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64, f64) {
+    assert!(points.len() >= 2);
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let b = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let a = (sy - b * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points.iter().map(|p| (p.1 - (a + b * p.0)).powi(2)).sum();
+    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    (a, b, r2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_constant_sample() {
+        let s = Stats::from_samples(&[5.0, 5.0, 5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.ci96, (5.0, 5.0));
+    }
+
+    #[test]
+    fn stats_of_known_sample() {
+        let s = Stats::from_samples(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std - 1.0).abs() < 1e-12);
+        assert!(s.ci96.0 < 2.0 && s.ci96.1 > 2.0);
+    }
+
+    #[test]
+    fn linear_fit_perfect_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let (a, b, r2) = linear_fit(&pts);
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_noisy_line_high_r2() {
+        let pts: Vec<(f64, f64)> = (0..20)
+            .map(|i| {
+                let x = i as f64;
+                (x, 1.0 + 4.0 * x + if i % 2 == 0 { 0.1 } else { -0.1 })
+            })
+            .collect();
+        let (_, b, r2) = linear_fit(&pts);
+        assert!((b - 4.0).abs() < 0.01);
+        assert!(r2 > 0.999);
+    }
+}
+
+#[cfg(test)]
+mod trim_tests {
+    use super::*;
+
+    #[test]
+    fn trimmed_ignores_outliers() {
+        let mut samples = vec![1.0; 18];
+        samples.push(100.0);
+        samples.push(0.001);
+        let s = Stats::from_samples_trimmed(&samples);
+        assert!((s.mean - 1.0).abs() < 1e-9);
+    }
+}

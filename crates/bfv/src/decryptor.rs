@@ -1,0 +1,221 @@
+//! Decryption and noise-budget measurement — the paper's `Decrypt(sk, c)`
+//! (§II-B).
+
+use crate::ciphertext::Ciphertext;
+use crate::context::BfvContext;
+use crate::error::{BfvError, Result};
+use crate::keys::SecretKey;
+use crate::plaintext::Plaintext;
+use crate::poly::{PolyForm, RnsPoly};
+use hesgx_crypto::uint::U256;
+use std::sync::Arc;
+
+/// Decrypts ciphertexts with a secret key; also measures the invariant noise
+/// budget, which the hybrid planner uses to decide when an enclave refresh is
+/// due.
+#[derive(Debug)]
+pub struct Decryptor {
+    ctx: Arc<BfvContext>,
+    sk: SecretKey,
+}
+
+impl Decryptor {
+    /// Creates a decryptor for `sk` on `ctx`.
+    pub fn new(ctx: Arc<BfvContext>, sk: SecretKey) -> Self {
+        assert_eq!(sk.context_id(), ctx.id(), "secret key context mismatch");
+        Decryptor { ctx, sk }
+    }
+
+    /// Computes `c(s) = c0 + c1·s + c2·s² + …` in coefficient form.
+    fn dot_with_secret(&self, ct: &Ciphertext) -> RnsPoly {
+        let ctx = &self.ctx;
+        let mut acc = RnsPoly::zero(ctx, PolyForm::Ntt);
+        let mut s_power = RnsPoly::zero(ctx, PolyForm::Ntt);
+        for (idx, poly) in ct.polys.iter().enumerate() {
+            let mut p = poly.clone();
+            p.to_ntt(ctx);
+            if idx == 0 {
+                acc.add_assign(&p, ctx);
+            } else {
+                s_power = if idx == 1 {
+                    self.sk.s.clone()
+                } else {
+                    s_power.mul_pointwise(&self.sk.s, ctx)
+                };
+                acc.mul_acc(&p, &s_power, ctx);
+            }
+        }
+        acc.to_coeff(ctx);
+        acc
+    }
+
+    /// Decrypts: `m = round(t·[c(s)]_q / q) mod t`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the ciphertext is bound to another context or malformed.
+    pub fn decrypt(&self, ct: &Ciphertext) -> Result<Plaintext> {
+        self.check(ct)?;
+        let ctx = &self.ctx;
+        let acc = self.dot_with_secret(ct);
+        let t = ctx.params().plain_modulus();
+        let n = ctx.poly_degree();
+        let mut coeffs = vec![0u64; n];
+        if ctx.limb_count() == 1 {
+            // Single-limb fast path: everything fits u128.
+            let q = ctx.params().coeff_moduli()[0];
+            let half = q as u128 / 2;
+            for (j, out) in coeffs.iter_mut().enumerate() {
+                let x = acc.limbs[0][j] as u128;
+                let quot = (t as u128 * x + half) / q as u128;
+                *out = (quot % t as u128) as u64;
+            }
+            return Ok(Plaintext::from_coeffs(coeffs));
+        }
+        let mut residues = vec![0u64; ctx.limb_count()];
+        for (j, out) in coeffs.iter_mut().enumerate() {
+            for i in 0..ctx.limb_count() {
+                residues[i] = acc.limbs[i][j];
+            }
+            let x = ctx.crt_reconstruct(&residues);
+            // round(t*x/q) = floor((t*x + q/2) / q), then reduce mod t.
+            let (tx, carry) = x.carrying_mul_u64(t);
+            debug_assert_eq!(carry, 0, "t*x fits in 256 bits by parameter validation");
+            let (sum, overflow) = tx.overflowing_add(ctx.q_half);
+            debug_assert!(!overflow);
+            let (quot, _) = ctx.rec_q.div_rem(sum);
+            // quot <= t, so it fits u64 after reduction.
+            let q64 = quot.to_u64().unwrap_or(0);
+            *out = q64 % t;
+        }
+        Ok(Plaintext::from_coeffs(coeffs))
+    }
+
+    /// Measures the invariant-noise budget in bits.
+    ///
+    /// The invariant noise `v` satisfies `(t/q)·c(s) = m + v + t·k`; decryption
+    /// is correct while `‖v‖ < 1/2`. The budget is `−log2(2‖v‖)`, i.e. the
+    /// number of noise-doubling operations the ciphertext can still absorb.
+    /// Returns 0 when the ciphertext is no longer decryptable.
+    pub fn invariant_noise_budget(&self, ct: &Ciphertext) -> Result<u32> {
+        self.check(ct)?;
+        let ctx = &self.ctx;
+        let acc = self.dot_with_secret(ct);
+        let t = ctx.params().plain_modulus();
+        let n = ctx.poly_degree();
+        // noise coefficient = centered(t*x mod q); budget from its max norm.
+        let mut max_bits = 0u32;
+        let mut residues = vec![0u64; ctx.limb_count()];
+        for j in 0..n {
+            for i in 0..ctx.limb_count() {
+                residues[i] = acc.limbs[i][j];
+            }
+            let x = ctx.crt_reconstruct(&residues);
+            let (tx, carry) = x.carrying_mul_u64(t);
+            debug_assert_eq!(carry, 0);
+            // t*x mod q, centered: this equals t*(noise) + small rounding part.
+            let rem = ctx.rec_q.reduce_u512(hesgx_crypto::uint::U512::from_u256(tx));
+            let mag = if rem > ctx.q_half {
+                ctx.q.wrapping_sub(rem)
+            } else {
+                rem
+            };
+            max_bits = max_bits.max(mag.bits());
+        }
+        // v = (t*x mod q)/q  =>  budget = -log2(2*||v||) ≈ q_bits - mag_bits - 1.
+        let q_bits = ctx.q.bits();
+        Ok(q_bits.saturating_sub(max_bits + 1))
+    }
+
+    fn check(&self, ct: &Ciphertext) -> Result<()> {
+        if ct.context_id() != self.ctx.id() {
+            return Err(BfvError::ContextMismatch);
+        }
+        if ct.size() < 2 {
+            return Err(BfvError::InvalidCiphertextSize(ct.size()));
+        }
+        Ok(())
+    }
+
+    /// Reconstructs the raw `[c(s)]_q` coefficients (diagnostic API used by
+    /// tests and by the noise-analysis example).
+    pub fn raw_phase(&self, ct: &Ciphertext) -> Result<Vec<U256>> {
+        self.check(ct)?;
+        let ctx = &self.ctx;
+        let acc = self.dot_with_secret(ct);
+        let n = ctx.poly_degree();
+        let mut out = Vec::with_capacity(n);
+        let mut residues = vec![0u64; ctx.limb_count()];
+        for j in 0..n {
+            for i in 0..ctx.limb_count() {
+                residues[i] = acc.limbs[i][j];
+            }
+            out.push(ctx.crt_reconstruct(&residues));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encryptor::Encryptor;
+    use crate::keys::KeyGenerator;
+    use crate::params::presets;
+    use hesgx_crypto::rng::ChaChaRng;
+
+    fn setup() -> (Arc<BfvContext>, Encryptor, Decryptor, ChaChaRng) {
+        let ctx = BfvContext::new(presets::test_n256()).unwrap();
+        let mut rng = ChaChaRng::from_seed(21);
+        let keygen = KeyGenerator::new(ctx.clone(), &mut rng);
+        let enc = Encryptor::new(ctx.clone(), keygen.public_key());
+        let dec = Decryptor::new(ctx.clone(), keygen.secret_key());
+        (ctx, enc, dec, rng)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_constants() {
+        let (ctx, enc, dec, mut rng) = setup();
+        let t = ctx.params().plain_modulus();
+        for v in [0u64, 1, 2, 7, t - 1, t / 2] {
+            let ct = enc.encrypt(&Plaintext::constant(v), &mut rng).unwrap();
+            let back = dec.decrypt(&ct).unwrap();
+            assert_eq!(back.coeffs()[0], v, "value {v}");
+            assert!(back.coeffs()[1..].iter().all(|&c| c == 0));
+        }
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_polynomials() {
+        let (ctx, enc, dec, mut rng) = setup();
+        let t = ctx.params().plain_modulus();
+        let n = ctx.poly_degree();
+        let coeffs: Vec<u64> = (0..n as u64).map(|i| (i * 37) % t).collect();
+        let pt = Plaintext::from_coeffs(coeffs.clone());
+        let ct = enc.encrypt(&pt, &mut rng).unwrap();
+        assert_eq!(dec.decrypt(&ct).unwrap().coeffs(), &coeffs[..]);
+    }
+
+    #[test]
+    fn fresh_budget_positive_and_reasonable() {
+        let (ctx, enc, dec, mut rng) = setup();
+        let ct = enc.encrypt(&Plaintext::constant(3), &mut rng).unwrap();
+        let budget = dec.invariant_noise_budget(&ct).unwrap();
+        let q_bits = ctx.params().coeff_modulus_bits();
+        assert!(budget > 0, "fresh ciphertext must be decryptable");
+        assert!(
+            budget < q_bits,
+            "budget {budget} must be below q bits {q_bits}"
+        );
+    }
+
+    #[test]
+    fn wrong_context_rejected() {
+        let (_, _, dec, mut rng) = setup();
+        let other_ctx = BfvContext::new(presets::paper_n1024()).unwrap();
+        let keygen = KeyGenerator::new(other_ctx.clone(), &mut rng);
+        let enc2 = Encryptor::new(other_ctx, keygen.public_key());
+        let ct = enc2.encrypt(&Plaintext::constant(1), &mut rng).unwrap();
+        assert_eq!(dec.decrypt(&ct), Err(BfvError::ContextMismatch));
+    }
+}

@@ -1,0 +1,19 @@
+//! Plaintext encoders.
+//!
+//! * [`scalar::ScalarEncoder`] — one integer per plaintext, stored in the
+//!   constant coefficient. Exact integer arithmetic modulo `t`.
+//! * [`integer::IntegerEncoder`] — SEAL-style signed binary expansion across
+//!   coefficients; keeps plaintext norms small so `C × P` noise growth tracks
+//!   the true weight magnitude.
+//! * [`batch::BatchEncoder`] — SIMD slots via the CRT/NTT structure of `Z_t`
+//!   (`t ≡ 1 mod 2n`, prime). This is the batching the paper's §VIII discusses
+//!   ("you can get 1024 times the throughput"); the image pipelines put the
+//!   batch dimension in the slots.
+
+pub mod batch;
+pub mod integer;
+pub mod scalar;
+
+pub use batch::BatchEncoder;
+pub use integer::IntegerEncoder;
+pub use scalar::ScalarEncoder;

@@ -1,0 +1,103 @@
+//! Scalar (constant-coefficient) encoder.
+
+use crate::error::{BfvError, Result};
+use crate::plaintext::Plaintext;
+
+/// Encodes a single signed integer into the constant coefficient, reduced
+/// modulo `t`. Homomorphic operations then act as exact arithmetic in `Z_t`;
+/// values are decoded with a centered lift, so any result with magnitude
+/// below `t/2` round-trips exactly.
+///
+/// # Examples
+///
+/// ```
+/// use hesgx_bfv::encoding::ScalarEncoder;
+///
+/// let enc = ScalarEncoder::new(65537);
+/// let pt = enc.encode(-5).unwrap();
+/// assert_eq!(enc.decode(&pt), -5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScalarEncoder {
+    t: u64,
+}
+
+impl ScalarEncoder {
+    /// Creates an encoder for plaintext modulus `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t < 2`.
+    pub fn new(plain_modulus: u64) -> Self {
+        assert!(plain_modulus >= 2);
+        ScalarEncoder { t: plain_modulus }
+    }
+
+    /// The plaintext modulus.
+    pub fn plain_modulus(&self) -> u64 {
+        self.t
+    }
+
+    /// Largest magnitude that decodes unambiguously: `floor((t-1)/2)`.
+    pub fn max_magnitude(&self) -> u64 {
+        (self.t - 1) / 2
+    }
+
+    /// Encodes `value`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `|value| > (t-1)/2` (the value would alias another residue).
+    pub fn encode(&self, value: i64) -> Result<Plaintext> {
+        let max = self.max_magnitude() as i64;
+        if value.abs() > max {
+            return Err(BfvError::EncodeOutOfRange(value));
+        }
+        let residue = if value >= 0 {
+            value as u64
+        } else {
+            self.t - (-value) as u64
+        };
+        Ok(Plaintext::constant(residue))
+    }
+
+    /// Decodes the constant coefficient with a centered lift.
+    pub fn decode(&self, plain: &Plaintext) -> i64 {
+        let c = plain.coeffs().first().copied().unwrap_or(0) % self.t;
+        if c > self.t / 2 {
+            c as i64 - self.t as i64
+        } else {
+            c as i64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_range() {
+        let enc = ScalarEncoder::new(12289);
+        for v in [-6144i64, -100, -1, 0, 1, 100, 6144] {
+            assert_eq!(enc.decode(&enc.encode(v).unwrap()), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let enc = ScalarEncoder::new(101);
+        assert!(enc.encode(50).is_ok());
+        assert!(enc.encode(-50).is_ok());
+        assert!(matches!(enc.encode(51), Err(BfvError::EncodeOutOfRange(51))));
+        assert!(enc.encode(-51).is_err());
+    }
+
+    #[test]
+    fn modular_wraparound_semantics() {
+        // After homomorphic ops the raw residue may represent a negative value.
+        let enc = ScalarEncoder::new(101);
+        let pt = Plaintext::constant(100); // ≡ -1
+        assert_eq!(enc.decode(&pt), -1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Encryption — the paper's `Encrypt(pk, m)` (§II-B).
+
+use crate::ciphertext::Ciphertext;
+use crate::context::BfvContext;
+use crate::error::{BfvError, Result};
+use crate::keys::PublicKey;
+use crate::plaintext::Plaintext;
+use crate::poly::{PolyForm, RnsPoly};
+use crate::sampler;
+use hesgx_crypto::rng::ChaChaRng;
+use std::sync::Arc;
+
+/// Encrypts plaintexts under a public key.
+///
+/// ```
+/// use hesgx_bfv::{context::BfvContext, encryptor::Encryptor, keys::KeyGenerator,
+///                 params::presets, plaintext::Plaintext};
+/// use hesgx_crypto::rng::ChaChaRng;
+///
+/// let ctx = BfvContext::new(presets::test_n256()).unwrap();
+/// let mut rng = ChaChaRng::from_seed(0);
+/// let keygen = KeyGenerator::new(ctx.clone(), &mut rng);
+/// let encryptor = Encryptor::new(ctx, keygen.public_key());
+/// let ct = encryptor.encrypt(&Plaintext::constant(7), &mut rng).unwrap();
+/// assert_eq!(ct.size(), 2);
+/// ```
+#[derive(Debug)]
+pub struct Encryptor {
+    ctx: Arc<BfvContext>,
+    pk: PublicKey,
+}
+
+impl Encryptor {
+    /// Creates an encryptor for `pk` on `ctx`.
+    pub fn new(ctx: Arc<BfvContext>, pk: PublicKey) -> Self {
+        assert_eq!(pk.context_id(), ctx.id(), "public key context mismatch");
+        Encryptor { ctx, pk }
+    }
+
+    fn validate(&self, plain: &Plaintext) -> Result<()> {
+        if plain.len() > self.ctx.poly_degree() {
+            return Err(BfvError::PlaintextTooLong {
+                len: plain.len(),
+                degree: self.ctx.poly_degree(),
+            });
+        }
+        let t = self.ctx.params().plain_modulus();
+        if let Some(&c) = plain.coeffs().iter().find(|&&c| c >= t) {
+            return Err(BfvError::PlaintextOutOfRange(c));
+        }
+        Ok(())
+    }
+
+    /// Encrypts `plain` into a fresh size-2 ciphertext:
+    /// `ct = ([p0·u + e1 + Δ·m]_q, [p1·u + e2]_q)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the plaintext is longer than the ring degree or not reduced
+    /// modulo `t`.
+    pub fn encrypt(&self, plain: &Plaintext, rng: &mut ChaChaRng) -> Result<Ciphertext> {
+        self.validate(plain)?;
+        let ctx = &self.ctx;
+
+        let u = sampler::ternary_poly(ctx, rng, PolyForm::Ntt);
+        let e1 = sampler::gaussian_poly(ctx, rng, PolyForm::Coeff);
+        let e2 = sampler::gaussian_poly(ctx, rng, PolyForm::Coeff);
+
+        // c0 = p0·u + e1 + Δ·m
+        let mut c0 = self.pk.p0.mul_pointwise(&u, ctx);
+        c0.to_coeff(ctx);
+        c0.add_assign(&e1, ctx);
+        let delta_m = RnsPoly::from_scaled_plain(ctx, plain.coeffs(), &ctx.delta_mod);
+        c0.add_assign(&delta_m, ctx);
+
+        // c1 = p1·u + e2
+        let mut c1 = self.pk.p1.mul_pointwise(&u, ctx);
+        c1.to_coeff(ctx);
+        c1.add_assign(&e2, ctx);
+
+        Ok(Ciphertext {
+            polys: vec![c0, c1],
+            context_id: *ctx.id(),
+        })
+    }
+
+    /// Encrypts a batch of plaintexts (convenience for image pipelines).
+    pub fn encrypt_many(&self, plains: &[Plaintext], rng: &mut ChaChaRng) -> Result<Vec<Ciphertext>> {
+        plains.iter().map(|p| self.encrypt(p, rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyGenerator;
+    use crate::params::presets;
+
+    fn setup() -> (Arc<BfvContext>, Encryptor, ChaChaRng) {
+        let ctx = BfvContext::new(presets::test_n256()).unwrap();
+        let mut rng = ChaChaRng::from_seed(11);
+        let keygen = KeyGenerator::new(ctx.clone(), &mut rng);
+        let enc = Encryptor::new(ctx.clone(), keygen.public_key());
+        (ctx, enc, rng)
+    }
+
+    #[test]
+    fn fresh_ciphertext_size_two() {
+        let (_, enc, mut rng) = setup();
+        let ct = enc.encrypt(&Plaintext::constant(1), &mut rng).unwrap();
+        assert_eq!(ct.size(), 2);
+    }
+
+    #[test]
+    fn rejects_long_plaintext() {
+        let (ctx, enc, mut rng) = setup();
+        let too_long = Plaintext::from_coeffs(vec![0; ctx.poly_degree() + 1]);
+        assert!(matches!(
+            enc.encrypt(&too_long, &mut rng),
+            Err(BfvError::PlaintextTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unreduced_plaintext() {
+        let (ctx, enc, mut rng) = setup();
+        let t = ctx.params().plain_modulus();
+        assert!(matches!(
+            enc.encrypt(&Plaintext::constant(t), &mut rng),
+            Err(BfvError::PlaintextOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn encryption_is_randomized() {
+        let (_, enc, mut rng) = setup();
+        let a = enc.encrypt(&Plaintext::constant(1), &mut rng).unwrap();
+        let b = enc.encrypt(&Plaintext::constant(1), &mut rng).unwrap();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,691 @@
+//! Homomorphic evaluation — the paper's `Add`, `Multiply`, and
+//! relinearization (§II-B), plus plaintext add/multiply used by the
+//! convolutional and fully connected layers.
+//!
+//! Ciphertext multiplication is exact: the tensor product is computed over the
+//! integers in a wide CRT/NTT basis, rescaled by `round(t·x/q)` with 256-bit
+//! arithmetic, and reduced back into RNS form — the textbook FV definition,
+//! with no floating-point approximation.
+
+use crate::arith::mul_mod;
+use crate::ciphertext::Ciphertext;
+use crate::context::{u256_mod_u64, BfvContext};
+use crate::error::{BfvError, Result};
+use crate::keys::EvaluationKeys;
+use crate::plaintext::Plaintext;
+use crate::poly::{PolyForm, RnsPoly};
+
+use std::sync::Arc;
+
+/// Stateless evaluator over one context.
+#[derive(Debug)]
+pub struct Evaluator {
+    ctx: Arc<BfvContext>,
+}
+
+impl Evaluator {
+    /// Creates an evaluator for `ctx`.
+    pub fn new(ctx: Arc<BfvContext>) -> Self {
+        Evaluator { ctx }
+    }
+
+    /// The context this evaluator operates on.
+    pub fn context(&self) -> &Arc<BfvContext> {
+        &self.ctx
+    }
+
+    fn check(&self, ct: &Ciphertext) -> Result<()> {
+        if ct.context_id() != self.ctx.id() {
+            return Err(BfvError::ContextMismatch);
+        }
+        if ct.size() < 2 {
+            return Err(BfvError::InvalidCiphertextSize(ct.size()));
+        }
+        Ok(())
+    }
+
+    fn check_plain(&self, plain: &Plaintext) -> Result<()> {
+        if plain.len() > self.ctx.poly_degree() {
+            return Err(BfvError::PlaintextTooLong {
+                len: plain.len(),
+                degree: self.ctx.poly_degree(),
+            });
+        }
+        let t = self.ctx.params().plain_modulus();
+        if let Some(&c) = plain.coeffs().iter().find(|&&c| c >= t) {
+            return Err(BfvError::PlaintextOutOfRange(c));
+        }
+        Ok(())
+    }
+
+    /// Homomorphic addition: component-wise sum (sizes may differ).
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext> {
+        self.check(a)?;
+        self.check(b)?;
+        let (longer, shorter) = if a.size() >= b.size() { (a, b) } else { (b, a) };
+        let mut out = longer.clone();
+        for (dst, src) in out.polys.iter_mut().zip(shorter.polys.iter()) {
+            let mut s = src.clone();
+            match_form(dst, &mut s, &self.ctx);
+            dst.add_assign(&s, &self.ctx);
+        }
+        Ok(out)
+    }
+
+    /// Adds a sequence of ciphertexts.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an empty input or any context mismatch.
+    pub fn add_many(&self, cts: &[Ciphertext]) -> Result<Ciphertext> {
+        let (first, rest) = cts
+            .split_first()
+            .ok_or(BfvError::InvalidCiphertextSize(0))?;
+        let mut acc = first.clone();
+        for ct in rest {
+            acc = self.add(&acc, ct)?;
+        }
+        Ok(acc)
+    }
+
+    /// Homomorphic subtraction `a - b`.
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext> {
+        let mut neg = b.clone();
+        self.check(&neg)?;
+        for poly in neg.polys.iter_mut() {
+            poly.negate(&self.ctx);
+        }
+        self.add(a, &neg)
+    }
+
+    /// Homomorphic negation.
+    pub fn negate(&self, a: &Ciphertext) -> Result<Ciphertext> {
+        self.check(a)?;
+        let mut out = a.clone();
+        for poly in out.polys.iter_mut() {
+            poly.negate(&self.ctx);
+        }
+        Ok(out)
+    }
+
+    /// Adds a plaintext: `c0 += Δ·m`.
+    pub fn add_plain(&self, a: &Ciphertext, plain: &Plaintext) -> Result<Ciphertext> {
+        self.check(a)?;
+        self.check_plain(plain)?;
+        let mut out = a.clone();
+        let delta_m = RnsPoly::from_scaled_plain(&self.ctx, plain.coeffs(), &self.ctx.delta_mod);
+        let mut dm = delta_m;
+        match_form(&mut out.polys[0], &mut dm, &self.ctx);
+        out.polys[0].add_assign(&dm, &self.ctx);
+        Ok(out)
+    }
+
+    /// Subtracts a plaintext: `c0 -= Δ·m`.
+    pub fn sub_plain(&self, a: &Ciphertext, plain: &Plaintext) -> Result<Ciphertext> {
+        self.check(a)?;
+        self.check_plain(plain)?;
+        let mut out = a.clone();
+        let delta_m = RnsPoly::from_scaled_plain(&self.ctx, plain.coeffs(), &self.ctx.delta_mod);
+        let mut dm = delta_m;
+        match_form(&mut out.polys[0], &mut dm, &self.ctx);
+        out.polys[0].sub_assign(&dm, &self.ctx);
+        Ok(out)
+    }
+
+    /// Multiplies by a plaintext polynomial (ciphertext × plaintext, `C × P`
+    /// in the paper's Fig. 4 terminology).
+    ///
+    /// The plaintext is embedded with a centered lift (coefficients above
+    /// `t/2` become negative) to keep noise growth proportional to the true
+    /// magnitude of the weights.
+    pub fn mul_plain(&self, a: &Ciphertext, plain: &Plaintext) -> Result<Ciphertext> {
+        self.check(a)?;
+        self.check_plain(plain)?;
+        let ctx = &self.ctx;
+        let t = ctx.params().plain_modulus();
+        let n = ctx.poly_degree();
+        // Centered lift into signed coefficients.
+        let mut signed = vec![0i64; n];
+        for (j, &c) in plain.coeffs().iter().enumerate() {
+            signed[j] = if c > t / 2 {
+                c as i64 - t as i64
+            } else {
+                c as i64
+            };
+        }
+        let m_poly = RnsPoly::from_signed(ctx, &signed, PolyForm::Ntt);
+        let mut out = a.clone();
+        for poly in out.polys.iter_mut() {
+            poly.to_ntt(ctx);
+            *poly = poly.mul_pointwise(&m_poly, ctx);
+            poly.to_coeff(ctx);
+        }
+        Ok(out)
+    }
+
+    /// Multiplies by a small unsigned scalar (repeated-addition semantics).
+    pub fn mul_scalar(&self, a: &Ciphertext, scalar: u64) -> Result<Ciphertext> {
+        self.check(a)?;
+        let mut out = a.clone();
+        for poly in out.polys.iter_mut() {
+            poly.scale_u64(scalar % self.ctx.params().plain_modulus(), &self.ctx);
+        }
+        Ok(out)
+    }
+
+    /// Multiplies by a signed scalar constant — the fast path for
+    /// convolution/FC weights (`C × P` with a degree-0 plaintext).
+    ///
+    /// Semantically identical to `mul_plain` with a constant plaintext, but
+    /// runs in `O(n)` per limb with no NTT: a constant polynomial scales every
+    /// coefficient (and every SIMD slot) uniformly.
+    pub fn mul_plain_signed_scalar(&self, a: &Ciphertext, value: i64) -> Result<Ciphertext> {
+        self.check(a)?;
+        let t = self.ctx.params().plain_modulus();
+        if value.unsigned_abs() >= t {
+            return Err(BfvError::EncodeOutOfRange(value));
+        }
+        let mut out = a.clone();
+        for poly in out.polys.iter_mut() {
+            poly.scale_u64(value.unsigned_abs(), &self.ctx);
+            if value < 0 {
+                poly.negate(&self.ctx);
+            }
+        }
+        Ok(out)
+    }
+
+    /// In-place homomorphic addition `a += b` (sizes and forms must allow it;
+    /// the common case in convolution accumulators).
+    pub fn add_inplace(&self, a: &mut Ciphertext, b: &Ciphertext) -> Result<()> {
+        self.check(a)?;
+        self.check(b)?;
+        // Grow `a` if `b` is larger.
+        while a.polys.len() < b.polys.len() {
+            let form = a.polys[0].form();
+            a.polys.push(RnsPoly::zero(&self.ctx, form));
+        }
+        for (dst, src) in a.polys.iter_mut().zip(b.polys.iter()) {
+            let mut s = src.clone();
+            match_form(dst, &mut s, &self.ctx);
+            dst.add_assign(&s, &self.ctx);
+        }
+        Ok(())
+    }
+
+    /// Homomorphic multiplication: the FV tensor product with exact
+    /// `round(t·x/q)` rescaling. Output size is `a.size() + b.size() - 1`.
+    pub fn multiply(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext> {
+        self.check(a)?;
+        self.check(b)?;
+        let ctx = &self.ctx;
+        let wide_count = ctx.wide_primes.len();
+        let n = ctx.poly_degree();
+
+        // Lift both operands into the wide NTT basis.
+        let a_wide: Vec<Vec<Vec<u64>>> = a.polys.iter().map(|p| self.to_wide_ntt(p)).collect();
+        let b_wide: Vec<Vec<Vec<u64>>> = b.polys.iter().map(|p| self.to_wide_ntt(p)).collect();
+
+        let out_size = a.size() + b.size() - 1;
+        let mut out_polys = Vec::with_capacity(out_size);
+        for k in 0..out_size {
+            // Tensor component k = sum over i+j = k of a_i * b_j, in the wide
+            // evaluation domain.
+            let mut acc = vec![vec![0u64; n]; wide_count];
+            for i in 0..a.size() {
+                let Some(j) = k.checked_sub(i) else { continue };
+                if j >= b.size() {
+                    continue;
+                }
+                for (w, &wp) in ctx.wide_primes.iter().enumerate() {
+                    let (ai, bj) = (&a_wide[i][w], &b_wide[j][w]);
+                    for x in 0..n {
+                        let prod = mul_mod(ai[x], bj[x], wp);
+                        acc[w][x] = crate::arith::add_mod(acc[w][x], prod, wp);
+                    }
+                }
+            }
+            // Back to coefficient form in the wide basis.
+            for (w, table) in ctx.wide_tables.iter().enumerate() {
+                table.inverse(&mut acc[w]);
+            }
+            // Rescale each coefficient by t/q and reduce into the q-basis.
+            out_polys.push(self.rescale_from_wide(&acc));
+        }
+
+        Ok(Ciphertext {
+            polys: out_polys,
+            context_id: *ctx.id(),
+        })
+    }
+
+    /// Homomorphic squaring (equivalent to `multiply(a, a)`).
+    pub fn square(&self, a: &Ciphertext) -> Result<Ciphertext> {
+        self.multiply(a, a)
+    }
+
+    /// Relinearizes a size-3 ciphertext back to size 2 using evaluation keys
+    /// (base-`w` decomposition of `c2`).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the ciphertext has size 2 already ([`BfvError::NothingToRelinearize`]),
+    /// when contexts mismatch, or when the keys have the wrong component count.
+    pub fn relinearize(&self, ct: &Ciphertext, evk: &EvaluationKeys) -> Result<Ciphertext> {
+        self.check(ct)?;
+        if evk.context_id() != self.ctx.id() {
+            return Err(BfvError::ContextMismatch);
+        }
+        if ct.size() == 2 {
+            return Err(BfvError::NothingToRelinearize);
+        }
+        if ct.size() != 3 {
+            return Err(BfvError::InvalidCiphertextSize(ct.size()));
+        }
+        let ctx = &self.ctx;
+        if evk.component_count() != ctx.decomp_count {
+            return Err(BfvError::EvaluationKeyMismatch);
+        }
+
+        let dbc = ctx.params().decomposition_bit_count();
+        let mask = if dbc == 64 { u64::MAX } else { (1u64 << dbc) - 1 };
+        let n = ctx.poly_degree();
+        let limbs = ctx.limb_count();
+
+        // Decompose c2 coefficient-wise in base 2^dbc over [0, q).
+        let mut c2 = ct.polys[2].clone();
+        c2.to_coeff(ctx);
+        let mut digits: Vec<RnsPoly> = (0..ctx.decomp_count)
+            .map(|_| RnsPoly::zero(ctx, PolyForm::Coeff))
+            .collect();
+        let mut residues = vec![0u64; limbs];
+        for j in 0..n {
+            for i in 0..limbs {
+                residues[i] = c2.limbs[i][j];
+            }
+            let x = ctx.crt_reconstruct(&residues);
+            for (k, digit_poly) in digits.iter_mut().enumerate() {
+                let shifted = x.shr(k as u32 * dbc);
+                let digit = shifted.0[0] & mask;
+                for (i, &qi) in ctx.params().coeff_moduli().iter().enumerate() {
+                    digit_poly.limbs[i][j] = digit % qi;
+                }
+            }
+        }
+
+        // c0' = c0 + Σ evk_k.0 ⊙ d_k ; c1' = c1 + Σ evk_k.1 ⊙ d_k.
+        let mut acc0 = RnsPoly::zero(ctx, PolyForm::Ntt);
+        let mut acc1 = RnsPoly::zero(ctx, PolyForm::Ntt);
+        for (k, digit_poly) in digits.iter_mut().enumerate() {
+            digit_poly.to_ntt(ctx);
+            acc0.mul_acc(&evk.keys[k].0, digit_poly, ctx);
+            acc1.mul_acc(&evk.keys[k].1, digit_poly, ctx);
+        }
+        acc0.to_coeff(ctx);
+        acc1.to_coeff(ctx);
+
+        let mut c0 = ct.polys[0].clone();
+        c0.to_coeff(ctx);
+        c0.add_assign(&acc0, ctx);
+        let mut c1 = ct.polys[1].clone();
+        c1.to_coeff(ctx);
+        c1.add_assign(&acc1, ctx);
+
+        Ok(Ciphertext {
+            polys: vec![c0, c1],
+            context_id: *ctx.id(),
+        })
+    }
+
+    /// Lifts an RNS polynomial into the wide basis (centered representatives)
+    /// and applies the wide forward NTT. Returns `[wide_prime][coeff]`.
+    fn to_wide_ntt(&self, poly: &RnsPoly) -> Vec<Vec<u64>> {
+        let ctx = &self.ctx;
+        let n = ctx.poly_degree();
+        let limbs = ctx.limb_count();
+        let wide_count = ctx.wide_primes.len();
+        let mut out = vec![vec![0u64; n]; wide_count];
+        let mut p = poly.clone();
+        p.to_coeff(ctx);
+        let mut residues = vec![0u64; limbs];
+        for j in 0..n {
+            for i in 0..limbs {
+                residues[i] = p.limbs[i][j];
+            }
+            let x = ctx.crt_reconstruct(&residues);
+            let negative = x > ctx.q_half;
+            for (w, &wp) in ctx.wide_primes.iter().enumerate() {
+                let mut r = u256_mod_u64(x, wp);
+                if negative {
+                    // value is x - q (negative); shift by q mod wp.
+                    r = crate::arith::sub_mod(r, ctx.q_mod_wide[w], wp);
+                }
+                out[w][j] = r;
+            }
+        }
+        for (w, table) in ctx.wide_tables.iter().enumerate() {
+            table.forward(&mut out[w]);
+        }
+        out
+    }
+
+    /// CRT-reconstructs wide-basis coefficients, centers them, rescales by
+    /// `round(t·x/q)`, and reduces into the q-basis RNS limbs.
+    fn rescale_from_wide(&self, wide_coeffs: &[Vec<u64>]) -> RnsPoly {
+        let ctx = &self.ctx;
+        let n = ctx.poly_degree();
+        let t = ctx.params().plain_modulus();
+        let mut out = RnsPoly::zero(ctx, PolyForm::Coeff);
+        let mut residues = vec![0u64; ctx.wide_primes.len()];
+        for j in 0..n {
+            for (w, limb) in wide_coeffs.iter().enumerate() {
+                residues[w] = limb[j];
+            }
+            let y = ctx.crt_reconstruct_wide(&residues);
+            let (mag, negative) = if y > ctx.p_half {
+                (ctx.p_prod.wrapping_sub(y), true)
+            } else {
+                (y, false)
+            };
+            // s = round(t·mag / q) = floor((t·mag + q/2) / q).
+            let (tm, carry) = mag.carrying_mul_u64(t);
+            debug_assert_eq!(carry, 0, "t*|coeff| fits in 256 bits by validation");
+            let (sum, overflow) = tm.overflowing_add(ctx.q_half);
+            debug_assert!(!overflow);
+            let (s, _) = ctx.rec_q.div_rem(sum);
+            for (i, &qi) in ctx.params().coeff_moduli().iter().enumerate() {
+                let mut r = u256_mod_u64(s, qi);
+                if negative && r != 0 {
+                    r = qi - r;
+                }
+                out.limbs[i][j] = r;
+            }
+        }
+        out
+    }
+}
+
+/// Brings two polynomials to a common representation (prefers the first's).
+fn match_form(a: &mut RnsPoly, b: &mut RnsPoly, ctx: &BfvContext) {
+    if a.form() != b.form() {
+        match a.form() {
+            PolyForm::Coeff => b.to_coeff(ctx),
+            PolyForm::Ntt => b.to_ntt(ctx),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decryptor::Decryptor;
+    use crate::encryptor::Encryptor;
+    use crate::keys::KeyGenerator;
+    use crate::params::presets;
+    use hesgx_crypto::rng::ChaChaRng;
+
+    struct Fixture {
+        ctx: Arc<BfvContext>,
+        enc: Encryptor,
+        dec: Decryptor,
+        eval: Evaluator,
+        evk: EvaluationKeys,
+        rng: ChaChaRng,
+    }
+
+    fn fixture() -> Fixture {
+        let ctx = BfvContext::new(presets::test_n256()).unwrap();
+        let mut rng = ChaChaRng::from_seed(31);
+        let keygen = KeyGenerator::new(ctx.clone(), &mut rng);
+        let evk = keygen.evaluation_keys(&mut rng);
+        Fixture {
+            enc: Encryptor::new(ctx.clone(), keygen.public_key()),
+            dec: Decryptor::new(ctx.clone(), keygen.secret_key()),
+            eval: Evaluator::new(ctx.clone()),
+            ctx,
+            evk,
+            rng,
+        }
+    }
+
+    #[test]
+    fn add_constants() {
+        let mut f = fixture();
+        let t = f.ctx.params().plain_modulus();
+        let a = f.enc.encrypt(&Plaintext::constant(1234), &mut f.rng).unwrap();
+        let b = f.enc.encrypt(&Plaintext::constant(t - 34), &mut f.rng).unwrap();
+        let sum = f.eval.add(&a, &b).unwrap();
+        assert_eq!(f.dec.decrypt(&sum).unwrap().coeffs()[0], 1200);
+    }
+
+    #[test]
+    fn sub_and_negate() {
+        let mut f = fixture();
+        let t = f.ctx.params().plain_modulus();
+        let a = f.enc.encrypt(&Plaintext::constant(100), &mut f.rng).unwrap();
+        let b = f.enc.encrypt(&Plaintext::constant(30), &mut f.rng).unwrap();
+        let d = f.eval.sub(&a, &b).unwrap();
+        assert_eq!(f.dec.decrypt(&d).unwrap().coeffs()[0], 70);
+        let neg = f.eval.negate(&a).unwrap();
+        assert_eq!(f.dec.decrypt(&neg).unwrap().coeffs()[0], t - 100);
+    }
+
+    #[test]
+    fn plain_add_sub() {
+        let mut f = fixture();
+        let a = f.enc.encrypt(&Plaintext::constant(500), &mut f.rng).unwrap();
+        let added = f.eval.add_plain(&a, &Plaintext::constant(17)).unwrap();
+        assert_eq!(f.dec.decrypt(&added).unwrap().coeffs()[0], 517);
+        let subbed = f.eval.sub_plain(&added, &Plaintext::constant(17)).unwrap();
+        assert_eq!(f.dec.decrypt(&subbed).unwrap().coeffs()[0], 500);
+    }
+
+    #[test]
+    fn plain_multiplication() {
+        let mut f = fixture();
+        let a = f.enc.encrypt(&Plaintext::constant(123), &mut f.rng).unwrap();
+        let prod = f.eval.mul_plain(&a, &Plaintext::constant(11)).unwrap();
+        assert_eq!(f.dec.decrypt(&prod).unwrap().coeffs()[0], 1353);
+    }
+
+    #[test]
+    fn plain_multiplication_negative_weight() {
+        let mut f = fixture();
+        let t = f.ctx.params().plain_modulus();
+        let a = f.enc.encrypt(&Plaintext::constant(10), &mut f.rng).unwrap();
+        // -3 mod t
+        let prod = f.eval.mul_plain(&a, &Plaintext::constant(t - 3)).unwrap();
+        assert_eq!(f.dec.decrypt(&prod).unwrap().coeffs()[0], t - 30);
+    }
+
+    #[test]
+    fn ciphertext_multiplication() {
+        let mut f = fixture();
+        let a = f.enc.encrypt(&Plaintext::constant(20), &mut f.rng).unwrap();
+        let b = f.enc.encrypt(&Plaintext::constant(30), &mut f.rng).unwrap();
+        let prod = f.eval.multiply(&a, &b).unwrap();
+        assert_eq!(prod.size(), 3);
+        assert_eq!(f.dec.decrypt(&prod).unwrap().coeffs()[0], 600);
+    }
+
+    #[test]
+    fn square_matches_multiply() {
+        let mut f = fixture();
+        let a = f.enc.encrypt(&Plaintext::constant(25), &mut f.rng).unwrap();
+        let sq = f.eval.square(&a).unwrap();
+        assert_eq!(f.dec.decrypt(&sq).unwrap().coeffs()[0], 625);
+    }
+
+    #[test]
+    fn multiplication_of_polynomials() {
+        // (1 + 2x) * (3 + x) = 3 + 7x + 2x^2.
+        let mut f = fixture();
+        let a = f
+            .enc
+            .encrypt(&Plaintext::from_coeffs(vec![1, 2]), &mut f.rng)
+            .unwrap();
+        let b = f
+            .enc
+            .encrypt(&Plaintext::from_coeffs(vec![3, 1]), &mut f.rng)
+            .unwrap();
+        let prod = f.eval.multiply(&a, &b).unwrap();
+        let m = f.dec.decrypt(&prod).unwrap();
+        assert_eq!(&m.coeffs()[..3], &[3, 7, 2]);
+    }
+
+    #[test]
+    fn relinearization_preserves_value() {
+        let mut f = fixture();
+        let a = f.enc.encrypt(&Plaintext::constant(40), &mut f.rng).unwrap();
+        let b = f.enc.encrypt(&Plaintext::constant(50), &mut f.rng).unwrap();
+        let prod = f.eval.multiply(&a, &b).unwrap();
+        let relin = f.eval.relinearize(&prod, &f.evk).unwrap();
+        assert_eq!(relin.size(), 2);
+        assert_eq!(f.dec.decrypt(&relin).unwrap().coeffs()[0], 2000);
+    }
+
+    #[test]
+    fn relinearize_size_two_errors() {
+        let mut f = fixture();
+        let a = f.enc.encrypt(&Plaintext::constant(1), &mut f.rng).unwrap();
+        assert_eq!(
+            f.eval.relinearize(&a, &f.evk),
+            Err(BfvError::NothingToRelinearize)
+        );
+    }
+
+    #[test]
+    fn noise_budget_decreases_with_multiplication() {
+        let mut f = fixture();
+        let a = f.enc.encrypt(&Plaintext::constant(2), &mut f.rng).unwrap();
+        let fresh = f.dec.invariant_noise_budget(&a).unwrap();
+        let sq = f.eval.square(&a).unwrap();
+        let after = f.dec.invariant_noise_budget(&sq).unwrap();
+        assert!(after < fresh, "square must consume budget: {fresh} -> {after}");
+        assert!(after > 0, "one square must stay decryptable");
+    }
+
+    #[test]
+    fn depth_two_multiplication_chain() {
+        // Depth 2 needs a wider modulus than the default test preset.
+        let params = crate::params::EncryptionParameters::builder()
+            .poly_degree(256)
+            .coeff_moduli(crate::arith::primes_congruent_one(50, 512, 2))
+            .plain_modulus(crate::arith::smallest_prime_congruent_one_above(1 << 12, 512))
+            .build()
+            .unwrap();
+        let ctx = BfvContext::new(params).unwrap();
+        let mut rng = ChaChaRng::from_seed(77);
+        let keygen = KeyGenerator::new(ctx.clone(), &mut rng);
+        let mut f = Fixture {
+            enc: Encryptor::new(ctx.clone(), keygen.public_key()),
+            dec: Decryptor::new(ctx.clone(), keygen.secret_key()),
+            eval: Evaluator::new(ctx.clone()),
+            evk: keygen.evaluation_keys(&mut rng),
+            ctx,
+            rng,
+        };
+        let a = f.enc.encrypt(&Plaintext::constant(3), &mut f.rng).unwrap();
+        let sq = f.eval.square(&a).unwrap();
+        let relin = f.eval.relinearize(&sq, &f.evk).unwrap();
+        let sq2 = f.eval.square(&relin).unwrap();
+        let m = f.dec.decrypt(&sq2).unwrap();
+        assert_eq!(m.coeffs()[0], 81);
+    }
+
+    #[test]
+    fn mul_scalar_matches_plain() {
+        let mut f = fixture();
+        let a = f.enc.encrypt(&Plaintext::constant(7), &mut f.rng).unwrap();
+        let s = f.eval.mul_scalar(&a, 9).unwrap();
+        assert_eq!(f.dec.decrypt(&s).unwrap().coeffs()[0], 63);
+    }
+
+    #[test]
+    fn add_many_sums() {
+        let mut f = fixture();
+        let cts: Vec<Ciphertext> = (1..=5)
+            .map(|v| f.enc.encrypt(&Plaintext::constant(v), &mut f.rng).unwrap())
+            .collect();
+        let sum = f.eval.add_many(&cts).unwrap();
+        assert_eq!(f.dec.decrypt(&sum).unwrap().coeffs()[0], 15);
+        assert!(f.eval.add_many(&[]).is_err());
+    }
+
+    #[test]
+    fn homomorphism_with_polynomial_plaintexts() {
+        let mut f = fixture();
+        // ct(m1) * pt(m2) where m2 = 2 + x.
+        let a = f
+            .enc
+            .encrypt(&Plaintext::from_coeffs(vec![5, 1]), &mut f.rng)
+            .unwrap();
+        let prod = f
+            .eval
+            .mul_plain(&a, &Plaintext::from_coeffs(vec![2, 1]))
+            .unwrap();
+        // (5 + x)(2 + x) = 10 + 7x + x^2.
+        let m = f.dec.decrypt(&prod).unwrap();
+        assert_eq!(&m.coeffs()[..3], &[10, 7, 1]);
+    }
+}
+
+#[cfg(test)]
+mod scalar_tests {
+    use super::*;
+    use crate::decryptor::Decryptor;
+    use crate::encryptor::Encryptor;
+    use crate::keys::KeyGenerator;
+    use crate::params::presets;
+    use hesgx_crypto::rng::ChaChaRng;
+
+    #[test]
+    fn signed_scalar_matches_mul_plain() {
+        let ctx = BfvContext::new(presets::test_n256()).unwrap();
+        let mut rng = ChaChaRng::from_seed(91);
+        let keygen = KeyGenerator::new(ctx.clone(), &mut rng);
+        let enc = Encryptor::new(ctx.clone(), keygen.public_key());
+        let dec = Decryptor::new(ctx.clone(), keygen.secret_key());
+        let eval = Evaluator::new(ctx.clone());
+        let t = ctx.params().plain_modulus();
+        let a = enc.encrypt(&Plaintext::constant(11), &mut rng).unwrap();
+        for v in [-7i64, -1, 0, 1, 13] {
+            let fast = eval.mul_plain_signed_scalar(&a, v).unwrap();
+            let residue = if v >= 0 { v as u64 } else { t - (-v) as u64 };
+            let slow = eval.mul_plain(&a, &Plaintext::constant(residue % t)).unwrap();
+            assert_eq!(
+                dec.decrypt(&fast).unwrap().coeffs()[0],
+                dec.decrypt(&slow).unwrap().coeffs()[0],
+                "scalar {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn add_inplace_matches_add() {
+        let ctx = BfvContext::new(presets::test_n256()).unwrap();
+        let mut rng = ChaChaRng::from_seed(92);
+        let keygen = KeyGenerator::new(ctx.clone(), &mut rng);
+        let enc = Encryptor::new(ctx.clone(), keygen.public_key());
+        let dec = Decryptor::new(ctx.clone(), keygen.secret_key());
+        let eval = Evaluator::new(ctx.clone());
+        let a = enc.encrypt(&Plaintext::constant(100), &mut rng).unwrap();
+        let b = enc.encrypt(&Plaintext::constant(23), &mut rng).unwrap();
+        let mut inplace = a.clone();
+        eval.add_inplace(&mut inplace, &b).unwrap();
+        assert_eq!(dec.decrypt(&inplace).unwrap().coeffs()[0], 123);
+    }
+
+    #[test]
+    fn scalar_rejects_out_of_range() {
+        let ctx = BfvContext::new(presets::test_n256()).unwrap();
+        let mut rng = ChaChaRng::from_seed(93);
+        let keygen = KeyGenerator::new(ctx.clone(), &mut rng);
+        let enc = Encryptor::new(ctx.clone(), keygen.public_key());
+        let eval = Evaluator::new(ctx.clone());
+        let t = ctx.params().plain_modulus() as i64;
+        let a = enc.encrypt(&Plaintext::constant(1), &mut rng).unwrap();
+        assert!(eval.mul_plain_signed_scalar(&a, t).is_err());
+        assert!(eval.mul_plain_signed_scalar(&a, -t).is_err());
+    }
+}

@@ -1,0 +1,211 @@
+//! Key material and key generation — the paper's `SecretKeyGen`,
+//! `PublicKeyGen`, and `EvaluationKeyGen` (§II-B).
+
+use crate::context::BfvContext;
+use crate::poly::{PolyForm, RnsPoly};
+use crate::sampler;
+use hesgx_crypto::rng::ChaChaRng;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The FV secret key: a ternary polynomial `s`, stored in NTT form.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SecretKey {
+    pub(crate) s: RnsPoly,
+    pub(crate) context_id: [u8; 32],
+}
+
+impl SecretKey {
+    /// The context identifier this key belongs to.
+    pub fn context_id(&self) -> &[u8; 32] {
+        &self.context_id
+    }
+
+    /// Raw RNS limbs of the secret polynomial (for sealing / hashing).
+    pub fn s_limbs(&self) -> &[Vec<u64>] {
+        &self.s.limbs
+    }
+}
+
+/// The FV public key `(p0, p1) = ([-(a·s + e)]_q, a)`, stored in NTT form.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PublicKey {
+    pub(crate) p0: RnsPoly,
+    pub(crate) p1: RnsPoly,
+    pub(crate) context_id: [u8; 32],
+}
+
+impl PublicKey {
+    /// The context identifier this key belongs to.
+    pub fn context_id(&self) -> &[u8; 32] {
+        &self.context_id
+    }
+
+    /// Raw RNS limbs of `p0` (for canonical hashing in key distribution).
+    pub fn p0_limbs(&self) -> &[Vec<u64>] {
+        &self.p0.limbs
+    }
+
+    /// Raw RNS limbs of `p1` (for canonical hashing in key distribution).
+    pub fn p1_limbs(&self) -> &[Vec<u64>] {
+        &self.p1.limbs
+    }
+}
+
+/// Relinearization (evaluation) keys: for each decomposition component `k`,
+/// `evk_k = ([-(a_k·s + e_k) + w^k·s²]_q, a_k)`, stored in NTT form.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvaluationKeys {
+    pub(crate) keys: Vec<(RnsPoly, RnsPoly)>,
+    pub(crate) context_id: [u8; 32],
+}
+
+impl EvaluationKeys {
+    /// Number of decomposition components.
+    pub fn component_count(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// The context identifier these keys belong to.
+    pub fn context_id(&self) -> &[u8; 32] {
+        &self.context_id
+    }
+}
+
+/// Generates FV key material for one context.
+///
+/// # Examples
+///
+/// ```
+/// use hesgx_bfv::context::BfvContext;
+/// use hesgx_bfv::keys::KeyGenerator;
+/// use hesgx_bfv::params::presets;
+/// use hesgx_crypto::rng::ChaChaRng;
+///
+/// let ctx = BfvContext::new(presets::test_n256()).unwrap();
+/// let mut rng = ChaChaRng::from_seed(1);
+/// let keygen = KeyGenerator::new(ctx, &mut rng);
+/// let _pk = keygen.public_key();
+/// let _sk = keygen.secret_key();
+/// ```
+#[derive(Debug)]
+pub struct KeyGenerator {
+    ctx: Arc<BfvContext>,
+    sk: SecretKey,
+    pk: PublicKey,
+}
+
+impl KeyGenerator {
+    /// Samples a fresh secret key and matching public key.
+    pub fn new(ctx: Arc<BfvContext>, rng: &mut ChaChaRng) -> Self {
+        // SecretKeyGen: s <- ternary.
+        let mut s = sampler::ternary_poly(&ctx, rng, PolyForm::Coeff);
+        s.to_ntt(&ctx);
+
+        // PublicKeyGen: a <- R_q uniform, e <- X, pk = ([-(a·s + e)]_q, a).
+        let a = sampler::uniform_poly(&ctx, rng, PolyForm::Ntt);
+        let mut e = sampler::gaussian_poly(&ctx, rng, PolyForm::Coeff);
+        e.to_ntt(&ctx);
+        let mut p0 = a.mul_pointwise(&s, &ctx);
+        p0.add_assign(&e, &ctx);
+        p0.negate(&ctx);
+
+        let context_id = *ctx.id();
+        KeyGenerator {
+            sk: SecretKey { s, context_id },
+            pk: PublicKey {
+                p0,
+                p1: a,
+                context_id,
+            },
+            ctx,
+        }
+    }
+
+    /// Returns the secret key.
+    pub fn secret_key(&self) -> SecretKey {
+        self.sk.clone()
+    }
+
+    /// Returns the public key.
+    pub fn public_key(&self) -> PublicKey {
+        self.pk.clone()
+    }
+
+    /// `EvaluationKeyGen(sk, w)`: generates relinearization keys with the
+    /// context's decomposition base `w = 2^dbc`.
+    pub fn evaluation_keys(&self, rng: &mut ChaChaRng) -> EvaluationKeys {
+        let ctx = &self.ctx;
+        // s^2 in NTT form.
+        let s2 = self.sk.s.mul_pointwise(&self.sk.s, ctx);
+        let mut keys = Vec::with_capacity(ctx.decomp_count);
+        for k in 0..ctx.decomp_count {
+            let a_k = sampler::uniform_poly(ctx, rng, PolyForm::Ntt);
+            let mut e_k = sampler::gaussian_poly(ctx, rng, PolyForm::Coeff);
+            e_k.to_ntt(ctx);
+            // b_k = -(a_k·s + e_k) + w^k·s²
+            let mut b_k = a_k.mul_pointwise(&self.sk.s, ctx);
+            b_k.add_assign(&e_k, ctx);
+            b_k.negate(ctx);
+            let mut scaled_s2 = s2.clone();
+            // w^k mod q_i is a per-limb constant.
+            for (i, &qi) in ctx.params().coeff_moduli().iter().enumerate() {
+                let wk = ctx.decomp_pow[k][i];
+                for v in scaled_s2.limbs[i].iter_mut() {
+                    *v = crate::arith::mul_mod(*v, wk, qi);
+                }
+            }
+            b_k.add_assign(&scaled_s2, ctx);
+            keys.push((b_k, a_k));
+        }
+        EvaluationKeys {
+            keys,
+            context_id: *ctx.id(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::presets;
+
+    #[test]
+    fn keygen_produces_bound_keys() {
+        let ctx = BfvContext::new(presets::test_n256()).unwrap();
+        let mut rng = ChaChaRng::from_seed(1);
+        let keygen = KeyGenerator::new(ctx.clone(), &mut rng);
+        assert_eq!(keygen.public_key().context_id(), ctx.id());
+        assert_eq!(keygen.secret_key().context_id(), ctx.id());
+        let evk = keygen.evaluation_keys(&mut rng);
+        assert_eq!(evk.context_id(), ctx.id());
+        assert_eq!(evk.component_count(), ctx.decomp_count);
+    }
+
+    #[test]
+    fn distinct_rng_states_distinct_keys() {
+        let ctx = BfvContext::new(presets::test_n256()).unwrap();
+        let mut rng1 = ChaChaRng::from_seed(1);
+        let mut rng2 = ChaChaRng::from_seed(2);
+        let a = KeyGenerator::new(ctx.clone(), &mut rng1);
+        let b = KeyGenerator::new(ctx, &mut rng2);
+        assert_ne!(a.secret_key(), b.secret_key());
+        assert_ne!(a.public_key(), b.public_key());
+    }
+
+    #[test]
+    fn pk_relation_holds() {
+        // p0 + p1·s should be the (small) negated error: check that
+        // p0 + a·s has small centered norm.
+        let ctx = BfvContext::new(presets::test_n256()).unwrap();
+        let mut rng = ChaChaRng::from_seed(3);
+        let keygen = KeyGenerator::new(ctx.clone(), &mut rng);
+        let pk = keygen.public_key();
+        let sk = keygen.secret_key();
+        let mut check = pk.p1.mul_pointwise(&sk.s, &ctx);
+        check.add_assign(&pk.p0, &ctx);
+        check.to_coeff(&ctx);
+        // -e has norm at most 6σ ≈ 20 → 5 bits.
+        assert!(check.centered_norm_bits(&ctx) <= 6);
+    }
+}

@@ -1,0 +1,304 @@
+//! RNS polynomials over `R_q = Z_q[x]/(x^n + 1)`.
+//!
+//! A polynomial is stored as one residue vector per coefficient-modulus limb,
+//! either in coefficient form or in NTT (evaluation) form. All arithmetic is
+//! component-wise per limb; only ciphertext multiplication and decryption ever
+//! reconstruct full-width coefficients.
+
+use crate::arith::{add_mod, mul_mod, sub_mod};
+use crate::context::BfvContext;
+use serde::{Deserialize, Serialize};
+
+/// Representation of an [`RnsPoly`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolyForm {
+    /// Coefficient (power-basis) representation.
+    Coeff,
+    /// Number-theoretic-transform (evaluation) representation.
+    Ntt,
+}
+
+/// A polynomial in RNS representation: `limbs[i][j]` is coefficient `j`
+/// reduced modulo the `i`-th coefficient modulus.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RnsPoly {
+    pub(crate) limbs: Vec<Vec<u64>>,
+    pub(crate) form: PolyForm,
+}
+
+impl RnsPoly {
+    /// The zero polynomial for `ctx` in the requested form.
+    pub fn zero(ctx: &BfvContext, form: PolyForm) -> Self {
+        RnsPoly {
+            limbs: vec![vec![0u64; ctx.poly_degree()]; ctx.limb_count()],
+            form,
+        }
+    }
+
+    /// Builds a polynomial from signed small coefficients (e.g. sampled noise
+    /// or ternary secrets), reducing each into every limb.
+    pub fn from_signed(ctx: &BfvContext, coeffs: &[i64], form: PolyForm) -> Self {
+        assert_eq!(coeffs.len(), ctx.poly_degree());
+        let mut poly = RnsPoly::zero(ctx, PolyForm::Coeff);
+        for (i, &qi) in ctx.params().coeff_moduli().iter().enumerate() {
+            for (j, &c) in coeffs.iter().enumerate() {
+                poly.limbs[i][j] = if c >= 0 {
+                    c as u64 % qi
+                } else {
+                    qi - ((-c) as u64 % qi)
+                } % qi;
+            }
+        }
+        if form == PolyForm::Ntt {
+            poly.to_ntt(ctx);
+        }
+        poly
+    }
+
+    /// Builds a polynomial whose coefficients are `coeffs[j] · scale_i` in
+    /// each limb, where `scale_i` is a per-limb constant. Used for `Δ · m`.
+    pub(crate) fn from_scaled_plain(ctx: &BfvContext, coeffs: &[u64], scale_mod: &[u64]) -> Self {
+        let n = ctx.poly_degree();
+        assert!(coeffs.len() <= n);
+        let mut poly = RnsPoly::zero(ctx, PolyForm::Coeff);
+        for (i, &qi) in ctx.params().coeff_moduli().iter().enumerate() {
+            let s = scale_mod[i];
+            for (j, &c) in coeffs.iter().enumerate() {
+                poly.limbs[i][j] = mul_mod(c % qi, s, qi);
+            }
+        }
+        poly
+    }
+
+    /// The representation this polynomial is currently in.
+    pub fn form(&self) -> PolyForm {
+        self.form
+    }
+
+    /// Converts to NTT form in place (no-op if already there).
+    pub fn to_ntt(&mut self, ctx: &BfvContext) {
+        if self.form == PolyForm::Ntt {
+            return;
+        }
+        for (limb, table) in self.limbs.iter_mut().zip(ctx.ntt_tables.iter()) {
+            table.forward(limb);
+        }
+        self.form = PolyForm::Ntt;
+    }
+
+    /// Converts to coefficient form in place (no-op if already there).
+    pub fn to_coeff(&mut self, ctx: &BfvContext) {
+        if self.form == PolyForm::Coeff {
+            return;
+        }
+        for (limb, table) in self.limbs.iter_mut().zip(ctx.ntt_tables.iter()) {
+            table.inverse(limb);
+        }
+        self.form = PolyForm::Coeff;
+    }
+
+    /// `self += other` (forms must match).
+    pub fn add_assign(&mut self, other: &RnsPoly, ctx: &BfvContext) {
+        assert_eq!(self.form, other.form, "form mismatch in add");
+        for (i, &qi) in ctx.params().coeff_moduli().iter().enumerate() {
+            for j in 0..self.limbs[i].len() {
+                self.limbs[i][j] = add_mod(self.limbs[i][j], other.limbs[i][j], qi);
+            }
+        }
+    }
+
+    /// `self -= other` (forms must match).
+    pub fn sub_assign(&mut self, other: &RnsPoly, ctx: &BfvContext) {
+        assert_eq!(self.form, other.form, "form mismatch in sub");
+        for (i, &qi) in ctx.params().coeff_moduli().iter().enumerate() {
+            for j in 0..self.limbs[i].len() {
+                self.limbs[i][j] = sub_mod(self.limbs[i][j], other.limbs[i][j], qi);
+            }
+        }
+    }
+
+    /// `self = -self`.
+    pub fn negate(&mut self, ctx: &BfvContext) {
+        for (i, &qi) in ctx.params().coeff_moduli().iter().enumerate() {
+            for v in self.limbs[i].iter_mut() {
+                *v = if *v == 0 { 0 } else { qi - *v };
+            }
+        }
+    }
+
+    /// Pointwise product (both operands must be in NTT form).
+    pub fn mul_pointwise(&self, other: &RnsPoly, ctx: &BfvContext) -> RnsPoly {
+        assert_eq!(self.form, PolyForm::Ntt);
+        assert_eq!(other.form, PolyForm::Ntt);
+        let mut out = self.clone();
+        for (i, &qi) in ctx.params().coeff_moduli().iter().enumerate() {
+            for j in 0..out.limbs[i].len() {
+                out.limbs[i][j] = mul_mod(out.limbs[i][j], other.limbs[i][j], qi);
+            }
+        }
+        out
+    }
+
+    /// Pointwise multiply-accumulate: `self += a ⊙ b` (all NTT form).
+    pub fn mul_acc(&mut self, a: &RnsPoly, b: &RnsPoly, ctx: &BfvContext) {
+        assert_eq!(self.form, PolyForm::Ntt);
+        assert_eq!(a.form, PolyForm::Ntt);
+        assert_eq!(b.form, PolyForm::Ntt);
+        for (i, &qi) in ctx.params().coeff_moduli().iter().enumerate() {
+            for j in 0..self.limbs[i].len() {
+                let prod = mul_mod(a.limbs[i][j], b.limbs[i][j], qi);
+                self.limbs[i][j] = add_mod(self.limbs[i][j], prod, qi);
+            }
+        }
+    }
+
+    /// Multiplies every coefficient by a small scalar (Shoup fast path —
+    /// this is the hot loop of homomorphic convolution).
+    pub fn scale_u64(&mut self, scalar: u64, ctx: &BfvContext) {
+        for (i, &qi) in ctx.params().coeff_moduli().iter().enumerate() {
+            let s = scalar % qi;
+            let s_shoup = crate::arith::shoup_precompute(s, qi);
+            for v in self.limbs[i].iter_mut() {
+                *v = crate::arith::mul_mod_shoup(*v, s, s_shoup, qi);
+            }
+        }
+    }
+
+    /// Infinity norm of the centered coefficients, reconstructed over the
+    /// full modulus. Only meaningful in coefficient form.
+    ///
+    /// Returns the bit length of the largest |coefficient| (0 for the zero
+    /// polynomial). Used by noise-budget estimation.
+    pub fn centered_norm_bits(&self, ctx: &BfvContext) -> u32 {
+        assert_eq!(self.form, PolyForm::Coeff);
+        let n = ctx.poly_degree();
+        let mut max_bits = 0;
+        let mut residues = vec![0u64; ctx.limb_count()];
+        for j in 0..n {
+            for i in 0..ctx.limb_count() {
+                residues[i] = self.limbs[i][j];
+            }
+            let x = ctx.crt_reconstruct(&residues);
+            let mag = if x > ctx.q_half {
+                ctx.q.wrapping_sub(x)
+            } else {
+                x
+            };
+            max_bits = max_bits.max(mag.bits());
+        }
+        max_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::presets;
+    use hesgx_crypto::rng::ChaChaRng;
+
+    fn ctx() -> std::sync::Arc<BfvContext> {
+        BfvContext::new(presets::test_n256()).unwrap()
+    }
+
+    fn random_poly(ctx: &BfvContext, rng: &mut ChaChaRng) -> RnsPoly {
+        let mut p = RnsPoly::zero(ctx, PolyForm::Coeff);
+        for (i, &qi) in ctx.params().coeff_moduli().iter().enumerate() {
+            for v in p.limbs[i].iter_mut() {
+                *v = rng.next_below(qi);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn ntt_roundtrip() {
+        let ctx = ctx();
+        let mut rng = ChaChaRng::from_seed(1);
+        let original = random_poly(&ctx, &mut rng);
+        let mut p = original.clone();
+        p.to_ntt(&ctx);
+        assert_eq!(p.form(), PolyForm::Ntt);
+        p.to_coeff(&ctx);
+        assert_eq!(p, original);
+    }
+
+    #[test]
+    fn add_sub_cancel() {
+        let ctx = ctx();
+        let mut rng = ChaChaRng::from_seed(2);
+        let a = random_poly(&ctx, &mut rng);
+        let b = random_poly(&ctx, &mut rng);
+        let mut c = a.clone();
+        c.add_assign(&b, &ctx);
+        c.sub_assign(&b, &ctx);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn negate_twice_identity() {
+        let ctx = ctx();
+        let mut rng = ChaChaRng::from_seed(3);
+        let a = random_poly(&ctx, &mut rng);
+        let mut b = a.clone();
+        b.negate(&ctx);
+        b.negate(&ctx);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ntt_multiplication_is_ring_multiplication() {
+        // (x+1)(x-1) = x^2 - 1 in R_q.
+        let ctx = ctx();
+        let n = ctx.poly_degree();
+        let mut a_coeffs = vec![0i64; n];
+        a_coeffs[0] = 1;
+        a_coeffs[1] = 1;
+        let mut b_coeffs = vec![0i64; n];
+        b_coeffs[0] = -1;
+        b_coeffs[1] = 1;
+        let a = RnsPoly::from_signed(&ctx, &a_coeffs, PolyForm::Ntt);
+        let b = RnsPoly::from_signed(&ctx, &b_coeffs, PolyForm::Ntt);
+        let mut prod = a.mul_pointwise(&b, &ctx);
+        prod.to_coeff(&ctx);
+        let mut expect = vec![0i64; n];
+        expect[0] = -1;
+        expect[2] = 1;
+        assert_eq!(prod, RnsPoly::from_signed(&ctx, &expect, PolyForm::Coeff));
+    }
+
+    #[test]
+    fn from_signed_handles_negative() {
+        let ctx = ctx();
+        let n = ctx.poly_degree();
+        let mut coeffs = vec![0i64; n];
+        coeffs[0] = -5;
+        let p = RnsPoly::from_signed(&ctx, &coeffs, PolyForm::Coeff);
+        for (i, &qi) in ctx.params().coeff_moduli().iter().enumerate() {
+            assert_eq!(p.limbs[i][0], qi - 5);
+        }
+    }
+
+    #[test]
+    fn centered_norm_small_poly() {
+        let ctx = ctx();
+        let n = ctx.poly_degree();
+        let mut coeffs = vec![0i64; n];
+        coeffs[3] = -1000;
+        coeffs[7] = 500;
+        let p = RnsPoly::from_signed(&ctx, &coeffs, PolyForm::Coeff);
+        assert_eq!(p.centered_norm_bits(&ctx), 10); // |−1000| needs 10 bits
+    }
+
+    #[test]
+    fn scale_u64_matches_repeated_add() {
+        let ctx = ctx();
+        let mut rng = ChaChaRng::from_seed(4);
+        let a = random_poly(&ctx, &mut rng);
+        let mut scaled = a.clone();
+        scaled.scale_u64(3, &ctx);
+        let mut sum = a.clone();
+        sum.add_assign(&a, &ctx);
+        sum.add_assign(&a, &ctx);
+        assert_eq!(scaled, sum);
+    }
+}

@@ -1,0 +1,70 @@
+//! # hesgx-core
+//!
+//! The paper's contribution: a **hybrid privacy-preserving CNN inference
+//! framework combining FV homomorphic encryption and SGX** (Xiao, Zhang, Pei,
+//! Shi — ICDCS 2021), reproduced in Rust over the workspace's from-scratch
+//! substrates:
+//!
+//! * `hesgx-bfv` — the FV scheme (SEAL 2.1 stand-in),
+//! * `hesgx-tee` — the SGX simulator (hardware stand-in),
+//! * `hesgx-nn` / `hesgx-henn` — the plaintext and homomorphic CNN layers.
+//!
+//! The framework (paper Fig. 2):
+//!
+//! 1. **Key distribution** ([`keydist`]) — the enclave generates the FV keys
+//!    and ships them to users through the remote-attestation user-data
+//!    channel, eliminating the trusted third party of the classic HE
+//!    deployment (§IV-A).
+//! 2. **Linear layers outside** ([`hesgx_henn::ops`]) — convolution and fully
+//!    connected layers run homomorphically in the untrusted host, so model
+//!    weights never enter the enclave (§IV-C).
+//! 3. **Non-linear layers inside** ([`sgx_ops`]) — the enclave decrypts,
+//!    applies the *exact* sigmoid / pooling (no polynomial approximation),
+//!    and re-encrypts (§IV-D); the pooling split follows the §VI-D
+//!    window-size rule ([`planner`]).
+//! 4. **Noise refresh instead of relinearization** ([`sgx_ops::InferenceEnclave::refresh_batch`])
+//!    — decrypt–re-encrypt inside the enclave removes noise and ciphertext
+//!    growth without evaluation keys (§IV-E).
+//!
+//! Correctness contract: the encrypted pipeline reproduces
+//! [`hesgx_nn::quantize::QuantizedCnn::forward_ints`] bit for bit, which is
+//! how the paper's "accuracy rates are consistent with the plaintext
+//! predictions" claim (§VII-B) is verified here.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use hesgx_core::pipeline::{EcallBatching, HybridInference};
+//! use hesgx_crypto::rng::ChaChaRng;
+//! use hesgx_henn::image::EncryptedMap;
+//! use hesgx_nn::layers::{ActivationKind, PoolKind};
+//! use hesgx_nn::model_zoo::paper_cnn;
+//! use hesgx_nn::quantize::{QuantPipeline, QuantizedCnn};
+//! use hesgx_tee::enclave::Platform;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = ChaChaRng::from_seed(1);
+//! let float_net = paper_cnn(ActivationKind::Sigmoid, PoolKind::Mean, &mut rng);
+//! let model = QuantizedCnn::from_network(&float_net, QuantPipeline::Hybrid, 16, 32, 16);
+//! let (service, ceremony) =
+//!     HybridInference::provision(Platform::new(0), model, 1024, 42)?;
+//! let image = vec![vec![0i64; 28 * 28]];
+//! let enc = EncryptedMap::encrypt_images(
+//!     service.system(), &image, 28, &ceremony.public, &mut rng)?;
+//! let (logits, metrics) = service.infer(&enc, EcallBatching::Batched)?;
+//! println!("{} encrypted logits in {:?}", logits.len(), metrics.total());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod keydist;
+pub mod pipeline;
+pub mod planner;
+pub mod sgx_ops;
+
+pub use pipeline::{EcallBatching, HybridInference, HybridMetrics};
+pub use planner::{InferencePlan, Placement, PoolStrategy};
+pub use sgx_ops::{HybridError, InferenceEnclave};

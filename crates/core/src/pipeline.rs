@@ -1,0 +1,382 @@
+//! The hybrid inference pipeline — the paper's Fig. 2 put together.
+//!
+//! `EncryptSGX` flow: homomorphic convolution outside → exact sigmoid inside →
+//! pooling split per the §VI-D rule → homomorphic fully connected outside →
+//! encrypted logits back to the user. Per-stage wall-clock and enclave
+//! virtual-time metrics are collected for the Fig. 8 comparison.
+
+use crate::keydist::{enclave_generate_keys, KeyCeremonyPublic};
+use crate::planner::{plan_for, InferencePlan, PoolStrategy};
+use crate::sgx_ops::{sum_costs, HybridError, InferenceEnclave, Result};
+use hesgx_crypto::rng::ChaChaRng;
+use hesgx_henn::crt::{CrtCiphertext, CrtPlainSystem};
+use hesgx_henn::image::EncryptedMap;
+use hesgx_henn::ops::{self, OpCounter};
+use hesgx_nn::layers::ActivationKind;
+use hesgx_nn::quantize::{QuantPipeline, QuantizedCnn};
+use hesgx_tee::cost::CostBreakdown;
+use hesgx_tee::enclave::{EnclaveBuilder, Platform};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Timing of one pipeline stage.
+#[derive(Debug, Clone)]
+pub struct StageMetrics {
+    /// Stage label.
+    pub name: String,
+    /// Real wall-clock time of the untrusted-side work.
+    pub wall: Duration,
+    /// Enclave cost (virtual time), when the stage crossed into SGX.
+    pub enclave: Option<CostBreakdown>,
+}
+
+impl StageMetrics {
+    /// Wall time plus modeled enclave overhead (the number the paper reports).
+    pub fn effective(&self) -> Duration {
+        match &self.enclave {
+            // In-enclave work: its body time is inside `wall` already; add the
+            // modeled overhead terms on top.
+            Some(cost) => {
+                let overhead = cost.total_ns().saturating_sub(cost.real_ns);
+                self.wall + Duration::from_nanos(overhead)
+            }
+            None => self.wall,
+        }
+    }
+}
+
+/// Full-pipeline metrics.
+#[derive(Debug, Clone, Default)]
+pub struct HybridMetrics {
+    /// Per-stage timings, in execution order.
+    pub stages: Vec<StageMetrics>,
+    /// Homomorphic operation counts.
+    pub ops: OpCounter,
+}
+
+impl HybridMetrics {
+    /// Total effective time across stages.
+    pub fn total(&self) -> Duration {
+        self.stages.iter().map(|s| s.effective()).sum()
+    }
+
+    /// Total enclave overhead (effective − wall).
+    pub fn enclave_overhead(&self) -> Duration {
+        self.total()
+            - self
+                .stages
+                .iter()
+                .map(|s| s.wall)
+                .sum::<Duration>()
+    }
+}
+
+/// Activation-in-enclave mode for the Fig. 8 control groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EcallBatching {
+    /// One ECALL per feature map (the framework's design, `EncryptSGX`).
+    Batched,
+    /// One ECALL per pixel (`EncryptSGX (single)` — the paper's negative
+    /// result: "frequent accesses to SGX bring about huge time-consuming").
+    PerPixel,
+}
+
+/// The hybrid HE + SGX inference service.
+#[derive(Debug)]
+pub struct HybridInference {
+    sys: CrtPlainSystem,
+    model: QuantizedCnn,
+    enclave: InferenceEnclave,
+    plan: InferencePlan,
+    activation: ActivationKind,
+}
+
+impl HybridInference {
+    /// Provisions the service on `platform`: builds the inference enclave,
+    /// runs the in-enclave key ceremony, and returns the service plus the
+    /// attested public material for users.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-validation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the model is not quantized for the hybrid pipeline.
+    pub fn provision(
+        platform: Arc<Platform>,
+        model: QuantizedCnn,
+        poly_degree: usize,
+        seed: u64,
+    ) -> Result<(Self, KeyCeremonyPublic)> {
+        Self::provision_with_cost_model(platform, model, poly_degree, seed, None)
+    }
+
+    /// [`HybridInference::provision`] with an explicit enclave cost model —
+    /// pass [`hesgx_tee::cost::CostModel::fake_sgx`] for the paper's
+    /// `EncryptFakeSGX` control group.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-validation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the model is not quantized for the hybrid pipeline.
+    pub fn provision_with_cost_model(
+        platform: Arc<Platform>,
+        model: QuantizedCnn,
+        poly_degree: usize,
+        seed: u64,
+        cost_model: Option<hesgx_tee::cost::CostModel>,
+    ) -> Result<(Self, KeyCeremonyPublic)> {
+        assert_eq!(
+            model.pipeline,
+            QuantPipeline::Hybrid,
+            "model must be quantized for the hybrid pipeline"
+        );
+        let report = model.range_report();
+        let sys = CrtPlainSystem::for_range(poly_degree, report.required_plain_bits)
+            .map_err(HybridError::He)?;
+        // The enclave heap must hold a full encrypted feature map; the EPC
+        // stays at its hardware size, so oversized working sets page (and are
+        // charged) exactly as the paper's §III-B describes.
+        let mut builder = EnclaveBuilder::new("hesgx-inference")
+            .add_code(b"hesgx-hybrid-inference-v1")
+            .heap_bytes(512 * 1024 * 1024)
+            .seed(seed);
+        if let Some(model) = cost_model {
+            builder = builder.cost_model(model);
+        }
+        let enclave = builder.build(platform);
+        let mut rng = ChaChaRng::from_seed(seed).fork("provision");
+        let (keys, ceremony) = enclave_generate_keys(&enclave, &sys, &mut rng);
+        let plan = plan_for(&model);
+        let service = HybridInference {
+            sys,
+            enclave: InferenceEnclave::new(enclave, keys.secret, keys.public, seed ^ 0x1ee7),
+            model,
+            plan,
+            activation: ActivationKind::Sigmoid,
+        };
+        Ok((service, ceremony))
+    }
+
+    /// The CRT system (for user-side encryption/decryption).
+    pub fn system(&self) -> &CrtPlainSystem {
+        &self.sys
+    }
+
+    /// The quantized model.
+    pub fn model(&self) -> &QuantizedCnn {
+        &self.model
+    }
+
+    /// The execution plan.
+    pub fn plan(&self) -> &InferencePlan {
+        &self.plan
+    }
+
+    /// The inference enclave (metrics, side-channel log).
+    pub fn enclave(&self) -> &InferenceEnclave {
+        &self.enclave
+    }
+
+    /// Overrides the activation function computed inside the enclave
+    /// (paper §VI-C: ReLU and Tanh work just as well as Sigmoid).
+    pub fn set_activation(&mut self, kind: ActivationKind) {
+        self.activation = kind;
+    }
+
+    /// Runs the hybrid inference. Returns encrypted logits plus metrics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates HE/TEE failures.
+    pub fn infer(
+        &self,
+        input: &EncryptedMap,
+        batching: EcallBatching,
+    ) -> Result<(Vec<CrtCiphertext>, HybridMetrics)> {
+        let mut metrics = HybridMetrics::default();
+        let m = &self.model;
+
+        // 1. Convolutional layer — HE outside SGX.
+        let start = Instant::now();
+        let conv = ops::he_conv2d(
+            &self.sys,
+            input,
+            &m.conv_weights,
+            &m.conv_bias,
+            m.conv_out,
+            m.kernel,
+            1,
+            &mut metrics.ops,
+        )?;
+        metrics.stages.push(StageMetrics {
+            name: "Convolutional Layer (HE outside)".into(),
+            wall: start.elapsed(),
+            enclave: None,
+        });
+
+        // 2. Activation — plaintext inside SGX.
+        let start = Instant::now();
+        let (activated, act_cost) = match batching {
+            EcallBatching::Batched => {
+                self.enclave
+                    .activation_map(&self.sys, &conv, m, self.activation)?
+            }
+            EcallBatching::PerPixel => self.enclave.activation_map_single_ecalls(
+                &self.sys,
+                &conv,
+                m,
+                self.activation,
+            )?,
+        };
+        metrics.stages.push(StageMetrics {
+            name: "Activation (SGX inside)".into(),
+            wall: start.elapsed(),
+            enclave: Some(act_cost),
+        });
+
+        // 3. Pooling — split per the §VI-D rule.
+        let start = Instant::now();
+        let (pooled, pool_cost) = match self.plan.pool_strategy {
+            PoolStrategy::SgxPool => self.enclave.pool_full_map(&self.sys, &activated, m, false)?,
+            PoolStrategy::SgxDiv => {
+                let summed =
+                    ops::he_scaled_mean_pool(&self.sys, &activated, m.window, &mut metrics.ops)?;
+                self.enclave.divide_map(&self.sys, &summed, m)?
+            }
+        };
+        metrics.stages.push(StageMetrics {
+            name: format!("Pooling Layer ({:?})", self.plan.pool_strategy),
+            wall: start.elapsed(),
+            enclave: Some(pool_cost),
+        });
+
+        // 4. Fully connected layer — HE outside SGX.
+        let start = Instant::now();
+        let logits = ops::he_fully_connected(
+            &self.sys,
+            &pooled,
+            &m.fc_weights,
+            &m.fc_bias,
+            m.classes,
+            &mut metrics.ops,
+        )?;
+        metrics.stages.push(StageMetrics {
+            name: "Fully Connected Layer (HE outside)".into(),
+            wall: start.elapsed(),
+            enclave: None,
+        });
+
+        Ok((logits, metrics))
+    }
+
+    /// Total enclave cost accumulated on this service's virtual clock.
+    pub fn enclave_virtual_time(&self) -> Duration {
+        self.enclave.enclave().vclock().elapsed()
+    }
+}
+
+/// Sums the enclave costs of a metrics record.
+pub fn total_enclave_cost(metrics: &HybridMetrics) -> CostBreakdown {
+    metrics
+        .stages
+        .iter()
+        .filter_map(|s| s.enclave)
+        .fold(CostBreakdown::default(), sum_costs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hesgx_tee::enclave::Platform;
+
+    fn small_hybrid_model() -> QuantizedCnn {
+        QuantizedCnn {
+            pipeline: QuantPipeline::Hybrid,
+            in_side: 8,
+            conv_out: 2,
+            kernel: 3,
+            window: 2,
+            classes: 3,
+            conv_weights: (0..18).map(|i| (i % 7) as i64 - 3).collect(),
+            conv_bias: vec![5, -9],
+            fc_weights: (0..3 * 18).map(|i| (i % 5) as i64 - 2).collect(),
+            fc_bias: vec![10, -5, 0],
+            weight_scale: 8,
+            fc_scale: 8,
+            act_scale: 16,
+        }
+    }
+
+    #[test]
+    fn hybrid_matches_integer_reference_exactly() {
+        let model = small_hybrid_model();
+        let (service, _ceremony) =
+            HybridInference::provision(Platform::new(31), model.clone(), 256, 7).unwrap();
+        let mut rng = ChaChaRng::from_seed(101);
+        let images: Vec<Vec<i64>> = (0..3)
+            .map(|b| (0..64).map(|p| ((p + b * 7) % 16) as i64).collect())
+            .collect();
+        let enc = EncryptedMap::encrypt_images(
+            &service.sys,
+            &images,
+            model.in_side,
+            &service.enclave.public_keys(),
+            &mut rng,
+        )
+        .unwrap();
+        let (logits, metrics) = service.infer(&enc, EcallBatching::Batched).unwrap();
+        // Decrypt with the enclave's secret keys (test-only access).
+        for (b, img) in images.iter().enumerate() {
+            let expect = model.forward_ints(img);
+            for (class, ct) in logits.iter().enumerate() {
+                let slots = service
+                    .sys
+                    .decrypt_slots(ct, service.enclave.secret_keys())
+                    .unwrap();
+                assert_eq!(
+                    slots[b], expect[class] as i128,
+                    "batch {b} class {class} logit"
+                );
+            }
+        }
+        assert_eq!(metrics.stages.len(), 4);
+        assert!(metrics.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn per_pixel_ecalls_cost_more() {
+        let model = small_hybrid_model();
+        let (service, _) =
+            HybridInference::provision(Platform::new(32), model.clone(), 256, 8).unwrap();
+        let mut rng = ChaChaRng::from_seed(102);
+        let images = vec![(0..64).map(|p| (p % 16) as i64).collect::<Vec<i64>>()];
+        let enc = EncryptedMap::encrypt_images(
+            &service.sys,
+            &images,
+            model.in_side,
+            &service.enclave.public_keys(),
+            &mut rng,
+        )
+        .unwrap();
+        let (_, batched) = service.infer(&enc, EcallBatching::Batched).unwrap();
+        let (_, single) = service.infer(&enc, EcallBatching::PerPixel).unwrap();
+        let b = total_enclave_cost(&batched);
+        let s = total_enclave_cost(&single);
+        assert!(
+            s.transition_ns > b.transition_ns,
+            "per-pixel must pay more transitions"
+        );
+    }
+
+    #[test]
+    fn window_2_uses_sgx_pool() {
+        let model = small_hybrid_model();
+        let (service, _) = HybridInference::provision(Platform::new(33), model, 256, 9).unwrap();
+        assert_eq!(service.plan().pool_strategy, PoolStrategy::SgxPool);
+    }
+}

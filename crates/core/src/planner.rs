@@ -1,0 +1,132 @@
+//! Layer placement planning (paper §IV-C/§IV-D and the §VI-D pooling rule).
+//!
+//! Linear layers (convolution, fully connected) run under HE outside the
+//! enclave — the model weights never enter the enclave, avoiding the EPC
+//! pressure and side-channel surface of §III-B. Non-linear layers (activation,
+//! pooling) run inside on plaintext. For pooling the paper derives a
+//! window-size rule from Fig. 6: small windows favor `SGXPool` (ship the whole
+//! map in), larger windows favor `SGXDiv` (HE window-sums outside, division
+//! inside) because the homomorphic addition shrinks what must be decrypted.
+
+use hesgx_nn::quantize::QuantizedCnn;
+use serde::{Deserialize, Serialize};
+
+/// Where a layer executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Homomorphic computing outside SGX (paper §IV-C).
+    HeOutside,
+    /// Plaintext computing inside SGX (paper §IV-D).
+    SgxInside,
+}
+
+/// How the pooling layer splits between HE and the enclave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PoolStrategy {
+    /// The whole feature map enters the enclave; addition and division both
+    /// happen inside. Best for small windows (paper §VI-D).
+    SgxPool,
+    /// Window sums are computed homomorphically outside; only the reduced map
+    /// enters the enclave for the division. Best for windows ≥ 3.
+    SgxDiv,
+}
+
+impl PoolStrategy {
+    /// The paper's decision rule (§VI-D): *"we can choose SGXPool when the
+    /// window size is less than 3 and select SGXDiv when the window size is
+    /// larger"*.
+    pub fn select(window: usize) -> Self {
+        if window < 3 {
+            PoolStrategy::SgxPool
+        } else {
+            PoolStrategy::SgxDiv
+        }
+    }
+}
+
+/// One planned layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlannedLayer {
+    /// Layer description.
+    pub name: String,
+    /// Where it runs.
+    pub placement: Placement,
+}
+
+/// The execution plan for the paper's 4-layer CNN.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InferencePlan {
+    /// Per-layer placements, in order.
+    pub layers: Vec<PlannedLayer>,
+    /// The pooling split.
+    pub pool_strategy: PoolStrategy,
+    /// Refresh ciphertexts inside the enclave when the minimum noise budget
+    /// falls below this many bits.
+    pub refresh_threshold_bits: u32,
+}
+
+/// Builds the plan for a hybrid-quantized model.
+pub fn plan_for(model: &QuantizedCnn) -> InferencePlan {
+    InferencePlan {
+        layers: vec![
+            PlannedLayer {
+                name: "Convolutional Layer".into(),
+                placement: Placement::HeOutside,
+            },
+            PlannedLayer {
+                name: "Sigmoid".into(),
+                placement: Placement::SgxInside,
+            },
+            PlannedLayer {
+                name: "Pooling Layer".into(),
+                placement: Placement::SgxInside,
+            },
+            PlannedLayer {
+                name: "Fully Connected Layer".into(),
+                placement: Placement::HeOutside,
+            },
+        ],
+        pool_strategy: PoolStrategy::select(model.window),
+        refresh_threshold_bits: 10,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hesgx_nn::quantize::QuantPipeline;
+
+    #[test]
+    fn pool_rule_matches_paper() {
+        assert_eq!(PoolStrategy::select(2), PoolStrategy::SgxPool);
+        assert_eq!(PoolStrategy::select(3), PoolStrategy::SgxDiv);
+        assert_eq!(PoolStrategy::select(4), PoolStrategy::SgxDiv);
+        assert_eq!(PoolStrategy::select(12), PoolStrategy::SgxDiv);
+    }
+
+    #[test]
+    fn linear_layers_stay_outside() {
+        let model = QuantizedCnn {
+            pipeline: QuantPipeline::Hybrid,
+            in_side: 28,
+            conv_out: 6,
+            kernel: 5,
+            window: 2,
+            classes: 10,
+            conv_weights: vec![0; 150],
+            conv_bias: vec![0; 6],
+            fc_weights: vec![0; 8640],
+            fc_bias: vec![0; 10],
+            weight_scale: 16,
+            fc_scale: 32,
+            act_scale: 16,
+        };
+        let plan = plan_for(&model);
+        assert_eq!(plan.layers[0].placement, Placement::HeOutside);
+        assert_eq!(plan.layers[1].placement, Placement::SgxInside);
+        assert_eq!(plan.layers[2].placement, Placement::SgxInside);
+        assert_eq!(plan.layers[3].placement, Placement::HeOutside);
+        // The paper's model uses a 2×2 window → SgxPool.
+        assert_eq!(plan.pool_strategy, PoolStrategy::SgxPool);
+    }
+}

@@ -1,0 +1,450 @@
+//! In-enclave plaintext computing (paper §IV-D/§IV-E): exact activations,
+//! pooling, and noise refresh on ciphertexts passed into the enclave.
+//!
+//! Every operation follows the same shape: ECALL in with the ciphertexts,
+//! decrypt with the enclave-resident secret keys, compute the exact function
+//! on plaintext, re-encrypt, ECALL out. The re-encryption also resets the
+//! invariant noise, which is why the hybrid pipeline never needs
+//! relinearization keys (§IV-E).
+//!
+//! Batching policy mirrors the paper §VI-E: a whole feature map (or a whole
+//! batch of ciphertexts) enters in a *single* ECALL so the boundary-crossing
+//! and key-load costs amortize; the `*_single_ecalls` variants reproduce the
+//! pathological per-pixel design Fig. 8 calls `EncryptSGX (single)`.
+
+use hesgx_bfv::prelude::{PublicKey, SecretKey};
+use hesgx_crypto::rng::ChaChaRng;
+use hesgx_henn::crt::{CrtCiphertext, CrtPlainSystem};
+use hesgx_henn::image::EncryptedMap;
+use hesgx_nn::layers::ActivationKind;
+use hesgx_nn::quantize::QuantizedCnn;
+use hesgx_tee::cost::CostBreakdown;
+use hesgx_tee::enclave::Enclave;
+use parking_lot::Mutex;
+
+/// Errors from hybrid-framework operations.
+#[derive(Debug)]
+pub enum HybridError {
+    /// A homomorphic-encryption operation failed.
+    He(hesgx_bfv::error::BfvError),
+    /// A TEE operation failed.
+    Tee(hesgx_tee::error::TeeError),
+    /// A value decrypted inside the enclave exceeded the plaintext range the
+    /// planner proved — indicates a planner/range-analysis bug.
+    RangeViolation(i128),
+}
+
+impl std::fmt::Display for HybridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HybridError::He(e) => write!(f, "homomorphic operation failed: {e}"),
+            HybridError::Tee(e) => write!(f, "enclave operation failed: {e}"),
+            HybridError::RangeViolation(v) => {
+                write!(f, "decrypted value {v} outside analyzed range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HybridError {}
+
+impl From<hesgx_bfv::error::BfvError> for HybridError {
+    fn from(e: hesgx_bfv::error::BfvError) -> Self {
+        HybridError::He(e)
+    }
+}
+
+impl From<hesgx_tee::error::TeeError> for HybridError {
+    fn from(e: hesgx_tee::error::TeeError) -> Self {
+        HybridError::Tee(e)
+    }
+}
+
+/// Convenience alias for hybrid results.
+pub type Result<T> = std::result::Result<T, HybridError>;
+
+/// The inference enclave: a TEE instance holding the FV secret keys, able to
+/// decrypt → compute → re-encrypt.
+#[derive(Debug)]
+pub struct InferenceEnclave {
+    enclave: Enclave,
+    secret: Vec<SecretKey>,
+    public: Vec<PublicKey>,
+    rng: Mutex<ChaChaRng>,
+}
+
+impl InferenceEnclave {
+    /// Wraps an enclave whose key ceremony produced `secret`/`public`.
+    pub fn new(
+        enclave: Enclave,
+        secret: Vec<SecretKey>,
+        public: Vec<PublicKey>,
+        seed: u64,
+    ) -> Self {
+        InferenceEnclave {
+            enclave,
+            secret,
+            public,
+            rng: Mutex::new(ChaChaRng::from_seed(seed).fork("enclave-reencrypt")),
+        }
+    }
+
+    /// The underlying simulated enclave.
+    pub fn enclave(&self) -> &Enclave {
+        &self.enclave
+    }
+
+    /// The public keys matching the enclave's secret keys.
+    pub fn public_keys(&self) -> &[PublicKey] {
+        &self.public
+    }
+
+    /// The enclave-resident secret keys (crate-internal; users receive their
+    /// copy through the key ceremony).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn secret_keys(&self) -> &[SecretKey] {
+        &self.secret
+    }
+
+    /// Decrypt a batch of ciphertexts, map each slot value, re-encrypt —
+    /// the common core of all in-enclave operators. Runs as ONE ecall.
+    fn transform_cells(
+        &self,
+        name: &str,
+        sys: &CrtPlainSystem,
+        cells: &[&CrtCiphertext],
+        f: impl Fn(usize, i128) -> i64,
+    ) -> Result<(Vec<CrtCiphertext>, CostBreakdown)> {
+        let in_bytes: usize = cells.iter().map(|c| c.byte_len()).sum();
+        let (result, cost) = self.enclave.ecall(name, in_bytes, in_bytes, |ctx| {
+            let region = ctx.alloc(in_bytes.max(4096)).map_err(HybridError::Tee)?;
+            ctx.touch(region).map_err(HybridError::Tee)?;
+            let mut rng = self.rng.lock();
+            let mut out = Vec::with_capacity(cells.len());
+            for (idx, cell) in cells.iter().enumerate() {
+                let slots = sys.decrypt_slots(cell, &self.secret)?;
+                let mapped: Vec<i64> = slots.iter().map(|&v| f(idx, v)).collect();
+                out.push(sys.encrypt_slots(&mapped, &self.public, &mut rng)?);
+            }
+            ctx.free(region).map_err(HybridError::Tee)?;
+            Ok::<_, HybridError>(out)
+        });
+        Ok((result?, cost))
+    }
+
+    /// Exact activation over a whole feature map in a single batched ECALL
+    /// (`SGXSigmoid` in Fig. 5; also serves ReLU/Tanh/LeakyReLU, §VI-C).
+    ///
+    /// # Errors
+    ///
+    /// Propagates HE/TEE failures.
+    pub fn activation_map(
+        &self,
+        sys: &CrtPlainSystem,
+        input: &EncryptedMap,
+        model: &QuantizedCnn,
+        kind: ActivationKind,
+    ) -> Result<(EncryptedMap, CostBreakdown)> {
+        let (c, h, w) = input.shape();
+        let cells: Vec<&CrtCiphertext> = input.cells().iter().collect();
+        let (out, cost) = self.transform_cells("ecall_activation", sys, &cells, |_, v| {
+            model.enclave_activation(v as i64, kind)
+        })?;
+        Ok((EncryptedMap::new(c, h, w, out), cost))
+    }
+
+    /// The pathological per-pixel variant: one ECALL per cell
+    /// (`EncryptSGX (single)` in Fig. 8). Returns the summed cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates HE/TEE failures.
+    pub fn activation_map_single_ecalls(
+        &self,
+        sys: &CrtPlainSystem,
+        input: &EncryptedMap,
+        model: &QuantizedCnn,
+        kind: ActivationKind,
+    ) -> Result<(EncryptedMap, CostBreakdown)> {
+        let (c, h, w) = input.shape();
+        let mut out = Vec::with_capacity(input.cells().len());
+        let mut total = CostBreakdown::default();
+        for cell in input.cells() {
+            let (mut mapped, cost) =
+                self.transform_cells("ecall_activation_single", sys, &[cell], |_, v| {
+                    model.enclave_activation(v as i64, kind)
+                })?;
+            out.push(mapped.pop().expect("one cell in, one out"));
+            total = sum_costs(total, cost);
+        }
+        Ok((EncryptedMap::new(c, h, w, out), total))
+    }
+
+    /// `SGXDiv` (paper §VI-D): the window sums were computed homomorphically
+    /// outside; the enclave only performs the non-linear division by `k²`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates HE/TEE failures.
+    pub fn divide_map(
+        &self,
+        sys: &CrtPlainSystem,
+        summed: &EncryptedMap,
+        model: &QuantizedCnn,
+    ) -> Result<(EncryptedMap, CostBreakdown)> {
+        let (c, h, w) = summed.shape();
+        let cells: Vec<&CrtCiphertext> = summed.cells().iter().collect();
+        let (out, cost) = self.transform_cells("ecall_divide", sys, &cells, |_, v| {
+            model.enclave_mean(v as i64)
+        })?;
+        Ok((EncryptedMap::new(c, h, w, out), cost))
+    }
+
+    /// `SGXPool` (paper §VI-D): the whole feature map enters the enclave and
+    /// both the addition and the division happen inside. Fixed input size
+    /// regardless of window (the paper's green line in Fig. 6).
+    ///
+    /// # Errors
+    ///
+    /// Propagates HE/TEE failures.
+    pub fn pool_full_map(
+        &self,
+        sys: &CrtPlainSystem,
+        input: &EncryptedMap,
+        model: &QuantizedCnn,
+        max_pool: bool,
+    ) -> Result<(EncryptedMap, CostBreakdown)> {
+        let (c, h, w) = input.shape();
+        let window = model.window;
+        let (oh, ow) = (h / window, w / window);
+        let in_bytes = input.byte_len();
+        let out_count = c * oh * ow;
+        let slot_count = sys.slot_count();
+        let (result, cost) = self
+            .enclave
+            .ecall("ecall_pool", in_bytes, in_bytes / (window * window).max(1), |ctx| {
+                let region = ctx.alloc(in_bytes.max(4096)).map_err(HybridError::Tee)?;
+                ctx.touch(region).map_err(HybridError::Tee)?;
+                // Decrypt the full map.
+                let mut plain: Vec<Vec<i128>> = Vec::with_capacity(input.cells().len());
+                for cell in input.cells() {
+                    plain.push(sys.decrypt_slots(cell, &self.secret)?);
+                }
+                // Pool per slot.
+                let mut rng = self.rng.lock();
+                let mut out_cells = Vec::with_capacity(out_count);
+                for ch in 0..c {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut slots_out = vec![0i64; slot_count];
+                            for (s, slot_out) in slots_out.iter_mut().enumerate() {
+                                let mut acc: Option<i64> = None;
+                                for dy in 0..window {
+                                    for dx in 0..window {
+                                        let v = plain[(ch * h + oy * window + dy) * w
+                                            + ox * window
+                                            + dx][s] as i64;
+                                        acc = Some(match acc {
+                                            None => v,
+                                            Some(a) if max_pool => a.max(v),
+                                            Some(a) => a + v,
+                                        });
+                                    }
+                                }
+                                let acc = acc.expect("window non-empty");
+                                *slot_out = if max_pool { acc } else { model.enclave_mean(acc) };
+                            }
+                            out_cells.push(sys.encrypt_slots(&slots_out, &self.public, &mut rng)?);
+                        }
+                    }
+                }
+                ctx.free(region).map_err(HybridError::Tee)?;
+                Ok::<_, HybridError>(out_cells)
+            });
+        Ok((EncryptedMap::new(c, oh, ow, result?), cost))
+    }
+
+    /// Noise refresh (`ecall_DcreaseNoise`, paper §VI-E / Table V): decrypt
+    /// and re-encrypt a batch of ciphertexts in one ECALL, removing all
+    /// accumulated noise and shrinking size-3 ciphertexts back to size 2 —
+    /// the enclave alternative to relinearization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates HE/TEE failures.
+    pub fn refresh_batch(
+        &self,
+        sys: &CrtPlainSystem,
+        cts: &[CrtCiphertext],
+    ) -> Result<(Vec<CrtCiphertext>, CostBreakdown)> {
+        let refs: Vec<&CrtCiphertext> = cts.iter().collect();
+        self.transform_cells("ecall_DecreaseNoise", sys, &refs, |_, v| v as i64)
+    }
+
+    /// Single-ciphertext refresh (one ECALL round-trip each — the
+    /// unamortized row of Table V).
+    ///
+    /// # Errors
+    ///
+    /// Propagates HE/TEE failures.
+    pub fn refresh_one(
+        &self,
+        sys: &CrtPlainSystem,
+        ct: &CrtCiphertext,
+    ) -> Result<(CrtCiphertext, CostBreakdown)> {
+        let (mut out, cost) = self.transform_cells("ecall_DecreaseNoise", sys, &[ct], |_, v| v as i64)?;
+        Ok((out.pop().expect("one in, one out"), cost))
+    }
+}
+
+/// Sums two cost breakdowns term-wise.
+pub fn sum_costs(a: CostBreakdown, b: CostBreakdown) -> CostBreakdown {
+    CostBreakdown {
+        real_ns: a.real_ns + b.real_ns,
+        slowdown_ns: a.slowdown_ns + b.slowdown_ns,
+        transition_ns: a.transition_ns + b.transition_ns,
+        copy_ns: a.copy_ns + b.copy_ns,
+        paging_ns: a.paging_ns + b.paging_ns,
+        jitter_ns: a.jitter_ns + b.jitter_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keydist::enclave_generate_keys;
+    use hesgx_nn::quantize::{QuantPipeline, QuantizedCnn};
+    use hesgx_tee::enclave::{EnclaveBuilder, Platform};
+
+    fn small_model() -> QuantizedCnn {
+        QuantizedCnn {
+            pipeline: QuantPipeline::Hybrid,
+            in_side: 8,
+            conv_out: 2,
+            kernel: 3,
+            window: 2,
+            classes: 3,
+            conv_weights: (0..18).map(|i| (i % 7) as i64 - 3).collect(),
+            conv_bias: vec![5, -9],
+            fc_weights: (0..3 * 18).map(|i| (i % 5) as i64 - 2).collect(),
+            fc_bias: vec![10, -5, 0],
+            weight_scale: 8,
+            fc_scale: 8,
+            act_scale: 16,
+        }
+    }
+
+    fn setup() -> (InferenceEnclave, CrtPlainSystem, ChaChaRng) {
+        let platform = Platform::new(21);
+        let enclave = EnclaveBuilder::new("test-enclave")
+            .add_code(b"v1")
+            .build(platform);
+        let sys = CrtPlainSystem::new(256, &[12289, 13313]).unwrap();
+        let mut rng = ChaChaRng::from_seed(91);
+        let (keys, _) = enclave_generate_keys(&enclave, &sys, &mut rng);
+        let ie = InferenceEnclave::new(enclave, keys.secret, keys.public, 92);
+        (ie, sys, rng)
+    }
+
+    #[test]
+    fn activation_matches_reference() {
+        let (ie, sys, mut rng) = setup();
+        let model = small_model();
+        // A map of "conv outputs" to activate.
+        let values: Vec<Vec<i64>> = vec![vec![-500, -10, 0, 10, 500, 123, -77, 999, 4]];
+        let enc = EncryptedMap::encrypt_images(&sys, &values, 3, &ie.public, &mut rng).unwrap();
+        let (out, cost) = ie
+            .activation_map(&sys, &enc, &model, ActivationKind::Sigmoid)
+            .unwrap();
+        let dec = out.decrypt_all(&sys, &ie.secret, 1).unwrap();
+        let expect: Vec<i128> = values[0]
+            .iter()
+            .map(|&v| model.enclave_sigmoid(v) as i128)
+            .collect();
+        assert_eq!(dec[0], expect);
+        assert!(cost.total_ns() > 0);
+    }
+
+    #[test]
+    fn batched_ecall_cheaper_than_per_cell() {
+        let (ie, sys, mut rng) = setup();
+        let model = small_model();
+        let values = vec![(0..16).map(|v| v * 10 - 80).collect::<Vec<i64>>()];
+        let enc = EncryptedMap::encrypt_images(&sys, &values, 4, &ie.public, &mut rng).unwrap();
+        let (_, batched) = ie
+            .activation_map(&sys, &enc, &model, ActivationKind::Sigmoid)
+            .unwrap();
+        let (_, single) = ie
+            .activation_map_single_ecalls(&sys, &enc, &model, ActivationKind::Sigmoid)
+            .unwrap();
+        assert!(
+            single.transition_ns > batched.transition_ns,
+            "per-cell ECALLs must pay more transitions: {} vs {}",
+            single.transition_ns,
+            batched.transition_ns
+        );
+    }
+
+    #[test]
+    fn refresh_preserves_value_and_resets_noise() {
+        let (ie, sys, mut rng) = setup();
+        let keys_secret = &ie.secret;
+        let ct = sys
+            .encrypt_slots(&[1234, -99], &ie.public, &mut rng)
+            .unwrap();
+        // Square to consume budget and grow the ciphertext.
+        let sq = sys.square(&ct).unwrap();
+        assert_eq!(sq.size(), 3);
+        let before = sys.noise_budget(&sq, keys_secret).unwrap();
+        let (fresh, _) = ie.refresh_one(&sys, &sq).unwrap();
+        assert_eq!(fresh.size(), 2, "refresh shrinks the ciphertext");
+        let after = sys.noise_budget(&fresh, keys_secret).unwrap();
+        assert!(after > before, "refresh must reset noise: {before} -> {after}");
+        let dec = sys.decrypt_slots(&fresh, keys_secret).unwrap();
+        assert_eq!(dec[0], 1234 * 1234);
+        assert_eq!(dec[1], 99 * 99);
+    }
+
+    #[test]
+    fn batched_refresh_amortizes_transitions() {
+        let (ie, sys, mut rng) = setup();
+        let cts: Vec<_> = (0..8)
+            .map(|i| sys.encrypt_slots(&[i], &ie.public, &mut rng).unwrap())
+            .collect();
+        let (_, batched) = ie.refresh_batch(&sys, &cts).unwrap();
+        let mut single_total = CostBreakdown::default();
+        for ct in &cts {
+            let (_, c) = ie.refresh_one(&sys, ct).unwrap();
+            single_total = sum_costs(single_total, c);
+        }
+        assert!(single_total.transition_ns > batched.transition_ns);
+    }
+
+    #[test]
+    fn divide_map_computes_means() {
+        let (ie, sys, mut rng) = setup();
+        let model = small_model();
+        // Window sums (window=2 → divide by 4 with rounding).
+        let sums = vec![vec![4i64, 6, 7, 0]];
+        let enc = EncryptedMap::encrypt_images(&sys, &sums, 2, &ie.public, &mut rng).unwrap();
+        let (out, _) = ie.divide_map(&sys, &enc, &model).unwrap();
+        let dec = out.decrypt_all(&sys, &ie.secret, 1).unwrap();
+        assert_eq!(dec[0], vec![1, 2, 2, 0]);
+    }
+
+    #[test]
+    fn pool_full_map_mean_and_max() {
+        let (ie, sys, mut rng) = setup();
+        let model = small_model();
+        let img = vec![(1..=16i64).collect::<Vec<i64>>()];
+        let enc = EncryptedMap::encrypt_images(&sys, &img, 4, &ie.public, &mut rng).unwrap();
+        let (mean, _) = ie.pool_full_map(&sys, &enc, &model, false).unwrap();
+        assert_eq!(mean.shape(), (1, 2, 2));
+        let dec = mean.decrypt_all(&sys, &ie.secret, 1).unwrap();
+        // windows sums 14,22,46,54 → means 4,6,12,14 (round half up).
+        assert_eq!(dec[0], vec![4, 6, 12, 14]);
+        let (maxp, _) = ie.pool_full_map(&sys, &enc, &model, true).unwrap();
+        let dec = maxp.decrypt_all(&sys, &ie.secret, 1).unwrap();
+        assert_eq!(dec[0], vec![6, 8, 14, 16]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Integration test: the full user ↔ edge-server wire protocol.
+//!
+//! The user receives serialized public keys over the attested channel,
+//! encrypts locally, ships serialized ciphertexts to the server, and gets
+//! serialized encrypted logits back — everything crossing the wire as bytes.
+
+use hesgx_bfv::prelude::{Decryptor, Encryptor, Plaintext};
+use hesgx_bfv::serialization::{
+    ciphertext_from_bytes, ciphertext_to_bytes, public_key_from_bytes, public_key_to_bytes,
+    secret_key_from_bytes, secret_key_to_bytes,
+};
+use hesgx_crypto::rng::ChaChaRng;
+use hesgx_henn::crt::CrtPlainSystem;
+use hesgx_tee::enclave::{EnclaveBuilder, Platform};
+
+#[test]
+fn wire_protocol_roundtrip() {
+    // Server side: keys generated in the enclave.
+    let sys = CrtPlainSystem::new(1024, &[65537]).unwrap();
+    let mut rng = ChaChaRng::from_seed(1);
+    let keys = sys.generate_keys(&mut rng);
+    let ctx = sys.contexts()[0].clone();
+
+    // Keys go over the wire as bytes.
+    let pk_bytes = public_key_to_bytes(&keys.public[0]);
+    let sk_bytes = secret_key_to_bytes(&keys.secret[0]);
+
+    // User side: reconstruct, encrypt a query.
+    let pk = public_key_from_bytes(&ctx, &pk_bytes).unwrap();
+    let encryptor = Encryptor::new(ctx.clone(), pk);
+    let query = encryptor.encrypt(&Plaintext::constant(42), &mut rng).unwrap();
+    let query_bytes = ciphertext_to_bytes(&query);
+
+    // Server side: reconstruct the ciphertext, compute 3x + 100 homomorphically.
+    let server_ct = ciphertext_from_bytes(&ctx, &query_bytes).unwrap();
+    let evaluator = hesgx_bfv::evaluator::Evaluator::new(ctx.clone());
+    let tripled = evaluator.mul_plain_signed_scalar(&server_ct, 3).unwrap();
+    let result = evaluator.add_plain(&tripled, &Plaintext::constant(100)).unwrap();
+    let result_bytes = ciphertext_to_bytes(&result);
+
+    // User side: reconstruct and decrypt.
+    let sk = secret_key_from_bytes(&ctx, &sk_bytes).unwrap();
+    let decryptor = Decryptor::new(ctx.clone(), sk);
+    let back = ciphertext_from_bytes(&ctx, &result_bytes).unwrap();
+    assert_eq!(decryptor.decrypt(&back).unwrap().coeffs()[0], 3 * 42 + 100);
+}
+
+#[test]
+fn sealed_secret_key_restores_through_bytes() {
+    // The enclave seals the serialized secret key; after a "restart" it
+    // unseals and reconstructs a working decryptor.
+    let sys = CrtPlainSystem::new(1024, &[65537]).unwrap();
+    let mut rng = ChaChaRng::from_seed(2);
+    let keys = sys.generate_keys(&mut rng);
+    let ctx = sys.contexts()[0].clone();
+
+    let platform = Platform::new(9);
+    let enclave = EnclaveBuilder::new("kv").add_code(b"v1").build(platform);
+    let (blob, _) = enclave.seal(&secret_key_to_bytes(&keys.secret[0]));
+
+    // ... server restarts; enclave identity unchanged ...
+    let (restored_bytes, _) = enclave.unseal(&blob);
+    let sk = secret_key_from_bytes(&ctx, &restored_bytes.unwrap()).unwrap();
+
+    let encryptor = Encryptor::new(ctx.clone(), keys.public[0].clone());
+    let ct = encryptor.encrypt(&Plaintext::constant(77), &mut rng).unwrap();
+    let decryptor = Decryptor::new(ctx, sk);
+    assert_eq!(decryptor.decrypt(&ct).unwrap().coeffs()[0], 77);
+}
+
+#[test]
+fn corrupted_wire_data_rejected_not_misdecrypted() {
+    let sys = CrtPlainSystem::new(1024, &[65537]).unwrap();
+    let mut rng = ChaChaRng::from_seed(3);
+    let keys = sys.generate_keys(&mut rng);
+    let ctx = sys.contexts()[0].clone();
+    let encryptor = Encryptor::new(ctx.clone(), keys.public[0].clone());
+    let ct = encryptor.encrypt(&Plaintext::constant(5), &mut rng).unwrap();
+    let mut bytes = ciphertext_to_bytes(&ct);
+
+    // Header corruption: flips in magic / kind / context id must all reject.
+    for pos in [0usize, 4, 10, 36] {
+        let mut bad = bytes.clone();
+        bad[pos] ^= 0xff;
+        assert!(
+            ciphertext_from_bytes(&ctx, &bad).is_err(),
+            "corruption at byte {pos} must be rejected"
+        );
+    }
+    // Truncation anywhere must reject.
+    bytes.truncate(bytes.len() / 3);
+    assert!(ciphertext_from_bytes(&ctx, &bytes).is_err());
+}

@@ -1,0 +1,155 @@
+//! ChaCha20 stream cipher (RFC 8439), implemented from scratch.
+//!
+//! Serves as the sealing cipher of the TEE simulator and as the keystream
+//! behind [`crate::rng::ChaChaRng`].
+
+/// Key length in bytes.
+pub const KEY_LEN: usize = 32;
+/// Nonce length in bytes.
+pub const NONCE_LEN: usize = 12;
+/// Block length in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Computes one 64-byte ChaCha20 keystream block.
+pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; BLOCK_LEN] {
+    let mut state = [0u32; 16];
+    state[0] = 0x6170_7865;
+    state[1] = 0x3320_646e;
+    state[2] = 0x7962_2d32;
+    state[3] = 0x6b20_6574;
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes([
+            key[i * 4],
+            key[i * 4 + 1],
+            key[i * 4 + 2],
+            key[i * 4 + 3],
+        ]);
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes([
+            nonce[i * 4],
+            nonce[i * 4 + 1],
+            nonce[i * 4 + 2],
+            nonce[i * 4 + 3],
+        ]);
+    }
+
+    let mut working = state;
+    for _ in 0..10 {
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+
+    let mut out = [0u8; BLOCK_LEN];
+    for i in 0..16 {
+        let word = working[i].wrapping_add(state[i]);
+        out[i * 4..(i + 1) * 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// Encrypts or decrypts `data` in place (XOR keystream; the operation is its
+/// own inverse). The keystream starts at block `initial_counter`.
+///
+/// # Examples
+///
+/// ```
+/// use hesgx_crypto::chacha20::xor_stream;
+///
+/// let key = [7u8; 32];
+/// let nonce = [1u8; 12];
+/// let mut data = b"edge inference".to_vec();
+/// xor_stream(&key, 1, &nonce, &mut data);
+/// xor_stream(&key, 1, &nonce, &mut data);
+/// assert_eq!(&data, b"edge inference");
+/// ```
+pub fn xor_stream(
+    key: &[u8; KEY_LEN],
+    initial_counter: u32,
+    nonce: &[u8; NONCE_LEN],
+    data: &mut [u8],
+) {
+    for (block_idx, chunk) in data.chunks_mut(BLOCK_LEN).enumerate() {
+        let ks = block(key, initial_counter.wrapping_add(block_idx as u32), nonce);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc8439_block_vector() {
+        // RFC 8439 section 2.3.2 test vector.
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce = [
+            0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+        ];
+        let out = block(&key, 1, &nonce);
+        assert_eq!(
+            hex(&out[..16]),
+            "10f1e7e4d13b5915500fdd1fa32071c4"
+        );
+        assert_eq!(
+            hex(&out[48..]),
+            "b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    #[test]
+    fn rfc8439_encryption_vector() {
+        // RFC 8439 section 2.4.2.
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce = [
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+        ];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let mut data = plaintext.to_vec();
+        xor_stream(&key, 1, &nonce, &mut data);
+        assert_eq!(hex(&data[..16]), "6e2e359a2568f98041ba0728dd0d6981");
+        assert_eq!(hex(&data[data.len() - 12..]), "5be6b40b8eedf2785e42874d");
+        // Round trip.
+        xor_stream(&key, 1, &nonce, &mut data);
+        assert_eq!(&data, plaintext);
+    }
+
+    #[test]
+    fn distinct_nonces_distinct_streams() {
+        let key = [3u8; 32];
+        let a = block(&key, 0, &[0u8; 12]);
+        let b = block(&key, 0, &[1u8; 12]);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,53 @@
+//! # hesgx-crypto
+//!
+//! From-scratch cryptographic primitives backing the `hesgx` workspace — the
+//! Rust reproduction of *"Privacy-Preserving Neural Network Inference
+//! Framework via Homomorphic Encryption and SGX"* (ICDCS 2021).
+//!
+//! The crate provides everything the SGX simulator (`hesgx-tee`) and the FV
+//! homomorphic-encryption library (`hesgx-bfv`) need below the scheme level:
+//!
+//! * [`sha256`] — FIPS 180-4 SHA-256 (enclave measurement, Fiat–Shamir).
+//! * [`hmac`] — HMAC-SHA256 (report MACs, sealed-blob integrity).
+//! * [`chacha20`] — RFC 8439 stream cipher (sealing, CSPRNG keystream).
+//! * [`rng`] — deterministic seedable ChaCha20 CSPRNG; the single source of
+//!   randomness across the workspace so every experiment reproduces exactly.
+//! * [`kdf`] — HKDF-SHA256 (EGETKEY-style key-derivation tree).
+//! * [`schnorr`] — Schnorr signatures over prime-field groups (the quoting
+//!   enclave's attestation signature, standing in for DCAP's ECDSA).
+//! * [`uint`] — fixed-width `U256`/`U512` arithmetic with Barrett-style
+//!   reciprocal reduction, shared with `hesgx-bfv`'s exact ciphertext
+//!   multiplication.
+//!
+//! # Examples
+//!
+//! ```
+//! use hesgx_crypto::rng::ChaChaRng;
+//! use hesgx_crypto::sha256::sha256;
+//!
+//! let mut rng = ChaChaRng::from_seed(2021);
+//! let nonce = rng.next_u64();
+//! let digest = sha256(&nonce.to_le_bytes());
+//! assert_eq!(digest.len(), 32);
+//! ```
+//!
+//! Security disclaimer: these implementations are correct against the cited
+//! test vectors but are **simulation-grade** — no constant-time guarantees
+//! beyond tag comparison, and the Schnorr parameter sizes are chosen for test
+//! speed. They exist so the reproduction has no external cryptographic
+//! dependencies, not for production deployment.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chacha20;
+pub mod hmac;
+pub mod kdf;
+pub mod rng;
+pub mod schnorr;
+pub mod sha256;
+pub mod uint;
+
+pub use rng::ChaChaRng;
+pub use sha256::sha256 as sha256_digest;
+pub use uint::{Reciprocal, U256, U512};

@@ -1,0 +1,719 @@
+//! Fixed-width unsigned big integers (`U256`, `U512`) and Barrett-style
+//! reciprocal reduction.
+//!
+//! These types back two very different consumers:
+//!
+//! * [`crate::schnorr`] — modular exponentiation in a ~200-bit Schnorr group, and
+//! * `hesgx-bfv` — exact CRT reconstruction and the `round(t·x/q)` rescaling
+//!   step of the FV ciphertext multiplication, where intermediate values reach
+//!   ~250 bits.
+//!
+//! The API is deliberately small and panics on misuse (division by zero) rather
+//! than returning errors: all call sites use moduli validated at construction.
+
+use serde::{Deserialize, Serialize};
+
+/// A 256-bit unsigned integer stored as four little-endian 64-bit limbs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct U256(pub [u64; 4]);
+
+/// A 512-bit unsigned integer stored as eight little-endian 64-bit limbs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct U512(pub [u64; 8]);
+
+impl std::fmt::Debug for U256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "U256(0x{:016x}{:016x}{:016x}{:016x})",
+            self.0[3], self.0[2], self.0[1], self.0[0]
+        )
+    }
+}
+
+impl std::fmt::Debug for U512 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "U512(")?;
+        for limb in self.0.iter().rev() {
+            write!(f, "{limb:016x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl std::fmt::Display for U256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Decimal display via repeated division by 10^19 would be overkill for
+        // diagnostics; hex is canonical for this crate.
+        write!(f, "{self:?}")
+    }
+}
+
+impl U256 {
+    /// The value 0.
+    pub const ZERO: U256 = U256([0; 4]);
+    /// The value 1.
+    pub const ONE: U256 = U256([1, 0, 0, 0]);
+    /// The largest representable value, `2^256 - 1`.
+    pub const MAX: U256 = U256([u64::MAX; 4]);
+
+    /// Creates a `U256` from a `u64`.
+    pub const fn from_u64(v: u64) -> Self {
+        U256([v, 0, 0, 0])
+    }
+
+    /// Creates a `U256` from a `u128`.
+    pub const fn from_u128(v: u128) -> Self {
+        U256([v as u64, (v >> 64) as u64, 0, 0])
+    }
+
+    /// Returns the low 128 bits if the value fits, otherwise `None`.
+    pub fn to_u128(self) -> Option<u128> {
+        if self.0[2] == 0 && self.0[3] == 0 {
+            Some(self.0[0] as u128 | (self.0[1] as u128) << 64)
+        } else {
+            None
+        }
+    }
+
+    /// Returns the low 64 bits if the value fits, otherwise `None`.
+    pub fn to_u64(self) -> Option<u64> {
+        if self.0[1] == 0 && self.0[2] == 0 && self.0[3] == 0 {
+            Some(self.0[0])
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` when the value is zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == [0; 4]
+    }
+
+    /// Returns `true` when the value is odd.
+    pub fn is_odd(self) -> bool {
+        self.0[0] & 1 == 1
+    }
+
+    /// Number of significant bits (0 for the value zero).
+    pub fn bits(self) -> u32 {
+        for i in (0..4).rev() {
+            if self.0[i] != 0 {
+                return 64 * i as u32 + 64 - self.0[i].leading_zeros();
+            }
+        }
+        0
+    }
+
+    /// Returns bit `i` (little-endian order).
+    pub fn bit(self, i: u32) -> bool {
+        let limb = (i / 64) as usize;
+        limb < 4 && (self.0[limb] >> (i % 64)) & 1 == 1
+    }
+
+    /// Addition with carry-out flag.
+    pub fn overflowing_add(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = 0u64;
+        for i in 0..4 {
+            let s = self.0[i] as u128 + rhs.0[i] as u128 + carry as u128;
+            out[i] = s as u64;
+            carry = (s >> 64) as u64;
+        }
+        (U256(out), carry != 0)
+    }
+
+    /// Wrapping addition modulo `2^256`.
+    pub fn wrapping_add(self, rhs: U256) -> U256 {
+        self.overflowing_add(rhs).0
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub fn checked_add(self, rhs: U256) -> Option<U256> {
+        match self.overflowing_add(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Subtraction with borrow-out flag.
+    pub fn overflowing_sub(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut borrow = 0u64;
+        for i in 0..4 {
+            let (d, b1) = self.0[i].overflowing_sub(rhs.0[i]);
+            let (d, b2) = d.overflowing_sub(borrow);
+            out[i] = d;
+            borrow = (b1 || b2) as u64;
+        }
+        (U256(out), borrow != 0)
+    }
+
+    /// Wrapping subtraction modulo `2^256`.
+    pub fn wrapping_sub(self, rhs: U256) -> U256 {
+        self.overflowing_sub(rhs).0
+    }
+
+    /// Checked subtraction; `None` on underflow.
+    pub fn checked_sub(self, rhs: U256) -> Option<U256> {
+        match self.overflowing_sub(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Full 256×256 → 512-bit multiplication.
+    pub fn widening_mul(self, rhs: U256) -> U512 {
+        let mut out = [0u64; 8];
+        for i in 0..4 {
+            let mut carry = 0u128;
+            for j in 0..4 {
+                let cur = out[i + j] as u128 + self.0[i] as u128 * rhs.0[j] as u128 + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + 4;
+            while carry != 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        U512(out)
+    }
+
+    /// Multiplication by a `u64`, returning `(low 256 bits, carry limb)`.
+    pub fn carrying_mul_u64(self, rhs: u64) -> (U256, u64) {
+        let mut out = [0u64; 4];
+        let mut carry = 0u128;
+        for i in 0..4 {
+            let cur = self.0[i] as u128 * rhs as u128 + carry;
+            out[i] = cur as u64;
+            carry = cur >> 64;
+        }
+        (U256(out), carry as u64)
+    }
+
+    /// Left shift; shifts of 256 or more produce zero.
+    pub fn shl(self, n: u32) -> U256 {
+        if n >= 256 {
+            return U256::ZERO;
+        }
+        let limb_shift = (n / 64) as usize;
+        let bit_shift = n % 64;
+        let mut out = [0u64; 4];
+        for i in (limb_shift..4).rev() {
+            let mut v = self.0[i - limb_shift] << bit_shift;
+            if bit_shift > 0 && i > limb_shift {
+                v |= self.0[i - limb_shift - 1] >> (64 - bit_shift);
+            }
+            out[i] = v;
+        }
+        U256(out)
+    }
+
+    /// Right shift; shifts of 256 or more produce zero.
+    pub fn shr(self, n: u32) -> U256 {
+        if n >= 256 {
+            return U256::ZERO;
+        }
+        let limb_shift = (n / 64) as usize;
+        let bit_shift = n % 64;
+        let mut out = [0u64; 4];
+        for i in 0..4 - limb_shift {
+            let mut v = self.0[i + limb_shift] >> bit_shift;
+            if bit_shift > 0 && i + limb_shift + 1 < 4 {
+                v |= self.0[i + limb_shift + 1] << (64 - bit_shift);
+            }
+            out[i] = v;
+        }
+        U256(out)
+    }
+
+    /// Big-endian byte encoding (32 bytes).
+    pub fn to_be_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[(3 - i) * 8..(4 - i) * 8].copy_from_slice(&self.0[i].to_be_bytes());
+        }
+        out
+    }
+
+    /// Parses a big-endian 32-byte encoding.
+    pub fn from_be_bytes(bytes: &[u8; 32]) -> Self {
+        let mut limbs = [0u64; 4];
+        for i in 0..4 {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[(3 - i) * 8..(4 - i) * 8]);
+            limbs[i] = u64::from_be_bytes(b);
+        }
+        U256(limbs)
+    }
+}
+
+impl PartialOrd for U256 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for U256 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        for i in (0..4).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                std::cmp::Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl From<u64> for U256 {
+    fn from(v: u64) -> Self {
+        U256::from_u64(v)
+    }
+}
+
+impl From<u128> for U256 {
+    fn from(v: u128) -> Self {
+        U256::from_u128(v)
+    }
+}
+
+impl U512 {
+    /// The value 0.
+    pub const ZERO: U512 = U512([0; 8]);
+
+    /// Widens a `U256` into the low half.
+    pub fn from_u256(v: U256) -> Self {
+        let mut out = [0u64; 8];
+        out[..4].copy_from_slice(&v.0);
+        U512(out)
+    }
+
+    /// Returns `true` when the value is zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == [0; 8]
+    }
+
+    /// The low 256 bits.
+    pub fn lo(self) -> U256 {
+        U256([self.0[0], self.0[1], self.0[2], self.0[3]])
+    }
+
+    /// The high 256 bits.
+    pub fn hi(self) -> U256 {
+        U256([self.0[4], self.0[5], self.0[6], self.0[7]])
+    }
+
+    /// Addition with carry-out flag.
+    pub fn overflowing_add(self, rhs: U512) -> (U512, bool) {
+        let mut out = [0u64; 8];
+        let mut carry = 0u64;
+        for i in 0..8 {
+            let s = self.0[i] as u128 + rhs.0[i] as u128 + carry as u128;
+            out[i] = s as u64;
+            carry = (s >> 64) as u64;
+        }
+        (U512(out), carry != 0)
+    }
+
+    /// Wrapping addition modulo `2^512`.
+    pub fn wrapping_add(self, rhs: U512) -> U512 {
+        self.overflowing_add(rhs).0
+    }
+
+    /// Subtraction with borrow-out flag.
+    pub fn overflowing_sub(self, rhs: U512) -> (U512, bool) {
+        let mut out = [0u64; 8];
+        let mut borrow = 0u64;
+        for i in 0..8 {
+            let (d, b1) = self.0[i].overflowing_sub(rhs.0[i]);
+            let (d, b2) = d.overflowing_sub(borrow);
+            out[i] = d;
+            borrow = (b1 || b2) as u64;
+        }
+        (U512(out), borrow != 0)
+    }
+
+    /// Right shift; shifts of 512 or more produce zero.
+    pub fn shr(self, n: u32) -> U512 {
+        if n >= 512 {
+            return U512::ZERO;
+        }
+        let limb_shift = (n / 64) as usize;
+        let bit_shift = n % 64;
+        let mut out = [0u64; 8];
+        for i in 0..8 - limb_shift {
+            let mut v = self.0[i + limb_shift] >> bit_shift;
+            if bit_shift > 0 && i + limb_shift + 1 < 8 {
+                v |= self.0[i + limb_shift + 1] << (64 - bit_shift);
+            }
+            out[i] = v;
+        }
+        U512(out)
+    }
+
+    /// Left shift; shifts of 512 or more produce zero.
+    pub fn shl(self, n: u32) -> U512 {
+        if n >= 512 {
+            return U512::ZERO;
+        }
+        let limb_shift = (n / 64) as usize;
+        let bit_shift = n % 64;
+        let mut out = [0u64; 8];
+        for i in (limb_shift..8).rev() {
+            let mut v = self.0[i - limb_shift] << bit_shift;
+            if bit_shift > 0 && i > limb_shift {
+                v |= self.0[i - limb_shift - 1] >> (64 - bit_shift);
+            }
+            out[i] = v;
+        }
+        U512(out)
+    }
+
+    /// Number of significant bits (0 for the value zero).
+    pub fn bits(self) -> u32 {
+        for i in (0..8).rev() {
+            if self.0[i] != 0 {
+                return 64 * i as u32 + 64 - self.0[i].leading_zeros();
+            }
+        }
+        0
+    }
+}
+
+impl PartialOrd for U512 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for U512 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        for i in (0..8).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                std::cmp::Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+}
+
+/// Reference bit-by-bit division of a 512-bit value by a 256-bit divisor.
+///
+/// Slow (one iteration per bit) but obviously correct; used only to precompute
+/// [`Reciprocal`] constants and inside tests as an oracle.
+///
+/// # Panics
+///
+/// Panics if `d` is zero.
+pub fn div_rem_u512(n: U512, d: U256) -> (U512, U256) {
+    assert!(!d.is_zero(), "division by zero");
+    let mut q = U512::ZERO;
+    let mut r = U256::ZERO;
+    let total = n.bits();
+    for i in (0..total).rev() {
+        // r = (r << 1) | bit(n, i); the shift cannot overflow because r < d <= 2^256-1
+        // and we subtract whenever r >= d.
+        let carry = r.bit(255);
+        r = r.shl(1);
+        let limb = (i / 64) as usize;
+        if (n.0[limb] >> (i % 64)) & 1 == 1 {
+            r = r.wrapping_add(U256::ONE);
+        }
+        if carry || r >= d {
+            // When carry is set, the conceptual value of r is r + 2^256 > d.
+            r = r.wrapping_sub(d);
+            q.0[(i / 64) as usize] |= 1 << (i % 64);
+        }
+    }
+    (q, r)
+}
+
+/// Precomputed Barrett-style reciprocal for fast reduction modulo a fixed `d`.
+///
+/// Stores `m = floor(2^k / d)` with `k = 255 + bits(d)`, so that for any
+/// `y < 2^256` the estimate `(y·m) >> k` is at most 3 below the true quotient
+/// `floor(y/d)`; a short correction loop finishes the job.
+#[derive(Debug, Clone)]
+pub struct Reciprocal {
+    d: U256,
+    m: U256,
+    k: u32,
+    /// `2^256 mod d`, used to fold `U512` inputs into the 256-bit range.
+    fold: U256,
+}
+
+impl Reciprocal {
+    /// Builds the reciprocal for divisor `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d < 2` or `d >= 2^250` (the fold step needs headroom).
+    pub fn new(d: U256) -> Self {
+        assert!(d > U256::ONE, "divisor must be at least 2");
+        assert!(d.bits() <= 250, "divisor must be below 2^250");
+        // For d = 2^(bits-1) exactly, floor(2^(255+bits)/d) = 2^256 overflows;
+        // one bit less of precision keeps m in range and the estimate exact.
+        let power_of_two = d.wrapping_sub(U256::ONE).bits() < d.bits();
+        let k = if power_of_two {
+            254 + d.bits()
+        } else {
+            255 + d.bits()
+        };
+        // m = floor(2^k / d); 2^k as U512.
+        let mut pow = U512::ZERO;
+        pow.0[(k / 64) as usize] = 1 << (k % 64);
+        let (q, _) = div_rem_u512(pow, d);
+        let m = q.lo();
+        debug_assert!(q.hi().is_zero(), "reciprocal does not fit in 256 bits");
+        // fold = 2^256 mod d
+        let mut p256 = U512::ZERO;
+        p256.0[4] = 1;
+        let (_, fold) = div_rem_u512(p256, d);
+        Reciprocal { d, m, k, fold }
+    }
+
+    /// The divisor this reciprocal reduces by.
+    pub fn divisor(&self) -> U256 {
+        self.d
+    }
+
+    /// Computes `(floor(y / d), y mod d)` for `y < 2^256`.
+    pub fn div_rem(&self, y: U256) -> (U256, U256) {
+        let prod = y.widening_mul(self.m);
+        let mut q = prod.shr(self.k).lo();
+        // r = y - q*d; the product fits in 256 bits because q*d <= y.
+        let qd = q.widening_mul(self.d).lo();
+        let mut r = y.wrapping_sub(qd);
+        while r >= self.d {
+            r = r.wrapping_sub(self.d);
+            q = q.wrapping_add(U256::ONE);
+        }
+        (q, r)
+    }
+
+    /// Computes `y mod d` for `y < 2^256`.
+    pub fn reduce(&self, y: U256) -> U256 {
+        self.div_rem(y).1
+    }
+
+    /// Computes `y mod d` for a full 512-bit `y` by folding the high half.
+    pub fn reduce_u512(&self, y: U512) -> U256 {
+        // Invariant value = hi * 2^256 + lo. Replace hi*2^256 with hi*fold and
+        // repeat; each fold shrinks the value because fold < d < 2^250.
+        let mut cur = y;
+        while !cur.hi().is_zero() {
+            let hi = cur.hi();
+            let lo = cur.lo();
+            let folded = hi.widening_mul(self.fold);
+            let (sum, carry) = folded.overflowing_add(U512::from_u256(lo));
+            debug_assert!(!carry);
+            cur = sum;
+        }
+        self.reduce(cur.lo())
+    }
+
+    /// Modular multiplication `a*b mod d` for `a, b < d`.
+    pub fn mul_mod(&self, a: U256, b: U256) -> U256 {
+        self.reduce_u512(a.widening_mul(b))
+    }
+
+    /// Modular addition `a+b mod d` for `a, b < d`.
+    pub fn add_mod(&self, a: U256, b: U256) -> U256 {
+        let (mut s, carry) = a.overflowing_add(b);
+        if carry || s >= self.d {
+            s = s.wrapping_sub(self.d);
+        }
+        s
+    }
+
+    /// Modular subtraction `a-b mod d` for `a, b < d`.
+    pub fn sub_mod(&self, a: U256, b: U256) -> U256 {
+        if a >= b {
+            a.wrapping_sub(b)
+        } else {
+            a.wrapping_add(self.d).wrapping_sub(b)
+        }
+    }
+
+    /// Modular exponentiation `base^exp mod d`.
+    pub fn pow_mod(&self, base: U256, exp: U256) -> U256 {
+        let mut result = self.reduce(U256::ONE);
+        let mut acc = self.reduce(base);
+        let bits = exp.bits();
+        for i in 0..bits {
+            if exp.bit(i) {
+                result = self.mul_mod(result, acc);
+            }
+            if i + 1 < bits {
+                acc = self.mul_mod(acc, acc);
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u256_roundtrip_u128() {
+        let v = U256::from_u128(0x0123_4567_89ab_cdef_fedc_ba98_7654_3210);
+        assert_eq!(v.to_u128(), Some(0x0123_4567_89ab_cdef_fedc_ba98_7654_3210));
+        assert_eq!(U256::MAX.to_u128(), None);
+    }
+
+    #[test]
+    fn u256_add_sub_inverse() {
+        let a = U256([1, 2, 3, 4]);
+        let b = U256([u64::MAX, 7, 0, 9]);
+        let s = a.wrapping_add(b);
+        assert_eq!(s.wrapping_sub(b), a);
+        assert_eq!(s.wrapping_sub(a), b);
+    }
+
+    #[test]
+    fn u256_overflow_flags() {
+        assert!(U256::MAX.overflowing_add(U256::ONE).1);
+        assert!(U256::ZERO.overflowing_sub(U256::ONE).1);
+        assert_eq!(U256::MAX.checked_add(U256::ONE), None);
+        assert_eq!(U256::ZERO.checked_sub(U256::ONE), None);
+    }
+
+    #[test]
+    fn widening_mul_small() {
+        let a = U256::from_u128(u128::MAX);
+        let p = a.widening_mul(a);
+        // (2^128-1)^2 = 2^256 - 2^129 + 1
+        assert_eq!(p.lo(), U256([1, 0, u64::MAX - 1, u64::MAX]));
+        assert_eq!(p.hi(), U256::ZERO);
+    }
+
+    #[test]
+    fn shifts_match_u128() {
+        let v = U256::from_u128(0xdead_beef_cafe_babe_1234_5678_9abc_def0);
+        for n in [0u32, 1, 7, 63, 64, 65, 127] {
+            assert_eq!(
+                v.shl(n).shr(n).to_u128().unwrap() & (u128::MAX >> n.min(127)),
+                (0xdead_beef_cafe_babe_1234_5678_9abc_def0u128 << n) >> n
+            );
+        }
+    }
+
+    #[test]
+    fn be_bytes_roundtrip() {
+        let v = U256([0x1111, 0x2222, 0x3333, 0x4444]);
+        assert_eq!(U256::from_be_bytes(&v.to_be_bytes()), v);
+    }
+
+    #[test]
+    fn div_rem_bit_oracle() {
+        let n = U512::from_u256(U256::from_u128(1_000_000_007_000_000_009));
+        let d = U256::from_u64(97);
+        let (q, r) = div_rem_u512(n, d);
+        assert_eq!(
+            q.lo().to_u128().unwrap(),
+            1_000_000_007_000_000_009u128 / 97
+        );
+        assert_eq!(r.to_u128().unwrap(), 1_000_000_007_000_000_009u128 % 97);
+    }
+
+    #[test]
+    fn div_rem_large_divisor() {
+        let d = U256([0x1234_5678_9abc_def0, 0xfeed_face_dead_beef, 0x0fff, 0]);
+        let n = U512([5, 6, 7, 8, 9, 0, 0, 0]);
+        let (q, r) = div_rem_u512(n, d);
+        // verify n = q*d + r with r < d
+        assert!(r < d);
+        let qd = q.lo().widening_mul(d);
+        let (sum, carry) = qd.overflowing_add(U512::from_u256(r));
+        assert!(!carry);
+        assert_eq!(sum, n);
+    }
+
+    #[test]
+    fn reciprocal_matches_oracle_small() {
+        let d = U256::from_u64(1_000_003);
+        let rec = Reciprocal::new(d);
+        for y in [0u128, 1, 999_999, 1_000_003, u128::MAX] {
+            let y256 = U256::from_u128(y);
+            let (q, r) = rec.div_rem(y256);
+            let (qo, ro) = div_rem_u512(U512::from_u256(y256), d);
+            assert_eq!(q, qo.lo());
+            assert_eq!(r, ro);
+        }
+    }
+
+    #[test]
+    fn reciprocal_reduce_u512() {
+        let d = U256([0xffff_ffff_ffff_ffc5, 0xffff_ffff, 0, 0]); // ~2^96 prime-ish
+        let rec = Reciprocal::new(d);
+        let y = U512([1, 2, 3, 4, 5, 6, 0, 0]);
+        let expect = div_rem_u512(y, d).1;
+        assert_eq!(rec.reduce_u512(y), expect);
+    }
+
+    #[test]
+    fn pow_mod_fermat() {
+        // Fermat's little theorem with a 61-bit prime.
+        let p = U256::from_u64((1u64 << 61) - 1);
+        let rec = Reciprocal::new(p);
+        let a = U256::from_u64(123_456_789);
+        // Inverse by Fermat: a^(p-2) with p = 2^61 - 1, so exponent 2^61 - 3.
+        let e = U256::from_u64((1u64 << 61) - 3);
+        let inv = rec.pow_mod(a, e);
+        assert_eq!(rec.mul_mod(a, inv), U256::ONE);
+    }
+
+    #[test]
+    fn mul_mod_agrees_with_u128() {
+        let p = U256::from_u64(0xffff_fffb); // 2^32 - 5, prime
+        let rec = Reciprocal::new(p);
+        let a = 0x1234_5678u64;
+        let b = 0x9abc_def0u64;
+        let expect = (a as u128 * b as u128 % 0xffff_fffbu128) as u64;
+        assert_eq!(
+            rec.mul_mod(U256::from_u64(a), U256::from_u64(b)).to_u64(),
+            Some(expect)
+        );
+    }
+}
+
+#[cfg(test)]
+mod debug_tests {
+    use super::*;
+
+    #[test]
+    fn debug_m61() {
+        let m = (1u64 << 61) - 1;
+        let p = U256::from_u64(m);
+        let rec = Reciprocal::new(p);
+        let a = 123_456_789u64;
+        let a2 = (a as u128 * a as u128 % m as u128) as u64;
+        assert_eq!(rec.mul_mod(U256::from_u64(a), U256::from_u64(a)).to_u64(), Some(a2), "mul_mod");
+        // pow small
+        assert_eq!(rec.pow_mod(U256::from_u64(a), U256::from_u64(1)).to_u64(), Some(a), "pow1");
+        assert_eq!(rec.pow_mod(U256::from_u64(a), U256::from_u64(2)).to_u64(), Some(a2), "pow2");
+        let mut acc = 1u128;
+        for _ in 0..10 { acc = acc * a as u128 % m as u128; }
+        assert_eq!(rec.pow_mod(U256::from_u64(a), U256::from_u64(10)).to_u64(), Some(acc as u64), "pow10");
+        // full Fermat exponent, compared against u128 square-and-multiply
+        let e = m - 2;
+        let mut result = 1u128;
+        let mut base = a as u128;
+        let mut ee = e;
+        while ee > 0 {
+            if ee & 1 == 1 { result = result * base % m as u128; }
+            base = base * base % m as u128;
+            ee >>= 1;
+        }
+        let got = rec.pow_mod(U256::from_u64(a), U256::from_u64(e));
+        assert_eq!(got.to_u64(), Some(result as u64), "fermat exponent");
+    }
+}

@@ -1,0 +1,222 @@
+//! The pure-HE baseline: CryptoNets-style inference (paper [16], the
+//! `Encrypted` scheme of Fig. 8).
+//!
+//! Pipeline: homomorphic convolution → square activation (ciphertext ×
+//! ciphertext + relinearization) → scaled mean-pool (sums only) → homomorphic
+//! fully connected layer. The entire computation happens under encryption;
+//! the user decrypts the ten logits and takes the argmax.
+
+use crate::crt::{CrtCiphertext, CrtKeys, CrtPlainSystem};
+use crate::image::EncryptedMap;
+use crate::ops::{self, OpCounter};
+use hesgx_bfv::error::Result;
+use hesgx_crypto::rng::ChaChaRng;
+use hesgx_nn::quantize::{QuantPipeline, QuantizedCnn};
+
+/// The CryptoNets-style HE-only inference engine.
+#[derive(Debug)]
+pub struct CryptoNets {
+    sys: CrtPlainSystem,
+    model: QuantizedCnn,
+}
+
+impl CryptoNets {
+    /// Builds the engine: selects plaintext moduli from the model's range
+    /// report and constructs the per-modulus FV systems.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the model is not quantized for the CryptoNets pipeline.
+    pub fn new(model: QuantizedCnn, poly_degree: usize) -> Result<Self> {
+        assert_eq!(
+            model.pipeline,
+            QuantPipeline::CryptoNets,
+            "model must be quantized for the CryptoNets pipeline"
+        );
+        let report = model.range_report();
+        // Depth-1 pipeline (the square) — small CRT moduli keep the
+        // multiplication noise growth manageable.
+        let sys = CrtPlainSystem::for_range_deep(poly_degree, report.required_plain_bits)?;
+        Ok(CryptoNets { sys, model })
+    }
+
+    /// The underlying CRT system (key generation, encryption).
+    pub fn system(&self) -> &CrtPlainSystem {
+        &self.sys
+    }
+
+    /// The quantized model.
+    pub fn model(&self) -> &QuantizedCnn {
+        &self.model
+    }
+
+    /// Encrypts a batch of quantized images.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encryption failures.
+    pub fn encrypt_batch(
+        &self,
+        images: &[Vec<i64>],
+        keys: &CrtKeys,
+        rng: &mut ChaChaRng,
+    ) -> Result<EncryptedMap> {
+        EncryptedMap::encrypt_images(&self.sys, images, self.model.in_side, &keys.public, rng)
+    }
+
+    /// Runs the full encrypted inference; returns one ciphertext per class
+    /// logit (batch in the slots) and the operation counts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates homomorphic-operation failures.
+    pub fn infer(
+        &self,
+        input: &EncryptedMap,
+        keys: &CrtKeys,
+    ) -> Result<(Vec<CrtCiphertext>, OpCounter)> {
+        let m = &self.model;
+        let mut counter = OpCounter::default();
+        let conv = ops::he_conv2d(
+            &self.sys,
+            input,
+            &m.conv_weights,
+            &m.conv_bias,
+            m.conv_out,
+            m.kernel,
+            1,
+            &mut counter,
+        )?;
+        let squared = ops::he_square_activation(&self.sys, &conv, &keys.evaluation, &mut counter)?;
+        let pooled = ops::he_scaled_mean_pool(&self.sys, &squared, m.window, &mut counter)?;
+        let logits = ops::he_fully_connected(
+            &self.sys,
+            &pooled,
+            &m.fc_weights,
+            &m.fc_bias,
+            m.classes,
+            &mut counter,
+        )?;
+        Ok((logits, counter))
+    }
+
+    /// Decrypts logits and returns the predicted class per batch element.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decryption failures.
+    pub fn decrypt_predictions(
+        &self,
+        logits: &[CrtCiphertext],
+        keys: &CrtKeys,
+        batch: usize,
+    ) -> Result<Vec<usize>> {
+        let mut per_class = Vec::with_capacity(logits.len());
+        for ct in logits {
+            per_class.push(self.sys.decrypt_slots(ct, &keys.secret)?);
+        }
+        let mut predictions = Vec::with_capacity(batch);
+        for b in 0..batch {
+            let mut best = 0;
+            for (class, slots) in per_class.iter().enumerate() {
+                if slots[b] > per_class[best][b] {
+                    best = class;
+                }
+            }
+            predictions.push(best);
+        }
+        Ok(predictions)
+    }
+
+    /// Decrypts raw logits: `[batch][classes]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decryption failures.
+    pub fn decrypt_logits(
+        &self,
+        logits: &[CrtCiphertext],
+        keys: &CrtKeys,
+        batch: usize,
+    ) -> Result<Vec<Vec<i128>>> {
+        let mut per_class = Vec::with_capacity(logits.len());
+        for ct in logits {
+            per_class.push(self.sys.decrypt_slots(ct, &keys.secret)?);
+        }
+        Ok((0..batch)
+            .map(|b| per_class.iter().map(|slots| slots[b]).collect())
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scaled-down CryptoNets model (8×8 input) whose encrypted inference
+    /// must match the exact-integer reference bit for bit.
+    fn small_model() -> QuantizedCnn {
+        QuantizedCnn {
+            pipeline: QuantPipeline::CryptoNets,
+            in_side: 8,
+            conv_out: 2,
+            kernel: 3,
+            window: 2,
+            classes: 3,
+            conv_weights: (0..18).map(|i| (i % 7) as i64 - 3).collect(),
+            conv_bias: vec![5, -9],
+            fc_weights: (0..3 * 18).map(|i| (i % 5) as i64 - 2).collect(),
+            fc_bias: vec![100, -50, 0],
+            weight_scale: 8,
+            fc_scale: 8,
+            act_scale: 16,
+        }
+    }
+
+    #[test]
+    fn encrypted_inference_matches_integer_reference() {
+        let model = small_model();
+        let engine = CryptoNets::new(model.clone(), 256).unwrap();
+        let mut rng = ChaChaRng::from_seed(71);
+        let keys = engine.system().generate_keys(&mut rng);
+        let images: Vec<Vec<i64>> = (0..3)
+            .map(|b| (0..64).map(|p| ((p * 3 + b * 5) % 16) as i64).collect())
+            .collect();
+        let enc = engine.encrypt_batch(&images, &keys, &mut rng).unwrap();
+        let (logits, counter) = engine.infer(&enc, &keys).unwrap();
+        let dec = engine.decrypt_logits(&logits, &keys, 3).unwrap();
+        for (b, img) in images.iter().enumerate() {
+            let expect: Vec<i128> = model.forward_ints(img).iter().map(|&v| v as i128).collect();
+            assert_eq!(dec[b], expect, "batch {b} logits must match reference");
+        }
+        // Operation counts: conv = out_side² * k² * channels multiplies.
+        assert_eq!(counter.ct_pt_mul as usize, 2 * 36 * 9 + 3 * 18);
+        assert_eq!(counter.ct_ct_mul as usize, 2 * 36);
+        assert_eq!(counter.relin as usize, 2 * 36);
+    }
+
+    #[test]
+    fn predictions_follow_logits() {
+        let model = small_model();
+        let engine = CryptoNets::new(model.clone(), 256).unwrap();
+        let mut rng = ChaChaRng::from_seed(72);
+        let keys = engine.system().generate_keys(&mut rng);
+        let images = vec![(0..64).map(|p| (p % 16) as i64).collect::<Vec<i64>>()];
+        let enc = engine.encrypt_batch(&images, &keys, &mut rng).unwrap();
+        let (logits, _) = engine.infer(&enc, &keys).unwrap();
+        let preds = engine.decrypt_predictions(&logits, &keys, 1).unwrap();
+        assert_eq!(preds[0], model.predict_ints(&images[0]));
+    }
+
+    #[test]
+    fn modulus_selection_covers_model_range() {
+        let model = small_model();
+        let engine = CryptoNets::new(model.clone(), 256).unwrap();
+        let bound = model.range_report().logit_bound as u128;
+        assert!(engine.system().modulus_product() > 2 * bound);
+    }
+}

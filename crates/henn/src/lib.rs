@@ -1,0 +1,37 @@
+//! # hesgx-henn
+//!
+//! Homomorphic neural-network layers over `hesgx-bfv`, and the pure-HE
+//! baseline the paper compares against (`Encrypted` in Fig. 8 — the
+//! CryptoNets scheme of reference [16]).
+//!
+//! Data layout: an encrypted feature map holds **one ciphertext per pixel
+//! position** with the image batch riding in the SIMD slots
+//! ([`image::EncryptedMap`]), so all per-image costs amortize over
+//! `batchSize` exactly as in the paper's experiments (§V-B). Values larger
+//! than one plaintext modulus are handled by plaintext-CRT
+//! ([`crt::CrtPlainSystem`]), the CryptoNets technique.
+//!
+//! Layers ([`ops`]): homomorphic convolution and fully connected layers
+//! (ciphertext × plaintext-scalar weights), scaled mean-pooling (window sums —
+//! HE cannot divide, paper §III-A), and the square activation (ciphertext ×
+//! ciphertext multiply + relinearization). Every operation is counted in the
+//! paper's `C×P` / `C+C` terminology for the Fig. 4 analysis.
+//!
+//! Correctness contract: encrypted inference must reproduce
+//! [`hesgx_nn::quantize::QuantizedCnn::forward_ints`] bit for bit — asserted
+//! by this crate's tests.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod approx;
+pub mod crt;
+pub mod cryptonets;
+pub mod image;
+pub mod ops;
+pub mod weights;
+
+pub use crt::{CrtCiphertext, CrtKeys, CrtPlainSystem};
+pub use cryptonets::CryptoNets;
+pub use image::EncryptedMap;
+pub use ops::OpCounter;

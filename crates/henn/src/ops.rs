@@ -1,0 +1,324 @@
+//! Homomorphic layer operations: convolution, fully connected, scaled
+//! mean-pool, and the square activation — with operation counting for the
+//! paper's Fig. 4 analysis.
+
+use crate::crt::{CrtCiphertext, CrtPlainSystem};
+use crate::image::EncryptedMap;
+use hesgx_bfv::error::Result;
+use hesgx_bfv::prelude::EvaluationKeys;
+
+/// Counts of homomorphic primitive operations (the paper's `C×P` / `C+C`
+/// terminology in Fig. 4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounter {
+    /// Ciphertext × plaintext multiplications.
+    pub ct_pt_mul: u64,
+    /// Ciphertext + ciphertext additions.
+    pub ct_ct_add: u64,
+    /// Ciphertext + plaintext additions (bias terms).
+    pub ct_pt_add: u64,
+    /// Ciphertext × ciphertext multiplications (square activation).
+    pub ct_ct_mul: u64,
+    /// Relinearizations.
+    pub relin: u64,
+}
+
+impl OpCounter {
+    /// Theoretical `C×P` / `C+C` count for one homomorphic convolution over an
+    /// `s × s` map with a `k × k` kernel and stride 1 (the blue line of
+    /// Fig. 4): `(s-k+1)² · k²`.
+    pub fn conv_theoretical(map_side: usize, kernel: usize) -> u64 {
+        let out = (map_side - kernel + 1) as u64;
+        out * out * (kernel * kernel) as u64
+    }
+}
+
+/// Homomorphic 2-D convolution (stride `stride`, valid padding) of a
+/// single-channel-per-group weight set: `weights[out][in][k][k]` flattened,
+/// integer bias per output channel.
+///
+/// Each output cell is `Σ w·x + bias` computed with scalar `C×P` multiplies
+/// and `C+C` additions — exactly the paper's Fig. 4 workload.
+///
+/// # Errors
+///
+/// Propagates homomorphic-operation failures.
+pub fn he_conv2d(
+    sys: &CrtPlainSystem,
+    input: &EncryptedMap,
+    weights: &[i64],
+    bias: &[i64],
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    counter: &mut OpCounter,
+) -> Result<EncryptedMap> {
+    let (in_channels, h, w) = input.shape();
+    assert_eq!(
+        weights.len(),
+        out_channels * in_channels * kernel * kernel,
+        "weight count mismatch"
+    );
+    assert_eq!(bias.len(), out_channels);
+    let oh = (h - kernel) / stride + 1;
+    let ow = (w - kernel) / stride + 1;
+    let mut cells = Vec::with_capacity(out_channels * oh * ow);
+    for o in 0..out_channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc: Option<CrtCiphertext> = None;
+                for i in 0..in_channels {
+                    for ky in 0..kernel {
+                        for kx in 0..kernel {
+                            let wgt = weights[((o * in_channels + i) * kernel + ky) * kernel + kx];
+                            let x = input.cell(i, oy * stride + ky, ox * stride + kx);
+                            let term = sys.mul_scalar(x, wgt)?;
+                            counter.ct_pt_mul += 1;
+                            match acc.as_mut() {
+                                None => acc = Some(term),
+                                Some(a) => {
+                                    sys.add_inplace(a, &term)?;
+                                    counter.ct_ct_add += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                let acc = sys.add_scalar(&acc.expect("kernel is non-empty"), bias[o])?;
+                counter.ct_pt_add += 1;
+                cells.push(acc);
+            }
+        }
+    }
+    Ok(EncryptedMap::new(out_channels, oh, ow, cells))
+}
+
+/// Homomorphic fully connected layer over the flattened input map
+/// (`weights[out][flat]`, bias per output). The paper realizes this as a
+/// convolution with input-sized kernels (Table VI); the arithmetic is the
+/// same dot product.
+///
+/// # Errors
+///
+/// Propagates homomorphic-operation failures.
+pub fn he_fully_connected(
+    sys: &CrtPlainSystem,
+    input: &EncryptedMap,
+    weights: &[i64],
+    bias: &[i64],
+    out_dim: usize,
+    counter: &mut OpCounter,
+) -> Result<Vec<CrtCiphertext>> {
+    let flat = input.cells().len();
+    assert_eq!(weights.len(), out_dim * flat, "FC weight count mismatch");
+    assert_eq!(bias.len(), out_dim);
+    let mut out = Vec::with_capacity(out_dim);
+    for o in 0..out_dim {
+        let mut acc: Option<CrtCiphertext> = None;
+        for (i, cell) in input.cells().iter().enumerate() {
+            let term = sys.mul_scalar(cell, weights[o * flat + i])?;
+            counter.ct_pt_mul += 1;
+            match acc.as_mut() {
+                None => acc = Some(term),
+                Some(a) => {
+                    sys.add_inplace(a, &term)?;
+                    counter.ct_ct_add += 1;
+                }
+            }
+        }
+        let acc = sys.add_scalar(&acc.expect("FC input non-empty"), bias[o])?;
+        counter.ct_pt_add += 1;
+        out.push(acc);
+    }
+    Ok(out)
+}
+
+/// Scaled mean-pooling: the window **sum** (no division — HE cannot divide;
+/// paper §III-A). Output values are `window²` times the true mean.
+///
+/// # Errors
+///
+/// Propagates homomorphic-operation failures.
+pub fn he_scaled_mean_pool(
+    sys: &CrtPlainSystem,
+    input: &EncryptedMap,
+    window: usize,
+    counter: &mut OpCounter,
+) -> Result<EncryptedMap> {
+    let (c, h, w) = input.shape();
+    assert_eq!(h % window, 0);
+    assert_eq!(w % window, 0);
+    let (oh, ow) = (h / window, w / window);
+    let mut cells = Vec::with_capacity(c * oh * ow);
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = input.cell(ch, oy * window, ox * window).clone();
+                for dy in 0..window {
+                    for dx in 0..window {
+                        if dy == 0 && dx == 0 {
+                            continue;
+                        }
+                        sys.add_inplace(&mut acc, input.cell(ch, oy * window + dy, ox * window + dx))?;
+                        counter.ct_ct_add += 1;
+                    }
+                }
+                cells.push(acc);
+            }
+        }
+    }
+    Ok(EncryptedMap::new(c, oh, ow, cells))
+}
+
+/// Square activation: slot-wise `x²` via ciphertext multiplication, followed
+/// by relinearization with `evk` (the pure-HE pipeline's `EncryptSigmoid`
+/// substitute, paper §VI-C).
+///
+/// # Errors
+///
+/// Propagates homomorphic-operation failures.
+pub fn he_square_activation(
+    sys: &CrtPlainSystem,
+    input: &EncryptedMap,
+    evk: &[EvaluationKeys],
+    counter: &mut OpCounter,
+) -> Result<EncryptedMap> {
+    let (c, h, w) = input.shape();
+    let mut cells = Vec::with_capacity(input.cells().len());
+    for cell in input.cells() {
+        let sq = sys.square(cell)?;
+        counter.ct_ct_mul += 1;
+        let relin = sys.relinearize(&sq, evk)?;
+        counter.relin += 1;
+        cells.push(relin);
+    }
+    Ok(EncryptedMap::new(c, h, w, cells))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crt::CrtPlainSystem;
+    use hesgx_crypto::rng::ChaChaRng;
+
+    fn setup() -> (CrtPlainSystem, crate::crt::CrtKeys, ChaChaRng) {
+        let sys = CrtPlainSystem::new(256, &[12289, 13313]).unwrap();
+        let mut rng = ChaChaRng::from_seed(61);
+        let keys = sys.generate_keys(&mut rng);
+        (sys, keys, rng)
+    }
+
+    fn plain_conv(
+        img: &[i64],
+        side: usize,
+        weights: &[i64],
+        bias: &[i64],
+        out_channels: usize,
+        k: usize,
+    ) -> Vec<i64> {
+        let o_side = side - k + 1;
+        let mut out = vec![0i64; out_channels * o_side * o_side];
+        for o in 0..out_channels {
+            for oy in 0..o_side {
+                for ox in 0..o_side {
+                    let mut acc = bias[o];
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            acc += weights[(o * k + ky) * k + kx] * img[(oy + ky) * side + ox + kx];
+                        }
+                    }
+                    out[(o * o_side + oy) * o_side + ox] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn conv_matches_plaintext_reference() {
+        let (sys, keys, mut rng) = setup();
+        let side = 6;
+        let k = 3;
+        let images: Vec<Vec<i64>> = (0..2)
+            .map(|b| (0..side * side).map(|p| ((p * 7 + b * 3) % 16) as i64).collect())
+            .collect();
+        let weights: Vec<i64> = (0..2 * k * k).map(|i| (i as i64 % 5) - 2).collect();
+        let bias = vec![4i64, -3];
+        let enc =
+            EncryptedMap::encrypt_images(&sys, &images, side, &keys.public, &mut rng).unwrap();
+        let mut counter = OpCounter::default();
+        let out = he_conv2d(&sys, &enc, &weights, &bias, 2, k, 1, &mut counter).unwrap();
+        assert_eq!(out.shape(), (2, 4, 4));
+        assert_eq!(counter.ct_pt_mul, 2 * 16 * 9);
+        let dec = out.decrypt_all(&sys, &keys.secret, 2).unwrap();
+        for (b, img) in images.iter().enumerate() {
+            let expect = plain_conv(img, side, &weights, &bias, 2, k);
+            let expect: Vec<i128> = expect.iter().map(|&v| v as i128).collect();
+            assert_eq!(dec[b], expect, "batch {b}");
+        }
+    }
+
+    #[test]
+    fn scaled_pool_sums_windows() {
+        let (sys, keys, mut rng) = setup();
+        let side = 4;
+        let images = vec![(1..=16i64).collect::<Vec<_>>()];
+        let enc =
+            EncryptedMap::encrypt_images(&sys, &images, side, &keys.public, &mut rng).unwrap();
+        let mut counter = OpCounter::default();
+        let pooled = he_scaled_mean_pool(&sys, &enc, 2, &mut counter).unwrap();
+        assert_eq!(pooled.shape(), (1, 2, 2));
+        let dec = pooled.decrypt_all(&sys, &keys.secret, 1).unwrap();
+        // windows: [1,2,5,6]=14, [3,4,7,8]=22, [9,10,13,14]=46, [11,12,15,16]=54.
+        assert_eq!(dec[0], vec![14, 22, 46, 54]);
+        assert_eq!(counter.ct_ct_add, 4 * 3);
+    }
+
+    #[test]
+    fn square_activation_squares_slots() {
+        let (sys, keys, mut rng) = setup();
+        let images = vec![vec![3i64, -4, 0, 12]];
+        let enc = EncryptedMap::encrypt_images(&sys, &images, 2, &keys.public, &mut rng).unwrap();
+        let mut counter = OpCounter::default();
+        let sq = he_square_activation(&sys, &enc, &keys.evaluation, &mut counter).unwrap();
+        let dec = sq.decrypt_all(&sys, &keys.secret, 1).unwrap();
+        assert_eq!(dec[0], vec![9, 16, 0, 144]);
+        assert_eq!(counter.ct_ct_mul, 4);
+        assert_eq!(counter.relin, 4);
+    }
+
+    #[test]
+    fn fully_connected_matches_dot_product() {
+        let (sys, keys, mut rng) = setup();
+        let images = vec![vec![1i64, 2, 3, 4]];
+        let enc = EncryptedMap::encrypt_images(&sys, &images, 2, &keys.public, &mut rng).unwrap();
+        let weights = vec![1i64, -1, 2, 0, /* row 2 */ 3, 3, -3, 1];
+        let bias = vec![10, -10];
+        let mut counter = OpCounter::default();
+        let out = he_fully_connected(&sys, &enc, &weights, &bias, 2, &mut counter).unwrap();
+        let logits: Vec<i128> = out
+            .iter()
+            .map(|ct| sys.decrypt_slots(ct, &keys.secret).unwrap()[0])
+            .collect();
+        assert_eq!(logits, vec![1 - 2 + 6 + 0 + 10, 3 + 6 - 9 + 4 - 10]);
+    }
+
+    #[test]
+    fn fig4_theoretical_op_counts() {
+        // Symmetric around k = 14/15 for a 28×28 map, max 44100 (paper Fig. 4).
+        assert_eq!(OpCounter::conv_theoretical(28, 14), 44_100);
+        assert_eq!(OpCounter::conv_theoretical(28, 15), 44_100);
+        assert_eq!(
+            OpCounter::conv_theoretical(28, 1),
+            OpCounter::conv_theoretical(28, 28)
+        );
+        assert_eq!(OpCounter::conv_theoretical(28, 1), 784);
+        // Symmetry k ↔ 29-k.
+        for k in 1..=28 {
+            assert_eq!(
+                OpCounter::conv_theoretical(28, k),
+                OpCounter::conv_theoretical(28, 29 - k)
+            );
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests of the homomorphic NN layers: every encrypted
+//! operation must agree with its plaintext counterpart on random inputs.
+
+use hesgx_crypto::rng::ChaChaRng;
+use hesgx_henn::crt::{CrtKeys, CrtPlainSystem};
+use hesgx_henn::image::EncryptedMap;
+use hesgx_henn::ops::{self, OpCounter};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn system() -> &'static (CrtPlainSystem, CrtKeys) {
+    static SYS: OnceLock<(CrtPlainSystem, CrtKeys)> = OnceLock::new();
+    SYS.get_or_init(|| {
+        let sys = CrtPlainSystem::new(256, &[12289, 13313]).unwrap();
+        let mut rng = ChaChaRng::from_seed(777);
+        let keys = sys.generate_keys(&mut rng);
+        (sys, keys)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn crt_encrypt_decrypt_roundtrip(values in proptest::collection::vec(-40_000_000i64..40_000_000, 1..8), seed in any::<u64>()) {
+        let (sys, keys) = system();
+        let mut rng = ChaChaRng::from_seed(seed);
+        let ct = sys.encrypt_slots(&values, &keys.public, &mut rng).unwrap();
+        let back = sys.decrypt_slots(&ct, &keys.secret).unwrap();
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(back[i], v as i128);
+        }
+    }
+
+    #[test]
+    fn affine_combination_matches_plain(a in -1000i64..1000, b in -1000i64..1000,
+                                        w in -50i64..50, c in -500i64..500, seed in any::<u64>()) {
+        let (sys, keys) = system();
+        let mut rng = ChaChaRng::from_seed(seed);
+        let ca = sys.encrypt_slots(&[a], &keys.public, &mut rng).unwrap();
+        let cb = sys.encrypt_slots(&[b], &keys.public, &mut rng).unwrap();
+        // w*a + b + c
+        let mut acc = sys.mul_scalar(&ca, w).unwrap();
+        sys.add_inplace(&mut acc, &cb).unwrap();
+        let acc = sys.add_scalar(&acc, c).unwrap();
+        prop_assert_eq!(
+            sys.decrypt_slots(&acc, &keys.secret).unwrap()[0],
+            (w * a + b + c) as i128
+        );
+    }
+
+    #[test]
+    fn square_matches_plain(v in -8000i64..8000, seed in any::<u64>()) {
+        let (sys, keys) = system();
+        let mut rng = ChaChaRng::from_seed(seed);
+        let ct = sys.encrypt_slots(&[v], &keys.public, &mut rng).unwrap();
+        let sq = sys.relinearize(&sys.square(&ct).unwrap(), &keys.evaluation).unwrap();
+        prop_assert_eq!(
+            sys.decrypt_slots(&sq, &keys.secret).unwrap()[0],
+            (v as i128) * (v as i128)
+        );
+    }
+
+    #[test]
+    fn he_conv_matches_plain_conv(pixels in proptest::collection::vec(0i64..16, 16),
+                                  weights in proptest::collection::vec(-7i64..8, 4),
+                                  bias in -20i64..20, seed in any::<u64>()) {
+        let (sys, keys) = system();
+        let mut rng = ChaChaRng::from_seed(seed);
+        let images = vec![pixels.clone()];
+        let enc = EncryptedMap::encrypt_images(sys, &images, 4, &keys.public, &mut rng).unwrap();
+        let mut counter = OpCounter::default();
+        let out = ops::he_conv2d(sys, &enc, &weights, &[bias], 1, 2, 1, &mut counter).unwrap();
+        let dec = out.decrypt_all(sys, &keys.secret, 1).unwrap();
+        // Plain reference.
+        for oy in 0..3 {
+            for ox in 0..3 {
+                let mut acc = bias;
+                for ky in 0..2 {
+                    for kx in 0..2 {
+                        acc += weights[ky * 2 + kx] * pixels[(oy + ky) * 4 + ox + kx];
+                    }
+                }
+                prop_assert_eq!(dec[0][oy * 3 + ox], acc as i128);
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_pool_matches_window_sums(pixels in proptest::collection::vec(-100i64..100, 16), seed in any::<u64>()) {
+        let (sys, keys) = system();
+        let mut rng = ChaChaRng::from_seed(seed);
+        let enc = EncryptedMap::encrypt_images(sys, &[pixels.clone()], 4, &keys.public, &mut rng).unwrap();
+        let mut counter = OpCounter::default();
+        let pooled = ops::he_scaled_mean_pool(sys, &enc, 2, &mut counter).unwrap();
+        let dec = pooled.decrypt_all(sys, &keys.secret, 1).unwrap();
+        for oy in 0..2 {
+            for ox in 0..2 {
+                let mut sum = 0i64;
+                for dy in 0..2 {
+                    for dx in 0..2 {
+                        sum += pixels[(oy * 2 + dy) * 4 + ox * 2 + dx];
+                    }
+                }
+                prop_assert_eq!(dec[0][oy * 2 + ox], sum as i128);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_slots_independent(imgs in proptest::collection::vec(proptest::collection::vec(0i64..16, 4), 1..5),
+                               w in -10i64..10, seed in any::<u64>()) {
+        // Scaling an encrypted map scales every batch slot independently.
+        let (sys, keys) = system();
+        let mut rng = ChaChaRng::from_seed(seed);
+        let enc = EncryptedMap::encrypt_images(sys, &imgs, 2, &keys.public, &mut rng).unwrap();
+        let scaled = sys.mul_scalar(enc.cell(0, 0, 0), w).unwrap();
+        let slots = sys.decrypt_slots(&scaled, &keys.secret).unwrap();
+        for (b, img) in imgs.iter().enumerate() {
+            prop_assert_eq!(slots[b], (img[0] * w) as i128, "batch {}", b);
+        }
+    }
+}

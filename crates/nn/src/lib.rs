@@ -1,0 +1,42 @@
+//! # hesgx-nn
+//!
+//! Plaintext CNN substrate for the hesgx reproduction: tensors, the four
+//! layer types of the paper's §II-A (convolution, pooling, activation, fully
+//! connected) with full backpropagation, SGD training, a synthetic
+//! handwritten-digit dataset standing in for MNIST, and the fixed-point
+//! quantization + range analysis the encrypted pipelines build on.
+//!
+//! The integer semantics defined by [`quantize::QuantizedCnn::forward_ints`]
+//! are the contract: `hesgx-henn` (HE-only) and `hesgx-core` (hybrid HE+SGX)
+//! must reproduce those integers exactly, which is how the reproduction
+//! verifies the paper's "accuracy rates are consistent with the plaintext
+//! predictions" claim (§VII-B).
+//!
+//! # Examples
+//!
+//! ```
+//! use hesgx_nn::dataset;
+//! use hesgx_nn::layers::{ActivationKind, PoolKind};
+//! use hesgx_nn::model_zoo::paper_cnn;
+//! use hesgx_crypto::rng::ChaChaRng;
+//!
+//! let mut rng = ChaChaRng::from_seed(1);
+//! let net = paper_cnn(ActivationKind::Sigmoid, PoolKind::Mean, &mut rng);
+//! let sample = &dataset::generate(1, 0)[0];
+//! let class = net.predict(&dataset::normalize(&sample.image));
+//! assert!(class < 10);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dataset;
+pub mod layers;
+pub mod model_zoo;
+pub mod network;
+pub mod quantize;
+pub mod tensor;
+pub mod train;
+
+pub use network::Network;
+pub use tensor::Tensor;

@@ -1,0 +1,187 @@
+//! A small dense tensor type (row-major, `f64`) sufficient for the paper's
+//! CNN: rank ≤ 4, shape-checked operations, no external BLAS.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major tensor of `f64` values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    /// Creates a zero tensor of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty shape or zero-sized dimension.
+    pub fn zeros(shape: &[usize]) -> Self {
+        assert!(!shape.is_empty(), "tensor needs at least one dimension");
+        assert!(shape.iter().all(|&d| d > 0), "zero-sized dimension");
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
+    }
+
+    /// Creates a tensor from existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len()` does not match the shape volume.
+    pub fn from_vec(shape: &[usize], data: Vec<f64>) -> Self {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape/data mismatch"
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Builds a tensor by evaluating `f` at each flat index.
+    pub fn from_fn(shape: &[usize], mut f: impl FnMut(usize) -> f64) -> Self {
+        let len = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: (0..len).map(&mut f).collect(),
+        }
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing data (row-major).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the backing data (row-major).
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Reinterprets the tensor with a new shape of equal volume.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the volumes differ.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            self.data.len(),
+            "reshape volume mismatch"
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        }
+    }
+
+    /// 3-D indexing `[c][y][x]` for `(channels, height, width)` tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank ≠ 3 or out-of-bounds indices (debug builds).
+    #[inline]
+    pub fn at3(&self, c: usize, y: usize, x: usize) -> f64 {
+        debug_assert_eq!(self.shape.len(), 3);
+        let (h, w) = (self.shape[1], self.shape[2]);
+        self.data[c * h * w + y * w + x]
+    }
+
+    /// Mutable 3-D accessor.
+    #[inline]
+    pub fn at3_mut(&mut self, c: usize, y: usize, x: usize) -> &mut f64 {
+        debug_assert_eq!(self.shape.len(), 3);
+        let (h, w) = (self.shape[1], self.shape[2]);
+        &mut self.data[c * h * w + y * w + x]
+    }
+
+    /// Index of the maximum element (first on ties).
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Elementwise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Maximum absolute value (0 for empty).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, &v| m.max(v.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.shape(), &[2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/data mismatch")]
+    fn from_vec_checks_volume() {
+        Tensor::from_vec(&[2, 2], vec![1.0; 5]);
+    }
+
+    #[test]
+    fn at3_row_major() {
+        let t = Tensor::from_fn(&[2, 3, 4], |i| i as f64);
+        assert_eq!(t.at3(0, 0, 0), 0.0);
+        assert_eq!(t.at3(0, 1, 2), 6.0);
+        assert_eq!(t.at3(1, 2, 3), 23.0);
+    }
+
+    #[test]
+    fn argmax_first_max() {
+        let t = Tensor::from_vec(&[5], vec![1.0, 9.0, 3.0, 9.0, 2.0]);
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_fn(&[2, 6], |i| i as f64);
+        let r = t.reshape(&[3, 4]);
+        assert_eq!(r.shape(), &[3, 4]);
+        assert_eq!(r.data(), t.data());
+    }
+
+    #[test]
+    fn map_and_max_abs() {
+        let t = Tensor::from_vec(&[3], vec![-2.0, 1.0, 0.5]);
+        assert_eq!(t.max_abs(), 2.0);
+        assert_eq!(t.map(|v| v * 2.0).data(), &[-4.0, 2.0, 1.0]);
+    }
+}

@@ -1,0 +1,422 @@
+//! Enclave lifecycle, ECALL dispatch, and the simulated platform.
+//!
+//! [`Platform`] models one SGX-capable CPU: it owns the hardware root secret
+//! (sealing), the report key (local attestation), and a quoting enclave.
+//! [`EnclaveBuilder`] plays `ECREATE`/`EADD`/`EINIT`, hashing the loaded code
+//! and configuration into a measurement. [`Enclave::ecall`] executes a closure
+//! "inside" the enclave: the body runs for real while the boundary crossing,
+//! marshalling, slowdown, and paging are charged on the virtual clock and
+//! logged on the side-channel monitor.
+
+use crate::attestation::{QuotingEnclave, Report};
+use crate::cost::{CostBreakdown, CostModel, VirtualClock};
+use crate::epc::{Epc, EpcStats, RegionId, DEFAULT_EPC_BYTES};
+use crate::error::Result;
+use crate::sealing::{self, SealedBlob};
+use crate::sidechannel::{SideChannelEvent, SideChannelMonitor};
+use hesgx_crypto::sha256::Sha256;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One SGX-capable machine: hardware secrets plus the quoting enclave.
+#[derive(Debug)]
+pub struct Platform {
+    platform_id: [u8; 32],
+    secret: [u8; 32],
+    report_key: [u8; 32],
+    qe: QuotingEnclave,
+}
+
+impl Platform {
+    /// Creates a platform with secrets derived deterministically from `seed`.
+    pub fn new(seed: u64) -> Arc<Self> {
+        let root = hesgx_crypto::rng::ChaChaRng::from_seed(seed);
+        let mut id_rng = root.fork("platform-id");
+        let mut secret_rng = root.fork("platform-secret");
+        let mut report_rng = root.fork("platform-report-key");
+        let mut platform_id = [0u8; 32];
+        id_rng.fill_bytes(&mut platform_id);
+        let mut secret = [0u8; 32];
+        secret_rng.fill_bytes(&mut secret);
+        let mut report_key = [0u8; 32];
+        report_rng.fill_bytes(&mut report_key);
+        Arc::new(Platform {
+            platform_id,
+            secret,
+            report_key,
+            qe: QuotingEnclave::new(platform_id, report_key, seed ^ 0x5147_5545),
+        })
+    }
+
+    /// The platform identifier.
+    pub fn id(&self) -> [u8; 32] {
+        self.platform_id
+    }
+
+    /// The platform's quoting enclave.
+    pub fn quoting_enclave(&self) -> &QuotingEnclave {
+        &self.qe
+    }
+}
+
+/// Builder for [`Enclave`] (the `ECREATE`/`EADD`/`EINIT` sequence).
+#[derive(Debug)]
+pub struct EnclaveBuilder {
+    name: String,
+    code: Vec<u8>,
+    heap_bytes: usize,
+    epc_bytes: usize,
+    cost_model: CostModel,
+    event_log_capacity: usize,
+    seed: u64,
+}
+
+impl EnclaveBuilder {
+    /// Starts building an enclave named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        EnclaveBuilder {
+            name: name.into(),
+            code: Vec::new(),
+            heap_bytes: 64 * 1024 * 1024,
+            epc_bytes: DEFAULT_EPC_BYTES,
+            cost_model: CostModel::default(),
+            event_log_capacity: 1024,
+            seed: 0,
+        }
+    }
+
+    /// Adds "code" pages (any identifying bytes) to the measurement.
+    pub fn add_code(mut self, code: &[u8]) -> Self {
+        self.code.extend_from_slice(code);
+        self
+    }
+
+    /// Sets the enclave heap size.
+    pub fn heap_bytes(mut self, bytes: usize) -> Self {
+        self.heap_bytes = bytes;
+        self
+    }
+
+    /// Sets the platform EPC capacity available to this enclave.
+    pub fn epc_bytes(mut self, bytes: usize) -> Self {
+        self.epc_bytes = bytes;
+        self
+    }
+
+    /// Overrides the cost model (e.g. [`CostModel::fake_sgx`]).
+    pub fn cost_model(mut self, model: CostModel) -> Self {
+        self.cost_model = model;
+        self
+    }
+
+    /// Seeds the deterministic jitter generator.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Initializes the enclave on `platform`, fixing its measurement.
+    pub fn build(self, platform: Arc<Platform>) -> Enclave {
+        let mut h = Sha256::new();
+        h.update(b"hesgx-enclave-v1");
+        h.update(self.name.as_bytes());
+        h.update(&self.code);
+        h.update(&(self.heap_bytes as u64).to_le_bytes());
+        let measurement = h.finalize();
+        Enclave {
+            name: self.name,
+            measurement,
+            platform,
+            vclock: VirtualClock::new(self.cost_model, self.seed),
+            epc: Mutex::new(Epc::new(self.epc_bytes, self.heap_bytes)),
+            monitor: Mutex::new(SideChannelMonitor::new(self.event_log_capacity)),
+            seal_counter: AtomicU64::new(1),
+        }
+    }
+}
+
+/// A running enclave instance.
+#[derive(Debug)]
+pub struct Enclave {
+    name: String,
+    measurement: [u8; 32],
+    platform: Arc<Platform>,
+    vclock: VirtualClock,
+    epc: Mutex<Epc>,
+    monitor: Mutex<SideChannelMonitor>,
+    seal_counter: AtomicU64,
+}
+
+/// Execution context handed to an ECALL body; tracks memory touches and
+/// OCALLs so they can be charged and logged.
+#[derive(Debug)]
+pub struct EnclaveCtx<'a> {
+    epc: &'a Mutex<Epc>,
+    faults: u64,
+    ocalls: u64,
+}
+
+impl EnclaveCtx<'_> {
+    /// Allocates an enclave-heap region.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the heap is exhausted.
+    pub fn alloc(&mut self, bytes: usize) -> Result<RegionId> {
+        self.epc.lock().alloc(bytes)
+    }
+
+    /// Frees a region.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the region is unknown.
+    pub fn free(&mut self, region: RegionId) -> Result<()> {
+        self.epc.lock().free(region)
+    }
+
+    /// Touches a whole region (full scan), recording any page faults.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the region is unknown.
+    pub fn touch(&mut self, region: RegionId) -> Result<()> {
+        self.faults += self.epc.lock().touch_region(region)?;
+        Ok(())
+    }
+
+    /// Touches the first `bytes` of a region.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the region is unknown.
+    pub fn touch_bytes(&mut self, region: RegionId, bytes: usize) -> Result<()> {
+        self.faults += self.epc.lock().touch_bytes(region, bytes)?;
+        Ok(())
+    }
+
+    /// Records an OCALL out to the untrusted host (charged as an extra
+    /// boundary round-trip).
+    pub fn ocall(&mut self, _name: &str) {
+        self.ocalls += 1;
+    }
+
+    /// Page faults recorded so far in this call.
+    pub fn fault_count(&self) -> u64 {
+        self.faults
+    }
+}
+
+impl Enclave {
+    /// The enclave's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The enclave measurement (MRENCLAVE analogue).
+    pub fn measurement(&self) -> &[u8; 32] {
+        &self.measurement
+    }
+
+    /// The platform hosting this enclave.
+    pub fn platform(&self) -> &Arc<Platform> {
+        &self.platform
+    }
+
+    /// Executes `body` inside the enclave.
+    ///
+    /// `input_bytes` / `output_bytes` model the marshalled argument and result
+    /// sizes. Returns the body's value and the charged cost breakdown.
+    pub fn ecall<R>(
+        &self,
+        name: &str,
+        input_bytes: usize,
+        output_bytes: usize,
+        body: impl FnOnce(&mut EnclaveCtx<'_>) -> R,
+    ) -> (R, CostBreakdown) {
+        {
+            let mut mon = self.monitor.lock();
+            mon.record(SideChannelEvent::EcallEnter {
+                name: name.to_string(),
+                input_bytes,
+            });
+        }
+        let mut ctx = EnclaveCtx {
+            epc: &self.epc,
+            faults: 0,
+            ocalls: 0,
+        };
+        let start = Instant::now();
+        let result = body(&mut ctx);
+        let real_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        // Enter + exit, plus a round-trip per OCALL.
+        let transitions = 2 + 2 * ctx.ocalls;
+        let copied = (input_bytes + output_bytes) as u64;
+        let breakdown = self.vclock.charge(real_ns, transitions, copied, ctx.faults);
+        {
+            let mut mon = self.monitor.lock();
+            if ctx.faults > 0 {
+                mon.record(SideChannelEvent::PageFaults { count: ctx.faults });
+            }
+            for _ in 0..ctx.ocalls {
+                mon.record(SideChannelEvent::Ocall {
+                    name: "host".to_string(),
+                });
+            }
+            mon.record(SideChannelEvent::EcallExit {
+                name: name.to_string(),
+                output_bytes,
+            });
+        }
+        (result, breakdown)
+    }
+
+    /// Seals `data` to this enclave's identity (charged as an ECALL).
+    pub fn seal(&self, data: &[u8]) -> (SealedBlob, CostBreakdown) {
+        let nonce = self.seal_counter.fetch_add(1, Ordering::Relaxed);
+        self.ecall("seal", data.len(), data.len() + 44, |_| {
+            sealing::seal(&self.platform.secret, &self.measurement, nonce, data)
+        })
+    }
+
+    /// Unseals a blob sealed by this enclave identity.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`crate::error::TeeError::SealedBlobCorrupted`] on tampering
+    /// or identity mismatch.
+    pub fn unseal(&self, blob: &SealedBlob) -> (Result<Vec<u8>>, CostBreakdown) {
+        self.ecall("unseal", blob.byte_len(), blob.byte_len(), |_| {
+            sealing::unseal(&self.platform.secret, &self.measurement, blob)
+        })
+    }
+
+    /// Produces an attestation report carrying `user_data` (EREPORT).
+    pub fn create_report(&self, user_data: Vec<u8>) -> Report {
+        Report::new(&self.platform.report_key, self.measurement, user_data)
+    }
+
+    /// The enclave's virtual clock.
+    pub fn vclock(&self) -> &VirtualClock {
+        &self.vclock
+    }
+
+    /// Snapshot of EPC statistics.
+    pub fn epc_stats(&self) -> EpcStats {
+        self.epc.lock().stats()
+    }
+
+    /// Runs `f` with the side-channel monitor.
+    pub fn with_monitor<R>(&self, f: impl FnOnce(&SideChannelMonitor) -> R) -> R {
+        f(&self.monitor.lock())
+    }
+
+    /// Allocates a persistent region on the enclave heap from outside an
+    /// ECALL (models `EADD`-time allocation of long-lived buffers).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the heap is exhausted.
+    pub fn alloc_region(&self, bytes: usize) -> Result<RegionId> {
+        self.epc.lock().alloc(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::TeeError;
+
+    fn platform() -> Arc<Platform> {
+        Platform::new(1)
+    }
+
+    #[test]
+    fn measurement_depends_on_code() {
+        let p = platform();
+        let a = EnclaveBuilder::new("e").add_code(b"v1").build(p.clone());
+        let b = EnclaveBuilder::new("e").add_code(b"v2").build(p.clone());
+        let c = EnclaveBuilder::new("e").add_code(b"v1").build(p);
+        assert_ne!(a.measurement(), b.measurement());
+        assert_eq!(a.measurement(), c.measurement());
+    }
+
+    #[test]
+    fn ecall_returns_value_and_charges_time() {
+        let e = EnclaveBuilder::new("e").build(platform());
+        let (value, cost) = e.ecall("add", 16, 8, |_| 2 + 2);
+        assert_eq!(value, 4);
+        assert!(cost.transition_ns > 0);
+        assert!(e.vclock().elapsed_ns() >= cost.total_ns() as u128);
+    }
+
+    #[test]
+    fn ecalls_logged_on_monitor() {
+        let e = EnclaveBuilder::new("e").build(platform());
+        e.ecall("f", 0, 0, |_| ());
+        e.ecall("g", 0, 0, |ctx| ctx.ocall("host_log"));
+        e.with_monitor(|m| {
+            assert_eq!(m.ecall_count(), 2);
+            assert_eq!(m.ocall_count(), 1);
+        });
+    }
+
+    #[test]
+    fn paging_pressure_visible() {
+        // Enclave with tiny EPC: scanning a large region twice faults a lot.
+        let e = EnclaveBuilder::new("e")
+            .epc_bytes(8 * crate::epc::PAGE_SIZE)
+            .heap_bytes(32 * crate::epc::PAGE_SIZE)
+            .build(platform());
+        let ((), cost) = e.ecall("scan", 0, 0, |ctx| {
+            let big = ctx.alloc(16 * crate::epc::PAGE_SIZE).unwrap();
+            ctx.touch(big).unwrap();
+            ctx.touch(big).unwrap();
+        });
+        assert!(cost.paging_ns > 0);
+        assert!(e.epc_stats().evictions > 0);
+        e.with_monitor(|m| assert!(m.page_fault_count() >= 16));
+    }
+
+    #[test]
+    fn seal_roundtrip_same_enclave() {
+        let p = platform();
+        let e = EnclaveBuilder::new("e").add_code(b"code").build(p);
+        let (blob, _) = e.seal(b"fv-secret-key");
+        let (data, _) = e.unseal(&blob);
+        assert_eq!(data.unwrap(), b"fv-secret-key");
+    }
+
+    #[test]
+    fn seal_rejected_across_enclaves() {
+        let p = platform();
+        let a = EnclaveBuilder::new("a").add_code(b"A").build(p.clone());
+        let b = EnclaveBuilder::new("b").add_code(b"B").build(p);
+        let (blob, _) = a.seal(b"secret");
+        let (res, _) = b.unseal(&blob);
+        assert_eq!(res, Err(TeeError::SealedBlobCorrupted));
+    }
+
+    #[test]
+    fn report_to_quote_flow() {
+        let p = platform();
+        let e = EnclaveBuilder::new("e").add_code(b"code").build(p.clone());
+        let report = e.create_report(b"payload".to_vec());
+        let quote = p.quoting_enclave().quote(&report).unwrap();
+        assert_eq!(&quote.measurement, e.measurement());
+        assert_eq!(quote.user_data, b"payload");
+    }
+
+    #[test]
+    fn fake_sgx_model_charges_no_overhead() {
+        let e = EnclaveBuilder::new("fake")
+            .cost_model(CostModel::fake_sgx())
+            .build(platform());
+        let ((), cost) = e.ecall("work", 1024, 1024, |_| ());
+        assert_eq!(cost.transition_ns, 0);
+        assert_eq!(cost.copy_ns, 0);
+        assert_eq!(cost.slowdown_ns, 0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Enclave Page Cache model.
+//!
+//! SGX1 exposes ~93 MiB of usable protected memory; when an enclave's working
+//! set exceeds it, pages are evicted (sealed to untrusted DRAM) and reloaded
+//! on fault. The paper's §III-B names this paging as the core scaling problem
+//! of enclave-only inference, and §IV-C motivates the hybrid split — keeping
+//! model weights *outside* — by the paging and side-channel pressure it
+//! avoids. This module makes those effects measurable.
+
+use crate::error::{Result, TeeError};
+use std::collections::HashMap;
+
+/// Page size in bytes (SGX uses 4 KiB EPC pages).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Default usable EPC capacity (SGX1-era: 128 MiB reserved, ~93 MiB usable).
+pub const DEFAULT_EPC_BYTES: usize = 93 * 1024 * 1024;
+
+/// Identifier of a logical enclave memory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub u64);
+
+/// Statistics accumulated by the page cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpcStats {
+    /// Page faults (first touch or reload after eviction).
+    pub faults: u64,
+    /// Evictions (pages sealed out to untrusted memory).
+    pub evictions: u64,
+    /// Touches that hit resident pages.
+    pub hits: u64,
+}
+
+#[derive(Debug)]
+struct Region {
+    pages: usize,
+}
+
+/// An LRU-managed enclave page cache.
+#[derive(Debug)]
+pub struct Epc {
+    capacity_pages: usize,
+    heap_pages: usize,
+    allocated_pages: usize,
+    regions: HashMap<RegionId, Region>,
+    next_region: u64,
+    /// Resident pages in LRU order (front = least recently used).
+    lru: Vec<(RegionId, usize)>,
+    resident: HashMap<(RegionId, usize), usize>, // -> index hint (rebuilt lazily)
+    stats: EpcStats,
+}
+
+impl Epc {
+    /// Creates a page cache with `capacity_bytes` of protected memory backing
+    /// an enclave heap of `heap_bytes`.
+    pub fn new(capacity_bytes: usize, heap_bytes: usize) -> Self {
+        Epc {
+            capacity_pages: capacity_bytes.div_ceil(PAGE_SIZE).max(1),
+            heap_pages: heap_bytes.div_ceil(PAGE_SIZE),
+            allocated_pages: 0,
+            regions: HashMap::new(),
+            next_region: 1,
+            lru: Vec::new(),
+            resident: HashMap::new(),
+            stats: EpcStats::default(),
+        }
+    }
+
+    /// Allocates a logical region of `bytes` within the enclave heap.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`TeeError::HeapExhausted`] when the enclave heap cannot fit
+    /// the region.
+    pub fn alloc(&mut self, bytes: usize) -> Result<RegionId> {
+        let pages = bytes.div_ceil(PAGE_SIZE).max(1);
+        if self.allocated_pages + pages > self.heap_pages {
+            return Err(TeeError::HeapExhausted {
+                requested: bytes,
+                available: (self.heap_pages - self.allocated_pages) * PAGE_SIZE,
+            });
+        }
+        let id = RegionId(self.next_region);
+        self.next_region += 1;
+        self.allocated_pages += pages;
+        self.regions.insert(id, Region { pages });
+        Ok(id)
+    }
+
+    /// Frees a region, dropping its resident pages.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the region does not exist.
+    pub fn free(&mut self, id: RegionId) -> Result<()> {
+        let region = self.regions.remove(&id).ok_or(TeeError::UnknownRegion(id.0))?;
+        self.allocated_pages -= region.pages;
+        self.lru.retain(|&(r, _)| r != id);
+        self.resident.retain(|&(r, _), _| r != id);
+        Ok(())
+    }
+
+    /// Touches all pages of `region`, simulating a full scan.
+    /// Returns the number of page faults incurred.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the region does not exist.
+    pub fn touch_region(&mut self, id: RegionId) -> Result<u64> {
+        let pages = self
+            .regions
+            .get(&id)
+            .ok_or(TeeError::UnknownRegion(id.0))?
+            .pages;
+        let mut faults = 0;
+        for p in 0..pages {
+            if self.touch_page(id, p) {
+                faults += 1;
+            }
+        }
+        Ok(faults)
+    }
+
+    /// Touches `bytes` worth of pages starting at the region base.
+    /// Returns the number of page faults incurred.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the region does not exist.
+    pub fn touch_bytes(&mut self, id: RegionId, bytes: usize) -> Result<u64> {
+        let pages = self
+            .regions
+            .get(&id)
+            .ok_or(TeeError::UnknownRegion(id.0))?
+            .pages;
+        let touched = bytes.div_ceil(PAGE_SIZE).min(pages).max(1);
+        let mut faults = 0;
+        for p in 0..touched {
+            if self.touch_page(id, p) {
+                faults += 1;
+            }
+        }
+        Ok(faults)
+    }
+
+    /// Touches one page; returns `true` on fault.
+    fn touch_page(&mut self, id: RegionId, page: usize) -> bool {
+        let key = (id, page);
+        if self.resident.contains_key(&key) {
+            // Move to MRU position.
+            if let Some(pos) = self.lru.iter().position(|&k| k == key) {
+                let item = self.lru.remove(pos);
+                self.lru.push(item);
+            }
+            self.stats.hits += 1;
+            return false;
+        }
+        // Fault: evict if full, then load.
+        self.stats.faults += 1;
+        while self.lru.len() >= self.capacity_pages {
+            let victim = self.lru.remove(0);
+            self.resident.remove(&victim);
+            self.stats.evictions += 1;
+        }
+        self.lru.push(key);
+        self.resident.insert(key, 0);
+        true
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> EpcStats {
+        self.stats
+    }
+
+    /// Number of currently resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Total pages allocated across regions.
+    pub fn allocated_pages(&self) -> usize {
+        self.allocated_pages
+    }
+
+    /// EPC capacity in pages.
+    pub fn capacity_pages(&self) -> usize {
+        self.capacity_pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_within_heap() {
+        let mut epc = Epc::new(16 * PAGE_SIZE, 8 * PAGE_SIZE);
+        let r = epc.alloc(3 * PAGE_SIZE).unwrap();
+        assert_eq!(epc.allocated_pages(), 3);
+        epc.free(r).unwrap();
+        assert_eq!(epc.allocated_pages(), 0);
+    }
+
+    #[test]
+    fn heap_exhaustion() {
+        let mut epc = Epc::new(16 * PAGE_SIZE, 4 * PAGE_SIZE);
+        epc.alloc(3 * PAGE_SIZE).unwrap();
+        assert!(matches!(
+            epc.alloc(2 * PAGE_SIZE),
+            Err(TeeError::HeapExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn cold_touch_faults_then_hits() {
+        let mut epc = Epc::new(16 * PAGE_SIZE, 8 * PAGE_SIZE);
+        let r = epc.alloc(4 * PAGE_SIZE).unwrap();
+        assert_eq!(epc.touch_region(r).unwrap(), 4);
+        assert_eq!(epc.touch_region(r).unwrap(), 0);
+        assert_eq!(epc.stats().faults, 4);
+        assert_eq!(epc.stats().hits, 4);
+    }
+
+    #[test]
+    fn working_set_larger_than_epc_thrashes() {
+        // 4-page EPC, two 3-page regions: alternating scans must fault forever.
+        let mut epc = Epc::new(4 * PAGE_SIZE, 8 * PAGE_SIZE);
+        let a = epc.alloc(3 * PAGE_SIZE).unwrap();
+        let b = epc.alloc(3 * PAGE_SIZE).unwrap();
+        epc.touch_region(a).unwrap();
+        epc.touch_region(b).unwrap();
+        let faults_a = epc.touch_region(a).unwrap();
+        assert!(faults_a > 0, "thrashing working set must keep faulting");
+        assert!(epc.stats().evictions > 0);
+    }
+
+    #[test]
+    fn small_working_set_no_thrash() {
+        let mut epc = Epc::new(8 * PAGE_SIZE, 8 * PAGE_SIZE);
+        let a = epc.alloc(2 * PAGE_SIZE).unwrap();
+        let b = epc.alloc(2 * PAGE_SIZE).unwrap();
+        epc.touch_region(a).unwrap();
+        epc.touch_region(b).unwrap();
+        assert_eq!(epc.touch_region(a).unwrap(), 0);
+        assert_eq!(epc.touch_region(b).unwrap(), 0);
+        assert_eq!(epc.stats().evictions, 0);
+    }
+
+    #[test]
+    fn unknown_region_rejected() {
+        let mut epc = Epc::new(8 * PAGE_SIZE, 8 * PAGE_SIZE);
+        assert_eq!(
+            epc.touch_region(RegionId(42)),
+            Err(TeeError::UnknownRegion(42))
+        );
+        assert_eq!(epc.free(RegionId(42)), Err(TeeError::UnknownRegion(42)));
+    }
+
+    #[test]
+    fn touch_bytes_partial() {
+        let mut epc = Epc::new(16 * PAGE_SIZE, 8 * PAGE_SIZE);
+        let r = epc.alloc(8 * PAGE_SIZE).unwrap();
+        assert_eq!(epc.touch_bytes(r, PAGE_SIZE + 1).unwrap(), 2);
+        assert_eq!(epc.touch_bytes(r, PAGE_SIZE).unwrap(), 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Error types for the TEE simulator.
+
+/// Errors produced by enclave, sealing, and attestation operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TeeError {
+    /// A sealed blob failed integrity verification (tampered or wrong enclave).
+    SealedBlobCorrupted,
+    /// A report MAC did not verify (report not produced on this platform).
+    ReportMacInvalid,
+    /// A quote signature did not verify.
+    QuoteSignatureInvalid,
+    /// The quote's platform is not registered with the attestation service.
+    UnknownPlatform,
+    /// The enclave measurement does not match the expected value.
+    MeasurementMismatch {
+        /// Expected MRENCLAVE value.
+        expected: [u8; 32],
+        /// Actual MRENCLAVE value from the quote.
+        actual: [u8; 32],
+    },
+    /// An EPC region id was not found.
+    UnknownRegion(u64),
+    /// The requested allocation exceeds the enclave's configured heap.
+    HeapExhausted {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes remaining.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for TeeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TeeError::SealedBlobCorrupted => write!(f, "sealed blob failed integrity check"),
+            TeeError::ReportMacInvalid => write!(f, "report MAC invalid for this platform"),
+            TeeError::QuoteSignatureInvalid => write!(f, "quote signature invalid"),
+            TeeError::UnknownPlatform => write!(f, "platform not registered with attestation service"),
+            TeeError::MeasurementMismatch { .. } => write!(f, "enclave measurement mismatch"),
+            TeeError::UnknownRegion(id) => write!(f, "unknown enclave memory region {id}"),
+            TeeError::HeapExhausted {
+                requested,
+                available,
+            } => write!(f, "heap exhausted: requested {requested} bytes, {available} available"),
+        }
+    }
+}
+
+impl std::error::Error for TeeError {}
+
+/// Convenience alias for TEE results.
+pub type Result<T> = std::result::Result<T, TeeError>;

@@ -1,0 +1,109 @@
+//! Key distribution without a trusted third party (paper §IV-A, Fig. 1 vs
+//! Fig. 2): the enclave generates the FV keys, the quote carries them to the
+//! user, and tampering anywhere in the chain is detected.
+//!
+//! ```text
+//! cargo run --release -p hesgx-core --example key_distribution
+//! ```
+
+use hesgx_core::keydist::{
+    digest_public_keys, enclave_generate_keys, seal_secret_keys, verify_key_ceremony,
+};
+use hesgx_crypto::rng::ChaChaRng;
+use hesgx_henn::crt::CrtPlainSystem;
+use hesgx_tee::attestation::AttestationService;
+use hesgx_tee::enclave::{EnclaveBuilder, Platform};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== the classic deployment's problem (paper Fig. 1) ==");
+    println!("HE inference needs a PKI-style trusted third party to distribute keys;");
+    println!("the hybrid framework replaces it with the enclave + remote attestation.\n");
+
+    // The edge provider's platform and inference enclave.
+    let platform = Platform::new(2024);
+    let enclave = EnclaveBuilder::new("hesgx-inference")
+        .add_code(b"hybrid-inference-v1")
+        .build(platform.clone());
+    println!(
+        "enclave measurement (MRENCLAVE): {}",
+        hex(&enclave.measurement()[..8])
+    );
+
+    // The attestation service knows the platform (DCAP provisioning).
+    let mut service = AttestationService::new();
+    service.register_platform(platform.quoting_enclave());
+
+    // Step 1: key generation inside the enclave.
+    let sys = CrtPlainSystem::new(1024, &[65537])?;
+    let mut rng = ChaChaRng::from_seed(5);
+    let (keys, ceremony) = enclave_generate_keys(&enclave, &sys, &mut rng);
+    println!(
+        "\n[enclave] generated FV keys inside SGX in {:.3} ms (virtual)",
+        ceremony.keygen_cost.total_ns() as f64 / 1e6
+    );
+    println!(
+        "[enclave] public-key digest in quote user-data: {}",
+        hex(&digest_public_keys(&ceremony.public)[..8])
+    );
+
+    // Step 2: the user verifies the quote chain.
+    let accepted = verify_key_ceremony(&service, &ceremony, enclave.measurement())?;
+    println!("[user]    quote verified against attestation service — keys accepted ({} moduli)", accepted.len());
+
+    // Step 3: what an attacker cannot do.
+    println!("\n== attack scenarios ==");
+
+    // (a) substitute their own keys in transit.
+    let mut tampered = hesgx_core::keydist::KeyCeremonyPublic {
+        public: sys.generate_keys(&mut rng).public,
+        user_secret: ceremony.user_secret.clone(),
+        quote: ceremony.quote.clone(),
+        keygen_cost: ceremony.keygen_cost,
+    };
+    match verify_key_ceremony(&service, &tampered, enclave.measurement()) {
+        Err(e) => println!("(a) key substitution in transit      -> REJECTED ({e})"),
+        Ok(_) => unreachable!("tampered keys must be rejected"),
+    }
+
+    // (b) run a modified enclave binary.
+    let evil_enclave = EnclaveBuilder::new("hesgx-inference")
+        .add_code(b"hybrid-inference-v1-BACKDOORED")
+        .build(platform.clone());
+    let (_, evil_ceremony) = enclave_generate_keys(&evil_enclave, &sys, &mut rng);
+    match verify_key_ceremony(&service, &evil_ceremony, enclave.measurement()) {
+        Err(e) => println!("(b) backdoored enclave binary        -> REJECTED ({e})"),
+        Ok(_) => unreachable!("wrong measurement must be rejected"),
+    }
+
+    // (c) quote from an unregistered (fake) platform.
+    let rogue_platform = Platform::new(666);
+    let rogue_enclave = EnclaveBuilder::new("hesgx-inference")
+        .add_code(b"hybrid-inference-v1")
+        .build(rogue_platform);
+    let (_, rogue_ceremony) = enclave_generate_keys(&rogue_enclave, &sys, &mut rng);
+    match verify_key_ceremony(&service, &rogue_ceremony, rogue_enclave.measurement()) {
+        Err(e) => println!("(c) quote from unregistered platform -> REJECTED ({e})"),
+        Ok(_) => unreachable!("unknown platform must be rejected"),
+    }
+
+    // (d) tamper with a sealed secret-key blob at rest.
+    let blob = seal_secret_keys(&enclave, &keys.secret);
+    tampered.quote = ceremony.quote.clone();
+    let _ = tampered;
+    let (ok, _) = enclave.unseal(&blob);
+    assert!(ok.is_ok());
+    // A blob sealed by a different enclave identity must not open here.
+    let other = EnclaveBuilder::new("other").add_code(b"other").build(platform);
+    let (forged, _) = other.seal(b"forged keys");
+    match enclave.unseal(&forged).0 {
+        Err(e) => println!("(d) forged sealed key blob           -> REJECTED ({e})"),
+        Ok(_) => unreachable!("forged blob must be rejected"),
+    }
+
+    println!("\nkey distribution established with no trusted third party.");
+    Ok(())
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}

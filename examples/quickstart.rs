@@ -1,0 +1,82 @@
+//! Quickstart: provision the hybrid HE+SGX inference service, attest it,
+//! encrypt one image, run inference, decrypt the prediction.
+//!
+//! ```text
+//! cargo run --release -p hesgx-core --example quickstart
+//! ```
+
+use hesgx_core::keydist::verify_key_ceremony;
+use hesgx_core::pipeline::{EcallBatching, HybridInference};
+use hesgx_crypto::rng::ChaChaRng;
+use hesgx_henn::image::EncryptedMap;
+use hesgx_nn::dataset;
+use hesgx_nn::layers::{ActivationKind, PoolKind};
+use hesgx_nn::quantize::{QuantPipeline, QuantizedCnn};
+use hesgx_nn::train::{train_paper_cnn, TrainConfig};
+use hesgx_tee::attestation::AttestationService;
+use hesgx_tee::enclave::Platform;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Train the paper's 4-layer CNN (conv → sigmoid → mean-pool → FC) on
+    //    the synthetic digit set, then quantize it for the hybrid pipeline.
+    println!("[1/5] training the case-study CNN...");
+    let config = TrainConfig {
+        train_samples: 800,
+        test_samples: 100,
+        epochs: 2,
+        ..Default::default()
+    };
+    let trained = train_paper_cnn(ActivationKind::Sigmoid, PoolKind::Mean, &config);
+    println!("      float test accuracy: {:.1}%", trained.test_accuracy * 100.0);
+    let model = QuantizedCnn::from_network(&trained.network, QuantPipeline::Hybrid, 16, 32, 16);
+
+    // 2. Provision the edge service: the enclave generates the FV keys and
+    //    binds them into an attestation quote — no trusted third party.
+    println!("[2/5] provisioning the hybrid service (enclave key ceremony)...");
+    let platform = Platform::new(7);
+    let mut attestation = AttestationService::new();
+    attestation.register_platform(platform.quoting_enclave());
+    let (service, ceremony) = HybridInference::provision(platform, model.clone(), 1024, 42)?;
+
+    // 3. The user verifies the quote chain before trusting the keys.
+    println!("[3/5] verifying the attestation quote...");
+    let expected = *service.enclave().enclave().measurement();
+    let public_keys = verify_key_ceremony(&attestation, &ceremony, &expected)?;
+    println!("      quote verified; keys accepted");
+
+    // 4. Encrypt an image and submit it.
+    println!("[4/5] encrypting a digit image and running hybrid inference...");
+    let sample = &trained.test_set[0];
+    let pixels = dataset::quantize_pixels(&sample.image);
+    let mut rng = ChaChaRng::from_seed(99);
+    let encrypted = EncryptedMap::encrypt_images(
+        service.system(),
+        &[pixels.clone()],
+        model.in_side,
+        &public_keys,
+        &mut rng,
+    )?;
+    let (logits, metrics) = service.infer(&encrypted, EcallBatching::Batched)?;
+
+    // 5. Decrypt the logits with the user's secret keys and take the argmax.
+    println!("[5/5] decrypting the result...");
+    let mut best = (0usize, i128::MIN);
+    for (class, ct) in logits.iter().enumerate() {
+        let value = service.system().decrypt_slots(ct, &ceremony.user_secret)?[0];
+        if value > best.1 {
+            best = (class, value);
+        }
+    }
+    println!();
+    println!("true label:           {}", sample.label);
+    println!("encrypted prediction: {}", best.0);
+    println!(
+        "plaintext reference:  {} (must match the encrypted result exactly)",
+        model.predict_ints(&pixels)
+    );
+    println!("pipeline time:        {:?}", metrics.total());
+    for stage in &metrics.stages {
+        println!("  - {:<36} {:?}", stage.name, stage.effective());
+    }
+    Ok(())
+}
