@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Local CI: the exact checks the GitHub Actions workflow runs.
+# Usage: ./ci.sh [--quick]   (--quick skips the slow release test pass)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+quick=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) quick=1 ;;
+        *) echo "unknown flag: $arg" >&2; exit 2 ;;
+    esac
+done
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+if [ "$quick" -eq 0 ]; then
+    echo "==> cargo test (release)"
+    cargo test --workspace --release --offline -q
+else
+    echo "==> skipping tests (--quick)"
+fi
+
+echo "ci: all checks passed"

@@ -52,7 +52,9 @@ fn bench_sigmoid_variants(c: &mut Criterion) {
     let env = PaperEnv::new(13);
     let mut rng = env.rng.fork("bench-sigmoid");
     let side = 12;
-    let images = vec![(0..side * side).map(|p| (p as i64 % 31) - 15).collect::<Vec<i64>>()];
+    let images = vec![(0..side * side)
+        .map(|p| (p as i64 % 31) - 15)
+        .collect::<Vec<i64>>()];
     let input =
         EncryptedMap::encrypt_images(&env.sys, &images, side, &env.keys.public, &mut rng).unwrap();
     let model = scale_stub(2);
@@ -111,13 +113,9 @@ fn bench_pooling_variants(c: &mut Criterion) {
                 })
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("sgx_pool", window),
-            &window,
-            |b, _| {
-                b.iter(|| black_box(real.pool_full_map(&env.sys, &input, &model, false).unwrap()))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("sgx_pool", window), &window, |b, _| {
+            b.iter(|| black_box(real.pool_full_map(&env.sys, &input, &model, false).unwrap()))
+        });
     }
     group.finish();
 }

@@ -2,14 +2,18 @@
 //! tracking the per-operation costs that feed the paper experiments
 //! (`cargo run --release -p hesgx-bench --bin prof`).
 
-use hesgx_bfv::prelude::*;
 use hesgx_bfv::context::BfvContext;
 use hesgx_bfv::ntt::NttTable;
+use hesgx_bfv::prelude::*;
 use hesgx_crypto::rng::ChaChaRng;
-use std::time::Instant;
 use std::hint::black_box;
+use std::time::Instant;
 fn main() {
-    let params = EncryptionParameters::builder().poly_degree(1024).plain_modulus(8404993).build().unwrap();
+    let params = EncryptionParameters::builder()
+        .poly_degree(1024)
+        .plain_modulus(8404993)
+        .build()
+        .unwrap();
     let ctx = BfvContext::new(params).unwrap();
     let mut rng = ChaChaRng::from_seed(1);
     let kg = KeyGenerator::new(ctx.clone(), &mut rng);
@@ -19,41 +23,77 @@ fn main() {
     let n = 500;
 
     let t0 = Instant::now();
-    for _ in 0..n { black_box(Decryptor::new(ctx.clone(), kg.secret_key())); }
-    println!("Decryptor::new: {:.1} us", t0.elapsed().as_secs_f64()*1e6/n as f64);
+    for _ in 0..n {
+        black_box(Decryptor::new(ctx.clone(), kg.secret_key()));
+    }
+    println!(
+        "Decryptor::new: {:.1} us",
+        t0.elapsed().as_secs_f64() * 1e6 / n as f64
+    );
 
     let dec = Decryptor::new(ctx.clone(), kg.secret_key());
     let t0 = Instant::now();
-    for _ in 0..n { black_box(dec.decrypt(&ct).unwrap()); }
-    println!("decrypt: {:.1} us", t0.elapsed().as_secs_f64()*1e6/n as f64);
+    for _ in 0..n {
+        black_box(dec.decrypt(&ct).unwrap());
+    }
+    println!(
+        "decrypt: {:.1} us",
+        t0.elapsed().as_secs_f64() * 1e6 / n as f64
+    );
 
     let t0 = Instant::now();
-    for _ in 0..n { black_box(enc.encrypt(&pt, &mut rng).unwrap()); }
-    println!("encrypt: {:.1} us", t0.elapsed().as_secs_f64()*1e6/n as f64);
+    for _ in 0..n {
+        black_box(enc.encrypt(&pt, &mut rng).unwrap());
+    }
+    println!(
+        "encrypt: {:.1} us",
+        t0.elapsed().as_secs_f64() * 1e6 / n as f64
+    );
 
     // raw NTT
     let table = NttTable::new(1024, 8404993);
     let mut data: Vec<u64> = (0..1024u64).collect();
     let t0 = Instant::now();
-    for _ in 0..n { table.forward(&mut data); table.inverse(&mut data); }
-    println!("fwd+inv NTT: {:.1} us", t0.elapsed().as_secs_f64()*1e6/n as f64);
+    for _ in 0..n {
+        table.forward(&mut data);
+        table.inverse(&mut data);
+    }
+    println!(
+        "fwd+inv NTT: {:.1} us",
+        t0.elapsed().as_secs_f64() * 1e6 / n as f64
+    );
 
     // rng throughput
     let mut buf = vec![0u8; 8192];
     let t0 = Instant::now();
-    for _ in 0..n { rng.fill_bytes(&mut buf); }
-    println!("chacha 8KB: {:.1} us", t0.elapsed().as_secs_f64()*1e6/n as f64);
+    for _ in 0..n {
+        rng.fill_bytes(&mut buf);
+    }
+    println!(
+        "chacha 8KB: {:.1} us",
+        t0.elapsed().as_secs_f64() * 1e6 / n as f64
+    );
 
     // batch encoder
     let be = BatchEncoder::new(ctx.params()).unwrap();
     let vals: Vec<u64> = (0..1024).collect();
     let t0 = Instant::now();
-    for _ in 0..n { black_box(be.encode(&vals).unwrap()); }
-    println!("batch encode: {:.1} us", t0.elapsed().as_secs_f64()*1e6/n as f64);
+    for _ in 0..n {
+        black_box(be.encode(&vals).unwrap());
+    }
+    println!(
+        "batch encode: {:.1} us",
+        t0.elapsed().as_secs_f64() * 1e6 / n as f64
+    );
     let p2 = be.encode(&vals).unwrap();
     let t0 = Instant::now();
-    for _ in 0..n { black_box(be.decode(&p2)); }
-    println!("batch decode: {:.1} us", t0.elapsed().as_secs_f64()*1e6/n as f64);
+    for _ in 0..n {
+        black_box(be.decode(&p2));
+    }
+    println!(
+        "batch decode: {:.1} us",
+        t0.elapsed().as_secs_f64() * 1e6 / n as f64
+    );
 
     // u128 rescale loop
     let q = ctx.params().coeff_moduli()[0];
@@ -68,7 +108,10 @@ fn main() {
         }
         black_box(acc);
     }
-    println!("u128 rescale 1024: {:.1} us", t0.elapsed().as_secs_f64()*1e6/n as f64);
+    println!(
+        "u128 rescale 1024: {:.1} us",
+        t0.elapsed().as_secs_f64() * 1e6 / n as f64
+    );
 
     // raw_phase-free decrypt pieces: clone+to_ntt of ciphertext-sized poly
     use hesgx_bfv::sampler;
@@ -80,33 +123,78 @@ fn main() {
         p.to_ntt(&ctx);
         black_box(&p);
     }
-    println!("clone+to_ntt: {:.1} us", t0.elapsed().as_secs_f64()*1e6/n as f64);
+    println!(
+        "clone+to_ntt: {:.1} us",
+        t0.elapsed().as_secs_f64() * 1e6 / n as f64
+    );
 
     // gaussian + ternary sampling
     let t0 = Instant::now();
-    for _ in 0..n { black_box(sampler::gaussian_poly(&ctx, &mut rng2, hesgx_bfv::poly::PolyForm::Coeff)); }
-    println!("gaussian_poly: {:.1} us", t0.elapsed().as_secs_f64()*1e6/n as f64);
+    for _ in 0..n {
+        black_box(sampler::gaussian_poly(
+            &ctx,
+            &mut rng2,
+            hesgx_bfv::poly::PolyForm::Coeff,
+        ));
+    }
+    println!(
+        "gaussian_poly: {:.1} us",
+        t0.elapsed().as_secs_f64() * 1e6 / n as f64
+    );
     let t0 = Instant::now();
-    for _ in 0..n { black_box(sampler::ternary_poly(&ctx, &mut rng2, hesgx_bfv::poly::PolyForm::Ntt)); }
-    println!("ternary_poly(ntt): {:.1} us", t0.elapsed().as_secs_f64()*1e6/n as f64);
+    for _ in 0..n {
+        black_box(sampler::ternary_poly(
+            &ctx,
+            &mut rng2,
+            hesgx_bfv::poly::PolyForm::Ntt,
+        ));
+    }
+    println!(
+        "ternary_poly(ntt): {:.1} us",
+        t0.elapsed().as_secs_f64() * 1e6 / n as f64
+    );
 
     let t0 = Instant::now();
-    for _ in 0..n { black_box(poly.clone()); }
-    println!("poly clone alone: {:.1} us", t0.elapsed().as_secs_f64()*1e6/n as f64);
+    for _ in 0..n {
+        black_box(poly.clone());
+    }
+    println!(
+        "poly clone alone: {:.1} us",
+        t0.elapsed().as_secs_f64() * 1e6 / n as f64
+    );
 
     let signed: Vec<i64> = (0..1024).map(|i| (i % 3) as i64 - 1).collect();
     let t0 = Instant::now();
-    for _ in 0..n { black_box(hesgx_bfv::poly::RnsPoly::from_signed(&ctx, &signed, hesgx_bfv::poly::PolyForm::Coeff)); }
-    println!("from_signed coeff: {:.1} us", t0.elapsed().as_secs_f64()*1e6/n as f64);
+    for _ in 0..n {
+        black_box(hesgx_bfv::poly::RnsPoly::from_signed(
+            &ctx,
+            &signed,
+            hesgx_bfv::poly::PolyForm::Coeff,
+        ));
+    }
+    println!(
+        "from_signed coeff: {:.1} us",
+        t0.elapsed().as_secs_f64() * 1e6 / n as f64
+    );
 
     let t0 = Instant::now();
-    for _ in 0..n { black_box(sampler::ternary_signed(1024, &mut rng2)); }
-    println!("ternary_signed: {:.1} us", t0.elapsed().as_secs_f64()*1e6/n as f64);
+    for _ in 0..n {
+        black_box(sampler::ternary_signed(1024, &mut rng2));
+    }
+    println!(
+        "ternary_signed: {:.1} us",
+        t0.elapsed().as_secs_f64() * 1e6 / n as f64
+    );
 
     // forward NTT on a fresh clone each time (mimics to_ntt usage)
     let mut limb: Vec<u64> = (0..1024u64).map(|i| i * 7 % q).collect();
     let t0 = Instant::now();
-    for _ in 0..n { table.forward(&mut limb); }
-    println!("fwd NTT alone: {:.1} us", t0.elapsed().as_secs_f64()*1e6/n as f64);
+    for _ in 0..n {
+        table.forward(&mut limb);
+    }
+    println!(
+        "fwd NTT alone: {:.1} us",
+        t0.elapsed().as_secs_f64() * 1e6 / n as f64
+    );
 }
 // appended second main? no — edit instead

@@ -6,12 +6,23 @@
 //! cargo run --release -p hesgx-bench --bin repro -- --quick  # reduced reps
 //! ```
 
-use hesgx_bench::experiments::{ablation, e2e, figures, tables, RunConfig};
+use hesgx_bench::experiments::{ablation, e2e, figures, par_sweep, tables, RunConfig};
 use hesgx_bench::PaperEnv;
 
 const EXPERIMENTS: &[&str] = &[
-    "table1", "table2", "table3", "table4", "table5", "fig3", "fig4", "fig5", "fig6", "model",
-    "fig8", "ablation",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "model",
+    "fig8",
+    "ablation",
+    "par_sweep",
 ];
 
 fn main() {
@@ -88,6 +99,9 @@ fn main() {
     }
     if wanted("fig8") {
         e2e::fig8_end_to_end(cfg);
+    }
+    if wanted("par_sweep") {
+        par_sweep::par_sweep(cfg);
     }
     println!();
     println!("done.");

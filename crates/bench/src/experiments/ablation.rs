@@ -93,7 +93,13 @@ pub fn ablate_quantization(cfg: RunConfig) {
     let mut rng = ChaChaRng::from_seed(99);
     let net = paper_cnn(ActivationKind::Sigmoid, PoolKind::Mean, &mut rng);
     println!("weight_scale  fc_scale  act_scale  agreement  required plain bits");
-    for (ws, fs, act) in [(4, 8, 4), (8, 16, 8), (16, 32, 16), (64, 64, 64), (256, 256, 256)] {
+    for (ws, fs, act) in [
+        (4, 8, 4),
+        (8, 16, 8),
+        (16, 32, 16),
+        (64, 64, 64),
+        (256, 256, 256),
+    ] {
         let q = QuantizedCnn::from_network(&net, QuantPipeline::Hybrid, ws, fs, act);
         let agree = samples
             .iter()

@@ -3,7 +3,7 @@
 
 use super::{header, RunConfig};
 use crate::{PAPER_BATCH_SIZE, PAPER_POLY_DEGREE};
-use hesgx_core::pipeline::{total_enclave_cost, EcallBatching, HybridInference};
+use hesgx_core::pipeline::{total_enclave_cost, EcallBatching, HybridInference, ProvisionConfig};
 use hesgx_crypto::rng::ChaChaRng;
 use hesgx_henn::cryptonets::CryptoNets;
 use hesgx_henn::image::EncryptedMap;
@@ -89,13 +89,8 @@ pub fn fig8_end_to_end(cfg: RunConfig) -> Fig8 {
         cryptonets_trained.test_accuracy * 100.0
     );
 
-    let hybrid_model = QuantizedCnn::from_network(
-        &hybrid_trained.network,
-        QuantPipeline::Hybrid,
-        16,
-        32,
-        16,
-    );
+    let hybrid_model =
+        QuantizedCnn::from_network(&hybrid_trained.network, QuantPipeline::Hybrid, 16, 32, 16);
     let cryptonets_model = QuantizedCnn::from_network(
         &cryptonets_trained.network,
         QuantPipeline::CryptoNets,
@@ -105,7 +100,11 @@ pub fn fig8_end_to_end(cfg: RunConfig) -> Fig8 {
     );
 
     // Test batch.
-    let batch: Vec<&dataset::Sample> = hybrid_trained.test_set.iter().take(PAPER_BATCH_SIZE).collect();
+    let batch: Vec<&dataset::Sample> = hybrid_trained
+        .test_set
+        .iter()
+        .take(PAPER_BATCH_SIZE)
+        .collect();
     let images: Vec<Vec<i64>> = batch
         .iter()
         .map(|s| dataset::quantize_pixels(&s.image))
@@ -130,11 +129,14 @@ pub fn fig8_end_to_end(cfg: RunConfig) -> Fig8 {
 
     // ---- EncryptSGX: the hybrid framework (batched ECALLs). ----
     println!("running EncryptSGX (hybrid framework)...");
-    let (service, ceremony) = HybridInference::provision(
+    let (service, ceremony) = HybridInference::provision_with(
         Platform::new(99),
         hybrid_model.clone(),
-        PAPER_POLY_DEGREE,
-        13,
+        ProvisionConfig {
+            poly_degree: PAPER_POLY_DEGREE,
+            seed: 13,
+            ..ProvisionConfig::default()
+        },
     )
     .unwrap();
     let enc = EncryptedMap::encrypt_images(
@@ -181,12 +183,15 @@ pub fn fig8_end_to_end(cfg: RunConfig) -> Fig8 {
 
     // ---- EncryptFakeSGX: the same pipeline, zero-overhead enclave. ----
     println!("running EncryptFakeSGX (control: same code outside the enclave)...");
-    let (fake_service, fake_ceremony) = HybridInference::provision_with_cost_model(
+    let (fake_service, fake_ceremony) = HybridInference::provision_with(
         Platform::new(100),
         hybrid_model.clone(),
-        PAPER_POLY_DEGREE,
-        14,
-        Some(CostModel::fake_sgx()),
+        ProvisionConfig {
+            poly_degree: PAPER_POLY_DEGREE,
+            seed: 14,
+            cost_model: Some(CostModel::fake_sgx()),
+            ..ProvisionConfig::default()
+        },
     )
     .unwrap();
     let enc_fake = EncryptedMap::encrypt_images(
@@ -198,14 +203,19 @@ pub fn fig8_end_to_end(cfg: RunConfig) -> Fig8 {
     )
     .unwrap();
     let start = Instant::now();
-    let _ = fake_service.infer(&enc_fake, EcallBatching::Batched).unwrap();
+    let _ = fake_service
+        .infer(&enc_fake, EcallBatching::Batched)
+        .unwrap();
     let encrypt_fake_sgx_s = start.elapsed().as_secs_f64();
 
     let per_image = |total: f64| total / PAPER_BATCH_SIZE as f64;
     let saving = (encrypted_s - encrypt_sgx_s) / encrypted_s;
     println!();
     println!("scheme                 total (s)   per image (s)");
-    println!("Encrypted              {encrypted_s:9.3}   {:13.4}", per_image(encrypted_s));
+    println!(
+        "Encrypted              {encrypted_s:9.3}   {:13.4}",
+        per_image(encrypted_s)
+    );
     println!(
         "EncryptSGX (single)    {encrypt_sgx_single_s:9.3}   {:13.4}",
         per_image(encrypt_sgx_single_s)

@@ -142,8 +142,8 @@ pub fn fig4_conv_kernel(env: &mut PaperEnv, cfg: RunConfig) -> Vec<Fig4Point> {
     };
     let mut rng = env.rng.fork("fig4");
     let images = vec![(0..784).map(|p| (p % 16) as i64).collect::<Vec<i64>>()];
-    let input = EncryptedMap::encrypt_images(&env.sys, &images, 28, &env.keys.public, &mut rng)
-        .unwrap();
+    let input =
+        EncryptedMap::encrypt_images(&env.sys, &images, 28, &env.keys.public, &mut rng).unwrap();
     let mut points = Vec::new();
     println!("kernel   C×P / C+C ops    time (ms)");
     for &k in &kernels {
@@ -201,7 +201,9 @@ pub fn fig5_sigmoid(env: &mut PaperEnv, cfg: RunConfig) -> Vec<Fig5Point> {
     let mut points = Vec::new();
     println!("map side   cells   EncryptSigmoid(ms)   SGXSigmoid(ms)   FakeSGXSigmoid(ms)");
     for &side in &sides {
-        let images = vec![(0..side * side).map(|p| (p as i64 % 41) - 20).collect::<Vec<i64>>()];
+        let images = vec![(0..side * side)
+            .map(|p| (p as i64 % 41) - 20)
+            .collect::<Vec<i64>>()];
         let input =
             EncryptedMap::encrypt_images(&env.sys, &images, side, &env.keys.public, &mut rng)
                 .unwrap();

@@ -7,6 +7,7 @@
 pub mod ablation;
 pub mod e2e;
 pub mod figures;
+pub mod par_sweep;
 pub mod tables;
 
 /// Repetition policy: `quick` trades statistical depth for runtime.

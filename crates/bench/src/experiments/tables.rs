@@ -193,8 +193,14 @@ pub fn table4_enc_dec_costs(env: &mut PaperEnv, cfg: RunConfig) -> Table4 {
     let dec_in = Stats::from_samples_trimmed(&dec_in);
 
     println!("              Encoding+Encryption   Decoding+Decryption      (n = {reps})");
-    println!("Inside SGX    {:16.3} ms   {:16.3} ms", enc_in.mean, dec_in.mean);
-    println!("Outside SGX   {:16.3} ms   {:16.3} ms", enc_out.mean, dec_out.mean);
+    println!(
+        "Inside SGX    {:16.3} ms   {:16.3} ms",
+        enc_in.mean, dec_in.mean
+    );
+    println!(
+        "Outside SGX   {:16.3} ms   {:16.3} ms",
+        enc_out.mean, dec_out.mean
+    );
     println!("paper:        18.167 / 12.125 ms        5.250 / 0.368 ms");
     println!(
         "inside-SGX premium: enc +{:.3} ms, dec +{:.3} ms (paper: +6.042 / +4.882 ms)",
@@ -228,7 +234,9 @@ pub fn table5_relinearization(env: &mut PaperEnv, cfg: RunConfig) -> Table5 {
     let mut rng = env.rng.fork("table5");
     let sys = &env.sys;
     let keys = &env.keys;
-    let fresh = sys.encrypt_slots(&[7; PAPER_BATCH_SIZE], &keys.public, &mut rng).unwrap();
+    let fresh = sys
+        .encrypt_slots(&[7; PAPER_BATCH_SIZE], &keys.public, &mut rng)
+        .unwrap();
     let size3 = sys.square(&fresh).unwrap();
 
     let relin = Stats::from_samples_trimmed(&time_reps_ms(reps, || {

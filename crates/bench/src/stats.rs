@@ -26,7 +26,11 @@ impl Stats {
         let n = samples.len();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = if n > 1 {
-            samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+            samples
+                .iter()
+                .map(|&x| (x - mean) * (x - mean))
+                .sum::<f64>()
+                / (n - 1) as f64
         } else {
             0.0
         };
@@ -86,7 +90,11 @@ pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64, f64) {
     let mean_y = sy / n;
     let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
     let ss_res: f64 = points.iter().map(|p| (p.1 - (a + b * p.0)).powi(2)).sum();
-    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    let r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
     (a, b, r2)
 }
 

@@ -100,13 +100,13 @@ pub fn is_prime_u64(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
     let mut d = n - 1;
     let mut s = 0;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         s += 1;
     }
@@ -141,7 +141,10 @@ pub fn is_prime_u64(n: u64) -> bool {
 ///
 /// Panics if `bits` exceeds [`MAX_LIMB_BITS`] or no prime exists in range.
 pub fn largest_prime_congruent_one(bits: u32, modulus_step: u64) -> u64 {
-    assert!(bits <= MAX_LIMB_BITS, "limb size above {MAX_LIMB_BITS} bits");
+    assert!(
+        bits <= MAX_LIMB_BITS,
+        "limb size above {MAX_LIMB_BITS} bits"
+    );
     assert!(bits >= 10, "limb size too small");
     let upper = 1u64 << bits;
     // Largest candidate of the form k*step + 1 below 2^bits.
@@ -302,11 +305,7 @@ mod shoup_tests {
         for w in [1u64, 2, p - 1, 123_456_789, p / 2] {
             let ws = shoup_precompute(w, p);
             for x in [0u64, 1, p - 1, 987_654_321 % p, p / 3] {
-                assert_eq!(
-                    mul_mod_shoup(x, w, ws, p),
-                    mul_mod(x, w, p),
-                    "x={x} w={w}"
-                );
+                assert_eq!(mul_mod_shoup(x, w, ws, p), mul_mod(x, w, p), "x={x} w={w}");
             }
         }
     }

@@ -369,7 +369,7 @@ mod tests {
         let ctx = BfvContext::new(presets::paper_n1024()).unwrap();
         let q_bits = ctx.params().coeff_modulus_bits();
         let n_bits = ctx.poly_degree().trailing_zeros();
-        assert!(ctx.p_prod.bits() >= 2 * q_bits + n_bits + 1);
+        assert!(ctx.p_prod.bits() > 2 * q_bits + n_bits);
         assert!(ctx.p_prod.bits() <= 250);
     }
 }
@@ -391,8 +391,12 @@ mod wide_basis_tests {
                 .unwrap();
             let ctx = BfvContext::new(params).unwrap();
             let q_bits = ctx.params().coeff_modulus_bits();
-            assert!(ctx.p_prod.bits() >= 2 * q_bits + n.trailing_zeros() + 1);
-            assert!(ctx.p_prod.bits() <= 250, "n={n}: {} bits", ctx.p_prod.bits());
+            assert!(ctx.p_prod.bits() > 2 * q_bits + n.trailing_zeros());
+            assert!(
+                ctx.p_prod.bits() <= 250,
+                "n={n}: {} bits",
+                ctx.p_prod.bits()
+            );
         }
     }
 

@@ -74,8 +74,8 @@ impl Decryptor {
         }
         let mut residues = vec![0u64; ctx.limb_count()];
         for (j, out) in coeffs.iter_mut().enumerate() {
-            for i in 0..ctx.limb_count() {
-                residues[i] = acc.limbs[i][j];
+            for (r, limb) in residues.iter_mut().zip(&acc.limbs) {
+                *r = limb[j];
             }
             let x = ctx.crt_reconstruct(&residues);
             // round(t*x/q) = floor((t*x + q/2) / q), then reduce mod t.
@@ -107,14 +107,16 @@ impl Decryptor {
         let mut max_bits = 0u32;
         let mut residues = vec![0u64; ctx.limb_count()];
         for j in 0..n {
-            for i in 0..ctx.limb_count() {
-                residues[i] = acc.limbs[i][j];
+            for (r, limb) in residues.iter_mut().zip(&acc.limbs) {
+                *r = limb[j];
             }
             let x = ctx.crt_reconstruct(&residues);
             let (tx, carry) = x.carrying_mul_u64(t);
             debug_assert_eq!(carry, 0);
             // t*x mod q, centered: this equals t*(noise) + small rounding part.
-            let rem = ctx.rec_q.reduce_u512(hesgx_crypto::uint::U512::from_u256(tx));
+            let rem = ctx
+                .rec_q
+                .reduce_u512(hesgx_crypto::uint::U512::from_u256(tx));
             let mag = if rem > ctx.q_half {
                 ctx.q.wrapping_sub(rem)
             } else {
@@ -147,8 +149,8 @@ impl Decryptor {
         let mut out = Vec::with_capacity(n);
         let mut residues = vec![0u64; ctx.limb_count()];
         for j in 0..n {
-            for i in 0..ctx.limb_count() {
-                residues[i] = acc.limbs[i][j];
+            for (r, limb) in residues.iter_mut().zip(&acc.limbs) {
+                *r = limb[j];
             }
             out.push(ctx.crt_reconstruct(&residues));
         }

@@ -148,7 +148,9 @@ mod tests {
     #[test]
     fn roundtrip_dense() {
         let e = encoder();
-        let values: Vec<u64> = (0..e.slot_count() as u64).map(|i| i % e.plain_modulus()).collect();
+        let values: Vec<u64> = (0..e.slot_count() as u64)
+            .map(|i| i % e.plain_modulus())
+            .collect();
         let back = e.decode(&e.encode(&values).unwrap());
         assert_eq!(back, values);
     }

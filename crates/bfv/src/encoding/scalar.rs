@@ -89,7 +89,10 @@ mod tests {
         let enc = ScalarEncoder::new(101);
         assert!(enc.encode(50).is_ok());
         assert!(enc.encode(-50).is_ok());
-        assert!(matches!(enc.encode(51), Err(BfvError::EncodeOutOfRange(51))));
+        assert!(matches!(
+            enc.encode(51),
+            Err(BfvError::EncodeOutOfRange(51))
+        ));
         assert!(enc.encode(-51).is_err());
     }
 

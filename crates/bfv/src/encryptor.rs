@@ -85,7 +85,11 @@ impl Encryptor {
     }
 
     /// Encrypts a batch of plaintexts (convenience for image pipelines).
-    pub fn encrypt_many(&self, plains: &[Plaintext], rng: &mut ChaChaRng) -> Result<Vec<Ciphertext>> {
+    pub fn encrypt_many(
+        &self,
+        plains: &[Plaintext],
+        rng: &mut ChaChaRng,
+    ) -> Result<Vec<Ciphertext>> {
         plains.iter().map(|p| self.encrypt(p, rng)).collect()
     }
 }

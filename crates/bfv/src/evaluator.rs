@@ -232,13 +232,13 @@ impl Evaluator {
             // Tensor component k = sum over i+j = k of a_i * b_j, in the wide
             // evaluation domain.
             let mut acc = vec![vec![0u64; n]; wide_count];
-            for i in 0..a.size() {
+            for (i, a_i) in a_wide.iter().enumerate() {
                 let Some(j) = k.checked_sub(i) else { continue };
                 if j >= b.size() {
                     continue;
                 }
                 for (w, &wp) in ctx.wide_primes.iter().enumerate() {
-                    let (ai, bj) = (&a_wide[i][w], &b_wide[j][w]);
+                    let (ai, bj) = (&a_i[w], &b_wide[j][w]);
                     for x in 0..n {
                         let prod = mul_mod(ai[x], bj[x], wp);
                         acc[w][x] = crate::arith::add_mod(acc[w][x], prod, wp);
@@ -288,7 +288,11 @@ impl Evaluator {
         }
 
         let dbc = ctx.params().decomposition_bit_count();
-        let mask = if dbc == 64 { u64::MAX } else { (1u64 << dbc) - 1 };
+        let mask = if dbc == 64 {
+            u64::MAX
+        } else {
+            (1u64 << dbc) - 1
+        };
         let n = ctx.poly_degree();
         let limbs = ctx.limb_count();
 
@@ -300,8 +304,8 @@ impl Evaluator {
             .collect();
         let mut residues = vec![0u64; limbs];
         for j in 0..n {
-            for i in 0..limbs {
-                residues[i] = c2.limbs[i][j];
+            for (r, limb) in residues.iter_mut().zip(&c2.limbs) {
+                *r = limb[j];
             }
             let x = ctx.crt_reconstruct(&residues);
             for (k, digit_poly) in digits.iter_mut().enumerate() {
@@ -348,9 +352,10 @@ impl Evaluator {
         let mut p = poly.clone();
         p.to_coeff(ctx);
         let mut residues = vec![0u64; limbs];
+        #[allow(clippy::needless_range_loop)] // j walks a column across out[w][j]
         for j in 0..n {
-            for i in 0..limbs {
-                residues[i] = p.limbs[i][j];
+            for (r, limb) in residues.iter_mut().zip(&p.limbs) {
+                *r = limb[j];
             }
             let x = ctx.crt_reconstruct(&residues);
             let negative = x > ctx.q_half;
@@ -452,8 +457,14 @@ mod tests {
     fn add_constants() {
         let mut f = fixture();
         let t = f.ctx.params().plain_modulus();
-        let a = f.enc.encrypt(&Plaintext::constant(1234), &mut f.rng).unwrap();
-        let b = f.enc.encrypt(&Plaintext::constant(t - 34), &mut f.rng).unwrap();
+        let a = f
+            .enc
+            .encrypt(&Plaintext::constant(1234), &mut f.rng)
+            .unwrap();
+        let b = f
+            .enc
+            .encrypt(&Plaintext::constant(t - 34), &mut f.rng)
+            .unwrap();
         let sum = f.eval.add(&a, &b).unwrap();
         assert_eq!(f.dec.decrypt(&sum).unwrap().coeffs()[0], 1200);
     }
@@ -462,7 +473,10 @@ mod tests {
     fn sub_and_negate() {
         let mut f = fixture();
         let t = f.ctx.params().plain_modulus();
-        let a = f.enc.encrypt(&Plaintext::constant(100), &mut f.rng).unwrap();
+        let a = f
+            .enc
+            .encrypt(&Plaintext::constant(100), &mut f.rng)
+            .unwrap();
         let b = f.enc.encrypt(&Plaintext::constant(30), &mut f.rng).unwrap();
         let d = f.eval.sub(&a, &b).unwrap();
         assert_eq!(f.dec.decrypt(&d).unwrap().coeffs()[0], 70);
@@ -473,7 +487,10 @@ mod tests {
     #[test]
     fn plain_add_sub() {
         let mut f = fixture();
-        let a = f.enc.encrypt(&Plaintext::constant(500), &mut f.rng).unwrap();
+        let a = f
+            .enc
+            .encrypt(&Plaintext::constant(500), &mut f.rng)
+            .unwrap();
         let added = f.eval.add_plain(&a, &Plaintext::constant(17)).unwrap();
         assert_eq!(f.dec.decrypt(&added).unwrap().coeffs()[0], 517);
         let subbed = f.eval.sub_plain(&added, &Plaintext::constant(17)).unwrap();
@@ -483,7 +500,10 @@ mod tests {
     #[test]
     fn plain_multiplication() {
         let mut f = fixture();
-        let a = f.enc.encrypt(&Plaintext::constant(123), &mut f.rng).unwrap();
+        let a = f
+            .enc
+            .encrypt(&Plaintext::constant(123), &mut f.rng)
+            .unwrap();
         let prod = f.eval.mul_plain(&a, &Plaintext::constant(11)).unwrap();
         assert_eq!(f.dec.decrypt(&prod).unwrap().coeffs()[0], 1353);
     }
@@ -561,7 +581,10 @@ mod tests {
         let fresh = f.dec.invariant_noise_budget(&a).unwrap();
         let sq = f.eval.square(&a).unwrap();
         let after = f.dec.invariant_noise_budget(&sq).unwrap();
-        assert!(after < fresh, "square must consume budget: {fresh} -> {after}");
+        assert!(
+            after < fresh,
+            "square must consume budget: {fresh} -> {after}"
+        );
         assert!(after > 0, "one square must stay decryptable");
     }
 
@@ -571,7 +594,10 @@ mod tests {
         let params = crate::params::EncryptionParameters::builder()
             .poly_degree(256)
             .coeff_moduli(crate::arith::primes_congruent_one(50, 512, 2))
-            .plain_modulus(crate::arith::smallest_prime_congruent_one_above(1 << 12, 512))
+            .plain_modulus(crate::arith::smallest_prime_congruent_one_above(
+                1 << 12,
+                512,
+            ))
             .build()
             .unwrap();
         let ctx = BfvContext::new(params).unwrap();
@@ -652,7 +678,9 @@ mod scalar_tests {
         for v in [-7i64, -1, 0, 1, 13] {
             let fast = eval.mul_plain_signed_scalar(&a, v).unwrap();
             let residue = if v >= 0 { v as u64 } else { t - (-v) as u64 };
-            let slow = eval.mul_plain(&a, &Plaintext::constant(residue % t)).unwrap();
+            let slow = eval
+                .mul_plain(&a, &Plaintext::constant(residue % t))
+                .unwrap();
             assert_eq!(
                 dec.decrypt(&fast).unwrap().coeffs()[0],
                 dec.decrypt(&slow).unwrap().coeffs()[0],

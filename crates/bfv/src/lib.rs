@@ -68,9 +68,9 @@ pub mod keys;
 pub mod ntt;
 pub mod params;
 pub mod plaintext;
+pub mod poly;
 pub mod sampler;
 pub mod serialization;
-pub mod poly;
 
 /// Convenient glob-import of the main types.
 pub mod prelude {

@@ -77,7 +77,10 @@ impl NttTable {
         }
 
         let inv_n = inv_mod(n as u64, p).expect("n invertible mod p");
-        let root_powers_shoup = root_powers.iter().map(|&w| shoup_precompute(w, p)).collect();
+        let root_powers_shoup = root_powers
+            .iter()
+            .map(|&w| shoup_precompute(w, p))
+            .collect();
         let inv_root_powers_shoup = inv_root_powers
             .iter()
             .map(|&w| shoup_precompute(w, p))
@@ -189,12 +192,12 @@ pub fn negacyclic_multiply_naive(a: &[u64], b: &[u64], p: u64) -> Vec<u64> {
     let n = a.len();
     assert_eq!(b.len(), n);
     let mut out = vec![0u64; n];
-    for i in 0..n {
-        if a[i] == 0 {
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
             continue;
         }
-        for j in 0..n {
-            let prod = mul_mod(a[i], b[j], p);
+        for (j, &bj) in b.iter().enumerate() {
+            let prod = mul_mod(ai, bj, p);
             let k = i + j;
             if k < n {
                 out[k] = add_mod(out[k], prod, p);

@@ -41,7 +41,10 @@ impl std::fmt::Display for ParameterError {
                 write!(f, "polynomial degree {n} is not a supported power of two")
             }
             ParameterError::InvalidCoeffModulus(q) => {
-                write!(f, "coefficient modulus {q} is not an NTT prime for this degree")
+                write!(
+                    f,
+                    "coefficient modulus {q} is not an NTT prime for this degree"
+                )
             }
             ParameterError::DuplicateCoeffModulus(q) => {
                 write!(f, "coefficient modulus {q} appears more than once")
@@ -50,10 +53,16 @@ impl std::fmt::Display for ParameterError {
                 write!(f, "plaintext modulus {t} is invalid for these parameters")
             }
             ParameterError::InvalidDecompositionBitCount(c) => {
-                write!(f, "decomposition bit count {c} outside supported range 1..=60")
+                write!(
+                    f,
+                    "decomposition bit count {c} outside supported range 1..=60"
+                )
             }
             ParameterError::CoeffModulusTooLarge(bits) => {
-                write!(f, "total coefficient modulus of {bits} bits exceeds the 120-bit limit")
+                write!(
+                    f,
+                    "total coefficient modulus of {bits} bits exceeds the 120-bit limit"
+                )
             }
         }
     }
@@ -139,8 +148,7 @@ impl EncryptionParameters {
 
     /// Whether `t ≡ 1 (mod 2n)`, enabling SIMD batching.
     pub fn supports_batching(&self) -> bool {
-        self.plain_modulus % (2 * self.poly_degree as u64) == 1
-            && is_prime_u64(self.plain_modulus)
+        self.plain_modulus % (2 * self.poly_degree as u64) == 1 && is_prime_u64(self.plain_modulus)
     }
 
     /// Rough security classification (see [`SecurityLevel`]).
@@ -206,7 +214,7 @@ impl EncryptionParameters {
             ));
         }
         let t = self.plain_modulus;
-        if t < 2 || t > 1 << 30 {
+        if !(2..=1 << 30).contains(&t) {
             return Err(ParameterError::InvalidPlainModulus(t));
         }
         if self.coeff_moduli.contains(&t) {
@@ -327,7 +335,10 @@ pub mod presets {
     pub fn test_n256() -> EncryptionParameters {
         EncryptionParameters::builder()
             .poly_degree(256)
-            .plain_modulus(crate::arith::smallest_prime_congruent_one_above(1 << 12, 512))
+            .plain_modulus(crate::arith::smallest_prime_congruent_one_above(
+                1 << 12,
+                512,
+            ))
             .build()
             .expect("preset is valid")
     }

@@ -175,8 +175,8 @@ impl RnsPoly {
         let mut max_bits = 0;
         let mut residues = vec![0u64; ctx.limb_count()];
         for j in 0..n {
-            for i in 0..ctx.limb_count() {
-                residues[i] = self.limbs[i][j];
+            for (r, limb) in residues.iter_mut().zip(&self.limbs) {
+                *r = limb[j];
             }
             let x = ctx.crt_reconstruct(&residues);
             let mag = if x > ctx.q_half {

@@ -358,7 +358,10 @@ mod tests {
         let (ctx, _, _, ct, _, _) = setup();
         let bytes = ciphertext_to_bytes(&ct);
         for cut in [0, 4, 36, bytes.len() / 2, bytes.len() - 1] {
-            assert!(ciphertext_from_bytes(&ctx, &bytes[..cut]).is_err(), "cut {cut}");
+            assert!(
+                ciphertext_from_bytes(&ctx, &bytes[..cut]).is_err(),
+                "cut {cut}"
+            );
         }
         assert!(ciphertext_from_bytes(&ctx, b"not a ciphertext").is_err());
     }

@@ -1,0 +1,88 @@
+//! The unified error type of the framework boundary.
+//!
+//! Every fallible `hesgx-core` API returns [`Error`], which wraps the
+//! substrate failures (HE from `hesgx-bfv`, enclave from `hesgx-tee`) plus
+//! the conditions only the framework itself can detect (range violations,
+//! configuration mistakes). Callers match one enum instead of juggling three
+//! crate-specific `Result` aliases.
+
+use hesgx_bfv::error::BfvError;
+use hesgx_tee::error::TeeError;
+
+/// Errors from hybrid-framework operations.
+#[derive(Debug)]
+pub enum Error {
+    /// A homomorphic-encryption operation failed.
+    He(BfvError),
+    /// A TEE operation failed.
+    Tee(TeeError),
+    /// A value decrypted inside the enclave exceeded the plaintext range the
+    /// planner proved — indicates a planner/range-analysis bug.
+    RangeViolation(i128),
+    /// A session/provisioning configuration was invalid (bad preset, zero
+    /// batch, model quantized for the wrong pipeline, …).
+    Config(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::He(e) => write!(f, "homomorphic operation failed: {e}"),
+            Error::Tee(e) => write!(f, "enclave operation failed: {e}"),
+            Error::RangeViolation(v) => {
+                write!(f, "decrypted value {v} outside analyzed range")
+            }
+            Error::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::He(e) => Some(e),
+            Error::Tee(e) => Some(e),
+            Error::RangeViolation(_) | Error::Config(_) => None,
+        }
+    }
+}
+
+impl From<BfvError> for Error {
+    fn from(e: BfvError) -> Self {
+        Error::He(e)
+    }
+}
+
+impl From<TeeError> for Error {
+    fn from(e: TeeError) -> Self {
+        Error::Tee(e)
+    }
+}
+
+/// Convenience alias for hybrid results.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        let cases: Vec<(Error, &str)> = vec![
+            (Error::RangeViolation(1 << 40), "outside analyzed range"),
+            (Error::Config("bad preset".into()), "invalid configuration"),
+            (Error::Tee(TeeError::UnknownPlatform), "enclave operation"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn sources_chain_for_wrapped_errors() {
+        use std::error::Error as _;
+        let err = Error::Tee(TeeError::UnknownPlatform);
+        assert!(err.source().is_some());
+        assert!(Error::Config("x".into()).source().is_none());
+    }
+}

@@ -177,8 +177,7 @@ mod tests {
         let (_platform, enclave, sys, service) = setup();
         let mut rng = ChaChaRng::from_seed(81);
         let (keys, ceremony) = enclave_generate_keys(&enclave, &sys, &mut rng);
-        let accepted =
-            verify_key_ceremony(&service, &ceremony, enclave.measurement()).unwrap();
+        let accepted = verify_key_ceremony(&service, &ceremony, enclave.measurement()).unwrap();
         assert_eq!(accepted.len(), 1);
         assert_eq!(&accepted[0], &keys.public[0]);
         assert!(ceremony.keygen_cost.total_ns() > 0);
@@ -227,10 +226,7 @@ mod tests {
         let mut rng = ChaChaRng::from_seed(85);
         let a = sys.generate_keys(&mut rng);
         let b = sys.generate_keys(&mut rng);
-        assert_ne!(
-            digest_public_keys(&a.public),
-            digest_public_keys(&b.public)
-        );
+        assert_ne!(digest_public_keys(&a.public), digest_public_keys(&b.public));
     }
 
     #[test]

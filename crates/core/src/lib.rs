@@ -33,38 +33,61 @@
 //!
 //! # Examples
 //!
-//! ```no_run
-//! use hesgx_core::pipeline::{EcallBatching, HybridInference};
-//! use hesgx_crypto::rng::ChaChaRng;
-//! use hesgx_henn::image::EncryptedMap;
-//! use hesgx_nn::layers::{ActivationKind, PoolKind};
-//! use hesgx_nn::model_zoo::paper_cnn;
-//! use hesgx_nn::quantize::{QuantPipeline, QuantizedCnn};
-//! use hesgx_tee::enclave::Platform;
+//! The [`session`] facade is the front door — quantize a model, build a
+//! [`Session`], and every inference travels encrypted through the full
+//! pipeline:
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! ```no_run
+//! use hesgx_core::prelude::*;
+//! use hesgx_crypto::rng::ChaChaRng;
+//! use hesgx_nn::layers::PoolKind;
+//! use hesgx_nn::model_zoo::paper_cnn;
+//!
+//! # fn main() -> hesgx_core::Result<()> {
 //! let mut rng = ChaChaRng::from_seed(1);
 //! let float_net = paper_cnn(ActivationKind::Sigmoid, PoolKind::Mean, &mut rng);
 //! let model = QuantizedCnn::from_network(&float_net, QuantPipeline::Hybrid, 16, 32, 16);
-//! let (service, ceremony) =
-//!     HybridInference::provision(Platform::new(0), model, 1024, 42)?;
-//! let image = vec![vec![0i64; 28 * 28]];
-//! let enc = EncryptedMap::encrypt_images(
-//!     service.system(), &image, 28, &ceremony.public, &mut rng)?;
-//! let (logits, metrics) = service.infer(&enc, EcallBatching::Batched)?;
-//! println!("{} encrypted logits in {:?}", logits.len(), metrics.total());
+//! let session = SessionBuilder::new()
+//!     .params(ParamsPreset::Paper)
+//!     .threads(4)
+//!     .seed(42)
+//!     .build(Platform::new(0), model)?;
+//! let logits = session.infer(&vec![0i64; 28 * 28])?;
+//! println!("{} logits in {:?}", logits.len(), session.metrics().unwrap().total());
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The lower-level [`pipeline::HybridInference`] API remains available when
+//! the user and the edge service are separate processes.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod error;
 pub mod keydist;
 pub mod pipeline;
 pub mod planner;
+pub mod session;
 pub mod sgx_ops;
 
-pub use pipeline::{EcallBatching, HybridInference, HybridMetrics};
+pub use error::{Error, Result};
+pub use pipeline::{EcallBatching, HybridInference, HybridMetrics, ProvisionConfig};
 pub use planner::{InferencePlan, Placement, PoolStrategy};
-pub use sgx_ops::{HybridError, InferenceEnclave};
+pub use session::{ParamsPreset, Session, SessionBuilder};
+#[allow(deprecated)]
+pub use sgx_ops::HybridError;
+pub use sgx_ops::InferenceEnclave;
+
+/// The convenient single import: `use hesgx_core::prelude::*;`.
+pub mod prelude {
+    pub use crate::error::{Error, Result};
+    pub use crate::pipeline::{EcallBatching, HybridInference, HybridMetrics, ProvisionConfig};
+    pub use crate::planner::PoolStrategy;
+    pub use crate::session::{ParamsPreset, Session, SessionBuilder};
+    pub use hesgx_henn::par::ParExec;
+    pub use hesgx_nn::layers::ActivationKind;
+    pub use hesgx_nn::quantize::{QuantPipeline, QuantizedCnn};
+    pub use hesgx_tee::cost::CostModel;
+    pub use hesgx_tee::enclave::Platform;
+}

@@ -5,16 +5,18 @@
 //! encrypted logits back to the user. Per-stage wall-clock and enclave
 //! virtual-time metrics are collected for the Fig. 8 comparison.
 
+use crate::error::{Error, Result};
 use crate::keydist::{enclave_generate_keys, KeyCeremonyPublic};
 use crate::planner::{plan_for, InferencePlan, PoolStrategy};
-use crate::sgx_ops::{sum_costs, HybridError, InferenceEnclave, Result};
+use crate::sgx_ops::{sum_costs, InferenceEnclave};
 use hesgx_crypto::rng::ChaChaRng;
 use hesgx_henn::crt::{CrtCiphertext, CrtPlainSystem};
 use hesgx_henn::image::EncryptedMap;
 use hesgx_henn::ops::{self, OpCounter};
+use hesgx_henn::par::ParExec;
 use hesgx_nn::layers::ActivationKind;
 use hesgx_nn::quantize::{QuantPipeline, QuantizedCnn};
-use hesgx_tee::cost::CostBreakdown;
+use hesgx_tee::cost::{CostBreakdown, CostModel};
 use hesgx_tee::enclave::{EnclaveBuilder, Platform};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -52,6 +54,8 @@ pub struct HybridMetrics {
     pub stages: Vec<StageMetrics>,
     /// Homomorphic operation counts.
     pub ops: OpCounter,
+    /// Worker threads the run executed with (1 = serial).
+    pub threads: usize,
 }
 
 impl HybridMetrics {
@@ -62,12 +66,7 @@ impl HybridMetrics {
 
     /// Total enclave overhead (effective − wall).
     pub fn enclave_overhead(&self) -> Duration {
-        self.total()
-            - self
-                .stages
-                .iter()
-                .map(|s| s.wall)
-                .sum::<Duration>()
+        self.total() - self.stages.iter().map(|s| s.wall).sum::<Duration>()
     }
 }
 
@@ -81,6 +80,36 @@ pub enum EcallBatching {
     PerPixel,
 }
 
+/// Everything [`HybridInference::provision_with`] needs beyond the platform
+/// and the model. [`ProvisionConfig::default`] matches the paper's setup:
+/// `poly_degree = 1024`, real-SGX cost model, one worker per available core.
+#[derive(Debug, Clone)]
+pub struct ProvisionConfig {
+    /// FV polynomial degree (the paper uses 1024 for the MNIST CNN).
+    pub poly_degree: usize,
+    /// Seed for the enclave identity, key ceremony, and re-encryption RNG.
+    pub seed: u64,
+    /// Enclave cost model; `None` is the calibrated SGX model, and
+    /// [`CostModel::fake_sgx`] gives the paper's `EncryptFakeSGX` control.
+    pub cost_model: Option<CostModel>,
+    /// HE worker threads; `0` means one per available core, `1` is serial.
+    pub threads: usize,
+    /// Pooling split override; `None` applies the §VI-D window rule.
+    pub pool_strategy: Option<PoolStrategy>,
+}
+
+impl Default for ProvisionConfig {
+    fn default() -> Self {
+        ProvisionConfig {
+            poly_degree: 1024,
+            seed: 0,
+            cost_model: None,
+            threads: 0,
+            pool_strategy: None,
+        }
+    }
+}
+
 /// The hybrid HE + SGX inference service.
 #[derive(Debug)]
 pub struct HybridInference {
@@ -89,6 +118,7 @@ pub struct HybridInference {
     enclave: InferenceEnclave,
     plan: InferencePlan,
     activation: ActivationKind,
+    pool: ParExec,
 }
 
 impl HybridInference {
@@ -98,68 +128,102 @@ impl HybridInference {
     ///
     /// # Errors
     ///
-    /// Propagates parameter-validation failures.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the model is not quantized for the hybrid pipeline.
-    pub fn provision(
+    /// Fails when the model is not quantized for the hybrid pipeline or the
+    /// HE parameters cannot cover its value range.
+    pub fn provision_with(
         platform: Arc<Platform>,
         model: QuantizedCnn,
-        poly_degree: usize,
-        seed: u64,
+        config: ProvisionConfig,
     ) -> Result<(Self, KeyCeremonyPublic)> {
-        Self::provision_with_cost_model(platform, model, poly_degree, seed, None)
-    }
-
-    /// [`HybridInference::provision`] with an explicit enclave cost model —
-    /// pass [`hesgx_tee::cost::CostModel::fake_sgx`] for the paper's
-    /// `EncryptFakeSGX` control group.
-    ///
-    /// # Errors
-    ///
-    /// Propagates parameter-validation failures.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the model is not quantized for the hybrid pipeline.
-    pub fn provision_with_cost_model(
-        platform: Arc<Platform>,
-        model: QuantizedCnn,
-        poly_degree: usize,
-        seed: u64,
-        cost_model: Option<hesgx_tee::cost::CostModel>,
-    ) -> Result<(Self, KeyCeremonyPublic)> {
-        assert_eq!(
-            model.pipeline,
-            QuantPipeline::Hybrid,
-            "model must be quantized for the hybrid pipeline"
-        );
+        if model.pipeline != QuantPipeline::Hybrid {
+            return Err(Error::Config(format!(
+                "model quantized for {:?}, the hybrid pipeline needs QuantPipeline::Hybrid",
+                model.pipeline
+            )));
+        }
         let report = model.range_report();
-        let sys = CrtPlainSystem::for_range(poly_degree, report.required_plain_bits)
-            .map_err(HybridError::He)?;
+        let sys = CrtPlainSystem::for_range(config.poly_degree, report.required_plain_bits)
+            .map_err(Error::He)?;
         // The enclave heap must hold a full encrypted feature map; the EPC
         // stays at its hardware size, so oversized working sets page (and are
         // charged) exactly as the paper's §III-B describes.
         let mut builder = EnclaveBuilder::new("hesgx-inference")
             .add_code(b"hesgx-hybrid-inference-v1")
             .heap_bytes(512 * 1024 * 1024)
-            .seed(seed);
-        if let Some(model) = cost_model {
-            builder = builder.cost_model(model);
+            .seed(config.seed);
+        if let Some(cost_model) = config.cost_model {
+            builder = builder.cost_model(cost_model);
         }
         let enclave = builder.build(platform);
-        let mut rng = ChaChaRng::from_seed(seed).fork("provision");
+        let mut rng = ChaChaRng::from_seed(config.seed).fork("provision");
         let (keys, ceremony) = enclave_generate_keys(&enclave, &sys, &mut rng);
-        let plan = plan_for(&model);
+        let mut plan = plan_for(&model);
+        if let Some(strategy) = config.pool_strategy {
+            plan.pool_strategy = strategy;
+        }
         let service = HybridInference {
             sys,
-            enclave: InferenceEnclave::new(enclave, keys.secret, keys.public, seed ^ 0x1ee7),
+            enclave: InferenceEnclave::new(enclave, keys.secret, keys.public, config.seed ^ 0x1ee7),
             model,
             plan,
             activation: ActivationKind::Sigmoid,
+            pool: ParExec::new(config.threads),
         };
         Ok((service, ceremony))
+    }
+
+    /// Former constructor; thin wrapper over [`HybridInference::provision_with`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-validation failures.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `provision_with(platform, model, ProvisionConfig { .. })` or `SessionBuilder`"
+    )]
+    pub fn provision(
+        platform: Arc<Platform>,
+        model: QuantizedCnn,
+        poly_degree: usize,
+        seed: u64,
+    ) -> Result<(Self, KeyCeremonyPublic)> {
+        Self::provision_with(
+            platform,
+            model,
+            ProvisionConfig {
+                poly_degree,
+                seed,
+                ..ProvisionConfig::default()
+            },
+        )
+    }
+
+    /// Former constructor; thin wrapper over [`HybridInference::provision_with`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-validation failures.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `provision_with(platform, model, ProvisionConfig { cost_model, .. })`"
+    )]
+    pub fn provision_with_cost_model(
+        platform: Arc<Platform>,
+        model: QuantizedCnn,
+        poly_degree: usize,
+        seed: u64,
+        cost_model: Option<CostModel>,
+    ) -> Result<(Self, KeyCeremonyPublic)> {
+        Self::provision_with(
+            platform,
+            model,
+            ProvisionConfig {
+                poly_degree,
+                seed,
+                cost_model,
+                ..ProvisionConfig::default()
+            },
+        )
     }
 
     /// The CRT system (for user-side encryption/decryption).
@@ -188,6 +252,17 @@ impl HybridInference {
         self.activation = kind;
     }
 
+    /// The HE worker-thread count this service runs with.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Re-sizes the worker pool (`0` = one per available core). The results
+    /// of [`HybridInference::infer`] are bit-identical for every pool size.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.pool = ParExec::new(threads);
+    }
+
     /// Runs the hybrid inference. Returns encrypted logits plus metrics.
     ///
     /// # Errors
@@ -198,12 +273,16 @@ impl HybridInference {
         input: &EncryptedMap,
         batching: EcallBatching,
     ) -> Result<(Vec<CrtCiphertext>, HybridMetrics)> {
-        let mut metrics = HybridMetrics::default();
+        let mut metrics = HybridMetrics {
+            threads: self.pool.threads(),
+            ..HybridMetrics::default()
+        };
         let m = &self.model;
 
-        // 1. Convolutional layer — HE outside SGX.
+        // 1. Convolutional layer — HE outside SGX, parallel over output
+        // cells × CRT limbs (bit-identical for every pool size).
         let start = Instant::now();
-        let conv = ops::he_conv2d(
+        let conv = ops::he_conv2d_par(
             &self.sys,
             input,
             &m.conv_weights,
@@ -212,6 +291,7 @@ impl HybridInference {
             m.kernel,
             1,
             &mut metrics.ops,
+            &self.pool,
         )?;
         metrics.stages.push(StageMetrics {
             name: "Convolutional Layer (HE outside)".into(),
@@ -219,19 +299,18 @@ impl HybridInference {
             enclave: None,
         });
 
-        // 2. Activation — plaintext inside SGX.
+        // 2. Activation — plaintext inside SGX; the whole map crosses the
+        // ECALL boundary once, the per-cell work parallelizes inside.
         let start = Instant::now();
         let (activated, act_cost) = match batching {
             EcallBatching::Batched => {
                 self.enclave
-                    .activation_map(&self.sys, &conv, m, self.activation)?
+                    .activation_map_par(&self.sys, &conv, m, self.activation, &self.pool)?
             }
-            EcallBatching::PerPixel => self.enclave.activation_map_single_ecalls(
-                &self.sys,
-                &conv,
-                m,
-                self.activation,
-            )?,
+            EcallBatching::PerPixel => {
+                self.enclave
+                    .activation_map_single_ecalls(&self.sys, &conv, m, self.activation)?
+            }
         };
         metrics.stages.push(StageMetrics {
             name: "Activation (SGX inside)".into(),
@@ -239,14 +318,22 @@ impl HybridInference {
             enclave: Some(act_cost),
         });
 
-        // 3. Pooling — split per the §VI-D rule.
+        // 3. Pooling — split per the §VI-D rule; either way one ECALL.
         let start = Instant::now();
         let (pooled, pool_cost) = match self.plan.pool_strategy {
-            PoolStrategy::SgxPool => self.enclave.pool_full_map(&self.sys, &activated, m, false)?,
+            PoolStrategy::SgxPool => self
+                .enclave
+                .pool_full_map_par(&self.sys, &activated, m, false, &self.pool)?,
             PoolStrategy::SgxDiv => {
-                let summed =
-                    ops::he_scaled_mean_pool(&self.sys, &activated, m.window, &mut metrics.ops)?;
-                self.enclave.divide_map(&self.sys, &summed, m)?
+                let summed = ops::he_scaled_mean_pool_par(
+                    &self.sys,
+                    &activated,
+                    m.window,
+                    &mut metrics.ops,
+                    &self.pool,
+                )?;
+                self.enclave
+                    .divide_map_par(&self.sys, &summed, m, &self.pool)?
             }
         };
         metrics.stages.push(StageMetrics {
@@ -255,15 +342,17 @@ impl HybridInference {
             enclave: Some(pool_cost),
         });
 
-        // 4. Fully connected layer — HE outside SGX.
+        // 4. Fully connected layer — HE outside SGX, parallel over
+        // classes × CRT limbs.
         let start = Instant::now();
-        let logits = ops::he_fully_connected(
+        let logits = ops::he_fully_connected_par(
             &self.sys,
             &pooled,
             &m.fc_weights,
             &m.fc_bias,
             m.classes,
             &mut metrics.ops,
+            &self.pool,
         )?;
         metrics.stages.push(StageMetrics {
             name: "Fully Connected Layer (HE outside)".into(),
@@ -315,8 +404,16 @@ mod tests {
     #[test]
     fn hybrid_matches_integer_reference_exactly() {
         let model = small_hybrid_model();
-        let (service, _ceremony) =
-            HybridInference::provision(Platform::new(31), model.clone(), 256, 7).unwrap();
+        let (service, _ceremony) = HybridInference::provision_with(
+            Platform::new(31),
+            model.clone(),
+            ProvisionConfig {
+                poly_degree: 256,
+                seed: 7,
+                ..ProvisionConfig::default()
+            },
+        )
+        .unwrap();
         let mut rng = ChaChaRng::from_seed(101);
         let images: Vec<Vec<i64>> = (0..3)
             .map(|b| (0..64).map(|p| ((p + b * 7) % 16) as i64).collect())
@@ -325,7 +422,7 @@ mod tests {
             &service.sys,
             &images,
             model.in_side,
-            &service.enclave.public_keys(),
+            service.enclave.public_keys(),
             &mut rng,
         )
         .unwrap();
@@ -351,15 +448,23 @@ mod tests {
     #[test]
     fn per_pixel_ecalls_cost_more() {
         let model = small_hybrid_model();
-        let (service, _) =
-            HybridInference::provision(Platform::new(32), model.clone(), 256, 8).unwrap();
+        let (service, _) = HybridInference::provision_with(
+            Platform::new(32),
+            model.clone(),
+            ProvisionConfig {
+                poly_degree: 256,
+                seed: 8,
+                ..ProvisionConfig::default()
+            },
+        )
+        .unwrap();
         let mut rng = ChaChaRng::from_seed(102);
         let images = vec![(0..64).map(|p| (p % 16) as i64).collect::<Vec<i64>>()];
         let enc = EncryptedMap::encrypt_images(
             &service.sys,
             &images,
             model.in_side,
-            &service.enclave.public_keys(),
+            service.enclave.public_keys(),
             &mut rng,
         )
         .unwrap();
@@ -376,7 +481,71 @@ mod tests {
     #[test]
     fn window_2_uses_sgx_pool() {
         let model = small_hybrid_model();
-        let (service, _) = HybridInference::provision(Platform::new(33), model, 256, 9).unwrap();
+        let (service, _) = HybridInference::provision_with(
+            Platform::new(33),
+            model,
+            ProvisionConfig {
+                poly_degree: 256,
+                seed: 9,
+                ..ProvisionConfig::default()
+            },
+        )
+        .unwrap();
         assert_eq!(service.plan().pool_strategy, PoolStrategy::SgxPool);
+    }
+
+    #[test]
+    fn wrong_pipeline_is_a_config_error() {
+        let mut model = small_hybrid_model();
+        model.pipeline = QuantPipeline::CryptoNets;
+        let err = HybridInference::provision_with(
+            Platform::new(34),
+            model,
+            ProvisionConfig {
+                poly_degree: 256,
+                seed: 10,
+                ..ProvisionConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn logits_bit_identical_across_thread_counts() {
+        let model = small_hybrid_model();
+        let images: Vec<Vec<i64>> = (0..2)
+            .map(|b| (0..64).map(|p| ((p * 3 + b) % 16) as i64).collect())
+            .collect();
+        let mut reference: Option<Vec<CrtCiphertext>> = None;
+        for threads in [1usize, 2, 4] {
+            // Same seeds everywhere → only the pool size varies.
+            let (service, _) = HybridInference::provision_with(
+                Platform::new(35),
+                model.clone(),
+                ProvisionConfig {
+                    poly_degree: 256,
+                    seed: 11,
+                    threads,
+                    ..ProvisionConfig::default()
+                },
+            )
+            .unwrap();
+            let mut rng = ChaChaRng::from_seed(103);
+            let enc = EncryptedMap::encrypt_images(
+                &service.sys,
+                &images,
+                model.in_side,
+                service.enclave.public_keys(),
+                &mut rng,
+            )
+            .unwrap();
+            let (logits, metrics) = service.infer(&enc, EcallBatching::Batched).unwrap();
+            assert_eq!(metrics.threads, threads);
+            match &reference {
+                None => reference = Some(logits),
+                Some(cts) => assert_eq!(&logits, cts, "{threads} threads"),
+            }
+        }
     }
 }

@@ -1,0 +1,395 @@
+//! The one-stop session API: builder → [`Session`] → plaintext logits.
+//!
+//! [`HybridInference`] exposes the paper's machinery — key ceremony,
+//! encrypted maps, ECALL batching modes — which most callers don't want to
+//! assemble by hand. A [`Session`] owns both roles of the protocol (the
+//! provisioned edge service *and* the attested user key material) so a caller
+//! can go quantized pixels → logits in one call, while every intermediate
+//! still travels encrypted through the real pipeline. Use the lower-level
+//! modules directly when the user and the server must be separate processes.
+//!
+//! ```
+//! use hesgx_core::prelude::*;
+//!
+//! # fn main() -> hesgx_core::Result<()> {
+//! # let model = QuantizedCnn {
+//! #     pipeline: QuantPipeline::Hybrid,
+//! #     in_side: 8, conv_out: 2, kernel: 3, window: 2, classes: 3,
+//! #     conv_weights: (0..18).map(|i| (i % 7) as i64 - 3).collect(),
+//! #     conv_bias: vec![5, -9],
+//! #     fc_weights: (0..3 * 18).map(|i| (i % 5) as i64 - 2).collect(),
+//! #     fc_bias: vec![10, -5, 0],
+//! #     weight_scale: 8, fc_scale: 8, act_scale: 16,
+//! # };
+//! let session = SessionBuilder::new()
+//!     .params(ParamsPreset::Small)
+//!     .activation(ActivationKind::Sigmoid)
+//!     .threads(2)
+//!     .seed(7)
+//!     .build(Platform::new(1), model.clone())?;
+//! let image: Vec<i64> = (0..64).map(|p| p % 16).collect();
+//! let logits = session.infer(&image)?;
+//! assert_eq!(logits, model.forward_ints(&image));
+//! assert_eq!(session.metrics().expect("ran once").threads, 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::{Error, Result};
+use crate::keydist::KeyCeremonyPublic;
+use crate::pipeline::{EcallBatching, HybridInference, HybridMetrics, ProvisionConfig};
+use crate::planner::PoolStrategy;
+use hesgx_crypto::rng::ChaChaRng;
+use hesgx_henn::image::EncryptedMap;
+use hesgx_henn::par::ParExec;
+use hesgx_nn::layers::ActivationKind;
+use hesgx_nn::quantize::QuantizedCnn;
+use hesgx_tee::cost::CostModel;
+use hesgx_tee::enclave::Platform;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// FV parameter presets for [`SessionBuilder::params`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamsPreset {
+    /// The paper's MNIST setting: polynomial degree 1024 (§V-A).
+    Paper,
+    /// Small parameters for tests and demos: degree 256.
+    Small,
+    /// An explicit polynomial degree (must be a power of two).
+    Degree(usize),
+}
+
+impl ParamsPreset {
+    fn poly_degree(self) -> usize {
+        match self {
+            ParamsPreset::Paper => 1024,
+            ParamsPreset::Small => 256,
+            ParamsPreset::Degree(n) => n,
+        }
+    }
+}
+
+/// Builder for [`Session`]; every knob has a paper-faithful default.
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    preset: ParamsPreset,
+    activation: ActivationKind,
+    pool_strategy: Option<PoolStrategy>,
+    cost_model: Option<CostModel>,
+    threads: usize,
+    seed: u64,
+    batching: EcallBatching,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        SessionBuilder {
+            preset: ParamsPreset::Paper,
+            activation: ActivationKind::Sigmoid,
+            pool_strategy: None,
+            cost_model: None,
+            threads: 0,
+            seed: 0,
+            batching: EcallBatching::Batched,
+        }
+    }
+}
+
+impl SessionBuilder {
+    /// Starts from the defaults: paper parameters, sigmoid activation,
+    /// §VI-D pooling rule, calibrated SGX cost model, one worker per core.
+    pub fn new() -> Self {
+        SessionBuilder::default()
+    }
+
+    /// Selects the FV parameter preset.
+    #[must_use]
+    pub fn params(mut self, preset: ParamsPreset) -> Self {
+        self.preset = preset;
+        self
+    }
+
+    /// Selects the activation computed exactly inside the enclave (§VI-C).
+    #[must_use]
+    pub fn activation(mut self, kind: ActivationKind) -> Self {
+        self.activation = kind;
+        self
+    }
+
+    /// Overrides the pooling split instead of applying the §VI-D window
+    /// rule.
+    #[must_use]
+    pub fn pooling(mut self, strategy: PoolStrategy) -> Self {
+        self.pool_strategy = Some(strategy);
+        self
+    }
+
+    /// Overrides the enclave cost model — [`CostModel::fake_sgx`] gives the
+    /// paper's `EncryptFakeSGX` control group.
+    #[must_use]
+    pub fn cost_model(mut self, model: CostModel) -> Self {
+        self.cost_model = Some(model);
+        self
+    }
+
+    /// Sets the HE worker-thread count; `0` (default) means one per
+    /// available core, `1` is fully serial. Inference results are
+    /// bit-identical for every value.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Seeds every RNG in the session (keys, encryption, enclave identity);
+    /// two sessions with equal seeds and thread counts behave identically.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the ECALL submission mode ([`EcallBatching::PerPixel`]
+    /// reproduces the paper's `EncryptSGX (single)` negative result).
+    #[must_use]
+    pub fn batching(mut self, batching: EcallBatching) -> Self {
+        self.batching = batching;
+        self
+    }
+
+    /// Provisions the service on `platform`, runs the key ceremony, and
+    /// returns the ready session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for invalid parameters (non-power-of-two
+    /// degree, model quantized for another pipeline) and propagates HE/TEE
+    /// provisioning failures.
+    pub fn build(self, platform: Arc<Platform>, model: QuantizedCnn) -> Result<Session> {
+        let poly_degree = self.preset.poly_degree();
+        if poly_degree < 2 || !poly_degree.is_power_of_two() {
+            return Err(Error::Config(format!(
+                "polynomial degree must be a power of two >= 2, got {poly_degree}"
+            )));
+        }
+        let (mut service, ceremony) = HybridInference::provision_with(
+            platform,
+            model,
+            ProvisionConfig {
+                poly_degree,
+                seed: self.seed,
+                cost_model: self.cost_model,
+                threads: self.threads,
+                pool_strategy: self.pool_strategy,
+            },
+        )?;
+        service.set_activation(self.activation);
+        let pool = ParExec::new(self.threads);
+        Ok(Session {
+            service,
+            ceremony,
+            batching: self.batching,
+            rng: Mutex::new(ChaChaRng::from_seed(self.seed).fork("session-client")),
+            pool,
+            last_metrics: Mutex::new(None),
+        })
+    }
+}
+
+/// A provisioned inference session: encrypt → hybrid pipeline → decrypt.
+#[derive(Debug)]
+pub struct Session {
+    service: HybridInference,
+    ceremony: KeyCeremonyPublic,
+    batching: EcallBatching,
+    rng: Mutex<ChaChaRng>,
+    pool: ParExec,
+    last_metrics: Mutex<Option<HybridMetrics>>,
+}
+
+impl Session {
+    /// Runs one quantized image (`in_side × in_side` pixels, row-major)
+    /// through the encrypted pipeline and returns the plaintext logits —
+    /// bit-identical to [`QuantizedCnn::forward_ints`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates HE/TEE failures.
+    pub fn infer(&self, image: &[i64]) -> Result<Vec<i64>> {
+        let mut logits = self.infer_batch(std::slice::from_ref(&image.to_vec()))?;
+        Ok(logits.pop().expect("one image in, one logit row out"))
+    }
+
+    /// Runs a batch of quantized images through the encrypted pipeline
+    /// (the batch rides the SIMD slots, amortizing every per-ciphertext
+    /// cost as in the paper's §V-B) and returns one logit row per image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for an empty or oversized batch and
+    /// propagates HE/TEE failures.
+    pub fn infer_batch(&self, images: &[Vec<i64>]) -> Result<Vec<Vec<i64>>> {
+        if images.is_empty() {
+            return Err(Error::Config("empty image batch".into()));
+        }
+        let slots = self.service.system().slot_count();
+        if images.len() > slots {
+            return Err(Error::Config(format!(
+                "batch of {} exceeds the {} SIMD slots",
+                images.len(),
+                slots
+            )));
+        }
+        let side = self.service.model().in_side;
+        let enc = {
+            // Advance the client stream once per batch, then encrypt from a
+            // fork so the per-cell streams stay scheduling-independent.
+            let mut rng = self.rng.lock();
+            let batch_rng = rng.fork("batch");
+            rng.next_u64();
+            EncryptedMap::encrypt_images_par(
+                self.service.system(),
+                images,
+                side,
+                &self.ceremony.public,
+                &batch_rng,
+                &self.pool,
+            )?
+        };
+        let (logits, metrics) = self.service.infer(&enc, self.batching)?;
+        *self.last_metrics.lock() = Some(metrics);
+        let mut out = vec![Vec::with_capacity(logits.len()); images.len()];
+        for ct in &logits {
+            let slots = self
+                .service
+                .system()
+                .decrypt_slots(ct, &self.ceremony.user_secret)?;
+            for (b, row) in out.iter_mut().enumerate() {
+                let v = i64::try_from(slots[b]).map_err(|_| Error::RangeViolation(slots[b]))?;
+                row.push(v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Metrics of the most recent [`Session::infer`]/[`Session::infer_batch`]
+    /// run, if any.
+    pub fn metrics(&self) -> Option<HybridMetrics> {
+        self.last_metrics.lock().clone()
+    }
+
+    /// The underlying provisioned service (plan, enclave, CRT system).
+    pub fn service(&self) -> &HybridInference {
+        &self.service
+    }
+
+    /// The attested key-ceremony material the user role holds.
+    pub fn ceremony(&self) -> &KeyCeremonyPublic {
+        &self.ceremony
+    }
+
+    /// The quantized model served by this session.
+    pub fn model(&self) -> &QuantizedCnn {
+        self.service.model()
+    }
+
+    /// The HE worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hesgx_nn::quantize::QuantPipeline;
+
+    fn small_model() -> QuantizedCnn {
+        QuantizedCnn {
+            pipeline: QuantPipeline::Hybrid,
+            in_side: 8,
+            conv_out: 2,
+            kernel: 3,
+            window: 2,
+            classes: 3,
+            conv_weights: (0..18).map(|i| (i % 7) as i64 - 3).collect(),
+            conv_bias: vec![5, -9],
+            fc_weights: (0..3 * 18).map(|i| (i % 5) as i64 - 2).collect(),
+            fc_bias: vec![10, -5, 0],
+            weight_scale: 8,
+            fc_scale: 8,
+            act_scale: 16,
+        }
+    }
+
+    fn build(threads: usize, seed: u64) -> Session {
+        SessionBuilder::new()
+            .params(ParamsPreset::Small)
+            .threads(threads)
+            .seed(seed)
+            .build(Platform::new(40 + threads as u64), small_model())
+            .unwrap()
+    }
+
+    #[test]
+    fn session_matches_plaintext_reference() {
+        let session = build(2, 5);
+        let images: Vec<Vec<i64>> = (0..3)
+            .map(|b| (0..64).map(|p| ((p + b * 5) % 16) as i64).collect())
+            .collect();
+        let logits = session.infer_batch(&images).unwrap();
+        for (img, row) in images.iter().zip(&logits) {
+            assert_eq!(row, &session.model().forward_ints(img));
+        }
+        let metrics = session.metrics().expect("metrics recorded");
+        assert_eq!(metrics.stages.len(), 4);
+        assert_eq!(metrics.threads, 2);
+    }
+
+    #[test]
+    fn single_image_shorthand() {
+        let session = build(1, 6);
+        let image: Vec<i64> = (0..64).map(|p| (p % 16) as i64).collect();
+        assert_eq!(
+            session.infer(&image).unwrap(),
+            session.model().forward_ints(&image)
+        );
+    }
+
+    #[test]
+    fn batch_limits_are_config_errors() {
+        let session = build(1, 7);
+        assert!(matches!(
+            session.infer_batch(&[]).unwrap_err(),
+            Error::Config(_)
+        ));
+        let too_many: Vec<Vec<i64>> = (0..session.service.system().slot_count() + 1)
+            .map(|_| vec![0; 64])
+            .collect();
+        assert!(matches!(
+            session.infer_batch(&too_many).unwrap_err(),
+            Error::Config(_)
+        ));
+    }
+
+    #[test]
+    fn bad_degree_rejected_at_build() {
+        let err = SessionBuilder::new()
+            .params(ParamsPreset::Degree(300))
+            .build(Platform::new(49), small_model())
+            .unwrap_err();
+        assert!(matches!(err, Error::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn consecutive_batches_use_distinct_encryption_streams() {
+        let session = build(1, 8);
+        let image: Vec<i64> = (0..64).map(|p| (p % 16) as i64).collect();
+        // Same plaintext twice: values equal, but a fresh random stream each
+        // call (the client RNG advances between batches).
+        let a = session.infer(&image).unwrap();
+        let b = session.infer(&image).unwrap();
+        assert_eq!(a, b);
+    }
+}

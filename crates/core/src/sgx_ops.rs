@@ -12,56 +12,23 @@
 //! and key-load costs amortize; the `*_single_ecalls` variants reproduce the
 //! pathological per-pixel design Fig. 8 calls `EncryptSGX (single)`.
 
+use crate::error::{Error, Result};
 use hesgx_bfv::prelude::{PublicKey, SecretKey};
 use hesgx_crypto::rng::ChaChaRng;
 use hesgx_henn::crt::{CrtCiphertext, CrtPlainSystem};
 use hesgx_henn::image::EncryptedMap;
+use hesgx_henn::par::ParExec;
 use hesgx_nn::layers::ActivationKind;
 use hesgx_nn::quantize::QuantizedCnn;
 use hesgx_tee::cost::CostBreakdown;
 use hesgx_tee::enclave::Enclave;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
-/// Errors from hybrid-framework operations.
-#[derive(Debug)]
-pub enum HybridError {
-    /// A homomorphic-encryption operation failed.
-    He(hesgx_bfv::error::BfvError),
-    /// A TEE operation failed.
-    Tee(hesgx_tee::error::TeeError),
-    /// A value decrypted inside the enclave exceeded the plaintext range the
-    /// planner proved — indicates a planner/range-analysis bug.
-    RangeViolation(i128),
-}
-
-impl std::fmt::Display for HybridError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            HybridError::He(e) => write!(f, "homomorphic operation failed: {e}"),
-            HybridError::Tee(e) => write!(f, "enclave operation failed: {e}"),
-            HybridError::RangeViolation(v) => {
-                write!(f, "decrypted value {v} outside analyzed range")
-            }
-        }
-    }
-}
-
-impl std::error::Error for HybridError {}
-
-impl From<hesgx_bfv::error::BfvError> for HybridError {
-    fn from(e: hesgx_bfv::error::BfvError) -> Self {
-        HybridError::He(e)
-    }
-}
-
-impl From<hesgx_tee::error::TeeError> for HybridError {
-    fn from(e: hesgx_tee::error::TeeError) -> Self {
-        HybridError::Tee(e)
-    }
-}
-
-/// Convenience alias for hybrid results.
-pub type Result<T> = std::result::Result<T, HybridError>;
+/// Former name of [`crate::Error`], kept for source compatibility.
+#[deprecated(since = "0.2.0", note = "use `hesgx_core::Error` instead")]
+pub type HybridError = Error;
 
 /// The inference enclave: a TEE instance holding the FV secret keys, able to
 /// decrypt → compute → re-encrypt.
@@ -71,6 +38,10 @@ pub struct InferenceEnclave {
     secret: Vec<SecretKey>,
     public: Vec<PublicKey>,
     rng: Mutex<ChaChaRng>,
+    /// Monotone per-call counter: domain-separates the RNG forks of the
+    /// parallel transforms (the fork itself never advances the parent
+    /// stream, so without this two calls would reuse one stream).
+    calls: AtomicU64,
 }
 
 impl InferenceEnclave {
@@ -86,6 +57,7 @@ impl InferenceEnclave {
             secret,
             public,
             rng: Mutex::new(ChaChaRng::from_seed(seed).fork("enclave-reencrypt")),
+            calls: AtomicU64::new(0),
         }
     }
 
@@ -117,8 +89,8 @@ impl InferenceEnclave {
     ) -> Result<(Vec<CrtCiphertext>, CostBreakdown)> {
         let in_bytes: usize = cells.iter().map(|c| c.byte_len()).sum();
         let (result, cost) = self.enclave.ecall(name, in_bytes, in_bytes, |ctx| {
-            let region = ctx.alloc(in_bytes.max(4096)).map_err(HybridError::Tee)?;
-            ctx.touch(region).map_err(HybridError::Tee)?;
+            let region = ctx.alloc(in_bytes.max(4096)).map_err(Error::Tee)?;
+            ctx.touch(region).map_err(Error::Tee)?;
             let mut rng = self.rng.lock();
             let mut out = Vec::with_capacity(cells.len());
             for (idx, cell) in cells.iter().enumerate() {
@@ -126,8 +98,56 @@ impl InferenceEnclave {
                 let mapped: Vec<i64> = slots.iter().map(|&v| f(idx, v)).collect();
                 out.push(sys.encrypt_slots(&mapped, &self.public, &mut rng)?);
             }
-            ctx.free(region).map_err(HybridError::Tee)?;
-            Ok::<_, HybridError>(out)
+            ctx.free(region).map_err(Error::Tee)?;
+            Ok::<_, Error>(out)
+        });
+        Ok((result?, cost))
+    }
+
+    /// Parallel [`InferenceEnclave::transform_cells`]: still ONE ecall for the
+    /// whole batch, but the per-cell decrypt→map→re-encrypt work is scheduled
+    /// on `pool` inside the enclave body.
+    ///
+    /// Each cell re-encrypts with its own fork of the enclave RNG, keyed by
+    /// `(call number, cell index)`, so the output is bit-identical for every
+    /// pool size — including `pool.threads() == 1` — though the ciphertext
+    /// bits differ from the sequential-stream [`InferenceEnclave::transform_cells`]
+    /// (the decrypted values are always identical). The summed per-task CPU
+    /// time is reported to the cost model via
+    /// [`hesgx_tee::enclave::EnclaveCtx::record_cpu_ns`], so the virtual
+    /// clock charges the enclave for the *full* CPU work of the batch, not
+    /// just the shortened wall time.
+    fn transform_cells_par(
+        &self,
+        name: &str,
+        sys: &CrtPlainSystem,
+        cells: &[&CrtCiphertext],
+        f: impl Fn(usize, i128) -> i64 + Sync,
+        pool: &ParExec,
+    ) -> Result<(Vec<CrtCiphertext>, CostBreakdown)> {
+        let in_bytes: usize = cells.iter().map(|c| c.byte_len()).sum();
+        let call = self.calls.fetch_add(1, Ordering::Relaxed);
+        let base = self.rng.lock().fork(&format!("par-call-{call}"));
+        let (result, cost) = self.enclave.ecall(name, in_bytes, in_bytes, |ctx| {
+            let region = ctx.alloc(in_bytes.max(4096)).map_err(Error::Tee)?;
+            ctx.touch(region).map_err(Error::Tee)?;
+            let tasks = pool.try_run(cells.len(), |idx| {
+                let start = Instant::now();
+                let mut rng = base.fork(&format!("cell-{idx}"));
+                let slots = sys.decrypt_slots(cells[idx], &self.secret)?;
+                let mapped: Vec<i64> = slots.iter().map(|&v| f(idx, v)).collect();
+                let ct = sys.encrypt_slots(&mapped, &self.public, &mut rng)?;
+                Ok::<_, Error>((ct, start.elapsed().as_nanos() as u64))
+            })?;
+            let mut out = Vec::with_capacity(tasks.len());
+            let mut cpu_ns = 0u64;
+            for (ct, ns) in tasks {
+                out.push(ct);
+                cpu_ns = cpu_ns.saturating_add(ns);
+            }
+            ctx.record_cpu_ns(cpu_ns);
+            ctx.free(region).map_err(Error::Tee)?;
+            Ok::<_, Error>(out)
         });
         Ok((result?, cost))
     }
@@ -150,6 +170,32 @@ impl InferenceEnclave {
         let (out, cost) = self.transform_cells("ecall_activation", sys, &cells, |_, v| {
             model.enclave_activation(v as i64, kind)
         })?;
+        Ok((EncryptedMap::new(c, h, w, out), cost))
+    }
+
+    /// Parallel [`InferenceEnclave::activation_map`]: one ECALL for the whole
+    /// feature map, per-cell work scheduled on `pool` inside the enclave.
+    ///
+    /// # Errors
+    ///
+    /// Propagates HE/TEE failures.
+    pub fn activation_map_par(
+        &self,
+        sys: &CrtPlainSystem,
+        input: &EncryptedMap,
+        model: &QuantizedCnn,
+        kind: ActivationKind,
+        pool: &ParExec,
+    ) -> Result<(EncryptedMap, CostBreakdown)> {
+        let (c, h, w) = input.shape();
+        let cells: Vec<&CrtCiphertext> = input.cells().iter().collect();
+        let (out, cost) = self.transform_cells_par(
+            "ecall_activation",
+            sys,
+            &cells,
+            |_, v| model.enclave_activation(v as i64, kind),
+            pool,
+        )?;
         Ok((EncryptedMap::new(c, h, w, out), cost))
     }
 
@@ -200,6 +246,31 @@ impl InferenceEnclave {
         Ok((EncryptedMap::new(c, h, w, out), cost))
     }
 
+    /// Parallel [`InferenceEnclave::divide_map`]: one ECALL, per-cell work on
+    /// `pool`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates HE/TEE failures.
+    pub fn divide_map_par(
+        &self,
+        sys: &CrtPlainSystem,
+        summed: &EncryptedMap,
+        model: &QuantizedCnn,
+        pool: &ParExec,
+    ) -> Result<(EncryptedMap, CostBreakdown)> {
+        let (c, h, w) = summed.shape();
+        let cells: Vec<&CrtCiphertext> = summed.cells().iter().collect();
+        let (out, cost) = self.transform_cells_par(
+            "ecall_divide",
+            sys,
+            &cells,
+            |_, v| model.enclave_mean(v as i64),
+            pool,
+        )?;
+        Ok((EncryptedMap::new(c, h, w, out), cost))
+    }
+
     /// `SGXPool` (paper §VI-D): the whole feature map enters the enclave and
     /// both the addition and the division happen inside. Fixed input size
     /// regardless of window (the paper's green line in Fig. 6).
@@ -220,11 +291,13 @@ impl InferenceEnclave {
         let in_bytes = input.byte_len();
         let out_count = c * oh * ow;
         let slot_count = sys.slot_count();
-        let (result, cost) = self
-            .enclave
-            .ecall("ecall_pool", in_bytes, in_bytes / (window * window).max(1), |ctx| {
-                let region = ctx.alloc(in_bytes.max(4096)).map_err(HybridError::Tee)?;
-                ctx.touch(region).map_err(HybridError::Tee)?;
+        let (result, cost) = self.enclave.ecall(
+            "ecall_pool",
+            in_bytes,
+            in_bytes / (window * window).max(1),
+            |ctx| {
+                let region = ctx.alloc(in_bytes.max(4096)).map_err(Error::Tee)?;
+                ctx.touch(region).map_err(Error::Tee)?;
                 // Decrypt the full map.
                 let mut plain: Vec<Vec<i128>> = Vec::with_capacity(input.cells().len());
                 for cell in input.cells() {
@@ -241,9 +314,9 @@ impl InferenceEnclave {
                                 let mut acc: Option<i64> = None;
                                 for dy in 0..window {
                                     for dx in 0..window {
-                                        let v = plain[(ch * h + oy * window + dy) * w
-                                            + ox * window
-                                            + dx][s] as i64;
+                                        let v = plain
+                                            [(ch * h + oy * window + dy) * w + ox * window + dx][s]
+                                            as i64;
                                         acc = Some(match acc {
                                             None => v,
                                             Some(a) if max_pool => a.max(v),
@@ -252,15 +325,112 @@ impl InferenceEnclave {
                                     }
                                 }
                                 let acc = acc.expect("window non-empty");
-                                *slot_out = if max_pool { acc } else { model.enclave_mean(acc) };
+                                *slot_out = if max_pool {
+                                    acc
+                                } else {
+                                    model.enclave_mean(acc)
+                                };
                             }
-                            out_cells.push(sys.encrypt_slots(&slots_out, &self.public, &mut rng)?);
+                            out_cells.push(sys.encrypt_slots(
+                                &slots_out,
+                                &self.public,
+                                &mut rng,
+                            )?);
                         }
                     }
                 }
-                ctx.free(region).map_err(HybridError::Tee)?;
-                Ok::<_, HybridError>(out_cells)
-            });
+                ctx.free(region).map_err(Error::Tee)?;
+                Ok::<_, Error>(out_cells)
+            },
+        );
+        Ok((EncryptedMap::new(c, oh, ow, result?), cost))
+    }
+
+    /// Parallel [`InferenceEnclave::pool_full_map`]: still one ECALL for the
+    /// whole map; the decryption of every input cell and the pool+re-encrypt
+    /// of every output cell are scheduled on `pool` inside the enclave body,
+    /// with the summed per-task CPU time reported to the cost model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates HE/TEE failures.
+    pub fn pool_full_map_par(
+        &self,
+        sys: &CrtPlainSystem,
+        input: &EncryptedMap,
+        model: &QuantizedCnn,
+        max_pool: bool,
+        pool: &ParExec,
+    ) -> Result<(EncryptedMap, CostBreakdown)> {
+        let (c, h, w) = input.shape();
+        let window = model.window;
+        let (oh, ow) = (h / window, w / window);
+        let in_bytes = input.byte_len();
+        let out_count = c * oh * ow;
+        let slot_count = sys.slot_count();
+        let call = self.calls.fetch_add(1, Ordering::Relaxed);
+        let base = self.rng.lock().fork(&format!("par-call-{call}"));
+        let (result, cost) = self.enclave.ecall(
+            "ecall_pool",
+            in_bytes,
+            in_bytes / (window * window).max(1),
+            |ctx| {
+                let region = ctx.alloc(in_bytes.max(4096)).map_err(Error::Tee)?;
+                ctx.touch(region).map_err(Error::Tee)?;
+                let mut cpu_ns = 0u64;
+                // Decrypt the full map, one task per cell.
+                let decrypted = pool.try_run(input.cells().len(), |i| {
+                    let start = Instant::now();
+                    let slots = sys.decrypt_slots(&input.cells()[i], &self.secret)?;
+                    Ok::<_, Error>((slots, start.elapsed().as_nanos() as u64))
+                })?;
+                let mut plain = Vec::with_capacity(decrypted.len());
+                for (slots, ns) in decrypted {
+                    plain.push(slots);
+                    cpu_ns = cpu_ns.saturating_add(ns);
+                }
+                // Pool + re-encrypt, one task per output cell.
+                let plain = &plain;
+                let outs = pool.try_run(out_count, |o| {
+                    let start = Instant::now();
+                    let ch = o / (oh * ow);
+                    let oy = (o / ow) % oh;
+                    let ox = o % ow;
+                    let mut rng = base.fork(&format!("cell-{o}"));
+                    let mut slots_out = vec![0i64; slot_count];
+                    for (s, slot_out) in slots_out.iter_mut().enumerate() {
+                        let mut acc: Option<i64> = None;
+                        for dy in 0..window {
+                            for dx in 0..window {
+                                let v = plain[(ch * h + oy * window + dy) * w + ox * window + dx][s]
+                                    as i64;
+                                acc = Some(match acc {
+                                    None => v,
+                                    Some(a) if max_pool => a.max(v),
+                                    Some(a) => a + v,
+                                });
+                            }
+                        }
+                        let acc = acc.expect("window non-empty");
+                        *slot_out = if max_pool {
+                            acc
+                        } else {
+                            model.enclave_mean(acc)
+                        };
+                    }
+                    let ct = sys.encrypt_slots(&slots_out, &self.public, &mut rng)?;
+                    Ok::<_, Error>((ct, start.elapsed().as_nanos() as u64))
+                })?;
+                let mut out_cells = Vec::with_capacity(out_count);
+                for (ct, ns) in outs {
+                    out_cells.push(ct);
+                    cpu_ns = cpu_ns.saturating_add(ns);
+                }
+                ctx.record_cpu_ns(cpu_ns);
+                ctx.free(region).map_err(Error::Tee)?;
+                Ok::<_, Error>(out_cells)
+            },
+        );
         Ok((EncryptedMap::new(c, oh, ow, result?), cost))
     }
 
@@ -281,6 +451,22 @@ impl InferenceEnclave {
         self.transform_cells("ecall_DecreaseNoise", sys, &refs, |_, v| v as i64)
     }
 
+    /// Parallel [`InferenceEnclave::refresh_batch`]: one ECALL, per-ciphertext
+    /// work on `pool`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates HE/TEE failures.
+    pub fn refresh_batch_par(
+        &self,
+        sys: &CrtPlainSystem,
+        cts: &[CrtCiphertext],
+        pool: &ParExec,
+    ) -> Result<(Vec<CrtCiphertext>, CostBreakdown)> {
+        let refs: Vec<&CrtCiphertext> = cts.iter().collect();
+        self.transform_cells_par("ecall_DecreaseNoise", sys, &refs, |_, v| v as i64, pool)
+    }
+
     /// Single-ciphertext refresh (one ECALL round-trip each — the
     /// unamortized row of Table V).
     ///
@@ -292,7 +478,8 @@ impl InferenceEnclave {
         sys: &CrtPlainSystem,
         ct: &CrtCiphertext,
     ) -> Result<(CrtCiphertext, CostBreakdown)> {
-        let (mut out, cost) = self.transform_cells("ecall_DecreaseNoise", sys, &[ct], |_, v| v as i64)?;
+        let (mut out, cost) =
+            self.transform_cells("ecall_DecreaseNoise", sys, &[ct], |_, v| v as i64)?;
         Ok((out.pop().expect("one in, one out"), cost))
     }
 }
@@ -399,7 +586,10 @@ mod tests {
         let (fresh, _) = ie.refresh_one(&sys, &sq).unwrap();
         assert_eq!(fresh.size(), 2, "refresh shrinks the ciphertext");
         let after = sys.noise_budget(&fresh, keys_secret).unwrap();
-        assert!(after > before, "refresh must reset noise: {before} -> {after}");
+        assert!(
+            after > before,
+            "refresh must reset noise: {before} -> {after}"
+        );
         let dec = sys.decrypt_slots(&fresh, keys_secret).unwrap();
         assert_eq!(dec[0], 1234 * 1234);
         assert_eq!(dec[1], 99 * 99);
@@ -418,6 +608,72 @@ mod tests {
             single_total = sum_costs(single_total, c);
         }
         assert!(single_total.transition_ns > batched.transition_ns);
+    }
+
+    #[test]
+    fn parallel_activation_bit_identical_across_pool_sizes() {
+        let model = small_model();
+        let values: Vec<Vec<i64>> = vec![(0..16).map(|v| v * 9 - 70).collect()];
+        let mut reference: Option<Vec<CrtCiphertext>> = None;
+        for threads in [1usize, 2, 3, 8] {
+            // Fresh (deterministic) enclave per pool size so each run starts
+            // from the same RNG state and call counter.
+            let (ie, sys, mut rng) = setup();
+            let enc = EncryptedMap::encrypt_images(&sys, &values, 4, &ie.public, &mut rng).unwrap();
+            let pool = ParExec::new(threads);
+            let (out, cost) = ie
+                .activation_map_par(&sys, &enc, &model, ActivationKind::Sigmoid, &pool)
+                .unwrap();
+            assert!(cost.total_ns() > 0);
+            // Decrypted values always match the serial operator.
+            let dec = out.decrypt_all(&sys, &ie.secret, 1).unwrap();
+            let expect: Vec<i128> = values[0]
+                .iter()
+                .map(|&v| model.enclave_sigmoid(v) as i128)
+                .collect();
+            assert_eq!(dec[0], expect, "{threads} threads");
+            match &reference {
+                None => reference = Some(out.cells().to_vec()),
+                Some(cells) => assert_eq!(out.cells(), &cells[..], "{threads} threads"),
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_pool_full_map_matches_serial_values() {
+        let (ie, sys, mut rng) = setup();
+        let model = small_model();
+        let img = vec![(1..=16i64).collect::<Vec<i64>>()];
+        let enc = EncryptedMap::encrypt_images(&sys, &img, 4, &ie.public, &mut rng).unwrap();
+        let pool = ParExec::new(4);
+        let (mean, _) = ie
+            .pool_full_map_par(&sys, &enc, &model, false, &pool)
+            .unwrap();
+        assert_eq!(mean.shape(), (1, 2, 2));
+        let dec = mean.decrypt_all(&sys, &ie.secret, 1).unwrap();
+        assert_eq!(dec[0], vec![4, 6, 12, 14]);
+        let (maxp, _) = ie
+            .pool_full_map_par(&sys, &enc, &model, true, &pool)
+            .unwrap();
+        let dec = maxp.decrypt_all(&sys, &ie.secret, 1).unwrap();
+        assert_eq!(dec[0], vec![6, 8, 14, 16]);
+    }
+
+    #[test]
+    fn parallel_refresh_preserves_values() {
+        let (ie, sys, mut rng) = setup();
+        let cts: Vec<_> = (0..6)
+            .map(|i| {
+                sys.encrypt_slots(&[i * 11 - 20], &ie.public, &mut rng)
+                    .unwrap()
+            })
+            .collect();
+        let pool = ParExec::new(3);
+        let (fresh, _) = ie.refresh_batch_par(&sys, &cts, &pool).unwrap();
+        for (i, ct) in fresh.iter().enumerate() {
+            let dec = sys.decrypt_slots(ct, &ie.secret).unwrap();
+            assert_eq!(dec[0], (i as i128) * 11 - 20);
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! attestation chain, and the side-channel claims.
 
 use hesgx_core::keydist::verify_key_ceremony;
-use hesgx_core::pipeline::{EcallBatching, HybridInference};
+use hesgx_core::pipeline::{EcallBatching, HybridInference, ProvisionConfig};
 use hesgx_core::planner::PoolStrategy;
 use hesgx_crypto::rng::ChaChaRng;
 use hesgx_henn::cryptonets::CryptoNets;
@@ -17,6 +17,23 @@ use hesgx_tee::enclave::Platform;
 
 /// Builds a small untrained paper-architecture model (weights random but
 /// fixed) — exactness tests don't need training.
+fn provision(
+    platform: std::sync::Arc<Platform>,
+    model: QuantizedCnn,
+    seed: u64,
+) -> (HybridInference, hesgx_core::keydist::KeyCeremonyPublic) {
+    HybridInference::provision_with(
+        platform,
+        model,
+        ProvisionConfig {
+            poly_degree: 1024,
+            seed,
+            ..ProvisionConfig::default()
+        },
+    )
+    .unwrap()
+}
+
 fn hybrid_paper_model(seed: u64) -> QuantizedCnn {
     let mut rng = ChaChaRng::from_seed(seed);
     let net = paper_cnn(ActivationKind::Sigmoid, PoolKind::Mean, &mut rng);
@@ -32,8 +49,7 @@ fn full_paper_pipeline_matches_reference_for_batch() {
     let platform = Platform::new(50);
     let mut attestation = AttestationService::new();
     attestation.register_platform(platform.quoting_enclave());
-    let (service, ceremony) =
-        HybridInference::provision(platform, model.clone(), 1024, 3).unwrap();
+    let (service, ceremony) = provision(platform, model.clone(), 3);
 
     // Attestation chain must verify before the user encrypts anything.
     let measurement = *service.enclave().enclave().measurement();
@@ -45,8 +61,7 @@ fn full_paper_pipeline_matches_reference_for_batch() {
         .map(|s| dataset::quantize_pixels(&s.image))
         .collect();
     let mut rng = ChaChaRng::from_seed(10);
-    let enc =
-        EncryptedMap::encrypt_images(service.system(), &images, 28, &keys, &mut rng).unwrap();
+    let enc = EncryptedMap::encrypt_images(service.system(), &images, 28, &keys, &mut rng).unwrap();
     let (logits, metrics) = service.infer(&enc, EcallBatching::Batched).unwrap();
 
     for (b, img) in images.iter().enumerate() {
@@ -62,7 +77,10 @@ fn full_paper_pipeline_matches_reference_for_batch() {
     // The paper model's 2×2 window selects SgxPool; all four stages ran.
     assert_eq!(service.plan().pool_strategy, PoolStrategy::SgxPool);
     assert_eq!(metrics.stages.len(), 4);
-    assert_eq!(metrics.ops.ct_ct_mul, 0, "hybrid pipeline never multiplies ciphertexts");
+    assert_eq!(
+        metrics.ops.ct_ct_mul, 0,
+        "hybrid pipeline never multiplies ciphertexts"
+    );
     assert_eq!(metrics.ops.relin, 0, "hybrid pipeline never relinearizes");
 }
 
@@ -108,22 +126,16 @@ fn hybrid_and_plaintext_predictions_agree_across_dataset() {
     // Prediction-level consistency over more samples (argmax, not raw logits,
     // to mirror the paper's accuracy claim).
     let model = hybrid_paper_model(2);
-    let (service, ceremony) =
-        HybridInference::provision(Platform::new(51), model.clone(), 1024, 4).unwrap();
+    let (service, ceremony) = provision(Platform::new(51), model.clone(), 4);
     let samples = dataset::generate(4, 33);
     let images: Vec<Vec<i64>> = samples
         .iter()
         .map(|s| dataset::quantize_pixels(&s.image))
         .collect();
     let mut rng = ChaChaRng::from_seed(11);
-    let enc = EncryptedMap::encrypt_images(
-        service.system(),
-        &images,
-        28,
-        &ceremony.public,
-        &mut rng,
-    )
-    .unwrap();
+    let enc =
+        EncryptedMap::encrypt_images(service.system(), &images, 28, &ceremony.public, &mut rng)
+            .unwrap();
     let (logits, _) = service.infer(&enc, EcallBatching::Batched).unwrap();
     for (b, img) in images.iter().enumerate() {
         let mut best = (0usize, i128::MIN);
@@ -145,23 +157,20 @@ fn relu_and_tanh_in_enclave_also_exact() {
     // Paper §VI-C: SGX computes diverse activations exactly.
     for kind in [ActivationKind::Relu, ActivationKind::Tanh] {
         let model = hybrid_paper_model(3);
-        let (mut service, ceremony) =
-            HybridInference::provision(Platform::new(52), model.clone(), 1024, 5).unwrap();
+        let (mut service, ceremony) = provision(Platform::new(52), model.clone(), 5);
         service.set_activation(kind);
         let image = vec![dataset::quantize_pixels(&dataset::generate(1, 8)[0].image)];
         let mut rng = ChaChaRng::from_seed(12);
-        let enc = EncryptedMap::encrypt_images(
-            service.system(),
-            &image,
-            28,
-            &ceremony.public,
-            &mut rng,
-        )
-        .unwrap();
+        let enc =
+            EncryptedMap::encrypt_images(service.system(), &image, 28, &ceremony.public, &mut rng)
+                .unwrap();
         let (logits, _) = service.infer(&enc, EcallBatching::Batched).unwrap();
         // Reference with the same activation.
         let conv = model.conv_ints(&image[0]);
-        let act: Vec<i64> = conv.iter().map(|&v| model.enclave_activation(v, kind)).collect();
+        let act: Vec<i64> = conv
+            .iter()
+            .map(|&v| model.enclave_activation(v, kind))
+            .collect();
         let cs = model.conv_side();
         let ps = model.pool_side();
         let mut pooled = vec![0i64; model.fc_in()];
@@ -200,8 +209,7 @@ fn side_channel_exposure_lower_for_batched_design() {
     let mut rng = ChaChaRng::from_seed(13);
 
     let run = |batching: EcallBatching, seed: u64| {
-        let (service, ceremony) =
-            HybridInference::provision(Platform::new(seed), model.clone(), 1024, seed).unwrap();
+        let (service, ceremony) = provision(Platform::new(seed), model.clone(), seed);
         let enc = EncryptedMap::encrypt_images(
             service.system(),
             &image,
@@ -238,12 +246,8 @@ fn noise_refresh_extends_computation_indefinitely() {
     let enclave = hesgx_tee::enclave::EnclaveBuilder::new("refresh")
         .add_code(b"r")
         .build(platform);
-    let ie = hesgx_core::InferenceEnclave::new(
-        enclave,
-        keys.secret.clone(),
-        keys.public.clone(),
-        16,
-    );
+    let ie =
+        hesgx_core::InferenceEnclave::new(enclave, keys.secret.clone(), keys.public.clone(), 16);
     // 3^2 = 9, 9^2 = 81, 81^2 = 6561, 6561^2 mod 40961 wraps — stop at depth 3.
     let mut ct = sys.encrypt_slots(&[3], &keys.public, &mut rng).unwrap();
     let mut expected = 3i128;
@@ -252,8 +256,14 @@ fn noise_refresh_extends_computation_indefinitely() {
         let (fresh, _) = ie.refresh_one(&sys, &sq).unwrap();
         expected *= expected;
         let budget = sys.noise_budget(&fresh, &keys.secret).unwrap();
-        assert!(budget > 20, "refresh must restore budget at depth {depth}: {budget}");
-        assert_eq!(sys.decrypt_slots(&fresh, &keys.secret).unwrap()[0], expected);
+        assert!(
+            budget > 20,
+            "refresh must restore budget at depth {depth}: {budget}"
+        );
+        assert_eq!(
+            sys.decrypt_slots(&fresh, &keys.secret).unwrap()[0],
+            expected
+        );
         ct = fresh;
     }
 }

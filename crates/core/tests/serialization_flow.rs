@@ -28,14 +28,18 @@ fn wire_protocol_roundtrip() {
     // User side: reconstruct, encrypt a query.
     let pk = public_key_from_bytes(&ctx, &pk_bytes).unwrap();
     let encryptor = Encryptor::new(ctx.clone(), pk);
-    let query = encryptor.encrypt(&Plaintext::constant(42), &mut rng).unwrap();
+    let query = encryptor
+        .encrypt(&Plaintext::constant(42), &mut rng)
+        .unwrap();
     let query_bytes = ciphertext_to_bytes(&query);
 
     // Server side: reconstruct the ciphertext, compute 3x + 100 homomorphically.
     let server_ct = ciphertext_from_bytes(&ctx, &query_bytes).unwrap();
     let evaluator = hesgx_bfv::evaluator::Evaluator::new(ctx.clone());
     let tripled = evaluator.mul_plain_signed_scalar(&server_ct, 3).unwrap();
-    let result = evaluator.add_plain(&tripled, &Plaintext::constant(100)).unwrap();
+    let result = evaluator
+        .add_plain(&tripled, &Plaintext::constant(100))
+        .unwrap();
     let result_bytes = ciphertext_to_bytes(&result);
 
     // User side: reconstruct and decrypt.
@@ -63,7 +67,9 @@ fn sealed_secret_key_restores_through_bytes() {
     let sk = secret_key_from_bytes(&ctx, &restored_bytes.unwrap()).unwrap();
 
     let encryptor = Encryptor::new(ctx.clone(), keys.public[0].clone());
-    let ct = encryptor.encrypt(&Plaintext::constant(77), &mut rng).unwrap();
+    let ct = encryptor
+        .encrypt(&Plaintext::constant(77), &mut rng)
+        .unwrap();
     let decryptor = Decryptor::new(ctx, sk);
     assert_eq!(decryptor.decrypt(&ct).unwrap().coeffs()[0], 77);
 }
@@ -75,7 +81,9 @@ fn corrupted_wire_data_rejected_not_misdecrypted() {
     let keys = sys.generate_keys(&mut rng);
     let ctx = sys.contexts()[0].clone();
     let encryptor = Encryptor::new(ctx.clone(), keys.public[0].clone());
-    let ct = encryptor.encrypt(&Plaintext::constant(5), &mut rng).unwrap();
+    let ct = encryptor
+        .encrypt(&Plaintext::constant(5), &mut rng)
+        .unwrap();
     let mut bytes = ciphertext_to_bytes(&ct);
 
     // Header corruption: flips in magic / kind / context id must all reject.

@@ -115,9 +115,9 @@ impl U256 {
     pub fn overflowing_add(self, rhs: U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut carry = 0u64;
-        for i in 0..4 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let s = self.0[i] as u128 + rhs.0[i] as u128 + carry as u128;
-            out[i] = s as u64;
+            *limb = s as u64;
             carry = (s >> 64) as u64;
         }
         (U256(out), carry != 0)
@@ -140,10 +140,10 @@ impl U256 {
     pub fn overflowing_sub(self, rhs: U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut borrow = 0u64;
-        for i in 0..4 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let (d, b1) = self.0[i].overflowing_sub(rhs.0[i]);
             let (d, b2) = d.overflowing_sub(borrow);
-            out[i] = d;
+            *limb = d;
             borrow = (b1 || b2) as u64;
         }
         (U256(out), borrow != 0)
@@ -187,15 +187,16 @@ impl U256 {
     pub fn carrying_mul_u64(self, rhs: u64) -> (U256, u64) {
         let mut out = [0u64; 4];
         let mut carry = 0u128;
-        for i in 0..4 {
-            let cur = self.0[i] as u128 * rhs as u128 + carry;
-            out[i] = cur as u64;
+        for (limb, &s) in out.iter_mut().zip(&self.0) {
+            let cur = s as u128 * rhs as u128 + carry;
+            *limb = cur as u64;
             carry = cur >> 64;
         }
         (U256(out), carry as u64)
     }
 
     /// Left shift; shifts of 256 or more produce zero.
+    #[allow(clippy::should_implement_trait)] // shift-by-u32, not the Shl<Rhs> shape
     pub fn shl(self, n: u32) -> U256 {
         if n >= 256 {
             return U256::ZERO;
@@ -214,6 +215,7 @@ impl U256 {
     }
 
     /// Right shift; shifts of 256 or more produce zero.
+    #[allow(clippy::should_implement_trait)] // shift-by-u32, not the Shr<Rhs> shape
     pub fn shr(self, n: u32) -> U256 {
         if n >= 256 {
             return U256::ZERO;
@@ -221,12 +223,12 @@ impl U256 {
         let limb_shift = (n / 64) as usize;
         let bit_shift = n % 64;
         let mut out = [0u64; 4];
-        for i in 0..4 - limb_shift {
+        for (i, limb) in out.iter_mut().enumerate().take(4 - limb_shift) {
             let mut v = self.0[i + limb_shift] >> bit_shift;
             if bit_shift > 0 && i + limb_shift + 1 < 4 {
                 v |= self.0[i + limb_shift + 1] << (64 - bit_shift);
             }
-            out[i] = v;
+            *limb = v;
         }
         U256(out)
     }
@@ -312,9 +314,9 @@ impl U512 {
     pub fn overflowing_add(self, rhs: U512) -> (U512, bool) {
         let mut out = [0u64; 8];
         let mut carry = 0u64;
-        for i in 0..8 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let s = self.0[i] as u128 + rhs.0[i] as u128 + carry as u128;
-            out[i] = s as u64;
+            *limb = s as u64;
             carry = (s >> 64) as u64;
         }
         (U512(out), carry != 0)
@@ -329,16 +331,17 @@ impl U512 {
     pub fn overflowing_sub(self, rhs: U512) -> (U512, bool) {
         let mut out = [0u64; 8];
         let mut borrow = 0u64;
-        for i in 0..8 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let (d, b1) = self.0[i].overflowing_sub(rhs.0[i]);
             let (d, b2) = d.overflowing_sub(borrow);
-            out[i] = d;
+            *limb = d;
             borrow = (b1 || b2) as u64;
         }
         (U512(out), borrow != 0)
     }
 
     /// Right shift; shifts of 512 or more produce zero.
+    #[allow(clippy::should_implement_trait)] // shift-by-u32, not the Shr<Rhs> shape
     pub fn shr(self, n: u32) -> U512 {
         if n >= 512 {
             return U512::ZERO;
@@ -346,17 +349,18 @@ impl U512 {
         let limb_shift = (n / 64) as usize;
         let bit_shift = n % 64;
         let mut out = [0u64; 8];
-        for i in 0..8 - limb_shift {
+        for (i, limb) in out.iter_mut().enumerate().take(8 - limb_shift) {
             let mut v = self.0[i + limb_shift] >> bit_shift;
             if bit_shift > 0 && i + limb_shift + 1 < 8 {
                 v |= self.0[i + limb_shift + 1] << (64 - bit_shift);
             }
-            out[i] = v;
+            *limb = v;
         }
         U512(out)
     }
 
     /// Left shift; shifts of 512 or more produce zero.
+    #[allow(clippy::should_implement_trait)] // shift-by-u32, not the Shl<Rhs> shape
     pub fn shl(self, n: u32) -> U512 {
         if n >= 512 {
             return U512::ZERO;
@@ -696,20 +700,40 @@ mod debug_tests {
         let rec = Reciprocal::new(p);
         let a = 123_456_789u64;
         let a2 = (a as u128 * a as u128 % m as u128) as u64;
-        assert_eq!(rec.mul_mod(U256::from_u64(a), U256::from_u64(a)).to_u64(), Some(a2), "mul_mod");
+        assert_eq!(
+            rec.mul_mod(U256::from_u64(a), U256::from_u64(a)).to_u64(),
+            Some(a2),
+            "mul_mod"
+        );
         // pow small
-        assert_eq!(rec.pow_mod(U256::from_u64(a), U256::from_u64(1)).to_u64(), Some(a), "pow1");
-        assert_eq!(rec.pow_mod(U256::from_u64(a), U256::from_u64(2)).to_u64(), Some(a2), "pow2");
+        assert_eq!(
+            rec.pow_mod(U256::from_u64(a), U256::from_u64(1)).to_u64(),
+            Some(a),
+            "pow1"
+        );
+        assert_eq!(
+            rec.pow_mod(U256::from_u64(a), U256::from_u64(2)).to_u64(),
+            Some(a2),
+            "pow2"
+        );
         let mut acc = 1u128;
-        for _ in 0..10 { acc = acc * a as u128 % m as u128; }
-        assert_eq!(rec.pow_mod(U256::from_u64(a), U256::from_u64(10)).to_u64(), Some(acc as u64), "pow10");
+        for _ in 0..10 {
+            acc = acc * a as u128 % m as u128;
+        }
+        assert_eq!(
+            rec.pow_mod(U256::from_u64(a), U256::from_u64(10)).to_u64(),
+            Some(acc as u64),
+            "pow10"
+        );
         // full Fermat exponent, compared against u128 square-and-multiply
         let e = m - 2;
         let mut result = 1u128;
         let mut base = a as u128;
         let mut ee = e;
         while ee > 0 {
-            if ee & 1 == 1 { result = result * base % m as u128; }
+            if ee & 1 == 1 {
+                result = result * base % m as u128;
+            }
             base = base * base % m as u128;
             ee >>= 1;
         }

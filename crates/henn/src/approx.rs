@@ -40,7 +40,12 @@ impl QuadraticFit {
 /// `x_int = x · in_scale`:
 ///
 /// `sigmoid(x_int / in_scale) · out_scale ≈ eval_numerator(x_int) / denominator`.
-pub fn fit_sigmoid_quadratic(range: f64, in_scale: f64, out_scale: f64, scale: i64) -> QuadraticFit {
+pub fn fit_sigmoid_quadratic(
+    range: f64,
+    in_scale: f64,
+    out_scale: f64,
+    scale: i64,
+) -> QuadraticFit {
     // Sample the target on a grid and solve the 3×3 normal equations.
     let samples = 401;
     let (mut s0, mut s1, mut s2, mut s3, mut s4) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
@@ -154,7 +159,10 @@ mod tests {
         let x = 12.0f64;
         let approx = fit.eval_numerator(x as i64) as f64 / fit.denominator as f64;
         let exact = 1.0 / (1.0 + (-x).exp());
-        assert!((approx - exact).abs() > 0.3, "should be badly wrong at x=12");
+        assert!(
+            (approx - exact).abs() > 0.3,
+            "should be badly wrong at x=12"
+        );
     }
 
     #[test]
@@ -188,7 +196,12 @@ mod tests {
         let keys = sys.generate_keys(&mut rng);
         let images = vec![vec![1i64, 2, 3, 4]];
         let map = EncryptedMap::encrypt_images(&sys, &images, 2, &keys.public, &mut rng).unwrap();
-        let fit = QuadraticFit { c0: 1, c1: 1, c2: 1, denominator: 1 };
+        let fit = QuadraticFit {
+            c0: 1,
+            c1: 1,
+            c2: 1,
+            denominator: 1,
+        };
         let mut counter = OpCounter::default();
         let _ = he_quadratic_map(&sys, &map, &fit, &keys.evaluation, &mut counter).unwrap();
         assert_eq!(counter.ct_ct_mul, 4);

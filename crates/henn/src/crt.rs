@@ -121,7 +121,10 @@ impl CrtPlainSystem {
     /// # Errors
     ///
     /// Propagates parameter validation failures.
-    pub fn for_range_deep(poly_degree: usize, required_bits: u32) -> hesgx_bfv::error::Result<Self> {
+    pub fn for_range_deep(
+        poly_degree: usize,
+        required_bits: u32,
+    ) -> hesgx_bfv::error::Result<Self> {
         let step = 2 * poly_degree as u64;
         let mut moduli = Vec::new();
         let mut bits = 0f64;
@@ -138,6 +141,11 @@ impl CrtPlainSystem {
     /// The plaintext moduli.
     pub fn moduli(&self) -> &[u64] {
         &self.moduli
+    }
+
+    /// Number of CRT parts (limbs) per logical ciphertext.
+    pub fn part_count(&self) -> usize {
+        self.moduli.len()
     }
 
     /// The per-part contexts.
@@ -251,11 +259,32 @@ impl CrtPlainSystem {
     /// # Errors
     ///
     /// Propagates component failures.
-    pub fn add_inplace(&self, a: &mut CrtCiphertext, b: &CrtCiphertext) -> hesgx_bfv::error::Result<()> {
-        for (i, eval) in self.evaluators.iter().enumerate() {
-            eval.add_inplace(&mut a.parts[i], &b.parts[i])?;
+    pub fn add_inplace(
+        &self,
+        a: &mut CrtCiphertext,
+        b: &CrtCiphertext,
+    ) -> hesgx_bfv::error::Result<()> {
+        for i in 0..self.evaluators.len() {
+            self.add_inplace_part(&mut a.parts[i], &b.parts[i], i)?;
         }
         Ok(())
+    }
+
+    /// `a += b` on CRT part `part` only — the limb-level entry point used by
+    /// the parallel engine ([`crate::par`]), which schedules limbs as
+    /// independent tasks. Applying the part-level ops in the same per-limb
+    /// order as the whole-ciphertext op yields bit-identical parts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates component failures.
+    pub fn add_inplace_part(
+        &self,
+        a: &mut Ciphertext,
+        b: &Ciphertext,
+        part: usize,
+    ) -> hesgx_bfv::error::Result<()> {
+        self.evaluators[part].add_inplace(a, b)
     }
 
     /// Multiplies by a signed integer constant (applied to all slots).
@@ -263,16 +292,38 @@ impl CrtPlainSystem {
     /// # Errors
     ///
     /// Propagates component failures.
-    pub fn mul_scalar(&self, a: &CrtCiphertext, value: i64) -> hesgx_bfv::error::Result<CrtCiphertext> {
+    pub fn mul_scalar(
+        &self,
+        a: &CrtCiphertext,
+        value: i64,
+    ) -> hesgx_bfv::error::Result<CrtCiphertext> {
         let mut parts = Vec::with_capacity(a.parts.len());
-        for (i, eval) in self.evaluators.iter().enumerate() {
-            let t = self.moduli[i] as i64;
-            let reduced = value.rem_euclid(t);
-            // Use the centered representative for minimal noise growth.
-            let centered = if reduced > t / 2 { reduced - t } else { reduced };
-            parts.push(eval.mul_plain_signed_scalar(&a.parts[i], centered)?);
+        for i in 0..self.evaluators.len() {
+            parts.push(self.mul_scalar_part(&a.parts[i], value, i)?);
         }
         Ok(CrtCiphertext { parts })
+    }
+
+    /// Scalar multiply of CRT part `part` only (limb-level entry point).
+    ///
+    /// # Errors
+    ///
+    /// Propagates component failures.
+    pub fn mul_scalar_part(
+        &self,
+        a: &Ciphertext,
+        value: i64,
+        part: usize,
+    ) -> hesgx_bfv::error::Result<Ciphertext> {
+        let t = self.moduli[part] as i64;
+        let reduced = value.rem_euclid(t);
+        // Use the centered representative for minimal noise growth.
+        let centered = if reduced > t / 2 {
+            reduced - t
+        } else {
+            reduced
+        };
+        self.evaluators[part].mul_plain_signed_scalar(a, centered)
     }
 
     /// Adds a signed integer constant (to all slots).
@@ -280,14 +331,32 @@ impl CrtPlainSystem {
     /// # Errors
     ///
     /// Propagates component failures.
-    pub fn add_scalar(&self, a: &CrtCiphertext, value: i64) -> hesgx_bfv::error::Result<CrtCiphertext> {
+    pub fn add_scalar(
+        &self,
+        a: &CrtCiphertext,
+        value: i64,
+    ) -> hesgx_bfv::error::Result<CrtCiphertext> {
         let mut parts = Vec::with_capacity(a.parts.len());
-        for (i, eval) in self.evaluators.iter().enumerate() {
-            let t = self.moduli[i];
-            let residue = value.rem_euclid(t as i64) as u64;
-            parts.push(eval.add_plain(&a.parts[i], &Plaintext::constant(residue))?);
+        for i in 0..self.evaluators.len() {
+            parts.push(self.add_scalar_part(&a.parts[i], value, i)?);
         }
         Ok(CrtCiphertext { parts })
+    }
+
+    /// Scalar add on CRT part `part` only (limb-level entry point).
+    ///
+    /// # Errors
+    ///
+    /// Propagates component failures.
+    pub fn add_scalar_part(
+        &self,
+        a: &Ciphertext,
+        value: i64,
+        part: usize,
+    ) -> hesgx_bfv::error::Result<Ciphertext> {
+        let t = self.moduli[part];
+        let residue = value.rem_euclid(t as i64) as u64;
+        self.evaluators[part].add_plain(a, &Plaintext::constant(residue))
     }
 
     /// Slot-wise square (`C × C` multiply). Output parts have size 3 until
@@ -298,10 +367,19 @@ impl CrtPlainSystem {
     /// Propagates component failures.
     pub fn square(&self, a: &CrtCiphertext) -> hesgx_bfv::error::Result<CrtCiphertext> {
         let mut parts = Vec::with_capacity(a.parts.len());
-        for (i, eval) in self.evaluators.iter().enumerate() {
-            parts.push(eval.square(&a.parts[i])?);
+        for i in 0..self.evaluators.len() {
+            parts.push(self.square_part(&a.parts[i], i)?);
         }
         Ok(CrtCiphertext { parts })
+    }
+
+    /// Square of CRT part `part` only (limb-level entry point).
+    ///
+    /// # Errors
+    ///
+    /// Propagates component failures.
+    pub fn square_part(&self, a: &Ciphertext, part: usize) -> hesgx_bfv::error::Result<Ciphertext> {
+        self.evaluators[part].square(a)
     }
 
     /// Relinearizes all parts back to size 2.
@@ -315,10 +393,24 @@ impl CrtPlainSystem {
         keys: &[EvaluationKeys],
     ) -> hesgx_bfv::error::Result<CrtCiphertext> {
         let mut parts = Vec::with_capacity(a.parts.len());
-        for (i, eval) in self.evaluators.iter().enumerate() {
-            parts.push(eval.relinearize(&a.parts[i], &keys[i])?);
+        for i in 0..self.evaluators.len() {
+            parts.push(self.relinearize_part(&a.parts[i], keys, i)?);
         }
         Ok(CrtCiphertext { parts })
+    }
+
+    /// Relinearization of CRT part `part` only (limb-level entry point).
+    ///
+    /// # Errors
+    ///
+    /// Propagates component failures.
+    pub fn relinearize_part(
+        &self,
+        a: &Ciphertext,
+        keys: &[EvaluationKeys],
+        part: usize,
+    ) -> hesgx_bfv::error::Result<Ciphertext> {
+        self.evaluators[part].relinearize(a, &keys[part])
     }
 
     /// Minimum invariant-noise budget over the parts.
@@ -377,7 +469,9 @@ mod tests {
     #[test]
     fn linear_homomorphism() {
         let (sys, keys, mut rng) = system();
-        let a = sys.encrypt_slots(&[10, -20], &keys.public, &mut rng).unwrap();
+        let a = sys
+            .encrypt_slots(&[10, -20], &keys.public, &mut rng)
+            .unwrap();
         let b = sys.encrypt_slots(&[3, 7], &keys.public, &mut rng).unwrap();
         let mut acc = sys.mul_scalar(&a, -4).unwrap();
         sys.add_inplace(&mut acc, &b).unwrap();
@@ -392,7 +486,9 @@ mod tests {
         // 9000^2 = 8.1e7 exceeds each modulus (~1.3e4) but fits the signed
         // range of the product (12289 * 13313 / 2 ≈ 8.18e7).
         let (sys, keys, mut rng) = system();
-        let a = sys.encrypt_slots(&[9_000, -300], &keys.public, &mut rng).unwrap();
+        let a = sys
+            .encrypt_slots(&[9_000, -300], &keys.public, &mut rng)
+            .unwrap();
         let sq = sys.square(&a).unwrap();
         assert_eq!(sq.size(), 3);
         let back = sys.decrypt_slots(&sq, &keys.secret).unwrap();
@@ -403,7 +499,9 @@ mod tests {
     #[test]
     fn relinearize_preserves_slots() {
         let (sys, keys, mut rng) = system();
-        let a = sys.encrypt_slots(&[111, -42], &keys.public, &mut rng).unwrap();
+        let a = sys
+            .encrypt_slots(&[111, -42], &keys.public, &mut rng)
+            .unwrap();
         let sq = sys.square(&a).unwrap();
         let relin = sys.relinearize(&sq, &keys.evaluation).unwrap();
         assert_eq!(relin.size(), 2);

@@ -6,6 +6,7 @@
 //! paper's §V-B / §VIII (`batchSize = 10` in all experiments).
 
 use crate::crt::{CrtCiphertext, CrtPlainSystem};
+use crate::par::ParExec;
 use hesgx_bfv::error::Result;
 use hesgx_bfv::prelude::{PublicKey, SecretKey};
 use hesgx_crypto::rng::ChaChaRng;
@@ -86,6 +87,52 @@ impl EncryptedMap {
         Ok(EncryptedMap::new(1, side, side, cells))
     }
 
+    /// Parallel batch encryption: one task per pixel position, scheduled on
+    /// `pool`.
+    ///
+    /// Each cell encrypts with its **own fork** of the caller's ChaCha20
+    /// stream, keyed by the pixel index (`enc-cell-{i}`), so the ciphertexts
+    /// are bit-for-bit identical for every thread count and scheduling
+    /// order. The forked streams are what make this safe: no task ever
+    /// shares RNG state with another. Note the stream layout differs from
+    /// the sequential draws of [`EncryptedMap::encrypt_images`], so the two
+    /// entry points produce different (equally valid) ciphertexts for the
+    /// same seed; `encrypt_images_par` agrees with *itself* across pool
+    /// sizes, which is the determinism contract the property tests pin down.
+    ///
+    /// The caller's `rng` is borrowed immutably — forking never advances the
+    /// parent stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the batch exceeds the slot count or encryption fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an image has the wrong pixel count.
+    pub fn encrypt_images_par(
+        sys: &CrtPlainSystem,
+        images: &[Vec<i64>],
+        side: usize,
+        public: &[PublicKey],
+        rng: &ChaChaRng,
+        pool: &ParExec,
+    ) -> Result<EncryptedMap> {
+        let base = rng.fork("enc-map");
+        let cells = pool.try_run(side * side, |pixel| {
+            let mut cell_rng = base.fork(&format!("enc-cell-{pixel}"));
+            let slots: Vec<i64> = images
+                .iter()
+                .map(|img| {
+                    assert_eq!(img.len(), side * side, "image size mismatch");
+                    img[pixel]
+                })
+                .collect();
+            sys.encrypt_slots(&slots, public, &mut cell_rng)
+        })?;
+        Ok(EncryptedMap::new(1, side, side, cells))
+    }
+
     /// Decrypts every cell for the first `batch` slots: returns
     /// `[batch][channels*height*width]` signed values.
     ///
@@ -101,6 +148,32 @@ impl EncryptedMap {
         let mut out = vec![Vec::with_capacity(self.cells.len()); batch];
         for cell in &self.cells {
             let slots = sys.decrypt_slots(cell, secret)?;
+            for (b, row) in out.iter_mut().enumerate() {
+                row.push(slots[b]);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parallel [`EncryptedMap::decrypt_all`]: one decryption task per cell.
+    /// Decryption draws no randomness, so the result is identical to the
+    /// serial version for any pool size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decryption failures.
+    pub fn decrypt_all_par(
+        &self,
+        sys: &CrtPlainSystem,
+        secret: &[SecretKey],
+        batch: usize,
+        pool: &ParExec,
+    ) -> Result<Vec<Vec<i128>>> {
+        let per_cell = pool.try_run(self.cells.len(), |i| {
+            sys.decrypt_slots(&self.cells[i], secret)
+        })?;
+        let mut out = vec![Vec::with_capacity(self.cells.len()); batch];
+        for slots in &per_cell {
             for (b, row) in out.iter_mut().enumerate() {
                 row.push(slots[b]);
             }
@@ -123,7 +196,8 @@ mod tests {
         let images: Vec<Vec<i64>> = (0..3)
             .map(|b| (0..side * side).map(|p| (b * 16 + p) as i64 % 16).collect())
             .collect();
-        let map = EncryptedMap::encrypt_images(&sys, &images, side, &keys.public, &mut rng).unwrap();
+        let map =
+            EncryptedMap::encrypt_images(&sys, &images, side, &keys.public, &mut rng).unwrap();
         assert_eq!(map.shape(), (1, side, side));
         let back = map.decrypt_all(&sys, &keys.secret, 3).unwrap();
         for (b, img) in images.iter().enumerate() {

@@ -29,9 +29,11 @@ pub mod crt;
 pub mod cryptonets;
 pub mod image;
 pub mod ops;
+pub mod par;
 pub mod weights;
 
 pub use crt::{CrtCiphertext, CrtKeys, CrtPlainSystem};
 pub use cryptonets::CryptoNets;
 pub use image::EncryptedMap;
 pub use ops::OpCounter;
+pub use par::ParExec;

@@ -4,8 +4,9 @@
 
 use crate::crt::{CrtCiphertext, CrtPlainSystem};
 use crate::image::EncryptedMap;
+use crate::par::ParExec;
 use hesgx_bfv::error::Result;
-use hesgx_bfv::prelude::EvaluationKeys;
+use hesgx_bfv::prelude::{Ciphertext, EvaluationKeys};
 
 /// Counts of homomorphic primitive operations (the paper's `C×P` / `C+C`
 /// terminology in Fig. 4).
@@ -43,6 +44,7 @@ impl OpCounter {
 /// # Errors
 ///
 /// Propagates homomorphic-operation failures.
+#[allow(clippy::too_many_arguments)]
 pub fn he_conv2d(
     sys: &CrtPlainSystem,
     input: &EncryptedMap,
@@ -159,7 +161,10 @@ pub fn he_scaled_mean_pool(
                         if dy == 0 && dx == 0 {
                             continue;
                         }
-                        sys.add_inplace(&mut acc, input.cell(ch, oy * window + dy, ox * window + dx))?;
+                        sys.add_inplace(
+                            &mut acc,
+                            input.cell(ch, oy * window + dy, ox * window + dx),
+                        )?;
                         counter.ct_ct_add += 1;
                     }
                 }
@@ -193,6 +198,227 @@ pub fn he_square_activation(
         cells.push(relin);
     }
     Ok(EncryptedMap::new(c, h, w, cells))
+}
+
+/// Reassembles `(cell, part)`-indexed task results (part-major within each
+/// cell) into whole CRT ciphertexts.
+fn assemble_cells(parts: Vec<Ciphertext>, n_cells: usize, n_parts: usize) -> Vec<CrtCiphertext> {
+    debug_assert_eq!(parts.len(), n_cells * n_parts);
+    let mut iter = parts.into_iter();
+    (0..n_cells)
+        .map(|_| CrtCiphertext {
+            parts: iter.by_ref().take(n_parts).collect(),
+        })
+        .collect()
+}
+
+/// One output cell of [`he_conv2d`], restricted to CRT part `part`: the
+/// same multiply/accumulate sequence the serial path applies to this limb,
+/// so the result is bit-identical for any scheduling.
+#[allow(clippy::too_many_arguments)]
+fn conv_cell_part(
+    sys: &CrtPlainSystem,
+    input: &EncryptedMap,
+    weights: &[i64],
+    bias: i64,
+    in_channels: usize,
+    kernel: usize,
+    stride: usize,
+    o: usize,
+    oy: usize,
+    ox: usize,
+    part: usize,
+) -> Result<Ciphertext> {
+    let mut acc: Option<Ciphertext> = None;
+    for i in 0..in_channels {
+        for ky in 0..kernel {
+            for kx in 0..kernel {
+                let wgt = weights[((o * in_channels + i) * kernel + ky) * kernel + kx];
+                let x = input.cell(i, oy * stride + ky, ox * stride + kx);
+                let term = sys.mul_scalar_part(&x.parts[part], wgt, part)?;
+                match acc.as_mut() {
+                    None => acc = Some(term),
+                    Some(a) => sys.add_inplace_part(a, &term, part)?,
+                }
+            }
+        }
+    }
+    sys.add_scalar_part(&acc.expect("kernel is non-empty"), bias, part)
+}
+
+/// Parallel [`he_conv2d`]: output cells × CRT limbs are scheduled as
+/// independent tasks on `pool`. Bit-identical to the serial version for any
+/// thread count (the ops draw no randomness and each limb sees the same
+/// operation order). Op counts are tallied analytically and match the
+/// serial counter exactly.
+///
+/// # Errors
+///
+/// Propagates homomorphic-operation failures (lowest task index first).
+#[allow(clippy::too_many_arguments)]
+pub fn he_conv2d_par(
+    sys: &CrtPlainSystem,
+    input: &EncryptedMap,
+    weights: &[i64],
+    bias: &[i64],
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    counter: &mut OpCounter,
+    pool: &ParExec,
+) -> Result<EncryptedMap> {
+    let (in_channels, h, w) = input.shape();
+    assert_eq!(
+        weights.len(),
+        out_channels * in_channels * kernel * kernel,
+        "weight count mismatch"
+    );
+    assert_eq!(bias.len(), out_channels);
+    let oh = (h - kernel) / stride + 1;
+    let ow = (w - kernel) / stride + 1;
+    let n_cells = out_channels * oh * ow;
+    let n_parts = sys.part_count();
+    let parts = pool.try_run(n_cells * n_parts, |t| {
+        let (ci, part) = (t / n_parts, t % n_parts);
+        let o = ci / (oh * ow);
+        let rem = ci % (oh * ow);
+        conv_cell_part(
+            sys,
+            input,
+            weights,
+            bias[o],
+            in_channels,
+            kernel,
+            stride,
+            o,
+            rem / ow,
+            rem % ow,
+            part,
+        )
+    })?;
+    let muls = (in_channels * kernel * kernel) as u64;
+    counter.ct_pt_mul += n_cells as u64 * muls;
+    counter.ct_ct_add += n_cells as u64 * (muls - 1);
+    counter.ct_pt_add += n_cells as u64;
+    Ok(EncryptedMap::new(
+        out_channels,
+        oh,
+        ow,
+        assemble_cells(parts, n_cells, n_parts),
+    ))
+}
+
+/// Parallel [`he_fully_connected`]: output neurons × CRT limbs as
+/// independent tasks. Bit-identical to the serial version.
+///
+/// # Errors
+///
+/// Propagates homomorphic-operation failures (lowest task index first).
+pub fn he_fully_connected_par(
+    sys: &CrtPlainSystem,
+    input: &EncryptedMap,
+    weights: &[i64],
+    bias: &[i64],
+    out_dim: usize,
+    counter: &mut OpCounter,
+    pool: &ParExec,
+) -> Result<Vec<CrtCiphertext>> {
+    let flat = input.cells().len();
+    assert_eq!(weights.len(), out_dim * flat, "FC weight count mismatch");
+    assert_eq!(bias.len(), out_dim);
+    let n_parts = sys.part_count();
+    let parts = pool.try_run(out_dim * n_parts, |t| {
+        let (o, part) = (t / n_parts, t % n_parts);
+        let mut acc: Option<Ciphertext> = None;
+        for (i, cell) in input.cells().iter().enumerate() {
+            let term = sys.mul_scalar_part(&cell.parts[part], weights[o * flat + i], part)?;
+            match acc.as_mut() {
+                None => acc = Some(term),
+                Some(a) => sys.add_inplace_part(a, &term, part)?,
+            }
+        }
+        sys.add_scalar_part(&acc.expect("FC input non-empty"), bias[o], part)
+    })?;
+    counter.ct_pt_mul += (out_dim * flat) as u64;
+    counter.ct_ct_add += (out_dim * (flat - 1)) as u64;
+    counter.ct_pt_add += out_dim as u64;
+    Ok(assemble_cells(parts, out_dim, n_parts))
+}
+
+/// Parallel [`he_scaled_mean_pool`]: pooled cells × CRT limbs as
+/// independent tasks. Bit-identical to the serial version.
+///
+/// # Errors
+///
+/// Propagates homomorphic-operation failures (lowest task index first).
+pub fn he_scaled_mean_pool_par(
+    sys: &CrtPlainSystem,
+    input: &EncryptedMap,
+    window: usize,
+    counter: &mut OpCounter,
+    pool: &ParExec,
+) -> Result<EncryptedMap> {
+    let (c, h, w) = input.shape();
+    assert_eq!(h % window, 0);
+    assert_eq!(w % window, 0);
+    let (oh, ow) = (h / window, w / window);
+    let n_cells = c * oh * ow;
+    let n_parts = sys.part_count();
+    let parts = pool.try_run(n_cells * n_parts, |t| -> Result<Ciphertext> {
+        let (ci, part) = (t / n_parts, t % n_parts);
+        let ch = ci / (oh * ow);
+        let rem = ci % (oh * ow);
+        let (oy, ox) = (rem / ow, rem % ow);
+        let mut acc = input.cell(ch, oy * window, ox * window).parts[part].clone();
+        for dy in 0..window {
+            for dx in 0..window {
+                if dy == 0 && dx == 0 {
+                    continue;
+                }
+                let other = input.cell(ch, oy * window + dy, ox * window + dx);
+                sys.add_inplace_part(&mut acc, &other.parts[part], part)?;
+            }
+        }
+        Ok(acc)
+    })?;
+    counter.ct_ct_add += n_cells as u64 * (window * window - 1) as u64;
+    Ok(EncryptedMap::new(
+        c,
+        oh,
+        ow,
+        assemble_cells(parts, n_cells, n_parts),
+    ))
+}
+
+/// Parallel [`he_square_activation`]: cells × CRT limbs as independent
+/// tasks. Bit-identical to the serial version.
+///
+/// # Errors
+///
+/// Propagates homomorphic-operation failures (lowest task index first).
+pub fn he_square_activation_par(
+    sys: &CrtPlainSystem,
+    input: &EncryptedMap,
+    evk: &[EvaluationKeys],
+    counter: &mut OpCounter,
+    pool: &ParExec,
+) -> Result<EncryptedMap> {
+    let (c, h, w) = input.shape();
+    let n_cells = input.cells().len();
+    let n_parts = sys.part_count();
+    let parts = pool.try_run(n_cells * n_parts, |t| {
+        let (ci, part) = (t / n_parts, t % n_parts);
+        let sq = sys.square_part(&input.cells()[ci].parts[part], part)?;
+        sys.relinearize_part(&sq, evk, part)
+    })?;
+    counter.ct_ct_mul += n_cells as u64;
+    counter.relin += n_cells as u64;
+    Ok(EncryptedMap::new(
+        c,
+        h,
+        w,
+        assemble_cells(parts, n_cells, n_parts),
+    ))
 }
 
 #[cfg(test)]
@@ -240,7 +466,11 @@ mod tests {
         let side = 6;
         let k = 3;
         let images: Vec<Vec<i64>> = (0..2)
-            .map(|b| (0..side * side).map(|p| ((p * 7 + b * 3) % 16) as i64).collect())
+            .map(|b| {
+                (0..side * side)
+                    .map(|p| ((p * 7 + b * 3) % 16) as i64)
+                    .collect()
+            })
             .collect();
         let weights: Vec<i64> = (0..2 * k * k).map(|i| (i as i64 % 5) - 2).collect();
         let bias = vec![4i64, -3];
@@ -300,7 +530,7 @@ mod tests {
             .iter()
             .map(|ct| sys.decrypt_slots(ct, &keys.secret).unwrap()[0])
             .collect();
-        assert_eq!(logits, vec![1 - 2 + 6 + 0 + 10, 3 + 6 - 9 + 4 - 10]);
+        assert_eq!(logits, vec![(1 - 2 + 6) + 10, 4 - 10]);
     }
 
     #[test]

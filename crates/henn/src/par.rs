@@ -1,0 +1,272 @@
+//! Work-stealing parallel execution for the homomorphic hot paths.
+//!
+//! HE workloads here are embarrassingly parallel along two axes: the output
+//! positions of a layer (one ciphertext per pixel) and the CRT limbs of each
+//! [`crate::crt::CrtCiphertext`]. [`ParExec`] runs an indexed task set over a
+//! scoped worker pool (built on `crossbeam::thread::scope`, so tasks may
+//! borrow stack data) with per-worker deques and half-range stealing.
+//!
+//! Determinism contract: `run(n, f)` always returns `f(0), f(1), …, f(n-1)`
+//! **in index order**, and every task executes exactly once. Because the
+//! homomorphic operations themselves draw no randomness, any computation
+//! expressed as independent per-index tasks produces bit-identical output
+//! regardless of the worker count or the scheduling interleaving. Paths that
+//! *do* need randomness (encryption) fork an independent, index-keyed RNG
+//! stream per task — see [`crate::image::EncryptedMap::encrypt_images_par`].
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Packs a `[lo, hi)` index range into one atomic word.
+fn pack(lo: u32, hi: u32) -> u64 {
+    ((lo as u64) << 32) | hi as u64
+}
+
+/// Inverse of [`pack`].
+fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+/// Per-worker claimable index ranges with lock-free half-range stealing.
+struct Ranges {
+    slots: Vec<AtomicU64>,
+}
+
+impl Ranges {
+    /// Splits `0..n` evenly across `workers` slots.
+    fn new(n: u32, workers: usize) -> Self {
+        let per = n / workers as u32;
+        let extra = n % workers as u32;
+        let mut slots = Vec::with_capacity(workers);
+        let mut lo = 0u32;
+        for w in 0..workers as u32 {
+            let len = per + u32::from(w < extra);
+            slots.push(AtomicU64::new(pack(lo, lo + len)));
+            lo += len;
+        }
+        Ranges { slots }
+    }
+
+    /// Claims the next index from worker `w`'s own range.
+    fn pop_own(&self, w: usize) -> Option<u32> {
+        let slot = &self.slots[w];
+        loop {
+            let cur = slot.load(Ordering::Acquire);
+            let (lo, hi) = unpack(cur);
+            if lo >= hi {
+                return None;
+            }
+            if slot
+                .compare_exchange_weak(cur, pack(lo + 1, hi), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Some(lo);
+            }
+        }
+    }
+
+    /// Steals the upper half of some victim's remaining range into worker
+    /// `w`'s slot, returning the first stolen index. `None` means every
+    /// slot was empty at the time of the scan.
+    fn steal_into(&self, w: usize) -> Option<u32> {
+        let workers = self.slots.len();
+        for offset in 1..workers {
+            let v = (w + offset) % workers;
+            let slot = &self.slots[v];
+            loop {
+                let cur = slot.load(Ordering::Acquire);
+                let (lo, hi) = unpack(cur);
+                if lo >= hi {
+                    break;
+                }
+                // Floor split: the stolen upper half `[mid, hi)` is always
+                // non-empty (even when one task remains), and never overlaps
+                // the `[lo, mid)` the victim keeps.
+                let mid = lo + (hi - lo) / 2;
+                if slot
+                    .compare_exchange(cur, pack(lo, mid), Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    // `mid` is consumed now; the rest becomes our own range
+                    // (our slot is empty, and thieves only ever CAS it, so a
+                    // plain store cannot lose claimed indices).
+                    self.slots[w].store(pack(mid + 1, hi), Ordering::Release);
+                    return Some(mid);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A scoped work-stealing executor for indexed task sets.
+///
+/// `threads == 1` runs tasks inline on the calling thread with zero
+/// synchronization — the serial fast path the determinism tests compare
+/// against.
+#[derive(Debug, Clone)]
+pub struct ParExec {
+    threads: usize,
+}
+
+impl Default for ParExec {
+    /// One worker per available core.
+    fn default() -> Self {
+        ParExec::new(0)
+    }
+}
+
+impl ParExec {
+    /// Creates an executor with `threads` workers; `0` means one per
+    /// available core.
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        ParExec { threads }
+    }
+
+    /// A single-threaded (serial) executor.
+    pub fn serial() -> Self {
+        ParExec { threads: 1 }
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(0), …, f(n-1)` across the pool and returns the results in
+    /// index order. Every index is executed exactly once; scheduling only
+    /// affects which worker runs which index, never the result vector.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panicking task; panics if `n` exceeds `u32::MAX`
+    /// (far beyond any feature-map size here).
+    pub fn run<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send + Sync,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.threads.min(n.max(1));
+        if workers <= 1 {
+            return (0..n).map(f).collect();
+        }
+        assert!(u32::try_from(n).is_ok(), "task set too large");
+        let ranges = Ranges::new(n as u32, workers);
+        let results: Vec<OnceLock<T>> = (0..n).map(|_| OnceLock::new()).collect();
+        let run_worker = |w: usize| {
+            while let Some(idx) = ranges.pop_own(w).or_else(|| ranges.steal_into(w)) {
+                let idx = idx as usize;
+                if results[idx].set(f(idx)).is_err() {
+                    unreachable!("index {idx} claimed twice");
+                }
+            }
+        };
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (1..workers)
+                .map(|w| s.spawn(move |_| run_worker(w)))
+                .collect();
+            run_worker(0);
+            for h in handles {
+                if let Err(payload) = h.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        })
+        .expect("scope itself does not fail");
+        results
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every index executed"))
+            .collect()
+    }
+
+    /// Fallible variant of [`ParExec::run`]: collects `Ok` values in index
+    /// order, or returns the error of the **lowest-indexed** failing task —
+    /// the same error a serial left-to-right loop would surface.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-indexed task error, if any.
+    pub fn try_run<T, E, F>(&self, n: usize, f: F) -> Result<Vec<T>, E>
+    where
+        T: Send + Sync,
+        E: Send + Sync,
+        F: Fn(usize) -> Result<T, E> + Sync,
+    {
+        let mut out = Vec::with_capacity(n);
+        for result in self.run(n, f) {
+            out.push(result?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_in_index_order_every_pool_size() {
+        let expected: Vec<usize> = (0..257).map(|i| i * 3 + 1).collect();
+        for threads in [1, 2, 3, 4, 7, 8] {
+            let pool = ParExec::new(threads);
+            assert_eq!(pool.run(257, |i| i * 3 + 1), expected, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let n = 1000;
+        let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let pool = ParExec::new(4);
+        pool.run(n, |i| counts[i].fetch_add(1, Ordering::Relaxed));
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_thread_request_uses_available_cores() {
+        assert!(ParExec::new(0).threads() >= 1);
+        assert_eq!(ParExec::serial().threads(), 1);
+    }
+
+    #[test]
+    fn handles_n_smaller_than_pool() {
+        let pool = ParExec::new(8);
+        assert_eq!(pool.run(3, |i| i), vec![0, 1, 2]);
+        assert_eq!(pool.run(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.run(1, |i| i + 9), vec![9]);
+    }
+
+    #[test]
+    fn try_run_reports_lowest_index_error() {
+        let pool = ParExec::new(4);
+        let err = pool
+            .try_run(100, |i| if i % 7 == 3 { Err(i) } else { Ok(i) })
+            .unwrap_err();
+        assert_eq!(err, 3, "serial order error wins");
+        let ok: Result<Vec<usize>, usize> = pool.try_run(10, Ok);
+        assert_eq!(ok.unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stealing_covers_skewed_workloads() {
+        // Worker 0's initial range holds all the slow tasks; the others must
+        // steal them for the run to finish. Correctness (not timing) check.
+        let pool = ParExec::new(4);
+        let out = pool.run(64, |i| {
+            if i < 16 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            i * i
+        });
+        assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>());
+    }
+}

@@ -5,6 +5,7 @@ use hesgx_crypto::rng::ChaChaRng;
 use hesgx_henn::crt::{CrtKeys, CrtPlainSystem};
 use hesgx_henn::image::EncryptedMap;
 use hesgx_henn::ops::{self, OpCounter};
+use hesgx_henn::par::ParExec;
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
@@ -90,7 +91,7 @@ proptest! {
     fn scaled_pool_matches_window_sums(pixels in proptest::collection::vec(-100i64..100, 16), seed in any::<u64>()) {
         let (sys, keys) = system();
         let mut rng = ChaChaRng::from_seed(seed);
-        let enc = EncryptedMap::encrypt_images(sys, &[pixels.clone()], 4, &keys.public, &mut rng).unwrap();
+        let enc = EncryptedMap::encrypt_images(sys, std::slice::from_ref(&pixels), 4, &keys.public, &mut rng).unwrap();
         let mut counter = OpCounter::default();
         let pooled = ops::he_scaled_mean_pool(sys, &enc, 2, &mut counter).unwrap();
         let dec = pooled.decrypt_all(sys, &keys.secret, 1).unwrap();
@@ -103,6 +104,82 @@ proptest! {
                     }
                 }
                 prop_assert_eq!(dec[0][oy * 2 + ox], sum as i128);
+            }
+        }
+    }
+
+    #[test]
+    fn par_conv_bit_identical_to_serial(pixels in proptest::collection::vec(0i64..16, 16),
+                                        weights in proptest::collection::vec(-7i64..8, 4),
+                                        bias in -20i64..20, threads in 1usize..9,
+                                        seed in any::<u64>()) {
+        // HE ops draw no randomness, so the parallel conv must reproduce the
+        // serial ciphertexts bit for bit at every pool size.
+        let (sys, keys) = system();
+        let mut rng = ChaChaRng::from_seed(seed);
+        let enc = EncryptedMap::encrypt_images(sys, &[pixels], 4, &keys.public, &mut rng).unwrap();
+        let mut serial_counter = OpCounter::default();
+        let serial = ops::he_conv2d(sys, &enc, &weights, &[bias], 1, 2, 1, &mut serial_counter).unwrap();
+        let pool = ParExec::new(threads);
+        let mut par_counter = OpCounter::default();
+        let par = ops::he_conv2d_par(sys, &enc, &weights, &[bias], 1, 2, 1, &mut par_counter, &pool).unwrap();
+        prop_assert_eq!(serial.cells(), par.cells(), "ciphertext mismatch at {} threads", threads);
+        prop_assert_eq!(serial_counter, par_counter);
+    }
+
+    #[test]
+    fn par_fc_bit_identical_to_serial(pixels in proptest::collection::vec(0i64..16, 4),
+                                      weights in proptest::collection::vec(-9i64..10, 12),
+                                      biases in proptest::collection::vec(-20i64..20, 3),
+                                      threads in 1usize..9, seed in any::<u64>()) {
+        let (sys, keys) = system();
+        let mut rng = ChaChaRng::from_seed(seed);
+        let enc = EncryptedMap::encrypt_images(sys, &[pixels], 2, &keys.public, &mut rng).unwrap();
+        let mut serial_counter = OpCounter::default();
+        let serial = ops::he_fully_connected(sys, &enc, &weights, &biases, 3, &mut serial_counter).unwrap();
+        let pool = ParExec::new(threads);
+        let mut par_counter = OpCounter::default();
+        let par = ops::he_fully_connected_par(sys, &enc, &weights, &biases, 3, &mut par_counter, &pool).unwrap();
+        prop_assert_eq!(&serial, &par, "logit ciphertext mismatch at {} threads", threads);
+        prop_assert_eq!(serial_counter, par_counter);
+    }
+
+    #[test]
+    fn par_pool_bit_identical_to_serial(pixels in proptest::collection::vec(-100i64..100, 16),
+                                        threads in 1usize..9, seed in any::<u64>()) {
+        let (sys, keys) = system();
+        let mut rng = ChaChaRng::from_seed(seed);
+        let enc = EncryptedMap::encrypt_images(sys, &[pixels], 4, &keys.public, &mut rng).unwrap();
+        let mut serial_counter = OpCounter::default();
+        let serial = ops::he_scaled_mean_pool(sys, &enc, 2, &mut serial_counter).unwrap();
+        let pool = ParExec::new(threads);
+        let mut par_counter = OpCounter::default();
+        let par = ops::he_scaled_mean_pool_par(sys, &enc, 2, &mut par_counter, &pool).unwrap();
+        prop_assert_eq!(serial.cells(), par.cells(), "pooled ciphertext mismatch at {} threads", threads);
+        prop_assert_eq!(serial_counter, par_counter);
+    }
+
+    #[test]
+    fn par_encrypt_deterministic_across_pool_sizes(
+            imgs in proptest::collection::vec(proptest::collection::vec(0i64..16, 16), 1..4),
+            threads_a in 1usize..9, threads_b in 1usize..9, seed in any::<u64>()) {
+        // Parallel encryption forks one RNG stream per cell, so the same
+        // seed yields the same ciphertexts whatever the pool size — and the
+        // parallel decrypt agrees with the serial one.
+        let (sys, keys) = system();
+        let rng = ChaChaRng::from_seed(seed);
+        let pool_a = ParExec::new(threads_a);
+        let pool_b = ParExec::new(threads_b);
+        let enc_a = EncryptedMap::encrypt_images_par(sys, &imgs, 4, &keys.public, &rng, &pool_a).unwrap();
+        let enc_b = EncryptedMap::encrypt_images_par(sys, &imgs, 4, &keys.public, &rng, &pool_b).unwrap();
+        prop_assert_eq!(enc_a.cells(), enc_b.cells(),
+                        "encryption differs between {} and {} threads", threads_a, threads_b);
+        let serial_dec = enc_a.decrypt_all(sys, &keys.secret, imgs.len()).unwrap();
+        let par_dec = enc_a.decrypt_all_par(sys, &keys.secret, imgs.len(), &pool_b).unwrap();
+        prop_assert_eq!(&serial_dec, &par_dec);
+        for (b, img) in imgs.iter().enumerate() {
+            for (p, &v) in img.iter().enumerate() {
+                prop_assert_eq!(par_dec[b][p], v as i128);
             }
         }
     }

@@ -190,16 +190,17 @@ impl Conv2d {
         let mut grad_w = Tensor::zeros(self.weights.shape());
         let mut grad_b = vec![0.0; self.out_channels];
         let k = self.kernel;
-        for o in 0..self.out_channels {
+        for (o, gb) in grad_b.iter_mut().enumerate() {
             for oy in 0..oh {
                 for ox in 0..ow {
                     let g = grad_out.at3(o, oy, ox);
-                    grad_b[o] += g;
+                    *gb += g;
                     for i in 0..self.in_channels {
                         for ky in 0..k {
                             for kx in 0..k {
                                 let (y, x) = (oy * self.stride + ky, ox * self.stride + kx);
-                                grad_w.data_mut()[((o * self.in_channels + i) * k + ky) * k + kx] +=
+                                grad_w.data_mut()
+                                    [((o * self.in_channels + i) * k + ky) * k + kx] +=
                                     g * input.at3(i, y, x);
                                 *grad_in.at3_mut(i, y, x) += g * self.weight_at(o, i, ky, kx);
                             }
@@ -287,7 +288,8 @@ impl Pool {
                             let mut acc = 0.0;
                             for dy in 0..self.window {
                                 for dx in 0..self.window {
-                                    acc += input.at3(ch, oy * self.window + dy, ox * self.window + dx);
+                                    acc +=
+                                        input.at3(ch, oy * self.window + dy, ox * self.window + dx);
                                 }
                             }
                             if self.kind == PoolKind::Mean {
@@ -407,9 +409,9 @@ impl Dense {
         let mut grad_in = Tensor::zeros(input.shape());
         let mut grad_w = Tensor::zeros(self.weights.shape());
         let mut grad_b = vec![0.0; self.out_dim];
-        for o in 0..self.out_dim {
+        for (o, gb) in grad_b.iter_mut().enumerate() {
             let g = grad_out.data()[o];
-            grad_b[o] = g;
+            *gb = g;
             for i in 0..self.in_dim {
                 grad_w.data_mut()[o * self.in_dim + i] += g * input.data()[i];
                 grad_in.data_mut()[i] += g * self.weights.data()[o * self.in_dim + i];
@@ -541,8 +543,8 @@ mod tests {
             let mut minus = input.clone();
             minus.data_mut()[idx] -= eps;
             let (outm, _) = conv.forward(&minus);
-            let numeric = (outp.data().iter().sum::<f64>() - outm.data().iter().sum::<f64>())
-                / (2.0 * eps);
+            let numeric =
+                (outp.data().iter().sum::<f64>() - outm.data().iter().sum::<f64>()) / (2.0 * eps);
             assert!(
                 (numeric - grad_in.data()[idx]).abs() < 1e-5,
                 "grad mismatch at {idx}: {numeric} vs {}",
@@ -606,8 +608,18 @@ mod tests {
     fn scaled_mean_pool_magnifies_by_window_square() {
         // The "numerical diffusion" the paper warns about: output is k² × mean.
         let input = Tensor::from_vec(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
-        let mean = Pool { kind: PoolKind::Mean, window: 2 }.forward(&input).0;
-        let scaled = Pool { kind: PoolKind::ScaledMean, window: 2 }.forward(&input).0;
+        let mean = Pool {
+            kind: PoolKind::Mean,
+            window: 2,
+        }
+        .forward(&input)
+        .0;
+        let scaled = Pool {
+            kind: PoolKind::ScaledMean,
+            window: 2,
+        }
+        .forward(&input)
+        .0;
         assert_eq!(scaled.data()[0], mean.data()[0] * 4.0);
     }
 

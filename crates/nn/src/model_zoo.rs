@@ -20,7 +20,10 @@ pub fn paper_cnn(activation: ActivationKind, pool: PoolKind, rng: &mut ChaChaRng
     Network::new(vec![
         Layer::Conv(Conv2d::new(1, 6, 5, 1, rng)),
         Layer::Activation(Activation { kind: activation }),
-        Layer::Pool(Pool { kind: pool, window: 2 }),
+        Layer::Pool(Pool {
+            kind: pool,
+            window: 2,
+        }),
         Layer::Dense(Dense::new(6 * 12 * 12, 10, rng)),
     ])
 }

@@ -101,7 +101,11 @@ fn clip_grads(grads: &mut ParamGrads) {
 
 /// Softmax cross-entropy loss and its gradient w.r.t. the logits.
 pub fn softmax_cross_entropy(logits: &Tensor, label: usize) -> (f64, Tensor) {
-    let max = logits.data().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let max = logits
+        .data()
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
     let exps: Vec<f64> = logits.data().iter().map(|&v| (v - max).exp()).collect();
     let sum: f64 = exps.iter().sum();
     let probs: Vec<f64> = exps.iter().map(|&e| e / sum).collect();

@@ -244,9 +244,8 @@ impl QuantizedCnn {
                     let mut sum = 0i64;
                     for dy in 0..self.window {
                         for dx in 0..self.window {
-                            sum += act[(c * cs + py * self.window + dy) * cs
-                                + px * self.window
-                                + dx];
+                            sum +=
+                                act[(c * cs + py * self.window + dy) * cs + px * self.window + dx];
                         }
                     }
                     pooled[(c * ps + py) * ps + px] = match self.pipeline {

@@ -33,7 +33,11 @@ pub struct Report {
     mac: [u8; 32],
 }
 
-pub(crate) fn report_mac(report_key: &[u8; 32], measurement: &[u8; 32], user_data: &[u8]) -> [u8; 32] {
+pub(crate) fn report_mac(
+    report_key: &[u8; 32],
+    measurement: &[u8; 32],
+    user_data: &[u8],
+) -> [u8; 32] {
     let mut msg = Vec::with_capacity(40 + user_data.len());
     msg.extend_from_slice(measurement);
     msg.extend_from_slice(&(user_data.len() as u64).to_le_bytes());

@@ -87,11 +87,8 @@ pub struct CostBreakdown {
 impl CostBreakdown {
     /// Total virtual nanoseconds.
     pub fn total_ns(&self) -> u64 {
-        let base = self.real_ns
-            + self.slowdown_ns
-            + self.transition_ns
-            + self.copy_ns
-            + self.paging_ns;
+        let base =
+            self.real_ns + self.slowdown_ns + self.transition_ns + self.copy_ns + self.paging_ns;
         (base as i64 + self.jitter_ns).max(0) as u64
     }
 
@@ -202,8 +199,10 @@ mod tests {
 
     #[test]
     fn charge_accumulates() {
-        let mut model = CostModel::default();
-        model.jitter_rel_std = 0.0;
+        let model = CostModel {
+            jitter_rel_std: 0.0,
+            ..CostModel::default()
+        };
         let clock = VirtualClock::new(model, 1);
         let b1 = clock.charge(1000, 2, 0, 0);
         let b2 = clock.charge(1000, 2, 0, 0);
@@ -212,12 +211,17 @@ mod tests {
 
     #[test]
     fn breakdown_terms() {
-        let mut model = CostModel::default();
-        model.jitter_rel_std = 0.0;
+        let model = CostModel {
+            jitter_rel_std: 0.0,
+            ..CostModel::default()
+        };
         let clock = VirtualClock::new(model.clone(), 2);
         let b = clock.charge(10_000, 2, 1000, 3);
         assert_eq!(b.real_ns, 10_000);
-        assert_eq!(b.slowdown_ns, (10_000.0 * (model.in_enclave_factor - 1.0)) as u64);
+        assert_eq!(
+            b.slowdown_ns,
+            (10_000.0 * (model.in_enclave_factor - 1.0)) as u64
+        );
         assert_eq!(b.transition_ns, 2 * model.transition_ns);
         assert_eq!(b.copy_ns, 500);
         assert_eq!(b.paging_ns, 3 * model.page_swap_ns);
@@ -235,7 +239,9 @@ mod tests {
         // The enclave model must add variance the fake model lacks — the
         // paper's Table I STD observation.
         let clock = VirtualClock::new(CostModel::default(), 3);
-        let samples: Vec<u64> = (0..200).map(|_| clock.charge(1_000_000, 2, 0, 0).total_ns()).collect();
+        let samples: Vec<u64> = (0..200)
+            .map(|_| clock.charge(1_000_000, 2, 0, 0).total_ns())
+            .collect();
         let distinct: std::collections::HashSet<_> = samples.iter().collect();
         assert!(distinct.len() > 100, "jitter should vary per call");
     }

@@ -156,6 +156,7 @@ pub struct EnclaveCtx<'a> {
     epc: &'a Mutex<Epc>,
     faults: u64,
     ocalls: u64,
+    cpu_ns: u64,
 }
 
 impl EnclaveCtx<'_> {
@@ -207,6 +208,23 @@ impl EnclaveCtx<'_> {
     pub fn fault_count(&self) -> u64 {
         self.faults
     }
+
+    /// Reports aggregate CPU time consumed by the ECALL body.
+    ///
+    /// The dispatcher measures the body's *wall-clock* time; when the body
+    /// fans work out across worker threads, wall time undercounts the CPU
+    /// work the memory-encryption engine slows down. A parallel body sums
+    /// its per-task CPU time and reports it here; the call is then charged
+    /// `max(wall, reported_cpu)` so the slowdown factor applies to the full
+    /// batch of work, not just the elapsed span.
+    pub fn record_cpu_ns(&mut self, ns: u64) {
+        self.cpu_ns = self.cpu_ns.saturating_add(ns);
+    }
+
+    /// CPU nanoseconds reported so far in this call.
+    pub fn reported_cpu_ns(&self) -> u64 {
+        self.cpu_ns
+    }
 }
 
 impl Enclave {
@@ -247,10 +265,15 @@ impl Enclave {
             epc: &self.epc,
             faults: 0,
             ocalls: 0,
+            cpu_ns: 0,
         };
         let start = Instant::now();
         let result = body(&mut ctx);
-        let real_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        // Parallel bodies report their summed per-task CPU time; charge
+        // whichever is larger so fanned-out work still pays the in-enclave
+        // slowdown on every CPU-nanosecond of the batch.
+        let wall_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let real_ns = wall_ns.max(ctx.cpu_ns);
         // Enter + exit, plus a round-trip per OCALL.
         let transitions = 2 + 2 * ctx.ocalls;
         let copied = (input_bytes + output_bytes) as u64;
@@ -407,6 +430,20 @@ mod tests {
         let quote = p.quoting_enclave().quote(&report).unwrap();
         assert_eq!(&quote.measurement, e.measurement());
         assert_eq!(quote.user_data, b"payload");
+    }
+
+    #[test]
+    fn reported_cpu_time_floors_the_charge() {
+        let e = EnclaveBuilder::new("par").build(platform());
+        // A body that "ran" 10 ms of CPU work across workers while the wall
+        // measurement saw almost nothing must still be charged the CPU time.
+        let ((), cost) = e.ecall("fanout", 0, 0, |ctx| {
+            ctx.record_cpu_ns(10_000_000);
+        });
+        assert!(cost.real_ns >= 10_000_000);
+        // Without a report, wall time is charged as before.
+        let ((), cost) = e.ecall("plain", 0, 0, |_| ());
+        assert!(cost.real_ns < 10_000_000);
     }
 
     #[test]

@@ -93,7 +93,10 @@ impl Epc {
     ///
     /// Fails when the region does not exist.
     pub fn free(&mut self, id: RegionId) -> Result<()> {
-        let region = self.regions.remove(&id).ok_or(TeeError::UnknownRegion(id.0))?;
+        let region = self
+            .regions
+            .remove(&id)
+            .ok_or(TeeError::UnknownRegion(id.0))?;
         self.allocated_pages -= region.pages;
         self.lru.retain(|&(r, _)| r != id);
         self.resident.retain(|&(r, _), _| r != id);

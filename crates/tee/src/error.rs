@@ -35,13 +35,18 @@ impl std::fmt::Display for TeeError {
             TeeError::SealedBlobCorrupted => write!(f, "sealed blob failed integrity check"),
             TeeError::ReportMacInvalid => write!(f, "report MAC invalid for this platform"),
             TeeError::QuoteSignatureInvalid => write!(f, "quote signature invalid"),
-            TeeError::UnknownPlatform => write!(f, "platform not registered with attestation service"),
+            TeeError::UnknownPlatform => {
+                write!(f, "platform not registered with attestation service")
+            }
             TeeError::MeasurementMismatch { .. } => write!(f, "enclave measurement mismatch"),
             TeeError::UnknownRegion(id) => write!(f, "unknown enclave memory region {id}"),
             TeeError::HeapExhausted {
                 requested,
                 available,
-            } => write!(f, "heap exhausted: requested {requested} bytes, {available} available"),
+            } => write!(
+                f,
+                "heap exhausted: requested {requested} bytes, {available} available"
+            ),
         }
     }
 }

@@ -63,7 +63,9 @@ pub mod sidechannel;
 
 /// Convenient glob-import of the main types.
 pub mod prelude {
-    pub use crate::attestation::{AttestationService, Quote, QuotingEnclave, Report, VerifiedQuote};
+    pub use crate::attestation::{
+        AttestationService, Quote, QuotingEnclave, Report, VerifiedQuote,
+    };
     pub use crate::cost::{CostBreakdown, CostModel, VirtualClock};
     pub use crate::enclave::{Enclave, EnclaveBuilder, EnclaveCtx, Platform};
     pub use crate::epc::{Epc, EpcStats, RegionId, PAGE_SIZE};

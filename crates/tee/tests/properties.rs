@@ -76,8 +76,10 @@ proptest! {
                                           transitions in 0u64..16,
                                           bytes in 0u64..1_000_000,
                                           faults in 0u64..256) {
-        let mut model = CostModel::default();
-        model.jitter_rel_std = 0.0;
+        let model = CostModel {
+            jitter_rel_std: 0.0,
+            ..CostModel::default()
+        };
         let clock = VirtualClock::new(model, 0);
         let base = clock.charge(real, transitions, bytes, faults);
         let more_faults = clock.charge(real, transitions, bytes, faults + 1);

@@ -3,8 +3,8 @@
 //! devices.
 //!
 //! A batch of 10 users each submit one encrypted image (the SIMD slots carry
-//! the batch, paper §V-B); the CAV runs the hybrid pipeline and returns
-//! encrypted logits; each user decrypts only their own slot. The run compares
+//! the batch, paper §V-B); the CAV runs the hybrid pipeline through the
+//! `Session` API and returns each passenger their logits; the run compares
 //! hybrid against the pure-HE baseline on the same batch — the Fig. 8
 //! experiment at example scale.
 //!
@@ -12,20 +12,18 @@
 //! cargo run --release -p hesgx-core --example cav_edge_service
 //! ```
 
-use hesgx_core::pipeline::{total_enclave_cost, EcallBatching, HybridInference};
+use hesgx_core::pipeline::total_enclave_cost;
+use hesgx_core::prelude::*;
 use hesgx_crypto::rng::ChaChaRng;
 use hesgx_henn::cryptonets::CryptoNets;
-use hesgx_henn::image::EncryptedMap;
 use hesgx_nn::dataset;
-use hesgx_nn::layers::{ActivationKind, PoolKind};
-use hesgx_nn::quantize::{QuantPipeline, QuantizedCnn};
+use hesgx_nn::layers::PoolKind;
 use hesgx_nn::train::{train_paper_cnn, TrainConfig};
-use hesgx_tee::enclave::Platform;
 use std::time::Instant;
 
 const BATCH: usize = 10;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     println!("CAV edge service: privacy-preserving inference for {BATCH} vehicle passengers");
 
     println!("\n== training both model variants ==");
@@ -59,55 +57,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|s| dataset::quantize_pixels(&s.image))
         .collect();
     let labels: Vec<usize> = samples.iter().map(|s| s.label).collect();
-    let mut rng = ChaChaRng::from_seed(4242);
 
     println!("\n== hybrid framework (EncryptSGX) ==");
-    let (service, ceremony) =
-        HybridInference::provision(Platform::new(77), hybrid_model.clone(), 1024, 5)?;
-    let enc = EncryptedMap::encrypt_images(
-        service.system(),
-        &images,
-        hybrid_model.in_side,
-        &ceremony.public,
-        &mut rng,
-    )?;
+    let session = SessionBuilder::new()
+        .params(ParamsPreset::Paper)
+        .activation(ActivationKind::Sigmoid)
+        .seed(5)
+        .build(Platform::new(77), hybrid_model.clone())?;
+    println!("HE worker threads: {}", session.threads());
     let start = Instant::now();
-    let (logits, metrics) = service.infer(&enc, EcallBatching::Batched)?;
+    let all_logits = session.infer_batch(&images)?;
     let hybrid_wall = start.elapsed();
+    let metrics = session.metrics().expect("one batch ran");
     let enclave_overhead = {
         let c = total_enclave_cost(&metrics);
         std::time::Duration::from_nanos(c.total_ns().saturating_sub(c.real_ns))
     };
 
-    // Each passenger decrypts their own slot.
-    let mut hybrid_preds = vec![0usize; BATCH];
-    for b in 0..BATCH {
-        let mut best = (0usize, i128::MIN);
-        for (class, ct) in logits.iter().enumerate() {
-            let v = service.system().decrypt_slots(ct, &ceremony.user_secret)?[b];
-            if v > best.1 {
-                best = (class, v);
-            }
-        }
-        hybrid_preds[b] = best.0;
-    }
+    // Each passenger reads their own logit row.
+    let hybrid_preds: Vec<usize> = all_logits
+        .iter()
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .max_by_key(|(_, &v)| v)
+                .map(|(class, _)| class)
+                .expect("model has classes")
+        })
+        .collect();
     let hybrid_total = hybrid_wall + enclave_overhead;
     println!(
         "pipeline: {hybrid_wall:?} wall + {enclave_overhead:?} modeled SGX overhead = {hybrid_total:?} for {BATCH} images"
     );
     println!(
         "enclave side-channel exposure: {} ECALLs, {} page faults",
-        service
+        session
+            .service()
             .enclave()
             .enclave()
             .with_monitor(|m| m.ecall_count()),
-        service
+        session
+            .service()
             .enclave()
             .enclave()
             .with_monitor(|m| m.page_fault_count())
     );
 
     println!("\n== pure-HE baseline (Encrypted / CryptoNets) ==");
+    let mut rng = ChaChaRng::from_seed(4242);
     let engine = CryptoNets::new(baseline_model.clone(), 1024)?;
     let keys = engine.system().generate_keys(&mut rng);
     let enc = engine.encrypt_batch(&images, &keys, &mut rng)?;
@@ -132,7 +129,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         hybrid_hits += (hybrid_preds[b] == labels[b]) as usize;
         baseline_hits += (baseline_preds[b] == labels[b]) as usize;
     }
-    println!("accuracy on this batch: hybrid {hybrid_hits}/{BATCH}, baseline {baseline_hits}/{BATCH}");
+    println!(
+        "accuracy on this batch: hybrid {hybrid_hits}/{BATCH}, baseline {baseline_hits}/{BATCH}"
+    );
     let saving = 1.0 - hybrid_total.as_secs_f64() / baseline_wall.as_secs_f64();
     println!(
         "hybrid saves {:.1}% of the pure-HE inference time (paper: 39.615%)",

@@ -48,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Step 2: the user verifies the quote chain.
     let accepted = verify_key_ceremony(&service, &ceremony, enclave.measurement())?;
-    println!("[user]    quote verified against attestation service — keys accepted ({} moduli)", accepted.len());
+    println!(
+        "[user]    quote verified against attestation service — keys accepted ({} moduli)",
+        accepted.len()
+    );
 
     // Step 3: what an attacker cannot do.
     println!("\n== attack scenarios ==");
@@ -93,7 +96,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (ok, _) = enclave.unseal(&blob);
     assert!(ok.is_ok());
     // A blob sealed by a different enclave identity must not open here.
-    let other = EnclaveBuilder::new("other").add_code(b"other").build(platform);
+    let other = EnclaveBuilder::new("other")
+        .add_code(b"other")
+        .build(platform);
     let (forged, _) = other.seal(b"forged keys");
     match enclave.unseal(&forged).0 {
         Err(e) => println!("(d) forged sealed key blob           -> REJECTED ({e})"),

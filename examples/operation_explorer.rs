@@ -44,27 +44,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let pt = Plaintext::constant(123);
     let ct = encryptor.encrypt(&pt, &mut rng)?;
-    println!("fresh noise budget: {} bits", decryptor.invariant_noise_budget(&ct)?);
-    println!("encrypt:      {:8.3} ms", time_ms(|| {
-        let _ = encryptor.encrypt(&pt, &mut rng).unwrap();
-    }));
-    println!("decrypt:      {:8.3} ms", time_ms(|| {
-        let _ = decryptor.decrypt(&ct).unwrap();
-    }));
-    println!("add:          {:8.3} ms", time_ms(|| {
-        let _ = evaluator.add(&ct, &ct).unwrap();
-    }));
-    println!("mul_plain:    {:8.3} ms", time_ms(|| {
-        let _ = evaluator.mul_plain_signed_scalar(&ct, 31).unwrap();
-    }));
+    println!(
+        "fresh noise budget: {} bits",
+        decryptor.invariant_noise_budget(&ct)?
+    );
+    println!(
+        "encrypt:      {:8.3} ms",
+        time_ms(|| {
+            let _ = encryptor.encrypt(&pt, &mut rng).unwrap();
+        })
+    );
+    println!(
+        "decrypt:      {:8.3} ms",
+        time_ms(|| {
+            let _ = decryptor.decrypt(&ct).unwrap();
+        })
+    );
+    println!(
+        "add:          {:8.3} ms",
+        time_ms(|| {
+            let _ = evaluator.add(&ct, &ct).unwrap();
+        })
+    );
+    println!(
+        "mul_plain:    {:8.3} ms",
+        time_ms(|| {
+            let _ = evaluator.mul_plain_signed_scalar(&ct, 31).unwrap();
+        })
+    );
     let mut size3 = None;
-    println!("multiply:     {:8.3} ms", time_ms(|| {
-        size3 = Some(evaluator.multiply(&ct, &ct).unwrap());
-    }));
+    println!(
+        "multiply:     {:8.3} ms",
+        time_ms(|| {
+            size3 = Some(evaluator.multiply(&ct, &ct).unwrap());
+        })
+    );
     let size3 = size3.unwrap();
-    println!("relinearize:  {:8.3} ms", time_ms(|| {
-        let _ = evaluator.relinearize(&size3, &evk).unwrap();
-    }));
+    println!(
+        "relinearize:  {:8.3} ms",
+        time_ms(|| {
+            let _ = evaluator.relinearize(&size3, &evk).unwrap();
+        })
+    );
     println!(
         "noise after square: {} bits",
         decryptor.invariant_noise_budget(&size3)?
@@ -77,7 +98,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ct_packed = encryptor.encrypt(&packed, &mut rng)?;
     let tripled = evaluator.mul_plain_signed_scalar(&ct_packed, 3)?;
     let decoded = batch_encoder.decode(&decryptor.decrypt(&tripled)?);
-    assert!(decoded.iter().enumerate().all(|(i, &v)| v == (3 * i as u64) % 65537));
+    assert!(decoded
+        .iter()
+        .enumerate()
+        .all(|(i, &v)| v == (3 * i as u64) % 65537));
     println!(
         "{} independent values in ONE ciphertext, one op = {} multiplications",
         batch_encoder.slot_count(),
@@ -96,7 +120,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sys = CrtPlainSystem::new(1024, &[65537])?;
     let keys = sys.generate_keys(&mut rng);
     let platform = Platform::new(3);
-    let enclave = EnclaveBuilder::new("explorer").add_code(b"x").build(platform);
+    let enclave = EnclaveBuilder::new("explorer")
+        .add_code(b"x")
+        .build(platform);
     let ie = InferenceEnclave::new(enclave, keys.secret.clone(), keys.public.clone(), 9);
     let images = vec![(0..576).map(|p| (p % 16) as i64).collect::<Vec<i64>>()];
     let input = EncryptedMap::encrypt_images(&sys, &images, 24, &keys.public, &mut rng)?;
@@ -156,7 +182,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ActivationKind::LeakyRelu,
     ] {
         let (_, cost) = ie.activation_map(&sys, &map, &model, kind)?;
-        println!("{kind:?} over 64 cells: {:.3} ms virtual", cost.total_ns() as f64 / 1e6);
+        println!(
+            "{kind:?} over 64 cells: {:.3} ms virtual",
+            cost.total_ns() as f64 / 1e6
+        );
     }
     println!("\nall exact — no polynomial approximation, no accuracy loss.");
     Ok(())

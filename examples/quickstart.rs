@@ -1,22 +1,18 @@
-//! Quickstart: provision the hybrid HE+SGX inference service, attest it,
-//! encrypt one image, run inference, decrypt the prediction.
+//! Quickstart: build a hybrid HE+SGX inference session, attest it, and run
+//! one encrypted prediction through the unified `Session` API.
 //!
 //! ```text
 //! cargo run --release -p hesgx-core --example quickstart
 //! ```
 
 use hesgx_core::keydist::verify_key_ceremony;
-use hesgx_core::pipeline::{EcallBatching, HybridInference};
-use hesgx_crypto::rng::ChaChaRng;
-use hesgx_henn::image::EncryptedMap;
+use hesgx_core::prelude::*;
 use hesgx_nn::dataset;
-use hesgx_nn::layers::{ActivationKind, PoolKind};
-use hesgx_nn::quantize::{QuantPipeline, QuantizedCnn};
+use hesgx_nn::layers::PoolKind;
 use hesgx_nn::train::{train_paper_cnn, TrainConfig};
 use hesgx_tee::attestation::AttestationService;
-use hesgx_tee::enclave::Platform;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     // 1. Train the paper's 4-layer CNN (conv → sigmoid → mean-pool → FC) on
     //    the synthetic digit set, then quantize it for the hybrid pipeline.
     println!("[1/5] training the case-study CNN...");
@@ -27,54 +23,59 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..Default::default()
     };
     let trained = train_paper_cnn(ActivationKind::Sigmoid, PoolKind::Mean, &config);
-    println!("      float test accuracy: {:.1}%", trained.test_accuracy * 100.0);
+    println!(
+        "      float test accuracy: {:.1}%",
+        trained.test_accuracy * 100.0
+    );
     let model = QuantizedCnn::from_network(&trained.network, QuantPipeline::Hybrid, 16, 32, 16);
 
-    // 2. Provision the edge service: the enclave generates the FV keys and
-    //    binds them into an attestation quote — no trusted third party.
-    println!("[2/5] provisioning the hybrid service (enclave key ceremony)...");
+    // 2. Build the session: the enclave generates the FV keys inside and
+    //    binds them into an attestation quote — no trusted third party. The
+    //    HE hot paths run on a work-stealing pool, one worker per core.
+    println!("[2/5] building the inference session (enclave key ceremony)...");
     let platform = Platform::new(7);
     let mut attestation = AttestationService::new();
     attestation.register_platform(platform.quoting_enclave());
-    let (service, ceremony) = HybridInference::provision(platform, model.clone(), 1024, 42)?;
+    let session = SessionBuilder::new()
+        .params(ParamsPreset::Paper)
+        .activation(ActivationKind::Sigmoid)
+        .seed(42)
+        .build(platform, model.clone())?;
+    println!("      HE worker threads: {}", session.threads());
 
     // 3. The user verifies the quote chain before trusting the keys.
     println!("[3/5] verifying the attestation quote...");
-    let expected = *service.enclave().enclave().measurement();
-    let public_keys = verify_key_ceremony(&attestation, &ceremony, &expected)?;
+    let expected = *session.service().enclave().enclave().measurement();
+    verify_key_ceremony(&attestation, session.ceremony(), &expected)?;
     println!("      quote verified; keys accepted");
 
-    // 4. Encrypt an image and submit it.
-    println!("[4/5] encrypting a digit image and running hybrid inference...");
+    // 4. Encrypt an image, run the hybrid pipeline, decrypt — one call.
+    println!("[4/5] running one encrypted prediction...");
     let sample = &trained.test_set[0];
     let pixels = dataset::quantize_pixels(&sample.image);
-    let mut rng = ChaChaRng::from_seed(99);
-    let encrypted = EncryptedMap::encrypt_images(
-        service.system(),
-        &[pixels.clone()],
-        model.in_side,
-        &public_keys,
-        &mut rng,
-    )?;
-    let (logits, metrics) = service.infer(&encrypted, EcallBatching::Batched)?;
+    let logits = session.infer(&pixels)?;
 
-    // 5. Decrypt the logits with the user's secret keys and take the argmax.
-    println!("[5/5] decrypting the result...");
-    let mut best = (0usize, i128::MIN);
-    for (class, ct) in logits.iter().enumerate() {
-        let value = service.system().decrypt_slots(ct, &ceremony.user_secret)?[0];
-        if value > best.1 {
-            best = (class, value);
-        }
-    }
+    // 5. The plaintext argmax of the decrypted logits is the prediction.
+    println!("[5/5] reading the result...");
+    let predicted = logits
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &v)| v)
+        .map(|(class, _)| class)
+        .expect("model has classes");
+    let metrics = session.metrics().expect("one inference ran");
     println!();
     println!("true label:           {}", sample.label);
-    println!("encrypted prediction: {}", best.0);
+    println!("encrypted prediction: {predicted}");
     println!(
         "plaintext reference:  {} (must match the encrypted result exactly)",
         model.predict_ints(&pixels)
     );
-    println!("pipeline time:        {:?}", metrics.total());
+    println!(
+        "pipeline time:        {:?} ({} threads)",
+        metrics.total(),
+        metrics.threads
+    );
     for stage in &metrics.stages {
         println!("  - {:<36} {:?}", stage.name, stage.effective());
     }

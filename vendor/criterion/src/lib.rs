@@ -1,0 +1,251 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `bench_function`, `benchmark_group`/`BenchmarkGroup`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::{iter, iter_batched}`, `BatchSize`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! mean/min/max timing report instead of criterion's statistics engine.
+//!
+//! Mirrors upstream's test-mode behaviour: when the binary is invoked
+//! without `--bench` (as `cargo test` does for `harness = false` bench
+//! targets), every benchmark body runs exactly once as a smoke test and no
+//! timing is collected.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How batched-iteration inputs are grouped; accepted for API
+/// compatibility, the stand-in times each batch of one.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifier for a parameterised benchmark within a group.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `group/function/parameter`-style id.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Id carrying only the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    smoke_only: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, calling it once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let runs = if self.smoke_only { 1 } else { self.sample_size };
+        for _ in 0..runs {
+            let start = Instant::now();
+            let out = routine();
+            self.samples.push(start.elapsed());
+            drop(out);
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let runs = if self.smoke_only { 1 } else { self.sample_size };
+        for _ in 0..runs {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.samples.push(start.elapsed());
+            drop(out);
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().unwrap();
+    let max = samples.iter().max().unwrap();
+    println!(
+        "bench {name:<48} mean {mean:>12?}  min {min:>12?}  max {max:>12?}  ({n} samples)",
+        n = samples.len()
+    );
+}
+
+fn run_one(name: &str, sample_size: usize, smoke_only: bool, f: &mut dyn FnMut(&mut Bencher)) {
+    if smoke_only {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size,
+            smoke_only,
+        };
+        f(&mut b);
+        println!("bench {name}: ok (smoke test)");
+    } else {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(sample_size),
+            sample_size,
+            smoke_only,
+        };
+        f(&mut b);
+        report(name, &b.samples);
+    }
+}
+
+/// Top-level benchmark registry/driver.
+pub struct Criterion {
+    smoke_only: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes --bench to harness=false targets; cargo test
+        // does not. Upstream criterion uses the same signal to pick
+        // full-measurement vs smoke-test mode.
+        let full = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            smoke_only: !full,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.default_sample_size, self.smoke_only, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Finalises reporting (upstream API; the stand-in reports eagerly).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of samples collected per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        self.sample_size
+            .unwrap_or(self.criterion.default_sample_size)
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(
+            &name,
+            self.effective_samples(),
+            self.criterion.smoke_only,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs a parameterised benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id);
+        run_one(
+            &name,
+            self.effective_samples(),
+            self.criterion.smoke_only,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the stand-in reports
+    /// eagerly, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions (upstream `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main` (upstream `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

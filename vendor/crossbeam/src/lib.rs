@@ -1,0 +1,91 @@
+//! Offline stand-in for `crossbeam`, covering the scoped-thread API the
+//! workspace uses (`crossbeam::thread::scope`). Backed by
+//! `std::thread::scope`, which provides the same structured-concurrency
+//! guarantee: all spawned threads join before `scope` returns, so borrows
+//! of stack data are sound without `'static` bounds.
+
+/// Scoped threads (`crossbeam::thread`).
+pub mod thread {
+    use std::thread as std_thread;
+
+    /// A scope handle passed to the `scope` closure; mirrors
+    /// `crossbeam_utils::thread::Scope`.
+    #[derive(Copy, Clone)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread; mirrors
+    /// `crossbeam_utils::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result.
+        ///
+        /// Like crossbeam, a panicking thread surfaces as `Err` with the
+        /// panic payload.
+        pub fn join(self) -> std_thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope handle
+        /// (crossbeam style), allowing nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning threads that may borrow from the
+    /// enclosing stack frame. All threads are joined before this returns.
+    ///
+    /// Returns `Ok(result)` on success, matching crossbeam's signature.
+    /// Unlike crossbeam (which collects child panics into `Err`), an
+    /// unjoined child panic propagates out of `scope` as a panic — the
+    /// workspace joins every handle it spawns, so the two behaviours
+    /// coincide for our callers.
+    pub fn scope<'env, F, R>(f: F) -> std_thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_handle() {
+        let n = crate::thread::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 7u32).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 7);
+    }
+}

@@ -1,0 +1,160 @@
+//! Deterministic test runner: config, RNG, and case loop.
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases (upstream constructor).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the single-core CI budget sane
+        // while still exercising varied inputs. Tests that need more set
+        // `with_cases` explicitly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not succeed.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Precondition unmet (`prop_assume!`); the case is redrawn, not failed.
+    Reject,
+    /// Assertion failure with message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Constructs the failure variant (used by the assertion macros).
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// Deterministic RNG handed to strategies (SplitMix64).
+///
+/// Seeded from the test's fully-qualified name so every run of a given test
+/// draws the same case sequence.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG from a numeric seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x5bf0_3635_d4f6_2d1c,
+        }
+    }
+
+    /// Creates an RNG seeded from a test name (FNV-1a).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self::from_seed(h)
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Runs the case loop for one property test.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        let rng = TestRng::from_name(name);
+        TestRunner { config, name, rng }
+    }
+
+    /// Executes `body` until `config.cases` cases succeed, redrawing on
+    /// `Reject` and panicking (with the case index) on `Fail`.
+    pub fn run<F>(&mut self, mut body: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut passed = 0u32;
+        let max_rejects = self.config.cases.saturating_mul(20).max(1000);
+        let mut rejects = 0u32;
+        while passed < self.config.cases {
+            match body(&mut self.rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejects += 1;
+                    if rejects > max_rejects {
+                        panic!(
+                            "proptest {}: too many rejected cases ({} rejects, {} passed)",
+                            self.name, rejects, passed
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest {} failed at case {}: {}",
+                        self.name,
+                        passed + 1,
+                        msg
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("mod::case");
+        let mut b = TestRng::from_name("mod::case");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::from_name("mod::other");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn runner_counts_rejections_separately() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(5), "t");
+        let mut calls = 0;
+        runner.run(|rng| {
+            calls += 1;
+            if rng.next_u64() % 2 == 0 {
+                Err(TestCaseError::Reject)
+            } else {
+                Ok(())
+            }
+        });
+        assert!(calls >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn runner_panics_on_failure() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(3), "t");
+        runner.run(|_| Err(TestCaseError::fail("boom".into())));
+    }
+}

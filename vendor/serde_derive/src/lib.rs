@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`: the derive macros expand to nothing.
+//!
+//! The workspace's serialization is hand-rolled (`hesgx-bfv::serialization`);
+//! the `#[derive(Serialize, Deserialize)]` attributes are declarative
+//! documentation of which types are wire-safe. Expanding to an empty token
+//! stream keeps those declarations compiling without a registry.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive (accepts and ignores `#[serde(...)]` attributes).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive (accepts and ignores `#[serde(...)]` attributes).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
