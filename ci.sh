@@ -18,6 +18,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> hesgx-lint --workspace"
+cargo run -q -p hesgx-lint --offline -- --workspace
+
 echo "==> cargo build --release"
 cargo build --release --offline
 

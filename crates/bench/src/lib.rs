@@ -36,6 +36,7 @@ pub struct PaperEnv {
     /// Single-modulus FV system at n = 1024 (t = 65537).
     pub sys: CrtPlainSystem,
     /// Keys for `sys`.
+    // hesgx-lint: allow(secret-pub-api, reason = "bench harness plays the user role and legitimately holds the keys")
     pub keys: CrtKeys,
     /// Deterministic randomness for the experiment.
     pub rng: ChaChaRng,

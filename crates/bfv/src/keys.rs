@@ -9,10 +9,31 @@ use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// The FV secret key: a ternary polynomial `s`, stored in NTT form.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The secret polynomial is zeroized when the key drops (see
+/// [`SecretKey::zeroize`]), and the [`std::fmt::Debug`] impl redacts it, so
+/// neither logs nor freed heap pages retain key material.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SecretKey {
     pub(crate) s: RnsPoly,
     pub(crate) context_id: [u8; 32],
+}
+
+impl std::fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The secret polynomial must never reach a log line
+        // (hesgx-lint: secret-debug).
+        f.debug_struct("SecretKey")
+            .field("context_id", &self.context_id)
+            .field("s", &"<redacted>")
+            .finish()
+    }
+}
+
+impl Drop for SecretKey {
+    fn drop(&mut self) {
+        self.zeroize();
+    }
 }
 
 impl SecretKey {
@@ -24,6 +45,19 @@ impl SecretKey {
     /// Raw RNS limbs of the secret polynomial (for sealing / hashing).
     pub fn s_limbs(&self) -> &[Vec<u64>] {
         &self.s.limbs
+    }
+
+    /// Overwrites the secret polynomial's backing buffers with zeros. Called
+    /// automatically on drop; callable early when the key's useful life ends
+    /// before its owner drops.
+    pub fn zeroize(&mut self) {
+        for limb in self.s.limbs.iter_mut() {
+            for v in limb.iter_mut() {
+                *v = 0;
+            }
+        }
+        // Keep the optimizer from eliding the wipes as dead stores.
+        std::sync::atomic::compiler_fence(std::sync::atomic::Ordering::SeqCst);
     }
 }
 
@@ -54,10 +88,23 @@ impl PublicKey {
 
 /// Relinearization (evaluation) keys: for each decomposition component `k`,
 /// `evk_k = ([-(a_k·s + e_k) + w^k·s²]_q, a_k)`, stored in NTT form.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Evaluation keys are *encryptions* of key-dependent material; they are
+/// shared with the compute party by design, but the workspace still treats
+/// them as registry types for `hesgx-lint` so every API crossing is audited.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EvaluationKeys {
     pub(crate) keys: Vec<(RnsPoly, RnsPoly)>,
     pub(crate) context_id: [u8; 32],
+}
+
+impl std::fmt::Debug for EvaluationKeys {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvaluationKeys")
+            .field("context_id", &self.context_id)
+            .field("components", &self.keys.len())
+            .finish()
+    }
 }
 
 impl EvaluationKeys {
@@ -88,11 +135,21 @@ impl EvaluationKeys {
 /// let _pk = keygen.public_key();
 /// let _sk = keygen.secret_key();
 /// ```
-#[derive(Debug)]
 pub struct KeyGenerator {
     ctx: Arc<BfvContext>,
     sk: SecretKey,
     pk: PublicKey,
+}
+
+impl std::fmt::Debug for KeyGenerator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Holds the live secret key; expose only the context binding
+        // (hesgx-lint: secret-debug).
+        f.debug_struct("KeyGenerator")
+            .field("context_id", &self.ctx.id())
+            .field("sk", &"<redacted>")
+            .finish()
+    }
 }
 
 impl KeyGenerator {
@@ -191,6 +248,33 @@ mod tests {
         let b = KeyGenerator::new(ctx, &mut rng2);
         assert_ne!(a.secret_key(), b.secret_key());
         assert_ne!(a.public_key(), b.public_key());
+    }
+
+    #[test]
+    fn secret_key_zeroize_clears_backing_buffer() {
+        let ctx = BfvContext::new(presets::test_n256()).unwrap();
+        let mut rng = ChaChaRng::from_seed(4);
+        let mut sk = KeyGenerator::new(ctx, &mut rng).secret_key();
+        assert!(
+            sk.s_limbs().iter().any(|l| l.iter().any(|&v| v != 0)),
+            "a fresh secret key must contain nonzero limbs"
+        );
+        sk.zeroize();
+        assert!(
+            sk.s_limbs().iter().all(|l| l.iter().all(|&v| v == 0)),
+            "zeroize must clear every limb of the secret polynomial"
+        );
+    }
+
+    #[test]
+    fn secret_key_debug_redacts_polynomial() {
+        let ctx = BfvContext::new(presets::test_n256()).unwrap();
+        let mut rng = ChaChaRng::from_seed(5);
+        let keygen = KeyGenerator::new(ctx, &mut rng);
+        let rendered = format!("{:?}", keygen.secret_key());
+        assert!(rendered.contains("<redacted>"));
+        let rendered = format!("{keygen:?}");
+        assert!(rendered.contains("<redacted>"));
     }
 
     #[test]

@@ -22,6 +22,11 @@ pub enum Error {
     /// A session/provisioning configuration was invalid (bad preset, zero
     /// batch, model quantized for the wrong pipeline, …).
     Config(String),
+    /// An internal invariant of the framework was violated (e.g. a batched
+    /// enclave transform returned the wrong cell count). Enclave-side code is
+    /// panic-free by policy (`hesgx-lint` rule `enclave-panic`), so broken
+    /// invariants surface here instead of aborting inside the ECALL.
+    Internal(&'static str),
 }
 
 impl std::fmt::Display for Error {
@@ -33,6 +38,7 @@ impl std::fmt::Display for Error {
                 write!(f, "decrypted value {v} outside analyzed range")
             }
             Error::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }
 }
@@ -42,7 +48,7 @@ impl std::error::Error for Error {
         match self {
             Error::He(e) => Some(e),
             Error::Tee(e) => Some(e),
-            Error::RangeViolation(_) | Error::Config(_) => None,
+            Error::RangeViolation(_) | Error::Config(_) | Error::Internal(_) => None,
         }
     }
 }
@@ -72,6 +78,7 @@ mod tests {
             (Error::RangeViolation(1 << 40), "outside analyzed range"),
             (Error::Config("bad preset".into()), "invalid configuration"),
             (Error::Tee(TeeError::UnknownPlatform), "enclave operation"),
+            (Error::Internal("cell count mismatch"), "internal invariant"),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err}");

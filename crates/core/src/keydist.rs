@@ -18,6 +18,7 @@
 //! shipping problem disappears entirely because the enclave refreshes noise
 //! by decrypt–re-encrypt instead (paper §IV-E).
 
+use crate::error::{Error, Result};
 use hesgx_bfv::prelude::{PublicKey, SecretKey};
 use hesgx_crypto::rng::ChaChaRng;
 use hesgx_crypto::sha256::Sha256;
@@ -81,31 +82,35 @@ pub struct KeyCeremonyPublic {
 /// Runs `ecall_generate_key` inside `enclave`: generates keys for every CRT
 /// modulus, returns the public half plus an attested commitment, and hands
 /// the secret half back for the enclave wrapper to retain.
+///
+/// # Errors
+///
+/// Fails when the enclave heap cannot hold the key material or the freshly
+/// generated report does not verify on this platform.
 pub fn enclave_generate_keys(
     enclave: &Enclave,
     sys: &CrtPlainSystem,
     rng: &mut ChaChaRng,
-) -> (CrtKeys, KeyCeremonyPublic) {
+) -> Result<(CrtKeys, KeyCeremonyPublic)> {
     // Key generation runs inside the enclave; the returned CrtKeys stays with
     // the trusted wrapper (simulation stand-in for enclave-resident state).
     let (keys, keygen_cost) = enclave.ecall("ecall_generate_key", 0, 4096, |ctx| {
         // Key material occupies enclave heap pages.
-        let region = ctx
-            .alloc(64 * 1024)
-            .expect("enclave heap fits key material");
-        ctx.touch(region).expect("region valid");
-        sys.generate_keys(rng)
+        let region = ctx.alloc(64 * 1024).map_err(Error::Tee)?;
+        ctx.touch(region).map_err(Error::Tee)?;
+        Ok::<_, Error>(sys.generate_keys(rng))
     });
+    let keys = keys?;
     let digest = digest_public_keys(&keys.public);
     let report = enclave.create_report(digest.to_vec());
     let quote = enclave
         .platform()
         .quoting_enclave()
         .quote(&report)
-        .expect("report from this platform verifies");
+        .map_err(Error::Tee)?;
     let public = keys.public.clone();
     let user_secret = keys.secret.clone();
-    (
+    Ok((
         keys,
         KeyCeremonyPublic {
             public,
@@ -113,7 +118,7 @@ pub fn enclave_generate_keys(
             quote,
             keygen_cost,
         },
-    )
+    ))
 }
 
 /// Client-side verification: checks the quote chain and the key digest, and
@@ -127,7 +132,7 @@ pub fn verify_key_ceremony(
     service: &AttestationService,
     ceremony: &KeyCeremonyPublic,
     expected_measurement: &[u8; 32],
-) -> Result<Vec<PublicKey>, TeeError> {
+) -> std::result::Result<Vec<PublicKey>, TeeError> {
     let verified = service.verify_expecting(&ceremony.quote, expected_measurement)?;
     let digest = digest_public_keys(&ceremony.public);
     if verified.user_data != digest {
@@ -176,7 +181,7 @@ mod tests {
     fn ceremony_round_trip() {
         let (_platform, enclave, sys, service) = setup();
         let mut rng = ChaChaRng::from_seed(81);
-        let (keys, ceremony) = enclave_generate_keys(&enclave, &sys, &mut rng);
+        let (keys, ceremony) = enclave_generate_keys(&enclave, &sys, &mut rng).unwrap();
         let accepted = verify_key_ceremony(&service, &ceremony, enclave.measurement()).unwrap();
         assert_eq!(accepted.len(), 1);
         assert_eq!(&accepted[0], &keys.public[0]);
@@ -187,7 +192,7 @@ mod tests {
     fn substituted_keys_rejected() {
         let (_platform, enclave, sys, service) = setup();
         let mut rng = ChaChaRng::from_seed(82);
-        let (_, mut ceremony) = enclave_generate_keys(&enclave, &sys, &mut rng);
+        let (_, mut ceremony) = enclave_generate_keys(&enclave, &sys, &mut rng).unwrap();
         // Man-in-the-middle swaps in their own public keys.
         let evil = sys.generate_keys(&mut rng);
         ceremony.public = evil.public;
@@ -198,7 +203,7 @@ mod tests {
     fn wrong_enclave_build_rejected() {
         let (platform, enclave, sys, service) = setup();
         let mut rng = ChaChaRng::from_seed(83);
-        let (_, ceremony) = enclave_generate_keys(&enclave, &sys, &mut rng);
+        let (_, ceremony) = enclave_generate_keys(&enclave, &sys, &mut rng).unwrap();
         let other = EnclaveBuilder::new("hesgx-inference")
             .add_code(b"hybrid-inference-v2-TAMPERED")
             .build(platform);
@@ -212,7 +217,7 @@ mod tests {
     fn unregistered_platform_rejected() {
         let (_platform, enclave, sys, _service) = setup();
         let mut rng = ChaChaRng::from_seed(84);
-        let (_, ceremony) = enclave_generate_keys(&enclave, &sys, &mut rng);
+        let (_, ceremony) = enclave_generate_keys(&enclave, &sys, &mut rng).unwrap();
         let empty_service = AttestationService::new();
         assert_eq!(
             verify_key_ceremony(&empty_service, &ceremony, enclave.measurement()).unwrap_err(),
@@ -233,7 +238,7 @@ mod tests {
     fn secret_keys_seal_and_restore() {
         let (_platform, enclave, sys, _service) = setup();
         let mut rng = ChaChaRng::from_seed(86);
-        let (keys, _) = enclave_generate_keys(&enclave, &sys, &mut rng);
+        let (keys, _) = enclave_generate_keys(&enclave, &sys, &mut rng).unwrap();
         let blob = seal_secret_keys(&enclave, &keys.secret);
         let (restored, _) = enclave.unseal(&blob);
         assert!(restored.is_ok());

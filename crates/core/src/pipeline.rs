@@ -156,7 +156,7 @@ impl HybridInference {
         }
         let enclave = builder.build(platform);
         let mut rng = ChaChaRng::from_seed(config.seed).fork("provision");
-        let (keys, ceremony) = enclave_generate_keys(&enclave, &sys, &mut rng);
+        let (keys, ceremony) = enclave_generate_keys(&enclave, &sys, &mut rng)?;
         let mut plan = plan_for(&model);
         if let Some(strategy) = config.pool_strategy {
             plan.pool_strategy = strategy;

@@ -46,6 +46,7 @@ pub struct InferenceEnclave {
 
 impl InferenceEnclave {
     /// Wraps an enclave whose key ceremony produced `secret`/`public`.
+    // hesgx-lint: allow(ecall-cost, reason = "constructor; performs no enclave computation")
     pub fn new(
         enclave: Enclave,
         secret: Vec<SecretKey>,
@@ -62,11 +63,13 @@ impl InferenceEnclave {
     }
 
     /// The underlying simulated enclave.
+    // hesgx-lint: allow(ecall-cost, reason = "accessor; performs no enclave computation")
     pub fn enclave(&self) -> &Enclave {
         &self.enclave
     }
 
     /// The public keys matching the enclave's secret keys.
+    // hesgx-lint: allow(ecall-cost, reason = "accessor; performs no enclave computation")
     pub fn public_keys(&self) -> &[PublicKey] {
         &self.public
     }
@@ -220,7 +223,11 @@ impl InferenceEnclave {
                 self.transform_cells("ecall_activation_single", sys, &[cell], |_, v| {
                     model.enclave_activation(v as i64, kind)
                 })?;
-            out.push(mapped.pop().expect("one cell in, one out"));
+            out.push(
+                mapped
+                    .pop()
+                    .ok_or(Error::Internal("single-cell transform returned no cell"))?,
+            );
             total = sum_costs(total, cost);
         }
         Ok((EncryptedMap::new(c, h, w, out), total))
@@ -324,7 +331,7 @@ impl InferenceEnclave {
                                         });
                                     }
                                 }
-                                let acc = acc.expect("window non-empty");
+                                let acc = acc.ok_or(Error::Internal("pooling window is empty"))?;
                                 *slot_out = if max_pool {
                                     acc
                                 } else {
@@ -411,7 +418,7 @@ impl InferenceEnclave {
                                 });
                             }
                         }
-                        let acc = acc.expect("window non-empty");
+                        let acc = acc.ok_or(Error::Internal("pooling window is empty"))?;
                         *slot_out = if max_pool {
                             acc
                         } else {
@@ -480,7 +487,10 @@ impl InferenceEnclave {
     ) -> Result<(CrtCiphertext, CostBreakdown)> {
         let (mut out, cost) =
             self.transform_cells("ecall_DecreaseNoise", sys, &[ct], |_, v| v as i64)?;
-        Ok((out.pop().expect("one in, one out"), cost))
+        let fresh = out
+            .pop()
+            .ok_or(Error::Internal("refresh returned no ciphertext"))?;
+        Ok((fresh, cost))
     }
 }
 
@@ -528,7 +538,7 @@ mod tests {
             .build(platform);
         let sys = CrtPlainSystem::new(256, &[12289, 13313]).unwrap();
         let mut rng = ChaChaRng::from_seed(91);
-        let (keys, _) = enclave_generate_keys(&enclave, &sys, &mut rng);
+        let (keys, _) = enclave_generate_keys(&enclave, &sys, &mut rng).expect("key ceremony");
         let ie = InferenceEnclave::new(enclave, keys.secret, keys.public, 92);
         (ie, sys, rng)
     }

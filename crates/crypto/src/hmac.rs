@@ -50,16 +50,12 @@ pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; TAG_LEN] {
 /// Constant-time tag comparison.
 ///
 /// Returns `true` when `a == b` without early exit, so the comparison time does
-/// not leak the index of the first mismatching byte.
+/// not leak the index of the first mismatching byte. Delegates to
+/// [`crate::ct::ct_eq`], the workspace's single constant-time comparison
+/// kernel.
+#[must_use]
 pub fn verify_tag(a: &[u8], b: &[u8]) -> bool {
-    if a.len() != b.len() {
-        return false;
-    }
-    let mut acc = 0u8;
-    for (x, y) in a.iter().zip(b.iter()) {
-        acc |= x ^ y;
-    }
-    acc == 0
+    crate::ct::ct_eq(a, b)
 }
 
 #[cfg(test)]

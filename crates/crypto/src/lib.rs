@@ -9,6 +9,8 @@
 //!
 //! * [`sha256`] — FIPS 180-4 SHA-256 (enclave measurement, Fiat–Shamir).
 //! * [`hmac`] — HMAC-SHA256 (report MACs, sealed-blob integrity).
+//! * [`ct`] — constant-time comparison helpers; every secret-byte equality
+//!   check in the workspace routes through here (enforced by `hesgx-lint`).
 //! * [`chacha20`] — RFC 8439 stream cipher (sealing, CSPRNG keystream).
 //! * [`rng`] — deterministic seedable ChaCha20 CSPRNG; the single source of
 //!   randomness across the workspace so every experiment reproduces exactly.
@@ -41,6 +43,7 @@
 #![forbid(unsafe_code)]
 
 pub mod chacha20;
+pub mod ct;
 pub mod hmac;
 pub mod kdf;
 pub mod rng;

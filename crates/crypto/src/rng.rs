@@ -10,6 +10,11 @@ use crate::sha256::sha256;
 
 /// ChaCha20-based pseudo-random generator.
 ///
+/// The generator key and the buffered keystream block are zeroized when the
+/// generator drops (see [`ChaChaRng::zeroize`]): forks of this type seed key
+/// generation and enclave re-encryption, so a stale copy in freed memory is
+/// key-equivalent material.
+///
 /// # Examples
 ///
 /// ```
@@ -19,13 +24,31 @@ use crate::sha256::sha256;
 /// let mut b = ChaChaRng::from_seed(42);
 /// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ChaChaRng {
     key: [u8; KEY_LEN],
     nonce: [u8; NONCE_LEN],
     counter: u32,
     buffer: [u8; BLOCK_LEN],
     offset: usize,
+}
+
+impl std::fmt::Debug for ChaChaRng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The key and buffered keystream are secret; only stream-position
+        // metadata is printable (hesgx-lint: secret-debug).
+        f.debug_struct("ChaChaRng")
+            .field("key", &"<redacted>")
+            .field("counter", &self.counter)
+            .field("offset", &self.offset)
+            .finish()
+    }
+}
+
+impl Drop for ChaChaRng {
+    fn drop(&mut self) {
+        self.zeroize();
+    }
 }
 
 impl ChaChaRng {
@@ -163,6 +186,28 @@ impl ChaChaRng {
             slice.swap(i, j);
         }
     }
+
+    /// Overwrites the generator key, nonce, and buffered keystream with
+    /// zeros. Called automatically on drop; callable early when a generator's
+    /// lifetime outlives its usefulness.
+    ///
+    /// A zeroized generator is deliberately useless: the next refill expands
+    /// the all-zero key, so callers must not keep drawing from it.
+    pub fn zeroize(&mut self) {
+        for b in self.key.iter_mut() {
+            *b = 0;
+        }
+        for b in self.nonce.iter_mut() {
+            *b = 0;
+        }
+        for b in self.buffer.iter_mut() {
+            *b = 0;
+        }
+        self.counter = 0;
+        self.offset = BLOCK_LEN;
+        // Keep the optimizer from eliding the wipes as dead stores.
+        std::sync::atomic::compiler_fence(std::sync::atomic::Ordering::SeqCst);
+    }
 }
 
 #[cfg(test)]
@@ -233,6 +278,28 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
         assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zeroize_clears_key_and_keystream_buffer() {
+        let mut rng = ChaChaRng::from_seed(11);
+        // Draw some output so the keystream buffer holds live material.
+        let _ = rng.next_u64();
+        assert!(rng.key.iter().any(|&b| b != 0));
+        assert!(rng.buffer.iter().any(|&b| b != 0));
+        rng.zeroize();
+        assert!(rng.key.iter().all(|&b| b == 0));
+        assert!(rng.nonce.iter().all(|&b| b == 0));
+        assert!(rng.buffer.iter().all(|&b| b == 0));
+        assert_eq!(rng.counter, 0);
+    }
+
+    #[test]
+    fn debug_redacts_key_material() {
+        let rng = ChaChaRng::from_seed(12);
+        let rendered = format!("{rng:?}");
+        assert!(rendered.contains("<redacted>"));
+        assert!(!rendered.contains("buffer"));
     }
 
     #[test]

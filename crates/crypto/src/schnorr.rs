@@ -192,11 +192,22 @@ impl SchnorrGroup {
 }
 
 /// A Schnorr signing key (secret scalar mod `q`).
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct SigningKey {
     group: Arc<SchnorrGroup>,
     sk: U256,
     pk: U256,
+}
+
+impl std::fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The secret scalar must never reach a log line; print the public
+        // half only (hesgx-lint: secret-debug).
+        f.debug_struct("SigningKey")
+            .field("pk", &self.pk)
+            .field("sk", &"<redacted>")
+            .finish()
+    }
 }
 
 /// A Schnorr verification key (group element).
@@ -309,7 +320,7 @@ impl VerifyingKey {
         let exp = g.rec_q.sub_mod(U256::ZERO, signature.e);
         let pk_neg_e = g.rec_p.pow_mod(self.pk, exp);
         let r = g.rec_p.mul_mod(gs, pk_neg_e);
-        g.hash_challenge(r, self.pk, message) == signature.e
+        crate::ct::ct_eq_u256(g.hash_challenge(r, self.pk, message), signature.e)
     }
 }
 

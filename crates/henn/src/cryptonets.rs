@@ -59,6 +59,7 @@ impl CryptoNets {
     /// # Errors
     ///
     /// Propagates encryption failures.
+    // hesgx-lint: allow(secret-pub-api, reason = "pure-HE baseline runs client and server in one process; the caller holds its own keys")
     pub fn encrypt_batch(
         &self,
         images: &[Vec<i64>],
@@ -74,6 +75,7 @@ impl CryptoNets {
     /// # Errors
     ///
     /// Propagates homomorphic-operation failures.
+    // hesgx-lint: allow(secret-pub-api, reason = "pure-HE baseline runs client and server in one process; the caller holds its own keys")
     pub fn infer(
         &self,
         input: &EncryptedMap,
@@ -109,6 +111,7 @@ impl CryptoNets {
     /// # Errors
     ///
     /// Propagates decryption failures.
+    // hesgx-lint: allow(secret-pub-api, reason = "pure-HE baseline runs client and server in one process; the caller holds its own keys")
     pub fn decrypt_predictions(
         &self,
         logits: &[CrtCiphertext],
@@ -137,6 +140,7 @@ impl CryptoNets {
     /// # Errors
     ///
     /// Propagates decryption failures.
+    // hesgx-lint: allow(secret-pub-api, reason = "pure-HE baseline runs client and server in one process; the caller holds its own keys")
     pub fn decrypt_logits(
         &self,
         logits: &[CrtCiphertext],

@@ -139,6 +139,7 @@ impl EncryptedMap {
     /// # Errors
     ///
     /// Propagates decryption failures.
+    // hesgx-lint: allow(secret-pub-api, reason = "user-side decryption with the user's own key copy")
     pub fn decrypt_all(
         &self,
         sys: &CrtPlainSystem,
@@ -162,6 +163,7 @@ impl EncryptedMap {
     /// # Errors
     ///
     /// Propagates decryption failures.
+    // hesgx-lint: allow(secret-pub-api, reason = "user-side decryption with the user's own key copy")
     pub fn decrypt_all_par(
         &self,
         sys: &CrtPlainSystem,

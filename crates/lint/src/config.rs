@@ -1,0 +1,146 @@
+//! Rule configuration: the secret-type registry and the path scopes that
+//! bind each rule to the part of the workspace where its invariant lives.
+//!
+//! Paths are matched by normalized substring (`/`-separated), so entries
+//! work both for workspace files (`crates/tee/src/enclave.rs`) and for the
+//! fixture corpus (`crates/lint/tests/fixtures/enclave-panic/bad.rs`).
+
+/// One entry in the secret-bearing type registry.
+pub struct SecretType {
+    /// The exact type identifier.
+    pub name: &'static str,
+    /// Whether `#[derive(Debug)]` / `impl Display` on this type is banned
+    /// (types whose fields redact via manual `Debug` impls set this false).
+    pub no_debug: bool,
+    /// Where the type may appear in `pub` signatures / `pub` fields:
+    /// `Some(paths)` restricts to files matching one of the substrings;
+    /// `None` means the type is unrestricted in public APIs (opaque handles
+    /// whose Debug is still sensitive).
+    pub pub_sig_allowed: Option<&'static [&'static str]>,
+}
+
+/// The registry of secret-bearing types (ISSUE: secret-hygiene rule).
+///
+/// The `pub_sig_allowed` lists trace the paper's trust boundary: secret key
+/// material may cross public APIs only where the enclave wrapper or the
+/// user-side key ceremony legitimately handles it.
+pub const SECRET_TYPES: &[SecretType] = &[
+    SecretType {
+        name: "SecretKey",
+        no_debug: true,
+        pub_sig_allowed: Some(&[
+            "crates/bfv/src",
+            "crates/tee/src",
+            "crates/core/src/sgx_ops.rs",
+            "crates/core/src/keydist.rs",
+            "crates/henn/src/crt.rs",
+        ]),
+    },
+    SecretType {
+        name: "EvaluationKeys",
+        no_debug: true,
+        // Relinearization keys are evaluation material handed to the HE
+        // compute layer by design (they cannot decrypt); hesgx-henn is that
+        // layer. They still must not be Debug-dumped.
+        pub_sig_allowed: Some(&["crates/bfv/src", "crates/henn/src"]),
+    },
+    SecretType {
+        name: "KeyGenerator",
+        no_debug: true,
+        pub_sig_allowed: None,
+    },
+    SecretType {
+        name: "CrtKeys",
+        // CrtKeys aggregates SecretKey values whose Debug impls redact, so
+        // deriving Debug on the aggregate is safe.
+        no_debug: false,
+        pub_sig_allowed: Some(&[
+            "crates/henn/src/crt.rs",
+            "crates/henn/src/lib.rs",
+            "crates/core/src/keydist.rs",
+            "crates/core/src/sgx_ops.rs",
+        ]),
+    },
+    SecretType {
+        name: "KeyCeremonyPublic",
+        no_debug: false,
+        // The ceremony result is what the *user* receives over the attested
+        // channel; the provisioning pipeline and Session API hand it out.
+        pub_sig_allowed: Some(&[
+            "crates/core/src/keydist.rs",
+            "crates/core/src/pipeline.rs",
+            "crates/core/src/session.rs",
+        ]),
+    },
+    SecretType {
+        name: "SigningKey",
+        no_debug: true,
+        pub_sig_allowed: Some(&["crates/crypto/src/schnorr.rs", "crates/tee/src"]),
+    },
+    SecretType {
+        name: "ChaChaRng",
+        no_debug: true,
+        pub_sig_allowed: None,
+    },
+    SecretType {
+        name: "Platform",
+        no_debug: true,
+        pub_sig_allowed: None,
+    },
+    SecretType {
+        name: "QuotingEnclave",
+        no_debug: true,
+        pub_sig_allowed: None,
+    },
+    SecretType {
+        name: "SealedBlob",
+        no_debug: true,
+        pub_sig_allowed: None,
+    },
+];
+
+/// Files holding enclave-resident code, where panics abort the ECALL
+/// (`enclave-panic` rule).
+pub const ENCLAVE_PATHS: &[&str] = &[
+    "crates/tee/src",
+    "crates/core/src/sgx_ops.rs",
+    "crates/core/src/keydist.rs",
+    "fixtures/enclave-panic",
+];
+
+/// Files holding cryptographic primitives, where secret-dependent
+/// comparisons must be constant-time (`const-time` rule).
+pub const CONST_TIME_PATHS: &[&str] = &["crates/crypto/src", "fixtures/const-time"];
+
+/// Files defining the ECALL surface; every `pub fn` must charge the TEE
+/// cost model (`ecall-cost` rule).
+pub const ECALL_PATHS: &[&str] = &["crates/core/src/sgx_ops.rs", "fixtures/ecall-cost"];
+
+/// Identifiers that mark a comparison as secret-dependent for the
+/// `const-time` rule (beyond registry type names).
+pub const SECRET_VALUE_TOKENS: &[&str] = &["tag", "mac", "digest", "challenge", "secret", "hmac"];
+
+/// Identifier suffixes with the same meaning (`auth_tag`, `expected_mac`…).
+pub const SECRET_VALUE_SUFFIXES: &[&str] = &["_tag", "_mac", "_digest"];
+
+/// Identifiers that mark a log/format line as secret-bearing for the
+/// `secret-log` rule (beyond registry type names).
+pub const SECRET_LOG_TOKENS: &[&str] =
+    &["secret", "user_secret", "sk", "secret_key", "private_key"];
+
+/// All rule identifiers (for suppression-marker validation).
+pub const RULE_IDS: &[&str] = &[
+    "secret-debug",
+    "secret-pub-api",
+    "secret-log",
+    "enclave-panic",
+    "const-time",
+    "unsafe-safety",
+    "forbid-unsafe",
+    "ecall-cost",
+];
+
+/// Whether `path` (normalized, `/`-separated) matches one of `scopes`.
+pub fn path_in(path: &str, scopes: &[&str]) -> bool {
+    scopes.iter().any(|s| path.contains(s))
+}

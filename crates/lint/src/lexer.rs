@@ -1,0 +1,454 @@
+//! A minimal Rust source scanner producing a per-line "code view".
+//!
+//! The rules in this crate are line-oriented: they look for tokens like
+//! `.unwrap(`, `#[derive(Debug)]`, or `==` in source text. Doing that
+//! naively over raw text drowns in false positives from comments, doc
+//! comments, and string literals ("never call `.unwrap()` here" in a doc
+//! comment must not trip the panic-freedom rule). So this module runs a
+//! small state machine over each file and *blanks* — replaces with spaces,
+//! preserving column positions — everything that is not code:
+//!
+//! - line comments (`//`, `///`, `//!`) — but the raw line is kept so
+//!   suppression markers (`// hesgx-lint: allow(...)`) can still be parsed,
+//! - block comments, including nesting (`/* /* */ */`),
+//! - the *interiors* of string, raw-string, byte-string, and char literals
+//!   (the delimiting quotes survive so tokenization still sees a literal),
+//!
+//! and additionally marks every line that falls inside a `#[cfg(test)]`
+//! module. Test code is exempt from the enclave rules by policy: `unwrap`
+//! in a test is a legitimate assertion, not a panic smuggled into an ECALL.
+//!
+//! This is not a full Rust lexer — it does not tokenize numbers, handle
+//! every raw-identifier corner, or parse macros. It only has to be exact
+//! about the comment/string/char boundaries that decide whether a byte is
+//! code, which is a small, closed problem.
+
+/// One scanned source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (or the path as given
+    /// for loose files).
+    pub path: String,
+    /// The raw lines, untouched. Line `i` is `raw[i]`, 0-based.
+    pub raw: Vec<String>,
+    /// The code view: comments and literal interiors blanked with spaces.
+    pub code: Vec<String>,
+    /// The text of the line comment on each line (from `//` to end of
+    /// line), empty if the line has none. Only *true* comments land here —
+    /// a `"// ..."` inside a string literal does not. Suppression markers
+    /// are parsed from this view so markers quoted in strings are inert.
+    pub comments: Vec<String>,
+    /// Whether each line lies inside a `#[cfg(test)]` module body.
+    pub in_test: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Scans `text` into raw/code/test views.
+    pub fn scan(path: &str, text: &str) -> SourceFile {
+        let raw: Vec<String> = text.lines().map(str::to_owned).collect();
+        let (code, comments) = blank_non_code(&raw);
+        let in_test = mark_test_lines(&code);
+        SourceFile {
+            path: path.replace('\\', "/"),
+            raw,
+            code,
+            comments,
+            in_test,
+        }
+    }
+
+    /// Number of lines.
+    pub fn line_count(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// The code view of 0-based line `i`, or `""` past the end.
+    pub fn code_line(&self, i: usize) -> &str {
+        self.code.get(i).map_or("", String::as_str)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    /// Inside `/* ... */`, tracking nesting depth.
+    Block(u32),
+    /// Inside `"..."`.
+    Str,
+    /// Inside `r##"..."##` with the given number of hashes.
+    RawStr(u32),
+    /// Inside `'...'` (a char literal, not a lifetime).
+    Char,
+}
+
+/// Produces the code view (same line/column shape as `raw`, with comments
+/// and literal interiors replaced by spaces) plus the per-line comment view.
+fn blank_non_code(raw: &[String]) -> (Vec<String>, Vec<String>) {
+    let mut out = Vec::with_capacity(raw.len());
+    let mut comments = Vec::with_capacity(raw.len());
+    let mut state = State::Code;
+    for line in raw {
+        let chars: Vec<char> = line.chars().collect();
+        let mut view: Vec<char> = Vec::with_capacity(chars.len());
+        let mut comment = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match state {
+                State::Code => {
+                    if c == '/' && next == Some('/') {
+                        // Line comment: blank the rest of the line.
+                        comment = chars[i..].iter().collect();
+                        while view.len() < chars.len() {
+                            view.push(' ');
+                        }
+                        i = chars.len();
+                        continue;
+                    }
+                    if c == '/' && next == Some('*') {
+                        state = State::Block(1);
+                        view.push(' ');
+                        view.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    if c == '"' {
+                        state = State::Str;
+                        view.push('"');
+                        i += 1;
+                        continue;
+                    }
+                    if c == 'r' || c == 'b' {
+                        // r"..", r#"..."#, br".." , b"..": detect a raw/byte
+                        // string opener starting at this identifier-ish char.
+                        if let Some((hashes, consumed)) = raw_string_open(&chars, i) {
+                            state = if hashes == u32::MAX {
+                                State::Str // b"..." — plain string rules
+                            } else {
+                                State::RawStr(hashes)
+                            };
+                            view.extend(std::iter::repeat_n(' ', consumed));
+                            // Keep the opening quote visible for tokenizers.
+                            *view.last_mut().expect("consumed >= 1") = '"';
+                            i += consumed;
+                            continue;
+                        }
+                    }
+                    if c == '\'' {
+                        if is_char_literal(&chars, i) {
+                            state = State::Char;
+                            view.push('\'');
+                            i += 1;
+                            continue;
+                        }
+                        // A lifetime ('a) or loop label — plain code.
+                        view.push(c);
+                        i += 1;
+                        continue;
+                    }
+                    view.push(c);
+                    i += 1;
+                }
+                State::Block(depth) => {
+                    if c == '*' && next == Some('/') {
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::Block(depth - 1)
+                        };
+                        view.push(' ');
+                        view.push(' ');
+                        i += 2;
+                    } else if c == '/' && next == Some('*') {
+                        state = State::Block(depth + 1);
+                        view.push(' ');
+                        view.push(' ');
+                        i += 2;
+                    } else {
+                        view.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if c == '\\' {
+                        // Escape: blank both chars (covers \" and \\).
+                        view.push(' ');
+                        if next.is_some() {
+                            view.push(' ');
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    } else if c == '"' {
+                        state = State::Code;
+                        view.push('"');
+                        i += 1;
+                    } else {
+                        view.push(' ');
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if c == '"' && closes_raw_string(&chars, i, hashes) {
+                        state = State::Code;
+                        view.push('"');
+                        view.extend(std::iter::repeat_n(' ', hashes as usize));
+                        i += 1 + hashes as usize;
+                    } else {
+                        view.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Char => {
+                    if c == '\\' {
+                        view.push(' ');
+                        if next.is_some() {
+                            view.push(' ');
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    } else if c == '\'' {
+                        state = State::Code;
+                        view.push('\'');
+                        i += 1;
+                    } else {
+                        view.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // Char literals cannot span lines; plain strings, raw strings, and
+        // block comments can.
+        if state == State::Char {
+            state = State::Code;
+        }
+        out.push(view.into_iter().collect());
+        comments.push(comment);
+    }
+    (out, comments)
+}
+
+/// If `chars[i..]` opens a raw or byte string (`r"`, `r#"`, `br#"`, `b"`),
+/// returns `(hash_count, chars_consumed)`. `hash_count == u32::MAX` marks a
+/// plain byte string (escape rules of a normal string).
+fn raw_string_open(chars: &[char], i: usize) -> Option<(u32, usize)> {
+    // Must not be the tail of a longer identifier (e.g. `var` ending in r).
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return None;
+    }
+    let mut j = i;
+    let mut saw_r = false;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) == Some(&'r') {
+            saw_r = true;
+            j += 1;
+        }
+    } else if chars[j] == 'r' {
+        saw_r = true;
+        j += 1;
+    } else {
+        return None;
+    }
+    if saw_r {
+        let mut hashes = 0u32;
+        while chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if chars.get(j) == Some(&'"') {
+            return Some((hashes, j - i + 1));
+        }
+        None
+    } else {
+        // b"..."
+        if chars.get(j) == Some(&'"') {
+            return Some((u32::MAX, j - i + 1));
+        }
+        None
+    }
+}
+
+/// Whether the `"` at `chars[i]` is followed by `hashes` `#` characters.
+fn closes_raw_string(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Distinguishes a char literal `'x'` from a lifetime `'a`. A char literal
+/// closes with `'` after one (possibly escaped) character; a lifetime never
+/// has a closing quote.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// Marks lines inside `#[cfg(test)]` module bodies by brace counting over
+/// the code view. The attribute arms a "pending" flag; the next `{` opens
+/// the region (a `;` first — `#[cfg(test)] mod tests;` — cancels it), and
+/// the matching `}` closes it. Nested test modules extend naturally since
+/// the tracking uses absolute brace depth.
+fn mark_test_lines(code: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let mut depth: i64 = 0;
+    let mut pending = false;
+    let mut open_at: Option<i64> = None;
+    for (idx, line) in code.iter().enumerate() {
+        if open_at.is_some() {
+            in_test[idx] = true;
+        }
+        if line.replace(' ', "").contains("#[cfg(test)]") {
+            pending = true;
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending && open_at.is_none() {
+                        open_at = Some(depth);
+                        pending = false;
+                        in_test[idx] = true;
+                    }
+                }
+                '}' => {
+                    if let Some(open) = open_at {
+                        if depth == open {
+                            open_at = None;
+                        }
+                    }
+                    depth -= 1;
+                }
+                ';' if pending && open_at.is_none() => pending = false,
+                _ => {}
+            }
+        }
+    }
+    in_test
+}
+
+/// Splits a code-view line into identifier tokens (`[A-Za-z0-9_]+` runs
+/// starting with a non-digit) together with their byte offsets.
+pub fn ident_positions(line: &str) -> Vec<(usize, &str)> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut start = None;
+    for (i, &b) in bytes.iter().enumerate() {
+        let word = b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80;
+        match (start, word) {
+            (None, true) if !b.is_ascii_digit() => start = Some(i),
+            (Some(s), false) => {
+                out.push((s, &line[s..i]));
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        out.push((s, &line[s..]));
+    }
+    out
+}
+
+/// The identifier tokens of a code-view line, without positions.
+pub fn identifiers(line: &str) -> Vec<&str> {
+    ident_positions(line).into_iter().map(|(_, w)| w).collect()
+}
+
+/// The first non-space character before byte `pos`, if any.
+pub fn prev_nonspace(line: &str, pos: usize) -> Option<char> {
+    line[..pos].chars().rev().find(|c| !c.is_whitespace())
+}
+
+/// The first non-space character at or after byte `pos`, if any.
+pub fn next_nonspace(line: &str, pos: usize) -> Option<char> {
+    line[pos..].chars().find(|c| !c.is_whitespace())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(text: &str) -> SourceFile {
+        SourceFile::scan("x.rs", text)
+    }
+
+    #[test]
+    fn line_comments_are_blanked() {
+        let f = scan("let x = 1; // call .unwrap() never\n");
+        assert!(!f.code[0].contains("unwrap"));
+        assert!(f.code[0].contains("let x = 1;"));
+        assert!(f.raw[0].contains("unwrap"));
+    }
+
+    #[test]
+    fn doc_comments_are_blanked() {
+        let f = scan("/// panics via .unwrap()\nfn f() {}\n");
+        assert!(!f.code[0].contains("unwrap"));
+        assert_eq!(f.code[1], "fn f() {}");
+    }
+
+    #[test]
+    fn string_interiors_are_blanked_but_quotes_survive() {
+        let f = scan("let s = \"do not .unwrap() me\";\n");
+        assert!(!f.code[0].contains("unwrap"));
+        assert_eq!(f.code[0].matches('"').count(), 2);
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let f = scan("let s = \"a\\\"b.unwrap()\"; let y = 2;\n");
+        assert!(!f.code[0].contains("unwrap"));
+        assert!(f.code[0].contains("let y = 2;"));
+    }
+
+    #[test]
+    fn raw_strings_blank_across_lines() {
+        let f = scan("let s = r#\"has .unwrap()\nand \"quotes\" more\"#;\nlet t = 3;\n");
+        assert!(!f.code[0].contains("unwrap"));
+        assert!(!f.code[1].contains("quotes"));
+        assert!(f.code[1].ends_with(';'));
+        assert_eq!(f.code[2], "let t = 3;");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = scan("/* outer /* inner .unwrap() */ still out */ let z = 1;\n");
+        assert!(!f.code[0].contains("unwrap"));
+        assert!(f.code[0].contains("let z = 1;"));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let f = scan("let c = '\"'; fn f<'a>(x: &'a str) {} let d = 'x';\n");
+        // The quote inside the char literal must not start a string.
+        assert!(f.code[0].contains("fn f<'a>"));
+        assert!(f.code[0].contains("let d ="));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn prod() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn prod2() {}\n";
+        let f = scan(src);
+        assert_eq!(f.in_test, vec![false, false, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_on_external_mod_decl_does_not_arm() {
+        let src = "#[cfg(test)]\nmod tests;\nfn prod() { let a = S { b: 1 }; }\n";
+        let f = scan(src);
+        assert!(!f.in_test[2]);
+    }
+
+    #[test]
+    fn identifier_extraction() {
+        assert_eq!(
+            identifiers("let user_secret = keys.sk0;"),
+            vec!["let", "user_secret", "keys", "sk0"]
+        );
+    }
+}

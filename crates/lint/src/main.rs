@@ -1,0 +1,111 @@
+//! The `hesgx-lint` command-line driver.
+//!
+//! ```text
+//! hesgx-lint --workspace [--root DIR] [--json]
+//! hesgx-lint [--root DIR] [--json] FILE...
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    workspace: bool,
+    json: bool,
+    root: Option<PathBuf>,
+    files: Vec<PathBuf>,
+}
+
+const USAGE: &str = "usage: hesgx-lint (--workspace | FILE...) [--root DIR] [--json]\n\
+\n\
+Checks the hesgx workspace invariants: secret hygiene, enclave panic-\n\
+freedom, constant-time discipline, unsafe inventory, and the ECALL cost\n\
+audit. Suppress a finding inline with a justified marker:\n\
+    // hesgx-lint: allow(<rule>, reason = \"...\")\n";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        workspace: false,
+        json: false,
+        root: None,
+        files: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => opts.workspace = true,
+            "--json" => opts.json = true,
+            "--root" => {
+                let dir = args.next().ok_or("--root requires a directory")?;
+                opts.root = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            file => opts.files.push(PathBuf::from(file)),
+        }
+    }
+    // Exactly one input mode: --workspace with no files, or files only.
+    if opts.workspace != opts.files.is_empty() {
+        return Err("pass either --workspace or one or more files".into());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("hesgx-lint: {msg}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let root = opts
+        .root
+        .clone()
+        .or_else(|| hesgx_lint::find_workspace_root(&cwd))
+        .unwrap_or(cwd);
+
+    let paths = if opts.workspace {
+        match hesgx_lint::collect_workspace_files(&root) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("hesgx-lint: cannot walk {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        opts.files.clone()
+    };
+
+    let mut files = Vec::with_capacity(paths.len());
+    for path in &paths {
+        match hesgx_lint::load_file(&root, path) {
+            Ok(f) => files.push(f),
+            Err(e) => {
+                eprintln!("hesgx-lint: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = hesgx_lint::lint_sources(&files);
+    if opts.json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

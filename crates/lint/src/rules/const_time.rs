@@ -1,0 +1,135 @@
+//! `const-time`: secret-dependent comparisons in the crypto crate must go
+//! through `hesgx_crypto::ct::ct_eq`.
+//!
+//! `==` on byte slices short-circuits at the first mismatch, so comparison
+//! time leaks how many prefix bytes an attacker got right — the classic
+//! MAC-forgery timing oracle. The rule flags `==`/`!=` on lines whose
+//! identifiers look secret-derived (tags, MACs, digests, challenges).
+
+use crate::config::{path_in, CONST_TIME_PATHS, SECRET_VALUE_SUFFIXES, SECRET_VALUE_TOKENS};
+use crate::diag::Diagnostic;
+use crate::lexer::{identifiers, SourceFile};
+
+/// Runs the rule on one file.
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    if !path_in(&file.path, CONST_TIME_PATHS) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for i in 0..file.line_count() {
+        if file.in_test[i] {
+            continue;
+        }
+        let line = file.code_line(i);
+        if !has_eq_operator(line) {
+            continue;
+        }
+        let secretish: Vec<&str> = identifiers(line)
+            .into_iter()
+            .filter(|w| is_secretish(w))
+            .collect();
+        if let Some(first) = secretish.first() {
+            out.push(Diagnostic {
+                file: file.path.clone(),
+                line: i + 1,
+                rule: "const-time",
+                message: format!("variable-time `==`/`!=` on secret-derived value `{first}`"),
+                hint: "compare with `crate::ct::ct_eq` (or `ct_eq_32`/`ct_eq_u256`), which \
+                       XOR-folds every byte before deciding"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
+/// Whether the code line contains a bare `==` or `!=` operator (not `<=`,
+/// `>=`, `=>`, or a longer `=` run).
+fn has_eq_operator(line: &str) -> bool {
+    let b = line.as_bytes();
+    for i in 0..b.len().saturating_sub(1) {
+        let pair = [b[i], b[i + 1]];
+        let after = b.get(i + 2).copied();
+        if pair == *b"==" {
+            let before = i.checked_sub(1).map(|j| b[j]);
+            let op_char = |c: Option<u8>| {
+                matches!(
+                    c,
+                    Some(
+                        b'=' | b'<'
+                            | b'>'
+                            | b'!'
+                            | b'+'
+                            | b'-'
+                            | b'*'
+                            | b'/'
+                            | b'%'
+                            | b'&'
+                            | b'|'
+                            | b'^'
+                    )
+                )
+            };
+            if !op_char(before) && after != Some(b'=') {
+                return true;
+            }
+        }
+        if pair == *b"!=" && after != Some(b'=') {
+            return true;
+        }
+    }
+    false
+}
+
+fn is_secretish(word: &str) -> bool {
+    let lower = word.to_ascii_lowercase();
+    SECRET_VALUE_TOKENS.contains(&lower.as_str())
+        || SECRET_VALUE_SUFFIXES.iter().any(|s| lower.ends_with(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(text: &str) -> SourceFile {
+        SourceFile::scan("crates/crypto/src/x.rs", text)
+    }
+
+    #[test]
+    fn tag_equality_is_flagged() {
+        let f = scan("if tag == expected_tag { return true; }\n");
+        let diags = check(&f);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "const-time");
+    }
+
+    #[test]
+    fn mac_inequality_is_flagged() {
+        let f = scan("if computed_mac != stored { bail(); }\n");
+        assert_eq!(check(&f).len(), 1);
+    }
+
+    #[test]
+    fn non_secret_comparison_is_fine() {
+        let f = scan("if a.len() == b.len() { work(); }\n");
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn shift_and_arrow_are_not_comparisons() {
+        let f = scan("let secret_branch = match digest_fn { X => 1, _ => 2 };\nlet x = y <= z;\n");
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn tests_are_exempt() {
+        let f = scan("#[cfg(test)]\nmod tests {\n    fn t() { assert!(tag == tag2); }\n}\n");
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_is_exempt() {
+        let f = SourceFile::scan("crates/nn/src/x.rs", "if tag == other { f(); }\n");
+        assert!(check(&f).is_empty());
+    }
+}

@@ -1,0 +1,98 @@
+//! `enclave-panic`: panic-freedom inside enclave code.
+//!
+//! A panic inside an ECALL aborts the enclave; in real SGX that tears down
+//! the whole trusted runtime and, worse, turns attacker-influenced inputs
+//! into a denial-of-service primitive. Enclave-side code must return
+//! `hesgx_core::Error` instead. `#[cfg(test)]` modules are exempt — there
+//! an `unwrap` is an assertion, not reachable enclave code.
+
+use crate::config::{path_in, ENCLAVE_PATHS};
+use crate::diag::Diagnostic;
+use crate::lexer::{ident_positions, next_nonspace, prev_nonspace, SourceFile};
+
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
+
+/// Runs the rule on one file.
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    if !path_in(&file.path, ENCLAVE_PATHS) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for i in 0..file.line_count() {
+        if file.in_test[i] {
+            continue;
+        }
+        let line = file.code_line(i);
+        for (pos, word) in ident_positions(line) {
+            let end = pos + word.len();
+            if (word == "unwrap" || word == "expect")
+                && prev_nonspace(line, pos) == Some('.')
+                && next_nonspace(line, end) == Some('(')
+            {
+                out.push(diag(file, i + 1, &format!("`.{word}()` in enclave code")));
+            }
+            if PANIC_MACROS.contains(&word) && next_nonspace(line, end) == Some('!') {
+                out.push(diag(file, i + 1, &format!("`{word}!` in enclave code")));
+            }
+        }
+    }
+    out
+}
+
+fn diag(file: &SourceFile, line: usize, what: &str) -> Diagnostic {
+    Diagnostic {
+        file: file.path.clone(),
+        line,
+        rule: "enclave-panic",
+        message: format!("{what} — a panic aborts the ECALL and the enclave"),
+        hint: "propagate `hesgx_core::Error` (e.g. `Error::Internal(...)` via `ok_or`) instead"
+            .into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(text: &str) -> SourceFile {
+        SourceFile::scan("crates/tee/src/x.rs", text)
+    }
+
+    #[test]
+    fn unwrap_and_expect_are_flagged() {
+        let f = scan("fn f() { a.unwrap(); b.expect(\"msg\"); }\n");
+        let diags = check(&f);
+        assert_eq!(diags.len(), 2);
+        assert_eq!(diags[0].rule, "enclave-panic");
+    }
+
+    #[test]
+    fn panic_macros_are_flagged() {
+        let f = scan("fn f() { panic!(\"x\"); todo!(); }\n");
+        assert_eq!(check(&f).len(), 2);
+    }
+
+    #[test]
+    fn unwrap_or_is_not_flagged() {
+        let f = scan("fn f() { a.unwrap_or(0); a.unwrap_or_default(); }\n");
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let f = scan("#[cfg(test)]\nmod tests {\n    fn t() { a.unwrap(); }\n}\n");
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn doc_comments_are_exempt() {
+        let f = scan("/// Never `.unwrap()` here.\nfn f() {}\n");
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_files_are_exempt() {
+        let f = SourceFile::scan("crates/nn/src/x.rs", "fn f() { a.unwrap(); }\n");
+        assert!(check(&f).is_empty());
+    }
+}

@@ -1,0 +1,295 @@
+//! Secret-hygiene rules over the registry in [`crate::config`]:
+//!
+//! - `secret-debug` — a registry type must not `#[derive(Debug)]` or get an
+//!   `impl Display`: derived formatting mechanically dumps every field, and
+//!   key material in a log or panic message leaves the trust boundary. A
+//!   *manual* `Debug` impl is the sanctioned alternative — it redacts.
+//! - `secret-pub-api` — registry types may cross `pub fn` signatures and
+//!   `pub` fields only in the files where the threat model says the secret
+//!   legitimately lives (enclave wrapper, key ceremony, key generation).
+//! - `secret-log` — no format/log macro may reference a registry type or a
+//!   secret-named binding; `dbg!` is banned outright in non-test code.
+
+use crate::config::{path_in, SecretType, SECRET_LOG_TOKENS, SECRET_TYPES};
+use crate::diag::Diagnostic;
+use crate::lexer::{ident_positions, identifiers, next_nonspace, SourceFile};
+use crate::rules::{pub_fields, pub_fn_signatures};
+
+const LOG_MACROS: &[&str] = &[
+    "println", "eprintln", "print", "eprint", "format", "write", "writeln",
+];
+
+/// Runs the three sub-rules on one file.
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    check_debug(file, &mut out);
+    check_pub_api(file, &mut out);
+    check_log(file, &mut out);
+    out
+}
+
+fn registry(name: &str) -> Option<&'static SecretType> {
+    SECRET_TYPES.iter().find(|t| t.name == name)
+}
+
+/// `secret-debug`: derives and Display impls.
+fn check_debug(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let mut i = 0;
+    while i < file.line_count() {
+        if file.in_test[i] {
+            i += 1;
+            continue;
+        }
+        let line = file.code_line(i);
+        if let Some(start) = line.find("#[derive(") {
+            // Collect the derive list, possibly spanning lines.
+            let mut content = String::new();
+            let mut j = i;
+            let mut seg: &str = &line[start + "#[derive(".len()..];
+            loop {
+                match seg.find(')') {
+                    Some(k) => {
+                        content.push_str(&seg[..k]);
+                        break;
+                    }
+                    None => {
+                        content.push_str(seg);
+                        content.push(' ');
+                        j += 1;
+                        if j >= file.line_count() {
+                            break;
+                        }
+                        seg = file.code_line(j);
+                    }
+                }
+            }
+            if identifiers(&content).contains(&"Debug") {
+                if let Some(name) = next_type_name(file, j + 1) {
+                    if registry(&name).is_some_and(|t| t.no_debug) {
+                        out.push(Diagnostic {
+                            file: file.path.clone(),
+                            line: i + 1,
+                            rule: "secret-debug",
+                            message: format!(
+                                "secret-bearing type `{name}` derives Debug — derived \
+                                 formatting dumps key material"
+                            ),
+                            hint: "write a manual `impl fmt::Debug` that prints \
+                                   `\"<redacted>\"` for the secret fields"
+                                .into(),
+                        });
+                    }
+                }
+            }
+            i = j + 1;
+            continue;
+        }
+        // `impl Display for X` / `impl std::fmt::Display for X`.
+        let words = identifiers(line);
+        if words.first() == Some(&"impl") && words.contains(&"Display") {
+            if let Some(for_idx) = words.iter().position(|w| *w == "for") {
+                if let Some(name) = words.get(for_idx + 1) {
+                    if registry(name).is_some_and(|t| t.no_debug) {
+                        out.push(Diagnostic {
+                            file: file.path.clone(),
+                            line: i + 1,
+                            rule: "secret-debug",
+                            message: format!("secret-bearing type `{name}` implements Display"),
+                            hint: "secret material must not be renderable; drop the impl".into(),
+                        });
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// The struct/enum name declared at or after 0-based line `from` (skipping
+/// further attributes and blank lines).
+fn next_type_name(file: &SourceFile, from: usize) -> Option<String> {
+    for j in from..file.line_count().min(from + 8) {
+        let words = identifiers(file.code_line(j));
+        if let Some(kw) = words.iter().position(|w| *w == "struct" || *w == "enum") {
+            return words.get(kw + 1).map(|s| (*s).to_string());
+        }
+        // Another attribute or an empty line: keep looking.
+    }
+    None
+}
+
+/// `secret-pub-api`: registry types in public signatures and fields.
+fn check_pub_api(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let mut flag = |line: usize, name: &str, where_: &str| {
+        out.push(Diagnostic {
+            file: file.path.clone(),
+            line,
+            rule: "secret-pub-api",
+            message: format!(
+                "secret-bearing type `{name}` crosses a public {where_} outside its \
+                 sanctioned modules"
+            ),
+            hint: "keep key material behind the enclave/key-ceremony APIs, or add a \
+                   justified `hesgx-lint: allow(secret-pub-api, ...)` if this boundary \
+                   crossing is by design"
+                .into(),
+        });
+    };
+    for sig in pub_fn_signatures(file) {
+        for name in restricted_types_in(&sig.text, &file.path) {
+            flag(sig.line, name, "fn signature");
+        }
+    }
+    for field in pub_fields(file) {
+        for name in restricted_types_in(&field.type_text, &file.path) {
+            flag(field.line, name, "field");
+        }
+    }
+}
+
+/// Registry types appearing in `text` that `path` is not sanctioned for.
+fn restricted_types_in(text: &str, path: &str) -> Vec<&'static str> {
+    let words = identifiers(text);
+    SECRET_TYPES
+        .iter()
+        .filter(|t| {
+            t.pub_sig_allowed
+                .is_some_and(|allowed| words.contains(&t.name) && !path_in(path, allowed))
+        })
+        .map(|t| t.name)
+        .collect()
+}
+
+/// `secret-log`: format-family macros referencing secrets, and `dbg!`.
+fn check_log(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for i in 0..file.line_count() {
+        if file.in_test[i] {
+            continue;
+        }
+        let line = file.code_line(i);
+        let words = ident_positions(line);
+        for (pos, word) in &words {
+            let end = pos + word.len();
+            if next_nonspace(line, end) != Some('!') {
+                continue;
+            }
+            if *word == "dbg" {
+                out.push(Diagnostic {
+                    file: file.path.clone(),
+                    line: i + 1,
+                    rule: "secret-log",
+                    message: "`dbg!` in non-test code dumps its argument with Debug".into(),
+                    hint: "remove the debugging aid before merging".into(),
+                });
+                continue;
+            }
+            if !LOG_MACROS.contains(word) {
+                continue;
+            }
+            let secretish = words
+                .iter()
+                .find(|(_, w)| SECRET_LOG_TOKENS.contains(w) || registry(w).is_some());
+            if let Some((_, leaked)) = secretish {
+                out.push(Diagnostic {
+                    file: file.path.clone(),
+                    line: i + 1,
+                    rule: "secret-log",
+                    message: format!("`{word}!` formats secret-related value `{leaked}`"),
+                    hint: "log sizes, identifiers, or digests of public data — never key \
+                           material"
+                        .into(),
+                });
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(text: &str) -> SourceFile {
+        SourceFile::scan("crates/nn/src/x.rs", text)
+    }
+
+    #[test]
+    fn derive_debug_on_registry_type_is_flagged() {
+        let f = scan("#[derive(Debug, Clone)]\npub struct SigningKey {\n    sk: u64,\n}\n");
+        let diags = check(&f);
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == "secret-debug" && d.line == 1));
+    }
+
+    #[test]
+    fn multi_line_derive_is_collected() {
+        let f = scan("#[derive(\n    Clone,\n    Debug,\n)]\nstruct SecretKey {}\n");
+        assert!(check(&f).iter().any(|d| d.rule == "secret-debug"));
+    }
+
+    #[test]
+    fn manual_debug_impl_is_allowed() {
+        let f = scan("impl std::fmt::Debug for SigningKey {\n    fn fmt(&self) {}\n}\n");
+        assert!(check(&f).iter().all(|d| d.rule != "secret-debug"));
+    }
+
+    #[test]
+    fn display_impl_is_flagged() {
+        let f = scan("impl std::fmt::Display for SigningKey {\n}\n");
+        assert!(check(&f).iter().any(|d| d.rule == "secret-debug"));
+    }
+
+    #[test]
+    fn derive_on_non_registry_type_is_fine() {
+        let f = scan("#[derive(Debug)]\nstruct PlainConfig {\n    n: usize,\n}\n");
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn registry_type_in_pub_fn_outside_sanctioned_path_is_flagged() {
+        let f = scan("pub fn leak(k: &SecretKey) -> u64 { 0 }\n");
+        assert!(check(&f).iter().any(|d| d.rule == "secret-pub-api"));
+    }
+
+    #[test]
+    fn registry_type_in_sanctioned_path_is_fine() {
+        let f = SourceFile::scan(
+            "crates/bfv/src/keys.rs",
+            "pub fn secret_key(&self) -> SecretKey { todo() }\n",
+        );
+        assert!(check(&f).iter().all(|d| d.rule != "secret-pub-api"));
+    }
+
+    #[test]
+    fn pub_field_with_registry_type_is_flagged() {
+        let f = scan("pub struct Harness {\n    pub keys: CrtKeys,\n}\n");
+        assert!(check(&f)
+            .iter()
+            .any(|d| d.rule == "secret-pub-api" && d.line == 2));
+    }
+
+    #[test]
+    fn unrestricted_handle_types_pass_pub_api() {
+        let f = scan("pub fn rng(&mut self) -> &mut ChaChaRng { &mut self.rng }\n");
+        assert!(check(&f).iter().all(|d| d.rule != "secret-pub-api"));
+    }
+
+    #[test]
+    fn println_of_secret_is_flagged() {
+        let f = scan("fn f(sk: u64) { println!(\"{}\", sk); }\n");
+        assert!(check(&f).iter().any(|d| d.rule == "secret-log"));
+    }
+
+    #[test]
+    fn dbg_is_always_flagged() {
+        let f = scan("fn f(x: u64) { dbg!(x); }\n");
+        assert!(check(&f).iter().any(|d| d.rule == "secret-log"));
+    }
+
+    #[test]
+    fn benign_format_is_fine() {
+        let f = scan("fn f(n: usize) { let s = format!(\"{n} items\"); }\n");
+        assert!(check(&f).iter().all(|d| d.rule != "secret-log"));
+    }
+}

@@ -1,0 +1,117 @@
+//! `unsafe-safety` and the single-file half of `forbid-unsafe`.
+//!
+//! Every `unsafe` block or function must carry a `// SAFETY:` comment on
+//! the same line or within the two lines above, documenting the invariant
+//! the compiler cannot check. Crates with no unsafe at all must say so with
+//! `#![forbid(unsafe_code)]` so regressions fail to compile (the workspace
+//! half of that check lives in the engine, which sees all files of a
+//! crate; here only fixture files are checked in isolation).
+
+use crate::diag::Diagnostic;
+use crate::lexer::{identifiers, SourceFile};
+
+/// Runs the rule on one file.
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for i in 0..file.line_count() {
+        if file.in_test[i] {
+            continue;
+        }
+        if !identifiers(file.code_line(i)).contains(&"unsafe") {
+            continue;
+        }
+        let documented = (i.saturating_sub(2)..=i)
+            .any(|j| file.comments.get(j).is_some_and(|c| c.contains("SAFETY:")));
+        if !documented {
+            out.push(Diagnostic {
+                file: file.path.clone(),
+                line: i + 1,
+                rule: "unsafe-safety",
+                message: "`unsafe` without a `// SAFETY:` comment".into(),
+                hint: "state the invariant that makes this sound in a `// SAFETY:` comment \
+                       directly above the unsafe block"
+                    .into(),
+            });
+        }
+    }
+    // Fixture-corpus mode for forbid-unsafe: a lone file stands in for a
+    // crate, so apply the lib.rs check directly.
+    if file.path.contains("fixtures/forbid-unsafe") {
+        out.extend(check_forbid_single(file));
+    }
+    out
+}
+
+/// Whether the file contains any non-test `unsafe` code.
+pub fn has_unsafe(file: &SourceFile) -> bool {
+    (0..file.line_count())
+        .any(|i| !file.in_test[i] && identifiers(file.code_line(i)).contains(&"unsafe"))
+}
+
+/// Whether the file declares `#![forbid(unsafe_code)]`.
+pub fn has_forbid_attr(file: &SourceFile) -> bool {
+    file.code
+        .iter()
+        .any(|l| l.replace(' ', "").contains("#![forbid(unsafe_code)]"))
+}
+
+/// The `forbid-unsafe` diagnostic, anchored at `line` of `path`.
+pub fn forbid_diag(path: &str, line: usize) -> Diagnostic {
+    Diagnostic {
+        file: path.to_string(),
+        line,
+        rule: "forbid-unsafe",
+        message: "crate contains no unsafe code but does not forbid it".into(),
+        hint: "add `#![forbid(unsafe_code)]` to the crate root so unsafe cannot creep in \
+               unreviewed"
+            .into(),
+    }
+}
+
+fn check_forbid_single(file: &SourceFile) -> Vec<Diagnostic> {
+    if !has_unsafe(file) && !has_forbid_attr(file) {
+        vec![forbid_diag(&file.path, 1)]
+    } else {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undocumented_unsafe_is_flagged() {
+        let f = SourceFile::scan("crates/x/src/a.rs", "fn f() {\n    unsafe { g(); }\n}\n");
+        let diags = check(&f);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "unsafe-safety");
+    }
+
+    #[test]
+    fn safety_comment_above_satisfies() {
+        let src = "fn f() {\n    // SAFETY: g has no preconditions here.\n    unsafe { g(); }\n}\n";
+        let f = SourceFile::scan("crates/x/src/a.rs", src);
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn unsafe_code_attr_is_not_unsafe_usage() {
+        let f = SourceFile::scan(
+            "crates/x/src/lib.rs",
+            "#![forbid(unsafe_code)]\nfn f() {}\n",
+        );
+        assert!(check(&f).is_empty());
+        assert!(!has_unsafe(&f));
+        assert!(has_forbid_attr(&f));
+    }
+
+    #[test]
+    fn fixture_mode_flags_missing_forbid() {
+        let f = SourceFile::scan(
+            "crates/lint/tests/fixtures/forbid-unsafe/bad.rs",
+            "fn safe_code() {}\n",
+        );
+        assert!(check(&f).iter().any(|d| d.rule == "forbid-unsafe"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Inline suppression markers.
+//!
+//! A finding can be silenced — with a mandatory justification — by:
+//!
+//! ```text
+//! // hesgx-lint: allow(enclave-panic, reason = "slice length checked above")
+//! ```
+//!
+//! A marker on its own line applies to the next line containing code; a
+//! marker trailing code applies to that same line. Markers are themselves
+//! linted: an unknown rule id, a missing reason, or a marker that silences
+//! nothing each produce a diagnostic, so suppressions cannot rot silently.
+
+use crate::config::RULE_IDS;
+use crate::diag::Diagnostic;
+use crate::lexer::SourceFile;
+
+/// A parsed, well-formed `allow` marker.
+pub struct Suppression {
+    /// 1-based line of the marker itself.
+    pub marker_line: usize,
+    /// 1-based line the marker applies to.
+    pub target_line: usize,
+    /// The rule it silences.
+    pub rule: String,
+    /// Whether a finding actually matched it.
+    pub used: bool,
+}
+
+/// Parses all markers in `file`. Returns the well-formed suppressions plus
+/// diagnostics for malformed ones.
+pub fn parse(file: &SourceFile) -> (Vec<Suppression>, Vec<Diagnostic>) {
+    let mut sups = Vec::new();
+    let mut diags = Vec::new();
+    for (idx, comment) in file.comments.iter().enumerate() {
+        // Test code is exempt from every rule, so markers there are inert.
+        if file.in_test.get(idx) == Some(&true) {
+            continue;
+        }
+        let Some(body) = marker_body(comment) else {
+            continue;
+        };
+        let line = idx + 1;
+        match parse_marker_body(body) {
+            Ok((rule, has_reason)) => {
+                if !RULE_IDS.contains(&rule.as_str()) {
+                    diags.push(Diagnostic {
+                        file: file.path.clone(),
+                        line,
+                        rule: "suppression",
+                        message: format!("unknown rule `{rule}` in hesgx-lint allow marker"),
+                        hint: format!("valid rules: {}", RULE_IDS.join(", ")),
+                    });
+                    continue;
+                }
+                if !has_reason {
+                    diags.push(Diagnostic {
+                        file: file.path.clone(),
+                        line,
+                        rule: "suppression",
+                        message: format!("allow({rule}) has no reason"),
+                        hint: "write `allow(<rule>, reason = \"why this is safe\")` — \
+                               unjustified suppressions are not accepted"
+                            .into(),
+                    });
+                    continue;
+                }
+                let target_line = target_of(file, idx);
+                sups.push(Suppression {
+                    marker_line: line,
+                    target_line,
+                    rule,
+                    used: false,
+                });
+            }
+            Err(msg) => diags.push(Diagnostic {
+                file: file.path.clone(),
+                line,
+                rule: "suppression",
+                message: msg,
+                hint: "expected `// hesgx-lint: allow(<rule>, reason = \"...\")`".into(),
+            }),
+        }
+    }
+    (sups, diags)
+}
+
+/// Emits a diagnostic per suppression that matched no finding.
+pub fn unused_diags(file: &SourceFile, sups: &[Suppression]) -> Vec<Diagnostic> {
+    sups.iter()
+        .filter(|s| !s.used)
+        .map(|s| Diagnostic {
+            file: file.path.clone(),
+            line: s.marker_line,
+            rule: "suppression",
+            message: format!(
+                "allow({}) suppresses nothing on line {}",
+                s.rule, s.target_line
+            ),
+            hint: "remove the stale marker (the code it excused has changed)".into(),
+        })
+        .collect()
+}
+
+/// Extracts the marker text from a line comment, or `None` when the
+/// comment is not a marker. A marker is a *plain* `//` comment (doc
+/// comments are documentation — examples there must stay inert) whose
+/// content begins with `hesgx-lint:`; prose that merely mentions the tool
+/// mid-sentence does not count.
+fn marker_body(comment: &str) -> Option<&str> {
+    let content = comment.strip_prefix("//")?;
+    if content.starts_with('/') || content.starts_with('!') {
+        return None;
+    }
+    let content = content.trim_start();
+    content.starts_with("hesgx-lint:").then_some(content)
+}
+
+/// Parses `hesgx-lint: allow(rule, reason = "...")`, returning the rule and
+/// whether a non-empty reason is present.
+fn parse_marker_body(body: &str) -> Result<(String, bool), String> {
+    let rest = body
+        .strip_prefix("hesgx-lint:")
+        .ok_or_else(|| "malformed hesgx-lint marker".to_string())?
+        .trim_start();
+    let rest = rest
+        .strip_prefix("allow(")
+        .ok_or_else(|| "hesgx-lint marker must be `allow(...)`".to_string())?;
+    let close = rest
+        .rfind(')')
+        .ok_or_else(|| "unclosed hesgx-lint allow marker".to_string())?;
+    let inner = &rest[..close];
+    let (rule, tail) = match inner.find(',') {
+        Some(c) => (inner[..c].trim(), inner[c + 1..].trim()),
+        None => (inner.trim(), ""),
+    };
+    if rule.is_empty() {
+        return Err("allow marker names no rule".into());
+    }
+    let has_reason = match tail.strip_prefix("reason") {
+        Some(after) => {
+            let after = after.trim_start();
+            match after.strip_prefix('=') {
+                Some(v) => {
+                    let v = v.trim();
+                    v.len() > 2 && v.starts_with('"') && v.ends_with('"')
+                }
+                None => false,
+            }
+        }
+        None => false,
+    };
+    Ok((rule.to_string(), has_reason))
+}
+
+/// The 1-based line a marker at 0-based `idx` applies to: the same line if
+/// it trails code, else the next line whose code view is non-blank.
+fn target_of(file: &SourceFile, idx: usize) -> usize {
+    let own_code = file.code_line(idx);
+    if !own_code.trim().is_empty() {
+        return idx + 1;
+    }
+    for j in idx + 1..file.line_count() {
+        if !file.code_line(j).trim().is_empty() {
+            return j + 1;
+        }
+    }
+    idx + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(text: &str) -> SourceFile {
+        SourceFile::scan("crates/x/src/a.rs", text)
+    }
+
+    #[test]
+    fn standalone_marker_targets_next_code_line() {
+        let f = scan(
+            "// hesgx-lint: allow(enclave-panic, reason = \"checked above\")\n\n// comment\nx.unwrap();\n",
+        );
+        let (sups, diags) = parse(&f);
+        assert!(diags.is_empty());
+        assert_eq!(sups.len(), 1);
+        assert_eq!(sups[0].rule, "enclave-panic");
+        assert_eq!(sups[0].target_line, 4);
+    }
+
+    #[test]
+    fn trailing_marker_targets_its_own_line() {
+        let f = scan("x.unwrap(); // hesgx-lint: allow(enclave-panic, reason = \"init only\")\n");
+        let (sups, _) = parse(&f);
+        assert_eq!(sups[0].target_line, 1);
+    }
+
+    #[test]
+    fn missing_reason_is_diagnosed() {
+        let f = scan("// hesgx-lint: allow(enclave-panic)\nx.unwrap();\n");
+        let (sups, diags) = parse(&f);
+        assert!(sups.is_empty());
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("no reason"));
+    }
+
+    #[test]
+    fn unknown_rule_is_diagnosed() {
+        let f = scan("// hesgx-lint: allow(no-such-rule, reason = \"x\")\n");
+        let (sups, diags) = parse(&f);
+        assert!(sups.is_empty());
+        assert!(diags[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn empty_reason_is_rejected() {
+        let f = scan("// hesgx-lint: allow(const-time, reason = \"\")\nlet x = 1;\n");
+        let (sups, diags) = parse(&f);
+        assert!(sups.is_empty());
+        assert_eq!(diags.len(), 1);
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: variable-time comparison of secret-derived bytes.
+
+pub fn verify(tag: &[u8], expected_tag: &[u8]) -> bool {
+    tag == expected_tag
+}
+
+pub fn check_mac(computed_mac: [u8; 32], stored: [u8; 32]) -> bool {
+    if computed_mac != stored {
+        return false;
+    }
+    true
+}

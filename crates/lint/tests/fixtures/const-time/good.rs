@@ -1,0 +1,16 @@
+// Fixture: constant-time comparison via ct_eq, and == over public values.
+
+pub fn verify(tag: &[u8], expected_tag: &[u8]) -> bool {
+    crate::ct::ct_eq(tag, expected_tag)
+}
+
+pub fn same_shape(a: &[u8], b: &[u8]) -> bool {
+    a.len() == b.len()
+}
+
+pub fn classify(kind: u8) -> &'static str {
+    match kind {
+        0 => "fresh",
+        _ => "other",
+    }
+}

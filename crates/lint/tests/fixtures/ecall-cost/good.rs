@@ -1,0 +1,15 @@
+// Fixture: ECALL-surface functions either return a CostBreakdown or carry
+// a justified allow for cost-free accessors.
+
+pub fn refresh_ciphertext(ct: &Ciphertext) -> Result<(Ciphertext, CostBreakdown)> {
+    run_ecall(ct)
+}
+
+// hesgx-lint: allow(ecall-cost, reason = "accessor; performs no enclave computation")
+pub fn measurement(&self) -> [u8; 32] {
+    self.mr
+}
+
+fn helper(ct: &Ciphertext) -> Ciphertext {
+    ct.clone()
+}

@@ -1,0 +1,13 @@
+// Fixture: panics inside enclave-scoped code must be flagged.
+
+pub fn ecall_transform(values: &mut Vec<u64>) -> u64 {
+    let first = values.pop().unwrap();
+    let second = values.pop().expect("at least two values");
+    if first == 0 {
+        panic!("zero input");
+    }
+    if second == 0 {
+        todo!();
+    }
+    first + second
+}

@@ -1,0 +1,24 @@
+// Fixture: enclave code that propagates errors instead of panicking.
+// Mentions of .unwrap() in comments, doc comments, strings, and test
+// modules must not trip the rule.
+
+/// Never call `.unwrap()` on attacker-influenced data.
+pub fn ecall_transform(values: &mut Vec<u64>) -> Result<u64, &'static str> {
+    let first = values.pop().ok_or("missing first value")?;
+    let second = values.pop().ok_or("missing second value")?;
+    let note = "this string says panic!(now) and means nothing";
+    let fallback = values.pop().unwrap_or(0);
+    let _ = (note, fallback);
+    Ok(first + second)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transforms() {
+        let mut v = vec![1, 2];
+        assert_eq!(ecall_transform(&mut v).unwrap(), 3);
+    }
+}

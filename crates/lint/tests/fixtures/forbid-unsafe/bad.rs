@@ -1,0 +1,5 @@
+// Fixture: an unsafe-free crate root without #![forbid(unsafe_code)].
+
+pub fn safe_code(x: u64) -> u64 {
+    x + 1
+}

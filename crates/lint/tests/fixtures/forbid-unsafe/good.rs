@@ -1,0 +1,7 @@
+// Fixture: the crate root declares the forbid, locking unsafe out.
+
+#![forbid(unsafe_code)]
+
+pub fn safe_code(x: u64) -> u64 {
+    x + 1
+}

@@ -1,0 +1,13 @@
+// Fixture: deriving Debug on a registry secret type must be flagged.
+
+#[derive(Debug, Clone)]
+pub struct SigningKey {
+    sk: u64,
+    pk: u64,
+}
+
+impl std::fmt::Display for SecretKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "key")
+    }
+}

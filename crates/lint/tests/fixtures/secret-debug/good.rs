@@ -1,0 +1,22 @@
+// Fixture: a manual, redacting Debug impl is the sanctioned pattern, and
+// deriving Debug on non-registry types is fine.
+
+#[derive(Clone)]
+pub struct SigningKey {
+    sk: u64,
+    pk: u64,
+}
+
+impl std::fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SigningKey")
+            .field("pk", &self.pk)
+            .field("sk", &"<redacted>")
+            .finish()
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct PlainConfig {
+    pub degree: usize,
+}

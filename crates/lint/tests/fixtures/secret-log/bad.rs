@@ -1,0 +1,7 @@
+// Fixture: format/log macros touching secret-named values, and dbg!.
+
+pub fn trace_keys(secret_key: &[u8], count: usize) {
+    println!("loaded {} keys: {:?}", count, secret_key);
+    let msg = format!("sk bytes: {:?}", secret_key);
+    dbg!(msg.len());
+}

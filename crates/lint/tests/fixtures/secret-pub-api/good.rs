@@ -1,0 +1,18 @@
+// Fixture: crate-private signatures, unrestricted handle types, and
+// non-registry types in public APIs are all fine.
+
+pub(crate) fn secret_keys(slot: usize) -> SecretKey {
+    lookup(slot)
+}
+
+pub fn rng_handle(rng: &mut ChaChaRng) -> u64 {
+    rng.next_u64()
+}
+
+pub fn public_half(slot: usize) -> PublicKey {
+    lookup_public(slot)
+}
+
+pub struct Harness {
+    keys: CrtKeys,
+}

@@ -1,0 +1,13 @@
+// Fixture: malformed and stale suppression markers are themselves
+// diagnosed, independent of any rule scope.
+
+// hesgx-lint: allow(enclave-panic)
+pub fn missing_reason(x: Option<u64>) -> u64 {
+    x.unwrap_or(0)
+}
+
+// hesgx-lint: allow(no-such-rule, reason = "typo in the rule name")
+pub fn unknown_rule() {}
+
+// hesgx-lint: allow(secret-log, reason = "nothing is logged here at all")
+pub fn stale_marker() {}

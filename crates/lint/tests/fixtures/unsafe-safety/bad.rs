@@ -1,0 +1,5 @@
+// Fixture: unsafe without a SAFETY comment.
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() }
+}

@@ -1,0 +1,8 @@
+// Fixture: unsafe with the invariant documented directly above.
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    assert!(!bytes.is_empty());
+    // SAFETY: the assert above guarantees at least one element, so the
+    // pointer read is in bounds.
+    unsafe { *bytes.as_ptr() }
+}

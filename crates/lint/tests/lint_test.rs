@@ -1,0 +1,166 @@
+//! Self-test corpus: every rule must fire on its `bad.rs` fixture and stay
+//! silent on its `good.rs` fixture, and the live workspace must lint clean.
+
+use hesgx_lint::diag::Report;
+use hesgx_lint::lexer::SourceFile;
+use hesgx_lint::lint_sources;
+use std::path::{Path, PathBuf};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+/// Lints one fixture file, keyed by its path relative to the workspace so
+/// the `fixtures/<rule>` scopes in the config match.
+fn lint_fixture(rule: &str, which: &str) -> Report {
+    let path = fixture_dir().join(rule).join(which);
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let rel = format!("crates/lint/tests/fixtures/{rule}/{which}");
+    lint_sources(&[SourceFile::scan(&rel, &text)])
+}
+
+const RULES: &[&str] = &[
+    "enclave-panic",
+    "secret-debug",
+    "secret-pub-api",
+    "secret-log",
+    "const-time",
+    "unsafe-safety",
+    "forbid-unsafe",
+    "ecall-cost",
+];
+
+#[test]
+fn every_bad_fixture_triggers_its_rule() {
+    for rule in RULES {
+        let report = lint_fixture(rule, "bad.rs");
+        assert!(
+            report.findings.iter().any(|d| d.rule == *rule),
+            "fixture {rule}/bad.rs produced no `{rule}` finding; got: {:?}",
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn every_good_fixture_is_clean() {
+    for rule in RULES {
+        let report = lint_fixture(rule, "good.rs");
+        assert!(
+            report.is_clean(),
+            "fixture {rule}/good.rs should be clean; got: {:?}",
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn bad_fixtures_report_expected_counts() {
+    // Spot-check that rules find *all* the seeded defects, not just one.
+    let panic_report = lint_fixture("enclave-panic", "bad.rs");
+    assert_eq!(
+        panic_report
+            .findings
+            .iter()
+            .filter(|d| d.rule == "enclave-panic")
+            .count(),
+        4,
+        "unwrap + expect + panic! + todo!"
+    );
+    let log_report = lint_fixture("secret-log", "bad.rs");
+    assert_eq!(
+        log_report
+            .findings
+            .iter()
+            .filter(|d| d.rule == "secret-log")
+            .count(),
+        3,
+        "println + format + dbg"
+    );
+    let debug_report = lint_fixture("secret-debug", "bad.rs");
+    assert_eq!(
+        debug_report
+            .findings
+            .iter()
+            .filter(|d| d.rule == "secret-debug")
+            .count(),
+        2,
+        "derive(Debug) + impl Display"
+    );
+}
+
+#[test]
+fn suppression_fixture_diagnoses_all_marker_defects() {
+    let report = lint_fixture("suppression", "bad.rs");
+    let msgs: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|d| d.rule == "suppression")
+        .map(|d| d.message.as_str())
+        .collect();
+    assert!(msgs.iter().any(|m| m.contains("no reason")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("unknown rule")), "{msgs:?}");
+    assert!(
+        msgs.iter().any(|m| m.contains("suppresses nothing")),
+        "{msgs:?}"
+    );
+}
+
+#[test]
+fn ecall_good_fixture_exercises_a_used_suppression() {
+    let report = lint_fixture("ecall-cost", "good.rs");
+    assert!(report.is_clean());
+    assert_eq!(report.suppressed, 1, "the accessor allow must be consumed");
+}
+
+#[test]
+fn findings_carry_location_rule_and_hint() {
+    let report = lint_fixture("enclave-panic", "bad.rs");
+    let d = &report.findings[0];
+    assert!(d.file.ends_with("enclave-panic/bad.rs"));
+    assert!(d.line > 0);
+    assert!(!d.hint.is_empty());
+}
+
+#[test]
+fn live_workspace_lints_clean() {
+    let root = workspace_root();
+    let paths = hesgx_lint::collect_workspace_files(&root).expect("walk workspace");
+    assert!(
+        paths.len() > 40,
+        "expected the full workspace, got {} files",
+        paths.len()
+    );
+    let files: Vec<SourceFile> = paths
+        .iter()
+        .map(|p| hesgx_lint::load_file(&root, p).expect("readable source"))
+        .collect();
+    let report = lint_sources(&files);
+    assert!(
+        report.is_clean(),
+        "the workspace must lint clean:\n{}",
+        report.render_human()
+    );
+    assert!(
+        report.suppressed >= 10,
+        "the documented inline allows should be active, got {}",
+        report.suppressed
+    );
+}
+
+#[test]
+fn json_report_round_trips_key_fields() {
+    let report = lint_fixture("const-time", "bad.rs");
+    let json = report.render_json();
+    assert!(json.contains("\"rule\": \"const-time\""));
+    assert!(json.contains("\"suppressed\": 0"));
+    assert!(json.contains("bad.rs"));
+}

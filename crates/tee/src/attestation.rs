@@ -89,11 +89,21 @@ impl Quote {
 }
 
 /// The platform's quoting enclave: turns reports into signed quotes.
-#[derive(Debug)]
 pub struct QuotingEnclave {
     platform_id: [u8; 32],
     report_key: [u8; 32],
     signing_key: SigningKey,
+}
+
+impl std::fmt::Debug for QuotingEnclave {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The report key authenticates EREPORTs platform-wide; never print it
+        // (hesgx-lint: secret-debug).
+        f.debug_struct("QuotingEnclave")
+            .field("platform_id", &self.platform_id)
+            .field("report_key", &"<redacted>")
+            .finish()
+    }
 }
 
 impl QuotingEnclave {

@@ -21,12 +21,23 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// One SGX-capable machine: hardware secrets plus the quoting enclave.
-#[derive(Debug)]
 pub struct Platform {
     platform_id: [u8; 32],
     secret: [u8; 32],
     report_key: [u8; 32],
     qe: QuotingEnclave,
+}
+
+impl std::fmt::Debug for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The hardware root secret and report key stay out of any log line
+        // (hesgx-lint: secret-debug).
+        f.debug_struct("Platform")
+            .field("platform_id", &self.platform_id)
+            .field("secret", &"<redacted>")
+            .field("report_key", &"<redacted>")
+            .finish()
+    }
 }
 
 impl Platform {

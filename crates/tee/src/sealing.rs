@@ -9,11 +9,22 @@ use serde::{Deserialize, Serialize};
 
 /// An encrypted, integrity-protected blob only the sealing enclave identity
 /// (on the same platform) can open.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SealedBlob {
     nonce: [u8; 12],
     ciphertext: Vec<u8>,
     tag: [u8; 32],
+}
+
+impl std::fmt::Debug for SealedBlob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Sealed blobs are registry types: dumping ciphertext bytes into logs
+        // invites offline analysis, so print sizes only
+        // (hesgx-lint: secret-debug).
+        f.debug_struct("SealedBlob")
+            .field("byte_len", &self.byte_len())
+            .finish()
+    }
 }
 
 impl SealedBlob {

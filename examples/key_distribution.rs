@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Step 1: key generation inside the enclave.
     let sys = CrtPlainSystem::new(1024, &[65537])?;
     let mut rng = ChaChaRng::from_seed(5);
-    let (keys, ceremony) = enclave_generate_keys(&enclave, &sys, &mut rng);
+    let (keys, ceremony) = enclave_generate_keys(&enclave, &sys, &mut rng)?;
     println!(
         "\n[enclave] generated FV keys inside SGX in {:.3} ms (virtual)",
         ceremony.keygen_cost.total_ns() as f64 / 1e6
@@ -72,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let evil_enclave = EnclaveBuilder::new("hesgx-inference")
         .add_code(b"hybrid-inference-v1-BACKDOORED")
         .build(platform.clone());
-    let (_, evil_ceremony) = enclave_generate_keys(&evil_enclave, &sys, &mut rng);
+    let (_, evil_ceremony) = enclave_generate_keys(&evil_enclave, &sys, &mut rng)?;
     match verify_key_ceremony(&service, &evil_ceremony, enclave.measurement()) {
         Err(e) => println!("(b) backdoored enclave binary        -> REJECTED ({e})"),
         Ok(_) => unreachable!("wrong measurement must be rejected"),
@@ -83,7 +83,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rogue_enclave = EnclaveBuilder::new("hesgx-inference")
         .add_code(b"hybrid-inference-v1")
         .build(rogue_platform);
-    let (_, rogue_ceremony) = enclave_generate_keys(&rogue_enclave, &sys, &mut rng);
+    let (_, rogue_ceremony) = enclave_generate_keys(&rogue_enclave, &sys, &mut rng)?;
     match verify_key_ceremony(&service, &rogue_ceremony, rogue_enclave.measurement()) {
         Err(e) => println!("(c) quote from unregistered platform -> REJECTED ({e})"),
         Ok(_) => unreachable!("unknown platform must be rejected"),
