@@ -31,4 +31,10 @@ else
     echo "==> skipping tests (--quick)"
 fi
 
+# Chaos sweep: fixed fault-plan seeds (see crates/bench chaos_sweep::PLAN_SEEDS);
+# writes the per-seed FaultReport artifact to target/chaos-report.json.
+echo "==> chaos sweep"
+cargo run --release -q -p hesgx-bench --offline --bin repro -- chaos_sweep --quick
+test -s target/chaos-report.json
+
 echo "ci: all checks passed"

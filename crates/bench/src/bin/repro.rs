@@ -6,7 +6,7 @@
 //! cargo run --release -p hesgx-bench --bin repro -- --quick  # reduced reps
 //! ```
 
-use hesgx_bench::experiments::{ablation, e2e, figures, par_sweep, tables, RunConfig};
+use hesgx_bench::experiments::{ablation, chaos_sweep, e2e, figures, par_sweep, tables, RunConfig};
 use hesgx_bench::PaperEnv;
 
 const EXPERIMENTS: &[&str] = &[
@@ -23,6 +23,7 @@ const EXPERIMENTS: &[&str] = &[
     "fig8",
     "ablation",
     "par_sweep",
+    "chaos_sweep",
 ];
 
 fn main() {
@@ -102,6 +103,9 @@ fn main() {
     }
     if wanted("par_sweep") {
         par_sweep::par_sweep(cfg);
+    }
+    if wanted("chaos_sweep") {
+        chaos_sweep::chaos_sweep(cfg);
     }
     println!();
     println!("done.");

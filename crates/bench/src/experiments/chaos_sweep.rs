@@ -1,0 +1,222 @@
+//! `chaos_sweep` — resilience of the hybrid pipeline under injected faults
+//! (not in the paper).
+//!
+//! Drives the `Session` API through a fixed set of transient-only fault
+//! plans — every plan seed crossed with several per-site fault rates — and
+//! reports what the recovery layer absorbed: injected faults, retries, and
+//! the latency each point paid versus the fault-free baseline. The full
+//! machine-readable [`FaultReport`] of every point is written to
+//! `target/chaos-report.json` so CI can archive it as an artifact.
+//!
+//! Two claims are checked and printed honestly:
+//!
+//! 1. **Exactness under recovery** — every transient-only point must match
+//!    the fault-free logits bit for bit (the chaos determinism contract).
+//! 2. **Report stability** — each point's `FaultReport` is re-derived on a
+//!    second run and must be byte-identical (same plan seed → same report).
+
+use super::{header, RunConfig};
+use hesgx_core::prelude::*;
+use hesgx_crypto::rng::ChaChaRng;
+use hesgx_nn::layers::PoolKind;
+use hesgx_nn::model_zoo::paper_cnn;
+use std::path::Path;
+use std::time::Instant;
+
+/// The fixed plan seeds CI sweeps; chosen once, never derived from time.
+pub const PLAN_SEEDS: [u64; 6] = [2, 11, 23, 42, 77, 101];
+/// Per-site injection probabilities swept in quick mode (full mode keeps the
+/// middle rate only — the paper-sized model makes each point expensive).
+const RATES: [f64; 3] = [0.1, 0.25, 0.5];
+/// Per-site injection cap (keeps every run inside the retry budget).
+const CAP: u64 = 1;
+
+/// One sweep point: a session run under one fault plan.
+#[derive(Debug, Clone)]
+pub struct ChaosPoint {
+    /// The plan seed.
+    pub seed: u64,
+    /// Per-site injection probability of the plan.
+    pub rate: f64,
+    /// Faults injected across all sites.
+    pub injected: u64,
+    /// Retries the recovery layer spent.
+    pub retries: u64,
+    /// End-to-end inference wall milliseconds under this plan.
+    pub wall_ms: f64,
+    /// Whether logits matched the fault-free baseline bit for bit.
+    pub exact: bool,
+    /// Whether a re-run of the same plan reproduced the report byte for byte.
+    pub report_stable: bool,
+    /// The machine-readable fault report.
+    pub report_json: String,
+}
+
+/// Sweep summary.
+#[derive(Debug, Clone)]
+pub struct ChaosSweep {
+    /// One entry per (seed, rate) pair.
+    pub points: Vec<ChaosPoint>,
+    /// Fault-free inference wall milliseconds (the latency reference).
+    pub baseline_ms: f64,
+    /// Conjunction of every point's `exact`.
+    pub all_exact: bool,
+    /// Conjunction of every point's `report_stable`.
+    pub all_stable: bool,
+    /// Where the JSON report landed (unset when the write failed).
+    pub report_path: Option<String>,
+}
+
+fn sweep_model(quick: bool) -> QuantizedCnn {
+    if quick {
+        // Reduced instance of the paper architecture: same layer types,
+        // 8×8 input so a sweep point takes well under a second.
+        QuantizedCnn {
+            pipeline: QuantPipeline::Hybrid,
+            in_side: 8,
+            conv_out: 2,
+            kernel: 3,
+            window: 2,
+            classes: 3,
+            conv_weights: (0..2 * 9).map(|i| (i % 5) as i64 - 2).collect(),
+            conv_bias: vec![1, -2],
+            fc_weights: (0..3 * 2 * 9).map(|i| (i % 7) as i64 - 3).collect(),
+            fc_bias: vec![4, -1, 2],
+            weight_scale: 8,
+            fc_scale: 8,
+            act_scale: 16,
+        }
+    } else {
+        let mut rng = ChaChaRng::from_seed(7);
+        let net = paper_cnn(ActivationKind::Sigmoid, PoolKind::Mean, &mut rng);
+        QuantizedCnn::from_network(&net, QuantPipeline::Hybrid, 16, 32, 16)
+    }
+}
+
+fn build_session(model: &QuantizedCnn, plan: Option<FaultPlan>) -> Session {
+    let mut builder = SessionBuilder::new()
+        .params(ParamsPreset::Small)
+        .threads(2)
+        .seed(7)
+        .noise_refresh(true);
+    if let Some(plan) = plan {
+        builder = builder.chaos(plan);
+    }
+    builder
+        .build(Platform::new(700), model.clone())
+        .expect("chaos sweep provisioning")
+}
+
+fn run_point(
+    model: &QuantizedCnn,
+    image: &[i64],
+    seed: u64,
+    rate: f64,
+) -> (Vec<i64>, FaultReport, f64) {
+    let session = build_session(model, Some(FaultPlan::transient_only(seed, rate, CAP)));
+    let start = Instant::now();
+    let logits = session.infer(image).expect("transient-only run recovers");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let report = session
+        .fault_report()
+        .expect("chaos session carries a report");
+    (logits, report, wall_ms)
+}
+
+/// Runs the sweep, prints the table, and writes `target/chaos-report.json`.
+pub fn chaos_sweep(cfg: RunConfig) -> ChaosSweep {
+    header("CHAOS SWEEP: fault injection + recovery in the hybrid pipeline (not in the paper)");
+    let model = sweep_model(cfg.quick);
+    let rates: &[f64] = if cfg.quick { &RATES } else { &RATES[1..2] };
+    println!(
+        "input {}×{} | FV n = {} | rates {rates:?} | cap {CAP}/site | seeds {PLAN_SEEDS:?}",
+        model.in_side,
+        model.in_side,
+        256 // ParamsPreset::Small
+    );
+
+    let image: Vec<i64> = (0..model.in_side * model.in_side)
+        .map(|p| ((p * 3) % 16) as i64)
+        .collect();
+    let baseline_session = build_session(&model, None);
+    let start = Instant::now();
+    let baseline = baseline_session.infer(&image).expect("fault-free baseline");
+    let baseline_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let mut points = Vec::with_capacity(PLAN_SEEDS.len() * rates.len());
+    for &rate in rates {
+        for &seed in &PLAN_SEEDS {
+            let (logits, report, wall_ms) = run_point(&model, &image, seed, rate);
+            let (_, repeat, _) = run_point(&model, &image, seed, rate);
+            let report_json = report.to_json();
+            points.push(ChaosPoint {
+                seed,
+                rate,
+                injected: report.injected_total(),
+                retries: report.retries(),
+                wall_ms,
+                exact: logits == baseline,
+                report_stable: report_json == repeat.to_json(),
+                report_json,
+            });
+        }
+    }
+
+    let all_exact = points.iter().all(|p| p.exact);
+    let all_stable = points.iter().all(|p| p.report_stable);
+
+    println!();
+    println!("fault-free baseline latency: {baseline_ms:.1} ms");
+    println!("rate   seed   injected   retries   latency (ms)   vs base   exact   stable");
+    for p in &points {
+        println!(
+            "{:<4}   {:>4}   {:>8}   {:>7}   {:>12.1}   {:>6.2}x   {:>5}   {:>6}",
+            p.rate,
+            p.seed,
+            p.injected,
+            p.retries,
+            p.wall_ms,
+            p.wall_ms / baseline_ms.max(1e-9),
+            p.exact,
+            p.report_stable
+        );
+    }
+    println!("all points bit-identical to the fault-free baseline: {all_exact}");
+    println!("all fault reports byte-stable across re-runs: {all_stable}");
+
+    // Machine-readable artifact for CI: each point's full FaultReport.
+    let body = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"seed\":{},\"rate\":{},\"wall_ms\":{:.3},\"exact\":{},\"report_stable\":{},\"report\":{}}}",
+                p.seed, p.rate, p.wall_ms, p.exact, p.report_stable, p.report_json
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let json = format!(
+        "{{\"cap\":{CAP},\"baseline_ms\":{baseline_ms:.3},\"all_exact\":{all_exact},\"all_stable\":{all_stable},\"points\":[{body}]}}"
+    );
+    let path = Path::new("target").join("chaos-report.json");
+    let report_path = match std::fs::create_dir_all("target")
+        .and_then(|()| std::fs::write(&path, json.as_bytes()))
+    {
+        Ok(()) => {
+            println!("fault reports written to {}", path.display());
+            Some(path.display().to_string())
+        }
+        Err(e) => {
+            println!("could not write {}: {e}", path.display());
+            None
+        }
+    };
+
+    ChaosSweep {
+        points,
+        baseline_ms,
+        all_exact,
+        all_stable,
+        report_path,
+    }
+}

@@ -5,6 +5,7 @@
 //! the integration tests (shape claims: who wins, ratios, crossovers).
 
 pub mod ablation;
+pub mod chaos_sweep;
 pub mod e2e;
 pub mod figures;
 pub mod par_sweep;

@@ -1,0 +1,391 @@
+//! Fault plans (when faults fire) and the injector that executes them.
+
+use hesgx_crypto::rng::ChaChaRng;
+use parking_lot::Mutex;
+
+use crate::{ChaosEvent, FaultHook, FaultKind, FaultReport, FaultSite, RecoveryEvent};
+
+const SITES: usize = FaultSite::ALL.len();
+
+/// Per-site schedule parameters.
+#[derive(Debug, Clone, Copy)]
+struct SitePlan {
+    /// Bernoulli probability that a consultation injects a fault.
+    rate: f64,
+    /// Kind injected by rate-triggered faults.
+    kind: FaultKind,
+    /// Maximum number of rate-triggered injections at this site
+    /// (`u64::MAX` = unlimited). Scripted injections ignore the cap.
+    cap: u64,
+}
+
+impl Default for SitePlan {
+    fn default() -> Self {
+        SitePlan {
+            rate: 0.0,
+            kind: FaultKind::Transient,
+            cap: u64::MAX,
+        }
+    }
+}
+
+/// A seed-deterministic schedule of fault injections.
+///
+/// Two trigger mechanisms compose:
+///
+/// * **Rates** — each site gets a Bernoulli probability drawn from its own
+///   domain-separated ChaCha stream (forked from the plan seed by site name),
+///   so the schedule at one site never perturbs another and the same seed
+///   always yields the same schedule. [`FaultPlan::cap`] bounds how many
+///   rate-triggered faults a site may inject — the lever that lets tests
+///   guarantee eventual success under bounded retry.
+/// * **Scripts** — "fail exactly the n-th consultation of this site", for
+///   tests that need a fault at a precise point (e.g. corrupt the first seal).
+///
+/// ```
+/// use hesgx_chaos::{FaultPlan, FaultSite, FaultKind};
+///
+/// let plan = FaultPlan::new(42)
+///     .rate(FaultSite::EcallEnter, 0.2)   // natural kind: transient
+///     .cap(FaultSite::EcallEnter, 2)      // at most 2 injections
+///     .script(FaultSite::Seal, 0, FaultKind::Corruption);
+/// let injector = plan.build();
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    sites: [SitePlan; SITES],
+    /// `(site, occurrence, kind)` triples, matched exactly.
+    scripts: Vec<(FaultSite, u64, FaultKind)>,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults configured.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            sites: [SitePlan::default(); SITES],
+            scripts: Vec::new(),
+        }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Sets the Bernoulli injection rate at `site`, injecting the site's
+    /// [natural kind](FaultSite::natural_kind). `rate` is clamped to `[0, 1]`.
+    pub fn rate(self, site: FaultSite, rate: f64) -> Self {
+        let kind = site.natural_kind();
+        self.rate_with(site, rate, kind)
+    }
+
+    /// Sets the Bernoulli injection rate at `site` with an explicit kind.
+    pub fn rate_with(mut self, site: FaultSite, rate: f64, kind: FaultKind) -> Self {
+        let plan = &mut self.sites[site.index()];
+        plan.rate = rate.clamp(0.0, 1.0);
+        plan.kind = kind;
+        self
+    }
+
+    /// Caps rate-triggered injections at `site` to at most `max` faults.
+    pub fn cap(mut self, site: FaultSite, max: u64) -> Self {
+        self.sites[site.index()].cap = max;
+        self
+    }
+
+    /// Injects a fault of `kind` at exactly the `occurrence`-th (zero-based)
+    /// consultation of `site`, regardless of rates and caps.
+    pub fn script(mut self, site: FaultSite, occurrence: u64, kind: FaultKind) -> Self {
+        self.scripts.push((site, occurrence, kind));
+        self
+    }
+
+    /// Convenience: a transient-only plan that faults the retryable boundary
+    /// sites (ECALL enter/exit, noise refresh) at `rate` plus EPC pressure,
+    /// capped at `cap` injections per site. With `cap` below the pipeline's
+    /// retry budget this plan is guaranteed recoverable, which is what the
+    /// bit-identical-output property tests rely on.
+    pub fn transient_only(seed: u64, rate: f64, cap: u64) -> Self {
+        FaultPlan::new(seed)
+            .rate(FaultSite::EcallEnter, rate)
+            .cap(FaultSite::EcallEnter, cap)
+            .rate(FaultSite::EcallExit, rate)
+            .cap(FaultSite::EcallExit, cap)
+            .rate(FaultSite::NoiseRefresh, rate)
+            .cap(FaultSite::NoiseRefresh, cap)
+            .rate(FaultSite::EpcLoad, rate)
+            .cap(FaultSite::EpcLoad, cap)
+            .rate(FaultSite::EpcEvict, rate)
+            .cap(FaultSite::EpcEvict, cap)
+    }
+
+    /// Builds the executing injector for this plan.
+    pub fn build(self) -> FaultInjector {
+        FaultInjector::new(self)
+    }
+}
+
+/// Mutable injector state, behind one mutex so the consultation sequence is
+/// totally ordered even when the enclave is shared across worker threads.
+#[derive(Debug)]
+struct InjectorState {
+    /// One domain-separated ChaCha stream per site.
+    streams: [ChaChaRng; SITES],
+    /// Consultations seen per site (the "occurrence" counter).
+    consults: [u64; SITES],
+    /// Rate-triggered injections per site (checked against the cap).
+    injected: [u64; SITES],
+    report: FaultReport,
+}
+
+/// Executes a [`FaultPlan`] and records a [`FaultReport`].
+///
+/// Implements [`FaultHook`]; install it on an enclave/session via the chaos
+/// builder hooks. All state sits behind a single mutex: consultation sites in
+/// the simulator are serial, so the lock is uncontended and the event order
+/// (and therefore the report bytes) is deterministic.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    state: Mutex<InjectorState>,
+}
+
+impl FaultInjector {
+    fn new(plan: FaultPlan) -> Self {
+        let root = ChaChaRng::from_seed(plan.seed);
+        let streams = FaultSite::ALL.map(|site| root.fork(site.name()));
+        FaultInjector {
+            plan,
+            state: Mutex::new(InjectorState {
+                streams,
+                consults: [0; SITES],
+                injected: [0; SITES],
+                report: FaultReport::default(),
+            }),
+        }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// A snapshot of the report so far.
+    pub fn report(&self) -> FaultReport {
+        self.state.lock().report.clone()
+    }
+
+    /// Deterministic JSON encoding of the report so far.
+    pub fn report_json(&self) -> String {
+        self.state.lock().report.to_json()
+    }
+
+    /// Total consultations seen at `site` (injected or not).
+    pub fn consults_at(&self, site: FaultSite) -> u64 {
+        self.state.lock().consults[site.index()]
+    }
+}
+
+impl FaultHook for FaultInjector {
+    fn inject(&self, site: FaultSite) -> Option<FaultKind> {
+        let idx = site.index();
+        let mut state = self.state.lock();
+        let occurrence = state.consults[idx];
+        state.consults[idx] += 1;
+
+        // The stream advances on *every* consultation, injected or not, so a
+        // scripted fault never shifts the rate schedule of later occurrences.
+        let draw = state.streams[idx].next_f64();
+
+        let scripted = self
+            .plan
+            .scripts
+            .iter()
+            .find(|(s, occ, _)| *s == site && *occ == occurrence)
+            .map(|(_, _, kind)| *kind);
+
+        let site_plan = &self.plan.sites[idx];
+        let kind = match scripted {
+            Some(kind) => Some(kind),
+            None if site_plan.rate > 0.0
+                && state.injected[idx] < site_plan.cap
+                && draw < site_plan.rate =>
+            {
+                state.injected[idx] += 1;
+                Some(site_plan.kind)
+            }
+            None => None,
+        };
+
+        if let Some(kind) = kind {
+            state.report.events.push(ChaosEvent::Injected {
+                site,
+                occurrence,
+                kind,
+            });
+        }
+        kind
+    }
+
+    fn on_recovery(&self, event: RecoveryEvent) {
+        self.state
+            .lock()
+            .report
+            .events
+            .push(ChaosEvent::Recovery(event));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(injector: &FaultInjector, site: FaultSite, n: u64) -> Vec<Option<FaultKind>> {
+        (0..n).map(|_| injector.inject(site)).collect()
+    }
+
+    #[test]
+    fn empty_plan_never_injects() {
+        let injector = FaultPlan::new(7).build();
+        for site in FaultSite::ALL {
+            assert!(drive(&injector, site, 50).iter().all(Option::is_none));
+        }
+        assert_eq!(injector.report().injected_total(), 0);
+        assert_eq!(injector.consults_at(FaultSite::EcallEnter), 50);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let run = |seed| {
+            let injector = FaultPlan::new(seed)
+                .rate(FaultSite::EcallEnter, 0.3)
+                .rate(FaultSite::EpcLoad, 0.2)
+                .build();
+            let a = drive(&injector, FaultSite::EcallEnter, 100);
+            let b = drive(&injector, FaultSite::EpcLoad, 100);
+            (a, b, injector.report_json())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).2, run(43).2);
+    }
+
+    #[test]
+    fn sites_are_domain_separated() {
+        // Changing one site's rate must not change another site's draws.
+        let only_a = FaultPlan::new(9).rate(FaultSite::EcallEnter, 0.5).build();
+        let both = FaultPlan::new(9)
+            .rate(FaultSite::EcallEnter, 0.5)
+            .rate(FaultSite::Unseal, 0.9)
+            .build();
+        drive(&both, FaultSite::Unseal, 40);
+        assert_eq!(
+            drive(&only_a, FaultSite::EcallEnter, 100),
+            drive(&both, FaultSite::EcallEnter, 100),
+        );
+    }
+
+    #[test]
+    fn cap_bounds_rate_injections() {
+        let injector = FaultPlan::new(1)
+            .rate(FaultSite::EcallEnter, 1.0)
+            .cap(FaultSite::EcallEnter, 3)
+            .build();
+        let hits = drive(&injector, FaultSite::EcallEnter, 20)
+            .iter()
+            .filter(|k| k.is_some())
+            .count();
+        assert_eq!(hits, 3);
+        assert_eq!(injector.report().injected_at(FaultSite::EcallEnter), 3);
+    }
+
+    #[test]
+    fn script_fires_exactly_once_and_ignores_cap() {
+        let injector = FaultPlan::new(5)
+            .cap(FaultSite::Seal, 0)
+            .script(FaultSite::Seal, 2, FaultKind::Corruption)
+            .build();
+        let results = drive(&injector, FaultSite::Seal, 5);
+        assert_eq!(
+            results,
+            vec![None, None, Some(FaultKind::Corruption), None, None]
+        );
+        let report = injector.report();
+        assert_eq!(report.injected_at(FaultSite::Seal), 1);
+        assert!(matches!(
+            report.events[0],
+            ChaosEvent::Injected {
+                site: FaultSite::Seal,
+                occurrence: 2,
+                kind: FaultKind::Corruption,
+            }
+        ));
+    }
+
+    #[test]
+    fn script_does_not_shift_rate_schedule() {
+        let plain = FaultPlan::new(11).rate(FaultSite::EcallExit, 0.4).build();
+        let scripted = FaultPlan::new(11)
+            .rate(FaultSite::EcallExit, 0.4)
+            .script(FaultSite::EcallExit, 0, FaultKind::Transient)
+            .build();
+        let a = drive(&plain, FaultSite::EcallExit, 50);
+        let b = drive(&scripted, FaultSite::EcallExit, 50);
+        // After the scripted occurrence 0, the rate draws line up again.
+        assert_eq!(a[1..], b[1..]);
+    }
+
+    #[test]
+    fn rate_with_overrides_kind() {
+        let injector = FaultPlan::new(3)
+            .rate_with(FaultSite::EcallEnter, 1.0, FaultKind::Corruption)
+            .build();
+        assert_eq!(
+            injector.inject(FaultSite::EcallEnter),
+            Some(FaultKind::Corruption)
+        );
+    }
+
+    #[test]
+    fn transient_only_plan_skips_seal_and_attestation() {
+        let injector = FaultPlan::transient_only(4, 1.0, 100).build();
+        assert!(drive(&injector, FaultSite::Seal, 30)
+            .iter()
+            .all(Option::is_none));
+        assert!(drive(&injector, FaultSite::Unseal, 30)
+            .iter()
+            .all(Option::is_none));
+        assert!(drive(&injector, FaultSite::AttestationVerify, 30)
+            .iter()
+            .all(Option::is_none));
+        assert_eq!(
+            injector.inject(FaultSite::EcallEnter),
+            Some(FaultKind::Transient)
+        );
+        assert_eq!(
+            injector.inject(FaultSite::EpcLoad),
+            Some(FaultKind::Pressure)
+        );
+    }
+
+    #[test]
+    fn recovery_events_are_recorded_in_order() {
+        let injector = FaultPlan::new(2).build();
+        injector.on_recovery(RecoveryEvent::Retry {
+            site: FaultSite::EcallEnter,
+            attempt: 0,
+            backoff_ns: 500,
+        });
+        injector.on_recovery(RecoveryEvent::Recovered {
+            site: FaultSite::EcallEnter,
+            attempts: 2,
+        });
+        let report = injector.report();
+        assert_eq!(report.retries(), 1);
+        assert!(matches!(
+            report.events[1],
+            ChaosEvent::Recovery(RecoveryEvent::Recovered { attempts: 2, .. })
+        ));
+    }
+}

@@ -1,0 +1,252 @@
+//! The chaos record: every injected fault and every recovery decision, in
+//! order, with a byte-stable JSON encoding tests and CI artifacts rely on.
+
+use crate::{FaultKind, FaultSite};
+
+/// A recovery decision made by the framework in response to faults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryEvent {
+    /// A transient failure is being retried after a deterministic backoff.
+    Retry {
+        /// Site whose fault triggered the retry.
+        site: FaultSite,
+        /// Attempt number being retried (0 = the first attempt failed).
+        attempt: u32,
+        /// Deterministic backoff charged before the retry, in nanoseconds.
+        backoff_ns: u64,
+    },
+    /// An operation succeeded after one or more retries.
+    Recovered {
+        /// Site whose fault was recovered from.
+        site: FaultSite,
+        /// Total attempts used (≥ 2).
+        attempts: u32,
+    },
+    /// The bounded retry budget was exhausted; the error propagated.
+    RetriesExhausted {
+        /// Site whose fault exhausted the budget.
+        site: FaultSite,
+        /// Total attempts made.
+        attempts: u32,
+    },
+    /// The service re-provisioned (fresh enclave, deterministic key
+    /// regeneration) — the sealed-state corruption path.
+    Reprovisioned {
+        /// Why (e.g. `"sealed-state corruption"`).
+        reason: &'static str,
+    },
+    /// The session fell back to the degraded pure-HE evaluation.
+    Degraded {
+        /// Why (e.g. `"enclave unavailable"`).
+        reason: &'static str,
+    },
+}
+
+/// One entry in a [`FaultReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// The injector fired a fault.
+    Injected {
+        /// Where.
+        site: FaultSite,
+        /// Zero-based consultation index at that site when the fault fired.
+        occurrence: u64,
+        /// What kind of fault.
+        kind: FaultKind,
+    },
+    /// The recovery layer reported a decision.
+    Recovery(RecoveryEvent),
+}
+
+/// The ordered record of a chaos run.
+///
+/// Events appear in the order they happened on the (serial) consultation
+/// path, so for a fixed [`crate::FaultPlan`] seed the report — including its
+/// [`FaultReport::to_json`] bytes — is identical across runs and worker-pool
+/// sizes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultReport {
+    /// All events, in order.
+    pub events: Vec<ChaosEvent>,
+}
+
+impl FaultReport {
+    /// Number of injected faults at `site`.
+    pub fn injected_at(&self, site: FaultSite) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, ChaosEvent::Injected { site: s, .. } if *s == site))
+            .count() as u64
+    }
+
+    /// Total injected faults across all sites.
+    pub fn injected_total(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, ChaosEvent::Injected { .. }))
+            .count() as u64
+    }
+
+    /// The distinct sites that had at least one injected fault, in
+    /// [`FaultSite::ALL`] order.
+    pub fn sites_injected(&self) -> Vec<FaultSite> {
+        FaultSite::ALL
+            .iter()
+            .copied()
+            .filter(|&s| self.injected_at(s) > 0)
+            .collect()
+    }
+
+    /// Whether the report contains a [`RecoveryEvent::Reprovisioned`] entry.
+    pub fn reprovisioned(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, ChaosEvent::Recovery(RecoveryEvent::Reprovisioned { .. })))
+    }
+
+    /// Whether the report contains a [`RecoveryEvent::Degraded`] entry.
+    pub fn degraded(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, ChaosEvent::Recovery(RecoveryEvent::Degraded { .. })))
+    }
+
+    /// Number of [`RecoveryEvent::Retry`] entries.
+    pub fn retries(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, ChaosEvent::Recovery(RecoveryEvent::Retry { .. })))
+            .count() as u64
+    }
+
+    /// Deterministic JSON encoding of the report.
+    ///
+    /// Hand-rolled (the workspace vendors no JSON serializer) and byte-stable:
+    /// field order is fixed, all values are integers or static strings, and
+    /// no timestamps or addresses are included. Equal reports encode to equal
+    /// bytes, which is how the chaos suite and the CI artifact compare runs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.events.len() * 64);
+        out.push_str("{\"events\":[");
+        for (i, event) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match event {
+                ChaosEvent::Injected {
+                    site,
+                    occurrence,
+                    kind,
+                } => {
+                    out.push_str(&format!(
+                        "{{\"type\":\"injected\",\"site\":\"{}\",\"occurrence\":{},\"kind\":\"{}\"}}",
+                        site.name(),
+                        occurrence,
+                        kind.name()
+                    ));
+                }
+                ChaosEvent::Recovery(r) => match r {
+                    RecoveryEvent::Retry {
+                        site,
+                        attempt,
+                        backoff_ns,
+                    } => out.push_str(&format!(
+                        "{{\"type\":\"retry\",\"site\":\"{}\",\"attempt\":{},\"backoff_ns\":{}}}",
+                        site.name(),
+                        attempt,
+                        backoff_ns
+                    )),
+                    RecoveryEvent::Recovered { site, attempts } => out.push_str(&format!(
+                        "{{\"type\":\"recovered\",\"site\":\"{}\",\"attempts\":{}}}",
+                        site.name(),
+                        attempts
+                    )),
+                    RecoveryEvent::RetriesExhausted { site, attempts } => out.push_str(&format!(
+                        "{{\"type\":\"retries-exhausted\",\"site\":\"{}\",\"attempts\":{}}}",
+                        site.name(),
+                        attempts
+                    )),
+                    RecoveryEvent::Reprovisioned { reason } => out.push_str(&format!(
+                        "{{\"type\":\"reprovisioned\",\"reason\":\"{reason}\"}}"
+                    )),
+                    RecoveryEvent::Degraded { reason } => out.push_str(&format!(
+                        "{{\"type\":\"degraded\",\"reason\":\"{reason}\"}}"
+                    )),
+                },
+            }
+        }
+        out.push_str("],\"injected_total\":");
+        out.push_str(&self.injected_total().to_string());
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FaultReport {
+        FaultReport {
+            events: vec![
+                ChaosEvent::Injected {
+                    site: FaultSite::EcallEnter,
+                    occurrence: 3,
+                    kind: FaultKind::Transient,
+                },
+                ChaosEvent::Recovery(RecoveryEvent::Retry {
+                    site: FaultSite::EcallEnter,
+                    attempt: 0,
+                    backoff_ns: 1_000_000,
+                }),
+                ChaosEvent::Recovery(RecoveryEvent::Recovered {
+                    site: FaultSite::EcallEnter,
+                    attempts: 2,
+                }),
+                ChaosEvent::Injected {
+                    site: FaultSite::Seal,
+                    occurrence: 0,
+                    kind: FaultKind::Corruption,
+                },
+                ChaosEvent::Recovery(RecoveryEvent::Reprovisioned {
+                    reason: "sealed-state corruption",
+                }),
+            ],
+        }
+    }
+
+    #[test]
+    fn counts_and_site_queries() {
+        let r = sample();
+        assert_eq!(r.injected_total(), 2);
+        assert_eq!(r.injected_at(FaultSite::EcallEnter), 1);
+        assert_eq!(r.injected_at(FaultSite::Unseal), 0);
+        assert_eq!(
+            r.sites_injected(),
+            vec![FaultSite::EcallEnter, FaultSite::Seal]
+        );
+        assert!(r.reprovisioned());
+        assert!(!r.degraded());
+        assert_eq!(r.retries(), 1);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_well_formed() {
+        let a = sample().to_json();
+        let b = sample().to_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"events\":["));
+        assert!(a.contains("\"type\":\"injected\""));
+        assert!(a.contains("\"site\":\"ecall-enter\""));
+        assert!(a.contains("\"type\":\"reprovisioned\""));
+        assert!(a.ends_with("\"injected_total\":2}"));
+    }
+
+    #[test]
+    fn empty_report_encodes() {
+        assert_eq!(
+            FaultReport::default().to_json(),
+            "{\"events\":[],\"injected_total\":0}"
+        );
+    }
+}

@@ -29,6 +29,53 @@ pub enum Error {
     Internal(&'static str),
 }
 
+/// How the recovery layer should treat a failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Retrying the operation can succeed (an interrupted ECALL, a dropped
+    /// refresh request, an attestation-service timeout).
+    Transient,
+    /// The enclave's sealed state is unusable; re-provisioning (fresh enclave,
+    /// deterministic key regeneration) can recover.
+    SealedState,
+    /// A property of the inputs, configuration, or code — retrying or
+    /// re-provisioning will reproduce it.
+    Fatal,
+}
+
+impl Error {
+    /// Classifies the error for the recovery ladder.
+    ///
+    /// The outer match is intentionally exhaustive (no `_` arm): a new
+    /// variant that skips classification is a compile error. TEE errors
+    /// delegate to [`TeeError::is_transient`], whose own match is exhaustive,
+    /// so the guarantee spans both crates.
+    pub fn classify(&self) -> FaultClass {
+        match self {
+            Error::Tee(e) if e.is_transient() => FaultClass::Transient,
+            Error::Tee(TeeError::SealedBlobCorrupted) => FaultClass::SealedState,
+            Error::Tee(_)
+            | Error::He(_)
+            | Error::RangeViolation(_)
+            | Error::Config(_)
+            | Error::Internal(_) => FaultClass::Fatal,
+        }
+    }
+
+    /// Whether retrying the failed operation can succeed.
+    pub fn is_transient(&self) -> bool {
+        self.classify() == FaultClass::Transient
+    }
+
+    /// The fault site behind a transient interruption, if any.
+    pub fn fault_site(&self) -> Option<hesgx_chaos::FaultSite> {
+        match self {
+            Error::Tee(e) => e.fault_site(),
+            _ => None,
+        }
+    }
+}
+
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -91,5 +138,51 @@ mod tests {
         let err = Error::Tee(TeeError::UnknownPlatform);
         assert!(err.source().is_some());
         assert!(Error::Config("x".into()).source().is_none());
+    }
+
+    /// One representative `Error` per variant (and per interesting TEE
+    /// sub-case). The `match` inside `classify` is the real exhaustiveness
+    /// guarantee — this test pins the verdicts so a refactor can't silently
+    /// flip one.
+    #[test]
+    fn every_variant_is_classified() {
+        use hesgx_bfv::error::BfvError;
+        use hesgx_chaos::FaultSite;
+
+        let cases: Vec<(Error, FaultClass)> = vec![
+            (
+                Error::Tee(TeeError::Interrupted(FaultSite::EcallEnter)),
+                FaultClass::Transient,
+            ),
+            (
+                Error::Tee(TeeError::Interrupted(FaultSite::NoiseRefresh)),
+                FaultClass::Transient,
+            ),
+            (
+                Error::Tee(TeeError::SealedBlobCorrupted),
+                FaultClass::SealedState,
+            ),
+            (Error::Tee(TeeError::UnknownPlatform), FaultClass::Fatal),
+            (
+                Error::Tee(TeeError::QuoteSignatureInvalid),
+                FaultClass::Fatal,
+            ),
+            (Error::He(BfvError::ContextMismatch), FaultClass::Fatal),
+            (Error::RangeViolation(1 << 40), FaultClass::Fatal),
+            (Error::Config("bad".into()), FaultClass::Fatal),
+            (Error::Internal("oops"), FaultClass::Fatal),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.classify(), expected, "misclassified: {err}");
+            assert_eq!(err.is_transient(), expected == FaultClass::Transient);
+        }
+    }
+
+    #[test]
+    fn fault_site_surfaces_through_the_wrapper() {
+        use hesgx_chaos::FaultSite;
+        let err = Error::Tee(TeeError::Interrupted(FaultSite::EcallExit));
+        assert_eq!(err.fault_site(), Some(FaultSite::EcallExit));
+        assert_eq!(Error::Internal("x").fault_site(), None);
     }
 }

@@ -141,9 +141,10 @@ pub fn verify_key_ceremony(
     Ok(ceremony.public.clone())
 }
 
-/// Seals the secret keys to the enclave identity for persistence across
-/// restarts (returns the sealed blob the untrusted side may store).
-pub fn seal_secret_keys(enclave: &Enclave, secret: &[SecretKey]) -> hesgx_tee::sealing::SealedBlob {
+/// Canonical byte encoding of the secret keys — what gets sealed, and what
+/// [`crate::pipeline::HybridInference::verify_sealed_state`] compares an
+/// unsealed blob against.
+pub(crate) fn secret_key_bytes(secret: &[SecretKey]) -> Vec<u8> {
     let mut bytes = Vec::new();
     for key in secret {
         bytes.extend_from_slice(key.context_id());
@@ -153,7 +154,13 @@ pub fn seal_secret_keys(enclave: &Enclave, secret: &[SecretKey]) -> hesgx_tee::s
             }
         }
     }
-    enclave.seal(&bytes).0
+    bytes
+}
+
+/// Seals the secret keys to the enclave identity for persistence across
+/// restarts (returns the sealed blob the untrusted side may store).
+pub fn seal_secret_keys(enclave: &Enclave, secret: &[SecretKey]) -> hesgx_tee::sealing::SealedBlob {
+    enclave.seal(&secret_key_bytes(secret)).0
 }
 
 #[cfg(test)]

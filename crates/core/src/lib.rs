@@ -68,23 +68,27 @@ pub mod error;
 pub mod keydist;
 pub mod pipeline;
 pub mod planner;
+pub mod recovery;
 pub mod session;
 pub mod sgx_ops;
 
-pub use error::{Error, Result};
+pub use error::{Error, FaultClass, Result};
 pub use pipeline::{EcallBatching, HybridInference, HybridMetrics, ProvisionConfig};
 pub use planner::{InferencePlan, Placement, PoolStrategy};
-pub use session::{ParamsPreset, Session, SessionBuilder};
+pub use recovery::RecoveryPolicy;
+pub use session::{ParamsPreset, Served, Session, SessionBuilder};
 #[allow(deprecated)]
 pub use sgx_ops::HybridError;
 pub use sgx_ops::InferenceEnclave;
 
 /// The convenient single import: `use hesgx_core::prelude::*;`.
 pub mod prelude {
-    pub use crate::error::{Error, Result};
+    pub use crate::error::{Error, FaultClass, Result};
     pub use crate::pipeline::{EcallBatching, HybridInference, HybridMetrics, ProvisionConfig};
     pub use crate::planner::PoolStrategy;
-    pub use crate::session::{ParamsPreset, Session, SessionBuilder};
+    pub use crate::recovery::RecoveryPolicy;
+    pub use crate::session::{ParamsPreset, Served, Session, SessionBuilder};
+    pub use hesgx_chaos::{FaultPlan, FaultReport, FaultSite};
     pub use hesgx_henn::par::ParExec;
     pub use hesgx_nn::layers::ActivationKind;
     pub use hesgx_nn::quantize::{QuantPipeline, QuantizedCnn};

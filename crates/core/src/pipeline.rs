@@ -6,9 +6,14 @@
 //! virtual-time metrics are collected for the Fig. 8 comparison.
 
 use crate::error::{Error, Result};
-use crate::keydist::{enclave_generate_keys, KeyCeremonyPublic};
+use crate::keydist::{
+    enclave_generate_keys, seal_secret_keys, secret_key_bytes, KeyCeremonyPublic,
+};
 use crate::planner::{plan_for, InferencePlan, PoolStrategy};
+use crate::recovery::RecoveryPolicy;
 use crate::sgx_ops::{sum_costs, InferenceEnclave};
+use hesgx_bfv::prelude::EvaluationKeys;
+use hesgx_chaos::FaultHook;
 use hesgx_crypto::rng::ChaChaRng;
 use hesgx_henn::crt::{CrtCiphertext, CrtPlainSystem};
 use hesgx_henn::image::EncryptedMap;
@@ -18,6 +23,8 @@ use hesgx_nn::layers::ActivationKind;
 use hesgx_nn::quantize::{QuantPipeline, QuantizedCnn};
 use hesgx_tee::cost::{CostBreakdown, CostModel};
 use hesgx_tee::enclave::{EnclaveBuilder, Platform};
+use hesgx_tee::error::TeeError;
+use hesgx_tee::sealing::SealedBlob;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -96,6 +103,17 @@ pub struct ProvisionConfig {
     pub threads: usize,
     /// Pooling split override; `None` applies the §VI-D window rule.
     pub pool_strategy: Option<PoolStrategy>,
+    /// Bounded-retry policy for transient enclave-boundary faults.
+    pub recovery: RecoveryPolicy,
+    /// Fault-injection hook threaded through every enclave boundary (ECALL
+    /// entry/exit, EPC paging, seal/unseal, noise refresh). `None` runs
+    /// fault-free with zero overhead on the hot paths.
+    pub fault_hook: Option<Arc<dyn FaultHook>>,
+    /// Inserts an explicit in-enclave noise-refresh stage between pooling
+    /// and the fully connected layer (`ecall_DecreaseNoise`, §IV-E). Off by
+    /// default: the paper's four-stage pipeline does not need it at MNIST
+    /// depth.
+    pub refresh_between_stages: bool,
 }
 
 impl Default for ProvisionConfig {
@@ -106,6 +124,9 @@ impl Default for ProvisionConfig {
             cost_model: None,
             threads: 0,
             pool_strategy: None,
+            recovery: RecoveryPolicy::default(),
+            fault_hook: None,
+            refresh_between_stages: false,
         }
     }
 }
@@ -119,6 +140,14 @@ pub struct HybridInference {
     plan: InferencePlan,
     activation: ActivationKind,
     pool: ParExec,
+    /// Evaluation keys for the pure-HE degraded path (square activation
+    /// needs relinearization). Private on purpose: the secret-hygiene lint
+    /// forbids evaluation keys in public signatures outside bfv/henn.
+    evaluation: Vec<EvaluationKeys>,
+    /// Sealed copy of the secret keys (restart persistence, §IV-A step 2);
+    /// probed by [`HybridInference::verify_sealed_state`].
+    sealed_keys: SealedBlob,
+    refresh_between_stages: bool,
 }
 
 impl HybridInference {
@@ -154,20 +183,33 @@ impl HybridInference {
         if let Some(cost_model) = config.cost_model {
             builder = builder.cost_model(cost_model);
         }
+        if let Some(hook) = &config.fault_hook {
+            builder = builder.fault_hook(hook.clone());
+        }
         let enclave = builder.build(platform);
         let mut rng = ChaChaRng::from_seed(config.seed).fork("provision");
         let (keys, ceremony) = enclave_generate_keys(&enclave, &sys, &mut rng)?;
+        // Seal the secret keys right after the ceremony; a corrupted seal
+        // (crash mid-write, injected fault) is only *detected* at the next
+        // unseal, which is exactly what verify_sealed_state probes.
+        let sealed_keys = seal_secret_keys(&enclave, &keys.secret);
         let mut plan = plan_for(&model);
         if let Some(strategy) = config.pool_strategy {
             plan.pool_strategy = strategy;
         }
+        let mut inference =
+            InferenceEnclave::new(enclave, keys.secret, keys.public, config.seed ^ 0x1ee7);
+        inference.set_recovery_policy(config.recovery);
         let service = HybridInference {
             sys,
-            enclave: InferenceEnclave::new(enclave, keys.secret, keys.public, config.seed ^ 0x1ee7),
+            enclave: inference,
             model,
             plan,
             activation: ActivationKind::Sigmoid,
             pool: ParExec::new(config.threads),
+            evaluation: keys.evaluation,
+            sealed_keys,
+            refresh_between_stages: config.refresh_between_stages,
         };
         Ok((service, ceremony))
     }
@@ -342,6 +384,25 @@ impl HybridInference {
             enclave: Some(pool_cost),
         });
 
+        // Optional noise refresh — decrypt–re-encrypt inside the enclave
+        // (§IV-E) between pooling and the FC layer, resetting invariant
+        // noise without relinearization keys.
+        let pooled = if self.refresh_between_stages {
+            let start = Instant::now();
+            let (fresh, cost) =
+                self.enclave
+                    .refresh_batch_par(&self.sys, pooled.cells(), &self.pool)?;
+            let (c, h, w) = pooled.shape();
+            metrics.stages.push(StageMetrics {
+                name: "Noise Refresh (SGX inside)".into(),
+                wall: start.elapsed(),
+                enclave: Some(cost),
+            });
+            EncryptedMap::new(c, h, w, fresh)
+        } else {
+            pooled
+        };
+
         // 4. Fully connected layer — HE outside SGX, parallel over
         // classes × CRT limbs.
         let start = Instant::now();
@@ -366,6 +427,114 @@ impl HybridInference {
     /// Total enclave cost accumulated on this service's virtual clock.
     pub fn enclave_virtual_time(&self) -> Duration {
         self.enclave.enclave().vclock().elapsed()
+    }
+
+    /// Unseals the stored secret-key blob and checks it still decodes to the
+    /// enclave-resident keys — the recovery ladder's sealed-state probe.
+    ///
+    /// # Errors
+    ///
+    /// A corrupted blob (crash mid-seal, injected [`hesgx_chaos::FaultSite::Seal`]
+    /// or [`hesgx_chaos::FaultSite::Unseal`] fault) surfaces as
+    /// [`TeeError::SealedBlobCorrupted`], which classifies as
+    /// [`crate::error::FaultClass::SealedState`] and tells the session layer
+    /// to re-provision rather than retry.
+    pub fn verify_sealed_state(&self) -> Result<CostBreakdown> {
+        let (restored, cost) = self.enclave.enclave().unseal(&self.sealed_keys);
+        let bytes = restored.map_err(Error::Tee)?;
+        if bytes != secret_key_bytes(self.enclave.secret_keys()) {
+            return Err(Error::Tee(TeeError::SealedBlobCorrupted));
+        }
+        Ok(cost)
+    }
+
+    /// The pure-HE degraded fallback: when the enclave is unavailable
+    /// (transient retries exhausted), linear layers run as usual but the
+    /// exact in-enclave sigmoid is replaced by the CryptoNets-style square
+    /// activation under the ceremony's evaluation keys, and mean pooling
+    /// stays a homomorphic window sum (no division without the enclave).
+    ///
+    /// The logits therefore sit on a different fixed-point scale than the
+    /// exact path — the caller gets a ranking-quality prediction, not the
+    /// bit-exact reference. [`crate::session::Served::Degraded`] marks such
+    /// results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates HE failures.
+    pub fn infer_degraded(
+        &self,
+        input: &EncryptedMap,
+    ) -> Result<(Vec<CrtCiphertext>, HybridMetrics)> {
+        let mut metrics = HybridMetrics {
+            threads: self.pool.threads(),
+            ..HybridMetrics::default()
+        };
+        let m = &self.model;
+
+        let start = Instant::now();
+        let conv = ops::he_conv2d_par(
+            &self.sys,
+            input,
+            &m.conv_weights,
+            &m.conv_bias,
+            m.conv_out,
+            m.kernel,
+            1,
+            &mut metrics.ops,
+            &self.pool,
+        )?;
+        metrics.stages.push(StageMetrics {
+            name: "Convolutional Layer (HE outside)".into(),
+            wall: start.elapsed(),
+            enclave: None,
+        });
+
+        let start = Instant::now();
+        let activated = ops::he_square_activation_par(
+            &self.sys,
+            &conv,
+            &self.evaluation,
+            &mut metrics.ops,
+            &self.pool,
+        )?;
+        metrics.stages.push(StageMetrics {
+            name: "Square Activation (HE fallback)".into(),
+            wall: start.elapsed(),
+            enclave: None,
+        });
+
+        let start = Instant::now();
+        let pooled = ops::he_scaled_mean_pool_par(
+            &self.sys,
+            &activated,
+            m.window,
+            &mut metrics.ops,
+            &self.pool,
+        )?;
+        metrics.stages.push(StageMetrics {
+            name: "Scaled Mean Pool (HE fallback)".into(),
+            wall: start.elapsed(),
+            enclave: None,
+        });
+
+        let start = Instant::now();
+        let logits = ops::he_fully_connected_par(
+            &self.sys,
+            &pooled,
+            &m.fc_weights,
+            &m.fc_bias,
+            m.classes,
+            &mut metrics.ops,
+            &self.pool,
+        )?;
+        metrics.stages.push(StageMetrics {
+            name: "Fully Connected Layer (HE outside)".into(),
+            wall: start.elapsed(),
+            enclave: None,
+        });
+
+        Ok((logits, metrics))
     }
 }
 

@@ -1,0 +1,251 @@
+//! Bounded-retry recovery for transient enclave faults.
+//!
+//! The recovery ladder (DESIGN.md §11) starts here: a transient failure —
+//! an interrupted ECALL, a dropped noise-refresh request, an attestation
+//! timeout — is retried up to [`RecoveryPolicy::max_retries`] times with a
+//! deterministic exponential backoff. Every attempt's enclave cost is summed
+//! into the returned [`CostBreakdown`], so retried transitions stay on the
+//! books (the `ecall-cost` lint audits this file). Retry decisions are
+//! reported to the installed [`FaultHook`] so a chaos run's `FaultReport`
+//! records exactly what the recovery layer did.
+//!
+//! The backoff is *logical*: it is recorded in the report and charged
+//! nowhere, because sleeping in a simulator proves nothing and would couple
+//! the report to wall-clock time. Determinism of the report across runs and
+//! thread counts is the contract the chaos property tests pin.
+
+use crate::error::Result;
+use crate::sgx_ops::sum_costs;
+use hesgx_chaos::{FaultHook, FaultSite, RecoveryEvent};
+use hesgx_tee::cost::CostBreakdown;
+
+/// How transient faults are retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Maximum retries after the first failed attempt (so an operation runs
+    /// at most `max_retries + 1` times). Zero disables retry.
+    pub max_retries: u32,
+    /// Base of the exponential backoff: retry `n` (zero-based) backs off
+    /// `backoff_base_ns << n` nanoseconds.
+    pub backoff_base_ns: u64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 3,
+            backoff_base_ns: 1_000_000,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// A policy that never retries: the first failure propagates.
+    // hesgx-lint: allow(ecall-cost, reason = "constructor; performs no enclave computation")
+    pub fn none() -> Self {
+        RecoveryPolicy {
+            max_retries: 0,
+            backoff_base_ns: 0,
+        }
+    }
+
+    /// Deterministic backoff before retry `attempt` (zero-based):
+    /// `backoff_base_ns << attempt`, saturating.
+    // hesgx-lint: allow(ecall-cost, reason = "pure arithmetic; performs no enclave computation")
+    pub fn backoff_ns(&self, attempt: u32) -> u64 {
+        if attempt >= 64 {
+            return u64::MAX;
+        }
+        self.backoff_base_ns.saturating_mul(1u64 << attempt)
+    }
+}
+
+/// Runs `op` under `policy`, retrying transient failures and summing the
+/// enclave cost of every attempt (failed attempts included — an aborted
+/// `EENTER` still crossed the boundary).
+///
+/// Fatal failures propagate immediately. Each retry and the final outcome
+/// (recovered / exhausted) is reported to `hook` as a [`RecoveryEvent`].
+pub fn retry_with_cost<T>(
+    policy: &RecoveryPolicy,
+    hook: Option<&dyn FaultHook>,
+    mut op: impl FnMut() -> (Result<T>, CostBreakdown),
+) -> (Result<T>, CostBreakdown) {
+    let mut total = CostBreakdown::default();
+    let mut attempts = 0u32;
+    let mut last_site: Option<FaultSite> = None;
+    loop {
+        let (result, cost) = op();
+        total = sum_costs(total, cost);
+        attempts += 1;
+        match result {
+            Ok(value) => {
+                if attempts > 1 {
+                    if let (Some(h), Some(site)) = (hook, last_site) {
+                        h.on_recovery(RecoveryEvent::Recovered { site, attempts });
+                    }
+                }
+                return (Ok(value), total);
+            }
+            Err(err) if err.is_transient() => {
+                // Transient errors always carry a site (only `Interrupted`
+                // classifies transient); default defensively anyway.
+                let site = err.fault_site().unwrap_or(FaultSite::EcallEnter);
+                last_site = Some(site);
+                let retry_index = attempts - 1;
+                if retry_index < policy.max_retries {
+                    if let Some(h) = hook {
+                        h.on_recovery(RecoveryEvent::Retry {
+                            site,
+                            attempt: retry_index,
+                            backoff_ns: policy.backoff_ns(retry_index),
+                        });
+                    }
+                    continue;
+                }
+                if let Some(h) = hook {
+                    h.on_recovery(RecoveryEvent::RetriesExhausted { site, attempts });
+                }
+                return (Err(err), total);
+            }
+            Err(err) => return (Err(err), total),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Error;
+    use hesgx_chaos::{ChaosEvent, FaultPlan};
+    use hesgx_tee::error::TeeError;
+    use std::sync::Arc;
+
+    fn transient() -> Error {
+        Error::Tee(TeeError::Interrupted(FaultSite::EcallEnter))
+    }
+
+    fn unit_cost() -> CostBreakdown {
+        CostBreakdown {
+            transition_ns: 10,
+            ..CostBreakdown::default()
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let p = RecoveryPolicy {
+            max_retries: 3,
+            backoff_base_ns: 1000,
+        };
+        assert_eq!(p.backoff_ns(0), 1000);
+        assert_eq!(p.backoff_ns(1), 2000);
+        assert_eq!(p.backoff_ns(2), 4000);
+        assert_eq!(p.backoff_ns(63), u64::MAX); // 1000 << 63 saturates
+        assert_eq!(p.backoff_ns(64), u64::MAX);
+        assert_eq!(RecoveryPolicy::none().backoff_ns(5), 0);
+    }
+
+    #[test]
+    fn first_try_success_sums_one_cost_and_reports_nothing() {
+        let recorder = Arc::new(FaultPlan::new(0).build());
+        let (res, cost) =
+            retry_with_cost(&RecoveryPolicy::default(), Some(recorder.as_ref()), || {
+                (Ok(42), unit_cost())
+            });
+        assert_eq!(res.ok(), Some(42));
+        assert_eq!(cost.transition_ns, 10);
+        assert!(recorder.report().events.is_empty());
+    }
+
+    #[test]
+    fn transient_failures_retry_then_recover() {
+        let recorder = Arc::new(FaultPlan::new(0).build());
+        let mut calls = 0;
+        let (res, cost) =
+            retry_with_cost(&RecoveryPolicy::default(), Some(recorder.as_ref()), || {
+                calls += 1;
+                if calls < 3 {
+                    (Err(transient()), unit_cost())
+                } else {
+                    (Ok("done"), unit_cost())
+                }
+            });
+        assert_eq!(res.ok(), Some("done"));
+        // Every attempt's boundary cost stays on the books.
+        assert_eq!(cost.transition_ns, 30);
+        let report = recorder.report();
+        assert_eq!(report.retries(), 2);
+        assert!(matches!(
+            report.events.last(),
+            Some(ChaosEvent::Recovery(RecoveryEvent::Recovered {
+                attempts: 3,
+                ..
+            }))
+        ));
+        // Backoff recorded for each retry is deterministic and exponential.
+        let backoffs: Vec<u64> = report
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                ChaosEvent::Recovery(RecoveryEvent::Retry { backoff_ns, .. }) => Some(*backoff_ns),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(backoffs, vec![1_000_000, 2_000_000]);
+    }
+
+    #[test]
+    fn exhaustion_propagates_the_error() {
+        let recorder = Arc::new(FaultPlan::new(0).build());
+        let policy = RecoveryPolicy {
+            max_retries: 2,
+            backoff_base_ns: 1,
+        };
+        let mut calls = 0;
+        let (res, cost) = retry_with_cost(&policy, Some(recorder.as_ref()), || {
+            calls += 1;
+            (Err::<(), _>(transient()), unit_cost())
+        });
+        assert!(res.is_err());
+        assert_eq!(calls, 3); // 1 attempt + 2 retries
+        assert_eq!(cost.transition_ns, 30);
+        let report = recorder.report();
+        assert!(matches!(
+            report.events.last(),
+            Some(ChaosEvent::Recovery(RecoveryEvent::RetriesExhausted {
+                attempts: 3,
+                ..
+            }))
+        ));
+    }
+
+    #[test]
+    fn fatal_errors_never_retry() {
+        let recorder = Arc::new(FaultPlan::new(0).build());
+        let mut calls = 0;
+        let (res, _) = retry_with_cost(&RecoveryPolicy::default(), Some(recorder.as_ref()), || {
+            calls += 1;
+            (Err::<(), _>(Error::Internal("broken")), unit_cost())
+        });
+        assert!(res.is_err());
+        assert_eq!(calls, 1);
+        assert!(recorder.report().events.is_empty());
+    }
+
+    #[test]
+    fn zero_retry_policy_fails_fast_but_reports_exhaustion() {
+        let recorder = Arc::new(FaultPlan::new(0).build());
+        let (res, _) = retry_with_cost(&RecoveryPolicy::none(), Some(recorder.as_ref()), || {
+            (Err::<(), _>(transient()), unit_cost())
+        });
+        assert!(res.is_err());
+        assert!(matches!(
+            recorder.report().events.last(),
+            Some(ChaosEvent::Recovery(RecoveryEvent::RetriesExhausted {
+                attempts: 1,
+                ..
+            }))
+        ));
+    }
+}

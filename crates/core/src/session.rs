@@ -8,6 +8,16 @@
 //! still travels encrypted through the real pipeline. Use the lower-level
 //! modules directly when the user and the server must be separate processes.
 //!
+//! The session is also where the recovery ladder (DESIGN.md §11) lives:
+//! transient enclave faults retry inside the pipeline under the
+//! [`RecoveryPolicy`], sealed-state corruption triggers a bounded
+//! re-provision (same seed → identical keys, so the user's material stays
+//! valid), and [`Session::infer_batch_resilient`] falls back to the pure-HE
+//! square-activation path — marked [`Served::Degraded`] — when retries are
+//! exhausted. Install a [`FaultPlan`] with [`SessionBuilder::chaos`] to drive
+//! every one of those paths deterministically and read the resulting
+//! [`FaultReport`] back via [`Session::fault_report`].
+//!
 //! ```
 //! use hesgx_core::prelude::*;
 //!
@@ -35,18 +45,22 @@
 //! # }
 //! ```
 
-use crate::error::{Error, Result};
-use crate::keydist::KeyCeremonyPublic;
+use crate::error::{Error, FaultClass, Result};
+use crate::keydist::{verify_key_ceremony, KeyCeremonyPublic};
 use crate::pipeline::{EcallBatching, HybridInference, HybridMetrics, ProvisionConfig};
 use crate::planner::PoolStrategy;
+use crate::recovery::{retry_with_cost, RecoveryPolicy};
+use hesgx_chaos::{FaultHook, FaultInjector, FaultPlan, FaultReport, RecoveryEvent};
 use hesgx_crypto::rng::ChaChaRng;
+use hesgx_henn::crt::CrtCiphertext;
 use hesgx_henn::image::EncryptedMap;
 use hesgx_henn::par::ParExec;
 use hesgx_nn::layers::ActivationKind;
 use hesgx_nn::quantize::QuantizedCnn;
-use hesgx_tee::cost::CostModel;
+use hesgx_tee::attestation::AttestationService;
+use hesgx_tee::cost::{CostBreakdown, CostModel};
 use hesgx_tee::enclave::Platform;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use std::sync::Arc;
 
 /// FV parameter presets for [`SessionBuilder::params`].
@@ -70,6 +84,23 @@ impl ParamsPreset {
     }
 }
 
+/// How a [`Session::infer_batch_resilient`] request was ultimately served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Served {
+    /// The full hybrid pipeline ran: logits are bit-identical to
+    /// [`QuantizedCnn::forward_ints`].
+    Exact,
+    /// Transient-fault retries were exhausted and the pure-HE
+    /// square-activation fallback answered instead. The logits sit on a
+    /// different fixed-point scale — a ranking-quality prediction, not the
+    /// exact reference.
+    Degraded,
+}
+
+/// Bound on sealed-state re-provisions per recovery episode: one corruption
+/// is recoverable, a second in a row means the environment is hostile.
+const MAX_REPROVISIONS: u32 = 2;
+
 /// Builder for [`Session`]; every knob has a paper-faithful default.
 #[derive(Debug, Clone)]
 pub struct SessionBuilder {
@@ -80,6 +111,9 @@ pub struct SessionBuilder {
     threads: usize,
     seed: u64,
     batching: EcallBatching,
+    recovery: RecoveryPolicy,
+    chaos: Option<FaultPlan>,
+    noise_refresh: bool,
 }
 
 impl Default for SessionBuilder {
@@ -92,6 +126,9 @@ impl Default for SessionBuilder {
             threads: 0,
             seed: 0,
             batching: EcallBatching::Batched,
+            recovery: RecoveryPolicy::default(),
+            chaos: None,
+            noise_refresh: false,
         }
     }
 }
@@ -158,14 +195,43 @@ impl SessionBuilder {
         self
     }
 
-    /// Provisions the service on `platform`, runs the key ceremony, and
-    /// returns the ready session.
+    /// Sets the bounded-retry policy for transient enclave faults.
+    #[must_use]
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan: the built session
+    /// threads the plan's [`FaultInjector`] through every enclave boundary
+    /// (ECALL entry/exit, EPC paging, seal/unseal, attestation verification,
+    /// noise refresh) and exposes the accumulated [`FaultReport`] via
+    /// [`Session::fault_report`]. The same plan seed always produces the
+    /// same report, for every thread count.
+    #[must_use]
+    pub fn chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Inserts an explicit in-enclave noise-refresh stage between pooling
+    /// and the fully connected layer (`ecall_DecreaseNoise`, §IV-E), adding
+    /// a fifth stage to the metrics.
+    #[must_use]
+    pub fn noise_refresh(mut self, enabled: bool) -> Self {
+        self.noise_refresh = enabled;
+        self
+    }
+
+    /// Provisions the service on `platform`, runs the key ceremony,
+    /// verifies the attested quote (retrying transient attestation faults
+    /// under the recovery policy), and returns the ready session.
     ///
     /// # Errors
     ///
     /// Returns [`Error::Config`] for invalid parameters (non-power-of-two
     /// degree, model quantized for another pipeline) and propagates HE/TEE
-    /// provisioning failures.
+    /// provisioning and attestation failures.
     pub fn build(self, platform: Arc<Platform>, model: QuantizedCnn) -> Result<Session> {
         let poly_degree = self.preset.poly_degree();
         if poly_degree < 2 || !poly_degree.is_power_of_two() {
@@ -173,39 +239,75 @@ impl SessionBuilder {
                 "polynomial degree must be a power of two >= 2, got {poly_degree}"
             )));
         }
-        let (mut service, ceremony) = HybridInference::provision_with(
-            platform,
-            model,
-            ProvisionConfig {
-                poly_degree,
-                seed: self.seed,
-                cost_model: self.cost_model,
-                threads: self.threads,
-                pool_strategy: self.pool_strategy,
-            },
-        )?;
+        let chaos = self.chaos.map(|plan| Arc::new(plan.build()));
+        let config = ProvisionConfig {
+            poly_degree,
+            seed: self.seed,
+            cost_model: self.cost_model,
+            threads: self.threads,
+            pool_strategy: self.pool_strategy,
+            recovery: self.recovery,
+            fault_hook: chaos.clone().map(|injector| injector as Arc<dyn FaultHook>),
+            refresh_between_stages: self.noise_refresh,
+        };
+        let (mut service, ceremony) =
+            HybridInference::provision_with(platform.clone(), model.clone(), config.clone())?;
         service.set_activation(self.activation);
+
+        // The user role verifies the quote before trusting the keys (§IV-A).
+        // An injected attestation-verification fault is transient — the
+        // verifier re-contacts the attestation service — so it rides the
+        // same bounded retry as every other transient fault.
+        let mut attestation = AttestationService::new();
+        attestation.register_platform(platform.quoting_enclave());
+        if let Some(injector) = &chaos {
+            attestation.set_fault_hook(injector.clone());
+        }
+        let measurement = *service.enclave().enclave().measurement();
+        let hook = chaos.as_ref().map(|c| c.as_ref() as &dyn FaultHook);
+        let (verified, _cost) = retry_with_cost(&self.recovery, hook, || {
+            let res = verify_key_ceremony(&attestation, &ceremony, &measurement)
+                .map(|_| ())
+                .map_err(Error::Tee);
+            (res, CostBreakdown::default())
+        });
+        verified?;
+
         let pool = ParExec::new(self.threads);
         Ok(Session {
-            service,
+            service: RwLock::new(service),
             ceremony,
             batching: self.batching,
             rng: Mutex::new(ChaChaRng::from_seed(self.seed).fork("session-client")),
             pool,
             last_metrics: Mutex::new(None),
+            platform,
+            model,
+            config,
+            activation: self.activation,
+            chaos,
         })
     }
 }
 
-/// A provisioned inference session: encrypt → hybrid pipeline → decrypt.
+/// A provisioned inference session: encrypt → hybrid pipeline → decrypt,
+/// with the recovery ladder wrapped around the pipeline.
 #[derive(Debug)]
 pub struct Session {
-    service: HybridInference,
+    service: RwLock<HybridInference>,
     ceremony: KeyCeremonyPublic,
     batching: EcallBatching,
     rng: Mutex<ChaChaRng>,
     pool: ParExec,
     last_metrics: Mutex<Option<HybridMetrics>>,
+    /// Everything needed to re-provision after sealed-state corruption:
+    /// same platform + model + config (same seed) rebuilds identical keys,
+    /// so the user's ceremony material stays valid across the swap.
+    platform: Arc<Platform>,
+    model: QuantizedCnn,
+    config: ProvisionConfig,
+    activation: ActivationKind,
+    chaos: Option<Arc<FaultInjector>>,
 }
 
 impl Session {
@@ -225,15 +327,98 @@ impl Session {
     /// (the batch rides the SIMD slots, amortizing every per-ciphertext
     /// cost as in the paper's §V-B) and returns one logit row per image.
     ///
+    /// Transient faults retry inside the pipeline; sealed-state corruption
+    /// triggers a bounded re-provision and the batch runs again. Exhausted
+    /// retries propagate as an error — use
+    /// [`Session::infer_batch_resilient`] to degrade instead of failing.
+    ///
     /// # Errors
     ///
     /// Returns [`Error::Config`] for an empty or oversized batch and
     /// propagates HE/TEE failures.
     pub fn infer_batch(&self, images: &[Vec<i64>]) -> Result<Vec<Vec<i64>>> {
+        let enc = self.encrypt_batch(images)?;
+        let mut reprovisions = 0u32;
+        loop {
+            match self.run_exact(&enc, images.len()) {
+                Ok(rows) => return Ok(rows),
+                Err(err)
+                    if err.classify() == FaultClass::SealedState
+                        && reprovisions < MAX_REPROVISIONS =>
+                {
+                    self.reprovision("sealed-state corruption detected during inference")?;
+                    reprovisions += 1;
+                }
+                Err(err) => return Err(err),
+            }
+        }
+    }
+
+    /// Like [`Session::infer_batch`], but degrades instead of failing when
+    /// the enclave stays unavailable: once the pipeline's bounded retries
+    /// are exhausted, the pure-HE square-activation fallback answers and
+    /// the result is marked [`Served::Degraded`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for an empty or oversized batch, and
+    /// propagates fatal failures (including failures of the fallback
+    /// itself).
+    pub fn infer_batch_resilient(&self, images: &[Vec<i64>]) -> Result<(Vec<Vec<i64>>, Served)> {
+        let enc = self.encrypt_batch(images)?;
+        let mut reprovisions = 0u32;
+        loop {
+            match self.run_exact(&enc, images.len()) {
+                Ok(rows) => return Ok((rows, Served::Exact)),
+                Err(err) => match err.classify() {
+                    FaultClass::SealedState if reprovisions < MAX_REPROVISIONS => {
+                        self.reprovision("sealed-state corruption detected during inference")?;
+                        reprovisions += 1;
+                    }
+                    FaultClass::Transient => {
+                        // Bounded retries already ran (and were exhausted)
+                        // inside the pipeline; keep serving without SGX.
+                        if let Some(hook) = self.hook() {
+                            hook.on_recovery(RecoveryEvent::Degraded {
+                                reason: "transient retries exhausted; pure-HE square fallback",
+                            });
+                        }
+                        let (logits, metrics) = self.service.read().infer_degraded(&enc)?;
+                        *self.last_metrics.lock() = Some(metrics);
+                        let rows = self.decrypt_logits(&logits, images.len())?;
+                        return Ok((rows, Served::Degraded));
+                    }
+                    _ => return Err(err),
+                },
+            }
+        }
+    }
+
+    /// Probes the sealed secret-key blob (the recovery ladder's
+    /// sealed-state check) and heals by re-provisioning when it fails to
+    /// verify. Returns `true` when a re-provision was needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-sealed-state failures, and sealed-state failures that
+    /// persist after re-provisioning.
+    pub fn verify_sealed_state(&self) -> Result<bool> {
+        match self.service.read().verify_sealed_state() {
+            Ok(_) => return Ok(false),
+            Err(err) if err.classify() == FaultClass::SealedState => {}
+            Err(err) => return Err(err),
+        }
+        self.reprovision("sealed secret-key blob failed verification")?;
+        self.service.read().verify_sealed_state().map(|_| true)
+    }
+
+    /// Encrypts a batch after validating its shape.
+    fn encrypt_batch(&self, images: &[Vec<i64>]) -> Result<EncryptedMap> {
         if images.is_empty() {
             return Err(Error::Config("empty image batch".into()));
         }
-        let slots = self.service.system().slot_count();
+        let service = self.service.read();
+        let slots = service.system().slot_count();
         if images.len() > slots {
             return Err(Error::Config(format!(
                 "batch of {} exceeds the {} SIMD slots",
@@ -241,28 +426,35 @@ impl Session {
                 slots
             )));
         }
-        let side = self.service.model().in_side;
-        let enc = {
-            // Advance the client stream once per batch, then encrypt from a
-            // fork so the per-cell streams stay scheduling-independent.
-            let mut rng = self.rng.lock();
-            let batch_rng = rng.fork("batch");
-            rng.next_u64();
-            EncryptedMap::encrypt_images_par(
-                self.service.system(),
-                images,
-                side,
-                &self.ceremony.public,
-                &batch_rng,
-                &self.pool,
-            )?
-        };
-        let (logits, metrics) = self.service.infer(&enc, self.batching)?;
+        let side = service.model().in_side;
+        // Advance the client stream once per batch, then encrypt from a
+        // fork so the per-cell streams stay scheduling-independent.
+        let mut rng = self.rng.lock();
+        let batch_rng = rng.fork("batch");
+        rng.next_u64();
+        Ok(EncryptedMap::encrypt_images_par(
+            service.system(),
+            images,
+            side,
+            &self.ceremony.public,
+            &batch_rng,
+            &self.pool,
+        )?)
+    }
+
+    /// One exact-pipeline attempt over an already-encrypted batch.
+    fn run_exact(&self, enc: &EncryptedMap, batch: usize) -> Result<Vec<Vec<i64>>> {
+        let (logits, metrics) = self.service.read().infer(enc, self.batching)?;
         *self.last_metrics.lock() = Some(metrics);
-        let mut out = vec![Vec::with_capacity(logits.len()); images.len()];
-        for ct in &logits {
-            let slots = self
-                .service
+        self.decrypt_logits(&logits, batch)
+    }
+
+    /// Decrypts per-class logit ciphertexts into one row per batched image.
+    fn decrypt_logits(&self, logits: &[CrtCiphertext], batch: usize) -> Result<Vec<Vec<i64>>> {
+        let service = self.service.read();
+        let mut out = vec![Vec::with_capacity(logits.len()); batch];
+        for ct in logits {
+            let slots = service
                 .system()
                 .decrypt_slots(ct, &self.ceremony.user_secret)?;
             for (b, row) in out.iter_mut().enumerate() {
@@ -273,15 +465,52 @@ impl Session {
         Ok(out)
     }
 
+    /// Rebuilds the provisioned service from the stored platform + model +
+    /// config. Same seed → the key ceremony regenerates identical keys, so
+    /// everything the user already holds (public keys, secret copy, the
+    /// encrypted batch in flight) stays valid.
+    fn reprovision(&self, reason: &'static str) -> Result<()> {
+        let (mut service, ceremony) = HybridInference::provision_with(
+            self.platform.clone(),
+            self.model.clone(),
+            self.config.clone(),
+        )?;
+        service.set_activation(self.activation);
+        debug_assert_eq!(
+            ceremony.public, self.ceremony.public,
+            "same-seed re-provision must regenerate identical keys"
+        );
+        if let Some(hook) = self.hook() {
+            hook.on_recovery(RecoveryEvent::Reprovisioned { reason });
+        }
+        *self.service.write() = service;
+        Ok(())
+    }
+
+    fn hook(&self) -> Option<&dyn FaultHook> {
+        self.chaos.as_ref().map(|c| c.as_ref() as &dyn FaultHook)
+    }
+
+    /// The fault report accumulated by the installed chaos plan, if any.
+    pub fn fault_report(&self) -> Option<FaultReport> {
+        self.chaos.as_ref().map(|c| c.report())
+    }
+
+    /// Deterministic JSON encoding of [`Session::fault_report`].
+    pub fn fault_report_json(&self) -> Option<String> {
+        self.chaos.as_ref().map(|c| c.report_json())
+    }
+
     /// Metrics of the most recent [`Session::infer`]/[`Session::infer_batch`]
     /// run, if any.
     pub fn metrics(&self) -> Option<HybridMetrics> {
         self.last_metrics.lock().clone()
     }
 
-    /// The underlying provisioned service (plan, enclave, CRT system).
-    pub fn service(&self) -> &HybridInference {
-        &self.service
+    /// The underlying provisioned service (plan, enclave, CRT system). The
+    /// guard holds a shared lock: re-provisioning waits for it to drop.
+    pub fn service(&self) -> RwLockReadGuard<'_, HybridInference> {
+        self.service.read()
     }
 
     /// The attested key-ceremony material the user role holds.
@@ -291,7 +520,7 @@ impl Session {
 
     /// The quantized model served by this session.
     pub fn model(&self) -> &QuantizedCnn {
-        self.service.model()
+        &self.model
     }
 
     /// The HE worker-thread count.
@@ -303,6 +532,7 @@ impl Session {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hesgx_chaos::{ChaosEvent, FaultKind, FaultSite};
     use hesgx_nn::quantize::QuantPipeline;
 
     fn small_model() -> QuantizedCnn {
@@ -364,7 +594,7 @@ mod tests {
             session.infer_batch(&[]).unwrap_err(),
             Error::Config(_)
         ));
-        let too_many: Vec<Vec<i64>> = (0..session.service.system().slot_count() + 1)
+        let too_many: Vec<Vec<i64>> = (0..session.service().system().slot_count() + 1)
             .map(|_| vec![0; 64])
             .collect();
         assert!(matches!(
@@ -391,5 +621,109 @@ mod tests {
         let a = session.infer(&image).unwrap();
         let b = session.infer(&image).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noise_refresh_adds_a_fifth_stage_without_changing_logits() {
+        let image: Vec<i64> = (0..64).map(|p| (p % 16) as i64).collect();
+        let plain = build(1, 9);
+        let refreshed = SessionBuilder::new()
+            .params(ParamsPreset::Small)
+            .threads(1)
+            .seed(9)
+            .noise_refresh(true)
+            .build(Platform::new(41), small_model())
+            .unwrap();
+        assert_eq!(
+            plain.infer(&image).unwrap(),
+            refreshed.infer(&image).unwrap()
+        );
+        assert_eq!(refreshed.metrics().unwrap().stages.len(), 5);
+    }
+
+    #[test]
+    fn transient_faults_recover_with_exact_output() {
+        let image: Vec<i64> = (0..64).map(|p| ((p * 5) % 16) as i64).collect();
+        let session = SessionBuilder::new()
+            .params(ParamsPreset::Small)
+            .threads(1)
+            .seed(10)
+            .chaos(FaultPlan::new(1).script(FaultSite::EcallEnter, 0, FaultKind::Transient))
+            .build(Platform::new(42), small_model())
+            .unwrap();
+        let logits = session.infer(&image).unwrap();
+        assert_eq!(logits, session.model().forward_ints(&image));
+        let report = session.fault_report().expect("chaos installed");
+        assert_eq!(report.injected_at(FaultSite::EcallEnter), 1);
+        assert!(matches!(
+            report
+                .events
+                .iter()
+                .find(|e| matches!(e, ChaosEvent::Recovery(_))),
+            Some(ChaosEvent::Recovery(RecoveryEvent::Retry { .. }))
+        ));
+    }
+
+    #[test]
+    fn seal_corruption_heals_by_reprovision() {
+        let session = SessionBuilder::new()
+            .params(ParamsPreset::Small)
+            .threads(1)
+            .seed(11)
+            .chaos(FaultPlan::new(2).script(FaultSite::Seal, 0, FaultKind::Corruption))
+            .build(Platform::new(43), small_model())
+            .unwrap();
+        assert!(session.verify_sealed_state().unwrap(), "must re-provision");
+        let report = session.fault_report().unwrap();
+        assert!(report.reprovisioned());
+        // The healed session still serves exact inference.
+        let image: Vec<i64> = (0..64).map(|p| (p % 16) as i64).collect();
+        assert_eq!(
+            session.infer(&image).unwrap(),
+            session.model().forward_ints(&image)
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_degrade_but_keep_serving() {
+        // Four consecutive scripted faults on the first ECALL exceed the
+        // default budget of 3 retries; the resilient path must fall back.
+        let plan = FaultPlan::new(3)
+            .script(FaultSite::EcallEnter, 0, FaultKind::Transient)
+            .script(FaultSite::EcallEnter, 1, FaultKind::Transient)
+            .script(FaultSite::EcallEnter, 2, FaultKind::Transient)
+            .script(FaultSite::EcallEnter, 3, FaultKind::Transient);
+        let session = SessionBuilder::new()
+            .params(ParamsPreset::Small)
+            .threads(1)
+            .seed(12)
+            .chaos(plan)
+            .build(Platform::new(44), small_model())
+            .unwrap();
+        let image: Vec<i64> = (0..64).map(|p| (p % 4) as i64).collect();
+        let (rows, served) = session
+            .infer_batch_resilient(std::slice::from_ref(&image))
+            .unwrap();
+        assert_eq!(served, Served::Degraded);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].len(), session.model().classes);
+        let report = session.fault_report().unwrap();
+        assert!(report.degraded());
+        // The plain API propagates the same exhaustion as an error.
+        let session2 = SessionBuilder::new()
+            .params(ParamsPreset::Small)
+            .threads(1)
+            .seed(12)
+            .chaos(
+                FaultPlan::new(3)
+                    .script(FaultSite::EcallEnter, 0, FaultKind::Transient)
+                    .script(FaultSite::EcallEnter, 1, FaultKind::Transient)
+                    .script(FaultSite::EcallEnter, 2, FaultKind::Transient)
+                    .script(FaultSite::EcallEnter, 3, FaultKind::Transient),
+            )
+            .build(Platform::new(45), small_model())
+            .unwrap();
+        let err = session2.infer(&image).unwrap_err();
+        assert!(err.is_transient(), "{err}");
     }
 }

@@ -13,7 +13,9 @@
 //! pathological per-pixel design Fig. 8 calls `EncryptSGX (single)`.
 
 use crate::error::{Error, Result};
+use crate::recovery::{retry_with_cost, RecoveryPolicy};
 use hesgx_bfv::prelude::{PublicKey, SecretKey};
+use hesgx_chaos::{FaultHook, FaultSite};
 use hesgx_crypto::rng::ChaChaRng;
 use hesgx_henn::crt::{CrtCiphertext, CrtPlainSystem};
 use hesgx_henn::image::EncryptedMap;
@@ -22,6 +24,7 @@ use hesgx_nn::layers::ActivationKind;
 use hesgx_nn::quantize::QuantizedCnn;
 use hesgx_tee::cost::CostBreakdown;
 use hesgx_tee::enclave::Enclave;
+use hesgx_tee::error::TeeError;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -42,6 +45,8 @@ pub struct InferenceEnclave {
     /// parallel transforms (the fork itself never advances the parent
     /// stream, so without this two calls would reuse one stream).
     calls: AtomicU64,
+    /// Bounded-retry policy for transient boundary faults.
+    recovery: RecoveryPolicy,
 }
 
 impl InferenceEnclave {
@@ -59,6 +64,7 @@ impl InferenceEnclave {
             public,
             rng: Mutex::new(ChaChaRng::from_seed(seed).fork("enclave-reencrypt")),
             calls: AtomicU64::new(0),
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -66,6 +72,35 @@ impl InferenceEnclave {
     // hesgx-lint: allow(ecall-cost, reason = "accessor; performs no enclave computation")
     pub fn enclave(&self) -> &Enclave {
         &self.enclave
+    }
+
+    /// Overrides the bounded-retry policy for transient boundary faults.
+    // hesgx-lint: allow(ecall-cost, reason = "setter; performs no enclave computation")
+    pub fn set_recovery_policy(&mut self, policy: RecoveryPolicy) {
+        self.recovery = policy;
+    }
+
+    /// The active retry policy.
+    // hesgx-lint: allow(ecall-cost, reason = "accessor; performs no enclave computation")
+    pub fn recovery_policy(&self) -> RecoveryPolicy {
+        self.recovery
+    }
+
+    /// The enclave's installed fault hook as a trait object (recovery-event
+    /// sink), if any.
+    fn hook(&self) -> Option<&dyn FaultHook> {
+        self.enclave.fault_hook().map(|h| h.as_ref())
+    }
+
+    /// Consults `site` before an attempt begins (the noise-refresh site: the
+    /// request can be dropped before it ever reaches the enclave).
+    fn consult_pre_site(&self, site: Option<FaultSite>) -> std::result::Result<(), Error> {
+        if let Some(site) = site {
+            if self.hook().and_then(|h| h.inject(site)).is_some() {
+                return Err(Error::Tee(TeeError::Interrupted(site)));
+            }
+        }
+        Ok(())
     }
 
     /// The public keys matching the enclave's secret keys.
@@ -90,19 +125,54 @@ impl InferenceEnclave {
         cells: &[&CrtCiphertext],
         f: impl Fn(usize, i128) -> i64,
     ) -> Result<(Vec<CrtCiphertext>, CostBreakdown)> {
+        self.transform_cells_retrying(name, sys, cells, f, None)
+    }
+
+    /// [`InferenceEnclave::transform_cells`] with an optional extra fault
+    /// site consulted before each attempt (the noise-refresh request path).
+    ///
+    /// Each attempt is a fallible ECALL; transient boundary faults are
+    /// retried under the enclave's [`RecoveryPolicy`] with every attempt's
+    /// boundary cost summed into the returned breakdown (an aborted `EENTER`
+    /// still crossed the boundary). The decrypted values are exact on any
+    /// successful attempt, so retries never change inference output.
+    fn transform_cells_retrying(
+        &self,
+        name: &str,
+        sys: &CrtPlainSystem,
+        cells: &[&CrtCiphertext],
+        f: impl Fn(usize, i128) -> i64,
+        pre_site: Option<FaultSite>,
+    ) -> Result<(Vec<CrtCiphertext>, CostBreakdown)> {
         let in_bytes: usize = cells.iter().map(|c| c.byte_len()).sum();
-        let (result, cost) = self.enclave.ecall(name, in_bytes, in_bytes, |ctx| {
-            let region = ctx.alloc(in_bytes.max(4096)).map_err(Error::Tee)?;
-            ctx.touch(region).map_err(Error::Tee)?;
-            let mut rng = self.rng.lock();
-            let mut out = Vec::with_capacity(cells.len());
-            for (idx, cell) in cells.iter().enumerate() {
-                let slots = sys.decrypt_slots(cell, &self.secret)?;
-                let mapped: Vec<i64> = slots.iter().map(|&v| f(idx, v)).collect();
-                out.push(sys.encrypt_slots(&mapped, &self.public, &mut rng)?);
+        let (result, cost) = retry_with_cost(&self.recovery, self.hook(), || {
+            if let Err(e) = self.consult_pre_site(pre_site) {
+                return (Err(e), CostBreakdown::default());
             }
-            ctx.free(region).map_err(Error::Tee)?;
-            Ok::<_, Error>(out)
+            let (res, cost) = self
+                .enclave
+                .ecall_fallible(name, in_bytes, in_bytes, |ctx| {
+                    let region = ctx.alloc(in_bytes.max(4096)).map_err(Error::Tee)?;
+                    // First pass marshals the input in (cold faults); the
+                    // compute pass then re-reads the header page, now
+                    // resident — the spot where injected EPC load pressure
+                    // strikes.
+                    ctx.touch(region).map_err(Error::Tee)?;
+                    ctx.touch_bytes(region, 1).map_err(Error::Tee)?;
+                    let mut rng = self.rng.lock();
+                    let mut out = Vec::with_capacity(cells.len());
+                    for (idx, cell) in cells.iter().enumerate() {
+                        let slots = sys.decrypt_slots(cell, &self.secret)?;
+                        let mapped: Vec<i64> = slots.iter().map(|&v| f(idx, v)).collect();
+                        out.push(sys.encrypt_slots(&mapped, &self.public, &mut rng)?);
+                    }
+                    ctx.free(region).map_err(Error::Tee)?;
+                    Ok::<_, Error>(out)
+                });
+            match res {
+                Ok(inner) => (inner, cost),
+                Err(tee) => (Err(Error::Tee(tee)), cost),
+            }
         });
         Ok((result?, cost))
     }
@@ -128,29 +198,66 @@ impl InferenceEnclave {
         f: impl Fn(usize, i128) -> i64 + Sync,
         pool: &ParExec,
     ) -> Result<(Vec<CrtCiphertext>, CostBreakdown)> {
+        self.transform_cells_par_retrying(name, sys, cells, f, pool, None)
+    }
+
+    /// [`InferenceEnclave::transform_cells_par`] with retry and an optional
+    /// pre-attempt fault site, mirroring
+    /// [`InferenceEnclave::transform_cells_retrying`].
+    ///
+    /// The call counter advances and the base RNG stream is forked *once* per
+    /// logical call, outside the retry loop (forking never advances the
+    /// parent stream), so a retried attempt re-encrypts with exactly the same
+    /// randomness as the attempt it replaces: retries are bit-invisible in
+    /// the output ciphertexts.
+    fn transform_cells_par_retrying(
+        &self,
+        name: &str,
+        sys: &CrtPlainSystem,
+        cells: &[&CrtCiphertext],
+        f: impl Fn(usize, i128) -> i64 + Sync,
+        pool: &ParExec,
+        pre_site: Option<FaultSite>,
+    ) -> Result<(Vec<CrtCiphertext>, CostBreakdown)> {
         let in_bytes: usize = cells.iter().map(|c| c.byte_len()).sum();
         let call = self.calls.fetch_add(1, Ordering::Relaxed);
         let base = self.rng.lock().fork(&format!("par-call-{call}"));
-        let (result, cost) = self.enclave.ecall(name, in_bytes, in_bytes, |ctx| {
-            let region = ctx.alloc(in_bytes.max(4096)).map_err(Error::Tee)?;
-            ctx.touch(region).map_err(Error::Tee)?;
-            let tasks = pool.try_run(cells.len(), |idx| {
-                let start = Instant::now();
-                let mut rng = base.fork(&format!("cell-{idx}"));
-                let slots = sys.decrypt_slots(cells[idx], &self.secret)?;
-                let mapped: Vec<i64> = slots.iter().map(|&v| f(idx, v)).collect();
-                let ct = sys.encrypt_slots(&mapped, &self.public, &mut rng)?;
-                Ok::<_, Error>((ct, start.elapsed().as_nanos() as u64))
-            })?;
-            let mut out = Vec::with_capacity(tasks.len());
-            let mut cpu_ns = 0u64;
-            for (ct, ns) in tasks {
-                out.push(ct);
-                cpu_ns = cpu_ns.saturating_add(ns);
+        let (result, cost) = retry_with_cost(&self.recovery, self.hook(), || {
+            if let Err(e) = self.consult_pre_site(pre_site) {
+                return (Err(e), CostBreakdown::default());
             }
-            ctx.record_cpu_ns(cpu_ns);
-            ctx.free(region).map_err(Error::Tee)?;
-            Ok::<_, Error>(out)
+            let (res, cost) = self
+                .enclave
+                .ecall_fallible(name, in_bytes, in_bytes, |ctx| {
+                    let region = ctx.alloc(in_bytes.max(4096)).map_err(Error::Tee)?;
+                    // First pass marshals the input in (cold faults); the
+                    // compute pass then re-reads the header page, now
+                    // resident — the spot where injected EPC load pressure
+                    // strikes.
+                    ctx.touch(region).map_err(Error::Tee)?;
+                    ctx.touch_bytes(region, 1).map_err(Error::Tee)?;
+                    let tasks = pool.try_run(cells.len(), |idx| {
+                        let start = Instant::now();
+                        let mut rng = base.fork(&format!("cell-{idx}"));
+                        let slots = sys.decrypt_slots(cells[idx], &self.secret)?;
+                        let mapped: Vec<i64> = slots.iter().map(|&v| f(idx, v)).collect();
+                        let ct = sys.encrypt_slots(&mapped, &self.public, &mut rng)?;
+                        Ok::<_, Error>((ct, start.elapsed().as_nanos() as u64))
+                    })?;
+                    let mut out = Vec::with_capacity(tasks.len());
+                    let mut cpu_ns = 0u64;
+                    for (ct, ns) in tasks {
+                        out.push(ct);
+                        cpu_ns = cpu_ns.saturating_add(ns);
+                    }
+                    ctx.record_cpu_ns(cpu_ns);
+                    ctx.free(region).map_err(Error::Tee)?;
+                    Ok::<_, Error>(out)
+                });
+            match res {
+                Ok(inner) => (inner, cost),
+                Err(tee) => (Err(Error::Tee(tee)), cost),
+            }
         });
         Ok((result?, cost))
     }
@@ -298,58 +405,66 @@ impl InferenceEnclave {
         let in_bytes = input.byte_len();
         let out_count = c * oh * ow;
         let slot_count = sys.slot_count();
-        let (result, cost) = self.enclave.ecall(
-            "ecall_pool",
-            in_bytes,
-            in_bytes / (window * window).max(1),
-            |ctx| {
-                let region = ctx.alloc(in_bytes.max(4096)).map_err(Error::Tee)?;
-                ctx.touch(region).map_err(Error::Tee)?;
-                // Decrypt the full map.
-                let mut plain: Vec<Vec<i128>> = Vec::with_capacity(input.cells().len());
-                for cell in input.cells() {
-                    plain.push(sys.decrypt_slots(cell, &self.secret)?);
-                }
-                // Pool per slot.
-                let mut rng = self.rng.lock();
-                let mut out_cells = Vec::with_capacity(out_count);
-                for ch in 0..c {
-                    for oy in 0..oh {
-                        for ox in 0..ow {
-                            let mut slots_out = vec![0i64; slot_count];
-                            for (s, slot_out) in slots_out.iter_mut().enumerate() {
-                                let mut acc: Option<i64> = None;
-                                for dy in 0..window {
-                                    for dx in 0..window {
-                                        let v = plain
-                                            [(ch * h + oy * window + dy) * w + ox * window + dx][s]
-                                            as i64;
-                                        acc = Some(match acc {
-                                            None => v,
-                                            Some(a) if max_pool => a.max(v),
-                                            Some(a) => a + v,
-                                        });
+        let (result, cost) = retry_with_cost(&self.recovery, self.hook(), || {
+            let (res, cost) = self.enclave.ecall_fallible(
+                "ecall_pool",
+                in_bytes,
+                in_bytes / (window * window).max(1),
+                |ctx| {
+                    let region = ctx.alloc(in_bytes.max(4096)).map_err(Error::Tee)?;
+                    ctx.touch(region).map_err(Error::Tee)?;
+                    // Decrypt the full map.
+                    let mut plain: Vec<Vec<i128>> = Vec::with_capacity(input.cells().len());
+                    for cell in input.cells() {
+                        plain.push(sys.decrypt_slots(cell, &self.secret)?);
+                    }
+                    // Pool per slot.
+                    let mut rng = self.rng.lock();
+                    let mut out_cells = Vec::with_capacity(out_count);
+                    for ch in 0..c {
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let mut slots_out = vec![0i64; slot_count];
+                                for (s, slot_out) in slots_out.iter_mut().enumerate() {
+                                    let mut acc: Option<i64> = None;
+                                    for dy in 0..window {
+                                        for dx in 0..window {
+                                            let v = plain
+                                                [(ch * h + oy * window + dy) * w + ox * window + dx]
+                                                [s]
+                                                as i64;
+                                            acc = Some(match acc {
+                                                None => v,
+                                                Some(a) if max_pool => a.max(v),
+                                                Some(a) => a + v,
+                                            });
+                                        }
                                     }
+                                    let acc =
+                                        acc.ok_or(Error::Internal("pooling window is empty"))?;
+                                    *slot_out = if max_pool {
+                                        acc
+                                    } else {
+                                        model.enclave_mean(acc)
+                                    };
                                 }
-                                let acc = acc.ok_or(Error::Internal("pooling window is empty"))?;
-                                *slot_out = if max_pool {
-                                    acc
-                                } else {
-                                    model.enclave_mean(acc)
-                                };
+                                out_cells.push(sys.encrypt_slots(
+                                    &slots_out,
+                                    &self.public,
+                                    &mut rng,
+                                )?);
                             }
-                            out_cells.push(sys.encrypt_slots(
-                                &slots_out,
-                                &self.public,
-                                &mut rng,
-                            )?);
                         }
                     }
-                }
-                ctx.free(region).map_err(Error::Tee)?;
-                Ok::<_, Error>(out_cells)
-            },
-        );
+                    ctx.free(region).map_err(Error::Tee)?;
+                    Ok::<_, Error>(out_cells)
+                },
+            );
+            match res {
+                Ok(inner) => (inner, cost),
+                Err(tee) => (Err(Error::Tee(tee)), cost),
+            }
+        });
         Ok((EncryptedMap::new(c, oh, ow, result?), cost))
     }
 
@@ -375,69 +490,79 @@ impl InferenceEnclave {
         let in_bytes = input.byte_len();
         let out_count = c * oh * ow;
         let slot_count = sys.slot_count();
+        // One fork per logical call, outside the retry loop: a retried
+        // attempt re-encrypts with the same randomness as the one it
+        // replaces.
         let call = self.calls.fetch_add(1, Ordering::Relaxed);
         let base = self.rng.lock().fork(&format!("par-call-{call}"));
-        let (result, cost) = self.enclave.ecall(
-            "ecall_pool",
-            in_bytes,
-            in_bytes / (window * window).max(1),
-            |ctx| {
-                let region = ctx.alloc(in_bytes.max(4096)).map_err(Error::Tee)?;
-                ctx.touch(region).map_err(Error::Tee)?;
-                let mut cpu_ns = 0u64;
-                // Decrypt the full map, one task per cell.
-                let decrypted = pool.try_run(input.cells().len(), |i| {
-                    let start = Instant::now();
-                    let slots = sys.decrypt_slots(&input.cells()[i], &self.secret)?;
-                    Ok::<_, Error>((slots, start.elapsed().as_nanos() as u64))
-                })?;
-                let mut plain = Vec::with_capacity(decrypted.len());
-                for (slots, ns) in decrypted {
-                    plain.push(slots);
-                    cpu_ns = cpu_ns.saturating_add(ns);
-                }
-                // Pool + re-encrypt, one task per output cell.
-                let plain = &plain;
-                let outs = pool.try_run(out_count, |o| {
-                    let start = Instant::now();
-                    let ch = o / (oh * ow);
-                    let oy = (o / ow) % oh;
-                    let ox = o % ow;
-                    let mut rng = base.fork(&format!("cell-{o}"));
-                    let mut slots_out = vec![0i64; slot_count];
-                    for (s, slot_out) in slots_out.iter_mut().enumerate() {
-                        let mut acc: Option<i64> = None;
-                        for dy in 0..window {
-                            for dx in 0..window {
-                                let v = plain[(ch * h + oy * window + dy) * w + ox * window + dx][s]
-                                    as i64;
-                                acc = Some(match acc {
-                                    None => v,
-                                    Some(a) if max_pool => a.max(v),
-                                    Some(a) => a + v,
-                                });
-                            }
-                        }
-                        let acc = acc.ok_or(Error::Internal("pooling window is empty"))?;
-                        *slot_out = if max_pool {
-                            acc
-                        } else {
-                            model.enclave_mean(acc)
-                        };
+        let (result, cost) = retry_with_cost(&self.recovery, self.hook(), || {
+            let (res, cost) = self.enclave.ecall_fallible(
+                "ecall_pool",
+                in_bytes,
+                in_bytes / (window * window).max(1),
+                |ctx| {
+                    let region = ctx.alloc(in_bytes.max(4096)).map_err(Error::Tee)?;
+                    ctx.touch(region).map_err(Error::Tee)?;
+                    let mut cpu_ns = 0u64;
+                    // Decrypt the full map, one task per cell.
+                    let decrypted = pool.try_run(input.cells().len(), |i| {
+                        let start = Instant::now();
+                        let slots = sys.decrypt_slots(&input.cells()[i], &self.secret)?;
+                        Ok::<_, Error>((slots, start.elapsed().as_nanos() as u64))
+                    })?;
+                    let mut plain = Vec::with_capacity(decrypted.len());
+                    for (slots, ns) in decrypted {
+                        plain.push(slots);
+                        cpu_ns = cpu_ns.saturating_add(ns);
                     }
-                    let ct = sys.encrypt_slots(&slots_out, &self.public, &mut rng)?;
-                    Ok::<_, Error>((ct, start.elapsed().as_nanos() as u64))
-                })?;
-                let mut out_cells = Vec::with_capacity(out_count);
-                for (ct, ns) in outs {
-                    out_cells.push(ct);
-                    cpu_ns = cpu_ns.saturating_add(ns);
-                }
-                ctx.record_cpu_ns(cpu_ns);
-                ctx.free(region).map_err(Error::Tee)?;
-                Ok::<_, Error>(out_cells)
-            },
-        );
+                    // Pool + re-encrypt, one task per output cell.
+                    let plain = &plain;
+                    let outs = pool.try_run(out_count, |o| {
+                        let start = Instant::now();
+                        let ch = o / (oh * ow);
+                        let oy = (o / ow) % oh;
+                        let ox = o % ow;
+                        let mut rng = base.fork(&format!("cell-{o}"));
+                        let mut slots_out = vec![0i64; slot_count];
+                        for (s, slot_out) in slots_out.iter_mut().enumerate() {
+                            let mut acc: Option<i64> = None;
+                            for dy in 0..window {
+                                for dx in 0..window {
+                                    let v = plain
+                                        [(ch * h + oy * window + dy) * w + ox * window + dx][s]
+                                        as i64;
+                                    acc = Some(match acc {
+                                        None => v,
+                                        Some(a) if max_pool => a.max(v),
+                                        Some(a) => a + v,
+                                    });
+                                }
+                            }
+                            let acc = acc.ok_or(Error::Internal("pooling window is empty"))?;
+                            *slot_out = if max_pool {
+                                acc
+                            } else {
+                                model.enclave_mean(acc)
+                            };
+                        }
+                        let ct = sys.encrypt_slots(&slots_out, &self.public, &mut rng)?;
+                        Ok::<_, Error>((ct, start.elapsed().as_nanos() as u64))
+                    })?;
+                    let mut out_cells = Vec::with_capacity(out_count);
+                    for (ct, ns) in outs {
+                        out_cells.push(ct);
+                        cpu_ns = cpu_ns.saturating_add(ns);
+                    }
+                    ctx.record_cpu_ns(cpu_ns);
+                    ctx.free(region).map_err(Error::Tee)?;
+                    Ok::<_, Error>(out_cells)
+                },
+            );
+            match res {
+                Ok(inner) => (inner, cost),
+                Err(tee) => (Err(Error::Tee(tee)), cost),
+            }
+        });
         Ok((EncryptedMap::new(c, oh, ow, result?), cost))
     }
 
@@ -455,7 +580,13 @@ impl InferenceEnclave {
         cts: &[CrtCiphertext],
     ) -> Result<(Vec<CrtCiphertext>, CostBreakdown)> {
         let refs: Vec<&CrtCiphertext> = cts.iter().collect();
-        self.transform_cells("ecall_DecreaseNoise", sys, &refs, |_, v| v as i64)
+        self.transform_cells_retrying(
+            "ecall_DecreaseNoise",
+            sys,
+            &refs,
+            |_, v| v as i64,
+            Some(FaultSite::NoiseRefresh),
+        )
     }
 
     /// Parallel [`InferenceEnclave::refresh_batch`]: one ECALL, per-ciphertext
@@ -471,7 +602,14 @@ impl InferenceEnclave {
         pool: &ParExec,
     ) -> Result<(Vec<CrtCiphertext>, CostBreakdown)> {
         let refs: Vec<&CrtCiphertext> = cts.iter().collect();
-        self.transform_cells_par("ecall_DecreaseNoise", sys, &refs, |_, v| v as i64, pool)
+        self.transform_cells_par_retrying(
+            "ecall_DecreaseNoise",
+            sys,
+            &refs,
+            |_, v| v as i64,
+            pool,
+            Some(FaultSite::NoiseRefresh),
+        )
     }
 
     /// Single-ciphertext refresh (one ECALL round-trip each — the
@@ -485,8 +623,13 @@ impl InferenceEnclave {
         sys: &CrtPlainSystem,
         ct: &CrtCiphertext,
     ) -> Result<(CrtCiphertext, CostBreakdown)> {
-        let (mut out, cost) =
-            self.transform_cells("ecall_DecreaseNoise", sys, &[ct], |_, v| v as i64)?;
+        let (mut out, cost) = self.transform_cells_retrying(
+            "ecall_DecreaseNoise",
+            sys,
+            &[ct],
+            |_, v| v as i64,
+            Some(FaultSite::NoiseRefresh),
+        )?;
         let fresh = out
             .pop()
             .ok_or(Error::Internal("refresh returned no ciphertext"))?;

@@ -1,0 +1,103 @@
+//! End-to-end chaos test: a full MNIST-shaped inference driven through every
+//! fault site, with coverage asserted from the resulting `FaultReport`.
+//!
+//! One scripted plan injects a fault at each of the eight sites exactly
+//! where the session will consult it:
+//!
+//! * `attestation-verify` — during `SessionBuilder::build`'s quote check
+//!   (transient, retried);
+//! * `seal` + `unseal` — the provisioning seal is corrupted and the first
+//!   unseal is interrupted, so `verify_sealed_state` must heal by
+//!   re-provisioning;
+//! * `epc-load` / `epc-evict` — pressure faults on the first resident hit
+//!   and the first page fault (extra paging, never an error);
+//! * `ecall-enter` / `ecall-exit` — the first activation ECALL is
+//!   interrupted on entry, a later ECALL on exit (both retried);
+//! * `noise-refresh` — the refresh request between pooling and the FC layer
+//!   is dropped once (retried).
+//!
+//! After all of that, the decrypted logits must still be bit-identical to
+//! the plaintext reference — recovery is invisible in the output.
+
+mod testutil;
+
+use hesgx_chaos::{FaultKind, FaultPlan, FaultSite};
+use hesgx_core::prelude::*;
+
+#[test]
+fn every_fault_site_fires_once_and_inference_stays_exact() {
+    let plan = FaultPlan::new(7)
+        .script(FaultSite::AttestationVerify, 0, FaultKind::Transient)
+        .script(FaultSite::Seal, 0, FaultKind::Corruption)
+        .script(FaultSite::Unseal, 0, FaultKind::Corruption)
+        .script(FaultSite::EpcLoad, 0, FaultKind::Pressure)
+        .script(FaultSite::EpcEvict, 0, FaultKind::Pressure)
+        .script(FaultSite::EcallEnter, 0, FaultKind::Transient)
+        .script(FaultSite::EcallExit, 1, FaultKind::Transient)
+        .script(FaultSite::NoiseRefresh, 0, FaultKind::Transient);
+
+    let model = testutil::hybrid_paper_model(1);
+    let session = SessionBuilder::new()
+        .params(ParamsPreset::Small)
+        .threads(2)
+        .seed(13)
+        .noise_refresh(true)
+        .chaos(plan)
+        .build(Platform::new(500), model.clone())
+        .unwrap();
+
+    // Seal corruption is silent at provisioning time; the sealed-state probe
+    // detects it and heals by re-provisioning with the same seed.
+    assert!(
+        session.verify_sealed_state().unwrap(),
+        "corrupted seal must force a re-provision"
+    );
+
+    // Full 28×28 inference through the faulty boundary.
+    let image: Vec<i64> = (0..28 * 28).map(|p| (p % 16) as i64).collect();
+    let logits = session.infer(&image).unwrap();
+    assert_eq!(
+        logits,
+        model.forward_ints(&image),
+        "recovered inference must stay bit-identical to the reference"
+    );
+
+    // Coverage: every one of the eight sites injected at least once.
+    let report = session.fault_report().expect("chaos plan installed");
+    assert_eq!(
+        report.sites_injected(),
+        FaultSite::ALL.to_vec(),
+        "full report: {}",
+        report.to_json()
+    );
+    assert!(report.reprovisioned(), "seal corruption must re-provision");
+    assert!(report.retries() >= 3, "enter/exit/refresh faults all retry");
+    // Five stages ran (noise refresh enabled) and the report is reproducible.
+    assert_eq!(session.metrics().unwrap().stages.len(), 5);
+}
+
+/// Exhausting the retry budget must not kill the service: the resilient
+/// entry point degrades to the pure-HE square-activation fallback.
+#[test]
+fn exhausted_budget_degrades_instead_of_failing() {
+    let mut plan = FaultPlan::new(9);
+    for occurrence in 0..4 {
+        plan = plan.script(FaultSite::EcallEnter, occurrence, FaultKind::Transient);
+    }
+    let session = SessionBuilder::new()
+        .params(ParamsPreset::Small)
+        .threads(1)
+        .seed(21)
+        .chaos(plan)
+        .build(Platform::new(501), testutil::small_hybrid_model())
+        .unwrap();
+    let image: Vec<i64> = (0..64).map(|p| (p % 4) as i64).collect();
+    let (rows, served) = session
+        .infer_batch_resilient(std::slice::from_ref(&image))
+        .unwrap();
+    assert_eq!(served, Served::Degraded);
+    assert_eq!(rows[0].len(), session.model().classes);
+    let report = session.fault_report().unwrap();
+    assert!(report.degraded());
+    assert_eq!(report.injected_at(FaultSite::EcallEnter), 4);
+}

@@ -2,43 +2,20 @@
 //! paper's parameters, exactness against the plaintext reference, the
 //! attestation chain, and the side-channel claims.
 
+mod testutil;
+
 use hesgx_core::keydist::verify_key_ceremony;
-use hesgx_core::pipeline::{EcallBatching, HybridInference, ProvisionConfig};
+use hesgx_core::pipeline::EcallBatching;
 use hesgx_core::planner::PoolStrategy;
 use hesgx_crypto::rng::ChaChaRng;
 use hesgx_henn::cryptonets::CryptoNets;
 use hesgx_henn::image::EncryptedMap;
 use hesgx_nn::dataset;
-use hesgx_nn::layers::{ActivationKind, PoolKind};
-use hesgx_nn::model_zoo::paper_cnn;
+use hesgx_nn::layers::ActivationKind;
 use hesgx_nn::quantize::{QuantPipeline, QuantizedCnn};
 use hesgx_tee::attestation::AttestationService;
 use hesgx_tee::enclave::Platform;
-
-/// Builds a small untrained paper-architecture model (weights random but
-/// fixed) — exactness tests don't need training.
-fn provision(
-    platform: std::sync::Arc<Platform>,
-    model: QuantizedCnn,
-    seed: u64,
-) -> (HybridInference, hesgx_core::keydist::KeyCeremonyPublic) {
-    HybridInference::provision_with(
-        platform,
-        model,
-        ProvisionConfig {
-            poly_degree: 1024,
-            seed,
-            ..ProvisionConfig::default()
-        },
-    )
-    .unwrap()
-}
-
-fn hybrid_paper_model(seed: u64) -> QuantizedCnn {
-    let mut rng = ChaChaRng::from_seed(seed);
-    let net = paper_cnn(ActivationKind::Sigmoid, PoolKind::Mean, &mut rng);
-    QuantizedCnn::from_network(&net, QuantPipeline::Hybrid, 16, 32, 16)
-}
+use testutil::{hybrid_paper_model, provision};
 
 #[test]
 fn full_paper_pipeline_matches_reference_for_batch() {

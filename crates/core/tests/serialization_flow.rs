@@ -4,21 +4,20 @@
 //! encrypts locally, ships serialized ciphertexts to the server, and gets
 //! serialized encrypted logits back — everything crossing the wire as bytes.
 
+mod testutil;
+
 use hesgx_bfv::prelude::{Decryptor, Encryptor, Plaintext};
 use hesgx_bfv::serialization::{
     ciphertext_from_bytes, ciphertext_to_bytes, public_key_from_bytes, public_key_to_bytes,
     secret_key_from_bytes, secret_key_to_bytes,
 };
-use hesgx_crypto::rng::ChaChaRng;
-use hesgx_henn::crt::CrtPlainSystem;
 use hesgx_tee::enclave::{EnclaveBuilder, Platform};
+use testutil::wire_system;
 
 #[test]
 fn wire_protocol_roundtrip() {
     // Server side: keys generated in the enclave.
-    let sys = CrtPlainSystem::new(1024, &[65537]).unwrap();
-    let mut rng = ChaChaRng::from_seed(1);
-    let keys = sys.generate_keys(&mut rng);
+    let (sys, keys, mut rng) = wire_system(1024, 65537, 1);
     let ctx = sys.contexts()[0].clone();
 
     // Keys go over the wire as bytes.
@@ -53,9 +52,7 @@ fn wire_protocol_roundtrip() {
 fn sealed_secret_key_restores_through_bytes() {
     // The enclave seals the serialized secret key; after a "restart" it
     // unseals and reconstructs a working decryptor.
-    let sys = CrtPlainSystem::new(1024, &[65537]).unwrap();
-    let mut rng = ChaChaRng::from_seed(2);
-    let keys = sys.generate_keys(&mut rng);
+    let (sys, keys, mut rng) = wire_system(1024, 65537, 2);
     let ctx = sys.contexts()[0].clone();
 
     let platform = Platform::new(9);
@@ -76,9 +73,7 @@ fn sealed_secret_key_restores_through_bytes() {
 
 #[test]
 fn corrupted_wire_data_rejected_not_misdecrypted() {
-    let sys = CrtPlainSystem::new(1024, &[65537]).unwrap();
-    let mut rng = ChaChaRng::from_seed(3);
-    let keys = sys.generate_keys(&mut rng);
+    let (sys, keys, mut rng) = wire_system(1024, 65537, 3);
     let ctx = sys.contexts()[0].clone();
     let encryptor = Encryptor::new(ctx.clone(), keys.public[0].clone());
     let ct = encryptor

@@ -114,7 +114,11 @@ pub const CONST_TIME_PATHS: &[&str] = &["crates/crypto/src", "fixtures/const-tim
 
 /// Files defining the ECALL surface; every `pub fn` must charge the TEE
 /// cost model (`ecall-cost` rule).
-pub const ECALL_PATHS: &[&str] = &["crates/core/src/sgx_ops.rs", "fixtures/ecall-cost"];
+pub const ECALL_PATHS: &[&str] = &[
+    "crates/core/src/sgx_ops.rs",
+    "crates/core/src/recovery.rs",
+    "fixtures/ecall-cost",
+];
 
 /// Identifiers that mark a comparison as secret-dependent for the
 /// `const-time` rule (beyond registry type names).

@@ -16,12 +16,14 @@
 //! attested quote, eliminating the trusted third party of Fig. 1.
 
 use crate::error::{Result, TeeError};
+use hesgx_chaos::{FaultHook, FaultKind, FaultSite};
 use hesgx_crypto::hmac::{hmac_sha256, verify_tag};
 use hesgx_crypto::rng::ChaChaRng;
 use hesgx_crypto::schnorr::{Signature, SigningKey, VerifyingKey};
 use hesgx_crypto::sha256::Sha256;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A local attestation report (`EREPORT` analogue).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -163,6 +165,7 @@ pub struct VerifiedQuote {
 #[derive(Debug, Default)]
 pub struct AttestationService {
     platforms: HashMap<[u8; 32], VerifyingKey>,
+    hook: Option<Arc<dyn FaultHook>>,
 }
 
 impl AttestationService {
@@ -177,13 +180,33 @@ impl AttestationService {
         self.platforms.insert(qe.platform_id(), qe.verifying_key());
     }
 
+    /// Installs a fault hook consulted at
+    /// [`FaultSite::AttestationVerify`] on every [`AttestationService::verify`].
+    /// A transient injection models the service timing out (retryable); a
+    /// corruption injection models the quote arriving mangled
+    /// ([`TeeError::QuoteSignatureInvalid`]).
+    pub fn set_fault_hook(&mut self, hook: Arc<dyn FaultHook>) {
+        self.hook = Some(hook);
+    }
+
     /// Verifies a quote's signature and provenance.
     ///
     /// # Errors
     ///
-    /// Fails with [`TeeError::UnknownPlatform`] or
-    /// [`TeeError::QuoteSignatureInvalid`].
+    /// Fails with [`TeeError::UnknownPlatform`],
+    /// [`TeeError::QuoteSignatureInvalid`], or — under injected transient
+    /// faults — [`TeeError::Interrupted`].
     pub fn verify(&self, quote: &Quote) -> Result<VerifiedQuote> {
+        if let Some(kind) = self
+            .hook
+            .as_ref()
+            .and_then(|h| h.inject(FaultSite::AttestationVerify))
+        {
+            return Err(match kind {
+                FaultKind::Transient => TeeError::Interrupted(FaultSite::AttestationVerify),
+                FaultKind::Corruption | FaultKind::Pressure => TeeError::QuoteSignatureInvalid,
+            });
+        }
         let vk = self
             .platforms
             .get(&quote.platform_id)
@@ -266,6 +289,42 @@ mod tests {
         let report = Report::new(&report_key, [5u8; 32], vec![]);
         let quote = rogue.quote(&report).unwrap();
         assert_eq!(service.verify(&quote), Err(TeeError::UnknownPlatform));
+    }
+
+    #[test]
+    fn injected_verify_fault_is_transient_then_clears() {
+        use hesgx_chaos::FaultPlan;
+        let (qe, mut service, report_key) = setup();
+        let injector = Arc::new(
+            FaultPlan::new(1)
+                .script(FaultSite::AttestationVerify, 0, FaultKind::Transient)
+                .build(),
+        );
+        service.set_fault_hook(injector);
+        let report = Report::new(&report_key, [5u8; 32], b"key".to_vec());
+        let quote = qe.quote(&report).unwrap();
+        let err = service.verify(&quote).unwrap_err();
+        assert_eq!(err, TeeError::Interrupted(FaultSite::AttestationVerify));
+        assert!(err.is_transient());
+        // The retry goes through.
+        assert!(service.verify(&quote).is_ok());
+    }
+
+    #[test]
+    fn injected_corruption_mangles_the_quote() {
+        use hesgx_chaos::FaultPlan;
+        let (qe, mut service, report_key) = setup();
+        let injector = Arc::new(
+            FaultPlan::new(1)
+                .script(FaultSite::AttestationVerify, 0, FaultKind::Corruption)
+                .build(),
+        );
+        service.set_fault_hook(injector);
+        let report = Report::new(&report_key, [5u8; 32], vec![]);
+        let quote = qe.quote(&report).unwrap();
+        let err = service.verify(&quote).unwrap_err();
+        assert_eq!(err, TeeError::QuoteSignatureInvalid);
+        assert!(!err.is_transient());
     }
 
     #[test]

@@ -11,9 +11,10 @@
 use crate::attestation::{QuotingEnclave, Report};
 use crate::cost::{CostBreakdown, CostModel, VirtualClock};
 use crate::epc::{Epc, EpcStats, RegionId, DEFAULT_EPC_BYTES};
-use crate::error::Result;
+use crate::error::{Result, TeeError};
 use crate::sealing::{self, SealedBlob};
 use crate::sidechannel::{SideChannelEvent, SideChannelMonitor};
+use hesgx_chaos::{FaultHook, FaultKind, FaultSite};
 use hesgx_crypto::sha256::Sha256;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -82,6 +83,7 @@ pub struct EnclaveBuilder {
     cost_model: CostModel,
     event_log_capacity: usize,
     seed: u64,
+    hook: Option<Arc<dyn FaultHook>>,
 }
 
 impl EnclaveBuilder {
@@ -95,6 +97,7 @@ impl EnclaveBuilder {
             cost_model: CostModel::default(),
             event_log_capacity: 1024,
             seed: 0,
+            hook: None,
         }
     }
 
@@ -128,6 +131,14 @@ impl EnclaveBuilder {
         self
     }
 
+    /// Installs a fault hook consulted at the enclave's fault sites
+    /// (ECALL enter/exit, EPC load/evict, seal/unseal). No hook — the
+    /// default — means no consultation at all.
+    pub fn fault_hook(mut self, hook: Arc<dyn FaultHook>) -> Self {
+        self.hook = Some(hook);
+        self
+    }
+
     /// Initializes the enclave on `platform`, fixing its measurement.
     pub fn build(self, platform: Arc<Platform>) -> Enclave {
         let mut h = Sha256::new();
@@ -136,14 +147,19 @@ impl EnclaveBuilder {
         h.update(&self.code);
         h.update(&(self.heap_bytes as u64).to_le_bytes());
         let measurement = h.finalize();
+        let mut epc = Epc::new(self.epc_bytes, self.heap_bytes);
+        if let Some(hook) = &self.hook {
+            epc.set_fault_hook(hook.clone());
+        }
         Enclave {
             name: self.name,
             measurement,
             platform,
             vclock: VirtualClock::new(self.cost_model, self.seed),
-            epc: Mutex::new(Epc::new(self.epc_bytes, self.heap_bytes)),
+            epc: Mutex::new(epc),
             monitor: Mutex::new(SideChannelMonitor::new(self.event_log_capacity)),
             seal_counter: AtomicU64::new(1),
+            hook: self.hook,
         }
     }
 }
@@ -158,6 +174,7 @@ pub struct Enclave {
     epc: Mutex<Epc>,
     monitor: Mutex<SideChannelMonitor>,
     seal_counter: AtomicU64,
+    hook: Option<Arc<dyn FaultHook>>,
 }
 
 /// Execution context handed to an ECALL body; tracks memory touches and
@@ -307,12 +324,68 @@ impl Enclave {
         (result, breakdown)
     }
 
+    /// Consults the fault hook, if one is installed.
+    fn consult(&self, site: FaultSite) -> Option<FaultKind> {
+        self.hook.as_ref().and_then(|h| h.inject(site))
+    }
+
+    /// Executes `body` inside the enclave, subject to injected boundary
+    /// faults.
+    ///
+    /// Same contract as [`Enclave::ecall`], except the fault hook is
+    /// consulted at the boundary: a fault at [`FaultSite::EcallEnter`] aborts
+    /// the `EENTER` transition — the body never runs, and the caller is
+    /// charged only the failed crossing plus the marshalled input copy. A
+    /// fault at [`FaultSite::EcallExit`] loses the result after the body ran —
+    /// the full call cost is charged. Both surface as
+    /// [`TeeError::Interrupted`], which is transient: the caller may retry.
+    /// With no hook installed this is exactly `ecall` wrapped in `Ok`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`TeeError::Interrupted`] when a fault is injected at
+    /// either boundary site.
+    pub fn ecall_fallible<R>(
+        &self,
+        name: &str,
+        input_bytes: usize,
+        output_bytes: usize,
+        body: impl FnOnce(&mut EnclaveCtx<'_>) -> R,
+    ) -> (Result<R>, CostBreakdown) {
+        if self.consult(FaultSite::EcallEnter).is_some() {
+            let breakdown = self.vclock.charge(0, 2, input_bytes as u64, 0);
+            let mut mon = self.monitor.lock();
+            mon.record(SideChannelEvent::EcallEnter {
+                name: name.to_string(),
+                input_bytes,
+            });
+            mon.record(SideChannelEvent::EcallExit {
+                name: name.to_string(),
+                output_bytes: 0,
+            });
+            return (Err(TeeError::Interrupted(FaultSite::EcallEnter)), breakdown);
+        }
+        let (result, breakdown) = self.ecall(name, input_bytes, output_bytes, body);
+        if self.consult(FaultSite::EcallExit).is_some() {
+            return (Err(TeeError::Interrupted(FaultSite::EcallExit)), breakdown);
+        }
+        (Ok(result), breakdown)
+    }
+
     /// Seals `data` to this enclave's identity (charged as an ECALL).
+    ///
+    /// An injected fault at [`FaultSite::Seal`] models the blob rotting on
+    /// untrusted storage: the returned blob is silently damaged and the
+    /// corruption only surfaces at the next [`Enclave::unseal`].
     pub fn seal(&self, data: &[u8]) -> (SealedBlob, CostBreakdown) {
         let nonce = self.seal_counter.fetch_add(1, Ordering::Relaxed);
-        self.ecall("seal", data.len(), data.len() + 44, |_| {
+        let (mut blob, cost) = self.ecall("seal", data.len(), data.len() + 44, |_| {
             sealing::seal(&self.platform.secret, &self.measurement, nonce, data)
-        })
+        });
+        if self.consult(FaultSite::Seal).is_some() {
+            blob.corrupt();
+        }
+        (blob, cost)
     }
 
     /// Unseals a blob sealed by this enclave identity.
@@ -320,11 +393,23 @@ impl Enclave {
     /// # Errors
     ///
     /// Fails with [`crate::error::TeeError::SealedBlobCorrupted`] on tampering
-    /// or identity mismatch.
+    /// or identity mismatch — including an injected fault at
+    /// [`FaultSite::Unseal`], which models the stored blob failing its
+    /// integrity check.
     pub fn unseal(&self, blob: &SealedBlob) -> (Result<Vec<u8>>, CostBreakdown) {
-        self.ecall("unseal", blob.byte_len(), blob.byte_len(), |_| {
+        let (mut result, cost) = self.ecall("unseal", blob.byte_len(), blob.byte_len(), |_| {
             sealing::unseal(&self.platform.secret, &self.measurement, blob)
-        })
+        });
+        if self.consult(FaultSite::Unseal).is_some() {
+            result = Err(TeeError::SealedBlobCorrupted);
+        }
+        (result, cost)
+    }
+
+    /// The installed fault hook, if any (used by the recovery layer to report
+    /// its decisions back to the same recorder that injected the faults).
+    pub fn fault_hook(&self) -> Option<&Arc<dyn FaultHook>> {
+        self.hook.as_ref()
     }
 
     /// Produces an attestation report carrying `user_data` (EREPORT).
@@ -455,6 +540,94 @@ mod tests {
         // Without a report, wall time is charged as before.
         let ((), cost) = e.ecall("plain", 0, 0, |_| ());
         assert!(cost.real_ns < 10_000_000);
+    }
+
+    #[test]
+    fn ecall_fallible_without_hook_is_plain_ecall() {
+        let e = EnclaveBuilder::new("e").build(platform());
+        let (value, cost) = e.ecall_fallible("add", 16, 8, |_| 2 + 2);
+        assert_eq!(value, Ok(4));
+        assert!(cost.transition_ns > 0);
+    }
+
+    #[test]
+    fn enter_fault_skips_body_and_charges_partial_cost() {
+        use hesgx_chaos::{FaultPlan, FaultSite};
+        let injector = Arc::new(
+            FaultPlan::new(1)
+                .script(FaultSite::EcallEnter, 0, hesgx_chaos::FaultKind::Transient)
+                .build(),
+        );
+        let e = EnclaveBuilder::new("e")
+            .fault_hook(injector.clone())
+            .build(platform());
+        let mut ran = false;
+        let (res, cost) = e.ecall_fallible("f", 64, 8, |_| ran = true);
+        assert_eq!(res, Err(TeeError::Interrupted(FaultSite::EcallEnter)));
+        assert!(!ran, "body must not run when EENTER aborts");
+        assert!(cost.transition_ns > 0);
+        assert!(res.unwrap_err().is_transient());
+        // Retry succeeds (the script fired once).
+        let (res, _) = e.ecall_fallible("f", 64, 8, |_| 7);
+        assert_eq!(res, Ok(7));
+        assert_eq!(injector.report().injected_total(), 1);
+    }
+
+    #[test]
+    fn exit_fault_loses_result_after_body_ran() {
+        use hesgx_chaos::{FaultKind, FaultPlan, FaultSite};
+        let injector = Arc::new(
+            FaultPlan::new(1)
+                .script(FaultSite::EcallExit, 0, FaultKind::Transient)
+                .build(),
+        );
+        let e = EnclaveBuilder::new("e")
+            .fault_hook(injector)
+            .build(platform());
+        let mut ran = false;
+        let (res, cost) = e.ecall_fallible("f", 0, 0, |_| ran = true);
+        assert_eq!(res, Err(TeeError::Interrupted(FaultSite::EcallExit)));
+        assert!(ran, "body runs before the result is lost at EEXIT");
+        assert!(cost.transition_ns > 0);
+    }
+
+    #[test]
+    fn seal_fault_corrupts_blob_detected_at_unseal() {
+        use hesgx_chaos::{FaultKind, FaultPlan, FaultSite};
+        let injector = Arc::new(
+            FaultPlan::new(1)
+                .script(FaultSite::Seal, 0, FaultKind::Corruption)
+                .build(),
+        );
+        let e = EnclaveBuilder::new("e")
+            .fault_hook(injector)
+            .build(platform());
+        let (blob, _) = e.seal(b"key material");
+        let (res, _) = e.unseal(&blob);
+        assert_eq!(res, Err(TeeError::SealedBlobCorrupted));
+        // The next seal is clean: corruption was a one-shot script.
+        let (blob, _) = e.seal(b"key material");
+        let (res, _) = e.unseal(&blob);
+        assert_eq!(res, Ok(b"key material".to_vec()));
+    }
+
+    #[test]
+    fn unseal_fault_rejects_a_good_blob() {
+        use hesgx_chaos::{FaultKind, FaultPlan, FaultSite};
+        let injector = Arc::new(
+            FaultPlan::new(1)
+                .script(FaultSite::Unseal, 0, FaultKind::Corruption)
+                .build(),
+        );
+        let e = EnclaveBuilder::new("e")
+            .fault_hook(injector)
+            .build(platform());
+        let (blob, _) = e.seal(b"data");
+        let (res, _) = e.unseal(&blob);
+        assert_eq!(res, Err(TeeError::SealedBlobCorrupted));
+        // The blob itself is intact; a retry unseals it.
+        let (res, _) = e.unseal(&blob);
+        assert_eq!(res, Ok(b"data".to_vec()));
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! avoids. This module makes those effects measurable.
 
 use crate::error::{Result, TeeError};
+use hesgx_chaos::{FaultHook, FaultSite};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Page size in bytes (SGX uses 4 KiB EPC pages).
 pub const PAGE_SIZE: usize = 4096;
@@ -48,6 +50,7 @@ pub struct Epc {
     lru: Vec<(RegionId, usize)>,
     resident: HashMap<(RegionId, usize), usize>, // -> index hint (rebuilt lazily)
     stats: EpcStats,
+    hook: Option<Arc<dyn FaultHook>>,
 }
 
 impl Epc {
@@ -63,7 +66,16 @@ impl Epc {
             lru: Vec::new(),
             resident: HashMap::new(),
             stats: EpcStats::default(),
+            hook: None,
         }
+    }
+
+    /// Installs a fault hook consulted on page touches ([`FaultSite::EpcLoad`]
+    /// for resident hits, [`FaultSite::EpcEvict`] on the fault path). Injected
+    /// EPC faults model *pressure* from competing enclaves: touches still
+    /// succeed, but pay extra faults and evictions.
+    pub fn set_fault_hook(&mut self, hook: Arc<dyn FaultHook>) {
+        self.hook = Some(hook);
     }
 
     /// Allocates a logical region of `bytes` within the enclave heap.
@@ -150,16 +162,41 @@ impl Epc {
     fn touch_page(&mut self, id: RegionId, page: usize) -> bool {
         let key = (id, page);
         if self.resident.contains_key(&key) {
-            // Move to MRU position.
-            if let Some(pos) = self.lru.iter().position(|&k| k == key) {
-                let item = self.lru.remove(pos);
-                self.lru.push(item);
+            let pressured = self
+                .hook
+                .as_ref()
+                .is_some_and(|h| h.inject(FaultSite::EpcLoad).is_some());
+            if pressured {
+                // Injected pressure: the page behaves as if a competing
+                // enclave evicted it — drop residency and fall through to the
+                // fault path so it must be reloaded.
+                if let Some(pos) = self.lru.iter().position(|&k| k == key) {
+                    self.lru.remove(pos);
+                }
+                self.resident.remove(&key);
+                self.stats.evictions += 1;
+            } else {
+                // Move to MRU position.
+                if let Some(pos) = self.lru.iter().position(|&k| k == key) {
+                    let item = self.lru.remove(pos);
+                    self.lru.push(item);
+                }
+                self.stats.hits += 1;
+                return false;
             }
-            self.stats.hits += 1;
-            return false;
         }
         // Fault: evict if full, then load.
         self.stats.faults += 1;
+        let extra_eviction = self
+            .hook
+            .as_ref()
+            .is_some_and(|h| h.inject(FaultSite::EpcEvict).is_some());
+        if extra_eviction && !self.lru.is_empty() {
+            // Injected pressure: one extra victim page beyond capacity needs.
+            let victim = self.lru.remove(0);
+            self.resident.remove(&victim);
+            self.stats.evictions += 1;
+        }
         while self.lru.len() >= self.capacity_pages {
             let victim = self.lru.remove(0);
             self.resident.remove(&victim);
@@ -257,6 +294,45 @@ mod tests {
             Err(TeeError::UnknownRegion(42))
         );
         assert_eq!(epc.free(RegionId(42)), Err(TeeError::UnknownRegion(42)));
+    }
+
+    #[test]
+    fn load_fault_forces_reload_of_resident_page() {
+        use hesgx_chaos::{FaultKind, FaultPlan};
+        let injector = Arc::new(
+            FaultPlan::new(1)
+                .script(FaultSite::EpcLoad, 0, FaultKind::Pressure)
+                .build(),
+        );
+        let mut epc = Epc::new(16 * PAGE_SIZE, 8 * PAGE_SIZE);
+        epc.set_fault_hook(injector);
+        let r = epc.alloc(PAGE_SIZE).unwrap();
+        assert_eq!(epc.touch_region(r).unwrap(), 1); // cold fault
+                                                     // Resident, but the injected pressure evicts it mid-touch: faults
+                                                     // again instead of hitting.
+        assert_eq!(epc.touch_region(r).unwrap(), 1);
+        assert_eq!(epc.stats().evictions, 1);
+        // Subsequent touches hit normally (script fired once).
+        assert_eq!(epc.touch_region(r).unwrap(), 0);
+    }
+
+    #[test]
+    fn evict_fault_drops_an_extra_victim() {
+        use hesgx_chaos::{FaultKind, FaultPlan};
+        let injector = Arc::new(
+            FaultPlan::new(1)
+                .script(FaultSite::EpcEvict, 1, FaultKind::Pressure)
+                .build(),
+        );
+        let mut epc = Epc::new(16 * PAGE_SIZE, 8 * PAGE_SIZE);
+        epc.set_fault_hook(injector);
+        let a = epc.alloc(PAGE_SIZE).unwrap();
+        let b = epc.alloc(PAGE_SIZE).unwrap();
+        epc.touch_region(a).unwrap(); // cold fault, occurrence 0: no injection
+        epc.touch_region(b).unwrap(); // cold fault, occurrence 1: evicts `a`
+        assert_eq!(epc.stats().evictions, 1);
+        // `a` was the extra victim, so touching it faults again.
+        assert_eq!(epc.touch_region(a).unwrap(), 1);
     }
 
     #[test]

@@ -72,4 +72,5 @@ pub mod prelude {
     pub use crate::error::TeeError;
     pub use crate::sealing::SealedBlob;
     pub use crate::sidechannel::{SideChannelEvent, SideChannelMonitor};
+    pub use hesgx_chaos::{FaultHook, FaultKind, FaultPlan, FaultReport, FaultSite};
 }

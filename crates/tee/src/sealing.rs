@@ -32,6 +32,13 @@ impl SealedBlob {
     pub fn byte_len(&self) -> usize {
         12 + self.ciphertext.len() + 32
     }
+
+    /// Silently damages the blob's integrity tag — the fault-injection model
+    /// of a sealed blob rotting on untrusted storage. The damage is only
+    /// detectable at the next unseal, exactly like real bit rot.
+    pub(crate) fn corrupt(&mut self) {
+        self.tag[0] ^= 1;
+    }
 }
 
 /// Derives the sealing key for `(platform_secret, measurement)` — the
