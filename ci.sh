@@ -37,4 +37,11 @@ echo "==> chaos sweep"
 cargo run --release -q -p hesgx-bench --offline --bin repro -- chaos_sweep --quick
 test -s target/chaos-report.json
 
+# Obs report: deterministic per-layer cost accounting; reconciles the obs
+# spans against the pipeline metrics ns-for-ns and writes the snapshot
+# artifact to target/obs/obs_report.json.
+echo "==> obs report"
+cargo run --release -q -p hesgx-bench --offline --bin repro -- obs_report --quick
+test -s target/obs/obs_report.json
+
 echo "ci: all checks passed"

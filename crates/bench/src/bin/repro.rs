@@ -6,7 +6,9 @@
 //! cargo run --release -p hesgx-bench --bin repro -- --quick  # reduced reps
 //! ```
 
-use hesgx_bench::experiments::{ablation, chaos_sweep, e2e, figures, par_sweep, tables, RunConfig};
+use hesgx_bench::experiments::{
+    ablation, chaos_sweep, e2e, figures, obs_report, par_sweep, tables, RunConfig,
+};
 use hesgx_bench::PaperEnv;
 
 const EXPERIMENTS: &[&str] = &[
@@ -24,6 +26,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablation",
     "par_sweep",
     "chaos_sweep",
+    "obs_report",
 ];
 
 fn main() {
@@ -64,35 +67,54 @@ fn main() {
     let mut env = needs_env.then(|| PaperEnv::new(2021));
 
     if let Some(env) = env.as_mut() {
+        // Each experiment's obs snapshot is cut (and the recorder reset) right
+        // after it runs, so `target/obs/<name>.json` holds that experiment's
+        // spans and counters alone.
+        let snapshot = |name: &str, env: &PaperEnv| {
+            if let Some(path) = hesgx_bench::write_obs_snapshot(name, &env.obs) {
+                println!("obs snapshot written to {}", path.display());
+            }
+            env.obs.reset();
+        };
         if wanted("table1") {
             tables::table1_keygen(env, cfg);
+            snapshot("table1", env);
         }
         if wanted("table2") {
             tables::table2_image_encryption(env, cfg);
+            snapshot("table2", env);
         }
         if wanted("table3") {
             tables::table3_result_decryption(env, cfg);
+            snapshot("table3", env);
         }
         if wanted("table4") {
             tables::table4_enc_dec_costs(env, cfg);
+            snapshot("table4", env);
         }
         if wanted("table5") {
             tables::table5_relinearization(env, cfg);
+            snapshot("table5", env);
         }
         if wanted("fig3") {
             figures::fig3_weight_encoding(env, cfg);
+            snapshot("fig3", env);
         }
         if wanted("fig4") {
             figures::fig4_conv_kernel(env, cfg);
+            snapshot("fig4", env);
         }
         if wanted("fig5") {
             figures::fig5_sigmoid(env, cfg);
+            snapshot("fig5", env);
         }
         if wanted("fig6") {
             figures::fig6_pooling(env, cfg);
+            snapshot("fig6", env);
         }
         if wanted("ablation") {
             ablation::run_all(env, cfg);
+            snapshot("ablation", env);
         }
     }
     if wanted("model") {
@@ -106,6 +128,9 @@ fn main() {
     }
     if wanted("chaos_sweep") {
         chaos_sweep::chaos_sweep(cfg);
+    }
+    if wanted("obs_report") {
+        obs_report::obs_report(cfg);
     }
     println!();
     println!("done.");

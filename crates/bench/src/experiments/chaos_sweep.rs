@@ -20,6 +20,7 @@ use hesgx_core::prelude::*;
 use hesgx_crypto::rng::ChaChaRng;
 use hesgx_nn::layers::PoolKind;
 use hesgx_nn::model_zoo::paper_cnn;
+use hesgx_obs::Recorder;
 use std::path::Path;
 use std::time::Instant;
 
@@ -67,7 +68,7 @@ pub struct ChaosSweep {
     pub report_path: Option<String>,
 }
 
-fn sweep_model(quick: bool) -> QuantizedCnn {
+pub(crate) fn sweep_model(quick: bool) -> QuantizedCnn {
     if quick {
         // Reduced instance of the paper architecture: same layer types,
         // 8×8 input so a sweep point takes well under a second.
@@ -93,12 +94,13 @@ fn sweep_model(quick: bool) -> QuantizedCnn {
     }
 }
 
-fn build_session(model: &QuantizedCnn, plan: Option<FaultPlan>) -> Session {
+fn build_session(model: &QuantizedCnn, plan: Option<FaultPlan>, obs: &Recorder) -> Session {
     let mut builder = SessionBuilder::new()
         .params(ParamsPreset::Small)
         .threads(2)
         .seed(7)
-        .noise_refresh(true);
+        .noise_refresh(true)
+        .recorder(obs.clone());
     if let Some(plan) = plan {
         builder = builder.chaos(plan);
     }
@@ -112,8 +114,9 @@ fn run_point(
     image: &[i64],
     seed: u64,
     rate: f64,
+    obs: &Recorder,
 ) -> (Vec<i64>, FaultReport, f64) {
-    let session = build_session(model, Some(FaultPlan::transient_only(seed, rate, CAP)));
+    let session = build_session(model, Some(FaultPlan::transient_only(seed, rate, CAP)), obs);
     let start = Instant::now();
     let logits = session.infer(image).expect("transient-only run recovers");
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -138,7 +141,8 @@ pub fn chaos_sweep(cfg: RunConfig) -> ChaosSweep {
     let image: Vec<i64> = (0..model.in_side * model.in_side)
         .map(|p| ((p * 3) % 16) as i64)
         .collect();
-    let baseline_session = build_session(&model, None);
+    let obs = Recorder::enabled();
+    let baseline_session = build_session(&model, None, &obs);
     let start = Instant::now();
     let baseline = baseline_session.infer(&image).expect("fault-free baseline");
     let baseline_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -146,8 +150,8 @@ pub fn chaos_sweep(cfg: RunConfig) -> ChaosSweep {
     let mut points = Vec::with_capacity(PLAN_SEEDS.len() * rates.len());
     for &rate in rates {
         for &seed in &PLAN_SEEDS {
-            let (logits, report, wall_ms) = run_point(&model, &image, seed, rate);
-            let (_, repeat, _) = run_point(&model, &image, seed, rate);
+            let (logits, report, wall_ms) = run_point(&model, &image, seed, rate, &obs);
+            let (_, repeat, _) = run_point(&model, &image, seed, rate, &obs);
             let report_json = report.to_json();
             points.push(ChaosPoint {
                 seed,
@@ -211,6 +215,10 @@ pub fn chaos_sweep(cfg: RunConfig) -> ChaosSweep {
             None
         }
     };
+
+    if let Some(path) = crate::write_obs_snapshot("chaos_sweep", &obs) {
+        println!("obs snapshot written to {}", path.display());
+    }
 
     ChaosSweep {
         points,

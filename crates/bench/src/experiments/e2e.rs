@@ -12,6 +12,7 @@ use hesgx_nn::layers::{ActivationKind, PoolKind};
 use hesgx_nn::model_zoo::{architecture_table, paper_cnn};
 use hesgx_nn::quantize::{QuantPipeline, QuantizedCnn};
 use hesgx_nn::train::{train_paper_cnn, TrainConfig, TrainedModel};
+use hesgx_obs::Recorder;
 use hesgx_tee::cost::CostModel;
 use hesgx_tee::enclave::Platform;
 use std::time::Instant;
@@ -129,12 +130,14 @@ pub fn fig8_end_to_end(cfg: RunConfig) -> Fig8 {
 
     // ---- EncryptSGX: the hybrid framework (batched ECALLs). ----
     println!("running EncryptSGX (hybrid framework)...");
+    let obs = Recorder::enabled();
     let (service, ceremony) = HybridInference::provision_with(
         Platform::new(99),
         hybrid_model.clone(),
         ProvisionConfig {
             poly_degree: PAPER_POLY_DEGREE,
             seed: 13,
+            recorder: obs.clone(),
             ..ProvisionConfig::default()
         },
     )
@@ -190,6 +193,7 @@ pub fn fig8_end_to_end(cfg: RunConfig) -> Fig8 {
             poly_degree: PAPER_POLY_DEGREE,
             seed: 14,
             cost_model: Some(CostModel::fake_sgx()),
+            recorder: obs.clone(),
             ..ProvisionConfig::default()
         },
     )
@@ -238,6 +242,10 @@ pub fn fig8_end_to_end(cfg: RunConfig) -> Fig8 {
     println!(
         "encrypted predictions exactly match plaintext quantized reference: hybrid {hybrid_exact}, baseline {baseline_exact} (paper: 'accuracy rates are consistent with the plaintext predictions')"
     );
+
+    if let Some(path) = crate::write_obs_snapshot("fig8", &obs) {
+        println!("obs snapshot written to {}", path.display());
+    }
 
     Fig8 {
         encrypted_s,

@@ -8,6 +8,7 @@ pub mod ablation;
 pub mod chaos_sweep;
 pub mod e2e;
 pub mod figures;
+pub mod obs_report;
 pub mod par_sweep;
 pub mod tables;
 

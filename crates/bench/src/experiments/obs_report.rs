@@ -1,0 +1,159 @@
+//! `obs_report` — the deterministic observability layer's per-layer cost
+//! table (not in the paper).
+//!
+//! Runs a fixed-seed session at worker-pool sizes 1/2/4 with an enabled
+//! [`Recorder`], then checks the two contracts DESIGN.md §12 pins:
+//!
+//! 1. **Snapshot determinism** — `Recorder::snapshot_json` is byte-identical
+//!    across runs and pool sizes (only modeled cost terms and entry counts
+//!    reach the file; wall-derived terms stay in memory).
+//! 2. **Reconciliation** — summing the in-memory `infer.layer[i].ecall`
+//!    spans reproduces `total_enclave_cost(&metrics)` exactly, nanosecond
+//!    for nanosecond, because both sides are fed the same `CostBreakdown`.
+//!
+//! The snapshot is written to `target/obs/obs_report.json` for CI to archive.
+
+use super::{chaos_sweep::sweep_model, header, RunConfig};
+use hesgx_core::pipeline::total_enclave_cost;
+use hesgx_core::prelude::*;
+use hesgx_obs::{counters, Recorder, SpanCost};
+
+/// One row of the per-layer cost table.
+#[derive(Debug, Clone)]
+pub struct LayerCost {
+    /// Span path (`infer.layer[i].he` / `infer.layer[i].ecall`).
+    pub span: String,
+    /// Recorded entries (one per inference for pipeline spans).
+    pub entries: u64,
+    /// Modeled boundary-transition nanoseconds.
+    pub transition_ns: u64,
+    /// Modeled marshalling-copy nanoseconds.
+    pub copy_ns: u64,
+    /// Modeled EPC-paging nanoseconds.
+    pub paging_ns: u64,
+    /// Full six-term virtual-clock total (in-memory only).
+    pub total_ns: u64,
+}
+
+/// Machine-checkable summary of the report.
+#[derive(Debug, Clone)]
+pub struct ObsReport {
+    /// Snapshot bytes identical across pool sizes 1/2/4.
+    pub snapshots_identical: bool,
+    /// Obs `.ecall` fold equals `total_enclave_cost` exactly.
+    pub reconciled: bool,
+    /// Absolute reconciliation gap in nanoseconds (zero when `reconciled`).
+    pub delta_ns: u128,
+    /// Per-layer rows, span-name order.
+    pub per_layer: Vec<LayerCost>,
+    /// Where the snapshot landed (unset when the write failed).
+    pub snapshot_path: Option<String>,
+}
+
+/// Runs the report, prints the table, writes `target/obs/obs_report.json`.
+pub fn obs_report(cfg: RunConfig) -> ObsReport {
+    header("OBS REPORT: deterministic per-layer cost accounting (not in the paper)");
+    let model = sweep_model(cfg.quick);
+    let image: Vec<i64> = (0..model.in_side * model.in_side)
+        .map(|p| ((p * 3) % 16) as i64)
+        .collect();
+
+    let mut snaps = Vec::new();
+    let mut first: Option<(Session, Recorder)> = None;
+    for threads in [1usize, 2, 4] {
+        let rec = Recorder::enabled();
+        let session = SessionBuilder::new()
+            .params(ParamsPreset::Small)
+            .threads(threads)
+            .seed(7)
+            .noise_refresh(true)
+            .recorder(rec.clone())
+            .build(Platform::new(702), model.clone())
+            .expect("obs report provisioning");
+        session.infer(&image).expect("fault-free inference");
+        snaps.push(session.obs_snapshot_json());
+        if first.is_none() {
+            first = Some((session, rec));
+        }
+    }
+    let snapshots_identical = snaps.windows(2).all(|w| w[0] == w[1]);
+    let (session, rec) = first.expect("at least one pool size ran");
+
+    let metrics = session.metrics().expect("inference ran");
+    let total = total_enclave_cost(&metrics);
+    let spans = rec.spans_with_prefix("infer.");
+    let folded = spans
+        .iter()
+        .filter(|(name, _)| name.ends_with(".ecall"))
+        .fold(SpanCost::default(), |acc, (_, s)| {
+            acc.saturating_add(s.cost)
+        });
+    let reconciled = folded == total.span_cost();
+    let delta_ns = u128::from(folded.total_ns()).abs_diff(u128::from(total.total_ns()));
+
+    println!(
+        "input {}×{} | FV n = 256 | pools 1/2/4 | seed 7",
+        model.in_side, model.in_side
+    );
+    println!();
+    println!("span                          entries   transition(ns)    copy(ns)   paging(ns)     total(ns)");
+    let per_layer: Vec<LayerCost> = spans
+        .iter()
+        .map(|(name, s)| LayerCost {
+            span: name.clone(),
+            entries: s.entries,
+            transition_ns: s.cost.transition_ns,
+            copy_ns: s.cost.copy_ns,
+            paging_ns: s.cost.paging_ns,
+            total_ns: s.cost.total_ns(),
+        })
+        .collect();
+    for row in &per_layer {
+        println!(
+            "{:<28} {:>8} {:>16} {:>11} {:>12} {:>13}",
+            row.span, row.entries, row.transition_ns, row.copy_ns, row.paging_ns, row.total_ns
+        );
+    }
+    println!();
+    println!(
+        "total_enclave_cost(metrics): {} ns | obs .ecall fold: {} ns | Δ = {} ns",
+        total.total_ns(),
+        folded.total_ns(),
+        delta_ns
+    );
+    println!("reconciles ns-for-ns: {reconciled}");
+    println!("snapshots byte-identical across pools 1/2/4: {snapshots_identical}");
+    println!(
+        "ecalls {} | transitions {} | bytes marshalled {} | page faults {} | par tasks {}",
+        rec.counter(counters::ECALLS),
+        rec.counter(counters::ECALL_TRANSITIONS),
+        rec.counter(counters::BYTES_MARSHALLED),
+        rec.counter(counters::EPC_PAGE_FAULTS),
+        rec.counter(counters::PAR_TASKS),
+    );
+
+    let snapshot_path =
+        crate::write_obs_snapshot("obs_report", &rec).map(|p| p.display().to_string());
+    if let Some(path) = &snapshot_path {
+        println!("obs snapshot written to {path}");
+    }
+
+    // CI gates on this experiment: a broken contract must fail the run, not
+    // just print `false` in a table nobody re-reads.
+    assert!(
+        snapshots_identical,
+        "obs snapshots diverged across pool sizes 1/2/4"
+    );
+    assert!(
+        reconciled,
+        "obs .ecall fold diverged from total_enclave_cost by {delta_ns} ns"
+    );
+
+    ObsReport {
+        snapshots_identical,
+        reconciled,
+        delta_ns,
+        per_layer,
+        snapshot_path,
+    }
+}

@@ -18,6 +18,7 @@ use hesgx_henn::image::EncryptedMap;
 use hesgx_nn::layers::{ActivationKind, PoolKind};
 use hesgx_nn::model_zoo::paper_cnn;
 use hesgx_nn::quantize::{QuantPipeline, QuantizedCnn};
+use hesgx_obs::Recorder;
 use hesgx_tee::enclave::Platform;
 use std::num::NonZeroUsize;
 use std::time::Instant;
@@ -95,6 +96,7 @@ pub fn par_sweep(cfg: RunConfig) -> ParSweep {
     let mut bit_identical = true;
     let mut stage_names: Vec<String> = Vec::new();
 
+    let obs = Recorder::enabled();
     for &threads in &thread_counts {
         // Fresh, identically-seeded service per pool size: only the worker
         // count varies between sweep points.
@@ -105,6 +107,7 @@ pub fn par_sweep(cfg: RunConfig) -> ParSweep {
                 poly_degree,
                 seed: 7,
                 threads,
+                recorder: obs.clone(),
                 ..ProvisionConfig::default()
             },
         )
@@ -189,6 +192,10 @@ pub fn par_sweep(cfg: RunConfig) -> ParSweep {
             ""
         }
     );
+
+    if let Some(path) = crate::write_obs_snapshot("par_sweep", &obs) {
+        println!("obs snapshot written to {}", path.display());
+    }
 
     ParSweep {
         points,

@@ -17,8 +17,10 @@ pub mod stats;
 
 use hesgx_crypto::rng::ChaChaRng;
 use hesgx_henn::crt::{CrtKeys, CrtPlainSystem};
+use hesgx_obs::Recorder;
 use hesgx_tee::cost::CostModel;
 use hesgx_tee::enclave::{Enclave, EnclaveBuilder, Platform};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Polynomial degree used throughout (the paper's n = 1024, §V-A).
@@ -40,6 +42,9 @@ pub struct PaperEnv {
     pub keys: CrtKeys,
     /// Deterministic randomness for the experiment.
     pub rng: ChaChaRng,
+    /// Observability recorder attached to every enclave this environment
+    /// mints; the `repro` driver snapshots and resets it per experiment.
+    pub obs: Recorder,
 }
 
 impl PaperEnv {
@@ -54,6 +59,7 @@ impl PaperEnv {
             sys,
             keys,
             rng,
+            obs: Recorder::enabled(),
         }
     }
 
@@ -67,7 +73,9 @@ impl PaperEnv {
         if fake {
             builder = builder.cost_model(CostModel::fake_sgx());
         }
-        builder.build(self.platform.clone())
+        builder
+            .recorder(self.obs.clone())
+            .build(self.platform.clone())
     }
 
     /// Wraps this environment's keys in an [`hesgx_core::InferenceEnclave`].
@@ -79,5 +87,23 @@ impl PaperEnv {
             self.keys.public.clone(),
             11,
         )
+    }
+}
+
+/// Writes `recorder`'s deterministic snapshot to
+/// `target/obs/<experiment>.json` and returns the path. A failed write is
+/// reported on stdout and returns `None` — observability must never fail an
+/// experiment run.
+pub fn write_obs_snapshot(experiment: &str, recorder: &Recorder) -> Option<PathBuf> {
+    let dir = std::path::Path::new("target").join("obs");
+    let path = dir.join(format!("{experiment}.json"));
+    match std::fs::create_dir_all(&dir)
+        .and_then(|()| std::fs::write(&path, recorder.snapshot_json().as_bytes()))
+    {
+        Ok(()) => Some(path),
+        Err(e) => {
+            println!("could not write {}: {e}", path.display());
+            None
+        }
     }
 }

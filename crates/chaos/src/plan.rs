@@ -1,6 +1,7 @@
 //! Fault plans (when faults fire) and the injector that executes them.
 
 use hesgx_crypto::rng::ChaChaRng;
+use hesgx_obs::{counters, Recorder};
 use parking_lot::Mutex;
 
 use crate::{ChaosEvent, FaultHook, FaultKind, FaultReport, FaultSite, RecoveryEvent};
@@ -138,6 +139,8 @@ struct InjectorState {
     /// Rate-triggered injections per site (checked against the cap).
     injected: [u64; SITES],
     report: FaultReport,
+    /// Observability mirror: every delivered fault bumps `faults.injected`.
+    recorder: Recorder,
 }
 
 /// Executes a [`FaultPlan`] and records a [`FaultReport`].
@@ -163,8 +166,16 @@ impl FaultInjector {
                 consults: [0; SITES],
                 injected: [0; SITES],
                 report: FaultReport::default(),
+                recorder: Recorder::disabled(),
             }),
         }
+    }
+
+    /// Installs an observability recorder: every fault this injector actually
+    /// delivers (scripted or rate-triggered) increments `faults.injected`, so
+    /// obs snapshots and [`FaultReport`]s count the same events.
+    pub fn set_recorder(&self, recorder: Recorder) {
+        self.state.lock().recorder = recorder;
     }
 
     /// The plan this injector executes.
@@ -225,6 +236,7 @@ impl FaultHook for FaultInjector {
                 occurrence,
                 kind,
             });
+            state.recorder.incr(counters::FAULTS_INJECTED, 1);
         }
         kind
     }
@@ -367,6 +379,24 @@ mod tests {
             injector.inject(FaultSite::EpcLoad),
             Some(FaultKind::Pressure)
         );
+    }
+
+    #[test]
+    fn delivered_faults_bump_the_obs_counter() {
+        let recorder = Recorder::enabled();
+        let injector = FaultPlan::new(1)
+            .rate(FaultSite::EcallEnter, 1.0)
+            .cap(FaultSite::EcallEnter, 2)
+            .script(FaultSite::Seal, 0, FaultKind::Corruption)
+            .build();
+        injector.set_recorder(recorder.clone());
+        drive(&injector, FaultSite::EcallEnter, 10);
+        drive(&injector, FaultSite::Seal, 2);
+        assert_eq!(
+            recorder.counter(counters::FAULTS_INJECTED),
+            injector.report().injected_total()
+        );
+        assert_eq!(recorder.counter(counters::FAULTS_INJECTED), 3);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use hesgx_henn::ops::{self, OpCounter};
 use hesgx_henn::par::ParExec;
 use hesgx_nn::layers::ActivationKind;
 use hesgx_nn::quantize::{QuantPipeline, QuantizedCnn};
+use hesgx_obs::Recorder;
 use hesgx_tee::cost::{CostBreakdown, CostModel};
 use hesgx_tee::enclave::{EnclaveBuilder, Platform};
 use hesgx_tee::error::TeeError;
@@ -114,6 +115,10 @@ pub struct ProvisionConfig {
     /// default: the paper's four-stage pipeline does not need it at MNIST
     /// depth.
     pub refresh_between_stages: bool,
+    /// Observability recorder threaded through the enclave, the worker pool,
+    /// and the pipeline stages. The default is the disabled no-op recorder:
+    /// recording costs nothing unless a caller installs an enabled one.
+    pub recorder: Recorder,
 }
 
 impl Default for ProvisionConfig {
@@ -127,6 +132,7 @@ impl Default for ProvisionConfig {
             recovery: RecoveryPolicy::default(),
             fault_hook: None,
             refresh_between_stages: false,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -148,6 +154,8 @@ pub struct HybridInference {
     /// probed by [`HybridInference::verify_sealed_state`].
     sealed_keys: SealedBlob,
     refresh_between_stages: bool,
+    /// Observability recorder shared with the enclave and the worker pool.
+    recorder: Recorder,
 }
 
 impl HybridInference {
@@ -186,13 +194,23 @@ impl HybridInference {
         if let Some(hook) = &config.fault_hook {
             builder = builder.fault_hook(hook.clone());
         }
+        builder = builder.recorder(config.recorder.clone());
         let enclave = builder.build(platform);
         let mut rng = ChaChaRng::from_seed(config.seed).fork("provision");
+        let provision_start = Instant::now();
         let (keys, ceremony) = enclave_generate_keys(&enclave, &sys, &mut rng)?;
         // Seal the secret keys right after the ceremony; a corrupted seal
         // (crash mid-write, injected fault) is only *detected* at the next
         // unseal, which is exactly what verify_sealed_state probes.
         let sealed_keys = seal_secret_keys(&enclave, &keys.secret);
+        if config.recorder.is_enabled() {
+            // The key-ceremony ECALL already recorded its own `ecall.*` span;
+            // `session.provision` is the session-level rollup of the same
+            // modeled cost plus the untrusted-side wall time around it.
+            let mut span = ceremony.keygen_cost.span_cost();
+            span.real_ns = provision_start.elapsed().as_nanos() as u64;
+            config.recorder.record_span("session.provision", span);
+        }
         let mut plan = plan_for(&model);
         if let Some(strategy) = config.pool_strategy {
             plan.pool_strategy = strategy;
@@ -206,10 +224,11 @@ impl HybridInference {
             model,
             plan,
             activation: ActivationKind::Sigmoid,
-            pool: ParExec::new(config.threads),
+            pool: ParExec::new(config.threads).with_recorder(config.recorder.clone()),
             evaluation: keys.evaluation,
             sealed_keys,
             refresh_between_stages: config.refresh_between_stages,
+            recorder: config.recorder,
         };
         Ok((service, ceremony))
     }
@@ -302,7 +321,28 @@ impl HybridInference {
     /// Re-sizes the worker pool (`0` = one per available core). The results
     /// of [`HybridInference::infer`] are bit-identical for every pool size.
     pub fn set_threads(&mut self, threads: usize) {
-        self.pool = ParExec::new(threads);
+        self.pool = ParExec::new(threads).with_recorder(self.recorder.clone());
+    }
+
+    /// The observability recorder this service reports into (disabled no-op
+    /// unless [`ProvisionConfig::recorder`] installed an enabled one).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Records a per-layer pipeline span: `.he` stages carry wall time only
+    /// (no boundary crossing, so no modeled terms), `.ecall` stages carry the
+    /// stage's full [`CostBreakdown`] — which is what makes the obs totals
+    /// reconcile ns-for-ns with [`total_enclave_cost`].
+    fn record_stage(&self, name: &str, wall: Duration, enclave: Option<&CostBreakdown>) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        let mut span = enclave.map(|c| c.span_cost()).unwrap_or_default();
+        if enclave.is_none() {
+            span.real_ns = wall.as_nanos() as u64;
+        }
+        self.recorder.record_span(name, span);
     }
 
     /// Runs the hybrid inference. Returns encrypted logits plus metrics.
@@ -335,9 +375,11 @@ impl HybridInference {
             &mut metrics.ops,
             &self.pool,
         )?;
+        let conv_wall = start.elapsed();
+        self.record_stage("infer.layer[0].he", conv_wall, None);
         metrics.stages.push(StageMetrics {
             name: "Convolutional Layer (HE outside)".into(),
-            wall: start.elapsed(),
+            wall: conv_wall,
             enclave: None,
         });
 
@@ -354,9 +396,11 @@ impl HybridInference {
                     .activation_map_single_ecalls(&self.sys, &conv, m, self.activation)?
             }
         };
+        let act_wall = start.elapsed();
+        self.record_stage("infer.layer[1].ecall", act_wall, Some(&act_cost));
         metrics.stages.push(StageMetrics {
             name: "Activation (SGX inside)".into(),
-            wall: start.elapsed(),
+            wall: act_wall,
             enclave: Some(act_cost),
         });
 
@@ -378,11 +422,14 @@ impl HybridInference {
                     .divide_map_par(&self.sys, &summed, m, &self.pool)?
             }
         };
+        let pool_wall = start.elapsed();
+        self.record_stage("infer.layer[2].ecall", pool_wall, Some(&pool_cost));
         metrics.stages.push(StageMetrics {
             name: format!("Pooling Layer ({:?})", self.plan.pool_strategy),
-            wall: start.elapsed(),
+            wall: pool_wall,
             enclave: Some(pool_cost),
         });
+        let mut layer = 3usize;
 
         // Optional noise refresh — decrypt–re-encrypt inside the enclave
         // (§IV-E) between pooling and the FC layer, resetting invariant
@@ -393,9 +440,16 @@ impl HybridInference {
                 self.enclave
                     .refresh_batch_par(&self.sys, pooled.cells(), &self.pool)?;
             let (c, h, w) = pooled.shape();
+            let refresh_wall = start.elapsed();
+            self.record_stage(
+                &format!("infer.layer[{layer}].ecall"),
+                refresh_wall,
+                Some(&cost),
+            );
+            layer += 1;
             metrics.stages.push(StageMetrics {
                 name: "Noise Refresh (SGX inside)".into(),
-                wall: start.elapsed(),
+                wall: refresh_wall,
                 enclave: Some(cost),
             });
             EncryptedMap::new(c, h, w, fresh)
@@ -415,9 +469,11 @@ impl HybridInference {
             &mut metrics.ops,
             &self.pool,
         )?;
+        let fc_wall = start.elapsed();
+        self.record_stage(&format!("infer.layer[{layer}].he"), fc_wall, None);
         metrics.stages.push(StageMetrics {
             name: "Fully Connected Layer (HE outside)".into(),
-            wall: start.elapsed(),
+            wall: fc_wall,
             enclave: None,
         });
 
@@ -484,9 +540,11 @@ impl HybridInference {
             &mut metrics.ops,
             &self.pool,
         )?;
+        let wall = start.elapsed();
+        self.record_stage("infer.degraded.layer[0].he", wall, None);
         metrics.stages.push(StageMetrics {
             name: "Convolutional Layer (HE outside)".into(),
-            wall: start.elapsed(),
+            wall,
             enclave: None,
         });
 
@@ -498,9 +556,11 @@ impl HybridInference {
             &mut metrics.ops,
             &self.pool,
         )?;
+        let wall = start.elapsed();
+        self.record_stage("infer.degraded.layer[1].he", wall, None);
         metrics.stages.push(StageMetrics {
             name: "Square Activation (HE fallback)".into(),
-            wall: start.elapsed(),
+            wall,
             enclave: None,
         });
 
@@ -512,9 +572,11 @@ impl HybridInference {
             &mut metrics.ops,
             &self.pool,
         )?;
+        let wall = start.elapsed();
+        self.record_stage("infer.degraded.layer[2].he", wall, None);
         metrics.stages.push(StageMetrics {
             name: "Scaled Mean Pool (HE fallback)".into(),
-            wall: start.elapsed(),
+            wall,
             enclave: None,
         });
 
@@ -528,9 +590,11 @@ impl HybridInference {
             &mut metrics.ops,
             &self.pool,
         )?;
+        let wall = start.elapsed();
+        self.record_stage("infer.degraded.layer[3].he", wall, None);
         metrics.stages.push(StageMetrics {
             name: "Fully Connected Layer (HE outside)".into(),
-            wall: start.elapsed(),
+            wall,
             enclave: None,
         });
 

@@ -17,6 +17,7 @@
 use crate::error::Result;
 use crate::sgx_ops::sum_costs;
 use hesgx_chaos::{FaultHook, FaultSite, RecoveryEvent};
+use hesgx_obs::{counters, Recorder};
 use hesgx_tee::cost::CostBreakdown;
 
 /// How transient faults are retried.
@@ -66,9 +67,16 @@ impl RecoveryPolicy {
 ///
 /// Fatal failures propagate immediately. Each retry and the final outcome
 /// (recovered / exhausted) is reported to `hook` as a [`RecoveryEvent`].
+///
+/// Every attempt — including one that failed *before* crossing the boundary
+/// and was therefore charged `CostBreakdown::default()` — is recorded as an
+/// entry under the `recovery.retry` span on `recorder`, so attempt counts in
+/// a `FaultReport` always reconcile with recorded cost entries even when the
+/// cost books legitimately show zero for a dropped request.
 pub fn retry_with_cost<T>(
     policy: &RecoveryPolicy,
     hook: Option<&dyn FaultHook>,
+    recorder: &Recorder,
     mut op: impl FnMut() -> (Result<T>, CostBreakdown),
 ) -> (Result<T>, CostBreakdown) {
     let mut total = CostBreakdown::default();
@@ -77,6 +85,8 @@ pub fn retry_with_cost<T>(
     loop {
         let (result, cost) = op();
         total = sum_costs(total, cost);
+        recorder.record_span("recovery.retry", cost.span_cost());
+        recorder.incr(counters::RECOVERY_ATTEMPTS, 1);
         attempts += 1;
         match result {
             Ok(value) => {
@@ -94,6 +104,7 @@ pub fn retry_with_cost<T>(
                 last_site = Some(site);
                 let retry_index = attempts - 1;
                 if retry_index < policy.max_retries {
+                    recorder.incr(counters::RECOVERY_RETRIES, 1);
                     if let Some(h) = hook {
                         h.on_recovery(RecoveryEvent::Retry {
                             site,
@@ -149,10 +160,12 @@ mod tests {
     #[test]
     fn first_try_success_sums_one_cost_and_reports_nothing() {
         let recorder = Arc::new(FaultPlan::new(0).build());
-        let (res, cost) =
-            retry_with_cost(&RecoveryPolicy::default(), Some(recorder.as_ref()), || {
-                (Ok(42), unit_cost())
-            });
+        let (res, cost) = retry_with_cost(
+            &RecoveryPolicy::default(),
+            Some(recorder.as_ref()),
+            &Recorder::disabled(),
+            || (Ok(42), unit_cost()),
+        );
         assert_eq!(res.ok(), Some(42));
         assert_eq!(cost.transition_ns, 10);
         assert!(recorder.report().events.is_empty());
@@ -162,15 +175,19 @@ mod tests {
     fn transient_failures_retry_then_recover() {
         let recorder = Arc::new(FaultPlan::new(0).build());
         let mut calls = 0;
-        let (res, cost) =
-            retry_with_cost(&RecoveryPolicy::default(), Some(recorder.as_ref()), || {
+        let (res, cost) = retry_with_cost(
+            &RecoveryPolicy::default(),
+            Some(recorder.as_ref()),
+            &Recorder::disabled(),
+            || {
                 calls += 1;
                 if calls < 3 {
                     (Err(transient()), unit_cost())
                 } else {
                     (Ok("done"), unit_cost())
                 }
-            });
+            },
+        );
         assert_eq!(res.ok(), Some("done"));
         // Every attempt's boundary cost stays on the books.
         assert_eq!(cost.transition_ns, 30);
@@ -203,10 +220,15 @@ mod tests {
             backoff_base_ns: 1,
         };
         let mut calls = 0;
-        let (res, cost) = retry_with_cost(&policy, Some(recorder.as_ref()), || {
-            calls += 1;
-            (Err::<(), _>(transient()), unit_cost())
-        });
+        let (res, cost) = retry_with_cost(
+            &policy,
+            Some(recorder.as_ref()),
+            &Recorder::disabled(),
+            || {
+                calls += 1;
+                (Err::<(), _>(transient()), unit_cost())
+            },
+        );
         assert!(res.is_err());
         assert_eq!(calls, 3); // 1 attempt + 2 retries
         assert_eq!(cost.transition_ns, 30);
@@ -221,13 +243,50 @@ mod tests {
     }
 
     #[test]
+    fn every_attempt_lands_in_the_obs_span_even_when_free() {
+        // A pre-boundary failure is charged CostBreakdown::default(); the
+        // attempt must still leave a recorded entry (the PR-3 accounting gap).
+        let hook = Arc::new(FaultPlan::new(0).build());
+        let obs = Recorder::enabled();
+        let mut calls = 0;
+        let (res, cost) = retry_with_cost(
+            &RecoveryPolicy::default(),
+            Some(hook.as_ref()),
+            &obs,
+            || {
+                calls += 1;
+                if calls < 3 {
+                    // Dropped before the boundary: zero cost.
+                    (Err(transient()), CostBreakdown::default())
+                } else {
+                    (Ok(()), unit_cost())
+                }
+            },
+        );
+        assert!(res.is_ok());
+        assert_eq!(cost.transition_ns, 10, "only the real crossing charged");
+        let span = obs.span("recovery.retry").expect("attempts recorded");
+        assert_eq!(span.entries, 3, "zero-cost attempts still counted");
+        assert_eq!(span.cost.transition_ns, 10);
+        assert_eq!(obs.counter(counters::RECOVERY_ATTEMPTS), 3);
+        assert_eq!(obs.counter(counters::RECOVERY_RETRIES), 2);
+        // FaultReport retries and obs retries agree.
+        assert_eq!(hook.report().retries(), 2);
+    }
+
+    #[test]
     fn fatal_errors_never_retry() {
         let recorder = Arc::new(FaultPlan::new(0).build());
         let mut calls = 0;
-        let (res, _) = retry_with_cost(&RecoveryPolicy::default(), Some(recorder.as_ref()), || {
-            calls += 1;
-            (Err::<(), _>(Error::Internal("broken")), unit_cost())
-        });
+        let (res, _) = retry_with_cost(
+            &RecoveryPolicy::default(),
+            Some(recorder.as_ref()),
+            &Recorder::disabled(),
+            || {
+                calls += 1;
+                (Err::<(), _>(Error::Internal("broken")), unit_cost())
+            },
+        );
         assert!(res.is_err());
         assert_eq!(calls, 1);
         assert!(recorder.report().events.is_empty());
@@ -236,9 +295,12 @@ mod tests {
     #[test]
     fn zero_retry_policy_fails_fast_but_reports_exhaustion() {
         let recorder = Arc::new(FaultPlan::new(0).build());
-        let (res, _) = retry_with_cost(&RecoveryPolicy::none(), Some(recorder.as_ref()), || {
-            (Err::<(), _>(transient()), unit_cost())
-        });
+        let (res, _) = retry_with_cost(
+            &RecoveryPolicy::none(),
+            Some(recorder.as_ref()),
+            &Recorder::disabled(),
+            || (Err::<(), _>(transient()), unit_cost()),
+        );
         assert!(res.is_err());
         assert!(matches!(
             recorder.report().events.last(),

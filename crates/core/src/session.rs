@@ -57,6 +57,7 @@ use hesgx_henn::image::EncryptedMap;
 use hesgx_henn::par::ParExec;
 use hesgx_nn::layers::ActivationKind;
 use hesgx_nn::quantize::QuantizedCnn;
+use hesgx_obs::{counters, Recorder};
 use hesgx_tee::attestation::AttestationService;
 use hesgx_tee::cost::{CostBreakdown, CostModel};
 use hesgx_tee::enclave::Platform;
@@ -114,6 +115,7 @@ pub struct SessionBuilder {
     recovery: RecoveryPolicy,
     chaos: Option<FaultPlan>,
     noise_refresh: bool,
+    recorder: Recorder,
 }
 
 impl Default for SessionBuilder {
@@ -129,6 +131,7 @@ impl Default for SessionBuilder {
             recovery: RecoveryPolicy::default(),
             chaos: None,
             noise_refresh: false,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -223,6 +226,17 @@ impl SessionBuilder {
         self
     }
 
+    /// Installs an observability recorder: the session threads it through
+    /// the enclave boundary, the EPC, the worker pool, the recovery layer,
+    /// the attestation verifier, and the chaos injector, and exposes the
+    /// deterministic snapshot via [`Session::obs_snapshot_json`]. The default
+    /// is the disabled no-op recorder (zero overhead).
+    #[must_use]
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
     /// Provisions the service on `platform`, runs the key ceremony,
     /// verifies the attested quote (retrying transient attestation faults
     /// under the recovery policy), and returns the ready session.
@@ -240,6 +254,11 @@ impl SessionBuilder {
             )));
         }
         let chaos = self.chaos.map(|plan| Arc::new(plan.build()));
+        if let Some(injector) = &chaos {
+            // Delivered faults are counted once, at the injector — the single
+            // source of truth for `faults.injected`.
+            injector.set_recorder(self.recorder.clone());
+        }
         let config = ProvisionConfig {
             poly_degree,
             seed: self.seed,
@@ -249,6 +268,7 @@ impl SessionBuilder {
             recovery: self.recovery,
             fault_hook: chaos.clone().map(|injector| injector as Arc<dyn FaultHook>),
             refresh_between_stages: self.noise_refresh,
+            recorder: self.recorder.clone(),
         };
         let (mut service, ceremony) =
             HybridInference::provision_with(platform.clone(), model.clone(), config.clone())?;
@@ -263,9 +283,10 @@ impl SessionBuilder {
         if let Some(injector) = &chaos {
             attestation.set_fault_hook(injector.clone());
         }
+        attestation.set_recorder(self.recorder.clone());
         let measurement = *service.enclave().enclave().measurement();
         let hook = chaos.as_ref().map(|c| c.as_ref() as &dyn FaultHook);
-        let (verified, _cost) = retry_with_cost(&self.recovery, hook, || {
+        let (verified, _cost) = retry_with_cost(&self.recovery, hook, &self.recorder, || {
             let res = verify_key_ceremony(&attestation, &ceremony, &measurement)
                 .map(|_| ())
                 .map_err(Error::Tee);
@@ -273,7 +294,7 @@ impl SessionBuilder {
         });
         verified?;
 
-        let pool = ParExec::new(self.threads);
+        let pool = ParExec::new(self.threads).with_recorder(self.recorder.clone());
         Ok(Session {
             service: RwLock::new(service),
             ceremony,
@@ -286,6 +307,7 @@ impl SessionBuilder {
             config,
             activation: self.activation,
             chaos,
+            recorder: self.recorder,
         })
     }
 }
@@ -308,6 +330,7 @@ pub struct Session {
     config: ProvisionConfig,
     activation: ActivationKind,
     chaos: Option<Arc<FaultInjector>>,
+    recorder: Recorder,
 }
 
 impl Session {
@@ -341,7 +364,10 @@ impl Session {
         let mut reprovisions = 0u32;
         loop {
             match self.run_exact(&enc, images.len()) {
-                Ok(rows) => return Ok(rows),
+                Ok(rows) => {
+                    self.recorder.incr(counters::SERVED_EXACT, 1);
+                    return Ok(rows);
+                }
                 Err(err)
                     if err.classify() == FaultClass::SealedState
                         && reprovisions < MAX_REPROVISIONS =>
@@ -369,7 +395,10 @@ impl Session {
         let mut reprovisions = 0u32;
         loop {
             match self.run_exact(&enc, images.len()) {
-                Ok(rows) => return Ok((rows, Served::Exact)),
+                Ok(rows) => {
+                    self.recorder.incr(counters::SERVED_EXACT, 1);
+                    return Ok((rows, Served::Exact));
+                }
                 Err(err) => match err.classify() {
                     FaultClass::SealedState if reprovisions < MAX_REPROVISIONS => {
                         self.reprovision("sealed-state corruption detected during inference")?;
@@ -386,6 +415,7 @@ impl Session {
                         let (logits, metrics) = self.service.read().infer_degraded(&enc)?;
                         *self.last_metrics.lock() = Some(metrics);
                         let rows = self.decrypt_logits(&logits, images.len())?;
+                        self.recorder.incr(counters::SERVED_DEGRADED, 1);
                         return Ok((rows, Served::Degraded));
                     }
                     _ => return Err(err),
@@ -483,6 +513,7 @@ impl Session {
         if let Some(hook) = self.hook() {
             hook.on_recovery(RecoveryEvent::Reprovisioned { reason });
         }
+        self.recorder.incr(counters::REPROVISIONS, 1);
         *self.service.write() = service;
         Ok(())
     }
@@ -526,6 +557,19 @@ impl Session {
     /// The HE worker-thread count.
     pub fn threads(&self) -> usize {
         self.pool.threads()
+    }
+
+    /// The observability recorder installed via [`SessionBuilder::recorder`]
+    /// (the disabled no-op recorder when none was).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// The deterministic JSON snapshot of the session's recorder: sorted
+    /// keys, modeled cost terms and entry counts only — byte-identical across
+    /// runs and worker-pool sizes for a fixed seed.
+    pub fn obs_snapshot_json(&self) -> String {
+        self.recorder.snapshot_json()
     }
 }
 

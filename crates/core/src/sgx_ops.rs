@@ -92,6 +92,12 @@ impl InferenceEnclave {
         self.enclave.fault_hook().map(|h| h.as_ref())
     }
 
+    /// The observability recorder the enclave reports into (the disabled
+    /// no-op recorder unless the provisioning config installed one).
+    fn obs(&self) -> &hesgx_obs::Recorder {
+        self.enclave.recorder()
+    }
+
     /// Consults `site` before an attempt begins (the noise-refresh site: the
     /// request can be dropped before it ever reaches the enclave).
     fn consult_pre_site(&self, site: Option<FaultSite>) -> std::result::Result<(), Error> {
@@ -136,6 +142,13 @@ impl InferenceEnclave {
     /// boundary cost summed into the returned breakdown (an aborted `EENTER`
     /// still crossed the boundary). The decrypted values are exact on any
     /// successful attempt, so retries never change inference output.
+    ///
+    /// As on the parallel path, the base RNG stream is forked *once* per
+    /// logical call, outside the retry loop, and each attempt restarts from
+    /// that fork — so a retried attempt re-encrypts with exactly the same
+    /// randomness and retries are bit-invisible in the output ciphertexts.
+    /// (An earlier version locked the shared stream inside the attempt, so a
+    /// failed attempt advanced it and the retry produced different bits.)
     fn transform_cells_retrying(
         &self,
         name: &str,
@@ -145,7 +158,9 @@ impl InferenceEnclave {
         pre_site: Option<FaultSite>,
     ) -> Result<(Vec<CrtCiphertext>, CostBreakdown)> {
         let in_bytes: usize = cells.iter().map(|c| c.byte_len()).sum();
-        let (result, cost) = retry_with_cost(&self.recovery, self.hook(), || {
+        let call = self.calls.fetch_add(1, Ordering::Relaxed);
+        let base = self.rng.lock().fork(&format!("seq-call-{call}"));
+        let (result, cost) = retry_with_cost(&self.recovery, self.hook(), self.obs(), || {
             if let Err(e) = self.consult_pre_site(pre_site) {
                 return (Err(e), CostBreakdown::default());
             }
@@ -159,7 +174,9 @@ impl InferenceEnclave {
                     // strikes.
                     ctx.touch(region).map_err(Error::Tee)?;
                     ctx.touch_bytes(region, 1).map_err(Error::Tee)?;
-                    let mut rng = self.rng.lock();
+                    // Every attempt restarts the sequential stream from the
+                    // per-call fork: retries are bit-invisible.
+                    let mut rng = base.clone();
                     let mut out = Vec::with_capacity(cells.len());
                     for (idx, cell) in cells.iter().enumerate() {
                         let slots = sys.decrypt_slots(cell, &self.secret)?;
@@ -222,7 +239,7 @@ impl InferenceEnclave {
         let in_bytes: usize = cells.iter().map(|c| c.byte_len()).sum();
         let call = self.calls.fetch_add(1, Ordering::Relaxed);
         let base = self.rng.lock().fork(&format!("par-call-{call}"));
-        let (result, cost) = retry_with_cost(&self.recovery, self.hook(), || {
+        let (result, cost) = retry_with_cost(&self.recovery, self.hook(), self.obs(), || {
             if let Err(e) = self.consult_pre_site(pre_site) {
                 return (Err(e), CostBreakdown::default());
             }
@@ -405,7 +422,12 @@ impl InferenceEnclave {
         let in_bytes = input.byte_len();
         let out_count = c * oh * ow;
         let slot_count = sys.slot_count();
-        let (result, cost) = retry_with_cost(&self.recovery, self.hook(), || {
+        // One fork per logical call, outside the retry loop; every attempt
+        // restarts from the fork, so retries are bit-invisible (the same fix
+        // the par variant always had).
+        let call = self.calls.fetch_add(1, Ordering::Relaxed);
+        let base = self.rng.lock().fork(&format!("seq-call-{call}"));
+        let (result, cost) = retry_with_cost(&self.recovery, self.hook(), self.obs(), || {
             let (res, cost) = self.enclave.ecall_fallible(
                 "ecall_pool",
                 in_bytes,
@@ -419,7 +441,7 @@ impl InferenceEnclave {
                         plain.push(sys.decrypt_slots(cell, &self.secret)?);
                     }
                     // Pool per slot.
-                    let mut rng = self.rng.lock();
+                    let mut rng = base.clone();
                     let mut out_cells = Vec::with_capacity(out_count);
                     for ch in 0..c {
                         for oy in 0..oh {
@@ -495,7 +517,7 @@ impl InferenceEnclave {
         // replaces.
         let call = self.calls.fetch_add(1, Ordering::Relaxed);
         let base = self.rng.lock().fork(&format!("par-call-{call}"));
-        let (result, cost) = retry_with_cost(&self.recovery, self.hook(), || {
+        let (result, cost) = retry_with_cost(&self.recovery, self.hook(), self.obs(), || {
             let (res, cost) = self.enclave.ecall_fallible(
                 "ecall_pool",
                 in_bytes,
@@ -638,15 +660,13 @@ impl InferenceEnclave {
 }
 
 /// Sums two cost breakdowns term-wise.
+///
+/// Delegates to [`CostBreakdown::saturating_add`] so every fold path in the
+/// workspace — retry accumulation, pipeline metrics, report totals — shares
+/// one saturating primitive instead of each re-implementing (and one of them
+/// wrapping) the arithmetic.
 pub fn sum_costs(a: CostBreakdown, b: CostBreakdown) -> CostBreakdown {
-    CostBreakdown {
-        real_ns: a.real_ns + b.real_ns,
-        slowdown_ns: a.slowdown_ns + b.slowdown_ns,
-        transition_ns: a.transition_ns + b.transition_ns,
-        copy_ns: a.copy_ns + b.copy_ns,
-        paging_ns: a.paging_ns + b.paging_ns,
-        jitter_ns: a.jitter_ns + b.jitter_ns,
-    }
+    a.saturating_add(b)
 }
 
 #[cfg(test)]
@@ -855,5 +875,128 @@ mod tests {
         let (maxp, _) = ie.pool_full_map(&sys, &enc, &model, true).unwrap();
         let dec = maxp.decrypt_all(&sys, &ie.secret, 1).unwrap();
         assert_eq!(dec[0], vec![6, 8, 14, 16]);
+    }
+
+    #[test]
+    fn sequential_retry_is_bit_invisible_in_the_ciphertexts() {
+        // Regression: the sequential transforms used to lock (and advance)
+        // the shared RNG stream *inside* the retry closure, so a retried
+        // attempt re-encrypted with different randomness than a fault-free
+        // run. The stream is now forked once per logical call, outside the
+        // retry loop, exactly like the parallel variants.
+        use hesgx_chaos::{FaultInjector, FaultKind, FaultPlan};
+        use std::sync::Arc;
+        let model = small_model();
+        let values: Vec<Vec<i64>> = vec![(0..16).map(|v| v * 9 - 70).collect()];
+        let run = |hook: Option<Arc<FaultInjector>>| {
+            let platform = Platform::new(21);
+            let mut builder = EnclaveBuilder::new("test-enclave").add_code(b"v1");
+            if let Some(h) = hook {
+                builder = builder.fault_hook(h);
+            }
+            let enclave = builder.build(platform);
+            let sys = CrtPlainSystem::new(256, &[12289, 13313]).unwrap();
+            let mut rng = ChaChaRng::from_seed(91);
+            let (keys, _) = enclave_generate_keys(&enclave, &sys, &mut rng).expect("key ceremony");
+            let ie = InferenceEnclave::new(enclave, keys.secret, keys.public, 92);
+            let enc = EncryptedMap::encrypt_images(&sys, &values, 4, &ie.public, &mut rng).unwrap();
+            let (act, _) = ie
+                .activation_map(&sys, &enc, &model, ActivationKind::Sigmoid)
+                .unwrap();
+            let (pooled, _) = ie.pool_full_map(&sys, &enc, &model, false).unwrap();
+            (act.cells().to_vec(), pooled.cells().to_vec())
+        };
+        let clean = run(None);
+        // EcallExit consultation order in `run`: occurrence 0 is the
+        // activation ECALL (faulted, retried as occurrence 1), occurrence 2
+        // is the pool ECALL (faulted, retried as occurrence 3).
+        let injector = Arc::new(
+            FaultPlan::new(5)
+                .script(FaultSite::EcallExit, 0, FaultKind::Transient)
+                .script(FaultSite::EcallExit, 2, FaultKind::Transient)
+                .build(),
+        );
+        let faulted = run(Some(injector.clone()));
+        assert_eq!(injector.report().retries(), 2, "both faults delivered");
+        assert_eq!(
+            clean.0, faulted.0,
+            "activation ciphertexts changed by retry"
+        );
+        assert_eq!(clean.1, faulted.1, "pool ciphertexts changed by retry");
+    }
+
+    #[test]
+    fn dropped_refresh_attempts_still_land_in_the_cost_books() {
+        // A NoiseRefresh fault drops the request before the boundary, so the
+        // attempt is (correctly) charged CostBreakdown::default() — but it
+        // must still appear as a recorded entry, or FaultReport attempt
+        // counts and recorded cost entries stop reconciling.
+        use hesgx_chaos::{FaultKind, FaultPlan};
+        use hesgx_obs::{counters, Recorder};
+        use std::sync::Arc;
+        let rec = Recorder::enabled();
+        let injector = Arc::new(
+            FaultPlan::new(9)
+                .script(FaultSite::NoiseRefresh, 0, FaultKind::Transient)
+                .build(),
+        );
+        let platform = Platform::new(21);
+        let enclave = EnclaveBuilder::new("test-enclave")
+            .add_code(b"v1")
+            .fault_hook(injector.clone())
+            .recorder(rec.clone())
+            .build(platform);
+        let sys = CrtPlainSystem::new(256, &[12289, 13313]).unwrap();
+        let mut rng = ChaChaRng::from_seed(91);
+        let (keys, _) = enclave_generate_keys(&enclave, &sys, &mut rng).expect("key ceremony");
+        let ie = InferenceEnclave::new(enclave, keys.secret, keys.public, 92);
+        let cts: Vec<_> = (0..4)
+            .map(|i| sys.encrypt_slots(&[i * 3], &ie.public, &mut rng).unwrap())
+            .collect();
+        let (fresh, cost) = ie.refresh_batch(&sys, &cts).unwrap();
+        assert_eq!(fresh.len(), 4);
+        let span = rec.span("recovery.retry").expect("attempts recorded");
+        // One dropped attempt + one real crossing.
+        assert_eq!(span.entries, 2, "zero-cost attempt must be recorded");
+        assert_eq!(span.cost.transition_ns, cost.transition_ns);
+        assert_eq!(rec.counter(counters::RECOVERY_ATTEMPTS), 2);
+        assert_eq!(rec.counter(counters::RECOVERY_RETRIES), 1);
+        // Attempt count reconciles with the fault report: retries + 1.
+        assert_eq!(span.entries, injector.report().retries() + 1);
+        // Only one ECALL actually crossed the boundary.
+        let ecall = rec
+            .span("ecall.ecall_DecreaseNoise")
+            .expect("refresh crossing recorded");
+        assert_eq!(ecall.entries, 1);
+    }
+
+    #[test]
+    fn sum_costs_saturates_near_u64_max() {
+        let big = CostBreakdown {
+            real_ns: u64::MAX - 5,
+            slowdown_ns: u64::MAX,
+            transition_ns: u64::MAX - 1,
+            copy_ns: 10,
+            paging_ns: u64::MAX / 2,
+            jitter_ns: i64::MAX - 1,
+        };
+        let other = CostBreakdown {
+            real_ns: 100,
+            slowdown_ns: 1,
+            transition_ns: 1,
+            copy_ns: 20,
+            paging_ns: u64::MAX / 2 + 10,
+            jitter_ns: 100,
+        };
+        let sum = sum_costs(big, other);
+        assert_eq!(sum.real_ns, u64::MAX);
+        assert_eq!(sum.slowdown_ns, u64::MAX);
+        assert_eq!(sum.transition_ns, u64::MAX);
+        assert_eq!(sum.copy_ns, 30);
+        assert_eq!(sum.paging_ns, u64::MAX);
+        assert_eq!(sum.jitter_ns, i64::MAX);
+        // A saturated breakdown's total pins at the ceiling instead of
+        // wrapping back toward zero.
+        assert_eq!(sum.total_ns(), u64::MAX);
     }
 }

@@ -14,6 +14,7 @@
 //! *do* need randomness (encryption) fork an independent, index-keyed RNG
 //! stream per task — see [`crate::image::EncryptedMap::encrypt_images_par`].
 
+use hesgx_obs::{counters, Recorder};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
@@ -108,6 +109,7 @@ impl Ranges {
 #[derive(Debug, Clone)]
 pub struct ParExec {
     threads: usize,
+    recorder: Recorder,
 }
 
 impl Default for ParExec {
@@ -128,12 +130,27 @@ impl ParExec {
         } else {
             threads
         };
-        ParExec { threads }
+        ParExec {
+            threads,
+            recorder: Recorder::disabled(),
+        }
     }
 
     /// A single-threaded (serial) executor.
     pub fn serial() -> Self {
-        ParExec { threads: 1 }
+        ParExec {
+            threads: 1,
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// Attaches an observability recorder: each `run` bumps `par.tasks` by
+    /// its task count. The counter depends only on the submitted work, never
+    /// on the worker count, so it is stable across pool sizes.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// The worker count.
@@ -154,6 +171,7 @@ impl ParExec {
         T: Send + Sync,
         F: Fn(usize) -> T + Sync,
     {
+        self.recorder.incr(counters::PAR_TASKS, n as u64);
         let workers = self.threads.min(n.max(1));
         if workers <= 1 {
             return (0..n).map(f).collect();
@@ -254,6 +272,17 @@ mod tests {
         assert_eq!(err, 3, "serial order error wins");
         let ok: Result<Vec<usize>, usize> = pool.try_run(10, Ok);
         assert_eq!(ok.unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recorder_counts_tasks_independent_of_pool_size() {
+        for threads in [1, 2, 4] {
+            let rec = Recorder::enabled();
+            let pool = ParExec::new(threads).with_recorder(rec.clone());
+            pool.run(100, |i| i);
+            pool.run(28, |i| i);
+            assert_eq!(rec.counter(counters::PAR_TASKS), 128, "{threads} threads");
+        }
     }
 
     #[test]

@@ -142,6 +142,7 @@ pub const RULE_IDS: &[&str] = &[
     "unsafe-safety",
     "forbid-unsafe",
     "ecall-cost",
+    "obs-secret-label",
 ];
 
 /// Whether `path` (normalized, `/`-separated) matches one of `scopes`.

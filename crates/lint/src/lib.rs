@@ -23,6 +23,7 @@
 //! | `unsafe-safety` | every `unsafe` carries a `// SAFETY:` comment          |
 //! | `forbid-unsafe` | unsafe-free crates declare `#![forbid(unsafe_code)]`   |
 //! | `ecall-cost`    | every `pub fn` on the ECALL surface returns a cost     |
+//! | `obs-secret-label` | obs span/counter labels never name secret material  |
 //!
 //! Findings are suppressed inline — with a mandatory reason — via
 //! `// hesgx-lint: allow(<rule>, reason = "...")`.

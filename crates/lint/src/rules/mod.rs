@@ -4,6 +4,7 @@
 
 pub mod const_time;
 pub mod ecall;
+pub mod obs;
 pub mod panic;
 pub mod secret;
 pub mod unsafe_rule;
@@ -19,6 +20,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
     out.extend(const_time::check(file));
     out.extend(unsafe_rule::check(file));
     out.extend(ecall::check(file));
+    out.extend(obs::check(file));
     out
 }
 

@@ -1,0 +1,116 @@
+//! `obs-secret-label` — observability labels must not name secrets.
+//!
+//! Span paths and counter names recorded through `hesgx-obs` land in the
+//! deterministic JSON snapshot that experiments write to `target/obs/` and
+//! CI archives as a build artifact — a label leaves the trust boundary
+//! exactly like a log line does. This rule bans secret-bearing identifiers
+//! (the `secret-log` token list plus the registry type names) from any
+//! non-test line that records a span or counter, whether the secret sits
+//! inside the label literal or flows in through a formatted binding.
+//!
+//! Unlike most rules this one inspects the *raw* line (minus its line
+//! comment): the code view blanks string interiors, but the string interior
+//! is precisely where a label like `"seal.secret_key"` hides.
+
+use crate::config::{SECRET_LOG_TOKENS, SECRET_TYPES};
+use crate::diag::Diagnostic;
+use crate::lexer::{ident_positions, identifiers, next_nonspace, SourceFile};
+
+/// Recorder entry points that persist a label into the snapshot.
+const RECORD_CALLS: &[&str] = &["record_span", "record_zero_attempt", "incr"];
+
+/// Runs the rule on one file.
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for i in 0..file.line_count() {
+        if file.in_test[i] {
+            continue;
+        }
+        let code = file.code_line(i);
+        let records = ident_positions(code).iter().any(|&(pos, word)| {
+            RECORD_CALLS.contains(&word) && next_nonspace(code, pos + word.len()) == Some('(')
+        });
+        if !records {
+            continue;
+        }
+        // Raw line with the trailing line comment stripped: suppression
+        // markers and prose must not count, label literals must.
+        let raw = file.raw.get(i).map_or("", String::as_str);
+        let comment = file.comments.get(i).map_or("", String::as_str);
+        let visible = raw.strip_suffix(comment).unwrap_or(raw);
+        let leaked = identifiers(visible)
+            .into_iter()
+            .find(|w| SECRET_LOG_TOKENS.contains(w) || SECRET_TYPES.iter().any(|t| t.name == *w));
+        if let Some(leaked) = leaked {
+            out.push(Diagnostic {
+                file: file.path.clone(),
+                line: i + 1,
+                rule: "obs-secret-label",
+                message: format!(
+                    "obs span/counter label references secret-related `{leaked}` — labels \
+                     are persisted to the snapshot artifact"
+                ),
+                hint: "name spans after pipeline stages or public operations \
+                       (`infer.layer[i].ecall`, `recovery.retry`), never after key material"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(text: &str) -> SourceFile {
+        SourceFile::scan("crates/x/src/a.rs", text)
+    }
+
+    #[test]
+    fn secret_token_inside_label_literal_is_flagged() {
+        let f = scan("fn f(r: &Recorder) { r.record_span(\"seal.secret_key\", c); }\n");
+        assert!(check(&f).iter().any(|d| d.rule == "obs-secret-label"));
+    }
+
+    #[test]
+    fn secret_binding_formatted_into_label_is_flagged() {
+        let f = scan("fn f(r: &Recorder, sk: u64) { r.incr(&format!(\"uses.{sk}\"), 1); }\n");
+        assert!(check(&f).iter().any(|d| d.rule == "obs-secret-label"));
+    }
+
+    #[test]
+    fn registry_type_name_in_label_is_flagged() {
+        let f = scan("fn f(r: &Recorder) { r.record_zero_attempt(\"SealedBlob.open\"); }\n");
+        assert!(check(&f).iter().any(|d| d.rule == "obs-secret-label"));
+    }
+
+    #[test]
+    fn stage_named_labels_are_fine() {
+        let f = scan(
+            "fn f(r: &Recorder) {\n    r.record_span(\"infer.layer[1].ecall\", c);\n    \
+             r.incr(counters::RECOVERY_ATTEMPTS, 1);\n    \
+             r.record_zero_attempt(\"recovery.retry\");\n}\n",
+        );
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn secret_token_in_the_line_comment_does_not_count() {
+        let f = scan("fn f(r: &Recorder) { r.incr(\"epc.hits\", 1); // not the secret_key\n}\n");
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn lines_without_record_calls_are_ignored() {
+        let f = scan("fn f(sk: u64) -> u64 { sk + 1 }\n");
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let f =
+            scan("#[cfg(test)]\nmod tests {\n    fn t(r: &Recorder) { r.incr(\"sk\", 1); }\n}\n");
+        assert!(check(&f).is_empty());
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: secret-bearing identifiers in obs span/counter labels — the
+// label literal, a formatted binding, and a registry type name.
+
+pub fn record_costs(rec: &Recorder, cost: SpanCost) {
+    rec.record_span("seal.secret_key", cost);
+    rec.record_zero_attempt("SealedBlob.open");
+    rec.incr("private_key.uses", 1);
+}

@@ -36,6 +36,7 @@ const RULES: &[&str] = &[
     "unsafe-safety",
     "forbid-unsafe",
     "ecall-cost",
+    "obs-secret-label",
 ];
 
 #[test]

@@ -1,0 +1,481 @@
+//! `hesgx-obs` — deterministic, dependency-free metrics and tracing.
+//!
+//! The workspace charges every enclave boundary crossing through a *virtual
+//! clock* ([`hesgx-tee`]'s `CostBreakdown`), which is what makes the paper's
+//! Fig. 8 decomposition reproducible. This crate makes those charges — and
+//! the recovery / paging / parallelism machinery around them — *auditable*:
+//! a [`Recorder`] collects hierarchical spans and counters, and renders a
+//! **byte-stable** JSON snapshot so the same seed produces the same metrics
+//! file on every run and at every thread-pool size.
+//!
+//! # Span taxonomy
+//!
+//! | span | recorded by | cost carried |
+//! |------|-------------|--------------|
+//! | `session.provision` | `hesgx-core` pipeline | key ceremony + sealing |
+//! | `infer.layer[i].he` | `hesgx-core` pipeline | wall time only (outside) |
+//! | `infer.layer[i].ecall` | `hesgx-core` pipeline | full virtual-clock terms |
+//! | `ecall.<name>` | `hesgx-tee` enclave | full virtual-clock terms |
+//! | `recovery.retry` | `hesgx-core` recovery | per-attempt cost (zero-cost attempts included) |
+//! | `epc.load` / `epc.evict` | `hesgx-tee` EPC | count only (ns live in the owning ecall's `paging_ns`) |
+//!
+//! # Determinism rules
+//!
+//! A [`SpanCost`] carries all six virtual-clock terms, but only the *modeled*
+//! terms — `transition_ns`, `copy_ns`, `paging_ns` — plus entry counts and
+//! counters are encoded into [`Recorder::snapshot_json`]. The remaining
+//! terms (`real_ns`, `slowdown_ns`, `jitter_ns`) derive from wall-clock
+//! measurements and are therefore machine- and run-dependent; they stay
+//! available in memory (for the ns-for-ns reconciliation against
+//! `total_enclave_cost`) but never reach the snapshot file. Snapshot maps
+//! are `BTreeMap`s, so key order is sorted and the encoding is byte-stable.
+//!
+//! # Zero cost when off
+//!
+//! The default [`Recorder`] is disabled: it holds no allocation and every
+//! recording method is a single `Option` check. Hot paths thread it by value
+//! (it is `Clone`) and pay nothing unless observability was requested.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Canonical counter names, so call sites and reports agree on spelling.
+pub mod counters {
+    /// ECALLs executed (one per enclave boundary round trip).
+    pub const ECALLS: &str = "ecall.calls";
+    /// World-switch transitions charged (2 per ECALL + 2 per nested OCALL).
+    pub const ECALL_TRANSITIONS: &str = "ecall.transitions";
+    /// Bytes marshalled across the boundary (inputs + outputs).
+    pub const BYTES_MARSHALLED: &str = "ecall.bytes_marshalled";
+    /// EPC page faults (demand loads of non-resident pages).
+    pub const EPC_PAGE_FAULTS: &str = "epc.page_faults";
+    /// EPC page evictions (capacity pressure).
+    pub const EPC_EVICTIONS: &str = "epc.evictions";
+    /// EPC resident-page hits.
+    pub const EPC_HITS: &str = "epc.hits";
+    /// Attempts started under `retry_with_cost` (first tries included).
+    pub const RECOVERY_ATTEMPTS: &str = "recovery.attempts";
+    /// Retries spent (attempts beyond the first).
+    pub const RECOVERY_RETRIES: &str = "recovery.retries";
+    /// Session re-provisions after sealed-state loss.
+    pub const REPROVISIONS: &str = "recovery.reprovisions";
+    /// Requests served exactly (hybrid path).
+    pub const SERVED_EXACT: &str = "served.exact";
+    /// Requests served degraded (pure-HE fallback).
+    pub const SERVED_DEGRADED: &str = "served.degraded";
+    /// Faults the chaos injector actually delivered.
+    pub const FAULTS_INJECTED: &str = "faults.injected";
+    /// Work items submitted to the parallel executor.
+    pub const PAR_TASKS: &str = "par.tasks";
+    /// Attestation quote verifications performed.
+    pub const ATTESTATION_VERIFIES: &str = "attestation.verifies";
+}
+
+/// Virtual-clock cost attached to a span entry.
+///
+/// Mirrors the six terms of `hesgx-tee`'s `CostBreakdown` without depending
+/// on it (this crate sits below the rest of the workspace). All arithmetic
+/// saturates — metrics must never panic the pipeline they observe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanCost {
+    /// Measured wall/CPU nanoseconds (machine-dependent; excluded from snapshots).
+    pub real_ns: u64,
+    /// In-enclave slowdown term (derived from `real_ns`; excluded from snapshots).
+    pub slowdown_ns: u64,
+    /// Modeled world-switch transition nanoseconds (deterministic).
+    pub transition_ns: u64,
+    /// Modeled marshalling-copy nanoseconds (deterministic).
+    pub copy_ns: u64,
+    /// Modeled EPC paging nanoseconds (deterministic).
+    pub paging_ns: u64,
+    /// Signed jitter term (derived from `real_ns`; excluded from snapshots).
+    pub jitter_ns: i64,
+}
+
+impl SpanCost {
+    /// Component-wise saturating sum.
+    #[must_use]
+    pub fn saturating_add(self, other: Self) -> Self {
+        Self {
+            real_ns: self.real_ns.saturating_add(other.real_ns),
+            slowdown_ns: self.slowdown_ns.saturating_add(other.slowdown_ns),
+            transition_ns: self.transition_ns.saturating_add(other.transition_ns),
+            copy_ns: self.copy_ns.saturating_add(other.copy_ns),
+            paging_ns: self.paging_ns.saturating_add(other.paging_ns),
+            jitter_ns: self.jitter_ns.saturating_add(other.jitter_ns),
+        }
+    }
+
+    /// All six terms combined (saturating; jitter clamps at zero).
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.real_ns
+            .saturating_add(self.slowdown_ns)
+            .saturating_add(self.transition_ns)
+            .saturating_add(self.copy_ns)
+            .saturating_add(self.paging_ns)
+            .saturating_add_signed(self.jitter_ns)
+    }
+
+    /// The deterministic (modeled) terms only: transitions + copies + paging.
+    /// This is what the byte-stable snapshot encodes.
+    #[must_use]
+    pub fn model_ns(&self) -> u64 {
+        self.transition_ns
+            .saturating_add(self.copy_ns)
+            .saturating_add(self.paging_ns)
+    }
+}
+
+/// Aggregated statistics of one span path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanStats {
+    /// Number of entries recorded under this path.
+    pub entries: u64,
+    /// Saturating sum of every entry's cost.
+    pub cost: SpanCost,
+}
+
+#[derive(Default)]
+struct State {
+    spans: BTreeMap<String, SpanStats>,
+    counters: BTreeMap<String, u64>,
+}
+
+/// A shared handle onto a metrics sink. Cheap to clone; `Default` is the
+/// disabled recorder, whose every method is a no-op behind one `Option`
+/// check.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Mutex<State>>>,
+}
+
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// The no-op recorder (same as `Recorder::default()`).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A live recorder with empty state.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Self {
+            inner: Some(Arc::new(Mutex::new(State::default()))),
+        }
+    }
+
+    /// Whether this handle records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn lock(&self) -> Option<MutexGuard<'_, State>> {
+        // A poisoned metrics mutex must never take the pipeline down with
+        // it; the state is plain counters, so the data stays usable.
+        self.inner
+            .as_ref()
+            .map(|m| m.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+
+    /// Records one entry under `path`, accumulating `cost`.
+    pub fn record_span(&self, path: &str, cost: SpanCost) {
+        if let Some(mut state) = self.lock() {
+            let stats = state.spans.entry(path.to_owned()).or_default();
+            stats.entries = stats.entries.saturating_add(1);
+            stats.cost = stats.cost.saturating_add(cost);
+        }
+    }
+
+    /// Records an entry under `path` that crossed no boundary and was
+    /// charged nothing — e.g. a retry attempt dropped before its ECALL.
+    /// Keeps entry counts reconcilable with fault reports even when the
+    /// cost books legitimately show zero.
+    pub fn record_zero_attempt(&self, path: &str) {
+        self.record_span(path, SpanCost::default());
+    }
+
+    /// Adds `by` to the named counter (saturating).
+    pub fn incr(&self, counter: &str, by: u64) {
+        if let Some(mut state) = self.lock() {
+            let slot = state.counters.entry(counter.to_owned()).or_default();
+            *slot = slot.saturating_add(by);
+        }
+    }
+
+    /// Current statistics of one span path, if any entries were recorded.
+    #[must_use]
+    pub fn span(&self, path: &str) -> Option<SpanStats> {
+        self.lock().and_then(|state| state.spans.get(path).copied())
+    }
+
+    /// Current value of a counter (0 when absent or disabled).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock()
+            .and_then(|state| state.counters.get(name).copied())
+            .unwrap_or(0)
+    }
+
+    /// All spans whose path starts with `prefix`, in sorted order.
+    #[must_use]
+    pub fn spans_with_prefix(&self, prefix: &str) -> Vec<(String, SpanStats)> {
+        match self.lock() {
+            Some(state) => state
+                .spans
+                .range(prefix.to_owned()..)
+                .take_while(|(k, _)| k.starts_with(prefix))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Saturating sum of the full (six-term) costs of every span matching
+    /// `prefix` — the in-memory side of the reconciliation invariant.
+    #[must_use]
+    pub fn sum_spans(&self, prefix: &str) -> SpanCost {
+        self.spans_with_prefix(prefix)
+            .into_iter()
+            .fold(SpanCost::default(), |acc, (_, s)| {
+                acc.saturating_add(s.cost)
+            })
+    }
+
+    /// Clears all spans and counters (the handle stays enabled).
+    pub fn reset(&self) {
+        if let Some(mut state) = self.lock() {
+            state.spans.clear();
+            state.counters.clear();
+        }
+    }
+
+    /// Byte-stable JSON snapshot: sorted keys, deterministic terms only
+    /// (`transition_ns`, `copy_ns`, `paging_ns`, entry counts, counters).
+    /// Wall-derived terms never reach the file — see the crate docs.
+    #[must_use]
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        if let Some(state) = self.lock() {
+            let mut first = true;
+            for (name, value) in &state.counters {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!("{}:{value}", json_string(name)));
+            }
+            out.push_str("},\"spans\":{");
+            let mut first = true;
+            for (path, stats) in &state.spans {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!(
+                    "{}:{{\"copy_ns\":{},\"entries\":{},\"paging_ns\":{},\"transition_ns\":{}}}",
+                    json_string(path),
+                    stats.cost.copy_ns,
+                    stats.entries,
+                    stats.cost.paging_ns,
+                    stats.cost.transition_ns
+                ));
+            }
+        } else {
+            out.push_str("},\"spans\":{");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Minimal JSON string encoding (span paths and counter names are ASCII
+/// identifiers, but quoting defensively costs nothing).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost(real: u64, transition: u64, copy: u64, paging: u64, jitter: i64) -> SpanCost {
+        SpanCost {
+            real_ns: real,
+            slowdown_ns: 0,
+            transition_ns: transition,
+            copy_ns: copy,
+            paging_ns: paging,
+            jitter_ns: jitter,
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_is_a_no_op() {
+        let r = Recorder::disabled();
+        r.record_span("a", cost(1, 2, 3, 4, 5));
+        r.incr(counters::ECALLS, 7);
+        assert!(!r.is_enabled());
+        assert_eq!(r.span("a"), None);
+        assert_eq!(r.counter(counters::ECALLS), 0);
+        assert_eq!(r.snapshot_json(), "{\"counters\":{},\"spans\":{}}");
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!Recorder::default().is_enabled());
+    }
+
+    #[test]
+    fn spans_accumulate_and_count_entries() {
+        let r = Recorder::enabled();
+        r.record_span("infer.layer[1].ecall", cost(10, 20, 30, 40, -5));
+        r.record_span("infer.layer[1].ecall", cost(1, 2, 3, 4, 5));
+        let s = r.span("infer.layer[1].ecall").expect("span recorded");
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.cost.real_ns, 11);
+        assert_eq!(s.cost.transition_ns, 22);
+        assert_eq!(s.cost.copy_ns, 33);
+        assert_eq!(s.cost.paging_ns, 44);
+        assert_eq!(s.cost.jitter_ns, 0);
+    }
+
+    #[test]
+    fn zero_attempts_count_entries_without_cost() {
+        let r = Recorder::enabled();
+        r.record_zero_attempt("recovery.retry");
+        r.record_zero_attempt("recovery.retry");
+        let s = r.span("recovery.retry").expect("span recorded");
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.cost, SpanCost::default());
+    }
+
+    #[test]
+    fn counters_saturate() {
+        let r = Recorder::enabled();
+        r.incr("c", u64::MAX - 1);
+        r.incr("c", 5);
+        assert_eq!(r.counter("c"), u64::MAX);
+    }
+
+    #[test]
+    fn span_cost_arithmetic_saturates() {
+        let near = SpanCost {
+            real_ns: u64::MAX - 1,
+            slowdown_ns: u64::MAX - 1,
+            transition_ns: u64::MAX - 1,
+            copy_ns: u64::MAX - 1,
+            paging_ns: u64::MAX - 1,
+            jitter_ns: i64::MAX - 1,
+        };
+        let sum = near.saturating_add(near);
+        assert_eq!(sum.transition_ns, u64::MAX);
+        assert_eq!(sum.jitter_ns, i64::MAX);
+        assert_eq!(sum.total_ns(), u64::MAX);
+        assert_eq!(near.model_ns(), u64::MAX);
+        let negative = SpanCost {
+            jitter_ns: -10,
+            ..SpanCost::default()
+        };
+        assert_eq!(negative.total_ns(), 0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_insertion_order_independent() {
+        let a = Recorder::enabled();
+        a.record_span("b.span", cost(9, 1, 2, 3, 4));
+        a.record_span("a.span", cost(9, 4, 5, 6, -4));
+        a.incr("z.counter", 1);
+        a.incr("a.counter", 2);
+
+        let b = Recorder::enabled();
+        b.incr("a.counter", 2);
+        b.incr("z.counter", 1);
+        b.record_span("a.span", cost(1234, 4, 5, 6, 99));
+        b.record_span("b.span", cost(0, 1, 2, 3, -7));
+
+        // Same deterministic terms, wildly different wall terms: identical bytes.
+        assert_eq!(a.snapshot_json(), b.snapshot_json());
+        assert_eq!(
+            a.snapshot_json(),
+            "{\"counters\":{\"a.counter\":2,\"z.counter\":1},\"spans\":{\
+             \"a.span\":{\"copy_ns\":5,\"entries\":1,\"paging_ns\":6,\"transition_ns\":4},\
+             \"b.span\":{\"copy_ns\":2,\"entries\":1,\"paging_ns\":3,\"transition_ns\":1}}}"
+        );
+    }
+
+    #[test]
+    fn prefix_queries_and_sums() {
+        let r = Recorder::enabled();
+        r.record_span("infer.layer[0].he", cost(5, 0, 0, 0, 0));
+        r.record_span("infer.layer[1].ecall", cost(1, 10, 20, 30, 2));
+        r.record_span("infer.layer[2].ecall", cost(2, 100, 200, 300, -2));
+        r.record_span("session.provision", cost(3, 7, 7, 7, 7));
+        let ecalls: Vec<_> = r
+            .spans_with_prefix("infer.")
+            .into_iter()
+            .filter(|(k, _)| k.ends_with(".ecall"))
+            .collect();
+        assert_eq!(ecalls.len(), 2);
+        let sum = r.sum_spans("infer.");
+        assert_eq!(sum.transition_ns, 110);
+        assert_eq!(sum.copy_ns, 220);
+        assert_eq!(sum.paging_ns, 330);
+        assert_eq!(sum.real_ns, 8);
+        assert_eq!(sum.jitter_ns, 0);
+    }
+
+    #[test]
+    fn reset_clears_but_stays_enabled() {
+        let r = Recorder::enabled();
+        r.record_span("s", cost(1, 1, 1, 1, 1));
+        r.incr("c", 1);
+        r.reset();
+        assert!(r.is_enabled());
+        assert_eq!(r.span("s"), None);
+        assert_eq!(r.counter("c"), 0);
+        assert_eq!(r.snapshot_json(), "{\"counters\":{},\"spans\":{}}");
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let r = Recorder::enabled();
+        let clone = r.clone();
+        clone.incr("shared", 3);
+        assert_eq!(r.counter("shared"), 3);
+    }
+
+    #[test]
+    fn json_strings_escape_control_characters() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\n"), "\"x\\n\"");
+    }
+}

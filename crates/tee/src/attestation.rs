@@ -21,6 +21,7 @@ use hesgx_crypto::hmac::{hmac_sha256, verify_tag};
 use hesgx_crypto::rng::ChaChaRng;
 use hesgx_crypto::schnorr::{Signature, SigningKey, VerifyingKey};
 use hesgx_crypto::sha256::Sha256;
+use hesgx_obs::{counters, Recorder};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -166,6 +167,7 @@ pub struct VerifiedQuote {
 pub struct AttestationService {
     platforms: HashMap<[u8; 32], VerifyingKey>,
     hook: Option<Arc<dyn FaultHook>>,
+    recorder: Recorder,
 }
 
 impl AttestationService {
@@ -189,6 +191,12 @@ impl AttestationService {
         self.hook = Some(hook);
     }
 
+    /// Installs an observability recorder; every verification attempt bumps
+    /// the `attestation.verifies` counter (injected-fault failures included).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
     /// Verifies a quote's signature and provenance.
     ///
     /// # Errors
@@ -197,6 +205,7 @@ impl AttestationService {
     /// [`TeeError::QuoteSignatureInvalid`], or — under injected transient
     /// faults — [`TeeError::Interrupted`].
     pub fn verify(&self, quote: &Quote) -> Result<VerifiedQuote> {
+        self.recorder.incr(counters::ATTESTATION_VERIFIES, 1);
         if let Some(kind) = self
             .hook
             .as_ref()

@@ -85,16 +85,49 @@ pub struct CostBreakdown {
 }
 
 impl CostBreakdown {
-    /// Total virtual nanoseconds.
+    /// Total virtual nanoseconds. Saturating: breakdowns folded over long
+    /// runs (or adversarially large scripted charges) must clamp, never
+    /// wrap — a cost ledger that overflows silently is worse than one that
+    /// pins at `u64::MAX`.
     pub fn total_ns(&self) -> u64 {
-        let base =
-            self.real_ns + self.slowdown_ns + self.transition_ns + self.copy_ns + self.paging_ns;
-        (base as i64 + self.jitter_ns).max(0) as u64
+        self.real_ns
+            .saturating_add(self.slowdown_ns)
+            .saturating_add(self.transition_ns)
+            .saturating_add(self.copy_ns)
+            .saturating_add(self.paging_ns)
+            .saturating_add_signed(self.jitter_ns)
     }
 
     /// Total virtual time as a [`Duration`].
     pub fn total(&self) -> Duration {
         Duration::from_nanos(self.total_ns())
+    }
+
+    /// Component-wise saturating sum — the single fold primitive every
+    /// cost-accounting path shares (see `hesgx_core::sgx_ops::sum_costs`).
+    #[must_use]
+    pub fn saturating_add(self, other: Self) -> Self {
+        CostBreakdown {
+            real_ns: self.real_ns.saturating_add(other.real_ns),
+            slowdown_ns: self.slowdown_ns.saturating_add(other.slowdown_ns),
+            transition_ns: self.transition_ns.saturating_add(other.transition_ns),
+            copy_ns: self.copy_ns.saturating_add(other.copy_ns),
+            paging_ns: self.paging_ns.saturating_add(other.paging_ns),
+            jitter_ns: self.jitter_ns.saturating_add(other.jitter_ns),
+        }
+    }
+
+    /// The same six terms as an observability [`hesgx_obs::SpanCost`].
+    #[must_use]
+    pub fn span_cost(&self) -> hesgx_obs::SpanCost {
+        hesgx_obs::SpanCost {
+            real_ns: self.real_ns,
+            slowdown_ns: self.slowdown_ns,
+            transition_ns: self.transition_ns,
+            copy_ns: self.copy_ns,
+            paging_ns: self.paging_ns,
+            jitter_ns: self.jitter_ns,
+        }
     }
 }
 
@@ -225,6 +258,58 @@ mod tests {
         assert_eq!(b.transition_ns, 2 * model.transition_ns);
         assert_eq!(b.copy_ns, 500);
         assert_eq!(b.paging_ns, 3 * model.page_swap_ns);
+    }
+
+    #[test]
+    fn near_max_breakdowns_saturate_instead_of_wrapping() {
+        let near = CostBreakdown {
+            real_ns: u64::MAX - 10,
+            slowdown_ns: u64::MAX - 10,
+            transition_ns: u64::MAX - 10,
+            copy_ns: u64::MAX - 10,
+            paging_ns: u64::MAX - 10,
+            jitter_ns: i64::MAX - 10,
+        };
+        // total_ns over an already-huge base must clamp at u64::MAX …
+        assert_eq!(near.total_ns(), u64::MAX);
+        // … and folding two near-max breakdowns must clamp component-wise.
+        let sum = near.saturating_add(near);
+        assert_eq!(sum.real_ns, u64::MAX);
+        assert_eq!(sum.paging_ns, u64::MAX);
+        assert_eq!(sum.jitter_ns, i64::MAX);
+        assert_eq!(sum.total_ns(), u64::MAX);
+        // A dominant negative jitter clamps the total at zero, not wraps.
+        let negative = CostBreakdown {
+            real_ns: 5,
+            jitter_ns: i64::MIN + 1,
+            ..CostBreakdown::default()
+        };
+        assert_eq!(negative.total_ns(), 0);
+    }
+
+    #[test]
+    fn span_cost_mirrors_all_terms() {
+        let b = CostBreakdown {
+            real_ns: 1,
+            slowdown_ns: 2,
+            transition_ns: 3,
+            copy_ns: 4,
+            paging_ns: 5,
+            jitter_ns: -6,
+        };
+        let s = b.span_cost();
+        assert_eq!(
+            (
+                s.real_ns,
+                s.slowdown_ns,
+                s.transition_ns,
+                s.copy_ns,
+                s.paging_ns,
+                s.jitter_ns
+            ),
+            (1, 2, 3, 4, 5, -6)
+        );
+        assert_eq!(s.total_ns(), b.total_ns());
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::sealing::{self, SealedBlob};
 use crate::sidechannel::{SideChannelEvent, SideChannelMonitor};
 use hesgx_chaos::{FaultHook, FaultKind, FaultSite};
 use hesgx_crypto::sha256::Sha256;
+use hesgx_obs::{counters, Recorder};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -84,6 +85,7 @@ pub struct EnclaveBuilder {
     event_log_capacity: usize,
     seed: u64,
     hook: Option<Arc<dyn FaultHook>>,
+    recorder: Recorder,
 }
 
 impl EnclaveBuilder {
@@ -98,6 +100,7 @@ impl EnclaveBuilder {
             event_log_capacity: 1024,
             seed: 0,
             hook: None,
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -139,6 +142,14 @@ impl EnclaveBuilder {
         self
     }
 
+    /// Installs an observability recorder. Every ECALL records an
+    /// `ecall.<name>` span plus boundary counters; the EPC records paging
+    /// counters. The default is the disabled recorder, which costs nothing.
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
     /// Initializes the enclave on `platform`, fixing its measurement.
     pub fn build(self, platform: Arc<Platform>) -> Enclave {
         let mut h = Sha256::new();
@@ -151,6 +162,7 @@ impl EnclaveBuilder {
         if let Some(hook) = &self.hook {
             epc.set_fault_hook(hook.clone());
         }
+        epc.set_recorder(self.recorder.clone());
         Enclave {
             name: self.name,
             measurement,
@@ -160,6 +172,7 @@ impl EnclaveBuilder {
             monitor: Mutex::new(SideChannelMonitor::new(self.event_log_capacity)),
             seal_counter: AtomicU64::new(1),
             hook: self.hook,
+            recorder: self.recorder,
         }
     }
 }
@@ -175,6 +188,7 @@ pub struct Enclave {
     monitor: Mutex<SideChannelMonitor>,
     seal_counter: AtomicU64,
     hook: Option<Arc<dyn FaultHook>>,
+    recorder: Recorder,
 }
 
 /// Execution context handed to an ECALL body; tracks memory touches and
@@ -306,6 +320,13 @@ impl Enclave {
         let transitions = 2 + 2 * ctx.ocalls;
         let copied = (input_bytes + output_bytes) as u64;
         let breakdown = self.vclock.charge(real_ns, transitions, copied, ctx.faults);
+        if self.recorder.is_enabled() {
+            self.recorder
+                .record_span(&format!("ecall.{name}"), breakdown.span_cost());
+            self.recorder.incr(counters::ECALLS, 1);
+            self.recorder.incr(counters::ECALL_TRANSITIONS, transitions);
+            self.recorder.incr(counters::BYTES_MARSHALLED, copied);
+        }
         {
             let mut mon = self.monitor.lock();
             if ctx.faults > 0 {
@@ -354,6 +375,17 @@ impl Enclave {
     ) -> (Result<R>, CostBreakdown) {
         if self.consult(FaultSite::EcallEnter).is_some() {
             let breakdown = self.vclock.charge(0, 2, input_bytes as u64, 0);
+            if self.recorder.is_enabled() {
+                // The aborted crossing is still a boundary event: the
+                // failed EENTER and the marshalled input are charged and
+                // must therefore appear on the books.
+                self.recorder
+                    .record_span(&format!("ecall.{name}"), breakdown.span_cost());
+                self.recorder.incr(counters::ECALLS, 1);
+                self.recorder.incr(counters::ECALL_TRANSITIONS, 2);
+                self.recorder
+                    .incr(counters::BYTES_MARSHALLED, input_bytes as u64);
+            }
             let mut mon = self.monitor.lock();
             mon.record(SideChannelEvent::EcallEnter {
                 name: name.to_string(),
@@ -410,6 +442,12 @@ impl Enclave {
     /// its decisions back to the same recorder that injected the faults).
     pub fn fault_hook(&self) -> Option<&Arc<dyn FaultHook>> {
         self.hook.as_ref()
+    }
+
+    /// The observability recorder this enclave reports into (the disabled
+    /// no-op recorder unless one was installed at build time).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Produces an attestation report carrying `user_data` (EREPORT).
@@ -628,6 +666,43 @@ mod tests {
         // The blob itself is intact; a retry unseals it.
         let (res, _) = e.unseal(&blob);
         assert_eq!(res, Ok(b"data".to_vec()));
+    }
+
+    #[test]
+    fn recorder_sees_ecall_spans_and_counters() {
+        let rec = Recorder::enabled();
+        let e = EnclaveBuilder::new("e")
+            .recorder(rec.clone())
+            .build(platform());
+        let (_, cost) = e.ecall("work", 100, 28, |_| 1 + 1);
+        let span = rec.span("ecall.work").expect("span recorded");
+        assert_eq!(span.entries, 1);
+        assert_eq!(span.cost.transition_ns, cost.transition_ns);
+        assert_eq!(span.cost.copy_ns, cost.copy_ns);
+        assert_eq!(rec.counter(counters::ECALLS), 1);
+        assert_eq!(rec.counter(counters::ECALL_TRANSITIONS), 2);
+        assert_eq!(rec.counter(counters::BYTES_MARSHALLED), 128);
+    }
+
+    #[test]
+    fn recorder_books_the_aborted_enter_crossing() {
+        use hesgx_chaos::{FaultKind, FaultPlan, FaultSite};
+        let rec = Recorder::enabled();
+        let injector = Arc::new(
+            FaultPlan::new(1)
+                .script(FaultSite::EcallEnter, 0, FaultKind::Transient)
+                .build(),
+        );
+        let e = EnclaveBuilder::new("e")
+            .fault_hook(injector)
+            .recorder(rec.clone())
+            .build(platform());
+        let (res, cost) = e.ecall_fallible("f", 64, 8, |_| ());
+        assert!(res.is_err());
+        let span = rec.span("ecall.f").expect("aborted crossing recorded");
+        assert_eq!(span.entries, 1);
+        assert_eq!(span.cost.transition_ns, cost.transition_ns);
+        assert_eq!(rec.counter(counters::BYTES_MARSHALLED), 64);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::error::{Result, TeeError};
 use hesgx_chaos::{FaultHook, FaultSite};
+use hesgx_obs::{counters, Recorder};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -51,6 +52,7 @@ pub struct Epc {
     resident: HashMap<(RegionId, usize), usize>, // -> index hint (rebuilt lazily)
     stats: EpcStats,
     hook: Option<Arc<dyn FaultHook>>,
+    recorder: Recorder,
 }
 
 impl Epc {
@@ -67,6 +69,7 @@ impl Epc {
             resident: HashMap::new(),
             stats: EpcStats::default(),
             hook: None,
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -76,6 +79,14 @@ impl Epc {
     /// succeed, but pay extra faults and evictions.
     pub fn set_fault_hook(&mut self, hook: Arc<dyn FaultHook>) {
         self.hook = Some(hook);
+    }
+
+    /// Installs an observability recorder. Paging activity is recorded as
+    /// `epc.load` / `epc.evict` span entries (count only — the nanoseconds
+    /// of paging are charged in the owning ECALL's `paging_ns` term) plus
+    /// `epc.*` counters.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// Allocates a logical region of `bytes` within the enclave heap.
@@ -174,7 +185,7 @@ impl Epc {
                     self.lru.remove(pos);
                 }
                 self.resident.remove(&key);
-                self.stats.evictions += 1;
+                self.record_eviction();
             } else {
                 // Move to MRU position.
                 if let Some(pos) = self.lru.iter().position(|&k| k == key) {
@@ -182,11 +193,14 @@ impl Epc {
                     self.lru.push(item);
                 }
                 self.stats.hits += 1;
+                self.recorder.incr(counters::EPC_HITS, 1);
                 return false;
             }
         }
         // Fault: evict if full, then load.
         self.stats.faults += 1;
+        self.recorder.record_zero_attempt("epc.load");
+        self.recorder.incr(counters::EPC_PAGE_FAULTS, 1);
         let extra_eviction = self
             .hook
             .as_ref()
@@ -195,16 +209,23 @@ impl Epc {
             // Injected pressure: one extra victim page beyond capacity needs.
             let victim = self.lru.remove(0);
             self.resident.remove(&victim);
-            self.stats.evictions += 1;
+            self.record_eviction();
         }
         while self.lru.len() >= self.capacity_pages {
             let victim = self.lru.remove(0);
             self.resident.remove(&victim);
-            self.stats.evictions += 1;
+            self.record_eviction();
         }
         self.lru.push(key);
         self.resident.insert(key, 0);
         true
+    }
+
+    /// Bumps the eviction stat and its observability mirror together.
+    fn record_eviction(&mut self) {
+        self.stats.evictions += 1;
+        self.recorder.record_zero_attempt("epc.evict");
+        self.recorder.incr(counters::EPC_EVICTIONS, 1);
     }
 
     /// Current statistics.
@@ -333,6 +354,25 @@ mod tests {
         assert_eq!(epc.stats().evictions, 1);
         // `a` was the extra victim, so touching it faults again.
         assert_eq!(epc.touch_region(a).unwrap(), 1);
+    }
+
+    #[test]
+    fn recorder_mirrors_epc_stats() {
+        let rec = Recorder::enabled();
+        let mut epc = Epc::new(2 * PAGE_SIZE, 8 * PAGE_SIZE);
+        epc.set_recorder(rec.clone());
+        let r = epc.alloc(3 * PAGE_SIZE).unwrap();
+        epc.touch_region(r).unwrap(); // 3 cold faults, 1 capacity eviction
+        epc.touch_region(r).unwrap(); // keeps thrashing within a 2-page EPC
+        let stats = epc.stats();
+        assert_eq!(rec.counter(counters::EPC_PAGE_FAULTS), stats.faults);
+        assert_eq!(rec.counter(counters::EPC_EVICTIONS), stats.evictions);
+        assert_eq!(rec.counter(counters::EPC_HITS), stats.hits);
+        assert_eq!(rec.span("epc.load").map(|s| s.entries), Some(stats.faults));
+        assert_eq!(
+            rec.span("epc.evict").map(|s| s.entries),
+            Some(stats.evictions)
+        );
     }
 
     #[test]
