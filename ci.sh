@@ -44,4 +44,18 @@ echo "==> obs report"
 cargo run --release -q -p hesgx-bench --offline --bin repro -- obs_report --quick
 test -s target/obs/obs_report.json
 
+# Trace determinism gate: run the timeline experiment twice and require the
+# Perfetto trace and the Prometheus exposition to be byte-identical — the
+# virtual-clock contract (DESIGN.md §13) as an executable check.
+echo "==> trace determinism (two runs, diffed)"
+cargo run --release -q -p hesgx-bench --offline --bin repro -- trace --quick
+test -s target/obs/trace-7.json
+test -s target/obs/trace-7.prom
+cp target/obs/trace-7.json target/obs/trace-7.first.json
+cp target/obs/trace-7.prom target/obs/trace-7.first.prom
+cargo run --release -q -p hesgx-bench --offline --bin repro -- trace --quick
+diff target/obs/trace-7.first.json target/obs/trace-7.json
+diff target/obs/trace-7.first.prom target/obs/trace-7.prom
+rm -f target/obs/trace-7.first.json target/obs/trace-7.first.prom
+
 echo "ci: all checks passed"

@@ -7,7 +7,7 @@
 //! ```
 
 use hesgx_bench::experiments::{
-    ablation, chaos_sweep, e2e, figures, obs_report, par_sweep, tables, RunConfig,
+    ablation, chaos_sweep, e2e, figures, obs_report, par_sweep, tables, trace, RunConfig,
 };
 use hesgx_bench::PaperEnv;
 
@@ -27,6 +27,7 @@ const EXPERIMENTS: &[&str] = &[
     "par_sweep",
     "chaos_sweep",
     "obs_report",
+    "trace",
 ];
 
 fn main() {
@@ -131,6 +132,9 @@ fn main() {
     }
     if wanted("obs_report") {
         obs_report::obs_report(cfg);
+    }
+    if wanted("trace") {
+        trace::trace(cfg);
     }
     println!();
     println!("done.");

@@ -11,6 +11,7 @@ pub mod figures;
 pub mod obs_report;
 pub mod par_sweep;
 pub mod tables;
+pub mod trace;
 
 /// Repetition policy: `quick` trades statistical depth for runtime.
 #[derive(Debug, Clone, Copy)]

@@ -95,11 +95,16 @@ impl PaperEnv {
 /// reported on stdout and returns `None` — observability must never fail an
 /// experiment run.
 pub fn write_obs_snapshot(experiment: &str, recorder: &Recorder) -> Option<PathBuf> {
+    write_obs_file(&format!("{experiment}.json"), &recorder.snapshot_json())
+}
+
+/// Writes arbitrary exporter output (Chrome trace JSON, Prometheus text) to
+/// `target/obs/<file_name>` and returns the path. Same never-fail contract
+/// as [`write_obs_snapshot`].
+pub fn write_obs_file(file_name: &str, contents: &str) -> Option<PathBuf> {
     let dir = std::path::Path::new("target").join("obs");
-    let path = dir.join(format!("{experiment}.json"));
-    match std::fs::create_dir_all(&dir)
-        .and_then(|()| std::fs::write(&path, recorder.snapshot_json().as_bytes()))
-    {
+    let path = dir.join(file_name);
+    match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, contents.as_bytes())) {
         Ok(()) => Some(path),
         Err(e) => {
             println!("could not write {}: {e}", path.display());

@@ -21,7 +21,7 @@ use hesgx_henn::ops::{self, OpCounter};
 use hesgx_henn::par::ParExec;
 use hesgx_nn::layers::ActivationKind;
 use hesgx_nn::quantize::{QuantPipeline, QuantizedCnn};
-use hesgx_obs::Recorder;
+use hesgx_obs::{counters, Recorder};
 use hesgx_tee::cost::{CostBreakdown, CostModel};
 use hesgx_tee::enclave::{EnclaveBuilder, Platform};
 use hesgx_tee::error::TeeError;
@@ -55,6 +55,28 @@ impl StageMetrics {
     }
 }
 
+/// One noise-refresh decision taken (or audited) at the refresh point
+/// between pooling and the fully connected layer.
+///
+/// The budget is the minimum invariant-noise budget in bits across the
+/// feature map, measured *inside* the enclave by
+/// [`InferenceEnclave::noise_probe`]; only the bit-counts recorded here ever
+/// cross the boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoiseDecision {
+    /// Pipeline layer index the decision belongs to.
+    pub layer: usize,
+    /// Minimum budget (bits) measured before the decision.
+    pub before_bits: u32,
+    /// Minimum budget (bits) measured after a taken refresh (`None` when
+    /// the refresh was skipped or post-telemetry was off).
+    pub after_bits: Option<u32>,
+    /// The `refresh_threshold_bits` in force (planner default or override).
+    pub threshold_bits: u32,
+    /// Whether the refresh actually ran.
+    pub refreshed: bool,
+}
+
 /// Full-pipeline metrics.
 #[derive(Debug, Clone, Default)]
 pub struct HybridMetrics {
@@ -64,6 +86,9 @@ pub struct HybridMetrics {
     pub ops: OpCounter,
     /// Worker threads the run executed with (1 = serial).
     pub threads: usize,
+    /// Noise-refresh decisions, in execution order (empty when no refresh
+    /// point ran or no budget was measured).
+    pub noise: Vec<NoiseDecision>,
 }
 
 impl HybridMetrics {
@@ -115,6 +140,15 @@ pub struct ProvisionConfig {
     /// default: the paper's four-stage pipeline does not need it at MNIST
     /// depth.
     pub refresh_between_stages: bool,
+    /// Gates the refresh stage on a live in-enclave budget probe instead
+    /// (Auto mode): the probe always runs at the refresh point, and the
+    /// refresh fires only when the measured budget drops below the plan's
+    /// `refresh_threshold_bits`. Takes precedence over
+    /// `refresh_between_stages` when both are set.
+    pub refresh_auto: bool,
+    /// Overrides the planner's `refresh_threshold_bits` (the Auto-mode
+    /// decision margin). `None` keeps the planner default.
+    pub refresh_threshold_bits: Option<u32>,
     /// Observability recorder threaded through the enclave, the worker pool,
     /// and the pipeline stages. The default is the disabled no-op recorder:
     /// recording costs nothing unless a caller installs an enabled one.
@@ -132,6 +166,8 @@ impl Default for ProvisionConfig {
             recovery: RecoveryPolicy::default(),
             fault_hook: None,
             refresh_between_stages: false,
+            refresh_auto: false,
+            refresh_threshold_bits: None,
             recorder: Recorder::disabled(),
         }
     }
@@ -154,6 +190,7 @@ pub struct HybridInference {
     /// probed by [`HybridInference::verify_sealed_state`].
     sealed_keys: SealedBlob,
     refresh_between_stages: bool,
+    refresh_auto: bool,
     /// Observability recorder shared with the enclave and the worker pool.
     recorder: Recorder,
 }
@@ -215,6 +252,9 @@ impl HybridInference {
         if let Some(strategy) = config.pool_strategy {
             plan.pool_strategy = strategy;
         }
+        if let Some(threshold) = config.refresh_threshold_bits {
+            plan.refresh_threshold_bits = threshold;
+        }
         let mut inference =
             InferenceEnclave::new(enclave, keys.secret, keys.public, config.seed ^ 0x1ee7);
         inference.set_recovery_policy(config.recovery);
@@ -228,6 +268,7 @@ impl HybridInference {
             evaluation: keys.evaluation,
             sealed_keys,
             refresh_between_stages: config.refresh_between_stages,
+            refresh_auto: config.refresh_auto,
             recorder: config.recorder,
         };
         Ok((service, ceremony))
@@ -343,6 +384,62 @@ impl HybridInference {
             span.real_ns = wall.as_nanos() as u64;
         }
         self.recorder.record_span(name, span);
+        if enclave.is_some() {
+            // Per-layer ECALL cost distribution (modeled terms only, so the
+            // histogram stays byte-stable across runs and pool sizes).
+            self.recorder
+                .observe(&format!("{name}.model_ns"), span.model_ns());
+        }
+    }
+
+    /// Opens a stage slice on the trace timeline (no-op without one).
+    fn trace_stage_begin(&self, name: &str) {
+        if self.recorder.trace_enabled() {
+            self.recorder.trace_begin(name, &[]);
+        }
+    }
+
+    /// Closes a stage slice on the trace timeline (no-op without one).
+    fn trace_stage_end(&self, name: &str) {
+        if self.recorder.trace_enabled() {
+            self.recorder.trace_end(name);
+        }
+    }
+
+    /// Recorder-gated noise-budget telemetry: measures the minimum
+    /// invariant-noise budget of `cells` inside the enclave and records the
+    /// bit-count as a gauge sample. Telemetry-only — the probe's ECALL cost
+    /// books under `ecall.ecall_NoiseProbe`, never under a pipeline stage,
+    /// so the reconciliation invariant (the `infer.*.ecall` fold equals
+    /// `total_enclave_cost`) is untouched. Returns the bits when measured.
+    fn probe_gauge(&self, label: &str, cells: &[CrtCiphertext]) -> Result<Option<u32>> {
+        if !self.recorder.is_enabled() || cells.is_empty() {
+            return Ok(None);
+        }
+        let refs: Vec<&CrtCiphertext> = cells.iter().collect();
+        let (bits, _) = self.enclave.noise_probe(&self.sys, &refs)?;
+        self.recorder.gauge(label, u64::from(bits));
+        self.recorder.incr(counters::NOISE_PROBES, 1);
+        Ok(Some(bits))
+    }
+
+    /// Drops the refresh-decision instant on the timeline.
+    fn trace_refresh_decision(&self, layer: usize, bits: u32, threshold: u32, taken: bool) {
+        if self.recorder.trace_enabled() {
+            self.recorder.trace_instant(
+                "noise.refresh.decision",
+                &[
+                    ("layer", layer.to_string()),
+                    ("budget_bits", bits.to_string()),
+                    ("threshold_bits", threshold.to_string()),
+                    (
+                        "margin_bits",
+                        (i64::from(bits) - i64::from(threshold)).to_string(),
+                    ),
+                    ("taken", taken.to_string()),
+                ],
+            );
+        }
     }
 
     /// Runs the hybrid inference. Returns encrypted logits plus metrics.
@@ -364,6 +461,7 @@ impl HybridInference {
         // 1. Convolutional layer — HE outside SGX, parallel over output
         // cells × CRT limbs (bit-identical for every pool size).
         let start = Instant::now();
+        self.trace_stage_begin("infer.layer[0].he");
         let conv = ops::he_conv2d_par(
             &self.sys,
             input,
@@ -375,6 +473,7 @@ impl HybridInference {
             &mut metrics.ops,
             &self.pool,
         )?;
+        self.trace_stage_end("infer.layer[0].he");
         let conv_wall = start.elapsed();
         self.record_stage("infer.layer[0].he", conv_wall, None);
         metrics.stages.push(StageMetrics {
@@ -386,6 +485,8 @@ impl HybridInference {
         // 2. Activation — plaintext inside SGX; the whole map crosses the
         // ECALL boundary once, the per-cell work parallelizes inside.
         let start = Instant::now();
+        self.trace_stage_begin("infer.layer[1].ecall");
+        self.probe_gauge("noise.budget.layer[1].pre", conv.cells())?;
         let (activated, act_cost) = match batching {
             EcallBatching::Batched => {
                 self.enclave
@@ -396,6 +497,8 @@ impl HybridInference {
                     .activation_map_single_ecalls(&self.sys, &conv, m, self.activation)?
             }
         };
+        self.probe_gauge("noise.budget.layer[1].post", activated.cells())?;
+        self.trace_stage_end("infer.layer[1].ecall");
         let act_wall = start.elapsed();
         self.record_stage("infer.layer[1].ecall", act_wall, Some(&act_cost));
         metrics.stages.push(StageMetrics {
@@ -404,12 +507,18 @@ impl HybridInference {
             enclave: Some(act_cost),
         });
 
-        // 3. Pooling — split per the §VI-D rule; either way one ECALL.
+        // 3. Pooling — split per the §VI-D rule; either way one ECALL. The
+        // pre-probe measures what actually crosses the boundary: the
+        // activated map for SgxPool, the homomorphically summed windows
+        // (noisier) for SgxDiv.
         let start = Instant::now();
+        self.trace_stage_begin("infer.layer[2].ecall");
         let (pooled, pool_cost) = match self.plan.pool_strategy {
-            PoolStrategy::SgxPool => self
-                .enclave
-                .pool_full_map_par(&self.sys, &activated, m, false, &self.pool)?,
+            PoolStrategy::SgxPool => {
+                self.probe_gauge("noise.budget.layer[2].pre", activated.cells())?;
+                self.enclave
+                    .pool_full_map_par(&self.sys, &activated, m, false, &self.pool)?
+            }
             PoolStrategy::SgxDiv => {
                 let summed = ops::he_scaled_mean_pool_par(
                     &self.sys,
@@ -418,10 +527,13 @@ impl HybridInference {
                     &mut metrics.ops,
                     &self.pool,
                 )?;
+                self.probe_gauge("noise.budget.layer[2].pre", summed.cells())?;
                 self.enclave
                     .divide_map_par(&self.sys, &summed, m, &self.pool)?
             }
         };
+        self.probe_gauge("noise.budget.layer[2].post", pooled.cells())?;
+        self.trace_stage_end("infer.layer[2].ecall");
         let pool_wall = start.elapsed();
         self.record_stage("infer.layer[2].ecall", pool_wall, Some(&pool_cost));
         metrics.stages.push(StageMetrics {
@@ -431,28 +543,99 @@ impl HybridInference {
         });
         let mut layer = 3usize;
 
-        // Optional noise refresh — decrypt–re-encrypt inside the enclave
-        // (§IV-E) between pooling and the FC layer, resetting invariant
-        // noise without relinearization keys.
-        let pooled = if self.refresh_between_stages {
+        // Noise-refresh point (§IV-E) between pooling and the FC layer.
+        // `Always` mode inserts the decrypt–re-encrypt stage unconditionally
+        // (the original semantics); `Auto` mode probes the live invariant-
+        // noise budget inside the enclave and refreshes only when it falls
+        // below the plan's threshold — the decision the trace timeline and
+        // the `repro trace` noise table audit.
+        let threshold = self.plan.refresh_threshold_bits;
+        let pooled = if self.refresh_auto {
+            let stage = format!("infer.layer[{layer}].ecall");
             let start = Instant::now();
+            self.trace_stage_begin(&stage);
+            // Functional probe: it decides the refresh, so its cost belongs
+            // to the stage — folded into the stage metrics *and* the stage
+            // span, keeping the reconciliation invariant exact.
+            let refs: Vec<&CrtCiphertext> = pooled.cells().iter().collect();
+            let (bits, probe_cost) = self.enclave.noise_probe(&self.sys, &refs)?;
+            let refreshed = bits < threshold;
+            self.recorder.incr(counters::NOISE_PROBES, 1);
+            self.recorder
+                .gauge(&format!("noise.budget.layer[{layer}].pre"), u64::from(bits));
+            let (out, stage_cost, stage_name, after_bits) = if refreshed {
+                self.recorder.incr(counters::NOISE_REFRESHES, 1);
+                let (fresh, cost) =
+                    self.enclave
+                        .refresh_batch_par(&self.sys, pooled.cells(), &self.pool)?;
+                let (c, h, w) = pooled.shape();
+                let fresh = EncryptedMap::new(c, h, w, fresh);
+                let after =
+                    self.probe_gauge(&format!("noise.budget.layer[{layer}].post"), fresh.cells())?;
+                (
+                    fresh,
+                    sum_costs(probe_cost, cost),
+                    "Noise Refresh (SGX inside)",
+                    after,
+                )
+            } else {
+                self.recorder.incr(counters::NOISE_REFRESH_SKIPS, 1);
+                (pooled, probe_cost, "Noise Check (SGX inside)", None)
+            };
+            self.trace_refresh_decision(layer, bits, threshold, refreshed);
+            let refresh_wall = start.elapsed();
+            self.record_stage(&stage, refresh_wall, Some(&stage_cost));
+            metrics.stages.push(StageMetrics {
+                name: stage_name.into(),
+                wall: refresh_wall,
+                enclave: Some(stage_cost),
+            });
+            metrics.noise.push(NoiseDecision {
+                layer,
+                before_bits: bits,
+                after_bits,
+                threshold_bits: threshold,
+                refreshed,
+            });
+            self.trace_stage_end(&stage);
+            layer += 1;
+            out
+        } else if self.refresh_between_stages {
+            let stage = format!("infer.layer[{layer}].ecall");
+            let start = Instant::now();
+            self.trace_stage_begin(&stage);
+            // Always mode refreshes unconditionally; budget telemetry around
+            // it is recorder-gated and cost-invisible to the stage books.
+            let before =
+                self.probe_gauge(&format!("noise.budget.layer[{layer}].pre"), pooled.cells())?;
             let (fresh, cost) =
                 self.enclave
                     .refresh_batch_par(&self.sys, pooled.cells(), &self.pool)?;
             let (c, h, w) = pooled.shape();
+            let fresh = EncryptedMap::new(c, h, w, fresh);
+            let after =
+                self.probe_gauge(&format!("noise.budget.layer[{layer}].post"), fresh.cells())?;
+            self.recorder.incr(counters::NOISE_REFRESHES, 1);
+            if let Some(before) = before {
+                self.trace_refresh_decision(layer, before, threshold, true);
+                metrics.noise.push(NoiseDecision {
+                    layer,
+                    before_bits: before,
+                    after_bits: after,
+                    threshold_bits: threshold,
+                    refreshed: true,
+                });
+            }
             let refresh_wall = start.elapsed();
-            self.record_stage(
-                &format!("infer.layer[{layer}].ecall"),
-                refresh_wall,
-                Some(&cost),
-            );
-            layer += 1;
+            self.record_stage(&stage, refresh_wall, Some(&cost));
             metrics.stages.push(StageMetrics {
                 name: "Noise Refresh (SGX inside)".into(),
                 wall: refresh_wall,
                 enclave: Some(cost),
             });
-            EncryptedMap::new(c, h, w, fresh)
+            self.trace_stage_end(&stage);
+            layer += 1;
+            fresh
         } else {
             pooled
         };
@@ -460,6 +643,7 @@ impl HybridInference {
         // 4. Fully connected layer — HE outside SGX, parallel over
         // classes × CRT limbs.
         let start = Instant::now();
+        self.trace_stage_begin(&format!("infer.layer[{layer}].he"));
         let logits = ops::he_fully_connected_par(
             &self.sys,
             &pooled,
@@ -469,6 +653,7 @@ impl HybridInference {
             &mut metrics.ops,
             &self.pool,
         )?;
+        self.trace_stage_end(&format!("infer.layer[{layer}].he"));
         let fc_wall = start.elapsed();
         self.record_stage(&format!("infer.layer[{layer}].he"), fc_wall, None);
         metrics.stages.push(StageMetrics {
@@ -529,6 +714,7 @@ impl HybridInference {
         let m = &self.model;
 
         let start = Instant::now();
+        self.trace_stage_begin("infer.degraded.layer[0].he");
         let conv = ops::he_conv2d_par(
             &self.sys,
             input,
@@ -540,6 +726,7 @@ impl HybridInference {
             &mut metrics.ops,
             &self.pool,
         )?;
+        self.trace_stage_end("infer.degraded.layer[0].he");
         let wall = start.elapsed();
         self.record_stage("infer.degraded.layer[0].he", wall, None);
         metrics.stages.push(StageMetrics {
@@ -549,6 +736,7 @@ impl HybridInference {
         });
 
         let start = Instant::now();
+        self.trace_stage_begin("infer.degraded.layer[1].he");
         let activated = ops::he_square_activation_par(
             &self.sys,
             &conv,
@@ -556,6 +744,7 @@ impl HybridInference {
             &mut metrics.ops,
             &self.pool,
         )?;
+        self.trace_stage_end("infer.degraded.layer[1].he");
         let wall = start.elapsed();
         self.record_stage("infer.degraded.layer[1].he", wall, None);
         metrics.stages.push(StageMetrics {
@@ -565,6 +754,7 @@ impl HybridInference {
         });
 
         let start = Instant::now();
+        self.trace_stage_begin("infer.degraded.layer[2].he");
         let pooled = ops::he_scaled_mean_pool_par(
             &self.sys,
             &activated,
@@ -572,6 +762,7 @@ impl HybridInference {
             &mut metrics.ops,
             &self.pool,
         )?;
+        self.trace_stage_end("infer.degraded.layer[2].he");
         let wall = start.elapsed();
         self.record_stage("infer.degraded.layer[2].he", wall, None);
         metrics.stages.push(StageMetrics {
@@ -581,6 +772,7 @@ impl HybridInference {
         });
 
         let start = Instant::now();
+        self.trace_stage_begin("infer.degraded.layer[3].he");
         let logits = ops::he_fully_connected_par(
             &self.sys,
             &pooled,
@@ -590,6 +782,7 @@ impl HybridInference {
             &mut metrics.ops,
             &self.pool,
         )?;
+        self.trace_stage_end("infer.degraded.layer[3].he");
         let wall = start.elapsed();
         self.record_stage("infer.degraded.layer[3].he", wall, None);
         metrics.stages.push(StageMetrics {

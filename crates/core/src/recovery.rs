@@ -95,6 +95,7 @@ pub fn retry_with_cost<T>(
                         h.on_recovery(RecoveryEvent::Recovered { site, attempts });
                     }
                 }
+                recorder.observe("recovery.depth", u64::from(attempts));
                 return (Ok(value), total);
             }
             Err(err) if err.is_transient() => {
@@ -105,6 +106,16 @@ pub fn retry_with_cost<T>(
                 let retry_index = attempts - 1;
                 if retry_index < policy.max_retries {
                     recorder.incr(counters::RECOVERY_RETRIES, 1);
+                    if recorder.trace_enabled() {
+                        recorder.trace_instant(
+                            "recovery.retry",
+                            &[
+                                ("attempt", retry_index.to_string()),
+                                ("backoff_ns", policy.backoff_ns(retry_index).to_string()),
+                                ("site", format!("{site:?}")),
+                            ],
+                        );
+                    }
                     if let Some(h) = hook {
                         h.on_recovery(RecoveryEvent::Retry {
                             site,
@@ -117,9 +128,13 @@ pub fn retry_with_cost<T>(
                 if let Some(h) = hook {
                     h.on_recovery(RecoveryEvent::RetriesExhausted { site, attempts });
                 }
+                recorder.observe("recovery.depth", u64::from(attempts));
                 return (Err(err), total);
             }
-            Err(err) => return (Err(err), total),
+            Err(err) => {
+                recorder.observe("recovery.depth", u64::from(attempts));
+                return (Err(err), total);
+            }
         }
     }
 }

@@ -62,6 +62,7 @@ use hesgx_tee::attestation::AttestationService;
 use hesgx_tee::cost::{CostBreakdown, CostModel};
 use hesgx_tee::enclave::Platform;
 use parking_lot::{Mutex, RwLock, RwLockReadGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// FV parameter presets for [`SessionBuilder::params`].
@@ -115,6 +116,8 @@ pub struct SessionBuilder {
     recovery: RecoveryPolicy,
     chaos: Option<FaultPlan>,
     noise_refresh: bool,
+    noise_refresh_auto: bool,
+    refresh_threshold_bits: Option<u32>,
     recorder: Recorder,
 }
 
@@ -131,6 +134,8 @@ impl Default for SessionBuilder {
             recovery: RecoveryPolicy::default(),
             chaos: None,
             noise_refresh: false,
+            noise_refresh_auto: false,
+            refresh_threshold_bits: None,
             recorder: Recorder::disabled(),
         }
     }
@@ -226,6 +231,27 @@ impl SessionBuilder {
         self
     }
 
+    /// Gates the in-enclave noise refresh on a measured budget instead of
+    /// running it unconditionally: the enclave probes the minimum invariant
+    /// noise budget after pooling (`ecall_NoiseProbe`) and refreshes only
+    /// when the measured bits fall below the planner's
+    /// `refresh_threshold_bits`. Only the bit-count leaves the enclave. The
+    /// decision trail lands in [`HybridMetrics::noise`]. Takes precedence
+    /// over [`SessionBuilder::noise_refresh`].
+    #[must_use]
+    pub fn noise_refresh_auto(mut self, enabled: bool) -> Self {
+        self.noise_refresh_auto = enabled;
+        self
+    }
+
+    /// Overrides the planner's refresh threshold (bits of invariant noise
+    /// budget below which [`SessionBuilder::noise_refresh_auto`] refreshes).
+    #[must_use]
+    pub fn refresh_threshold_bits(mut self, bits: u32) -> Self {
+        self.refresh_threshold_bits = Some(bits);
+        self
+    }
+
     /// Installs an observability recorder: the session threads it through
     /// the enclave boundary, the EPC, the worker pool, the recovery layer,
     /// the attestation verifier, and the chaos injector, and exposes the
@@ -268,6 +294,8 @@ impl SessionBuilder {
             recovery: self.recovery,
             fault_hook: chaos.clone().map(|injector| injector as Arc<dyn FaultHook>),
             refresh_between_stages: self.noise_refresh,
+            refresh_auto: self.noise_refresh_auto,
+            refresh_threshold_bits: self.refresh_threshold_bits,
             recorder: self.recorder.clone(),
         };
         let (mut service, ceremony) =
@@ -308,6 +336,7 @@ impl SessionBuilder {
             activation: self.activation,
             chaos,
             recorder: self.recorder,
+            requests: AtomicU64::new(0),
         })
     }
 }
@@ -331,6 +360,10 @@ pub struct Session {
     activation: ActivationKind,
     chaos: Option<Arc<FaultInjector>>,
     recorder: Recorder,
+    /// Monotone per-session request counter; combined with the seed it
+    /// yields the deterministic trace ID `req-<seed:016x>-<n>` so timelines
+    /// from different sessions (or re-runs) line up byte-for-byte.
+    requests: AtomicU64,
 }
 
 impl Session {
@@ -360,6 +393,13 @@ impl Session {
     /// Returns [`Error::Config`] for an empty or oversized batch and
     /// propagates HE/TEE failures.
     pub fn infer_batch(&self, images: &[Vec<i64>]) -> Result<Vec<Vec<i64>>> {
+        let traced = self.trace_request_begin("infer_batch", images.len());
+        let result = self.infer_batch_inner(images);
+        self.trace_request_end(traced, result.is_ok());
+        result
+    }
+
+    fn infer_batch_inner(&self, images: &[Vec<i64>]) -> Result<Vec<Vec<i64>>> {
         let enc = self.encrypt_batch(images)?;
         let mut reprovisions = 0u32;
         loop {
@@ -391,6 +431,13 @@ impl Session {
     /// propagates fatal failures (including failures of the fallback
     /// itself).
     pub fn infer_batch_resilient(&self, images: &[Vec<i64>]) -> Result<(Vec<Vec<i64>>, Served)> {
+        let traced = self.trace_request_begin("infer_batch_resilient", images.len());
+        let result = self.infer_batch_resilient_inner(images);
+        self.trace_request_end(traced, result.is_ok());
+        result
+    }
+
+    fn infer_batch_resilient_inner(&self, images: &[Vec<i64>]) -> Result<(Vec<Vec<i64>>, Served)> {
         let enc = self.encrypt_batch(images)?;
         let mut reprovisions = 0u32;
         loop {
@@ -411,6 +458,16 @@ impl Session {
                             hook.on_recovery(RecoveryEvent::Degraded {
                                 reason: "transient retries exhausted; pure-HE square fallback",
                             });
+                        }
+                        if self.recorder.trace_enabled() {
+                            self.recorder.trace_instant(
+                                "session.degraded",
+                                &[(
+                                    "reason",
+                                    "transient retries exhausted; pure-HE square fallback"
+                                        .to_string(),
+                                )],
+                            );
                         }
                         let (logits, metrics) = self.service.read().infer_degraded(&enc)?;
                         *self.last_metrics.lock() = Some(metrics);
@@ -520,6 +577,41 @@ impl Session {
 
     fn hook(&self) -> Option<&dyn FaultHook> {
         self.chaos.as_ref().map(|c| c.as_ref() as &dyn FaultHook)
+    }
+
+    /// Opens the per-request trace span. The trace ID is a pure function of
+    /// the session seed and the request ordinal — never of wall time — so
+    /// equal seeds replay byte-identical timelines. Returns whether a span
+    /// was opened (the counter only advances on traced sessions, keeping
+    /// the no-op recorder zero-cost).
+    fn trace_request_begin(&self, api: &str, batch: usize) -> bool {
+        if !self.recorder.trace_enabled() {
+            return false;
+        }
+        let n = self.requests.fetch_add(1, Ordering::Relaxed);
+        let trace_id = format!("req-{:016x}-{n}", self.config.seed);
+        self.recorder.trace_begin(
+            "session.request",
+            &[
+                ("api", api.to_string()),
+                ("batch", batch.to_string()),
+                ("trace_id", trace_id),
+            ],
+        );
+        true
+    }
+
+    /// Closes the span opened by [`Session::trace_request_begin`], marking
+    /// failed requests with an instant first so the outcome is visible on
+    /// the timeline.
+    fn trace_request_end(&self, traced: bool, ok: bool) {
+        if !traced {
+            return;
+        }
+        if !ok {
+            self.recorder.trace_instant("session.request.error", &[]);
+        }
+        self.recorder.trace_end("session.request");
     }
 
     /// The fault report accumulated by the installed chaos plan, if any.

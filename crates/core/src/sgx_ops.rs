@@ -657,6 +657,39 @@ impl InferenceEnclave {
             .ok_or(Error::Internal("refresh returned no ciphertext"))?;
         Ok((fresh, cost))
     }
+
+    /// Measures the minimum invariant-noise budget (bits) across `cts`
+    /// inside the enclave — the noise-telemetry source and the input to the
+    /// Auto refresh decision (DESIGN.md §13).
+    ///
+    /// The probe deliberately sits *outside* the fault-injection and RNG
+    /// machinery: it uses the plain (infallible) ECALL path, consults no
+    /// fault sites, advances neither the call counter nor the re-encryption
+    /// stream, and touches no EPC pages (it reads ciphertexts the
+    /// surrounding operator already marshalled). Enabling telemetry can
+    /// therefore never shift a chaos occurrence index or change a single
+    /// output ciphertext bit. Measurement stays behind the enclave
+    /// boundary: the secret key and the noise polynomial never leave, only
+    /// the bit-count (4 bytes) is marshalled out.
+    ///
+    /// # Errors
+    ///
+    /// Propagates HE decryption failures.
+    pub fn noise_probe(
+        &self,
+        sys: &CrtPlainSystem,
+        cts: &[&CrtCiphertext],
+    ) -> Result<(u32, CostBreakdown)> {
+        let in_bytes: usize = cts.iter().map(|c| c.byte_len()).sum();
+        let (bits, cost) = self.enclave.ecall("ecall_NoiseProbe", in_bytes, 4, |_ctx| {
+            let mut min_bits = u32::MAX;
+            for ct in cts {
+                min_bits = min_bits.min(sys.noise_budget(ct, &self.secret)?);
+            }
+            Ok::<_, Error>(min_bits)
+        });
+        Ok((bits?, cost))
+    }
 }
 
 /// Sums two cost breakdowns term-wise.

@@ -172,6 +172,7 @@ impl ParExec {
         F: Fn(usize) -> T + Sync,
     {
         self.recorder.incr(counters::PAR_TASKS, n as u64);
+        self.recorder.observe("par.batch", n as u64);
         let workers = self.threads.min(n.max(1));
         if workers <= 1 {
             return (0..n).map(f).collect();

@@ -11,13 +11,30 @@
 //! Unlike most rules this one inspects the *raw* line (minus its line
 //! comment): the code view blanks string interiors, but the string interior
 //! is precisely where a label like `"seal.secret_key"` hides.
+//!
+//! Since PR 5 the exported surface is wider than span/counter names: trace
+//! events (`trace_begin`/`trace_end`/`trace_instant`) land verbatim in the
+//! Chrome trace-event JSON — names *and* argument keys/values — and gauge /
+//! histogram names become Prometheus label values. Every one of those entry
+//! points is held to the same no-secret-identifier standard.
 
 use crate::config::{SECRET_LOG_TOKENS, SECRET_TYPES};
 use crate::diag::Diagnostic;
 use crate::lexer::{ident_positions, identifiers, next_nonspace, SourceFile};
 
-/// Recorder entry points that persist a label into the snapshot.
-const RECORD_CALLS: &[&str] = &["record_span", "record_zero_attempt", "incr"];
+/// Recorder entry points that persist a label into an exported artifact:
+/// the snapshot (spans/counters), the Prometheus exposition (gauges,
+/// histograms), or the Chrome trace-event JSON (trace names and args).
+const RECORD_CALLS: &[&str] = &[
+    "record_span",
+    "record_zero_attempt",
+    "incr",
+    "gauge",
+    "observe",
+    "trace_begin",
+    "trace_end",
+    "trace_instant",
+];
 
 /// Runs the rule on one file.
 pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
@@ -104,6 +121,41 @@ mod tests {
     #[test]
     fn lines_without_record_calls_are_ignored() {
         let f = scan("fn f(sk: u64) -> u64 { sk + 1 }\n");
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn secret_token_in_trace_event_name_is_flagged() {
+        let f = scan("fn f(r: &Recorder) { r.trace_begin(\"seal.secret_key\", &[]); }\n");
+        assert!(check(&f).iter().any(|d| d.rule == "obs-secret-label"));
+    }
+
+    #[test]
+    fn secret_binding_in_trace_arg_is_flagged() {
+        let f = scan(
+            "fn f(r: &Recorder, secret_key: u64) { r.trace_instant(\"epc.load\", \
+             &[(\"k\", secret_key.to_string())]); }\n",
+        );
+        assert!(check(&f).iter().any(|d| d.rule == "obs-secret-label"));
+    }
+
+    #[test]
+    fn secret_token_in_gauge_or_histogram_name_is_flagged() {
+        let f = scan("fn f(r: &Recorder) { r.gauge(\"private_key.bits\", 1); }\n");
+        assert!(check(&f).iter().any(|d| d.rule == "obs-secret-label"));
+        let f = scan("fn f(r: &Recorder) { r.observe(\"SealedBlob.bytes\", 1); }\n");
+        assert!(check(&f).iter().any(|d| d.rule == "obs-secret-label"));
+    }
+
+    #[test]
+    fn clean_trace_and_gauge_labels_pass() {
+        let f = scan(
+            "fn f(r: &Recorder) {\n    r.trace_begin(\"session.request\", \
+             &[(\"api\", \"infer_batch\".to_string())]);\n    \
+             r.gauge(\"noise.budget.layer[3].pre\", 62);\n    \
+             r.observe(\"ecall.bytes\", 4096);\n    \
+             r.trace_end(\"session.request\");\n}\n",
+        );
         assert!(check(&f).is_empty());
     }
 

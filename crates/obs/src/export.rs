@@ -1,0 +1,235 @@
+//! Byte-stable exporters: Chrome trace-event JSON and Prometheus text.
+//!
+//! Both renderers iterate sorted maps and the ordered event stream and
+//! format every number explicitly, so the same recorder state always yields
+//! the same bytes. Only deterministic content is exported: trace timestamps
+//! live on the virtual trace clock, span costs are reduced to their modeled
+//! terms, and gauges/histograms carry values the pipeline derived from
+//! model state — never from the wall clock.
+
+use crate::hist::{bucket_upper, Histogram};
+use crate::trace::{TraceEvent, TracePhase};
+use crate::{json_string, SpanStats, State};
+use std::collections::BTreeMap;
+
+/// Renders the timeline as Chrome trace-event JSON (the "JSON Array
+/// Format" with a `traceEvents` wrapper), loadable in Perfetto and
+/// `about://tracing`. Timestamps are microseconds with the virtual clock's
+/// nanosecond precision kept as three decimals.
+pub(crate) fn chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    for (i, event) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"args\":{");
+        for (j, (key, value)) in event.args.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_string(key), json_string(value)));
+        }
+        let ph = match event.phase {
+            TracePhase::Begin => "B",
+            TracePhase::End => "E",
+            TracePhase::Instant => "i",
+        };
+        out.push_str(&format!(
+            "}},\"cat\":\"hesgx\",\"name\":{},\"ph\":\"{ph}\",\"pid\":1",
+            json_string(&event.name)
+        ));
+        if event.phase == TracePhase::Instant {
+            // Thread-scoped instant: renders as a tick on the track.
+            out.push_str(",\"s\":\"t\"");
+        }
+        out.push_str(&format!(
+            ",\"tid\":1,\"ts\":{}.{:03}}}",
+            event.ts_ns / 1000,
+            event.ts_ns % 1000
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders the aggregate state (counters, spans, gauges, histograms) in
+/// Prometheus text exposition format. Dynamic label *values* carry the
+/// recorder's names, so metric names stay fixed and need no sanitizing.
+pub(crate) fn prometheus(state: &State) -> String {
+    let mut out = String::new();
+    render_counters(&mut out, &state.counters);
+    render_spans(&mut out, &state.spans);
+    render_gauges(&mut out, &state.gauges);
+    render_hists(&mut out, &state.hists);
+    out
+}
+
+fn render_counters(out: &mut String, counters: &BTreeMap<String, u64>) {
+    if counters.is_empty() {
+        return;
+    }
+    out.push_str("# HELP hesgx_counter Monotonic event counts keyed by counter name.\n");
+    out.push_str("# TYPE hesgx_counter counter\n");
+    for (name, value) in counters {
+        out.push_str(&format!(
+            "hesgx_counter{{name=\"{}\"}} {value}\n",
+            label_value(name)
+        ));
+    }
+}
+
+fn render_spans(out: &mut String, spans: &BTreeMap<String, SpanStats>) {
+    if spans.is_empty() {
+        return;
+    }
+    out.push_str("# HELP hesgx_span_entries Entries recorded under each span path.\n");
+    out.push_str("# TYPE hesgx_span_entries counter\n");
+    for (path, stats) in spans {
+        out.push_str(&format!(
+            "hesgx_span_entries{{span=\"{}\"}} {}\n",
+            label_value(path),
+            stats.entries
+        ));
+    }
+    out.push_str(
+        "# HELP hesgx_span_model_ns Modeled virtual-clock nanoseconds per span \
+         (transition + copy + paging; wall-derived terms are not exported).\n",
+    );
+    out.push_str("# TYPE hesgx_span_model_ns counter\n");
+    for (path, stats) in spans {
+        out.push_str(&format!(
+            "hesgx_span_model_ns{{span=\"{}\"}} {}\n",
+            label_value(path),
+            stats.cost.model_ns()
+        ));
+    }
+}
+
+fn render_gauges(out: &mut String, gauges: &BTreeMap<String, Vec<u64>>) {
+    if gauges.is_empty() {
+        return;
+    }
+    out.push_str("# HELP hesgx_gauge Latest recorded value per gauge name.\n");
+    out.push_str("# TYPE hesgx_gauge gauge\n");
+    for (name, series) in gauges {
+        if let Some(last) = series.last() {
+            out.push_str(&format!(
+                "hesgx_gauge{{name=\"{}\"}} {last}\n",
+                label_value(name)
+            ));
+        }
+    }
+}
+
+fn render_hists(out: &mut String, hists: &BTreeMap<String, Histogram>) {
+    if hists.is_empty() {
+        return;
+    }
+    out.push_str(
+        "# HELP hesgx_hist Log2-bucket distributions; le is the inclusive bucket upper bound.\n",
+    );
+    out.push_str("# TYPE hesgx_hist histogram\n");
+    for (name, hist) in hists {
+        let name = label_value(name);
+        let mut cumulative = 0u64;
+        for (index, count) in hist.nonzero_buckets() {
+            cumulative = cumulative.saturating_add(count);
+            out.push_str(&format!(
+                "hesgx_hist_bucket{{name=\"{name}\",le=\"{}\"}} {cumulative}\n",
+                bucket_upper(index)
+            ));
+        }
+        out.push_str(&format!(
+            "hesgx_hist_bucket{{name=\"{name}\",le=\"+Inf\"}} {}\n",
+            hist.count()
+        ));
+        out.push_str(&format!(
+            "hesgx_hist_sum{{name=\"{name}\"}} {}\n",
+            hist.sum()
+        ));
+        out.push_str(&format!(
+            "hesgx_hist_count{{name=\"{name}\"}} {}\n",
+            hist.count()
+        ));
+    }
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+fn label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chrome_trace_renders_all_phases() {
+        let events = vec![
+            TraceEvent {
+                phase: TracePhase::Begin,
+                name: "infer.layer[1].ecall".into(),
+                ts_ns: 0,
+                args: vec![("layer".into(), "1".into())],
+            },
+            TraceEvent {
+                phase: TracePhase::Instant,
+                name: "epc.load".into(),
+                ts_ns: 1,
+                args: vec![],
+            },
+            TraceEvent {
+                phase: TracePhase::End,
+                name: "infer.layer[1].ecall".into(),
+                ts_ns: 12_345,
+                args: vec![],
+            },
+        ];
+        let json = chrome_trace(&events);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(json.contains(
+            "{\"args\":{\"layer\":\"1\"},\"cat\":\"hesgx\",\"name\":\"infer.layer[1].ecall\",\
+             \"ph\":\"B\",\"pid\":1,\"tid\":1,\"ts\":0.000}"
+        ));
+        assert!(json.contains("\"ph\":\"i\",\"pid\":1,\"s\":\"t\",\"tid\":1,\"ts\":0.001"));
+        assert!(json.contains("\"ts\":12.345}"));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn prometheus_label_values_escape_specials() {
+        assert_eq!(label_value("plain.name"), "plain.name");
+        assert_eq!(label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative() {
+        let mut state = State::default();
+        let hist = state.hists.entry("ecall.bytes".to_owned()).or_default();
+        hist.record(0);
+        hist.record(3);
+        hist.record(3);
+        hist.record(1 << 20);
+        let text = prometheus(&state);
+        assert!(text.contains("hesgx_hist_bucket{name=\"ecall.bytes\",le=\"0\"} 1\n"));
+        assert!(text.contains("hesgx_hist_bucket{name=\"ecall.bytes\",le=\"3\"} 3\n"));
+        assert!(text.contains("hesgx_hist_bucket{name=\"ecall.bytes\",le=\"2097151\"} 4\n"));
+        assert!(text.contains("hesgx_hist_bucket{name=\"ecall.bytes\",le=\"+Inf\"} 4\n"));
+        assert!(text.contains("hesgx_hist_sum{name=\"ecall.bytes\"} 1048582\n"));
+        assert!(text.contains("hesgx_hist_count{name=\"ecall.bytes\"} 4\n"));
+    }
+
+    #[test]
+    fn empty_state_renders_empty_exposition() {
+        assert_eq!(prometheus(&State::default()), "");
+    }
+}

@@ -1,0 +1,180 @@
+//! Deterministic log2-bucket histograms.
+//!
+//! Values land in power-of-two buckets: bucket 0 holds the value `0`,
+//! bucket `i` (1 ≤ i ≤ 64) holds values in `[2^(i-1), 2^i - 1]`. Bucket
+//! membership is a pure function of the value, so the same observations in
+//! any order produce the same histogram — no reservoirs, no sampling, no
+//! wall-clock. Percentiles are *bucket-derived*: the reported quantile is
+//! the upper bound of the bucket containing the rank, which makes them
+//! monotone (p50 ≤ p95 ≤ p99) and bucket-aligned by construction.
+
+/// Number of buckets: one for zero plus one per bit position.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index a value lands in: 0 for `0`, else `64 - leading_zeros`.
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros()) as usize
+    }
+}
+
+/// Inclusive upper bound of a bucket: 0, then `2^i - 1` (clamped at
+/// `u64::MAX` for the last bucket).
+#[must_use]
+pub fn bucket_upper(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        i if i >= 64 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// A fixed-shape log2 histogram (count, saturating sum, 65 buckets).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation (saturating count and sum).
+    pub fn record(&mut self, value: u64) {
+        let i = bucket_index(value);
+        self.buckets[i] = self.buckets[i].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Total observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of every observed value.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Raw per-bucket counts (index order, length [`BUCKETS`]).
+    #[must_use]
+    pub fn bucket_counts(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// The non-empty buckets as `(index, count)` pairs in index order —
+    /// the compact form the snapshot encodes.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| (i, n))
+            .collect()
+    }
+
+    /// Bucket-derived percentile `p` (0–100): the upper bound of the bucket
+    /// holding rank `ceil(count·p/100)` (at least 1). Returns 0 when empty.
+    #[must_use]
+    pub fn percentile(&self, p: u8) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = u128::from(p.min(100));
+        let rank = (u128::from(self.count) * p).div_ceil(100).max(1);
+        let mut cumulative: u128 = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += u128::from(n);
+            if cumulative >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(BUCKETS - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_upper_edges() {
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(10), 1023);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn every_value_fits_its_bucket_bounds() {
+        for v in [0u64, 1, 2, 3, 7, 8, 1000, 4096, u64::MAX - 1, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper(i), "{v} above bucket {i}");
+            if i > 0 {
+                assert!(v > bucket_upper(i - 1), "{v} fits a smaller bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn percentiles_are_bucket_uppers_and_monotone() {
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 3, 100, 5000, 5000, 5000, 70000, 70000, 1 << 40] {
+            h.record(v);
+        }
+        let (p50, p95, p99) = (h.percentile(50), h.percentile(95), h.percentile(99));
+        assert!(p50 <= p95 && p95 <= p99);
+        for p in [p50, p95, p99] {
+            assert_eq!(p, bucket_upper(bucket_index(p)), "{p} not bucket-aligned");
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.nonzero_buckets().iter().map(|&(_, n)| n).sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(50), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn count_and_sum_saturate() {
+        let mut h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+}

@@ -1,0 +1,111 @@
+//! Per-request trace timelines on the *virtual trace clock*.
+//!
+//! A timeline-enabled [`crate::Recorder`] keeps an ordered stream of
+//! begin/end/instant events. Timestamps come from a dedicated monotonic
+//! counter (`vnow`) that advances by one logical nanosecond per recorded
+//! event plus the *modeled* virtual-clock nanoseconds the instrumented code
+//! reports via [`crate::Recorder::trace_advance`]. Wall-clock time never
+//! touches a timestamp, so the same seed yields a byte-identical timeline
+//! at every worker-pool size — the timeline is an execution transcript, not
+//! a measurement.
+//!
+//! Events are only ever recorded from serial contexts (the session request
+//! path, pipeline stages, the ECALL dispatcher, EPC touches inside an ECALL
+//! body, the retry loop); worker threads touch counters only. That is what
+//! makes the event *order* deterministic, not just the aggregate totals.
+
+/// The Chrome trace-event phase of one event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// Opens a duration slice (`ph: "B"`).
+    Begin,
+    /// Closes the innermost open slice (`ph: "E"`).
+    End,
+    /// A zero-width marker (`ph: "i"`).
+    Instant,
+}
+
+/// One recorded timeline event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Begin / end / instant.
+    pub phase: TracePhase,
+    /// Event name (span-taxonomy style, e.g. `ecall.ecall_activation`).
+    pub name: String,
+    /// Virtual trace-clock timestamp in logical nanoseconds.
+    pub ts_ns: u64,
+    /// Key/value annotations (deterministic content only).
+    pub args: Vec<(String, String)>,
+}
+
+/// Hard cap on stored events: beyond it the timeline stops growing and
+/// counts drops instead — observability must never balloon a long-running
+/// session's memory.
+pub(crate) const MAX_TRACE_EVENTS: usize = 1 << 20;
+
+/// Timeline storage inside the recorder state.
+#[derive(Debug, Default)]
+pub(crate) struct TraceState {
+    /// The virtual trace clock, in logical nanoseconds.
+    pub vnow: u64,
+    /// Recorded events in order.
+    pub events: Vec<TraceEvent>,
+    /// Events discarded after [`MAX_TRACE_EVENTS`] was reached.
+    pub dropped: u64,
+}
+
+impl TraceState {
+    /// Records one event at the current clock, then ticks the clock by one
+    /// logical nanosecond so consecutive events carry distinct, strictly
+    /// ordered timestamps. The tick happens even for dropped events, so a
+    /// capped timeline still advances deterministically.
+    pub fn push(&mut self, phase: TracePhase, name: &str, args: &[(&str, String)]) {
+        if self.events.len() >= MAX_TRACE_EVENTS {
+            self.dropped = self.dropped.saturating_add(1);
+        } else {
+            self.events.push(TraceEvent {
+                phase,
+                name: name.to_owned(),
+                ts_ns: self.vnow,
+                args: args
+                    .iter()
+                    .map(|(k, v)| ((*k).to_owned(), v.clone()))
+                    .collect(),
+            });
+        }
+        self.vnow = self.vnow.saturating_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_ticks_the_clock_and_orders_events() {
+        let mut t = TraceState::default();
+        t.push(TracePhase::Begin, "a", &[]);
+        t.vnow = t.vnow.saturating_add(100);
+        t.push(TracePhase::End, "a", &[]);
+        assert_eq!(t.events[0].ts_ns, 0);
+        assert_eq!(t.events[1].ts_ns, 101);
+        assert!(t.events[0].ts_ns < t.events[1].ts_ns);
+    }
+
+    #[test]
+    fn args_are_copied_in_order() {
+        let mut t = TraceState::default();
+        t.push(
+            TracePhase::Instant,
+            "x",
+            &[("k", "v".to_owned()), ("n", "3".to_owned())],
+        );
+        assert_eq!(
+            t.events[0].args,
+            vec![
+                ("k".to_owned(), "v".to_owned()),
+                ("n".to_owned(), "3".to_owned())
+            ]
+        );
+    }
+}

@@ -303,6 +303,16 @@ impl Enclave {
                 input_bytes,
             });
         }
+        // Timeline: the slice opens before the body so EPC load/evict
+        // instants recorded during the body nest inside it; the clock
+        // advances by the call's *modeled* cost when the slice closes.
+        let trace = self.recorder.trace_enabled();
+        if trace {
+            self.recorder.trace_begin(
+                &format!("ecall.{name}"),
+                &[("bytes_in", input_bytes.to_string())],
+            );
+        }
         let mut ctx = EnclaveCtx {
             epc: &self.epc,
             faults: 0,
@@ -326,6 +336,13 @@ impl Enclave {
             self.recorder.incr(counters::ECALLS, 1);
             self.recorder.incr(counters::ECALL_TRANSITIONS, transitions);
             self.recorder.incr(counters::BYTES_MARSHALLED, copied);
+            self.recorder.observe("ecall.bytes", copied);
+            self.recorder.observe("ecall.epc_faults", ctx.faults);
+        }
+        if trace {
+            self.recorder
+                .trace_advance(breakdown.span_cost().model_ns());
+            self.recorder.trace_end(&format!("ecall.{name}"));
         }
         {
             let mut mon = self.monitor.lock();
@@ -385,6 +402,19 @@ impl Enclave {
                 self.recorder.incr(counters::ECALL_TRANSITIONS, 2);
                 self.recorder
                     .incr(counters::BYTES_MARSHALLED, input_bytes as u64);
+                // Aborted crossings are boundary events too: they land in
+                // the distributions and on the timeline as an instant (the
+                // body never ran, so there is no slice to draw).
+                self.recorder.observe("ecall.bytes", input_bytes as u64);
+                self.recorder.observe("ecall.epc_faults", 0);
+                if self.recorder.trace_enabled() {
+                    self.recorder.trace_instant(
+                        &format!("ecall.{name}.aborted"),
+                        &[("bytes_in", input_bytes.to_string())],
+                    );
+                    self.recorder
+                        .trace_advance(breakdown.span_cost().model_ns());
+                }
             }
             let mut mon = self.monitor.lock();
             mon.record(SideChannelEvent::EcallEnter {

@@ -201,6 +201,12 @@ impl Epc {
         self.stats.faults += 1;
         self.recorder.record_zero_attempt("epc.load");
         self.recorder.incr(counters::EPC_PAGE_FAULTS, 1);
+        if self.recorder.trace_enabled() {
+            // Inside an ECALL slice on the timeline: touches happen on the
+            // calling thread, so instant order is deterministic.
+            self.recorder
+                .trace_instant("epc.load", &[("page", page.to_string())]);
+        }
         let extra_eviction = self
             .hook
             .as_ref()
@@ -226,6 +232,9 @@ impl Epc {
         self.stats.evictions += 1;
         self.recorder.record_zero_attempt("epc.evict");
         self.recorder.incr(counters::EPC_EVICTIONS, 1);
+        if self.recorder.trace_enabled() {
+            self.recorder.trace_instant("epc.evict", &[]);
+        }
     }
 
     /// Current statistics.
