@@ -58,4 +58,22 @@ diff target/obs/trace-7.first.json target/obs/trace-7.json
 diff target/obs/trace-7.first.prom target/obs/trace-7.prom
 rm -f target/obs/trace-7.first.json target/obs/trace-7.first.prom
 
+# Serving-layer determinism gate: the serve_load sweep runs twice and the
+# latency report, obs snapshot, and Prometheus export must be byte-identical
+# (each run already asserts identity across HE pool sizes 1/2/4 and that
+# SIMD batching cuts the modeled per-request HE cost at high arrival rate).
+echo "==> serve load (two runs, diffed)"
+cargo run --release -q -p hesgx-bench --offline --bin repro -- serve_load --quick
+test -s target/bench/BENCH_serve.json
+test -s target/obs/serve-load.json
+test -s target/obs/serve-load.prom
+cp target/bench/BENCH_serve.json target/bench/BENCH_serve.first.json
+cp target/obs/serve-load.json target/obs/serve-load.first.json
+cp target/obs/serve-load.prom target/obs/serve-load.first.prom
+cargo run --release -q -p hesgx-bench --offline --bin repro -- serve_load --quick
+diff target/bench/BENCH_serve.first.json target/bench/BENCH_serve.json
+diff target/obs/serve-load.first.json target/obs/serve-load.json
+diff target/obs/serve-load.first.prom target/obs/serve-load.prom
+rm -f target/bench/BENCH_serve.first.json target/obs/serve-load.first.json target/obs/serve-load.first.prom
+
 echo "ci: all checks passed"

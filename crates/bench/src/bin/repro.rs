@@ -7,7 +7,8 @@
 //! ```
 
 use hesgx_bench::experiments::{
-    ablation, chaos_sweep, e2e, figures, obs_report, par_sweep, tables, trace, RunConfig,
+    ablation, chaos_sweep, e2e, figures, obs_report, par_sweep, serve_load, tables, trace,
+    RunConfig,
 };
 use hesgx_bench::PaperEnv;
 
@@ -28,6 +29,7 @@ const EXPERIMENTS: &[&str] = &[
     "chaos_sweep",
     "obs_report",
     "trace",
+    "serve_load",
 ];
 
 fn main() {
@@ -135,6 +137,9 @@ fn main() {
     }
     if wanted("trace") {
         trace::trace(cfg);
+    }
+    if wanted("serve_load") {
+        serve_load::serve_load(cfg);
     }
     println!();
     println!("done.");

@@ -118,7 +118,11 @@ fn run_point(
 ) -> (Vec<i64>, FaultReport, f64) {
     let session = build_session(model, Some(FaultPlan::transient_only(seed, rate, CAP)), obs);
     let start = Instant::now();
-    let logits = session.infer(image).expect("transient-only run recovers");
+    let logits = session
+        .serve(InferRequest::single(image.to_vec()))
+        .expect("transient-only run recovers")
+        .logits
+        .remove(0);
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     let report = session
         .fault_report()
@@ -144,7 +148,11 @@ pub fn chaos_sweep(cfg: RunConfig) -> ChaosSweep {
     let obs = Recorder::enabled();
     let baseline_session = build_session(&model, None, &obs);
     let start = Instant::now();
-    let baseline = baseline_session.infer(&image).expect("fault-free baseline");
+    let baseline = baseline_session
+        .serve(InferRequest::single(image.clone()))
+        .expect("fault-free baseline")
+        .logits
+        .remove(0);
     let baseline_ms = start.elapsed().as_secs_f64() * 1e3;
 
     let mut points = Vec::with_capacity(PLAN_SEEDS.len() * rates.len());

@@ -247,6 +247,36 @@ pub fn fig8_end_to_end(cfg: RunConfig) -> Fig8 {
         println!("obs snapshot written to {}", path.display());
     }
 
+    // The deterministic face of Fig. 8: modeled enclave cost terms and HE
+    // operation counts only — wall seconds stay out, so CI can diff this
+    // artifact across reruns.
+    let batched_cost = total_enclave_cost(&metrics);
+    let single_cost = total_enclave_cost(&metrics_single);
+    let cost_json = |c: &hesgx_tee::cost::CostBreakdown| {
+        format!(
+            "{{\"transition_ns\":{},\"copy_ns\":{},\"paging_ns\":{},\"model_ns\":{}}}",
+            c.transition_ns,
+            c.copy_ns,
+            c.paging_ns,
+            c.span_cost().model_ns()
+        )
+    };
+    let fig8_json = format!(
+        "{{\"experiment\":\"fig8\",\"batch_size\":{},\"batched\":{},\"per_pixel\":{},\"ops\":{{\"ct_pt_mul\":{},\"ct_ct_add\":{},\"ct_pt_add\":{},\"ct_ct_mul\":{},\"relin\":{}}},\"predictions_exact\":{}}}",
+        PAPER_BATCH_SIZE,
+        cost_json(&batched_cost),
+        cost_json(&single_cost),
+        metrics.ops.ct_pt_mul,
+        metrics.ops.ct_ct_add,
+        metrics.ops.ct_pt_add,
+        metrics.ops.ct_ct_mul,
+        metrics.ops.relin,
+        hybrid_exact && baseline_exact
+    );
+    if let Some(path) = crate::write_bench_file("BENCH_fig8.json", &fig8_json) {
+        println!("bench table written to {}", path.display());
+    }
+
     Fig8 {
         encrypted_s,
         encrypt_sgx_single_s,

@@ -10,6 +10,7 @@ pub mod e2e;
 pub mod figures;
 pub mod obs_report;
 pub mod par_sweep;
+pub mod serve_load;
 pub mod tables;
 pub mod trace;
 

@@ -70,7 +70,9 @@ pub fn obs_report(cfg: RunConfig) -> ObsReport {
             .recorder(rec.clone())
             .build(Platform::new(702), model.clone())
             .expect("obs report provisioning");
-        session.infer(&image).expect("fault-free inference");
+        session
+            .serve(InferRequest::single(image.clone()))
+            .expect("fault-free inference");
         snaps.push(session.obs_snapshot_json());
         if first.is_none() {
             first = Some((session, rec));

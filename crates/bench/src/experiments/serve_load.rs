@@ -1,0 +1,249 @@
+//! `serve_load` — latency under multi-tenant load, batched vs unbatched
+//! (not in the paper; the serving-layer consequence of its §V batching
+//! design).
+//!
+//! Sweeps the offered arrival rate of a seeded open-loop trace through two
+//! brokers that differ in exactly one knob: cross-request SIMD batching on
+//! (`max_batch` = 8) versus off (`max_batch` = 1). Everything runs on the
+//! virtual clock — modeled HE evaluator costs plus modeled enclave terms —
+//! so every number printed or written here is a pure function of the seed
+//! and replays byte-identically, which CI checks by running the experiment
+//! twice and diffing the artifacts.
+//!
+//! The claim under test: a SIMD batch's evaluator cost does not grow with
+//! its fill, so at high arrival rates (where the queue actually fills and
+//! batches pack) the modeled per-request HE cost of the batched broker
+//! drops well below the unbatched one, and tail latency follows.
+//!
+//! Artifacts: `target/obs/serve-load.json` / `.prom` (observability
+//! snapshot and Prometheus export of the high-rate batched run) and
+//! `target/bench/BENCH_serve.json` (the sweep table, integers only).
+
+use super::{chaos_sweep::sweep_model, header, RunConfig};
+use hesgx_core::session::ParamsPreset;
+use hesgx_obs::Recorder;
+use hesgx_serve::{Broker, BrokerConfig, LoadReport, LoadSpec, LoadTrace};
+use std::fmt::Write as _;
+
+/// Broker seed: one key domain for the whole sweep.
+const SEED: u64 = 2021;
+/// HE worker-pool sizes the byte-identity check replays at.
+const POOLS: [usize; 3] = [1, 2, 4];
+
+/// One broker configuration's results at one arrival rate.
+#[derive(Debug, Clone, Copy)]
+pub struct PointStats {
+    /// Requests admitted past the bounded queue.
+    pub admitted: usize,
+    /// Requests completed (exact + degraded).
+    pub completed: usize,
+    /// Requests dropped (backpressure + deadline + oversize).
+    pub dropped: usize,
+    /// Mean images per dispatched batch, permille.
+    pub fill_permille: u64,
+    /// Modeled HE evaluator cost per completed request (the amortization
+    /// headline).
+    pub he_ns_per_request: u64,
+    /// Median latency on the virtual clock.
+    pub p50_ns: u64,
+    /// Tail latency on the virtual clock.
+    pub p99_ns: u64,
+}
+
+impl PointStats {
+    fn from_report(report: &LoadReport) -> PointStats {
+        PointStats {
+            admitted: report.admitted,
+            completed: report.completed(),
+            dropped: report.dropped_queue_full + report.dropped_oversize + report.dropped_deadline,
+            fill_permille: report.mean_fill_permille(),
+            he_ns_per_request: report.he_ns_per_request(),
+            p50_ns: report.latency.p50_ns,
+            p99_ns: report.latency.p99_ns,
+        }
+    }
+}
+
+/// One arrival-rate point of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeLoadPoint {
+    /// Mean inter-arrival gap of the trace (offered rate = 1e9 / gap).
+    pub mean_gap_ns: u64,
+    /// The batching broker (`max_batch` = 8).
+    pub batched: PointStats,
+    /// The control broker (`max_batch` = 1).
+    pub unbatched: PointStats,
+}
+
+/// Machine-checkable summary of the experiment.
+#[derive(Debug, Clone)]
+pub struct ServeLoad {
+    /// Sweep points, lowest offered rate first.
+    pub points: Vec<ServeLoadPoint>,
+    /// At the highest arrival rate, batching cut the modeled per-request
+    /// HE cost below the unbatched control.
+    pub batching_amortizes_he: bool,
+    /// At the highest arrival rate, batched p99 latency is no worse than
+    /// the unbatched control's.
+    pub batching_helps_tail: bool,
+    /// The high-rate batched report replayed byte-identically at HE pools
+    /// 1/2/4.
+    pub pool_identical: bool,
+}
+
+fn broker(max_batch: usize, he_threads: usize, quick: bool, recorder: Recorder) -> Broker {
+    Broker::new(
+        BrokerConfig::new()
+            .workers(2)
+            .max_batch(max_batch)
+            .queue_cap(64),
+        sweep_model(quick),
+        ParamsPreset::Small,
+        SEED,
+        he_threads,
+        recorder,
+    )
+    .expect("serve_load broker provisions on the deterministic platform")
+}
+
+fn spec(quick: bool, mean_gap_ns: u64, requests: usize) -> LoadSpec {
+    let model = sweep_model(quick);
+    let mut spec = LoadSpec::new(SEED);
+    spec.requests = requests;
+    spec.mean_gap_ns = mean_gap_ns;
+    spec.tenants = 3;
+    spec.image_len = model.in_side * model.in_side;
+    spec
+}
+
+/// Runs the sweep, prints the latency-vs-load table, writes the artifacts.
+pub fn serve_load(cfg: RunConfig) -> ServeLoad {
+    header("SERVE LOAD: multi-tenant latency under load, SIMD batching on/off (not in the paper)");
+    let requests = if cfg.quick { 24 } else { 48 };
+
+    // Calibrate the rate axis to the modeled service time: a one-request
+    // trace measures the single-batch service cost S, then the sweep offers
+    // arrivals at gaps of 4S (idle), S (saturated), and S/4 (overloaded).
+    let calibration = broker(8, 2, cfg.quick, Recorder::disabled())
+        .run(&LoadTrace::generate(&spec(cfg.quick, 1, 1)));
+    let service_ns = calibration.total_service_ns.max(4);
+    println!("calibrated single-request modeled service time: {service_ns} ns");
+    let gaps = [
+        service_ns.saturating_mul(4),
+        service_ns,
+        (service_ns / 4).max(1),
+    ];
+
+    println!();
+    println!(
+        "{:>14}  {:>9}  {:>10}  {:>12}  {:>12}  {:>12}  {:>12}",
+        "gap (ns)", "mode", "done/drop", "fill (‰)", "HE ns/req", "p50 (ns)", "p99 (ns)"
+    );
+    let mut points = Vec::new();
+    for &gap in &gaps {
+        let trace = LoadTrace::generate(&spec(cfg.quick, gap, requests));
+        let batched =
+            PointStats::from_report(&broker(8, 2, cfg.quick, Recorder::disabled()).run(&trace));
+        let unbatched =
+            PointStats::from_report(&broker(1, 2, cfg.quick, Recorder::disabled()).run(&trace));
+        for (mode, s) in [("batched", &batched), ("unbatched", &unbatched)] {
+            println!(
+                "{:>14}  {:>9}  {:>10}  {:>12}  {:>12}  {:>12}  {:>12}",
+                gap,
+                mode,
+                format!("{}/{}", s.completed, s.dropped),
+                s.fill_permille,
+                s.he_ns_per_request,
+                s.p50_ns,
+                s.p99_ns
+            );
+        }
+        points.push(ServeLoadPoint {
+            mean_gap_ns: gap,
+            batched,
+            unbatched,
+        });
+    }
+
+    let high = points.last().expect("sweep has points");
+    let batching_amortizes_he = high.batched.he_ns_per_request < high.unbatched.he_ns_per_request;
+    let batching_helps_tail = high.batched.p99_ns <= high.unbatched.p99_ns;
+    println!();
+    println!(
+        "high-rate HE cost per request: batched {} ns vs unbatched {} ns ({})",
+        high.batched.he_ns_per_request,
+        high.unbatched.he_ns_per_request,
+        if batching_amortizes_he {
+            "SIMD batching amortizes"
+        } else {
+            "NO amortization — check batch fill"
+        }
+    );
+
+    // Byte-identity across HE pool sizes: the high-rate batched replay must
+    // export the same report and observability bytes at pools 1/2/4.
+    let high_trace = LoadTrace::generate(&spec(cfg.quick, gaps[2], requests));
+    let replays: Vec<(String, String, String)> = POOLS
+        .iter()
+        .map(|&threads| {
+            let recorder = Recorder::enabled();
+            let report = broker(8, threads, cfg.quick, recorder.clone()).run(&high_trace);
+            (
+                report.to_json(),
+                recorder.snapshot_json(),
+                recorder.export_prometheus(),
+            )
+        })
+        .collect();
+    let pool_identical = replays.iter().all(|r| r == &replays[0]);
+    println!(
+        "byte-identity across HE pools {POOLS:?}: {}",
+        if pool_identical { "ok" } else { "DIVERGED" }
+    );
+
+    // Artifacts: obs snapshot + Prometheus export of the high-rate batched
+    // run, and the sweep table for CI to archive and diff.
+    if let Some(path) = crate::write_obs_file("serve-load.json", &replays[0].1) {
+        println!("obs snapshot written to {}", path.display());
+    }
+    if let Some(path) = crate::write_obs_file("serve-load.prom", &replays[0].2) {
+        println!("prometheus export written to {}", path.display());
+    }
+    let mut json = String::from("{\"experiment\":\"serve_load\",");
+    let _ = write!(
+        json,
+        "\"seed\":{SEED},\"requests\":{requests},\"calibrated_service_ns\":{service_ns},\"points\":["
+    );
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let stat = |s: &PointStats| {
+            format!(
+                "{{\"admitted\":{},\"completed\":{},\"dropped\":{},\"fill_permille\":{},\"he_ns_per_request\":{},\"p50_ns\":{},\"p99_ns\":{}}}",
+                s.admitted, s.completed, s.dropped, s.fill_permille, s.he_ns_per_request, s.p50_ns, s.p99_ns
+            )
+        };
+        let _ = write!(
+            json,
+            "{{\"mean_gap_ns\":{},\"batched\":{},\"unbatched\":{}}}",
+            p.mean_gap_ns,
+            stat(&p.batched),
+            stat(&p.unbatched)
+        );
+    }
+    let _ = write!(
+        json,
+        "],\"batching_amortizes_he\":{batching_amortizes_he},\"batching_helps_tail\":{batching_helps_tail},\"pool_identical\":{pool_identical}}}"
+    );
+    if let Some(path) = crate::write_bench_file("BENCH_serve.json", &json) {
+        println!("bench table written to {}", path.display());
+    }
+
+    ServeLoad {
+        points,
+        batching_amortizes_he,
+        batching_helps_tail,
+        pool_identical,
+    }
+}

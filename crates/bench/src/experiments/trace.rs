@@ -60,7 +60,7 @@ fn traced_run(
     image: &[i64],
     platform_id: u64,
 ) -> (
-    Vec<i64>,
+    Vec<Vec<i64>>,
     Vec<NoiseDecision>,
     String,
     String,
@@ -80,7 +80,10 @@ fn traced_run(
     let session = builder
         .build(Platform::new(platform_id), model.clone())
         .expect("trace experiment provisioning");
-    let logits = session.infer(image).expect("fault-free inference");
+    let logits = session
+        .serve(InferRequest::single(image.to_vec()))
+        .expect("fault-free inference")
+        .logits;
     let decisions = session.metrics().expect("inference ran").noise;
     let chrome = rec.export_chrome_trace();
     let prom = rec.export_prometheus();
@@ -104,13 +107,17 @@ pub fn trace(cfg: RunConfig) -> TraceReport {
         .noise_refresh_auto(true)
         .build(Platform::new(703), model.clone())
         .expect("untraced provisioning");
-    let untraced_logits = untraced.infer(&image).expect("untraced inference");
+    let untraced_logits = untraced
+        .serve(InferRequest::single(image.clone()))
+        .expect("untraced inference")
+        .logits;
 
     // Traced runs across pool sizes, planner-default threshold (10 bits —
     // the small model keeps far more budget than that, so Auto skips).
     let mut chrome_outs = Vec::new();
     let mut prom_outs = Vec::new();
-    let mut first: Option<(Vec<i64>, Vec<NoiseDecision>, usize, Recorder)> = None;
+    #[allow(clippy::type_complexity)]
+    let mut first: Option<(Vec<Vec<i64>>, Vec<NoiseDecision>, usize, Recorder)> = None;
     for threads in [1usize, 2, 4] {
         let (logits, decisions, chrome, prom, events, rec) =
             traced_run(threads, None, &model, &image, 703);

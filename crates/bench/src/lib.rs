@@ -102,7 +102,26 @@ pub fn write_obs_snapshot(experiment: &str, recorder: &Recorder) -> Option<PathB
 /// `target/obs/<file_name>` and returns the path. Same never-fail contract
 /// as [`write_obs_snapshot`].
 pub fn write_obs_file(file_name: &str, contents: &str) -> Option<PathBuf> {
-    let dir = std::path::Path::new("target").join("obs");
+    write_artifact(
+        std::path::Path::new("target").join("obs"),
+        file_name,
+        contents,
+    )
+}
+
+/// Writes a deterministic benchmark table (`BENCH_*.json`) to
+/// `target/bench/<file_name>` and returns the path. Same never-fail contract
+/// as [`write_obs_snapshot`] — CI archives these and diffs them across
+/// reruns, so their contents must be integer-only modeled figures.
+pub fn write_bench_file(file_name: &str, contents: &str) -> Option<PathBuf> {
+    write_artifact(
+        std::path::Path::new("target").join("bench"),
+        file_name,
+        contents,
+    )
+}
+
+fn write_artifact(dir: PathBuf, file_name: &str, contents: &str) -> Option<PathBuf> {
     let path = dir.join(file_name);
     match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, contents.as_bytes())) {
         Ok(()) => Some(path),

@@ -52,8 +52,12 @@
 //!     .threads(4)
 //!     .seed(42)
 //!     .build(Platform::new(0), model)?;
-//! let logits = session.infer(&vec![0i64; 28 * 28])?;
-//! println!("{} logits in {:?}", logits.len(), session.metrics().unwrap().total());
+//! let response = session.serve(InferRequest::single(vec![0i64; 28 * 28]))?;
+//! println!(
+//!     "{} logits in {:?}",
+//!     response.logits[0].len(),
+//!     response.metrics.total()
+//! );
 //! # Ok(())
 //! # }
 //! ```
@@ -69,6 +73,7 @@ pub mod keydist;
 pub mod pipeline;
 pub mod planner;
 pub mod recovery;
+pub mod request;
 pub mod session;
 pub mod sgx_ops;
 
@@ -76,6 +81,9 @@ pub use error::{Error, FaultClass, Result};
 pub use pipeline::{EcallBatching, HybridInference, HybridMetrics, ProvisionConfig};
 pub use planner::{InferencePlan, Placement, PoolStrategy};
 pub use recovery::RecoveryPolicy;
+pub use request::{
+    InferRequest, InferResponse, NoiseRefresh, Resilience, ServePolicy, TenantId, VirtualNs,
+};
 pub use session::{ParamsPreset, Served, Session, SessionBuilder};
 #[allow(deprecated)]
 pub use sgx_ops::HybridError;
@@ -87,6 +95,9 @@ pub mod prelude {
     pub use crate::pipeline::{EcallBatching, HybridInference, HybridMetrics, ProvisionConfig};
     pub use crate::planner::PoolStrategy;
     pub use crate::recovery::RecoveryPolicy;
+    pub use crate::request::{
+        InferRequest, InferResponse, NoiseRefresh, Resilience, ServePolicy, TenantId, VirtualNs,
+    };
     pub use crate::session::{ParamsPreset, Served, Session, SessionBuilder};
     pub use hesgx_chaos::{FaultPlan, FaultReport, FaultSite};
     pub use hesgx_henn::par::ParExec;

@@ -1,0 +1,223 @@
+//! The request/response surface of the Session API (DESIGN.md §14).
+//!
+//! Earlier revisions grew three parallel entry points
+//! (`Session::infer`, `infer_batch`, `infer_batch_resilient`) whose
+//! differences — batch shape, failure posture — were encoded in the method
+//! name. A serving front-end needs those choices to travel *with the
+//! request*, so a broker can queue, batch, and retry heterogeneous traffic
+//! through one code path. [`InferRequest`] carries the images plus the
+//! per-request policy (tenant, [`Resilience`], optional deadline on the
+//! virtual clock) and [`crate::Session::serve`] answers with an
+//! [`InferResponse`] that bundles the logits with how they were served,
+//! the stage metrics, and the deterministic trace ID.
+//!
+//! [`ServePolicy`] is the session-level companion: the knobs that used to be
+//! scattered across `SessionBuilder` setters (noise-refresh mode, refresh
+//! threshold, retry caps) in one struct that both
+//! [`crate::SessionBuilder::policy`] and the `hesgx-serve` broker accept.
+
+use crate::pipeline::HybridMetrics;
+use crate::recovery::RecoveryPolicy;
+use crate::session::Served;
+
+/// Tenant identifier attached to a request; the serving broker schedules
+/// fairly across tenants (deficit round-robin) keyed on this value. The
+/// default single-session API uses tenant `0`.
+pub type TenantId = u32;
+
+/// A point on the deterministic virtual clock, in nanoseconds. All serving
+/// deadlines and latency figures are virtual-clock values (modeled costs),
+/// never wall time — that is what keeps load replays byte-identical.
+pub type VirtualNs = u64;
+
+/// Failure posture of a single request once the pipeline's bounded retries
+/// are exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Resilience {
+    /// Propagate the error to the caller (the old `infer_batch` contract).
+    #[default]
+    FailFast,
+    /// Answer from the pure-HE square-activation fallback and mark the
+    /// response [`Served::Degraded`] (the old `infer_batch_resilient`
+    /// contract).
+    Degrade,
+}
+
+/// One inference request: a batch of quantized images plus the per-request
+/// serving policy.
+///
+/// Build with [`InferRequest::single`] or [`InferRequest::batch`] and chain
+/// the setters:
+///
+/// ```ignore
+/// let req = InferRequest::batch(images)
+///     .tenant(3)
+///     .resilience(Resilience::Degrade)
+///     .deadline(5_000_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InferRequest {
+    /// The tenant this request belongs to (fair-scheduling key).
+    pub tenant: TenantId,
+    /// Quantized images, each `in_side × in_side` pixels row-major. The
+    /// batch rides the SIMD slots of one ciphertext, so its length is
+    /// bounded by the slot count of the session's FV parameters.
+    pub images: Vec<Vec<i64>>,
+    /// What to do when the enclave stays unavailable after bounded retries.
+    pub resilience: Resilience,
+    /// Optional absolute virtual-clock deadline. The session itself does
+    /// not enforce it (a lone session has no queue to sit in); the serving
+    /// broker drops requests whose deadline passed before dispatch.
+    pub deadline: Option<VirtualNs>,
+}
+
+impl InferRequest {
+    /// A single-image request with default policy (tenant 0, fail-fast).
+    pub fn single(image: Vec<i64>) -> Self {
+        InferRequest::batch(vec![image])
+    }
+
+    /// A batched request with default policy (tenant 0, fail-fast).
+    pub fn batch(images: Vec<Vec<i64>>) -> Self {
+        InferRequest {
+            tenant: 0,
+            images,
+            resilience: Resilience::default(),
+            deadline: None,
+        }
+    }
+
+    /// Sets the tenant the broker should account this request to.
+    #[must_use]
+    pub fn tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Sets the failure posture once bounded retries are exhausted.
+    #[must_use]
+    pub fn resilience(mut self, resilience: Resilience) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
+    /// Sets an absolute virtual-clock deadline for broker-side admission.
+    #[must_use]
+    pub fn deadline(mut self, deadline: VirtualNs) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// The answer to an [`InferRequest`].
+#[derive(Debug, Clone)]
+pub struct InferResponse {
+    /// One logit row per requested image, in request order. For
+    /// [`Served::Exact`] responses these are bit-identical to
+    /// [`hesgx_nn::quantize::QuantizedCnn::forward_ints`].
+    pub logits: Vec<Vec<i64>>,
+    /// Whether the exact hybrid pipeline answered or the degraded pure-HE
+    /// fallback did.
+    pub served: Served,
+    /// Per-stage metrics of the run that produced the logits.
+    pub metrics: HybridMetrics,
+    /// Deterministic request identifier `req-<seed:016x>-<ordinal>`: a pure
+    /// function of the session seed and the per-session request ordinal,
+    /// never of wall time, so replays produce identical IDs. Matches the
+    /// `trace_id` argument on the `session.request` trace span.
+    pub trace_id: String,
+}
+
+/// When the in-enclave noise refresh (`ecall_DecreaseNoise`, §IV-E) runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NoiseRefresh {
+    /// Never refresh between pooling and the FC layer (four-stage pipeline).
+    #[default]
+    Off,
+    /// Always insert the refresh stage.
+    Always,
+    /// Probe the invariant noise budget after pooling (`ecall_NoiseProbe`)
+    /// and refresh only when the measured bits fall below the threshold.
+    Auto,
+}
+
+/// Session-level serving policy: the retry and noise-refresh knobs in one
+/// struct, accepted by both [`crate::SessionBuilder::policy`] and the
+/// `hesgx-serve` broker.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServePolicy {
+    /// Bounded-retry policy for transient enclave faults. The pipeline
+    /// retries ECALLs under this policy, and the serving broker reuses it
+    /// for request-level retry (same backoff schedule on the virtual
+    /// clock).
+    pub recovery: RecoveryPolicy,
+    /// Noise-refresh mode for the stage between pooling and the FC layer.
+    pub noise_refresh: NoiseRefresh,
+    /// Override of the planner's refresh threshold (bits of invariant noise
+    /// budget below which [`NoiseRefresh::Auto`] refreshes).
+    pub refresh_threshold_bits: Option<u32>,
+}
+
+impl ServePolicy {
+    /// The paper-faithful default: default retry budget, no noise refresh.
+    pub fn new() -> Self {
+        ServePolicy::default()
+    }
+
+    /// Sets the bounded-retry policy.
+    #[must_use]
+    pub fn recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Sets the noise-refresh mode.
+    #[must_use]
+    pub fn noise_refresh(mut self, mode: NoiseRefresh) -> Self {
+        self.noise_refresh = mode;
+        self
+    }
+
+    /// Overrides the planner's refresh threshold.
+    #[must_use]
+    pub fn refresh_threshold_bits(mut self, bits: u32) -> Self {
+        self.refresh_threshold_bits = Some(bits);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_builders_set_policy_fields() {
+        let req = InferRequest::single(vec![1, 2, 3])
+            .tenant(7)
+            .resilience(Resilience::Degrade)
+            .deadline(99);
+        assert_eq!(req.images, vec![vec![1, 2, 3]]);
+        assert_eq!(req.tenant, 7);
+        assert_eq!(req.resilience, Resilience::Degrade);
+        assert_eq!(req.deadline, Some(99));
+    }
+
+    #[test]
+    fn defaults_match_the_old_infer_batch_contract() {
+        let req = InferRequest::batch(vec![vec![0; 4]]);
+        assert_eq!(req.tenant, 0);
+        assert_eq!(req.resilience, Resilience::FailFast);
+        assert_eq!(req.deadline, None);
+    }
+
+    #[test]
+    fn serve_policy_builder_chains() {
+        let p = ServePolicy::new()
+            .recovery(RecoveryPolicy::none())
+            .noise_refresh(NoiseRefresh::Auto)
+            .refresh_threshold_bits(12);
+        assert_eq!(p.recovery, RecoveryPolicy::none());
+        assert_eq!(p.noise_refresh, NoiseRefresh::Auto);
+        assert_eq!(p.refresh_threshold_bits, Some(12));
+    }
+}

@@ -8,15 +8,23 @@
 //! still travels encrypted through the real pipeline. Use the lower-level
 //! modules directly when the user and the server must be separate processes.
 //!
+//! The one entry point is [`Session::serve`]: an [`InferRequest`] carries
+//! the image batch plus the per-request policy (tenant, [`Resilience`],
+//! optional virtual-clock deadline), and the [`InferResponse`] bundles the
+//! logits with how they were served, the stage metrics, and the
+//! deterministic trace ID. The historical `infer` / `infer_batch` /
+//! `infer_batch_resilient` methods survive as deprecated shims over `serve`.
+//!
 //! The session is also where the recovery ladder (DESIGN.md §11) lives:
 //! transient enclave faults retry inside the pipeline under the
 //! [`RecoveryPolicy`], sealed-state corruption triggers a bounded
 //! re-provision (same seed → identical keys, so the user's material stays
-//! valid), and [`Session::infer_batch_resilient`] falls back to the pure-HE
-//! square-activation path — marked [`Served::Degraded`] — when retries are
-//! exhausted. Install a [`FaultPlan`] with [`SessionBuilder::chaos`] to drive
-//! every one of those paths deterministically and read the resulting
-//! [`FaultReport`] back via [`Session::fault_report`].
+//! valid), and a request sent with [`Resilience::Degrade`] falls back to the
+//! pure-HE square-activation path — marked [`Served::Degraded`] — when
+//! retries are exhausted. Install a [`FaultPlan`] with
+//! [`SessionBuilder::chaos`] to drive every one of those paths
+//! deterministically and read the resulting [`FaultReport`] back via
+//! [`Session::fault_report`].
 //!
 //! ```
 //! use hesgx_core::prelude::*;
@@ -38,9 +46,10 @@
 //!     .seed(7)
 //!     .build(Platform::new(1), model.clone())?;
 //! let image: Vec<i64> = (0..64).map(|p| p % 16).collect();
-//! let logits = session.infer(&image)?;
-//! assert_eq!(logits, model.forward_ints(&image));
-//! assert_eq!(session.metrics().expect("ran once").threads, 2);
+//! let response = session.serve(InferRequest::single(image.clone()))?;
+//! assert_eq!(response.logits, vec![model.forward_ints(&image)]);
+//! assert_eq!(response.served, Served::Exact);
+//! assert_eq!(response.metrics.threads, 2);
 //! # Ok(())
 //! # }
 //! ```
@@ -50,6 +59,7 @@ use crate::keydist::{verify_key_ceremony, KeyCeremonyPublic};
 use crate::pipeline::{EcallBatching, HybridInference, HybridMetrics, ProvisionConfig};
 use crate::planner::PoolStrategy;
 use crate::recovery::{retry_with_cost, RecoveryPolicy};
+use crate::request::{InferRequest, InferResponse, NoiseRefresh, Resilience, ServePolicy};
 use hesgx_chaos::{FaultHook, FaultInjector, FaultPlan, FaultReport, RecoveryEvent};
 use hesgx_crypto::rng::ChaChaRng;
 use hesgx_henn::crt::CrtCiphertext;
@@ -86,7 +96,7 @@ impl ParamsPreset {
     }
 }
 
-/// How a [`Session::infer_batch_resilient`] request was ultimately served.
+/// How an [`InferRequest`] was ultimately served.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Served {
     /// The full hybrid pipeline ran: logits are bit-identical to
@@ -113,11 +123,8 @@ pub struct SessionBuilder {
     threads: usize,
     seed: u64,
     batching: EcallBatching,
-    recovery: RecoveryPolicy,
+    policy: ServePolicy,
     chaos: Option<FaultPlan>,
-    noise_refresh: bool,
-    noise_refresh_auto: bool,
-    refresh_threshold_bits: Option<u32>,
     recorder: Recorder,
 }
 
@@ -131,11 +138,8 @@ impl Default for SessionBuilder {
             threads: 0,
             seed: 0,
             batching: EcallBatching::Batched,
-            recovery: RecoveryPolicy::default(),
+            policy: ServePolicy::default(),
             chaos: None,
-            noise_refresh: false,
-            noise_refresh_auto: false,
-            refresh_threshold_bits: None,
             recorder: Recorder::disabled(),
         }
     }
@@ -203,10 +207,20 @@ impl SessionBuilder {
         self
     }
 
-    /// Sets the bounded-retry policy for transient enclave faults.
+    /// Installs the whole serving policy at once — the consolidated home of
+    /// the retry and noise-refresh knobs. The granular setters below edit
+    /// the same struct, so the last write wins either way.
+    #[must_use]
+    pub fn policy(mut self, policy: ServePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the bounded-retry policy for transient enclave faults
+    /// (shorthand for editing [`ServePolicy::recovery`]).
     #[must_use]
     pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
-        self.recovery = policy;
+        self.policy.recovery = policy;
         self
     }
 
@@ -224,10 +238,19 @@ impl SessionBuilder {
 
     /// Inserts an explicit in-enclave noise-refresh stage between pooling
     /// and the fully connected layer (`ecall_DecreaseNoise`, §IV-E), adding
-    /// a fifth stage to the metrics.
+    /// a fifth stage to the metrics. Shorthand for setting
+    /// [`ServePolicy::noise_refresh`] to [`NoiseRefresh::Always`] (or back
+    /// to [`NoiseRefresh::Off`]); an already-selected [`NoiseRefresh::Auto`]
+    /// keeps precedence.
     #[must_use]
     pub fn noise_refresh(mut self, enabled: bool) -> Self {
-        self.noise_refresh = enabled;
+        if self.policy.noise_refresh != NoiseRefresh::Auto {
+            self.policy.noise_refresh = if enabled {
+                NoiseRefresh::Always
+            } else {
+                NoiseRefresh::Off
+            };
+        }
         self
     }
 
@@ -236,19 +259,27 @@ impl SessionBuilder {
     /// noise budget after pooling (`ecall_NoiseProbe`) and refreshes only
     /// when the measured bits fall below the planner's
     /// `refresh_threshold_bits`. Only the bit-count leaves the enclave. The
-    /// decision trail lands in [`HybridMetrics::noise`]. Takes precedence
-    /// over [`SessionBuilder::noise_refresh`].
+    /// decision trail lands in [`HybridMetrics::noise`]. Shorthand for
+    /// setting [`ServePolicy::noise_refresh`] to [`NoiseRefresh::Auto`];
+    /// takes precedence over [`SessionBuilder::noise_refresh`].
     #[must_use]
     pub fn noise_refresh_auto(mut self, enabled: bool) -> Self {
-        self.noise_refresh_auto = enabled;
+        self.policy.noise_refresh = if enabled {
+            NoiseRefresh::Auto
+        } else if self.policy.noise_refresh == NoiseRefresh::Auto {
+            NoiseRefresh::Off
+        } else {
+            self.policy.noise_refresh
+        };
         self
     }
 
     /// Overrides the planner's refresh threshold (bits of invariant noise
-    /// budget below which [`SessionBuilder::noise_refresh_auto`] refreshes).
+    /// budget below which [`NoiseRefresh::Auto`] refreshes). Shorthand for
+    /// [`ServePolicy::refresh_threshold_bits`].
     #[must_use]
     pub fn refresh_threshold_bits(mut self, bits: u32) -> Self {
-        self.refresh_threshold_bits = Some(bits);
+        self.policy.refresh_threshold_bits = Some(bits);
         self
     }
 
@@ -291,11 +322,11 @@ impl SessionBuilder {
             cost_model: self.cost_model,
             threads: self.threads,
             pool_strategy: self.pool_strategy,
-            recovery: self.recovery,
+            recovery: self.policy.recovery,
             fault_hook: chaos.clone().map(|injector| injector as Arc<dyn FaultHook>),
-            refresh_between_stages: self.noise_refresh,
-            refresh_auto: self.noise_refresh_auto,
-            refresh_threshold_bits: self.refresh_threshold_bits,
+            refresh_between_stages: self.policy.noise_refresh == NoiseRefresh::Always,
+            refresh_auto: self.policy.noise_refresh == NoiseRefresh::Auto,
+            refresh_threshold_bits: self.policy.refresh_threshold_bits,
             recorder: self.recorder.clone(),
         };
         let (mut service, ceremony) =
@@ -314,12 +345,13 @@ impl SessionBuilder {
         attestation.set_recorder(self.recorder.clone());
         let measurement = *service.enclave().enclave().measurement();
         let hook = chaos.as_ref().map(|c| c.as_ref() as &dyn FaultHook);
-        let (verified, _cost) = retry_with_cost(&self.recovery, hook, &self.recorder, || {
-            let res = verify_key_ceremony(&attestation, &ceremony, &measurement)
-                .map(|_| ())
-                .map_err(Error::Tee);
-            (res, CostBreakdown::default())
-        });
+        let (verified, _cost) =
+            retry_with_cost(&self.policy.recovery, hook, &self.recorder, || {
+                let res = verify_key_ceremony(&attestation, &ceremony, &measurement)
+                    .map(|_| ())
+                    .map_err(Error::Tee);
+                (res, CostBreakdown::default())
+            });
         verified?;
 
         let pool = ParExec::new(self.threads).with_recorder(self.recorder.clone());
@@ -367,6 +399,48 @@ pub struct Session {
 }
 
 impl Session {
+    /// Serves one [`InferRequest`] — the single entry point of the session
+    /// API. The image batch rides the SIMD slots of one ciphertext
+    /// (amortizing every per-ciphertext cost as in the paper's §V-B) and
+    /// the response carries one logit row per image, in request order.
+    ///
+    /// Transient faults retry inside the pipeline under the recovery
+    /// policy; sealed-state corruption triggers a bounded re-provision and
+    /// the batch runs again. Once retries are exhausted the request's
+    /// [`Resilience`] decides: [`Resilience::FailFast`] propagates the
+    /// error, [`Resilience::Degrade`] answers from the pure-HE
+    /// square-activation fallback and marks the response
+    /// [`Served::Degraded`].
+    ///
+    /// The request's `deadline` is carried for the serving broker
+    /// (`hesgx-serve`), which drops requests whose deadline passes while
+    /// queued; a lone session has no queue and serves regardless.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for an empty or oversized batch and
+    /// propagates HE/TEE failures (under [`Resilience::Degrade`], only
+    /// fatal ones — including failures of the fallback itself).
+    pub fn serve(&self, request: InferRequest) -> Result<InferResponse> {
+        let ordinal = self.requests.fetch_add(1, Ordering::Relaxed);
+        let trace_id = format!("req-{:016x}-{ordinal}", self.config.seed);
+        let traced = self.trace_request_begin(request.images.len(), &trace_id);
+        let result = self.serve_inner(&request);
+        self.trace_request_end(traced, result.is_ok());
+        let (logits, served) = result?;
+        let metrics = self
+            .last_metrics
+            .lock()
+            .clone()
+            .expect("a successful serve records pipeline metrics");
+        Ok(InferResponse {
+            logits,
+            served,
+            metrics,
+            trace_id,
+        })
+    }
+
     /// Runs one quantized image (`in_side × in_side` pixels, row-major)
     /// through the encrypted pipeline and returns the plaintext logits —
     /// bit-identical to [`QuantizedCnn::forward_ints`].
@@ -374,74 +448,52 @@ impl Session {
     /// # Errors
     ///
     /// Propagates HE/TEE failures.
+    #[deprecated(since = "0.4.0", note = "use Session::serve(InferRequest::single(..))")]
     pub fn infer(&self, image: &[i64]) -> Result<Vec<i64>> {
-        let mut logits = self.infer_batch(std::slice::from_ref(&image.to_vec()))?;
-        Ok(logits.pop().expect("one image in, one logit row out"))
+        let mut response = self.serve(InferRequest::single(image.to_vec()))?;
+        Ok(response
+            .logits
+            .pop()
+            .expect("one image in, one logit row out"))
     }
 
-    /// Runs a batch of quantized images through the encrypted pipeline
-    /// (the batch rides the SIMD slots, amortizing every per-ciphertext
-    /// cost as in the paper's §V-B) and returns one logit row per image.
-    ///
-    /// Transient faults retry inside the pipeline; sealed-state corruption
-    /// triggers a bounded re-provision and the batch runs again. Exhausted
-    /// retries propagate as an error — use
-    /// [`Session::infer_batch_resilient`] to degrade instead of failing.
+    /// Runs a batch of quantized images through the encrypted pipeline and
+    /// returns one logit row per image.
     ///
     /// # Errors
     ///
     /// Returns [`Error::Config`] for an empty or oversized batch and
     /// propagates HE/TEE failures.
+    #[deprecated(since = "0.4.0", note = "use Session::serve(InferRequest::batch(..))")]
     pub fn infer_batch(&self, images: &[Vec<i64>]) -> Result<Vec<Vec<i64>>> {
-        let traced = self.trace_request_begin("infer_batch", images.len());
-        let result = self.infer_batch_inner(images);
-        self.trace_request_end(traced, result.is_ok());
-        result
+        Ok(self.serve(InferRequest::batch(images.to_vec()))?.logits)
     }
 
-    fn infer_batch_inner(&self, images: &[Vec<i64>]) -> Result<Vec<Vec<i64>>> {
-        let enc = self.encrypt_batch(images)?;
-        let mut reprovisions = 0u32;
-        loop {
-            match self.run_exact(&enc, images.len()) {
-                Ok(rows) => {
-                    self.recorder.incr(counters::SERVED_EXACT, 1);
-                    return Ok(rows);
-                }
-                Err(err)
-                    if err.classify() == FaultClass::SealedState
-                        && reprovisions < MAX_REPROVISIONS =>
-                {
-                    self.reprovision("sealed-state corruption detected during inference")?;
-                    reprovisions += 1;
-                }
-                Err(err) => return Err(err),
-            }
-        }
-    }
-
-    /// Like [`Session::infer_batch`], but degrades instead of failing when
-    /// the enclave stays unavailable: once the pipeline's bounded retries
-    /// are exhausted, the pure-HE square-activation fallback answers and
-    /// the result is marked [`Served::Degraded`].
+    /// Like `infer_batch`, but degrades instead of failing when the enclave
+    /// stays unavailable.
     ///
     /// # Errors
     ///
     /// Returns [`Error::Config`] for an empty or oversized batch, and
     /// propagates fatal failures (including failures of the fallback
     /// itself).
+    #[deprecated(
+        since = "0.4.0",
+        note = "use Session::serve with Resilience::Degrade on the request"
+    )]
     pub fn infer_batch_resilient(&self, images: &[Vec<i64>]) -> Result<(Vec<Vec<i64>>, Served)> {
-        let traced = self.trace_request_begin("infer_batch_resilient", images.len());
-        let result = self.infer_batch_resilient_inner(images);
-        self.trace_request_end(traced, result.is_ok());
-        result
+        let response =
+            self.serve(InferRequest::batch(images.to_vec()).resilience(Resilience::Degrade))?;
+        Ok((response.logits, response.served))
     }
 
-    fn infer_batch_resilient_inner(&self, images: &[Vec<i64>]) -> Result<(Vec<Vec<i64>>, Served)> {
-        let enc = self.encrypt_batch(images)?;
+    /// The recovery ladder around one encrypted batch: exact attempts with
+    /// bounded re-provisions, then the resilience-gated degraded fallback.
+    fn serve_inner(&self, request: &InferRequest) -> Result<(Vec<Vec<i64>>, Served)> {
+        let enc = self.encrypt_batch(&request.images)?;
         let mut reprovisions = 0u32;
         loop {
-            match self.run_exact(&enc, images.len()) {
+            match self.run_exact(&enc, request.images.len()) {
                 Ok(rows) => {
                     self.recorder.incr(counters::SERVED_EXACT, 1);
                     return Ok((rows, Served::Exact));
@@ -451,7 +503,7 @@ impl Session {
                         self.reprovision("sealed-state corruption detected during inference")?;
                         reprovisions += 1;
                     }
-                    FaultClass::Transient => {
+                    FaultClass::Transient if request.resilience == Resilience::Degrade => {
                         // Bounded retries already ran (and were exhausted)
                         // inside the pipeline; keep serving without SGX.
                         if let Some(hook) = self.hook() {
@@ -471,7 +523,7 @@ impl Session {
                         }
                         let (logits, metrics) = self.service.read().infer_degraded(&enc)?;
                         *self.last_metrics.lock() = Some(metrics);
-                        let rows = self.decrypt_logits(&logits, images.len())?;
+                        let rows = self.decrypt_logits(&logits, request.images.len())?;
                         self.recorder.incr(counters::SERVED_DEGRADED, 1);
                         return Ok((rows, Served::Degraded));
                     }
@@ -582,20 +634,17 @@ impl Session {
     /// Opens the per-request trace span. The trace ID is a pure function of
     /// the session seed and the request ordinal — never of wall time — so
     /// equal seeds replay byte-identical timelines. Returns whether a span
-    /// was opened (the counter only advances on traced sessions, keeping
-    /// the no-op recorder zero-cost).
-    fn trace_request_begin(&self, api: &str, batch: usize) -> bool {
+    /// was opened.
+    fn trace_request_begin(&self, batch: usize, trace_id: &str) -> bool {
         if !self.recorder.trace_enabled() {
             return false;
         }
-        let n = self.requests.fetch_add(1, Ordering::Relaxed);
-        let trace_id = format!("req-{:016x}-{n}", self.config.seed);
         self.recorder.trace_begin(
             "session.request",
             &[
-                ("api", api.to_string()),
+                ("api", "serve".to_string()),
                 ("batch", batch.to_string()),
-                ("trace_id", trace_id),
+                ("trace_id", trace_id.to_string()),
             ],
         );
         true
@@ -624,8 +673,8 @@ impl Session {
         self.chaos.as_ref().map(|c| c.report_json())
     }
 
-    /// Metrics of the most recent [`Session::infer`]/[`Session::infer_batch`]
-    /// run, if any.
+    /// Metrics of the most recent [`Session::serve`] run, if any (also
+    /// carried on every [`InferResponse`]).
     pub fn metrics(&self) -> Option<HybridMetrics> {
         self.last_metrics.lock().clone()
     }
@@ -704,37 +753,45 @@ mod tests {
         let images: Vec<Vec<i64>> = (0..3)
             .map(|b| (0..64).map(|p| ((p + b * 5) % 16) as i64).collect())
             .collect();
-        let logits = session.infer_batch(&images).unwrap();
-        for (img, row) in images.iter().zip(&logits) {
+        let response = session.serve(InferRequest::batch(images.clone())).unwrap();
+        assert_eq!(response.served, Served::Exact);
+        for (img, row) in images.iter().zip(&response.logits) {
             assert_eq!(row, &session.model().forward_ints(img));
         }
-        let metrics = session.metrics().expect("metrics recorded");
-        assert_eq!(metrics.stages.len(), 4);
-        assert_eq!(metrics.threads, 2);
+        assert_eq!(response.metrics.stages.len(), 4);
+        assert_eq!(response.metrics.threads, 2);
     }
 
     #[test]
     fn single_image_shorthand() {
         let session = build(1, 6);
         let image: Vec<i64> = (0..64).map(|p| (p % 16) as i64).collect();
-        assert_eq!(
-            session.infer(&image).unwrap(),
-            session.model().forward_ints(&image)
-        );
+        let response = session.serve(InferRequest::single(image.clone())).unwrap();
+        assert_eq!(response.logits, vec![session.model().forward_ints(&image)]);
+    }
+
+    #[test]
+    fn response_trace_ids_follow_the_request_ordinal() {
+        let session = build(1, 7);
+        let image: Vec<i64> = (0..64).map(|p| (p % 16) as i64).collect();
+        let a = session.serve(InferRequest::single(image.clone())).unwrap();
+        let b = session.serve(InferRequest::single(image)).unwrap();
+        assert_eq!(a.trace_id, "req-0000000000000007-0");
+        assert_eq!(b.trace_id, "req-0000000000000007-1");
     }
 
     #[test]
     fn batch_limits_are_config_errors() {
         let session = build(1, 7);
         assert!(matches!(
-            session.infer_batch(&[]).unwrap_err(),
+            session.serve(InferRequest::batch(Vec::new())).unwrap_err(),
             Error::Config(_)
         ));
         let too_many: Vec<Vec<i64>> = (0..session.service().system().slot_count() + 1)
             .map(|_| vec![0; 64])
             .collect();
         assert!(matches!(
-            session.infer_batch(&too_many).unwrap_err(),
+            session.serve(InferRequest::batch(too_many)).unwrap_err(),
             Error::Config(_)
         ));
     }
@@ -754,9 +811,9 @@ mod tests {
         let image: Vec<i64> = (0..64).map(|p| (p % 16) as i64).collect();
         // Same plaintext twice: values equal, but a fresh random stream each
         // call (the client RNG advances between batches).
-        let a = session.infer(&image).unwrap();
-        let b = session.infer(&image).unwrap();
-        assert_eq!(a, b);
+        let a = session.serve(InferRequest::single(image.clone())).unwrap();
+        let b = session.serve(InferRequest::single(image)).unwrap();
+        assert_eq!(a.logits, b.logits);
     }
 
     #[test]
@@ -770,11 +827,10 @@ mod tests {
             .noise_refresh(true)
             .build(Platform::new(41), small_model())
             .unwrap();
-        assert_eq!(
-            plain.infer(&image).unwrap(),
-            refreshed.infer(&image).unwrap()
-        );
-        assert_eq!(refreshed.metrics().unwrap().stages.len(), 5);
+        let plain_resp = plain.serve(InferRequest::single(image.clone())).unwrap();
+        let refreshed_resp = refreshed.serve(InferRequest::single(image)).unwrap();
+        assert_eq!(plain_resp.logits, refreshed_resp.logits);
+        assert_eq!(refreshed_resp.metrics.stages.len(), 5);
     }
 
     #[test]
@@ -787,8 +843,8 @@ mod tests {
             .chaos(FaultPlan::new(1).script(FaultSite::EcallEnter, 0, FaultKind::Transient))
             .build(Platform::new(42), small_model())
             .unwrap();
-        let logits = session.infer(&image).unwrap();
-        assert_eq!(logits, session.model().forward_ints(&image));
+        let response = session.serve(InferRequest::single(image.clone())).unwrap();
+        assert_eq!(response.logits, vec![session.model().forward_ints(&image)]);
         let report = session.fault_report().expect("chaos installed");
         assert_eq!(report.injected_at(FaultSite::EcallEnter), 1);
         assert!(matches!(
@@ -814,10 +870,8 @@ mod tests {
         assert!(report.reprovisioned());
         // The healed session still serves exact inference.
         let image: Vec<i64> = (0..64).map(|p| (p % 16) as i64).collect();
-        assert_eq!(
-            session.infer(&image).unwrap(),
-            session.model().forward_ints(&image)
-        );
+        let response = session.serve(InferRequest::single(image.clone())).unwrap();
+        assert_eq!(response.logits, vec![session.model().forward_ints(&image)]);
     }
 
     #[test]
@@ -837,15 +891,15 @@ mod tests {
             .build(Platform::new(44), small_model())
             .unwrap();
         let image: Vec<i64> = (0..64).map(|p| (p % 4) as i64).collect();
-        let (rows, served) = session
-            .infer_batch_resilient(std::slice::from_ref(&image))
+        let response = session
+            .serve(InferRequest::single(image.clone()).resilience(Resilience::Degrade))
             .unwrap();
-        assert_eq!(served, Served::Degraded);
-        assert_eq!(rows.len(), 1);
-        assert_eq!(rows[0].len(), session.model().classes);
+        assert_eq!(response.served, Served::Degraded);
+        assert_eq!(response.logits.len(), 1);
+        assert_eq!(response.logits[0].len(), session.model().classes);
         let report = session.fault_report().unwrap();
         assert!(report.degraded());
-        // The plain API propagates the same exhaustion as an error.
+        // A fail-fast request propagates the same exhaustion as an error.
         let session2 = SessionBuilder::new()
             .params(ParamsPreset::Small)
             .threads(1)
@@ -859,7 +913,57 @@ mod tests {
             )
             .build(Platform::new(45), small_model())
             .unwrap();
-        let err = session2.infer(&image).unwrap_err();
+        let err = session2.serve(InferRequest::single(image)).unwrap_err();
         assert!(err.is_transient(), "{err}");
+    }
+
+    /// The deprecated shims must stay bit-identical to the `serve` path:
+    /// same logits from the same seed, whichever surface the caller uses.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_forward_to_serve_bit_identically() {
+        let images: Vec<Vec<i64>> = (0..2)
+            .map(|b| (0..64).map(|p| ((p * 3 + b * 7) % 16) as i64).collect())
+            .collect();
+
+        let via_serve = build(1, 13)
+            .serve(InferRequest::batch(images.clone()))
+            .unwrap();
+        let via_shim = build(1, 13).infer_batch(&images).unwrap();
+        assert_eq!(via_serve.logits, via_shim);
+
+        let single_serve = build(1, 14)
+            .serve(InferRequest::single(images[0].clone()))
+            .unwrap();
+        let single_shim = build(1, 14).infer(&images[0]).unwrap();
+        assert_eq!(single_serve.logits[0], single_shim);
+
+        let resilient_serve = build(1, 15)
+            .serve(InferRequest::batch(images.clone()).resilience(Resilience::Degrade))
+            .unwrap();
+        let (rows, served) = build(1, 15).infer_batch_resilient(&images).unwrap();
+        assert_eq!(resilient_serve.logits, rows);
+        assert_eq!(resilient_serve.served, served);
+    }
+
+    /// The granular noise-refresh setters edit the consolidated
+    /// [`ServePolicy`] with the documented precedence: auto wins.
+    #[test]
+    fn builder_policy_precedence() {
+        let b = SessionBuilder::new()
+            .noise_refresh(true)
+            .noise_refresh_auto(true);
+        assert_eq!(b.policy.noise_refresh, NoiseRefresh::Auto);
+        let b = b.noise_refresh(true); // auto keeps precedence
+        assert_eq!(b.policy.noise_refresh, NoiseRefresh::Auto);
+        let b = b.noise_refresh_auto(false);
+        assert_eq!(b.policy.noise_refresh, NoiseRefresh::Off);
+        let b = SessionBuilder::new().policy(
+            ServePolicy::new()
+                .recovery(RecoveryPolicy::none())
+                .noise_refresh(NoiseRefresh::Always),
+        );
+        assert_eq!(b.policy.recovery, RecoveryPolicy::none());
+        assert_eq!(b.policy.noise_refresh, NoiseRefresh::Always);
     }
 }

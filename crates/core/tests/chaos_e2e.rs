@@ -55,10 +55,10 @@ fn every_fault_site_fires_once_and_inference_stays_exact() {
 
     // Full 28×28 inference through the faulty boundary.
     let image: Vec<i64> = (0..28 * 28).map(|p| (p % 16) as i64).collect();
-    let logits = session.infer(&image).unwrap();
+    let response = session.serve(InferRequest::single(image.clone())).unwrap();
     assert_eq!(
-        logits,
-        model.forward_ints(&image),
+        response.logits,
+        vec![model.forward_ints(&image)],
         "recovered inference must stay bit-identical to the reference"
     );
 
@@ -92,11 +92,11 @@ fn exhausted_budget_degrades_instead_of_failing() {
         .build(Platform::new(501), testutil::small_hybrid_model())
         .unwrap();
     let image: Vec<i64> = (0..64).map(|p| (p % 4) as i64).collect();
-    let (rows, served) = session
-        .infer_batch_resilient(std::slice::from_ref(&image))
+    let response = session
+        .serve(InferRequest::single(image).resilience(Resilience::Degrade))
         .unwrap();
-    assert_eq!(served, Served::Degraded);
-    assert_eq!(rows[0].len(), session.model().classes);
+    assert_eq!(response.served, Served::Degraded);
+    assert_eq!(response.logits[0].len(), session.model().classes);
     let report = session.fault_report().unwrap();
     assert!(report.degraded());
     assert_eq!(report.injected_at(FaultSite::EcallEnter), 4);

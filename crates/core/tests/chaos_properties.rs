@@ -53,7 +53,7 @@ fn build(threads: usize, plan: Option<FaultPlan>) -> Session {
 
 fn run(threads: usize, plan: Option<FaultPlan>) -> (Vec<Vec<i64>>, Option<String>) {
     let session = build(threads, plan);
-    let rows = session.infer_batch(&batch()).unwrap();
+    let rows = session.serve(InferRequest::batch(batch())).unwrap().logits;
     (rows, session.fault_report_json())
 }
 

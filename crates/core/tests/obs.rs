@@ -13,6 +13,7 @@
 mod testutil;
 
 use hesgx_core::pipeline::total_enclave_cost;
+use hesgx_core::request::InferRequest;
 use hesgx_core::session::{ParamsPreset, Session, SessionBuilder};
 use hesgx_obs::{counters, Recorder, SpanCost};
 use hesgx_tee::enclave::Platform;
@@ -31,8 +32,8 @@ fn run_session(threads: usize) -> (Session, Recorder) {
         .build(Platform::new(900), testutil::small_hybrid_model())
         .unwrap();
     let image: Vec<i64> = (0..64).map(|p| (p % 16) as i64).collect();
-    let logits = session.infer(&image).unwrap();
-    assert_eq!(logits, session.model().forward_ints(&image));
+    let response = session.serve(InferRequest::single(image.clone())).unwrap();
+    assert_eq!(response.logits, vec![session.model().forward_ints(&image)]);
     (session, rec)
 }
 
@@ -101,6 +102,6 @@ fn session_counters_track_serving_and_boundary_traffic() {
     assert!(rec.counter(counters::BYTES_MARSHALLED) > 0);
     // The recorder survives further serving.
     let image: Vec<i64> = (0..64).map(|p| ((p * 3) % 16) as i64).collect();
-    session.infer(&image).unwrap();
+    session.serve(InferRequest::single(image)).unwrap();
     assert_eq!(rec.counter(counters::SERVED_EXACT), 2);
 }

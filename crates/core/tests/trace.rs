@@ -16,6 +16,7 @@
 
 mod testutil;
 
+use hesgx_core::request::InferRequest;
 use hesgx_core::session::{ParamsPreset, Session, SessionBuilder};
 use hesgx_obs::{Recorder, TracePhase};
 use hesgx_tee::enclave::Platform;
@@ -49,7 +50,7 @@ fn timelines_and_exporters_are_byte_identical_across_pool_sizes() {
         .iter()
         .map(|&threads| {
             let (session, rec) = traced_session(threads, None);
-            session.infer(&image()).unwrap();
+            session.serve(InferRequest::single(image())).unwrap();
             (
                 rec.export_chrome_trace(),
                 rec.export_prometheus(),
@@ -74,7 +75,7 @@ fn timelines_and_exporters_are_byte_identical_across_pool_sizes() {
 #[test]
 fn request_span_wraps_the_timeline_with_a_deterministic_trace_id() {
     let (session, rec) = traced_session(1, None);
-    session.infer(&image()).unwrap();
+    session.serve(InferRequest::single(image())).unwrap();
     let events = rec.trace_events();
     let begin = events
         .iter()
@@ -99,7 +100,7 @@ fn request_span_wraps_the_timeline_with_a_deterministic_trace_id() {
         assert!(w[0].ts_ns < w[1].ts_ns, "{:?} !< {:?}", w[0], w[1]);
     }
     // A second request gets the next ordinal.
-    session.infer(&image()).unwrap();
+    session.serve(InferRequest::single(image())).unwrap();
     let events = rec.trace_events();
     assert!(events.iter().any(|e| e
         .args
@@ -116,13 +117,16 @@ fn tracing_never_changes_the_inference_result() {
         .noise_refresh_auto(true)
         .build(Platform::new(910), testutil::small_hybrid_model())
         .unwrap();
-    let reference = untraced.infer(&image()).unwrap();
-    assert_eq!(reference, untraced.model().forward_ints(&image()));
+    let reference = untraced
+        .serve(InferRequest::single(image()))
+        .unwrap()
+        .logits;
+    assert_eq!(reference, vec![untraced.model().forward_ints(&image())]);
 
     for threshold in [None, Some(200)] {
         let (traced, _) = traced_session(1, threshold);
         assert_eq!(
-            traced.infer(&image()).unwrap(),
+            traced.serve(InferRequest::single(image())).unwrap().logits,
             reference,
             "tracing (threshold {threshold:?}) changed the logits"
         );
@@ -135,7 +139,7 @@ fn auto_refresh_fires_iff_budget_is_below_threshold() {
     // the decision must be a skip and the stage count stays at 5 (4 layers +
     // the check stage).
     let (session, rec) = traced_session(1, None);
-    session.infer(&image()).unwrap();
+    session.serve(InferRequest::single(image())).unwrap();
     let metrics = session.metrics().unwrap();
     assert_eq!(metrics.noise.len(), 1, "{:?}", metrics.noise);
     let d = metrics.noise[0];
@@ -154,7 +158,7 @@ fn auto_refresh_fires_iff_budget_is_below_threshold() {
     // Threshold raised above the live budget: the same pipeline must take
     // the refresh and record the post-refresh budget.
     let (session, rec_hi) = traced_session(1, Some(200));
-    session.infer(&image()).unwrap();
+    session.serve(InferRequest::single(image())).unwrap();
     let metrics = session.metrics().unwrap();
     assert_eq!(metrics.noise.len(), 1);
     let d = metrics.noise[0];

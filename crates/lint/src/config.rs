@@ -117,6 +117,7 @@ pub const CONST_TIME_PATHS: &[&str] = &["crates/crypto/src", "fixtures/const-tim
 pub const ECALL_PATHS: &[&str] = &[
     "crates/core/src/sgx_ops.rs",
     "crates/core/src/recovery.rs",
+    "crates/serve/src/dispatch.rs",
     "fixtures/ecall-cost",
 ];
 

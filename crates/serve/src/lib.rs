@@ -1,0 +1,37 @@
+//! `hesgx-serve` — the multi-tenant serving broker over `hesgx-core`
+//! sessions.
+//!
+//! The paper frames its system as a cloud inference *service*: many users
+//! submit encrypted images, the provider runs the hybrid HE+SGX pipeline,
+//! and SIMD slot packing amortizes the homomorphic evaluator cost across a
+//! batch. This crate supplies the serving layer that makes those claims
+//! measurable end to end:
+//!
+//! - [`Broker`] — a fleet of [`hesgx_core::session::Session`] workers in one
+//!   key domain behind a bounded admission queue, deficit-round-robin tenant
+//!   scheduling, and cross-request SIMD batching.
+//! - [`LoadSpec`]/[`LoadTrace`] — seeded open-loop load generation on a
+//!   virtual clock.
+//! - [`LoadReport`] — integer-only queue/latency/batching accounting with a
+//!   byte-stable JSON encoding, the artifact the `repro serve_load`
+//!   experiment diffs across reruns and worker-pool sizes.
+//!
+//! Everything observable derives from seeds and modeled costs; wall time
+//! never reaches an exported byte.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broker;
+pub mod config;
+pub mod dispatch;
+pub mod loadgen;
+pub mod queue;
+pub mod report;
+
+pub use broker::Broker;
+pub use config::{BrokerConfig, HeCostModel};
+pub use dispatch::{dispatch_batch, modeled_service_ns};
+pub use loadgen::{Arrival, LoadSpec, LoadTrace};
+pub use queue::{Admission, AdmissionQueue, Pending};
+pub use report::{LatencyStats, LoadReport, RequestOutcome, TenantStats};

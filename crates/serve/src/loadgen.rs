@@ -1,0 +1,169 @@
+//! Seeded open-loop load generation.
+//!
+//! The arrival process is *open-loop*: request arrival times are drawn up
+//! front from a seeded RNG, independent of how fast the broker serves them
+//! (the standard discipline for latency-under-load measurement — a
+//! closed loop would let a slow server throttle its own offered load and
+//! hide queueing delay). Gaps are uniform in `[mean/2, 3·mean/2)`, so
+//! `mean_gap_ns` is the exact mean inter-arrival gap and the offered rate
+//! is `1e9 / mean_gap_ns` requests per virtual second.
+//!
+//! Everything — arrival times, tenant assignment, pixel payloads — derives
+//! from [`LoadSpec::seed`] through the workspace's forked-stream
+//! [`ChaChaRng`], so one spec value replays the identical trace forever.
+
+use hesgx_core::request::{InferRequest, Resilience, TenantId, VirtualNs};
+use hesgx_crypto::rng::ChaChaRng;
+
+/// Specification of a deterministic load trace.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Seed of the whole trace (arrival gaps, tenants, payloads).
+    pub seed: u64,
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Mean inter-arrival gap on the virtual clock (offered rate =
+    /// `1e9 / mean_gap_ns` req/s).
+    pub mean_gap_ns: VirtualNs,
+    /// Number of distinct tenants; each request is assigned one uniformly.
+    pub tenants: u32,
+    /// Images per request (all requests carry the same count).
+    pub images_per_request: usize,
+    /// Pixels per image (`in_side × in_side` of the served model).
+    pub image_len: usize,
+    /// Optional relative deadline: a request arriving at `t` expires at
+    /// `t + deadline_ns` unless dispatched first.
+    pub deadline_ns: Option<VirtualNs>,
+    /// Failure posture stamped on every generated request.
+    pub resilience: Resilience,
+}
+
+impl LoadSpec {
+    /// A small default: 32 single-image requests from 3 tenants on 8×8
+    /// images, one request per virtual millisecond.
+    pub fn new(seed: u64) -> Self {
+        LoadSpec {
+            seed,
+            requests: 32,
+            mean_gap_ns: 1_000_000,
+            tenants: 3,
+            images_per_request: 1,
+            image_len: 64,
+            deadline_ns: None,
+            resilience: Resilience::FailFast,
+        }
+    }
+}
+
+/// One generated arrival: the request plus its virtual arrival time.
+#[derive(Debug, Clone)]
+pub struct Arrival {
+    /// Trace-wide request ordinal (admission order).
+    pub id: u64,
+    /// Virtual arrival time.
+    pub at: VirtualNs,
+    /// The request, deadline already made absolute.
+    pub request: InferRequest,
+}
+
+/// A fully materialized load trace, ready to replay through the broker.
+#[derive(Debug, Clone)]
+pub struct LoadTrace {
+    /// Arrivals in non-decreasing time order.
+    pub arrivals: Vec<Arrival>,
+}
+
+impl LoadTrace {
+    /// Generates the trace for `spec`. Pure function of the spec: equal
+    /// specs yield byte-identical traces.
+    pub fn generate(spec: &LoadSpec) -> LoadTrace {
+        let mut rng = ChaChaRng::from_seed(spec.seed).fork("serve-loadgen");
+        let mean = spec.mean_gap_ns.max(1);
+        let tenants = spec.tenants.max(1);
+        let mut now: VirtualNs = 0;
+        let mut arrivals = Vec::with_capacity(spec.requests);
+        for i in 0..spec.requests as u64 {
+            now = now.saturating_add(mean / 2 + rng.next_u64() % (mean + 1));
+            let tenant = (rng.next_u64() % u64::from(tenants)) as TenantId;
+            let images: Vec<Vec<i64>> = (0..spec.images_per_request as u64)
+                .map(|j| {
+                    (0..spec.image_len as u64)
+                        .map(|p| ((p * 3 + i * 7 + j * 5 + u64::from(tenant) * 11) % 16) as i64)
+                        .collect()
+                })
+                .collect();
+            let mut request = InferRequest::batch(images)
+                .tenant(tenant)
+                .resilience(spec.resilience);
+            if let Some(rel) = spec.deadline_ns {
+                request = request.deadline(now.saturating_add(rel));
+            }
+            arrivals.push(Arrival {
+                id: i,
+                at: now,
+                request,
+            });
+        }
+        LoadTrace { arrivals }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_specs_replay_identically() {
+        let spec = LoadSpec::new(11);
+        let a = LoadTrace::generate(&spec);
+        let b = LoadTrace::generate(&spec);
+        assert_eq!(a.arrivals.len(), b.arrivals.len());
+        for (x, y) in a.arrivals.iter().zip(&b.arrivals) {
+            assert_eq!(x.at, y.at);
+            assert_eq!(x.request, y.request);
+        }
+    }
+
+    #[test]
+    fn arrivals_are_time_ordered_and_mean_gap_is_respected() {
+        let mut spec = LoadSpec::new(5);
+        spec.requests = 200;
+        let trace = LoadTrace::generate(&spec);
+        assert_eq!(trace.arrivals.len(), 200);
+        for w in trace.arrivals.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        let span = trace.arrivals.last().unwrap().at;
+        let mean = span / 200;
+        // Uniform gaps in [mean/2, 3·mean/2): the realized mean stays
+        // within a loose factor-of-two band of the spec.
+        assert!(
+            mean > spec.mean_gap_ns / 2 && mean < spec.mean_gap_ns * 2,
+            "realized mean gap {mean}"
+        );
+    }
+
+    #[test]
+    fn deadlines_are_absolute() {
+        let mut spec = LoadSpec::new(6);
+        spec.deadline_ns = Some(500);
+        let trace = LoadTrace::generate(&spec);
+        for a in &trace.arrivals {
+            assert_eq!(a.request.deadline, Some(a.at + 500));
+        }
+    }
+
+    #[test]
+    fn tenants_spread_across_the_configured_range() {
+        let mut spec = LoadSpec::new(7);
+        spec.requests = 100;
+        spec.tenants = 4;
+        let trace = LoadTrace::generate(&spec);
+        let mut seen = std::collections::BTreeSet::new();
+        for a in &trace.arrivals {
+            assert!(a.request.tenant < 4);
+            seen.insert(a.request.tenant);
+        }
+        assert!(seen.len() >= 3, "uniform draw over 4 tenants: {seen:?}");
+    }
+}

@@ -1,0 +1,177 @@
+//! Serving-layer property and byte-identity tests.
+//!
+//! Two contracts are pinned across HE worker-pool sizes 1/2/4:
+//!
+//! 1. **Batching is invisible in the plaintext** — packing pending requests
+//!    from different tenants into one SIMD ciphertext batch produces logits
+//!    bit-identical to serving every request alone on a fresh session. The
+//!    slots are independent lanes of the same ring element, so co-residency
+//!    cannot leak across requests or perturb results.
+//! 2. **Same seed → same bytes** — replaying one seeded load trace yields a
+//!    byte-identical `LoadReport` JSON, observability snapshot, Chrome
+//!    trace, and Prometheus export at every pool size, because the broker's
+//!    virtual clock only ever sees modeled costs.
+
+use hesgx_core::prelude::*;
+use hesgx_obs::Recorder;
+use hesgx_serve::{Broker, BrokerConfig, LoadSpec, LoadTrace};
+use proptest::prelude::*;
+
+const POOLS: [usize; 3] = [1, 2, 4];
+const SEED: u64 = 41;
+
+fn small_model() -> QuantizedCnn {
+    QuantizedCnn {
+        pipeline: QuantPipeline::Hybrid,
+        in_side: 8,
+        conv_out: 2,
+        kernel: 3,
+        window: 2,
+        classes: 3,
+        conv_weights: (0..18).map(|i| (i % 7) as i64 - 3).collect(),
+        conv_bias: vec![5, -9],
+        fc_weights: (0..3 * 18).map(|i| (i % 5) as i64 - 2).collect(),
+        fc_bias: vec![10, -5, 0],
+        weight_scale: 8,
+        fc_scale: 8,
+        act_scale: 16,
+    }
+}
+
+/// A load spec whose arrivals outpace the modeled service time, so the
+/// queue fills and the DRR scheduler actually packs multi-request batches.
+fn bursty_spec(seed: u64, requests: usize) -> LoadSpec {
+    let mut spec = LoadSpec::new(seed);
+    spec.requests = requests;
+    spec.mean_gap_ns = 1_000; // far below any modeled batch service time
+    spec.tenants = 3;
+    spec.image_len = 64;
+    spec
+}
+
+fn broker(he_threads: usize, recorder: Recorder) -> Broker {
+    Broker::new(
+        BrokerConfig::new().workers(2).max_batch(8).queue_cap(64),
+        small_model(),
+        ParamsPreset::Small,
+        SEED,
+        he_threads,
+        recorder,
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Cross-request SIMD batching returns the same logits as serving each
+    /// request alone, at every HE pool size.
+    #[test]
+    fn batched_serving_is_bit_identical_to_serving_alone(trace_seed in 0u64..1_000) {
+        let spec = bursty_spec(trace_seed, 10);
+        let trace = LoadTrace::generate(&spec);
+        // Reference: one dedicated session in the same key domain serves
+        // every request by itself, no cross-request packing.
+        let solo = SessionBuilder::new()
+            .params(ParamsPreset::Small)
+            .threads(1)
+            .seed(SEED)
+            .build(Platform::new(9_000), small_model())
+            .unwrap();
+        let reference: Vec<Vec<Vec<i64>>> = trace
+            .arrivals
+            .iter()
+            .map(|a| solo.serve(a.request.clone()).unwrap().logits)
+            .collect();
+        for &threads in &POOLS {
+            let b = broker(threads, Recorder::disabled());
+            let report = b.run(&trace);
+            prop_assert_eq!(report.completed(), spec.requests, "pool {}", threads);
+            prop_assert!(
+                report.outcomes.iter().any(|o| o.batch_fill > 1),
+                "bursty trace must exercise multi-request batches (pool {})",
+                threads
+            );
+            for outcome in &report.outcomes {
+                prop_assert_eq!(
+                    &outcome.logits,
+                    &reference[outcome.id as usize],
+                    "request {} differs from solo serving at pool {}",
+                    outcome.id,
+                    threads
+                );
+            }
+        }
+    }
+}
+
+/// One seeded trace replays to byte-identical reports and exports at every
+/// pool size: the acceptance gate for virtual-clock discipline.
+#[test]
+fn load_replay_is_byte_identical_across_pool_sizes() {
+    let trace = LoadTrace::generate(&bursty_spec(7, 12));
+    let runs: Vec<(String, String, String, String)> = POOLS
+        .iter()
+        .map(|&threads| {
+            let recorder = Recorder::with_timeline();
+            let b = broker(threads, recorder.clone());
+            let report = b.run(&trace);
+            (
+                report.to_json(),
+                recorder.snapshot_json(),
+                recorder.export_chrome_trace(),
+                recorder.export_prometheus(),
+            )
+        })
+        .collect();
+    for (i, run) in runs.iter().enumerate().skip(1) {
+        assert_eq!(runs[0].0, run.0, "LoadReport diverges at pool {}", POOLS[i]);
+        assert_eq!(
+            runs[0].1, run.1,
+            "obs snapshot diverges at pool {}",
+            POOLS[i]
+        );
+        assert_eq!(
+            runs[0].2, run.2,
+            "Chrome trace diverges at pool {}",
+            POOLS[i]
+        );
+        assert_eq!(
+            runs[0].3, run.3,
+            "Prometheus export diverges at pool {}",
+            POOLS[i]
+        );
+    }
+    // And the run is repeatable wholesale at a fixed pool size.
+    let recorder = Recorder::with_timeline();
+    let report = broker(POOLS[0], recorder.clone()).run(&trace);
+    assert_eq!(report.to_json(), runs[0].0);
+    assert_eq!(recorder.snapshot_json(), runs[0].1);
+}
+
+/// Deadlines on the virtual clock drop stale requests instead of serving
+/// them late: under overload with a tight deadline, some admitted requests
+/// expire in the queue and the books still reconcile.
+#[test]
+fn tight_deadlines_shed_stale_requests_deterministically() {
+    let mut spec = bursty_spec(3, 16);
+    spec.deadline_ns = Some(50_000);
+    let trace = LoadTrace::generate(&spec);
+    let b = broker(1, Recorder::enabled());
+    let report = b.run(&trace);
+    assert!(
+        report.dropped_deadline > 0,
+        "tight deadline under overload must expire requests: {report:?}"
+    );
+    assert_eq!(
+        report.admitted,
+        report.completed() + report.failed + report.dropped_deadline
+    );
+    assert_eq!(
+        b.recorder().counter("serve.drop.deadline") as usize,
+        report.dropped_deadline
+    );
+    // Replay: identical shed pattern.
+    let again = broker(1, Recorder::enabled()).run(&trace);
+    assert_eq!(report.to_json(), again.to_json());
+}

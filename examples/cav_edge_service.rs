@@ -66,7 +66,7 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         .build(Platform::new(77), hybrid_model.clone())?;
     println!("HE worker threads: {}", session.threads());
     let start = Instant::now();
-    let all_logits = session.infer_batch(&images)?;
+    let all_logits = session.serve(InferRequest::batch(images.clone()))?.logits;
     let hybrid_wall = start.elapsed();
     let metrics = session.metrics().expect("one batch ran");
     let enclave_overhead = {

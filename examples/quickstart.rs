@@ -53,7 +53,10 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     println!("[4/5] running one encrypted prediction...");
     let sample = &trained.test_set[0];
     let pixels = dataset::quantize_pixels(&sample.image);
-    let logits = session.infer(&pixels)?;
+    let logits = session
+        .serve(InferRequest::single(pixels.clone()))?
+        .logits
+        .remove(0);
 
     // 5. The plaintext argmax of the decrypted logits is the prediction.
     println!("[5/5] reading the result...");
