@@ -18,8 +18,19 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> hesgx-lint --workspace"
-cargo run -q -p hesgx-lint --offline -- --workspace
+# Lint gate: the baseline grandfathers nothing today (header-only file),
+# so any finding is a new finding and fails; --json must be byte-identical
+# across two runs (the lint's own output is held to the replay contract),
+# and the SARIF export is produced as a CI artifact.
+echo "==> hesgx-lint --workspace (baseline gate + json determinism + sarif)"
+cargo run -q -p hesgx-lint --offline -- --workspace --baseline lint-baseline.txt
+mkdir -p target/lint
+cargo run -q -p hesgx-lint --offline -- --workspace --baseline lint-baseline.txt --json > target/lint/lint.first.json
+cargo run -q -p hesgx-lint --offline -- --workspace --baseline lint-baseline.txt --json > target/lint/lint.json
+diff target/lint/lint.first.json target/lint/lint.json
+rm -f target/lint/lint.first.json
+cargo run -q -p hesgx-lint --offline -- --workspace --baseline lint-baseline.txt --sarif > target/lint/lint.sarif
+test -s target/lint/lint.sarif
 
 echo "==> cargo build --release"
 cargo build --release --offline

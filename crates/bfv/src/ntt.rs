@@ -118,6 +118,7 @@ impl NttTable {
     /// # Panics
     ///
     /// Panics if `values.len() != n`.
+    // hesgx-lint: hot
     pub fn forward(&self, values: &mut [u64]) {
         assert_eq!(values.len(), self.n);
         let p = self.p;
@@ -146,6 +147,7 @@ impl NttTable {
     /// # Panics
     ///
     /// Panics if `values.len() != n`.
+    // hesgx-lint: hot
     pub fn inverse(&self, values: &mut [u64]) {
         assert_eq!(values.len(), self.n);
         let p = self.p;
@@ -174,6 +176,7 @@ impl NttTable {
 
     /// Negacyclic convolution of `a` and `b` (both length `n`, coefficients
     /// mod `p`), returning the product modulo `x^n + 1`.
+    // hesgx-lint: hot
     pub fn negacyclic_multiply(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
         let mut fa = a.to_vec();
         let mut fb = b.to_vec();

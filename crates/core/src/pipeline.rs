@@ -26,8 +26,9 @@ use hesgx_tee::cost::{CostBreakdown, CostModel};
 use hesgx_tee::enclave::{EnclaveBuilder, Platform};
 use hesgx_tee::error::TeeError;
 use hesgx_tee::sealing::SealedBlob;
+use hesgx_tee::wall::WallTimer;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Timing of one pipeline stage.
 #[derive(Debug, Clone)]
@@ -234,7 +235,7 @@ impl HybridInference {
         builder = builder.recorder(config.recorder.clone());
         let enclave = builder.build(platform);
         let mut rng = ChaChaRng::from_seed(config.seed).fork("provision");
-        let provision_start = Instant::now();
+        let provision_start = WallTimer::start();
         let (keys, ceremony) = enclave_generate_keys(&enclave, &sys, &mut rng)?;
         // Seal the secret keys right after the ceremony; a corrupted seal
         // (crash mid-write, injected fault) is only *detected* at the next
@@ -245,7 +246,7 @@ impl HybridInference {
             // `session.provision` is the session-level rollup of the same
             // modeled cost plus the untrusted-side wall time around it.
             let mut span = ceremony.keygen_cost.span_cost();
-            span.real_ns = provision_start.elapsed().as_nanos() as u64;
+            span.real_ns = provision_start.elapsed_ns();
             config.recorder.record_span("session.provision", span);
         }
         let mut plan = plan_for(&model);
@@ -460,7 +461,7 @@ impl HybridInference {
 
         // 1. Convolutional layer — HE outside SGX, parallel over output
         // cells × CRT limbs (bit-identical for every pool size).
-        let start = Instant::now();
+        let start = WallTimer::start();
         self.trace_stage_begin("infer.layer[0].he");
         let conv = ops::he_conv2d_par(
             &self.sys,
@@ -484,7 +485,7 @@ impl HybridInference {
 
         // 2. Activation — plaintext inside SGX; the whole map crosses the
         // ECALL boundary once, the per-cell work parallelizes inside.
-        let start = Instant::now();
+        let start = WallTimer::start();
         self.trace_stage_begin("infer.layer[1].ecall");
         self.probe_gauge("noise.budget.layer[1].pre", conv.cells())?;
         let (activated, act_cost) = match batching {
@@ -511,7 +512,7 @@ impl HybridInference {
         // pre-probe measures what actually crosses the boundary: the
         // activated map for SgxPool, the homomorphically summed windows
         // (noisier) for SgxDiv.
-        let start = Instant::now();
+        let start = WallTimer::start();
         self.trace_stage_begin("infer.layer[2].ecall");
         let (pooled, pool_cost) = match self.plan.pool_strategy {
             PoolStrategy::SgxPool => {
@@ -552,7 +553,7 @@ impl HybridInference {
         let threshold = self.plan.refresh_threshold_bits;
         let pooled = if self.refresh_auto {
             let stage = format!("infer.layer[{layer}].ecall");
-            let start = Instant::now();
+            let start = WallTimer::start();
             self.trace_stage_begin(&stage);
             // Functional probe: it decides the refresh, so its cost belongs
             // to the stage — folded into the stage metrics *and* the stage
@@ -602,7 +603,7 @@ impl HybridInference {
             out
         } else if self.refresh_between_stages {
             let stage = format!("infer.layer[{layer}].ecall");
-            let start = Instant::now();
+            let start = WallTimer::start();
             self.trace_stage_begin(&stage);
             // Always mode refreshes unconditionally; budget telemetry around
             // it is recorder-gated and cost-invisible to the stage books.
@@ -642,7 +643,7 @@ impl HybridInference {
 
         // 4. Fully connected layer — HE outside SGX, parallel over
         // classes × CRT limbs.
-        let start = Instant::now();
+        let start = WallTimer::start();
         self.trace_stage_begin(&format!("infer.layer[{layer}].he"));
         let logits = ops::he_fully_connected_par(
             &self.sys,
@@ -713,7 +714,7 @@ impl HybridInference {
         };
         let m = &self.model;
 
-        let start = Instant::now();
+        let start = WallTimer::start();
         self.trace_stage_begin("infer.degraded.layer[0].he");
         let conv = ops::he_conv2d_par(
             &self.sys,
@@ -735,7 +736,7 @@ impl HybridInference {
             enclave: None,
         });
 
-        let start = Instant::now();
+        let start = WallTimer::start();
         self.trace_stage_begin("infer.degraded.layer[1].he");
         let activated = ops::he_square_activation_par(
             &self.sys,
@@ -753,7 +754,7 @@ impl HybridInference {
             enclave: None,
         });
 
-        let start = Instant::now();
+        let start = WallTimer::start();
         self.trace_stage_begin("infer.degraded.layer[2].he");
         let pooled = ops::he_scaled_mean_pool_par(
             &self.sys,
@@ -771,7 +772,7 @@ impl HybridInference {
             enclave: None,
         });
 
-        let start = Instant::now();
+        let start = WallTimer::start();
         self.trace_stage_begin("infer.degraded.layer[3].he");
         let logits = ops::he_fully_connected_par(
             &self.sys,

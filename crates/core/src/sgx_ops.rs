@@ -25,9 +25,9 @@ use hesgx_nn::quantize::QuantizedCnn;
 use hesgx_tee::cost::CostBreakdown;
 use hesgx_tee::enclave::Enclave;
 use hesgx_tee::error::TeeError;
+use hesgx_tee::wall::WallTimer;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
 
 /// Former name of [`crate::Error`], kept for source compatibility.
 #[deprecated(since = "0.2.0", note = "use `hesgx_core::Error` instead")]
@@ -254,12 +254,12 @@ impl InferenceEnclave {
                     ctx.touch(region).map_err(Error::Tee)?;
                     ctx.touch_bytes(region, 1).map_err(Error::Tee)?;
                     let tasks = pool.try_run(cells.len(), |idx| {
-                        let start = Instant::now();
+                        let start = WallTimer::start();
                         let mut rng = base.fork(&format!("cell-{idx}"));
                         let slots = sys.decrypt_slots(cells[idx], &self.secret)?;
                         let mapped: Vec<i64> = slots.iter().map(|&v| f(idx, v)).collect();
                         let ct = sys.encrypt_slots(&mapped, &self.public, &mut rng)?;
-                        Ok::<_, Error>((ct, start.elapsed().as_nanos() as u64))
+                        Ok::<_, Error>((ct, start.elapsed_ns()))
                     })?;
                     let mut out = Vec::with_capacity(tasks.len());
                     let mut cpu_ns = 0u64;
@@ -528,9 +528,9 @@ impl InferenceEnclave {
                     let mut cpu_ns = 0u64;
                     // Decrypt the full map, one task per cell.
                     let decrypted = pool.try_run(input.cells().len(), |i| {
-                        let start = Instant::now();
+                        let start = WallTimer::start();
                         let slots = sys.decrypt_slots(&input.cells()[i], &self.secret)?;
-                        Ok::<_, Error>((slots, start.elapsed().as_nanos() as u64))
+                        Ok::<_, Error>((slots, start.elapsed_ns()))
                     })?;
                     let mut plain = Vec::with_capacity(decrypted.len());
                     for (slots, ns) in decrypted {
@@ -540,7 +540,7 @@ impl InferenceEnclave {
                     // Pool + re-encrypt, one task per output cell.
                     let plain = &plain;
                     let outs = pool.try_run(out_count, |o| {
-                        let start = Instant::now();
+                        let start = WallTimer::start();
                         let ch = o / (oh * ow);
                         let oy = (o / ow) % oh;
                         let ox = o % ow;
@@ -568,7 +568,7 @@ impl InferenceEnclave {
                             };
                         }
                         let ct = sys.encrypt_slots(&slots_out, &self.public, &mut rng)?;
-                        Ok::<_, Error>((ct, start.elapsed().as_nanos() as u64))
+                        Ok::<_, Error>((ct, start.elapsed_ns()))
                     })?;
                     let mut out_cells = Vec::with_capacity(out_count);
                     for (ct, ns) in outs {

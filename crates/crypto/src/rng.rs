@@ -77,6 +77,7 @@ impl ChaChaRng {
     /// demos; experiments should prefer [`ChaChaRng::from_seed`] for
     /// reproducibility.
     pub fn from_entropy() -> Self {
+        // hesgx-lint: allow(wall-clock, reason = "entropy seeding deliberately mixes wall time; demos only, never on a seeded replay path")
         let now = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .unwrap_or_default();

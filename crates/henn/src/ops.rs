@@ -45,6 +45,7 @@ impl OpCounter {
 ///
 /// Propagates homomorphic-operation failures.
 #[allow(clippy::too_many_arguments)]
+// hesgx-lint: hot
 pub fn he_conv2d(
     sys: &CrtPlainSystem,
     input: &EncryptedMap,
@@ -103,6 +104,7 @@ pub fn he_conv2d(
 /// # Errors
 ///
 /// Propagates homomorphic-operation failures.
+// hesgx-lint: hot
 pub fn he_fully_connected(
     sys: &CrtPlainSystem,
     input: &EncryptedMap,
@@ -141,6 +143,7 @@ pub fn he_fully_connected(
 /// # Errors
 ///
 /// Propagates homomorphic-operation failures.
+// hesgx-lint: hot
 pub fn he_scaled_mean_pool(
     sys: &CrtPlainSystem,
     input: &EncryptedMap,
@@ -155,6 +158,7 @@ pub fn he_scaled_mean_pool(
     for ch in 0..c {
         for oy in 0..oh {
             for ox in 0..ow {
+                // hesgx-lint: allow(hot-path-alloc, reason = "the window accumulator must own its ciphertext; an in-place borrow would alias the input map (ROADMAP item 1 tracks buffer reuse)")
                 let mut acc = input.cell(ch, oy * window, ox * window).clone();
                 for dy in 0..window {
                     for dx in 0..window {
@@ -182,6 +186,7 @@ pub fn he_scaled_mean_pool(
 /// # Errors
 ///
 /// Propagates homomorphic-operation failures.
+// hesgx-lint: hot
 pub fn he_square_activation(
     sys: &CrtPlainSystem,
     input: &EncryptedMap,
@@ -256,6 +261,7 @@ fn conv_cell_part(
 ///
 /// Propagates homomorphic-operation failures (lowest task index first).
 #[allow(clippy::too_many_arguments)]
+// hesgx-lint: hot
 pub fn he_conv2d_par(
     sys: &CrtPlainSystem,
     input: &EncryptedMap,
@@ -314,6 +320,7 @@ pub fn he_conv2d_par(
 /// # Errors
 ///
 /// Propagates homomorphic-operation failures (lowest task index first).
+// hesgx-lint: hot
 pub fn he_fully_connected_par(
     sys: &CrtPlainSystem,
     input: &EncryptedMap,
@@ -351,6 +358,7 @@ pub fn he_fully_connected_par(
 /// # Errors
 ///
 /// Propagates homomorphic-operation failures (lowest task index first).
+// hesgx-lint: hot
 pub fn he_scaled_mean_pool_par(
     sys: &CrtPlainSystem,
     input: &EncryptedMap,
@@ -396,6 +404,7 @@ pub fn he_scaled_mean_pool_par(
 /// # Errors
 ///
 /// Propagates homomorphic-operation failures (lowest task index first).
+// hesgx-lint: hot
 pub fn he_square_activation_par(
     sys: &CrtPlainSystem,
     input: &EncryptedMap,

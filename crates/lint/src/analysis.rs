@@ -1,0 +1,88 @@
+//! Per-file analysis bundle: the token stream, function scopes, and
+//! dataflow tables, computed once and shared by every rule.
+
+use crate::config;
+use crate::dataflow::{self, FileFlow};
+use crate::lexer::SourceFile;
+use crate::scope::{self, FnScope};
+use crate::tokens::{self, Tok};
+
+/// Everything the rules need to know about one file.
+pub struct Analysis<'a> {
+    /// The scanned file (code view, comments, test map).
+    pub file: &'a SourceFile,
+    /// The flat token stream.
+    pub toks: Vec<Tok>,
+    /// Function scopes in declaration order.
+    pub fns: Vec<FnScope>,
+    /// Binding tables (parallel to `fns`) plus file-level field/return
+    /// tables.
+    pub flow: FileFlow,
+}
+
+impl<'a> Analysis<'a> {
+    /// Runs the front end on one scanned file.
+    pub fn new(file: &'a SourceFile) -> Analysis<'a> {
+        let toks = tokens::tokenize(file);
+        let fns = scope::functions(file, &toks);
+        let tracked = config::tracked_types();
+        let flow = dataflow::analyze(&toks, &fns, &tracked);
+        Analysis {
+            file,
+            toks,
+            fns,
+            flow,
+        }
+    }
+
+    /// The index (into `fns`) of the function whose body contains token
+    /// `i`, preferring the innermost (latest-declared) match.
+    pub fn enclosing_fn(&self, i: usize) -> Option<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, s)| s.body.is_some_and(|b| b.contains(i)) || s.sig.contains(i))
+            .map(|(idx, _)| idx)
+    }
+
+    /// The tracked tag of the identifier token at `i`, resolving bindings
+    /// positionally and `self.field` reads through the field table.
+    /// Identifiers in method/field position on a non-`self` receiver are
+    /// not values and resolve to `None`.
+    pub fn tag_of(&self, i: usize) -> Option<&str> {
+        let t = self.toks.get(i)?;
+        if !t.is_ident {
+            return None;
+        }
+        if i > 0 && self.toks[i - 1].is_punct('.') {
+            // `recv.name`: only `self.field` resolves.
+            if i >= 2 && self.toks[i - 2].is("self") {
+                return self.flow.fields.get(&t.text).map(String::as_str);
+            }
+            return None;
+        }
+        let f = self.enclosing_fn(i)?;
+        self.flow.fns[f].tag_at(&t.text, i)
+    }
+
+    /// The first identifier on 0-based `line` at a column past `col` whose
+    /// dataflow tag is a secret-registry type — an alias carrying secret
+    /// material. Returns the alias text and the registry type name. The
+    /// column filter keeps receivers *before* a macro/record call (e.g.
+    /// `base.fork(&format!(..))`) from counting as leaked arguments.
+    pub fn secret_alias_after(&self, line: usize, col: usize) -> Option<(String, &'static str)> {
+        for i in 0..self.toks.len() {
+            let t = &self.toks[i];
+            if t.line != line || !t.is_ident || t.col <= col {
+                continue;
+            }
+            if let Some(tag) = self.tag_of(i) {
+                if let Some(st) = config::SECRET_TYPES.iter().find(|s| s.name == tag) {
+                    return Some((t.text.clone(), st.name));
+                }
+            }
+        }
+        None
+    }
+}

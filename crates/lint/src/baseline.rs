@@ -1,0 +1,157 @@
+//! Finding baselines: grandfather the findings a tree already has, fail
+//! CI only on *new* ones.
+//!
+//! A baseline file is a plain, diffable text format — one finding per
+//! line, tab-separated:
+//!
+//! ```text
+//! # hesgx-lint baseline — regenerate with --write-baseline
+//! wall-clock<TAB>crates/core/src/pipeline.rs<TAB>142
+//! ```
+//!
+//! `--baseline FILE` subtracts matching findings from the report (each
+//! entry forgives exactly one finding) and counts them as `grandfathered`;
+//! `--write-baseline FILE` records the current findings. The file is
+//! checked in, so shrinking it is progress reviewers can see, and a new
+//! finding — one not in the file — still fails the run.
+
+use crate::diag::Report;
+
+/// One grandfathered finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    pub rule: String,
+    pub file: String,
+    pub line: usize,
+}
+
+/// Parses a baseline file. Blank lines and `#` comments are skipped;
+/// malformed lines are reported as errors (a corrupt baseline must not
+/// silently forgive everything).
+pub fn parse(text: &str) -> Result<Vec<Entry>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let (Some(rule), Some(file), Some(line_no)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "baseline line {}: expected `rule<TAB>file<TAB>line`",
+                i + 1
+            ));
+        };
+        let line_no: usize = line_no
+            .parse()
+            .map_err(|_| format!("baseline line {}: `{line_no}` is not a line number", i + 1))?;
+        out.push(Entry {
+            rule: rule.to_string(),
+            file: file.to_string(),
+            line: line_no,
+        });
+    }
+    Ok(out)
+}
+
+/// Renders the report's findings as a baseline file.
+pub fn render(report: &Report) -> String {
+    let mut out = String::from(
+        "# hesgx-lint baseline — findings grandfathered by CI.\n\
+         # One finding per line: rule<TAB>file<TAB>line. Shrink me, never grow me;\n\
+         # regenerate with `hesgx-lint --workspace --write-baseline <this file>`.\n",
+    );
+    for d in &report.findings {
+        out.push_str(&format!("{}\t{}\t{}\n", d.rule, d.file, d.line));
+    }
+    out
+}
+
+/// Subtracts baseline entries from `report.findings` (each entry forgives
+/// one finding with the same rule/file/line) and records the count in
+/// `report.grandfathered`.
+pub fn apply(report: &mut Report, entries: &[Entry]) {
+    let mut remaining: Vec<Entry> = entries.to_vec();
+    let mut kept = Vec::with_capacity(report.findings.len());
+    for d in report.findings.drain(..) {
+        let hit = remaining
+            .iter()
+            .position(|e| e.rule == d.rule && e.file == d.file && e.line == d.line);
+        match hit {
+            Some(k) => {
+                remaining.swap_remove(k);
+                report.grandfathered += 1;
+            }
+            None => kept.push(d),
+        }
+    }
+    report.findings = kept;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Diagnostic;
+
+    fn finding(rule: &'static str, file: &str, line: usize) -> Diagnostic {
+        Diagnostic {
+            file: file.into(),
+            line,
+            rule,
+            message: "m".into(),
+            hint: "h".into(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_render_parse() {
+        let mut report = Report::default();
+        report
+            .findings
+            .push(finding("wall-clock", "crates/a/src/x.rs", 7));
+        let text = render(&report);
+        let entries = parse(&text).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].rule, "wall-clock");
+        assert_eq!(entries[0].line, 7);
+    }
+
+    #[test]
+    fn apply_forgives_listed_findings_only() {
+        let mut report = Report::default();
+        report
+            .findings
+            .push(finding("wall-clock", "crates/a/src/x.rs", 7));
+        report
+            .findings
+            .push(finding("rng-fork", "crates/a/src/x.rs", 9));
+        let entries = parse("wall-clock\tcrates/a/src/x.rs\t7\n").unwrap();
+        apply(&mut report, &entries);
+        assert_eq!(report.grandfathered, 1);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, "rng-fork");
+    }
+
+    #[test]
+    fn each_entry_forgives_once() {
+        let mut report = Report::default();
+        report
+            .findings
+            .push(finding("wall-clock", "crates/a/src/x.rs", 7));
+        report
+            .findings
+            .push(finding("wall-clock", "crates/a/src/x.rs", 7));
+        let entries = parse("wall-clock\tcrates/a/src/x.rs\t7\n").unwrap();
+        apply(&mut report, &entries);
+        assert_eq!(report.grandfathered, 1);
+        assert_eq!(report.findings.len(), 1);
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(parse("not a baseline line\n").is_err());
+        assert!(parse("rule\tfile\tNaN\n").is_err());
+        assert!(parse("# comment only\n\n").unwrap().is_empty());
+    }
+}

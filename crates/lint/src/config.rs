@@ -144,7 +144,152 @@ pub const RULE_IDS: &[&str] = &[
     "forbid-unsafe",
     "ecall-cost",
     "obs-secret-label",
+    "wall-clock",
+    "unordered-iter",
+    "rng-fork",
+    "hot-path-alloc",
+    "deprecated-api",
 ];
+
+/// One-line rule descriptions, for the SARIF rules table. Kept in the
+/// same order as [`RULE_IDS`], plus the meta `suppression` rule.
+pub const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
+    (
+        "secret-debug",
+        "registry types must not derive Debug or impl Display",
+    ),
+    (
+        "secret-pub-api",
+        "registry types stay out of foreign pub signatures",
+    ),
+    (
+        "secret-log",
+        "no format/log macro touches secret-bearing values or their aliases",
+    ),
+    ("enclave-panic", "no unwrap/expect/panic! in enclave code"),
+    (
+        "const-time",
+        "no == over secret-derived bytes in hesgx-crypto",
+    ),
+    (
+        "unsafe-safety",
+        "every unsafe block carries a SAFETY: comment",
+    ),
+    (
+        "forbid-unsafe",
+        "unsafe-free crates declare #![forbid(unsafe_code)]",
+    ),
+    (
+        "ecall-cost",
+        "every pub fn on the ECALL surface returns a cost",
+    ),
+    (
+        "obs-secret-label",
+        "obs span/counter labels never name secret material",
+    ),
+    (
+        "wall-clock",
+        "Instant::now/SystemTime::now only in the audited wall module",
+    ),
+    (
+        "unordered-iter",
+        "no HashMap/HashSet iteration feeding serialized bytes",
+    ),
+    (
+        "rng-fork",
+        "no ChaCha draws on outside-bound generators inside retry bodies",
+    ),
+    (
+        "hot-path-alloc",
+        "no per-iteration allocation in loops of `hot`-marked functions",
+    ),
+    (
+        "deprecated-api",
+        "no calls to the deprecated Session inference shims",
+    ),
+    (
+        "suppression",
+        "allow markers must be well-formed, justified, and in use",
+    ),
+];
+
+/// Paths where raw wall-clock reads are legitimate (`wall-clock` rule):
+/// the single audited accessor module and the wall-only bench crate.
+pub const WALL_OK_PATHS: &[&str] = &["crates/bench/src", "crates/tee/src/wall.rs"];
+
+/// Unordered hash containers tracked by the dataflow pass
+/// (`unordered-iter` rule).
+pub const TRACKED_CONTAINER_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Session-API types tracked for the `deprecated-api` rule (a value bound
+/// from `SessionBuilder::...` is coarsely treated as a session handle).
+pub const SESSION_TYPES: &[&str] = &["Session", "SessionBuilder"];
+
+/// The deprecated `Session` inference shims (`deprecated-api` rule).
+pub const DEPRECATED_SESSION_METHODS: &[&str] = &["infer", "infer_batch", "infer_batch_resilient"];
+
+/// Methods that iterate a container in arbitrary order
+/// (`unordered-iter` rule). `get`/`insert`/`retain`/`contains_key` are
+/// point operations and do not observe ordering.
+pub const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+];
+
+/// Function-name fragments that mark a function as feeding
+/// serialized/exported bytes (`unordered-iter` rule).
+pub const SINK_NAME_TOKENS: &[&str] = &[
+    "json",
+    "serialize",
+    "render",
+    "export",
+    "snapshot",
+    "digest",
+    "hash",
+    "report",
+    "prometheus",
+    "perfetto",
+];
+
+/// Body identifiers with the same meaning: a function whose body calls one
+/// of these produces ordering-sensitive output.
+pub const SINK_BODY_TOKENS: &[&str] = &[
+    "serialize",
+    "to_json",
+    "render_json",
+    "push_str",
+    "digest",
+    "sha256",
+    "snapshot",
+];
+
+/// Identifier fragments that mark a bare `loop` as a retry loop
+/// (`rng-fork` rule). Rejection-sampling loops speak none of these.
+pub const RETRY_VOCAB: &[&str] = &["attempt", "retry", "backoff", "reprovision"];
+
+/// ChaCha methods that are deterministic per attempt (`rng-fork` rule):
+/// deriving a child stream or copying the base does not advance shared
+/// state.
+pub const RNG_SAFE_METHODS: &[&str] = &["fork", "clone"];
+
+/// Allocating methods banned inside hot-path loops (`hot-path-alloc`).
+pub const HOT_ALLOC_METHODS: &[&str] = &["to_vec", "to_owned", "clone", "collect"];
+
+/// Every type name the dataflow pass tracks: the secret registry plus the
+/// unordered containers and the session API types.
+pub fn tracked_types() -> Vec<&'static str> {
+    SECRET_TYPES
+        .iter()
+        .map(|t| t.name)
+        .chain(TRACKED_CONTAINER_TYPES.iter().copied())
+        .chain(SESSION_TYPES.iter().copied())
+        .collect()
+}
 
 /// Whether `path` (normalized, `/`-separated) matches one of `scopes`.
 pub fn path_in(path: &str, scopes: &[&str]) -> bool {

@@ -1,0 +1,557 @@
+//! Per-function, intra-crate dataflow: a binding table that propagates
+//! *flagged type tags* through the shapes Rust code actually uses to move
+//! values around.
+//!
+//! The v1 rules matched type names on the line where they appeared, so
+//! `let alias = secret_key;` followed by `println!("{alias:?}")` slipped
+//! through, and `rng.next_u64()` looked identical whether `rng` was a
+//! `ChaChaRng` or a counter. This pass gives every function a table of
+//! `name → tag` bindings built from:
+//!
+//! - **parameters** — `fn f(rng: &mut ChaChaRng)` binds `rng`,
+//! - **annotated lets** — `let s: Session = ...`,
+//! - **constructor lets** — `let rng = ChaChaRng::from_seed(7)` (a tracked
+//!   type name immediately followed by `::` on the right-hand side),
+//! - **aliases** — `let b = a;`, `let b = &a;`, and tag-preserving method
+//!   chains (`a.clone()`, `a.fork(..)`, `a.lock()`, ...),
+//! - **field reads** — `let r = self.rng;` via the file-level field table,
+//! - **same-file returns** — `let s = make_session();` when `fn
+//!   make_session() -> Session` lives in the same file,
+//! - **match/if-let arms** — `match x { Some(y) => ... }` binds `y` with
+//!   `x`'s tag (single-identifier constructor patterns).
+//!
+//! Bindings record their declaration token, so lookups are positional
+//! (latest declaration before the use wins) and shadowing with an
+//! untracked value kills the tag. The analysis is deliberately
+//! intra-file: it never chases imports, which keeps it fast, dependency-
+//! free, and predictable — the property a lint that gates CI needs most.
+
+use crate::scope::{FnScope, Span};
+use crate::tokens::{matching, Tok};
+use std::collections::BTreeMap;
+
+/// One name→tag binding inside a function.
+#[derive(Debug, Clone)]
+pub struct Binding {
+    /// The bound name.
+    pub name: String,
+    /// The tracked type tag, or `None` for a shadowing untracked binding.
+    pub tag: Option<String>,
+    /// Token index of the declaration (lookups are positional).
+    pub decl_tok: usize,
+}
+
+/// The binding table of one function (parallel to the scope list).
+#[derive(Debug, Default)]
+pub struct FnFlow {
+    pub bindings: Vec<Binding>,
+}
+
+impl FnFlow {
+    /// The tag of `name` as visible at token index `at`: the latest
+    /// declaration at or before `at` wins; an untracked shadow kills the
+    /// tag.
+    pub fn tag_at(&self, name: &str, at: usize) -> Option<&str> {
+        self.bindings
+            .iter()
+            .rev()
+            .find(|b| b.name == name && b.decl_tok <= at)
+            .and_then(|b| b.tag.as_deref())
+    }
+}
+
+/// File-level flow facts shared by every function in the file.
+#[derive(Debug, Default)]
+pub struct FileFlow {
+    /// Struct-field name → tag, from declarations outside any `fn`.
+    pub fields: BTreeMap<String, String>,
+    /// Function name → tag of its declared return type (same file).
+    pub fn_returns: BTreeMap<String, String>,
+    /// Per-function binding tables, parallel to the scope list.
+    pub fns: Vec<FnFlow>,
+}
+
+/// Methods that preserve the receiver's tag when their result is bound
+/// (`let b = a.clone()` still holds the flagged value).
+const TAG_PRESERVING: &[&str] = &[
+    "clone",
+    "fork",
+    "lock",
+    "read",
+    "write",
+    "borrow",
+    "borrow_mut",
+    "as_ref",
+    "as_mut",
+    "get_mut",
+    "unwrap",
+    "expect",
+];
+
+/// Wrapper/constructor heads to skip when finding the value an RHS hands
+/// back (`let b = Box::new(a)` still binds `a`'s tag — coarsely).
+const HEAD_SKIP: &[&str] = &[
+    "match", "Some", "Ok", "Box", "Arc", "Rc", "Mutex", "RwLock", "RefCell", "mut", "ref", "move",
+];
+
+/// Builds the full file flow for `toks`/`scopes`, tracking `tracked` type
+/// names.
+pub fn analyze(toks: &[Tok], scopes: &[FnScope], tracked: &[&str]) -> FileFlow {
+    let mut flow = FileFlow {
+        fields: field_table(toks, scopes, tracked),
+        fn_returns: return_table(scopes, tracked),
+        fns: Vec::with_capacity(scopes.len()),
+    };
+    for scope in scopes {
+        let mut fn_flow = FnFlow::default();
+        bind_params(toks, scope, tracked, &mut fn_flow);
+        if let Some(body) = scope.body {
+            bind_body(toks, body, tracked, &flow, &mut fn_flow);
+        }
+        flow.fns.push(fn_flow);
+    }
+    flow
+}
+
+/// Whether token index `i` lies inside any function signature or body.
+fn inside_fn(scopes: &[FnScope], i: usize) -> bool {
+    scopes
+        .iter()
+        .any(|s| s.sig.contains(i) || s.body.is_some_and(|b| b.contains(i)))
+}
+
+/// Field declarations outside functions: `name: ...Tracked...,`.
+fn field_table(toks: &[Tok], scopes: &[FnScope], tracked: &[&str]) -> BTreeMap<String, String> {
+    let mut fields = BTreeMap::new();
+    let mut k = 0;
+    while k + 1 < toks.len() {
+        if inside_fn(scopes, k) || !toks[k].is_ident || !toks[k + 1].is_punct(':') {
+            k += 1;
+            continue;
+        }
+        // `::` is a path, not a field annotation.
+        if toks.get(k + 2).is_some_and(|t| t.is_punct(':')) || (k > 0 && toks[k - 1].is_punct(':'))
+        {
+            k += 1;
+            continue;
+        }
+        // Type region: up to `,`, `;`, or `}` (nesting inside `<...>` never
+        // contains those in a field type).
+        let mut m = k + 2;
+        let mut tag = None;
+        while m < toks.len() {
+            let t = &toks[m];
+            if t.is_punct(',') || t.is_punct(';') || t.is_punct('}') || t.is_punct('{') {
+                break;
+            }
+            if tag.is_none() && t.is_ident && tracked.contains(&t.text.as_str()) {
+                tag = Some(t.text.clone());
+            }
+            m += 1;
+        }
+        if let Some(tag) = tag {
+            fields.insert(toks[k].text.clone(), tag);
+        }
+        k = m;
+    }
+    fields
+}
+
+/// Function name → tracked return-type tag.
+fn return_table(scopes: &[FnScope], tracked: &[&str]) -> BTreeMap<String, String> {
+    let mut map = BTreeMap::new();
+    for s in scopes {
+        if let Some(tag) = s.ret_idents.iter().find(|r| tracked.contains(&r.as_str())) {
+            map.insert(s.name.clone(), tag.clone());
+        }
+    }
+    map
+}
+
+/// Binds tracked parameters from the signature span.
+fn bind_params(toks: &[Tok], scope: &FnScope, tracked: &[&str], out: &mut FnFlow) {
+    let sig = scope.sig;
+    let mut k = sig.start;
+    while k < sig.end {
+        if toks[k].is_ident
+            && toks[k + 1].is_punct(':')
+            && !toks.get(k + 2).is_some_and(|t| t.is_punct(':'))
+            && !(k > 0 && toks[k - 1].is_punct(':'))
+        {
+            // Type region until `,` at paren depth 1 or the closing `)`.
+            let mut depth = 0i64;
+            let mut m = k + 2;
+            let mut tag = None;
+            while m <= sig.end {
+                let t = &toks[m];
+                if t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                } else if t.is_punct(',') && depth == 0 {
+                    break;
+                } else if tag.is_none() && t.is_ident && tracked.contains(&t.text.as_str()) {
+                    tag = Some(t.text.clone());
+                }
+                m += 1;
+            }
+            if let Some(tag) = tag {
+                out.bindings.push(Binding {
+                    name: toks[k].text.clone(),
+                    tag: Some(tag),
+                    decl_tok: k,
+                });
+            }
+            k = m;
+            continue;
+        }
+        k += 1;
+    }
+}
+
+/// Walks a function body binding `let` statements and match arms.
+fn bind_body(toks: &[Tok], body: Span, tracked: &[&str], file: &FileFlow, out: &mut FnFlow) {
+    let mut k = body.start + 1;
+    while k < body.end {
+        if toks[k].is("let") {
+            k = bind_let(toks, k, body.end, tracked, file, out);
+            continue;
+        }
+        if toks[k].is("match") {
+            bind_match_arms(toks, k, body.end, file, out);
+        }
+        k += 1;
+    }
+}
+
+/// Handles one `let` starting at index `at`; returns the index to resume
+/// scanning from.
+fn bind_let(
+    toks: &[Tok],
+    at: usize,
+    limit: usize,
+    tracked: &[&str],
+    file: &FileFlow,
+    out: &mut FnFlow,
+) -> usize {
+    let mut k = at + 1;
+    if toks.get(k).is_some_and(|t| t.is("mut")) {
+        k += 1;
+    }
+    let Some(name_tok) = toks.get(k) else {
+        return at + 1;
+    };
+    if !name_tok.is_ident {
+        return at + 1; // tuple/slice pattern: out of scope for this pass
+    }
+    let mut name_idx = k;
+    // `let Some(y) = ...` / `let Ok(mut y) = ...`: a capitalized
+    // constructor pattern — the bound name sits inside the parens.
+    if name_tok.text.starts_with(char::is_uppercase)
+        && toks.get(k + 1).is_some_and(|t| t.is_punct('('))
+    {
+        let close = matching(toks, k + 1).unwrap_or(k + 1);
+        match (k + 2..close).find(|&m| toks[m].is_ident && !toks[m].is("mut") && !toks[m].is("ref"))
+        {
+            Some(inner) => {
+                name_idx = inner;
+                k = close;
+            }
+            None => return k + 1,
+        }
+    }
+    let name = toks[name_idx].text.clone();
+    let mut m = k + 1;
+    let mut tag = None;
+    // Optional `: Type` annotation.
+    if toks.get(m).is_some_and(|t| t.is_punct(':'))
+        && !toks.get(m + 1).is_some_and(|t| t.is_punct(':'))
+    {
+        let mut depth = 0i64;
+        m += 1;
+        while m < limit {
+            let t = &toks[m];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if (t.is_punct('=') || t.is_punct(';')) && depth <= 0 {
+                break;
+            } else if tag.is_none() && t.is_ident && tracked.contains(&t.text.as_str()) {
+                tag = Some(t.text.clone());
+            }
+            m += 1;
+        }
+    }
+    // RHS: from `=` to the statement end.
+    if toks.get(m).is_some_and(|t| t.is_punct('=')) {
+        let rhs_start = m + 1;
+        let rhs_end = rhs_limit(toks, rhs_start, limit);
+        if tag.is_none() {
+            tag = rhs_tag(toks, rhs_start, rhs_end, tracked, file, out);
+        }
+        m = rhs_end;
+    }
+    out.bindings.push(Binding {
+        name,
+        tag,
+        decl_tok: name_idx,
+    });
+    m.max(at + 1)
+}
+
+/// The exclusive end of an RHS scan: the statement `;` or an opening `{`
+/// at nesting depth 0 (so `let y = match x {` stops before the arms).
+fn rhs_limit(toks: &[Tok], start: usize, limit: usize) -> usize {
+    let mut depth = 0i64;
+    let mut m = start;
+    while m < limit {
+        let t = &toks[m];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if (t.is_punct(';') || t.is_punct('{')) && depth <= 0 {
+            return m;
+        }
+        m += 1;
+    }
+    m
+}
+
+/// Infers the tag an RHS hands to its binding.
+fn rhs_tag(
+    toks: &[Tok],
+    start: usize,
+    end: usize,
+    tracked: &[&str],
+    file: &FileFlow,
+    out: &FnFlow,
+) -> Option<String> {
+    // Constructor: a tracked type name immediately followed by `::`.
+    for m in start..end {
+        if toks[m].is_ident
+            && tracked.contains(&toks[m].text.as_str())
+            && toks.get(m + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(m + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            return Some(toks[m].text.clone());
+        }
+    }
+    // Head value: the first identifier that is not a wrapper keyword.
+    let head =
+        (start..end).find(|&m| toks[m].is_ident && !HEAD_SKIP.contains(&toks[m].text.as_str()))?;
+    let (source_tag, mut chain_at) = if toks[head].is("self") {
+        // `self.field` — resolve through the field table; `self.method()`
+        // through the same-file return table.
+        let f = head + 2;
+        if !toks.get(head + 1).is_some_and(|t| t.is_punct('.'))
+            || !toks.get(f).is_some_and(|t| t.is_ident)
+        {
+            return None;
+        }
+        let name = toks[f].text.as_str();
+        match file.fields.get(name) {
+            Some(tag) => (tag.clone(), f + 1),
+            None => return file.fn_returns.get(name).cloned(),
+        }
+    } else if let Some(tag) = out.tag_at(&toks[head].text, head) {
+        (tag.to_string(), head + 1)
+    } else if let Some(tag) = file.fn_returns.get(&toks[head].text) {
+        // Same-file free-function call: `let s = make_session();`.
+        return toks
+            .get(head + 1)
+            .is_some_and(|t| t.is_punct('('))
+            .then(|| tag.clone());
+    } else {
+        return None;
+    };
+    // Follow the method chain: propagate only through tag-preserving
+    // calls; any other method ends the value's identity.
+    loop {
+        let Some(dot) = toks.get(chain_at) else {
+            return Some(source_tag);
+        };
+        if chain_at >= end || !dot.is_punct('.') {
+            return Some(source_tag);
+        }
+        let Some(method) = toks.get(chain_at + 1) else {
+            return Some(source_tag);
+        };
+        if !method.is_ident {
+            return Some(source_tag);
+        }
+        if !TAG_PRESERVING.contains(&method.text.as_str()) {
+            return None;
+        }
+        // Skip the argument list, if any.
+        chain_at += 2;
+        if toks.get(chain_at).is_some_and(|t| t.is_punct('(')) {
+            chain_at = matching(toks, chain_at).map_or(end, |c| c + 1);
+        }
+    }
+}
+
+/// Binds single-identifier constructor patterns of `match` arms when the
+/// scrutinee is tracked: `match x { Some(y) => ... }` binds `y`.
+fn bind_match_arms(toks: &[Tok], at: usize, limit: usize, file: &FileFlow, out: &mut FnFlow) {
+    // Scrutinee: tokens between `match` and its `{`.
+    let Some(open) = (at + 1..limit).find(|&m| toks[m].is_punct('{')) else {
+        return;
+    };
+    let scrutinee_tag = (at + 1..open).find_map(|m| {
+        if !toks[m].is_ident {
+            return None;
+        }
+        if toks[m].is("self") {
+            let f = m + 2;
+            if toks.get(m + 1).is_some_and(|t| t.is_punct('.'))
+                && toks.get(f).is_some_and(|t| t.is_ident)
+            {
+                return file.fields.get(&toks[f].text).cloned();
+            }
+            return None;
+        }
+        out.tag_at(&toks[m].text, m).map(str::to_string)
+    });
+    let Some(tag) = scrutinee_tag else {
+        return;
+    };
+    let Some(close) = matching(toks, open) else {
+        return;
+    };
+    // Arms: `Ctor(name) =>` — the ident just before a `)` that precedes `=>`.
+    for m in open + 1..close.min(limit) {
+        if !(toks[m].is_punct('=') && toks.get(m + 1).is_some_and(|t| t.is_punct('>'))) {
+            continue;
+        }
+        if m < 2 || !toks[m - 1].is_punct(')') {
+            continue;
+        }
+        let name_idx = m - 2;
+        if toks[name_idx].is_ident
+            && !toks[name_idx].is("mut")
+            && toks[name_idx].text.starts_with(char::is_lowercase)
+        {
+            out.bindings.push(Binding {
+                name: toks[name_idx].text.clone(),
+                tag: Some(tag.clone()),
+                decl_tok: name_idx,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::SourceFile;
+    use crate::scope::functions;
+    use crate::tokens::tokenize;
+
+    const TRACKED: &[&str] = &["ChaChaRng", "SecretKey", "HashMap", "Session"];
+
+    fn flow_of(src: &str) -> (Vec<Tok>, FileFlow) {
+        let f = SourceFile::scan("crates/x/src/a.rs", src);
+        let toks = tokenize(&f);
+        let scopes = functions(&f, &toks);
+        let flow = analyze(&toks, &scopes, TRACKED);
+        (toks, flow)
+    }
+
+    fn tag_of<'a>(toks: &[Tok], flow: &'a FileFlow, fn_idx: usize, name: &str) -> Option<&'a str> {
+        flow.fns[fn_idx].tag_at(name, toks.len())
+    }
+
+    #[test]
+    fn params_are_bound() {
+        let (toks, flow) = flow_of("fn f(rng: &mut ChaChaRng, n: usize) {}\n");
+        assert_eq!(tag_of(&toks, &flow, 0, "rng"), Some("ChaChaRng"));
+        assert_eq!(tag_of(&toks, &flow, 0, "n"), None);
+    }
+
+    #[test]
+    fn annotated_and_constructor_lets_are_bound() {
+        let (toks, flow) = flow_of(
+            "fn f() {\n    let s: Session = connect();\n    let rng = ChaChaRng::from_seed(7);\n}\n",
+        );
+        assert_eq!(tag_of(&toks, &flow, 0, "s"), Some("Session"));
+        assert_eq!(tag_of(&toks, &flow, 0, "rng"), Some("ChaChaRng"));
+    }
+
+    #[test]
+    fn aliases_and_preserving_chains_propagate() {
+        let (toks, flow) = flow_of(
+            "fn f(key: SecretKey) {\n    let a = key;\n    let b = a.clone();\n    let c = b.fork(\"x\");\n    let d = c.len();\n}\n",
+        );
+        assert_eq!(tag_of(&toks, &flow, 0, "a"), Some("SecretKey"));
+        assert_eq!(tag_of(&toks, &flow, 0, "b"), Some("SecretKey"));
+        assert_eq!(tag_of(&toks, &flow, 0, "c"), Some("SecretKey"));
+        assert_eq!(tag_of(&toks, &flow, 0, "d"), None);
+    }
+
+    #[test]
+    fn untracked_shadow_kills_the_tag() {
+        let (toks, flow) =
+            flow_of("fn f(rng: ChaChaRng) {\n    let rng = 5;\n    let x = rng;\n}\n");
+        assert_eq!(tag_of(&toks, &flow, 0, "rng"), None);
+        assert_eq!(tag_of(&toks, &flow, 0, "x"), None);
+    }
+
+    #[test]
+    fn field_table_resolves_self_reads() {
+        let (toks, flow) = flow_of(
+            "struct W {\n    rng: Mutex<ChaChaRng>,\n}\nimpl W {\n    fn f(&self) {\n        let r = self.rng.lock();\n    }\n}\n",
+        );
+        assert_eq!(
+            flow.fields.get("rng").map(String::as_str),
+            Some("ChaChaRng")
+        );
+        assert_eq!(tag_of(&toks, &flow, 0, "r"), Some("ChaChaRng"));
+    }
+
+    #[test]
+    fn same_file_return_types_propagate() {
+        let (toks, flow) =
+            flow_of("fn make() -> Session {\n    connect()\n}\nfn g() {\n    let s = make();\n}\n");
+        assert_eq!(
+            flow.fn_returns.get("make").map(String::as_str),
+            Some("Session")
+        );
+        assert_eq!(tag_of(&toks, &flow, 1, "s"), Some("Session"));
+    }
+
+    #[test]
+    fn if_let_constructor_pattern_binds_inner_name() {
+        let (toks, flow) = flow_of(
+            "fn f(opt: Option<SecretKey>) {\n    if let Some(k) = opt {\n        use_it(k);\n    }\n}\n",
+        );
+        assert_eq!(tag_of(&toks, &flow, 0, "k"), Some("SecretKey"));
+    }
+
+    #[test]
+    fn match_arms_bind_the_scrutinee_tag() {
+        let (toks, flow) = flow_of(
+            "fn f(opt: Option<ChaChaRng>) {\n    match opt {\n        Some(inner) => draw(inner),\n        None => {}\n    }\n}\n",
+        );
+        assert_eq!(tag_of(&toks, &flow, 0, "inner"), Some("ChaChaRng"));
+    }
+
+    #[test]
+    fn match_on_untracked_scrutinee_binds_nothing() {
+        let (toks, flow) = flow_of(
+            "fn f(opt: Option<u64>) {\n    match opt {\n        Some(inner) => use_it(inner),\n        None => {}\n    }\n}\n",
+        );
+        assert_eq!(tag_of(&toks, &flow, 0, "inner"), None);
+    }
+
+    #[test]
+    fn non_preserving_method_ends_the_chain() {
+        let (toks, flow) = flow_of("fn f(m: HashMap<u64, u64>) {\n    let n = m.len();\n}\n");
+        assert_eq!(tag_of(&toks, &flow, 0, "n"), None);
+        assert_eq!(tag_of(&toks, &flow, 0, "m"), Some("HashMap"));
+    }
+}

@@ -24,21 +24,40 @@
 //! | `forbid-unsafe` | unsafe-free crates declare `#![forbid(unsafe_code)]`   |
 //! | `ecall-cost`    | every `pub fn` on the ECALL surface returns a cost     |
 //! | `obs-secret-label` | obs span/counter labels never name secret material  |
+//! | `wall-clock`    | raw clock reads only in the audited wall module        |
+//! | `unordered-iter`| no HashMap/HashSet iteration feeding exported bytes    |
+//! | `rng-fork`      | retry bodies fork the RNG; they never share a stream   |
+//! | `hot-path-alloc`| no per-iteration allocation in `hot`-marked functions  |
+//! | `deprecated-api`| no calls to the deprecated `Session` inference shims   |
+//!
+//! The v2 front end layers a token stream ([`tokens`]), function scopes
+//! ([`scope`]), and a per-function binding table ([`dataflow`]) over the
+//! v1 line scanner; the last five rules — and the alias-taint upgrade to
+//! `secret-log`/`obs-secret-label` — consume that [`analysis::Analysis`]
+//! bundle rather than raw lines.
 //!
 //! Findings are suppressed inline — with a mandatory reason — via
-//! `// hesgx-lint: allow(<rule>, reason = "...")`.
+//! `// hesgx-lint: allow(<rule>, reason = "...")`; pre-existing findings
+//! can be grandfathered through a checked-in [`baseline`] file so CI fails
+//! only on new ones.
 
 #![forbid(unsafe_code)]
 
+pub mod analysis;
+pub mod baseline;
 pub mod config;
+pub mod dataflow;
 pub mod diag;
 pub mod lexer;
 pub mod rules;
+pub mod sarif;
+pub mod scope;
 pub mod suppress;
+pub mod tokens;
 
-use diag::Report;
+use diag::{Report, StaleSuppression};
 use lexer::SourceFile;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 /// Lints a set of scanned files and produces the final report:
@@ -49,8 +68,9 @@ pub fn lint_sources(files: &[SourceFile]) -> Report {
         files: files.len(),
         ..Report::default()
     };
-    // Crate-level unsafe inventory for the forbid-unsafe rule.
-    let mut crate_has_unsafe: HashMap<String, bool> = HashMap::new();
+    // Crate-level unsafe inventory for the forbid-unsafe rule. BTreeMap:
+    // the lint's own output must never depend on hash-iteration order.
+    let mut crate_has_unsafe: BTreeMap<String, bool> = BTreeMap::new();
     for f in files {
         if let Some(root) = crate_src_root(&f.path) {
             let entry = crate_has_unsafe.entry(root).or_insert(false);
@@ -59,7 +79,8 @@ pub fn lint_sources(files: &[SourceFile]) -> Report {
     }
     for file in files {
         let (mut sups, meta_diags) = suppress::parse(file);
-        let mut findings = rules::check_file(file);
+        let a = analysis::Analysis::new(file);
+        let mut findings = rules::check_file(&a);
         if let Some(root) = crate_src_root(&file.path) {
             let is_lib = file.path == format!("{root}/lib.rs");
             if is_lib
@@ -80,6 +101,15 @@ pub fn lint_sources(files: &[SourceFile]) -> Report {
                 }
                 None => report.findings.push(d),
             }
+        }
+        // A marker that silenced nothing is both a finding (the run fails)
+        // and an itemized `stale_suppressions` entry in the JSON audit view.
+        for s in sups.iter().filter(|s| !s.used) {
+            report.stale.push(StaleSuppression {
+                file: file.path.clone(),
+                line: s.marker_line,
+                rule: s.rule.clone(),
+            });
         }
         report.findings.extend(suppress::unused_diags(file, &sups));
         report.findings.extend(meta_diags);
@@ -199,6 +229,9 @@ mod tests {
             .findings
             .iter()
             .any(|d| d.rule == "suppression" && d.message.contains("suppresses nothing")));
+        assert_eq!(report.stale.len(), 1);
+        assert_eq!(report.stale[0].rule, "enclave-panic");
+        assert_eq!(report.stale[0].line, 2);
     }
 
     #[test]

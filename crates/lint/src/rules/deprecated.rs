@@ -1,0 +1,120 @@
+//! `deprecated-api` — calls to the deprecated `Session` inference shims.
+//!
+//! PR 6 made `Session::serve` the one request/response entry point;
+//! `infer`, `infer_batch`, and `infer_batch_resilient` remain only as
+//! `#[deprecated]` forwarding shims for downstream code mid-migration.
+//! rustc's own deprecation warning fires at compile time, but only inside
+//! this workspace and only when the call isn't wrapped in
+//! `#[allow(deprecated)]`; this rule makes the migration debt visible to
+//! the lint gate (and its baseline workflow) instead. The receiver must be
+//! `Session`-typed per the dataflow pass, so `CryptoNetsHE::infer` and
+//! `HybridInference::infer` — legitimate, non-deprecated APIs — never
+//! match.
+
+use crate::analysis::Analysis;
+use crate::config::{DEPRECATED_SESSION_METHODS, SESSION_TYPES};
+use crate::diag::Diagnostic;
+
+/// Runs the rule on one analyzed file.
+pub fn check(a: &Analysis) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (f_idx, scope) in a.fns.iter().enumerate() {
+        if scope.is_test {
+            continue;
+        }
+        let Some(body) = scope.body else {
+            continue;
+        };
+        for i in body.start + 1..body.end {
+            let t = &a.toks[i];
+            // `recv.method(` where method is a deprecated shim.
+            if !t.is_ident || !DEPRECATED_SESSION_METHODS.contains(&t.text.as_str()) {
+                continue;
+            }
+            if !(i > 0
+                && a.toks[i - 1].is_punct('.')
+                && a.toks.get(i + 1).is_some_and(|p| p.is_punct('(')))
+            {
+                continue;
+            }
+            // Resolve the receiver: the identifier before the dot (or a
+            // `self.field`).
+            let r = i - 2;
+            let Some(recv) = a.toks.get(r).filter(|t| t.is_ident) else {
+                continue;
+            };
+            let tag = if r >= 2 && a.toks[r - 1].is_punct('.') && a.toks[r - 2].is("self") {
+                a.flow.fields.get(&recv.text).map(String::as_str)
+            } else {
+                a.flow.fns[f_idx].tag_at(&recv.text, r)
+            };
+            if !tag.is_some_and(|tag| SESSION_TYPES.contains(&tag)) {
+                continue;
+            }
+            out.push(Diagnostic {
+                file: a.file.path.clone(),
+                line: t.line + 1,
+                rule: "deprecated-api",
+                message: format!(
+                    "call to deprecated `Session::{}` shim in `{}`",
+                    t.text, scope.name
+                ),
+                hint: "migrate to `Session::serve(InferRequest::single(..)/batch(..))` — \
+                       the shims forward there and will be removed"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::SourceFile;
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::scan("crates/x/src/a.rs", src);
+        let a = Analysis::new(&f);
+        check(&a)
+    }
+
+    #[test]
+    fn session_typed_receiver_calling_shim_is_flagged() {
+        let d = diags(
+            "fn classify(session: &Session, image: &[i64]) {\n    session.infer(image);\n}\n",
+        );
+        assert!(d.iter().any(|d| d.rule == "deprecated-api" && d.line == 2));
+    }
+
+    #[test]
+    fn builder_bound_session_is_tracked() {
+        let d = diags(
+            "fn run(cfg: Config) {\n    let session = SessionBuilder::new(cfg).build();\n    session.infer_batch(&images);\n}\n",
+        );
+        assert!(d.iter().any(|d| d.rule == "deprecated-api" && d.line == 3));
+    }
+
+    #[test]
+    fn non_session_infer_is_not_deprecated() {
+        let d =
+            diags("fn run(engine: &CryptoNetsHE, image: &[i64]) {\n    engine.infer(image);\n}\n");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn serve_on_session_is_fine() {
+        let d = diags(
+            "fn classify(session: &Session, image: &[i64]) {\n    session.serve(InferRequest::single(image.to_vec()));\n}\n",
+        );
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let d = diags(
+            "#[cfg(test)]\nmod tests {\n    fn t(session: &Session) {\n        session.infer(&[]);\n    }\n}\n",
+        );
+        assert!(d.is_empty());
+    }
+}

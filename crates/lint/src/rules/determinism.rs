@@ -1,0 +1,406 @@
+//! Determinism rule family: the replay contract (DESIGN.md §12–§14) says
+//! every exported byte — ciphertexts, obs snapshots, traces, load reports —
+//! must be a pure function of `(inputs, seed, config)`. Three ways code
+//! breaks that, each with a rule:
+//!
+//! - `wall-clock` — `Instant::now()` / `SystemTime::now()` outside the
+//!   audited `hesgx_tee::wall` module (or the wall-only bench crate). Raw
+//!   wall reads are how nondeterminism leaks into cost floors and metrics.
+//! - `unordered-iter` — iterating a `HashMap`/`HashSet` in a function that
+//!   feeds serialized/exported bytes. Hash iteration order is randomized
+//!   per process; anything rendered from it diverges across runs.
+//! - `rng-fork` — drawing from a `ChaChaRng` that was bound *outside* a
+//!   retry body, *inside* that body. Each attempt then advances the shared
+//!   stream, so the value a request sees depends on how many retries
+//!   happened before it — the exact PR 4 bug class. The sanctioned shape
+//!   forks a per-call base outside the retry and clones/forks per attempt.
+
+use crate::analysis::Analysis;
+use crate::config::{
+    path_in, ITER_METHODS, RETRY_VOCAB, RNG_SAFE_METHODS, SINK_BODY_TOKENS, SINK_NAME_TOKENS,
+    WALL_OK_PATHS,
+};
+use crate::diag::Diagnostic;
+use crate::scope::Span;
+use crate::tokens::{matching, seq, Tok};
+
+/// Runs the three determinism rules on one analyzed file.
+pub fn check(a: &Analysis) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    check_wall_clock(a, &mut out);
+    check_unordered_iter(a, &mut out);
+    check_rng_fork(a, &mut out);
+    out
+}
+
+/// `wall-clock`: raw monotonic/system clock reads.
+fn check_wall_clock(a: &Analysis, out: &mut Vec<Diagnostic>) {
+    if path_in(&a.file.path, WALL_OK_PATHS) {
+        return;
+    }
+    for (i, t) in a.toks.iter().enumerate() {
+        if !(t.is("Instant") || t.is("SystemTime")) {
+            continue;
+        }
+        if !seq(&a.toks, i + 1, &[":", ":", "now"]) {
+            continue;
+        }
+        if a.file.in_test.get(t.line).copied().unwrap_or(false) {
+            continue;
+        }
+        out.push(Diagnostic {
+            file: a.file.path.clone(),
+            line: t.line + 1,
+            rule: "wall-clock",
+            message: format!(
+                "`{}::now()` outside the audited wall-clock module — raw wall reads \
+                 undermine the replay contract",
+                t.text
+            ),
+            hint: "route timing through `hesgx_tee::wall::WallTimer` (crates/bench is \
+                   wall-only and exempt); wall time must never reach exported bytes"
+                .into(),
+        });
+    }
+}
+
+/// `unordered-iter`: hash-container iteration in serializer-feeding code.
+fn check_unordered_iter(a: &Analysis, out: &mut Vec<Diagnostic>) {
+    for (f_idx, scope) in a.fns.iter().enumerate() {
+        if scope.is_test {
+            continue;
+        }
+        let Some(body) = scope.body else {
+            continue;
+        };
+        if !feeds_exported_bytes(a, scope.name.as_str(), body) {
+            continue;
+        }
+        let mut seen_lines: Vec<usize> = Vec::new();
+        let mut fire = |a: &Analysis, tok: &Tok, name: &str, out: &mut Vec<Diagnostic>| {
+            if seen_lines.contains(&tok.line) {
+                return;
+            }
+            seen_lines.push(tok.line);
+            out.push(Diagnostic {
+                file: a.file.path.clone(),
+                line: tok.line + 1,
+                rule: "unordered-iter",
+                message: format!(
+                    "iteration over unordered hash container `{name}` in `{}`, which \
+                     feeds serialized/exported bytes",
+                    scope.name
+                ),
+                hint: "use BTreeMap/BTreeSet (ordered) or collect and sort before \
+                       rendering — hash iteration order varies per process"
+                    .into(),
+            });
+        };
+        for i in body.start + 1..body.end {
+            let t = &a.toks[i];
+            if !t.is_ident {
+                continue;
+            }
+            let tag = tag_or_field(a, f_idx, i);
+            let hashy = matches!(tag, Some("HashMap" | "HashSet"));
+            if !hashy {
+                continue;
+            }
+            // `x.iter()` / `.keys()` / ... method iteration.
+            if a.toks.get(i + 1).is_some_and(|p| p.is_punct('.'))
+                && a.toks
+                    .get(i + 2)
+                    .is_some_and(|m| m.is_ident && ITER_METHODS.contains(&m.text.as_str()))
+                && a.toks.get(i + 3).is_some_and(|p| p.is_punct('('))
+            {
+                fire(a, t, &t.text, out);
+                continue;
+            }
+            // `for k in x {` / `for (k, v) in &x {` header iteration.
+            if in_for_header(&a.toks, body, i) {
+                fire(a, t, &t.text, out);
+            }
+        }
+    }
+}
+
+/// Whether the tagged identifier at `i` sits between a `for ... in` and the
+/// loop's opening `{` (i.e. it is the iterated expression).
+fn in_for_header(toks: &[Tok], body: Span, i: usize) -> bool {
+    // Walk back to an `in` with a `for` before it, without crossing `{`/`;`.
+    let mut k = i;
+    let mut saw_in = false;
+    while k > body.start {
+        k -= 1;
+        let t = &toks[k];
+        if t.is_punct('{') || t.is_punct(';') || t.is_punct('}') {
+            return false;
+        }
+        if t.is("in") {
+            saw_in = true;
+        }
+        if t.is("for") {
+            return saw_in;
+        }
+    }
+    false
+}
+
+/// Whether `scope` feeds serialized/exported bytes: its name or its body
+/// tokens mention a serialization/digest/report surface.
+fn feeds_exported_bytes(a: &Analysis, name: &str, body: Span) -> bool {
+    let lname = name.to_ascii_lowercase();
+    if SINK_NAME_TOKENS.iter().any(|s| lname.contains(s)) {
+        return true;
+    }
+    a.toks[body.start..=body.end].iter().any(|t| {
+        t.is_ident && {
+            let lt = t.text.to_ascii_lowercase();
+            SINK_BODY_TOKENS.iter().any(|s| lt == *s)
+        }
+    })
+}
+
+/// `rng-fork`: draws on an outside-bound ChaChaRng inside a retry body.
+fn check_rng_fork(a: &Analysis, out: &mut Vec<Diagnostic>) {
+    for (f_idx, scope) in a.fns.iter().enumerate() {
+        if scope.is_test {
+            continue;
+        }
+        let mut spans: Vec<Span> = scope.retry_spans.clone();
+        // Bare `loop` bodies whose identifiers speak retry vocabulary are
+        // retry loops too (rejection-sampling loops are not: they mention
+        // no attempts/backoff).
+        for l in &scope.loops {
+            if l.keyword == "loop" && has_retry_vocab(&a.toks, l.body) {
+                spans.push(l.body);
+            }
+        }
+        for span in spans {
+            for i in span.start + 1..span.end {
+                let t = &a.toks[i];
+                if !t.is_ident {
+                    continue;
+                }
+                // Receiver must be ChaCha-tagged and bound OUTSIDE the span
+                // (fields count as outside by construction).
+                if tag_or_field(a, f_idx, i) != Some("ChaChaRng") {
+                    continue;
+                }
+                if bound_inside(a, f_idx, i, span) {
+                    continue;
+                }
+                // A use is a method call: `.m(`; `.fork`/`.clone` are the
+                // sanctioned per-attempt derivations. `.lock()` is safe
+                // only when immediately re-forked/cloned.
+                if !a.toks.get(i + 1).is_some_and(|p| p.is_punct('.')) {
+                    continue;
+                }
+                let Some(m) = a.toks.get(i + 2).filter(|m| m.is_ident) else {
+                    continue;
+                };
+                if RNG_SAFE_METHODS.contains(&m.text.as_str()) {
+                    continue;
+                }
+                if m.is("lock") && lock_then_safe(&a.toks, i + 3) {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    file: a.file.path.clone(),
+                    line: t.line + 1,
+                    rule: "rng-fork",
+                    message: format!(
+                        "ChaCha draw via `{}.{}` inside a retry body in `{}` — each \
+                         attempt advances the shared stream, so outcomes depend on \
+                         retry count",
+                        t.text, m.text, scope.name
+                    ),
+                    hint: "fork a per-call base outside the retry (`let base = \
+                           rng.fork(label)`) and derive per attempt with `base.clone()` \
+                           or `base.fork(cell)`"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+/// Whether the receiver at `i` is a binding declared inside `span` (a
+/// per-attempt local, which is the sanctioned pattern).
+fn bound_inside(a: &Analysis, f_idx: usize, i: usize, span: Span) -> bool {
+    let name = &a.toks[i].text;
+    if i > 0 && a.toks[i - 1].is_punct('.') {
+        return false; // `self.field`: fields live outside every span
+    }
+    a.flow.fns[f_idx]
+        .bindings
+        .iter()
+        .rev()
+        .find(|b| &b.name == name && b.decl_tok <= i)
+        .is_some_and(|b| span.contains(b.decl_tok))
+}
+
+/// Whether `(` at `open` is a `.lock()` whose result is immediately
+/// `.fork(...)`d or `.clone()`d.
+fn lock_then_safe(toks: &[Tok], open: usize) -> bool {
+    if !toks.get(open).is_some_and(|t| t.is_punct('(')) {
+        return false;
+    }
+    let Some(close) = matching(toks, open) else {
+        return false;
+    };
+    toks.get(close + 1).is_some_and(|t| t.is_punct('.'))
+        && toks
+            .get(close + 2)
+            .is_some_and(|m| m.is_ident && RNG_SAFE_METHODS.contains(&m.text.as_str()))
+}
+
+/// Whether any identifier in `span` speaks retry vocabulary.
+fn has_retry_vocab(toks: &[Tok], span: Span) -> bool {
+    toks[span.start..=span.end].iter().any(|t| {
+        t.is_ident && {
+            let l = t.text.to_ascii_lowercase();
+            RETRY_VOCAB.iter().any(|v| l.contains(v))
+        }
+    })
+}
+
+/// The tag of the identifier at `i`: positional binding lookup, with
+/// `self.field` resolved through the field table.
+fn tag_or_field<'a>(a: &'a Analysis, f_idx: usize, i: usize) -> Option<&'a str> {
+    let t = &a.toks[i];
+    if i > 0 && a.toks[i - 1].is_punct('.') {
+        if i >= 2 && a.toks[i - 2].is("self") {
+            return a.flow.fields.get(&t.text).map(String::as_str);
+        }
+        return None;
+    }
+    a.flow.fns[f_idx].tag_at(&t.text, i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::SourceFile;
+
+    fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::scan(path, src);
+        let a = Analysis::new(&f);
+        check(&a)
+    }
+
+    #[test]
+    fn instant_now_is_flagged_outside_wall_module() {
+        let d = diags(
+            "crates/core/src/x.rs",
+            "fn f() {\n    let t = std::time::Instant::now();\n}\n",
+        );
+        assert!(d.iter().any(|d| d.rule == "wall-clock" && d.line == 2));
+    }
+
+    #[test]
+    fn wall_module_and_bench_are_exempt() {
+        let src = "fn f() {\n    let t = Instant::now();\n}\n";
+        assert!(diags("crates/tee/src/wall.rs", src).is_empty());
+        assert!(diags("crates/bench/src/main.rs", src).is_empty());
+    }
+
+    #[test]
+    fn instant_enum_variant_is_not_a_clock_read() {
+        let d = diags(
+            "crates/obs/src/x.rs",
+            "fn f() -> TracePhase {\n    TracePhase::Instant\n}\n",
+        );
+        assert!(d.iter().all(|d| d.rule != "wall-clock"));
+    }
+
+    #[test]
+    fn hashmap_iteration_in_serializer_is_flagged() {
+        let d = diags(
+            "crates/x/src/a.rs",
+            "use std::collections::HashMap;\nfn render_json(m: &HashMap<String, u64>) -> String {\n    let mut out = String::new();\n    for (k, v) in m.iter() {\n        out.push_str(k);\n    }\n    out\n}\n",
+        );
+        assert!(d.iter().any(|d| d.rule == "unordered-iter"));
+    }
+
+    #[test]
+    fn hashmap_insert_only_is_fine() {
+        let d = diags(
+            "crates/x/src/a.rs",
+            "fn render_json(m: &mut HashMap<String, u64>) -> String {\n    m.insert(String::new(), 1);\n    String::new()\n}\n",
+        );
+        assert!(d.iter().all(|d| d.rule != "unordered-iter"));
+    }
+
+    #[test]
+    fn btreemap_iteration_is_fine() {
+        let d = diags(
+            "crates/x/src/a.rs",
+            "fn render(m: &BTreeMap<String, u64>) -> String {\n    let mut out = String::new();\n    for (k, _) in m.iter() {\n        out.push_str(k);\n    }\n    out\n}\n",
+        );
+        assert!(d.iter().all(|d| d.rule != "unordered-iter"));
+    }
+
+    #[test]
+    fn hashmap_iteration_without_sink_is_fine() {
+        let d = diags(
+            "crates/x/src/a.rs",
+            "fn total(m: &HashMap<String, u64>) -> u64 {\n    let mut sum = 0;\n    for v in m.values() {\n        sum += v;\n    }\n    sum\n}\n",
+        );
+        assert!(d.iter().all(|d| d.rule != "unordered-iter"));
+    }
+
+    #[test]
+    fn draw_inside_retry_closure_is_flagged() {
+        let d = diags(
+            "crates/x/src/a.rs",
+            "fn f(rng: &mut ChaChaRng) {\n    retry_with_cost(policy, |_attempt| {\n        rng.next_u64()\n    });\n}\n",
+        );
+        assert!(d.iter().any(|d| d.rule == "rng-fork"));
+    }
+
+    #[test]
+    fn fork_outside_clone_inside_is_fine() {
+        let d = diags(
+            "crates/x/src/a.rs",
+            "fn f(rng: &ChaChaRng) {\n    let base = rng.fork(\"call\");\n    retry_with_cost(policy, |_attempt| {\n        let mut local = base.clone();\n        local.next_u64()\n    });\n}\n",
+        );
+        assert!(d.iter().all(|d| d.rule != "rng-fork"), "{d:?}");
+    }
+
+    #[test]
+    fn rejection_sampling_loop_is_not_a_retry() {
+        let d = diags(
+            "crates/x/src/a.rs",
+            "fn f(rng: &mut ChaChaRng, zone: u64) -> u64 {\n    loop {\n        let v = rng.next_u64();\n        if v <= zone {\n            return v;\n        }\n    }\n}\n",
+        );
+        assert!(d.iter().all(|d| d.rule != "rng-fork"));
+    }
+
+    #[test]
+    fn vocab_loop_draw_is_flagged() {
+        let d = diags(
+            "crates/x/src/a.rs",
+            "fn f(rng: &mut ChaChaRng) -> u64 {\n    let mut attempts = 0;\n    loop {\n        let v = rng.next_u64();\n        attempts += 1;\n        if attempts > 3 {\n            return v;\n        }\n    }\n}\n",
+        );
+        assert!(d.iter().any(|d| d.rule == "rng-fork"));
+    }
+
+    #[test]
+    fn shared_field_lock_refork_inside_retry_is_fine() {
+        let d = diags(
+            "crates/x/src/a.rs",
+            "struct W {\n    rng: Mutex<ChaChaRng>,\n}\nimpl W {\n    fn f(&self) {\n        retry_with_cost(policy, |_attempt| {\n            let local = self.rng.lock().fork(\"cell\");\n            local\n        });\n    }\n}\n",
+        );
+        assert!(d.iter().all(|d| d.rule != "rng-fork"), "{d:?}");
+    }
+
+    #[test]
+    fn shared_field_draw_inside_retry_is_flagged() {
+        let d = diags(
+            "crates/x/src/a.rs",
+            "struct W {\n    rng: Mutex<ChaChaRng>,\n}\nimpl W {\n    fn f(&self) {\n        retry_with_cost(policy, |_attempt| {\n            self.rng.lock().next_u64()\n        });\n    }\n}\n",
+        );
+        assert!(d.iter().any(|d| d.rule == "rng-fork"));
+    }
+}

@@ -1,26 +1,36 @@
-//! The rule implementations. Each rule takes a scanned [`SourceFile`] and
-//! returns raw findings; the engine in `lib.rs` applies suppressions and
-//! the cross-file `forbid-unsafe` check.
+//! The rule implementations. Line-oriented rules take the scanned
+//! [`SourceFile`] directly; the dataflow-aware families (determinism,
+//! taint, hot-path, deprecated-api) take the per-file [`Analysis`], which
+//! layers the token stream, function scopes, and binding table on top.
+//! The engine in `lib.rs` applies suppressions and the cross-file
+//! `forbid-unsafe` check.
 
 pub mod const_time;
+pub mod deprecated;
+pub mod determinism;
 pub mod ecall;
+pub mod hot;
 pub mod obs;
 pub mod panic;
 pub mod secret;
 pub mod unsafe_rule;
 
+use crate::analysis::Analysis;
 use crate::diag::Diagnostic;
 use crate::lexer::{ident_positions, SourceFile};
 
-/// Runs every per-file rule on `file`.
-pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
+/// Runs every per-file rule on one analyzed file.
+pub fn check_file(a: &Analysis) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    out.extend(secret::check(file));
-    out.extend(panic::check(file));
-    out.extend(const_time::check(file));
-    out.extend(unsafe_rule::check(file));
-    out.extend(ecall::check(file));
-    out.extend(obs::check(file));
+    out.extend(secret::check(a));
+    out.extend(panic::check(a.file));
+    out.extend(const_time::check(a.file));
+    out.extend(unsafe_rule::check(a.file));
+    out.extend(ecall::check(a.file));
+    out.extend(obs::check(a));
+    out.extend(determinism::check(a));
+    out.extend(hot::check(a));
+    out.extend(deprecated::check(a));
     out
 }
 

@@ -18,9 +18,10 @@
 //! histogram names become Prometheus label values. Every one of those entry
 //! points is held to the same no-secret-identifier standard.
 
+use crate::analysis::Analysis;
 use crate::config::{SECRET_LOG_TOKENS, SECRET_TYPES};
 use crate::diag::Diagnostic;
-use crate::lexer::{ident_positions, identifiers, next_nonspace, SourceFile};
+use crate::lexer::{ident_positions, identifiers, next_nonspace};
 
 /// Recorder entry points that persist a label into an exported artifact:
 /// the snapshot (spans/counters), the Prometheus exposition (gauges,
@@ -36,20 +37,22 @@ const RECORD_CALLS: &[&str] = &[
     "trace_instant",
 ];
 
-/// Runs the rule on one file.
-pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+/// Runs the rule on one analyzed file.
+pub fn check(a: &Analysis) -> Vec<Diagnostic> {
+    let file = a.file;
     let mut out = Vec::new();
     for i in 0..file.line_count() {
         if file.in_test[i] {
             continue;
         }
         let code = file.code_line(i);
-        let records = ident_positions(code).iter().any(|&(pos, word)| {
-            RECORD_CALLS.contains(&word) && next_nonspace(code, pos + word.len()) == Some('(')
+        let record_pos = ident_positions(code).iter().find_map(|&(pos, word)| {
+            (RECORD_CALLS.contains(&word) && next_nonspace(code, pos + word.len()) == Some('('))
+                .then_some(pos)
         });
-        if !records {
+        let Some(record_pos) = record_pos else {
             continue;
-        }
+        };
         // Raw line with the trailing line comment stripped: suppression
         // markers and prose must not count, label literals must.
         let raw = file.raw.get(i).map_or("", String::as_str);
@@ -71,6 +74,23 @@ pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
                        (`infer.layer[i].ecall`, `recovery.retry`), never after key material"
                     .into(),
             });
+            continue;
+        }
+        // Dataflow taint: an innocuously named alias of a registry-typed
+        // value formatted into the label or argument list.
+        if let Some((alias, ty)) = a.secret_alias_after(i, record_pos) {
+            out.push(Diagnostic {
+                file: file.path.clone(),
+                line: i + 1,
+                rule: "obs-secret-label",
+                message: format!(
+                    "obs label argument `{alias}` aliases secret-bearing `{ty}` — labels \
+                     are persisted to the snapshot artifact"
+                ),
+                hint: "name spans after pipeline stages or public operations \
+                       (`infer.layer[i].ecall`, `recovery.retry`), never after key material"
+                    .into(),
+            });
         }
     }
     out
@@ -79,6 +99,7 @@ pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lexer::SourceFile;
 
     fn scan(text: &str) -> SourceFile {
         SourceFile::scan("crates/x/src/a.rs", text)
@@ -87,19 +108,25 @@ mod tests {
     #[test]
     fn secret_token_inside_label_literal_is_flagged() {
         let f = scan("fn f(r: &Recorder) { r.record_span(\"seal.secret_key\", c); }\n");
-        assert!(check(&f).iter().any(|d| d.rule == "obs-secret-label"));
+        assert!(check(&Analysis::new(&f))
+            .iter()
+            .any(|d| d.rule == "obs-secret-label"));
     }
 
     #[test]
     fn secret_binding_formatted_into_label_is_flagged() {
         let f = scan("fn f(r: &Recorder, sk: u64) { r.incr(&format!(\"uses.{sk}\"), 1); }\n");
-        assert!(check(&f).iter().any(|d| d.rule == "obs-secret-label"));
+        assert!(check(&Analysis::new(&f))
+            .iter()
+            .any(|d| d.rule == "obs-secret-label"));
     }
 
     #[test]
     fn registry_type_name_in_label_is_flagged() {
         let f = scan("fn f(r: &Recorder) { r.record_zero_attempt(\"SealedBlob.open\"); }\n");
-        assert!(check(&f).iter().any(|d| d.rule == "obs-secret-label"));
+        assert!(check(&Analysis::new(&f))
+            .iter()
+            .any(|d| d.rule == "obs-secret-label"));
     }
 
     #[test]
@@ -109,25 +136,27 @@ mod tests {
              r.incr(counters::RECOVERY_ATTEMPTS, 1);\n    \
              r.record_zero_attempt(\"recovery.retry\");\n}\n",
         );
-        assert!(check(&f).is_empty());
+        assert!(check(&Analysis::new(&f)).is_empty());
     }
 
     #[test]
     fn secret_token_in_the_line_comment_does_not_count() {
         let f = scan("fn f(r: &Recorder) { r.incr(\"epc.hits\", 1); // not the secret_key\n}\n");
-        assert!(check(&f).is_empty());
+        assert!(check(&Analysis::new(&f)).is_empty());
     }
 
     #[test]
     fn lines_without_record_calls_are_ignored() {
         let f = scan("fn f(sk: u64) -> u64 { sk + 1 }\n");
-        assert!(check(&f).is_empty());
+        assert!(check(&Analysis::new(&f)).is_empty());
     }
 
     #[test]
     fn secret_token_in_trace_event_name_is_flagged() {
         let f = scan("fn f(r: &Recorder) { r.trace_begin(\"seal.secret_key\", &[]); }\n");
-        assert!(check(&f).iter().any(|d| d.rule == "obs-secret-label"));
+        assert!(check(&Analysis::new(&f))
+            .iter()
+            .any(|d| d.rule == "obs-secret-label"));
     }
 
     #[test]
@@ -136,15 +165,21 @@ mod tests {
             "fn f(r: &Recorder, secret_key: u64) { r.trace_instant(\"epc.load\", \
              &[(\"k\", secret_key.to_string())]); }\n",
         );
-        assert!(check(&f).iter().any(|d| d.rule == "obs-secret-label"));
+        assert!(check(&Analysis::new(&f))
+            .iter()
+            .any(|d| d.rule == "obs-secret-label"));
     }
 
     #[test]
     fn secret_token_in_gauge_or_histogram_name_is_flagged() {
         let f = scan("fn f(r: &Recorder) { r.gauge(\"private_key.bits\", 1); }\n");
-        assert!(check(&f).iter().any(|d| d.rule == "obs-secret-label"));
+        assert!(check(&Analysis::new(&f))
+            .iter()
+            .any(|d| d.rule == "obs-secret-label"));
         let f = scan("fn f(r: &Recorder) { r.observe(\"SealedBlob.bytes\", 1); }\n");
-        assert!(check(&f).iter().any(|d| d.rule == "obs-secret-label"));
+        assert!(check(&Analysis::new(&f))
+            .iter()
+            .any(|d| d.rule == "obs-secret-label"));
     }
 
     #[test]
@@ -156,13 +191,27 @@ mod tests {
              r.observe(\"ecall.bytes\", 4096);\n    \
              r.trace_end(\"session.request\");\n}\n",
         );
-        assert!(check(&f).is_empty());
+        assert!(check(&Analysis::new(&f)).is_empty());
+    }
+
+    #[test]
+    fn tainted_alias_in_label_argument_is_flagged() {
+        let f = scan(
+            "fn f(r: &Recorder, blob: &SealedBlob) {\n    let payload = blob.clone();\n    \
+             r.trace_instant(\"seal.open\", &[(\"v\", format!(\"{:?}\", payload))]);\n}\n",
+        );
+        let d = check(&Analysis::new(&f));
+        assert!(
+            d.iter()
+                .any(|d| d.rule == "obs-secret-label" && d.line == 3),
+            "{d:?}"
+        );
     }
 
     #[test]
     fn test_code_is_exempt() {
         let f =
             scan("#[cfg(test)]\nmod tests {\n    fn t(r: &Recorder) { r.incr(\"sk\", 1); }\n}\n");
-        assert!(check(&f).is_empty());
+        assert!(check(&Analysis::new(&f)).is_empty());
     }
 }

@@ -7,9 +7,12 @@
 //! - `secret-pub-api` — registry types may cross `pub fn` signatures and
 //!   `pub` fields only in the files where the threat model says the secret
 //!   legitimately lives (enclave wrapper, key ceremony, key generation).
-//! - `secret-log` — no format/log macro may reference a registry type or a
-//!   secret-named binding; `dbg!` is banned outright in non-test code.
+//! - `secret-log` — no format/log macro may reference a registry type, a
+//!   secret-named binding, or (via the dataflow pass) an innocuously named
+//!   *alias* of a registry-typed value; `dbg!` is banned outright in
+//!   non-test code.
 
+use crate::analysis::Analysis;
 use crate::config::{path_in, SecretType, SECRET_LOG_TOKENS, SECRET_TYPES};
 use crate::diag::Diagnostic;
 use crate::lexer::{ident_positions, identifiers, next_nonspace, SourceFile};
@@ -19,12 +22,12 @@ const LOG_MACROS: &[&str] = &[
     "println", "eprintln", "print", "eprint", "format", "write", "writeln",
 ];
 
-/// Runs the three sub-rules on one file.
-pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+/// Runs the three sub-rules on one analyzed file.
+pub fn check(a: &Analysis) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    check_debug(file, &mut out);
-    check_pub_api(file, &mut out);
-    check_log(file, &mut out);
+    check_debug(a.file, &mut out);
+    check_pub_api(a.file, &mut out);
+    check_log(a, &mut out);
     out
 }
 
@@ -160,8 +163,10 @@ fn restricted_types_in(text: &str, path: &str) -> Vec<&'static str> {
         .collect()
 }
 
-/// `secret-log`: format-family macros referencing secrets, and `dbg!`.
-fn check_log(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+/// `secret-log`: format-family macros referencing secrets (by name or by
+/// dataflow alias), and `dbg!`.
+fn check_log(a: &Analysis, out: &mut Vec<Diagnostic>) {
+    let file = a.file;
     for i in 0..file.line_count() {
         if file.in_test[i] {
             continue;
@@ -201,6 +206,22 @@ fn check_log(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                 });
                 break;
             }
+            // Dataflow taint: an innocuously named alias of a registry-typed
+            // value in the macro's argument list.
+            if let Some((alias, ty)) = a.secret_alias_after(i, *pos) {
+                out.push(Diagnostic {
+                    file: file.path.clone(),
+                    line: i + 1,
+                    rule: "secret-log",
+                    message: format!(
+                        "`{word}!` formats `{alias}`, which aliases secret-bearing `{ty}`"
+                    ),
+                    hint: "renaming a secret does not sanitize it — log sizes, identifiers, \
+                           or digests of public data instead"
+                        .into(),
+                });
+                break;
+            }
         }
     }
 }
@@ -213,10 +234,14 @@ mod tests {
         SourceFile::scan("crates/nn/src/x.rs", text)
     }
 
+    fn diags(f: &SourceFile) -> Vec<Diagnostic> {
+        check(&Analysis::new(f))
+    }
+
     #[test]
     fn derive_debug_on_registry_type_is_flagged() {
         let f = scan("#[derive(Debug, Clone)]\npub struct SigningKey {\n    sk: u64,\n}\n");
-        let diags = check(&f);
+        let diags = diags(&f);
         assert!(diags
             .iter()
             .any(|d| d.rule == "secret-debug" && d.line == 1));
@@ -225,31 +250,31 @@ mod tests {
     #[test]
     fn multi_line_derive_is_collected() {
         let f = scan("#[derive(\n    Clone,\n    Debug,\n)]\nstruct SecretKey {}\n");
-        assert!(check(&f).iter().any(|d| d.rule == "secret-debug"));
+        assert!(diags(&f).iter().any(|d| d.rule == "secret-debug"));
     }
 
     #[test]
     fn manual_debug_impl_is_allowed() {
         let f = scan("impl std::fmt::Debug for SigningKey {\n    fn fmt(&self) {}\n}\n");
-        assert!(check(&f).iter().all(|d| d.rule != "secret-debug"));
+        assert!(diags(&f).iter().all(|d| d.rule != "secret-debug"));
     }
 
     #[test]
     fn display_impl_is_flagged() {
         let f = scan("impl std::fmt::Display for SigningKey {\n}\n");
-        assert!(check(&f).iter().any(|d| d.rule == "secret-debug"));
+        assert!(diags(&f).iter().any(|d| d.rule == "secret-debug"));
     }
 
     #[test]
     fn derive_on_non_registry_type_is_fine() {
         let f = scan("#[derive(Debug)]\nstruct PlainConfig {\n    n: usize,\n}\n");
-        assert!(check(&f).is_empty());
+        assert!(diags(&f).is_empty());
     }
 
     #[test]
     fn registry_type_in_pub_fn_outside_sanctioned_path_is_flagged() {
         let f = scan("pub fn leak(k: &SecretKey) -> u64 { 0 }\n");
-        assert!(check(&f).iter().any(|d| d.rule == "secret-pub-api"));
+        assert!(diags(&f).iter().any(|d| d.rule == "secret-pub-api"));
     }
 
     #[test]
@@ -258,13 +283,13 @@ mod tests {
             "crates/bfv/src/keys.rs",
             "pub fn secret_key(&self) -> SecretKey { todo() }\n",
         );
-        assert!(check(&f).iter().all(|d| d.rule != "secret-pub-api"));
+        assert!(diags(&f).iter().all(|d| d.rule != "secret-pub-api"));
     }
 
     #[test]
     fn pub_field_with_registry_type_is_flagged() {
         let f = scan("pub struct Harness {\n    pub keys: CrtKeys,\n}\n");
-        assert!(check(&f)
+        assert!(diags(&f)
             .iter()
             .any(|d| d.rule == "secret-pub-api" && d.line == 2));
     }
@@ -272,24 +297,64 @@ mod tests {
     #[test]
     fn unrestricted_handle_types_pass_pub_api() {
         let f = scan("pub fn rng(&mut self) -> &mut ChaChaRng { &mut self.rng }\n");
-        assert!(check(&f).iter().all(|d| d.rule != "secret-pub-api"));
+        assert!(diags(&f).iter().all(|d| d.rule != "secret-pub-api"));
     }
 
     #[test]
     fn println_of_secret_is_flagged() {
         let f = scan("fn f(sk: u64) { println!(\"{}\", sk); }\n");
-        assert!(check(&f).iter().any(|d| d.rule == "secret-log"));
+        assert!(diags(&f).iter().any(|d| d.rule == "secret-log"));
     }
 
     #[test]
     fn dbg_is_always_flagged() {
         let f = scan("fn f(x: u64) { dbg!(x); }\n");
-        assert!(check(&f).iter().any(|d| d.rule == "secret-log"));
+        assert!(diags(&f).iter().any(|d| d.rule == "secret-log"));
     }
 
     #[test]
     fn benign_format_is_fine() {
         let f = scan("fn f(n: usize) { let s = format!(\"{n} items\"); }\n");
-        assert!(check(&f).iter().all(|d| d.rule != "secret-log"));
+        assert!(diags(&f).iter().all(|d| d.rule != "secret-log"));
+    }
+
+    #[test]
+    fn tainted_alias_in_log_macro_is_flagged() {
+        let f = scan(
+            "fn f(key: &SecretKey) {\n    let material = key.clone();\n    \
+             println!(\"{:?}\", material);\n}\n",
+        );
+        let d = diags(&f);
+        assert!(
+            d.iter()
+                .any(|d| d.rule == "secret-log" && d.line == 3 && d.message.contains("aliases")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn taint_flows_through_let_chains() {
+        let f = scan(
+            "fn f(gen: &KeyGenerator) {\n    let kg = gen;\n    let handle = kg;\n    \
+             eprintln!(\"state {:?}\", handle);\n}\n",
+        );
+        assert!(diags(&f)
+            .iter()
+            .any(|d| d.rule == "secret-log" && d.line == 4));
+    }
+
+    #[test]
+    fn receiver_before_the_macro_does_not_count_as_leaked() {
+        // `base` is ChaChaRng-tagged but sits *before* `format!` — it is the
+        // receiver, not a formatted argument.
+        let f = scan("fn f(base: &ChaChaRng, i: usize) {\n    let child = base.fork(&format!(\"seq-{i}\"));\n}\n");
+        assert!(diags(&f).iter().all(|d| d.rule != "secret-log"));
+    }
+
+    #[test]
+    fn untainted_alias_is_fine() {
+        let f =
+            scan("fn f(cfg: &Config) {\n    let view = cfg;\n    println!(\"{:?}\", view);\n}\n");
+        assert!(diags(&f).iter().all(|d| d.rule != "secret-log"));
     }
 }

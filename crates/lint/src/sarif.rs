@@ -1,0 +1,88 @@
+//! SARIF 2.1.0 export (hand-rolled; no dependencies).
+//!
+//! One run, one driver (`hesgx-lint`), the full rule table as
+//! `reportingDescriptor`s, and one `result` per finding. The output is a
+//! pure function of the report: findings are already stable-sorted by
+//! `Report::sort`, and the rules table comes from the static config, so
+//! two runs over the same tree produce byte-identical SARIF — CI uploads
+//! it as an artifact and diffs it across runs like every other exported
+//! byte stream in this workspace.
+
+use crate::config::RULE_DESCRIPTIONS;
+use crate::diag::{json_str, Report};
+
+/// Renders `report` as a SARIF 2.1.0 JSON document.
+pub fn render_sarif(report: &Report) -> String {
+    let mut out = String::from(
+        "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n          \"name\": \"hesgx-lint\",\n          \"informationUri\": \"https://example.invalid/hesgx\",\n          \"rules\": [",
+    );
+    for (i, (id, desc)) in RULE_DESCRIPTIONS.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}",
+            json_str(id),
+            json_str(desc)
+        ));
+    }
+    out.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+    for (i, d) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n        {{\"ruleId\": {}, \"level\": \"error\", \"message\": {{\"text\": {}}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \"region\": {{\"startLine\": {}}}}}}}]}}",
+            json_str(d.rule),
+            json_str(&format!("{} (hint: {})", d.message, d.hint)),
+            json_str(&d.file),
+            d.line
+        ));
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Diagnostic;
+
+    fn sample() -> Report {
+        Report {
+            findings: vec![Diagnostic {
+                file: "crates/x/src/lib.rs".into(),
+                line: 3,
+                rule: "wall-clock",
+                message: "raw clock read".into(),
+                hint: "use WallTimer".into(),
+            }],
+            ..Report::default()
+        }
+    }
+
+    #[test]
+    fn sarif_has_schema_version_and_result() {
+        let s = render_sarif(&sample());
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"ruleId\": \"wall-clock\""));
+        assert!(s.contains("\"startLine\": 3"));
+        assert!(s.contains("\"uri\": \"crates/x/src/lib.rs\""));
+    }
+
+    #[test]
+    fn every_rule_id_is_described() {
+        let s = render_sarif(&Report::default());
+        for id in crate::config::RULE_IDS {
+            assert!(s.contains(&format!("\"id\": \"{id}\"")), "{id} missing");
+        }
+    }
+
+    #[test]
+    fn sarif_is_deterministic() {
+        assert_eq!(render_sarif(&sample()), render_sarif(&sample()));
+    }
+}

@@ -40,6 +40,11 @@ pub fn parse(file: &SourceFile) -> (Vec<Suppression>, Vec<Diagnostic>) {
         let Some(body) = marker_body(comment) else {
             continue;
         };
+        // `// hesgx-lint: hot` is the hot-path marker consumed by the scope
+        // tracker, not a suppression — leave it alone here.
+        if crate::scope::is_hot_comment(comment) {
+            continue;
+        }
         let line = idx + 1;
         match parse_marker_body(body) {
             Ok((rule, has_reason)) => {
@@ -210,6 +215,14 @@ mod tests {
         let (sups, diags) = parse(&f);
         assert!(sups.is_empty());
         assert!(diags[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn hot_marker_is_not_a_suppression() {
+        let f = scan("// hesgx-lint: hot\nfn conv() {}\n");
+        let (sups, diags) = parse(&f);
+        assert!(sups.is_empty());
+        assert!(diags.is_empty(), "{diags:?}");
     }
 
     #[test]

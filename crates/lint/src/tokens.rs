@@ -1,0 +1,192 @@
+//! A flat token stream over the code view.
+//!
+//! The v1 rules were line-oriented; the v2 rule families (determinism,
+//! secret-taint, hot-path allocation) need to reason about *constructs* —
+//! function bodies, loop extents, call argument lists, `let` bindings —
+//! which requires seeing the file as one ordered sequence of tokens rather
+//! than as independent lines. This module produces that sequence from the
+//! [`SourceFile`] code view, so everything the lexer already blanked
+//! (comments, string interiors) stays invisible here too.
+//!
+//! The stream is deliberately simple:
+//!
+//! - **identifiers** — `[A-Za-z0-9_]+` runs starting with a non-digit
+//!   (the same definition as [`crate::lexer::ident_positions`]),
+//! - **punctuation** — every other non-space character, one token each
+//!   (`::` is two `:` tokens; sequence helpers below match across them),
+//! - **numbers are skipped** — no rule inspects numeric literals, and
+//!   skipping them keeps `1e3` / `0x1f` from masquerading as identifiers.
+//!
+//! Every token carries its 0-based line and byte column, so findings point
+//! at the exact source location and suppression matching keeps working.
+
+use crate::lexer::SourceFile;
+
+/// One token of the code view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// 0-based line index.
+    pub line: usize,
+    /// Byte column of the first character within the line.
+    pub col: usize,
+    /// The token text (single char for punctuation).
+    pub text: String,
+    /// Whether this is an identifier (vs punctuation).
+    pub is_ident: bool,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is(&self, s: &str) -> bool {
+        self.is_ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        !self.is_ident && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// Tokenizes the whole code view of `file`.
+pub fn tokenize(file: &SourceFile) -> Vec<Tok> {
+    let mut out = Vec::new();
+    for (line_idx, line) in file.code.iter().enumerate() {
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let b = bytes[i];
+            if b.is_ascii_whitespace() {
+                i += 1;
+                continue;
+            }
+            let word_start = b == b'_' || b.is_ascii_alphabetic() || b >= 0x80;
+            if word_start || b.is_ascii_digit() {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric() || bytes[i] >= 0x80)
+                {
+                    i += 1;
+                }
+                // Digit-led runs are numeric literals: skip them entirely.
+                if word_start {
+                    out.push(Tok {
+                        line: line_idx,
+                        col: start,
+                        text: line[start..i].to_string(),
+                        is_ident: true,
+                    });
+                }
+                continue;
+            }
+            out.push(Tok {
+                line: line_idx,
+                col: i,
+                text: line[i..i + 1].to_string(),
+                is_ident: false,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Whether the tokens at `i` match `pat` exactly: identifiers match by
+/// text, single punctuation characters by text. (`"::"` must be written as
+/// two `":"` entries.)
+pub fn seq(toks: &[Tok], i: usize, pat: &[&str]) -> bool {
+    pat.iter()
+        .enumerate()
+        .all(|(k, p)| toks.get(i + k).is_some_and(|t| t.text == *p))
+}
+
+/// The index of the brace/paren/bracket that closes the opener at `open`
+/// (which must be `{`, `(` or `[`), or `None` when unbalanced.
+pub fn matching(toks: &[Tok], open: usize) -> Option<usize> {
+    let (o, c) = match toks.get(open)?.text.as_str() {
+        "{" => ('{', '}'),
+        "(" => ('(', ')'),
+        "[" => ('[', ']'),
+        _ => return None,
+    };
+    let mut depth = 0i64;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// The first index `>= from` whose token is the punctuation `c`, ignoring
+/// nesting.
+pub fn find_punct(toks: &[Tok], from: usize, c: char) -> Option<usize> {
+    (from..toks.len()).find(|&k| toks[k].is_punct(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(&SourceFile::scan("x.rs", src))
+    }
+
+    #[test]
+    fn identifiers_and_punctuation_are_split() {
+        let t = toks("let x = a.b();\n");
+        let texts: Vec<&str> = t.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["let", "x", "=", "a", ".", "b", "(", ")", ";"]);
+        assert!(t[0].is_ident);
+        assert!(!t[2].is_ident);
+    }
+
+    #[test]
+    fn numbers_are_skipped_but_their_punctuation_survives() {
+        let t = toks("for i in 0..16 { v[i] = 0x1f; }\n");
+        let texts: Vec<&str> = t.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["for", "i", "in", ".", ".", "{", "v", "[", "i", "]", "=", ";", "}"]
+        );
+    }
+
+    #[test]
+    fn comments_and_strings_are_invisible() {
+        let t = toks("let s = \"Instant::now()\"; // Instant::now()\n");
+        assert!(t.iter().all(|t| t.text != "Instant"));
+    }
+
+    #[test]
+    fn positions_point_into_the_source() {
+        let t = toks("fn f() {\n    g();\n}\n");
+        let g = t.iter().find(|t| t.is("g")).unwrap();
+        assert_eq!(g.line, 1);
+        assert_eq!(g.col, 4);
+    }
+
+    #[test]
+    fn seq_matches_paths() {
+        let t = toks("Instant::now()\n");
+        assert!(seq(&t, 0, &["Instant", ":", ":", "now"]));
+        assert!(!seq(&t, 0, &["Instant", ":", "now"]));
+    }
+
+    #[test]
+    fn matching_brace_skips_nested() {
+        let t = toks("{ a { b } c } d\n");
+        let close = matching(&t, 0).unwrap();
+        assert!(t[close].is_punct('}'));
+        assert_eq!(t[close + 1].text, "d");
+    }
+
+    #[test]
+    fn unbalanced_open_returns_none() {
+        let t = toks("{ a { b }\n");
+        assert_eq!(matching(&t, 0), None);
+    }
+}

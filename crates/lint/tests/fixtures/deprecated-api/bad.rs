@@ -1,0 +1,14 @@
+//! Seeded defects: calls to the deprecated `Session` inference shims.
+//! `Session::serve` is the one request/response entry point; the shims
+//! only forward there and will be removed.
+
+use hesgx_core::session::{Session, SessionBuilder};
+
+fn classify(session: &Session, image: &[i64]) {
+    session.infer(image); // finding: deprecated-api
+}
+
+fn warm_up(cfg: Config) {
+    let session = SessionBuilder::new(cfg).build();
+    session.infer_batch(&images()); // finding: deprecated-api
+}

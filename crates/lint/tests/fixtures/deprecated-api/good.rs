@@ -1,0 +1,16 @@
+//! Clean counterpart: `Session::serve` carries every request, and `infer`
+//! on a non-Session engine is a different, legitimate API.
+
+use hesgx_core::session::Session;
+
+fn classify(session: &Session, image: &[i64]) {
+    let request = InferRequest::single(image.to_vec());
+    let response = session.serve(request);
+    consume(response);
+}
+
+fn hybrid(engine: &HybridInference, image: &[i64]) {
+    // `CryptoNetsHE::infer` / `HybridInference::infer` keep the name; only
+    // the Session shims are deprecated.
+    engine.infer(image);
+}

@@ -1,0 +1,14 @@
+//! Seeded defects: per-iteration allocation inside the loops of a
+//! `hot`-marked function. On the conv/FC/NTT paths this multiplies by
+//! cells × CRT limbs and lands straight in the ECALL cost model.
+
+// hesgx-lint: hot
+fn accumulate_rows(rows: &[Vec<u64>]) -> Vec<u64> {
+    let mut out = Vec::new();
+    for row in rows {
+        let scratch = row.to_vec(); // finding: hot-path-alloc
+        let doubled: Vec<u64> = scratch.iter().map(|v| v * 2).collect(); // finding: hot-path-alloc
+        out.push(doubled[0]);
+    }
+    out
+}

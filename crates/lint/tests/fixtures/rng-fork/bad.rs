@@ -1,0 +1,20 @@
+//! Seeded defects: drawing from an outside-bound ChaChaRng inside a retry
+//! body. Attempt N's randomness then depends on how many draws attempt
+//! N-1 consumed — the PR 4 replay-divergence bug class.
+
+use hesgx_crypto::rng::ChaChaRng;
+
+fn reprovision_with_backoff(base: &mut ChaChaRng) -> u64 {
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let noise = base.next_u64(); // finding: rng-fork (shared stream advanced per attempt)
+        if noise != 0 || attempt > 3 {
+            return noise;
+        }
+    }
+}
+
+fn resilient_encrypt(base: &mut ChaChaRng, payload: &[u8]) -> u64 {
+    retry_with_cost(3, payload, base.next_u64()) // finding: rng-fork (draw inside a retry call)
+}

@@ -1,0 +1,28 @@
+//! Clean counterpart: each attempt forks a child stream from the base
+//! generator, so attempt N's randomness is a pure function of (seed,
+//! attempt) no matter how many draws earlier attempts consumed.
+
+use hesgx_crypto::rng::ChaChaRng;
+
+fn reprovision_with_backoff(base: &ChaChaRng) -> u64 {
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let mut local = base.fork(b"reprovision-attempt");
+        let noise = local.next_u64(); // fine: `local` is bound inside the attempt
+        if noise != 0 || attempt > 3 {
+            return noise;
+        }
+    }
+}
+
+fn rejection_sample(rng: &mut ChaChaRng, bound: u64) -> u64 {
+    // Not a retry loop: rejection sampling legitimately draws from the
+    // caller's stream until a candidate lands under the bound.
+    loop {
+        let candidate = rng.next_u64();
+        if candidate < bound {
+            return candidate;
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Seeded defects: secret material laundered through innocuously named
+//! aliases before being formatted. The dataflow pass propagates the
+//! registry-type tag through `let` chains and tag-preserving methods, so
+//! renaming a secret does not sanitize it.
+
+use hesgx_bfv::keys::SecretKey;
+use hesgx_tee::seal::SealedBlob;
+
+fn audit(key: &SecretKey) {
+    let material = key.clone();
+    println!("session material: {:?}", material); // finding: secret-log (alias of SecretKey)
+}
+
+fn relay(blob: &SealedBlob) {
+    let payload = blob;
+    let envelope = payload;
+    eprintln!("shipping {:?}", envelope); // finding: secret-log (alias chain of SealedBlob)
+}

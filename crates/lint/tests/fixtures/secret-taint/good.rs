@@ -1,0 +1,16 @@
+//! Clean counterpart: only public facts derived from the secret — never
+//! the secret or an alias of it — reach a format macro, and a rebinding
+//! through a non-preserving call drops the taint.
+
+use hesgx_bfv::keys::SecretKey;
+
+fn audit(key: &SecretKey) {
+    let len = key.byte_len();
+    println!("sealed payload: {len} bytes"); // fine: a usize, not the key
+}
+
+fn rotate(key: &SecretKey) {
+    let material = key.clone();
+    let material = material.byte_len(); // shadowing rebind: the tag dies here
+    eprintln!("rotated, {material} bytes");
+}

@@ -1,0 +1,32 @@
+//! Seeded defects: HashMap/HashSet iteration feeding serialized output.
+//! Hash-iteration order varies across runs, so these bytes are not
+//! replayable.
+
+use std::collections::{HashMap, HashSet};
+
+fn render_counters(counters: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (name, value) in counters.iter() {
+        // finding: unordered-iter (sink-named fn, tagged `.iter()`)
+        out.push_str(&format!("{name}={value};"));
+    }
+    out
+}
+
+fn summarize(map: &HashMap<String, u64>) -> String {
+    let mut s = String::new();
+    for v in map.values() {
+        // finding: unordered-iter (body calls push_str, a sink)
+        s.push_str(&v.to_string());
+    }
+    s
+}
+
+fn export_labels(set: &HashSet<String>) -> String {
+    let mut out = String::new();
+    for label in set {
+        // finding: unordered-iter (for-in over a tagged set in a sink fn)
+        out.push_str(label);
+    }
+    out
+}

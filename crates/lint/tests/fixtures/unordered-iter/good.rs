@@ -1,0 +1,24 @@
+//! Clean counterpart: ordered containers feed the serializers; hash
+//! containers are only used for point lookups or away from exported bytes.
+
+use std::collections::{BTreeMap, HashMap};
+
+fn render_counters(counters: &BTreeMap<String, u64>) -> String {
+    // BTreeMap iterates in key order — deterministic by construction.
+    let mut out = String::new();
+    for (name, value) in counters.iter() {
+        out.push_str(&format!("{name}={value};"));
+    }
+    out
+}
+
+fn lookup(map: &HashMap<String, u64>, key: &str) -> u64 {
+    // Point operations never observe iteration order.
+    map.get(key).copied().unwrap_or(0)
+}
+
+fn total(map: &HashMap<String, u64>) -> u64 {
+    // Iteration is fine when the fold is order-insensitive and nothing
+    // here feeds serialized bytes.
+    map.values().sum()
+}

@@ -1,0 +1,16 @@
+//! Seeded defects: raw clock reads outside the audited wall module.
+//! Wall time that reaches exported bytes breaks the replay contract.
+
+use std::time::{Instant, SystemTime};
+
+fn stamp_attempt() -> u128 {
+    let t0 = Instant::now(); // finding: wall-clock
+    t0.elapsed().as_nanos()
+}
+
+fn seed_material() -> u64 {
+    let now = SystemTime::now(); // finding: wall-clock
+    now.duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}

@@ -1,0 +1,15 @@
+//! Clean counterpart: wall time flows through the audited `WallTimer`
+//! accessor, which the `wall-clock` rule's path allowlist sanctions, and
+//! never reaches exported bytes.
+
+use hesgx_tee::wall::WallTimer;
+
+fn stamp_attempt() -> u128 {
+    let timer = WallTimer::start();
+    timer.elapsed_ns() as u128
+}
+
+fn virtual_clock(step: u64, ticks: u64) -> u64 {
+    // Deterministic virtual time: a pure function of the schedule.
+    step * ticks
+}

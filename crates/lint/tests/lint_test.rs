@@ -27,25 +27,33 @@ fn lint_fixture(rule: &str, which: &str) -> Report {
     lint_sources(&[SourceFile::scan(&rel, &text)])
 }
 
-const RULES: &[&str] = &[
-    "enclave-panic",
-    "secret-debug",
-    "secret-pub-api",
-    "secret-log",
-    "const-time",
-    "unsafe-safety",
-    "forbid-unsafe",
-    "ecall-cost",
-    "obs-secret-label",
+/// `(fixture_dir, rule_id)` — most directories are named after their rule;
+/// `secret-taint` exercises the dataflow-alias upgrade to `secret-log`.
+const RULES: &[(&str, &str)] = &[
+    ("enclave-panic", "enclave-panic"),
+    ("secret-debug", "secret-debug"),
+    ("secret-pub-api", "secret-pub-api"),
+    ("secret-log", "secret-log"),
+    ("const-time", "const-time"),
+    ("unsafe-safety", "unsafe-safety"),
+    ("forbid-unsafe", "forbid-unsafe"),
+    ("ecall-cost", "ecall-cost"),
+    ("obs-secret-label", "obs-secret-label"),
+    ("wall-clock", "wall-clock"),
+    ("unordered-iter", "unordered-iter"),
+    ("rng-fork", "rng-fork"),
+    ("secret-taint", "secret-log"),
+    ("hot-path-alloc", "hot-path-alloc"),
+    ("deprecated-api", "deprecated-api"),
 ];
 
 #[test]
 fn every_bad_fixture_triggers_its_rule() {
-    for rule in RULES {
-        let report = lint_fixture(rule, "bad.rs");
+    for (dir, rule) in RULES {
+        let report = lint_fixture(dir, "bad.rs");
         assert!(
             report.findings.iter().any(|d| d.rule == *rule),
-            "fixture {rule}/bad.rs produced no `{rule}` finding; got: {:?}",
+            "fixture {dir}/bad.rs produced no `{rule}` finding; got: {:?}",
             report.findings
         );
     }
@@ -53,11 +61,11 @@ fn every_bad_fixture_triggers_its_rule() {
 
 #[test]
 fn every_good_fixture_is_clean() {
-    for rule in RULES {
-        let report = lint_fixture(rule, "good.rs");
+    for (dir, _) in RULES {
+        let report = lint_fixture(dir, "good.rs");
         assert!(
             report.is_clean(),
-            "fixture {rule}/good.rs should be clean; got: {:?}",
+            "fixture {dir}/good.rs should be clean; got: {:?}",
             report.findings
         );
     }
@@ -95,6 +103,52 @@ fn bad_fixtures_report_expected_counts() {
             .count(),
         2,
         "derive(Debug) + impl Display"
+    );
+}
+
+#[test]
+fn dataflow_bad_fixtures_report_expected_counts() {
+    let count = |dir: &str, rule: &str| {
+        lint_fixture(dir, "bad.rs")
+            .findings
+            .iter()
+            .filter(|d| d.rule == rule)
+            .count()
+    };
+    assert_eq!(count("wall-clock", "wall-clock"), 2, "Instant + SystemTime");
+    assert_eq!(
+        count("unordered-iter", "unordered-iter"),
+        3,
+        "named sink + body sink + for-in header"
+    );
+    assert_eq!(count("rng-fork", "rng-fork"), 2, "retry loop + retry call");
+    assert_eq!(
+        count("secret-taint", "secret-log"),
+        2,
+        "clone alias + let chain"
+    );
+    assert_eq!(
+        count("hot-path-alloc", "hot-path-alloc"),
+        2,
+        "to_vec + collect"
+    );
+    assert_eq!(
+        count("deprecated-api", "deprecated-api"),
+        2,
+        "param session + builder-bound session"
+    );
+}
+
+#[test]
+fn taint_findings_name_the_alias_and_the_registry_type() {
+    let report = lint_fixture("secret-taint", "bad.rs");
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|d| d.message.contains("`material`") && d.message.contains("`SecretKey`")),
+        "{:?}",
+        report.findings
     );
 }
 
@@ -164,4 +218,56 @@ fn json_report_round_trips_key_fields() {
     assert!(json.contains("\"rule\": \"const-time\""));
     assert!(json.contains("\"suppressed\": 0"));
     assert!(json.contains("bad.rs"));
+}
+
+#[test]
+fn workspace_json_and_sarif_are_byte_deterministic() {
+    // Two fully independent passes over the live tree must serialize to
+    // identical bytes — the property `ci.sh` gates with a binary-level diff.
+    let root = workspace_root();
+    let render = || {
+        let paths = hesgx_lint::collect_workspace_files(&root).expect("walk workspace");
+        let files: Vec<SourceFile> = paths
+            .iter()
+            .map(|p| hesgx_lint::load_file(&root, p).expect("readable source"))
+            .collect();
+        let report = lint_sources(&files);
+        (
+            report.render_json(),
+            hesgx_lint::sarif::render_sarif(&report),
+        )
+    };
+    let (json_a, sarif_a) = render();
+    let (json_b, sarif_b) = render();
+    assert_eq!(json_a, json_b, "--json must be byte-stable across runs");
+    assert_eq!(sarif_a, sarif_b, "--sarif must be byte-stable across runs");
+}
+
+#[test]
+fn stale_suppressions_are_itemized_in_json() {
+    let src = "fn f() {\n    // hesgx-lint: allow(enclave-panic, reason = \"nothing here\")\n    let x = 1;\n}\n";
+    let report = lint_sources(&[SourceFile::scan("crates/tee/src/x.rs", src)]);
+    assert_eq!(report.stale.len(), 1);
+    let json = report.render_json();
+    assert!(json.contains("\"stale_suppressions\": ["));
+    assert!(json.contains("\"rule\": \"enclave-panic\""));
+    assert!(json.contains("\"stale_count\": 1"));
+}
+
+#[test]
+fn baseline_roundtrip_grandfathers_current_findings() {
+    // Render the bad fixture's findings as a baseline, re-lint with it
+    // applied: everything is grandfathered and the report turns clean.
+    let mut report = lint_fixture("wall-clock", "bad.rs");
+    let n = report.findings.len();
+    assert!(n > 0);
+    let text = hesgx_lint::baseline::render(&report);
+    let entries = hesgx_lint::baseline::parse(&text).expect("well-formed baseline");
+    hesgx_lint::baseline::apply(&mut report, &entries);
+    assert!(report.is_clean(), "{:?}", report.findings);
+    assert_eq!(report.grandfathered, n);
+    // A *new* finding (not in the baseline) still fails.
+    let mut fresh = lint_fixture("rng-fork", "bad.rs");
+    hesgx_lint::baseline::apply(&mut fresh, &entries);
+    assert!(!fresh.is_clean());
 }

@@ -23,7 +23,7 @@ use hesgx_crypto::schnorr::{Signature, SigningKey, VerifyingKey};
 use hesgx_crypto::sha256::Sha256;
 use hesgx_obs::{counters, Recorder};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A local attestation report (`EREPORT` analogue).
@@ -165,7 +165,9 @@ pub struct VerifiedQuote {
 /// registry of genuine platforms.
 #[derive(Debug, Default)]
 pub struct AttestationService {
-    platforms: HashMap<[u8; 32], VerifyingKey>,
+    /// Ordered map: registry iteration order must never vary across runs
+    /// (replay contract; `unordered-iter` lint).
+    platforms: BTreeMap<[u8; 32], VerifyingKey>,
     hook: Option<Arc<dyn FaultHook>>,
     recorder: Recorder,
 }

@@ -14,13 +14,13 @@ use crate::epc::{Epc, EpcStats, RegionId, DEFAULT_EPC_BYTES};
 use crate::error::{Result, TeeError};
 use crate::sealing::{self, SealedBlob};
 use crate::sidechannel::{SideChannelEvent, SideChannelMonitor};
+use crate::wall::WallTimer;
 use hesgx_chaos::{FaultHook, FaultKind, FaultSite};
 use hesgx_crypto::sha256::Sha256;
 use hesgx_obs::{counters, Recorder};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// One SGX-capable machine: hardware secrets plus the quoting enclave.
 pub struct Platform {
@@ -319,12 +319,12 @@ impl Enclave {
             ocalls: 0,
             cpu_ns: 0,
         };
-        let start = Instant::now();
+        let start = WallTimer::start();
         let result = body(&mut ctx);
         // Parallel bodies report their summed per-task CPU time; charge
         // whichever is larger so fanned-out work still pays the in-enclave
         // slowdown on every CPU-nanosecond of the batch.
-        let wall_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let wall_ns = start.elapsed_ns();
         let real_ns = wall_ns.max(ctx.cpu_ns);
         // Enter + exit, plus a round-trip per OCALL.
         let transitions = 2 + 2 * ctx.ocalls;

@@ -10,7 +10,7 @@
 use crate::error::{Result, TeeError};
 use hesgx_chaos::{FaultHook, FaultSite};
 use hesgx_obs::{counters, Recorder};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Page size in bytes (SGX uses 4 KiB EPC pages).
@@ -45,11 +45,13 @@ pub struct Epc {
     capacity_pages: usize,
     heap_pages: usize,
     allocated_pages: usize,
-    regions: HashMap<RegionId, Region>,
+    /// Ordered map: any iteration over EPC state must be deterministic
+    /// (replay contract; `unordered-iter` lint).
+    regions: BTreeMap<RegionId, Region>,
     next_region: u64,
     /// Resident pages in LRU order (front = least recently used).
     lru: Vec<(RegionId, usize)>,
-    resident: HashMap<(RegionId, usize), usize>, // -> index hint (rebuilt lazily)
+    resident: BTreeMap<(RegionId, usize), usize>, // -> index hint (rebuilt lazily)
     stats: EpcStats,
     hook: Option<Arc<dyn FaultHook>>,
     recorder: Recorder,
@@ -63,10 +65,10 @@ impl Epc {
             capacity_pages: capacity_bytes.div_ceil(PAGE_SIZE).max(1),
             heap_pages: heap_bytes.div_ceil(PAGE_SIZE),
             allocated_pages: 0,
-            regions: HashMap::new(),
+            regions: BTreeMap::new(),
             next_region: 1,
             lru: Vec::new(),
-            resident: HashMap::new(),
+            resident: BTreeMap::new(),
             stats: EpcStats::default(),
             hook: None,
             recorder: Recorder::disabled(),

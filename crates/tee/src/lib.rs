@@ -60,6 +60,7 @@ pub mod epc;
 pub mod error;
 pub mod sealing;
 pub mod sidechannel;
+pub mod wall;
 
 /// Convenient glob-import of the main types.
 pub mod prelude {
@@ -72,5 +73,6 @@ pub mod prelude {
     pub use crate::error::TeeError;
     pub use crate::sealing::SealedBlob;
     pub use crate::sidechannel::{SideChannelEvent, SideChannelMonitor};
+    pub use crate::wall::WallTimer;
     pub use hesgx_chaos::{FaultHook, FaultKind, FaultPlan, FaultReport, FaultSite};
 }

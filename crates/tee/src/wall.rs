@@ -1,0 +1,61 @@
+//! The single audited wall-clock accessor for the workspace.
+//!
+//! The system's determinism contract (DESIGN.md §12–§14) says wall time may
+//! *never* reach exported bytes: ciphertexts, obs snapshots, traces, and
+//! load reports must replay byte-identically. Wall time is still legitimate
+//! in exactly two places — the in-process `HybridMetrics` stage timings a
+//! caller reads live, and the max(wall, modeled) floor the enclave cost
+//! model charges — and both of those flow through this module.
+//!
+//! Centralizing the accessor makes the discipline checkable: the
+//! `wall-clock` rule of `hesgx-lint` bans `Instant::now` / `SystemTime::now`
+//! everywhere except this file and the wall-only `hesgx-bench` crate, so a
+//! new call site that bypasses the audited path fails CI instead of
+//! shipping PR 5's bug class again.
+
+use std::time::{Duration, Instant};
+
+/// A started wall-clock measurement.
+///
+/// Thin wrapper over [`Instant`] so call sites name the audited entry point
+/// (`WallTimer::start()`) instead of the banned raw API.
+#[derive(Debug, Clone, Copy)]
+pub struct WallTimer {
+    start: Instant,
+}
+
+impl WallTimer {
+    /// Starts measuring now.
+    #[must_use]
+    pub fn start() -> Self {
+        WallTimer {
+            start: Instant::now(),
+        }
+    }
+
+    /// Wall time elapsed since [`WallTimer::start`].
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed wall nanoseconds, saturating at `u64::MAX`.
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        self.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let t = WallTimer::start();
+        let a = t.elapsed_ns();
+        let b = t.elapsed_ns();
+        assert!(b >= a);
+        assert!(t.elapsed() >= Duration::from_nanos(a));
+    }
+}
