@@ -87,4 +87,19 @@ diff target/obs/serve-load.first.json target/obs/serve-load.json
 diff target/obs/serve-load.first.prom target/obs/serve-load.prom
 rm -f target/bench/BENCH_serve.first.json target/obs/serve-load.first.json target/obs/serve-load.first.prom
 
+# NTT bench determinism gate: wall times live in BENCH_ntt.json (informative,
+# never diffed); the replay-stable face — tier checksums, logits-identity
+# flags, HE op counts — is BENCH_ntt.deterministic.json, which must be
+# byte-identical across two runs. Each run also asserts in-process that the
+# lazy/cached kernels are bit-identical to the eager reference and that the
+# cached pipeline performs zero per-request weight preparations.
+echo "==> ntt bench (two runs, deterministic sections diffed)"
+cargo run --release -q -p hesgx-bench --offline --bin repro -- ntt_bench --quick
+test -s target/bench/BENCH_ntt.json
+test -s target/bench/BENCH_ntt.deterministic.json
+cp target/bench/BENCH_ntt.deterministic.json target/bench/BENCH_ntt.deterministic.first.json
+cargo run --release -q -p hesgx-bench --offline --bin repro -- ntt_bench --quick
+diff target/bench/BENCH_ntt.deterministic.first.json target/bench/BENCH_ntt.deterministic.json
+rm -f target/bench/BENCH_ntt.deterministic.first.json
+
 echo "ci: all checks passed"

@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hesgx_bench::experiments::figures::scale_stub;
 use hesgx_bench::PaperEnv;
+use hesgx_bfv::prelude::PolyArena;
 use hesgx_henn::image::EncryptedMap;
 use hesgx_henn::ops::{self, OpCounter};
 use hesgx_henn::weights::{conv_weight_count, encode_weights};
@@ -92,6 +93,7 @@ fn bench_sigmoid_variants(c: &mut Criterion) {
 
 fn bench_pooling_variants(c: &mut Criterion) {
     let env = PaperEnv::new(14);
+    let arena = PolyArena::new();
     let mut rng = env.rng.fork("bench-pool");
     let images = vec![(0..576).map(|p| (p % 17) as i64).collect::<Vec<i64>>()];
     let input =
@@ -108,7 +110,8 @@ fn bench_pooling_variants(c: &mut Criterion) {
                 b.iter(|| {
                     let mut counter = OpCounter::default();
                     let summed =
-                        ops::he_scaled_mean_pool(&env.sys, &input, window, &mut counter).unwrap();
+                        ops::he_scaled_mean_pool(&env.sys, &input, window, &mut counter, &arena)
+                            .unwrap();
                     black_box(real.divide_map(&env.sys, &summed, &model).unwrap())
                 })
             },

@@ -7,8 +7,8 @@
 //! ```
 
 use hesgx_bench::experiments::{
-    ablation, chaos_sweep, e2e, figures, obs_report, par_sweep, serve_load, tables, trace,
-    RunConfig,
+    ablation, chaos_sweep, e2e, figures, ntt_bench, obs_report, par_sweep, serve_load, tables,
+    trace, RunConfig,
 };
 use hesgx_bench::PaperEnv;
 
@@ -30,6 +30,7 @@ const EXPERIMENTS: &[&str] = &[
     "obs_report",
     "trace",
     "serve_load",
+    "ntt_bench",
 ];
 
 fn main() {
@@ -140,6 +141,9 @@ fn main() {
     }
     if wanted("serve_load") {
         serve_load::serve_load(cfg);
+    }
+    if wanted("ntt_bench") {
+        ntt_bench::ntt_bench(cfg);
     }
     println!();
     println!("done.");

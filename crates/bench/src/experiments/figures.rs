@@ -4,6 +4,7 @@
 use super::{header, RunConfig};
 use crate::stats::linear_fit;
 use crate::PaperEnv;
+use hesgx_bfv::prelude::PolyArena;
 use hesgx_henn::image::EncryptedMap;
 use hesgx_henn::ops::{self, OpCounter};
 use hesgx_henn::weights::{conv_weight_count, encode_weights};
@@ -277,6 +278,7 @@ pub fn fig6_pooling(env: &mut PaperEnv, _cfg: RunConfig) -> Vec<Fig6Point> {
     let windows = [2usize, 3, 4, 6, 8, 12];
     let real = env.inference_enclave(false);
     let fake = env.inference_enclave(true);
+    let arena = PolyArena::new();
     let mut rng = env.rng.fork("fig6");
     let images = vec![(0..576).map(|p| (p % 17) as i64).collect::<Vec<i64>>()];
     let input =
@@ -288,7 +290,7 @@ pub fn fig6_pooling(env: &mut PaperEnv, _cfg: RunConfig) -> Vec<Fig6Point> {
 
         let start = Instant::now();
         let mut counter = OpCounter::default();
-        let summed = ops::he_scaled_mean_pool(&env.sys, &input, w, &mut counter).unwrap();
+        let summed = ops::he_scaled_mean_pool(&env.sys, &input, w, &mut counter, &arena).unwrap();
         let encrypted_sum_ms = start.elapsed().as_secs_f64() * 1e3;
 
         let (_, cost) = real.divide_map(&env.sys, &summed, &model).unwrap();

@@ -8,6 +8,7 @@ pub mod ablation;
 pub mod chaos_sweep;
 pub mod e2e;
 pub mod figures;
+pub mod ntt_bench;
 pub mod obs_report;
 pub mod par_sweep;
 pub mod serve_load;

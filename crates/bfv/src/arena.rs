@@ -1,0 +1,146 @@
+//! A per-session pool of reusable polynomial limb buffers.
+//!
+//! The henn conv/FC/pool kernels clone ciphertexts at every accumulator
+//! site; each clone allocates `size × limbs` fresh coefficient vectors.
+//! [`PolyArena`] recycles those vectors across stages of one inference
+//! session: a consumed intermediate map is returned to the arena, and the
+//! next stage's accumulator copies draw from the free list instead of the
+//! global allocator.
+//!
+//! Determinism: a recycled buffer is always *fully overwritten*
+//! (`clear` + `extend_from_slice`) before it is observable, so ciphertext
+//! bytes are bit-identical whether a buffer came from the allocator or the
+//! free list — the golden pipeline test pins this. The free list is shared
+//! behind a mutex; pop order under parallelism is scheduler-dependent, but
+//! buffers are interchangeable, so no observable value depends on it.
+
+use crate::ciphertext::Ciphertext;
+use crate::poly::RnsPoly;
+use std::sync::{Arc, Mutex};
+
+/// Free-list cap: beyond this the arena lets buffers drop, bounding the
+/// session's steady-state memory at roughly one inference's worth of maps.
+const MAX_FREE_BUFFERS: usize = 4096;
+
+/// A cloneable handle to a shared pool of `Vec<u64>` limb buffers.
+///
+/// Cloning the handle shares the underlying pool (the handle is an
+/// `Arc`), which is what the parallel henn kernels need: every worker
+/// recycles into, and draws from, the same session arena.
+#[derive(Debug, Clone, Default)]
+pub struct PolyArena {
+    free: Arc<Mutex<Vec<Vec<u64>>>>,
+}
+
+impl PolyArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffers currently parked in the free list (telemetry /
+    /// tests).
+    pub fn free_buffers(&self) -> usize {
+        self.free.lock().expect("arena lock").len()
+    }
+
+    /// A buffer holding a copy of `src`, reusing a free buffer when one is
+    /// available.
+    fn take_copy(&self, src: &[u64]) -> Vec<u64> {
+        let mut buf = self
+            .free
+            .lock()
+            .expect("arena lock")
+            .pop()
+            .unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(src);
+        buf
+    }
+
+    fn recycle_buf(&self, buf: Vec<u64>) {
+        let mut free = self.free.lock().expect("arena lock");
+        if free.len() < MAX_FREE_BUFFERS {
+            free.push(buf);
+        }
+    }
+
+    /// An arena-backed copy of `src` (same limbs, same form).
+    pub fn copy_poly(&self, src: &RnsPoly) -> RnsPoly {
+        RnsPoly {
+            limbs: src.limbs.iter().map(|l| self.take_copy(l)).collect(),
+            form: src.form,
+        }
+    }
+
+    /// Returns a polynomial's limb buffers to the free list.
+    pub fn recycle_poly(&self, poly: RnsPoly) {
+        for limb in poly.limbs {
+            self.recycle_buf(limb);
+        }
+    }
+
+    /// An arena-backed copy of a whole ciphertext.
+    pub fn copy_ciphertext(&self, src: &Ciphertext) -> Ciphertext {
+        Ciphertext {
+            polys: src.polys.iter().map(|p| self.copy_poly(p)).collect(),
+            context_id: src.context_id,
+        }
+    }
+
+    /// Returns every limb buffer of a consumed ciphertext to the free list.
+    pub fn recycle_ciphertext(&self, ct: Ciphertext) {
+        for poly in ct.polys {
+            self.recycle_poly(poly);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::BfvContext;
+    use crate::params::presets;
+    use crate::poly::PolyForm;
+
+    #[test]
+    fn copy_is_bit_identical_and_buffers_recycle() {
+        let ctx = BfvContext::new(presets::test_n256()).unwrap();
+        let arena = PolyArena::new();
+        let poly = RnsPoly::from_signed(
+            &ctx,
+            &(0..ctx.poly_degree())
+                .map(|i| (i as i64 % 11) - 5)
+                .collect::<Vec<_>>(),
+            PolyForm::Coeff,
+        );
+        let copy = arena.copy_poly(&poly);
+        assert_eq!(copy, poly);
+        let limb_count = poly.limbs.len();
+        arena.recycle_poly(copy);
+        assert_eq!(arena.free_buffers(), limb_count);
+        // A second copy must drain the free list, not allocate.
+        let again = arena.copy_poly(&poly);
+        assert_eq!(again, poly);
+        assert_eq!(arena.free_buffers(), 0);
+    }
+
+    #[test]
+    fn recycled_garbage_never_leaks_into_copies() {
+        let ctx = BfvContext::new(presets::test_n256()).unwrap();
+        let arena = PolyArena::new();
+        // Park a poisoned, wrong-length buffer.
+        arena.recycle_buf(vec![u64::MAX; 7]);
+        let zero = RnsPoly::zero(&ctx, PolyForm::Coeff);
+        let copy = arena.copy_poly(&zero);
+        assert_eq!(copy, zero);
+    }
+
+    #[test]
+    fn clone_shares_the_pool() {
+        let arena = PolyArena::new();
+        let handle = arena.clone();
+        handle.recycle_buf(vec![1, 2, 3]);
+        assert_eq!(arena.free_buffers(), 1);
+    }
+}

@@ -46,12 +46,121 @@ pub fn shoup_precompute(w: u64, p: u64) -> u64 {
 /// Requires `p < 2^63`; the result is fully reduced.
 #[inline]
 pub fn mul_mod_shoup(x: u64, w: u64, w_shoup: u64, p: u64) -> u64 {
-    let q = ((x as u128 * w_shoup as u128) >> 64) as u64;
-    let r = (x.wrapping_mul(w)).wrapping_sub(q.wrapping_mul(p));
+    let r = mul_mod_shoup_lazy(x, w, w_shoup, p);
     // r < 2p; reduce branchlessly.
     let d = r.wrapping_sub(p);
     let mask = ((d as i64) >> 63) as u64;
     d.wrapping_add(p & mask)
+}
+
+/// Lazy (Harvey-style) Shoup multiplication: returns `x · w mod p` reduced
+/// only into `[0, 2p)`, skipping the final conditional subtraction.
+///
+/// Sound for **any** `x < 2^64` (not just canonical inputs): with
+/// `w_shoup = floor(w·2^64/p)` the quotient estimate `q = floor(x·w_shoup /
+/// 2^64)` satisfies `q > x·w/p − 2`, so `r = x·w − q·p < 2p`, and `q ≤
+/// x·w/p` keeps `r ≥ 0`. This is what lets the NTT butterflies defer
+/// reductions across whole passes (DESIGN.md §16).
+#[inline]
+pub fn mul_mod_shoup_lazy(x: u64, w: u64, w_shoup: u64, p: u64) -> u64 {
+    let q = ((x as u128 * w_shoup as u128) >> 64) as u64;
+    x.wrapping_mul(w).wrapping_sub(q.wrapping_mul(p))
+}
+
+/// High 128 bits of the 256-bit product `a · b`.
+#[inline]
+fn mulhi_u128(a: u128, b: u128) -> u128 {
+    const M: u128 = u64::MAX as u128;
+    let (a1, a0) = (a >> 64, a & M);
+    let (b1, b0) = (b >> 64, b & M);
+    let lo = a0 * b0;
+    let mid1 = a0 * b1;
+    let mid2 = a1 * b0;
+    let carry = (lo >> 64) + (mid1 & M) + (mid2 & M);
+    a1 * b1 + (mid1 >> 64) + (mid2 >> 64) + (carry >> 64)
+}
+
+/// Barrett reducer for 128-bit intermediates modulo an odd `p < 2^62`.
+///
+/// `u128 %` lowers to a software division (`__umodti3`, tens of cycles);
+/// in the NTT pointwise stage that single division rivals the cost of a
+/// whole butterfly pass. Barrett replaces it with two wide multiplies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrettU128 {
+    p: u64,
+    /// `floor(2^128 / p)`; for odd `p` this equals `floor((2^128−1)/p)`,
+    /// which is computable without 256-bit arithmetic.
+    ratio: u128,
+    /// `floor(2^64 / p)` (again `= floor((2^64−1)/p)` for odd `p`), used by
+    /// the narrow-operand fast path in [`Self::mul_mod`]: when both operands
+    /// fit 32 bits the product fits `u64` and a single 64×64→128 high
+    /// multiply replaces the two 128-bit wide multiplies of [`Self::reduce`].
+    ratio64: u64,
+}
+
+impl BarrettU128 {
+    /// Precomputes the reduction constant for odd `p` with `3 ≤ p < 2^62`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is even or out of range (the NTT moduli are odd
+    /// primes below [`MAX_LIMB_BITS`] bits, so this never fires in use).
+    pub fn new(p: u64) -> Self {
+        assert!(p >= 3 && !p.is_multiple_of(2), "p must be odd >= 3");
+        assert!(p < 1 << MAX_LIMB_BITS, "p above {MAX_LIMB_BITS} bits");
+        Self {
+            p,
+            ratio: u128::MAX / p as u128,
+            ratio64: u64::MAX / p,
+        }
+    }
+
+    /// The modulus this reducer was built for.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.p
+    }
+
+    /// Fully reduces any `x < 2^128` to the canonical range `[0, p)`.
+    ///
+    /// The quotient estimate `q = floor(x·ratio / 2^128)` is off by at most
+    /// one from `floor(x/p)` (since `ratio ≥ 2^128/p − 1` and `x < 2^128`),
+    /// so `x − q·p < 2p` and one conditional subtraction finishes the job.
+    #[inline]
+    pub fn reduce(&self, x: u128) -> u64 {
+        let q = mulhi_u128(x, self.ratio);
+        let mut r = (x - q * self.p as u128) as u64;
+        if r >= self.p {
+            r -= self.p;
+        }
+        r
+    }
+
+    /// `a · b mod p` for arbitrary `u64` operands (a product of two `u64`
+    /// values always fits `u128`, so lazy `[0, 4p)` operands are covered).
+    ///
+    /// When both operands fit 32 bits — always true in production, where the
+    /// workspace moduli stay below [`MAX_LIMB_BITS`] bits and operands are
+    /// canonical or lazily `< 4p` — the product fits `u64` and the reduction
+    /// runs against `ratio64` with one 64×64→128 high multiply. The quotient
+    /// estimate `q = floor(x·ratio64 / 2^64)` satisfies
+    /// `floor(x/p) − 1 ≤ q ≤ floor(x/p)` for `x < 2^64`, so the remainder
+    /// lands in `[0, 2p)` and one conditional subtraction makes it
+    /// canonical — bit-identical to the wide path by exactness.
+    #[inline]
+    pub fn mul_mod(&self, a: u64, b: u64) -> u64 {
+        if (a | b) >> 32 == 0 {
+            let x = a * b;
+            let q = ((x as u128 * self.ratio64 as u128) >> 64) as u64;
+            let mut r = x.wrapping_sub(q.wrapping_mul(self.p));
+            if r >= self.p {
+                r -= self.p;
+            }
+            r
+        } else {
+            self.reduce(a as u128 * b as u128)
+        }
+    }
 }
 
 /// Computes `a^e mod m`.
@@ -306,6 +415,77 @@ mod shoup_tests {
             let ws = shoup_precompute(w, p);
             for x in [0u64, 1, p - 1, 987_654_321 % p, p / 3] {
                 assert_eq!(mul_mod_shoup(x, w, ws, p), mul_mod(x, w, p), "x={x} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_shoup_bound_and_congruence_for_any_u64_input() {
+        // The lazy form must stay below 2p and agree mod p even for inputs
+        // far outside the canonical range (the Harvey passes feed it values
+        // up to 4p, and the proof covers all of u64).
+        let p = largest_prime_congruent_one(MAX_LIMB_BITS, 2048);
+        for w in [1u64, p - 1, 0x1234_5678_9abc_def0 % p, p / 2 + 1] {
+            let ws = shoup_precompute(w, p);
+            for x in [0u64, 1, p - 1, 2 * p - 1, 4 * p - 1, u64::MAX] {
+                let r = mul_mod_shoup_lazy(x, w, ws, p);
+                assert!(r < 2 * p, "lazy result {r} >= 2p for x={x} w={w}");
+                assert_eq!(r % p, mul_mod(x % p, w, p), "congruence x={x} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrett_matches_u128_remainder() {
+        for p in [
+            12289u64,
+            40961,
+            largest_prime_congruent_one(30, 2048),
+            largest_prime_congruent_one(MAX_LIMB_BITS, 8192),
+        ] {
+            let red = BarrettU128::new(p);
+            assert_eq!(red.modulus(), p);
+            let probes = [
+                0u128,
+                1,
+                p as u128 - 1,
+                p as u128,
+                4 * p as u128 - 1,
+                (p as u128 - 1) * (p as u128 - 1),
+                (4 * p as u128 - 1) * (4 * p as u128 - 1),
+                u128::MAX,
+            ];
+            for x in probes {
+                assert_eq!(red.reduce(x) as u128, x % p as u128, "p={p} x={x}");
+            }
+            for (a, b) in [(p - 1, p - 1), (4 * p - 1, 4 * p - 2), (1, 0)] {
+                assert_eq!(red.mul_mod(a, b), mul_mod(a % p, b % p, p), "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrett_narrow_fast_path_matches_wide() {
+        // Both operands below 2^32 take the ratio64 fast path; straddling
+        // pairs exercise the gate itself (one wide operand forces the slow
+        // path). Results must agree with the u128 remainder bit-for-bit.
+        for p in [12289u64, 40961, 65537, (1 << 32) - 5] {
+            let red = BarrettU128::new(p);
+            let narrow = [0u64, 1, p % (1 << 32), u32::MAX as u64, 0xdead_beef];
+            for &a in &narrow {
+                for &b in &narrow {
+                    assert_eq!(
+                        red.mul_mod(a, b) as u128,
+                        (a as u128 * b as u128) % p as u128,
+                        "p={p} a={a} b={b}"
+                    );
+                }
+                let wide = u64::MAX - 7;
+                assert_eq!(
+                    red.mul_mod(a, wide) as u128,
+                    (a as u128 * wide as u128) % p as u128,
+                    "p={p} a={a} straddle"
+                );
             }
         }
     }

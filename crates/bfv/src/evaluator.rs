@@ -7,15 +7,37 @@
 //! arithmetic, and reduced back into RNS form — the textbook FV definition,
 //! with no floating-point approximation.
 
+use crate::arena::PolyArena;
 use crate::arith::mul_mod;
 use crate::ciphertext::Ciphertext;
 use crate::context::{u256_mod_u64, BfvContext};
 use crate::error::{BfvError, Result};
 use crate::keys::EvaluationKeys;
-use crate::plaintext::Plaintext;
+use crate::plaintext::{NttPlaintext, Plaintext};
 use crate::poly::{PolyForm, RnsPoly};
 
 use std::sync::Arc;
+
+/// A scalar weight prepared for repeated ciphertext multiplication: the
+/// per-limb `(|w| mod qi, shoup)` pairs plus the sign, computed once at
+/// provisioning. Eliminates the per-call `u128` divisions that
+/// [`RnsPoly::scale_u64`] pays inside `shoup_precompute`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlainScalar {
+    scales: Vec<(u64, u64)>,
+    negate: bool,
+    context_id: [u8; 32],
+}
+
+/// A bias constant prepared for repeated ciphertext addition: the per-limb
+/// `Δ·c mod qi` values. Adding it needs no polynomial allocation and no
+/// NTT — the transform of a constant polynomial is that constant in every
+/// slot, so both representations add in place.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreparedBias {
+    delta_c: Vec<u64>,
+    context_id: [u8; 32],
+}
 
 /// Stateless evaluator over one context.
 #[derive(Debug)]
@@ -161,6 +183,208 @@ impl Evaluator {
             poly.to_coeff(ctx);
         }
         Ok(out)
+    }
+
+    /// Computes the cached evaluation form of a plaintext: the centered
+    /// lift and forward NTT that [`Evaluator::mul_plain`] redoes per call,
+    /// done once (at weight provisioning) for reuse by
+    /// [`Evaluator::mul_plain_ntt`].
+    pub fn transform_plain_to_ntt(&self, plain: &Plaintext) -> Result<NttPlaintext> {
+        self.check_plain(plain)?;
+        let ctx = &self.ctx;
+        let t = ctx.params().plain_modulus();
+        let mut signed = vec![0i64; ctx.poly_degree()];
+        for (j, &c) in plain.coeffs().iter().enumerate() {
+            signed[j] = if c > t / 2 {
+                c as i64 - t as i64
+            } else {
+                c as i64
+            };
+        }
+        Ok(NttPlaintext {
+            poly: RnsPoly::from_signed(ctx, &signed, PolyForm::Ntt),
+            context_id: *ctx.id(),
+        })
+    }
+
+    /// [`Evaluator::mul_plain`] against a cached evaluation form: skips the
+    /// per-call centering and forward transform of the plaintext. Results
+    /// are bit-identical to the uncached path.
+    pub fn mul_plain_ntt(&self, a: &Ciphertext, plain: &NttPlaintext) -> Result<Ciphertext> {
+        self.check(a)?;
+        if plain.context_id != *self.ctx.id() {
+            return Err(BfvError::ContextMismatch);
+        }
+        let ctx = &self.ctx;
+        let mut out = a.clone();
+        for poly in out.polys.iter_mut() {
+            poly.to_ntt(ctx);
+            *poly = poly.mul_pointwise(&plain.poly, ctx);
+            poly.to_coeff(ctx);
+        }
+        Ok(out)
+    }
+
+    /// Prepares a signed scalar weight for repeated multiplication
+    /// ([`Evaluator::mul_plain_scalar`] / [`Evaluator::mul_plain_scalar_acc`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `|value| >= t`, exactly like
+    /// [`Evaluator::mul_plain_signed_scalar`].
+    pub fn prepare_plain_scalar(&self, value: i64) -> Result<PlainScalar> {
+        let t = self.ctx.params().plain_modulus();
+        if value.unsigned_abs() >= t {
+            return Err(BfvError::EncodeOutOfRange(value));
+        }
+        let magnitude = value.unsigned_abs();
+        let scales = self
+            .ctx
+            .params()
+            .coeff_moduli()
+            .iter()
+            .map(|&qi| {
+                let s = magnitude % qi;
+                (s, crate::arith::shoup_precompute(s, qi))
+            })
+            .collect();
+        Ok(PlainScalar {
+            scales,
+            negate: value < 0,
+            context_id: *self.ctx.id(),
+        })
+    }
+
+    /// [`Evaluator::mul_plain_signed_scalar`] against a prepared scalar:
+    /// no per-call Shoup precomputation. Bit-identical results.
+    pub fn mul_plain_scalar(&self, a: &Ciphertext, scalar: &PlainScalar) -> Result<Ciphertext> {
+        self.check(a)?;
+        if scalar.context_id != *self.ctx.id() {
+            return Err(BfvError::ContextMismatch);
+        }
+        let mut out = a.clone();
+        for poly in out.polys.iter_mut() {
+            poly.scale_u64_prepared(&scalar.scales, &self.ctx);
+            if scalar.negate {
+                poly.negate(&self.ctx);
+            }
+        }
+        Ok(out)
+    }
+
+    /// [`Evaluator::mul_plain_scalar`] drawing the output's limb buffers
+    /// from `arena` instead of the global allocator — the one remaining
+    /// allocation per conv/FC output cell (the initial accumulator) becomes
+    /// a recycled buffer. Bit-identical results: a recycled buffer is fully
+    /// overwritten before it is observable.
+    ///
+    /// # Errors
+    ///
+    /// Fails on context mismatch, exactly like
+    /// [`Evaluator::mul_plain_scalar`].
+    pub fn mul_plain_scalar_arena(
+        &self,
+        a: &Ciphertext,
+        scalar: &PlainScalar,
+        arena: &PolyArena,
+    ) -> Result<Ciphertext> {
+        self.check(a)?;
+        if scalar.context_id != *self.ctx.id() {
+            return Err(BfvError::ContextMismatch);
+        }
+        let mut out = arena.copy_ciphertext(a);
+        for poly in out.polys.iter_mut() {
+            poly.scale_u64_prepared(&scalar.scales, &self.ctx);
+            if scalar.negate {
+                poly.negate(&self.ctx);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fused multiply-accumulate `acc += a · w` against a prepared scalar:
+    /// the convolution inner loop without the temporary ciphertext. The
+    /// accumulated values are identical to
+    /// [`Evaluator::mul_plain_signed_scalar`] followed by
+    /// [`Evaluator::add_inplace`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on context mismatch or when `acc` is smaller than `a` or their
+    /// component forms disagree (never the case between the accumulator and
+    /// operand of one conv/FC cell, which share provenance).
+    pub fn mul_plain_scalar_acc(
+        &self,
+        acc: &mut Ciphertext,
+        a: &Ciphertext,
+        scalar: &PlainScalar,
+    ) -> Result<()> {
+        self.check(acc)?;
+        self.check(a)?;
+        if scalar.context_id != *self.ctx.id() {
+            return Err(BfvError::ContextMismatch);
+        }
+        if acc.size() < a.size() {
+            return Err(BfvError::InvalidCiphertextSize(acc.size()));
+        }
+        for (dst, src) in acc.polys.iter_mut().zip(a.polys.iter()) {
+            if dst.form() != src.form() {
+                return Err(BfvError::ContextMismatch);
+            }
+            dst.scale_acc_prepared(src, &scalar.scales, scalar.negate, &self.ctx);
+        }
+        Ok(())
+    }
+
+    /// Prepares a bias constant (already reduced mod `t`) for repeated
+    /// in-place addition via [`Evaluator::add_plain_bias_inplace`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when `residue >= t`.
+    pub fn prepare_plain_bias(&self, residue: u64) -> Result<PreparedBias> {
+        let t = self.ctx.params().plain_modulus();
+        if residue >= t {
+            return Err(BfvError::PlaintextOutOfRange(residue));
+        }
+        let delta_c = self
+            .ctx
+            .params()
+            .coeff_moduli()
+            .iter()
+            .enumerate()
+            .map(|(i, &qi)| mul_mod(residue % qi, self.ctx.delta_mod[i], qi))
+            .collect();
+        Ok(PreparedBias {
+            delta_c,
+            context_id: *self.ctx.id(),
+        })
+    }
+
+    /// Adds a prepared bias in place: `c0 += Δ·c`. Allocation-free and
+    /// NTT-free in both representations — in coefficient form only slot 0
+    /// changes; in evaluation form the transform of a constant is that
+    /// constant everywhere. Values are bit-identical to
+    /// [`Evaluator::add_plain`] with `Plaintext::constant(c)`.
+    pub fn add_plain_bias_inplace(&self, a: &mut Ciphertext, bias: &PreparedBias) -> Result<()> {
+        self.check(a)?;
+        if bias.context_id != *self.ctx.id() {
+            return Err(BfvError::ContextMismatch);
+        }
+        let form = a.polys[0].form();
+        for (i, &qi) in self.ctx.params().coeff_moduli().iter().enumerate() {
+            let dc = bias.delta_c[i];
+            let limb = &mut a.polys[0].limbs[i];
+            match form {
+                PolyForm::Coeff => limb[0] = crate::arith::add_mod(limb[0], dc, qi),
+                PolyForm::Ntt => {
+                    for v in limb.iter_mut() {
+                        *v = crate::arith::add_mod(*v, dc, qi);
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Multiplies by a small unsigned scalar (repeated-addition semantics).
@@ -702,6 +926,123 @@ mod scalar_tests {
         let mut inplace = a.clone();
         eval.add_inplace(&mut inplace, &b).unwrap();
         assert_eq!(dec.decrypt(&inplace).unwrap().coeffs()[0], 123);
+    }
+
+    #[test]
+    fn cached_ntt_plain_matches_mul_plain_bitwise() {
+        let ctx = BfvContext::new(presets::test_n256()).unwrap();
+        let mut rng = ChaChaRng::from_seed(94);
+        let keygen = KeyGenerator::new(ctx.clone(), &mut rng);
+        let enc = Encryptor::new(ctx.clone(), keygen.public_key());
+        let eval = Evaluator::new(ctx.clone());
+        let t = ctx.params().plain_modulus();
+        let a = enc
+            .encrypt(&Plaintext::from_coeffs(vec![5, 1, 3]), &mut rng)
+            .unwrap();
+        for plain in [
+            Plaintext::constant(11),
+            Plaintext::constant(t - 3),
+            Plaintext::from_coeffs(vec![2, 1, t - 1, 0, 7]),
+            Plaintext::zero(),
+        ] {
+            let cached = eval.transform_plain_to_ntt(&plain).unwrap();
+            assert_eq!(
+                eval.mul_plain_ntt(&a, &cached).unwrap(),
+                eval.mul_plain(&a, &plain).unwrap(),
+                "cached mul_plain diverged for {:?}",
+                plain.coeffs()
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_scalar_matches_signed_scalar_bitwise() {
+        let ctx = BfvContext::new(presets::test_n256()).unwrap();
+        let mut rng = ChaChaRng::from_seed(95);
+        let keygen = KeyGenerator::new(ctx.clone(), &mut rng);
+        let enc = Encryptor::new(ctx.clone(), keygen.public_key());
+        let eval = Evaluator::new(ctx.clone());
+        let a = enc.encrypt(&Plaintext::constant(11), &mut rng).unwrap();
+        let acc0 = enc.encrypt(&Plaintext::constant(2), &mut rng).unwrap();
+        for v in [-7i64, -1, 0, 1, 13] {
+            let prepared = eval.prepare_plain_scalar(v).unwrap();
+            // One-shot multiply.
+            assert_eq!(
+                eval.mul_plain_scalar(&a, &prepared).unwrap(),
+                eval.mul_plain_signed_scalar(&a, v).unwrap(),
+                "scalar {v}"
+            );
+            // Fused accumulate vs multiply-then-add.
+            let mut fused = acc0.clone();
+            eval.mul_plain_scalar_acc(&mut fused, &a, &prepared)
+                .unwrap();
+            let term = eval.mul_plain_signed_scalar(&a, v).unwrap();
+            let mut want = acc0.clone();
+            eval.add_inplace(&mut want, &term).unwrap();
+            assert_eq!(fused, want, "fused acc, scalar {v}");
+        }
+        let t = ctx.params().plain_modulus() as i64;
+        assert!(eval.prepare_plain_scalar(t).is_err());
+    }
+
+    #[test]
+    fn arena_scalar_multiply_is_bit_identical_and_recycles() {
+        let ctx = BfvContext::new(presets::test_n256()).unwrap();
+        let mut rng = ChaChaRng::from_seed(97);
+        let keygen = KeyGenerator::new(ctx.clone(), &mut rng);
+        let enc = Encryptor::new(ctx.clone(), keygen.public_key());
+        let eval = Evaluator::new(ctx.clone());
+        let arena = PolyArena::new();
+        let a = enc.encrypt(&Plaintext::constant(23), &mut rng).unwrap();
+        for v in [-5i64, 0, 9] {
+            let prepared = eval.prepare_plain_scalar(v).unwrap();
+            let got = eval.mul_plain_scalar_arena(&a, &prepared, &arena).unwrap();
+            assert_eq!(got, eval.mul_plain_scalar(&a, &prepared).unwrap());
+            arena.recycle_ciphertext(got);
+        }
+        // The free list now holds one ciphertext's worth of buffers; the
+        // next arena multiply must drain it rather than allocate.
+        assert!(arena.free_buffers() > 0);
+        let prepared = eval.prepare_plain_scalar(3).unwrap();
+        let before = arena.free_buffers();
+        let got = eval.mul_plain_scalar_arena(&a, &prepared, &arena).unwrap();
+        assert_eq!(arena.free_buffers(), 0);
+        assert_eq!(before, got.polys.iter().map(|p| p.limbs.len()).sum());
+        assert_eq!(got, eval.mul_plain_scalar(&a, &prepared).unwrap());
+    }
+
+    #[test]
+    fn prepared_bias_matches_add_plain_bitwise() {
+        let ctx = BfvContext::new(presets::test_n256()).unwrap();
+        let mut rng = ChaChaRng::from_seed(96);
+        let keygen = KeyGenerator::new(ctx.clone(), &mut rng);
+        let enc = Encryptor::new(ctx.clone(), keygen.public_key());
+        let eval = Evaluator::new(ctx.clone());
+        let t = ctx.params().plain_modulus();
+        let base = enc.encrypt(&Plaintext::constant(500), &mut rng).unwrap();
+        for residue in [0u64, 17, t - 1] {
+            let bias = eval.prepare_plain_bias(residue).unwrap();
+            // Coefficient-form ciphertext.
+            let mut got = base.clone();
+            eval.add_plain_bias_inplace(&mut got, &bias).unwrap();
+            let want = eval
+                .add_plain(&base, &Plaintext::constant(residue))
+                .unwrap();
+            assert_eq!(got, want, "coeff-form bias {residue}");
+            // NTT-form ciphertext (the transform of a constant is that
+            // constant everywhere — pinned here against full add_plain).
+            let mut ntt_base = base.clone();
+            for poly in ntt_base.polys.iter_mut() {
+                poly.to_ntt(&ctx);
+            }
+            let mut got = ntt_base.clone();
+            eval.add_plain_bias_inplace(&mut got, &bias).unwrap();
+            let want = eval
+                .add_plain(&ntt_base, &Plaintext::constant(residue))
+                .unwrap();
+            assert_eq!(got, want, "ntt-form bias {residue}");
+        }
+        assert!(eval.prepare_plain_bias(t).is_err());
     }
 
     #[test]

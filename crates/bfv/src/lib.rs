@@ -56,6 +56,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arena;
 pub mod arith;
 pub mod ciphertext;
 pub mod context;
@@ -74,14 +75,15 @@ pub mod serialization;
 
 /// Convenient glob-import of the main types.
 pub mod prelude {
+    pub use crate::arena::PolyArena;
     pub use crate::ciphertext::Ciphertext;
     pub use crate::context::BfvContext;
     pub use crate::decryptor::Decryptor;
     pub use crate::encoding::{BatchEncoder, IntegerEncoder, ScalarEncoder};
     pub use crate::encryptor::Encryptor;
     pub use crate::error::BfvError;
-    pub use crate::evaluator::Evaluator;
+    pub use crate::evaluator::{Evaluator, PlainScalar, PreparedBias};
     pub use crate::keys::{EvaluationKeys, KeyGenerator, PublicKey, SecretKey};
     pub use crate::params::{presets, EncryptionParameters, SecurityLevel};
-    pub use crate::plaintext::Plaintext;
+    pub use crate::plaintext::{NttPlaintext, Plaintext};
 }

@@ -6,17 +6,41 @@
 //! product between forward transforms.
 
 use crate::arith::{
-    add_mod, inv_mod, mul_mod, mul_mod_shoup, primitive_root_of_unity, shoup_precompute, sub_mod,
+    add_mod, inv_mod, mul_mod, mul_mod_shoup, mul_mod_shoup_lazy, primitive_root_of_unity,
+    shoup_precompute, sub_mod, BarrettU128,
 };
+
+/// A reusable multiplicand provisioned into evaluation form by
+/// [`NttTable::prepare_cached_operand`]: `NTT(b) · n^{-1} mod p` per slot
+/// (canonical range), plus the Shoup constant for each slot. Opaque —
+/// only [`NttTable::negacyclic_multiply_cached`] consumes it, and only
+/// tables with the same `(n, p)` produce/accept compatible values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedNttOperand {
+    /// `NTT(b) · n^{-1} mod p`, canonical.
+    values: Vec<u64>,
+    /// `shoup_precompute(values[i], p)`.
+    shoup: Vec<u64>,
+}
 
 /// Precomputed twiddle tables for one `(n, p)` pair.
 ///
 /// Twiddle factors carry Shoup precomputations, so every butterfly costs two
-/// multiplications and no division.
+/// multiplications and no division. The production [`NttTable::forward`] /
+/// [`NttTable::inverse`] kernels use Harvey-style lazy reduction: values ride
+/// through the butterfly passes in `[0, 4p)` (forward) / `[0, 2p)` (inverse)
+/// against the precomputed `2p` bound, and a single correction sweep at the
+/// end restores the canonical range. The pre-lazy eager kernels are retained
+/// as `*_reference` oracles for the differential suite and the bench
+/// baseline. See DESIGN.md §16 for the value-range contract per pass.
 #[derive(Debug, Clone)]
 pub struct NttTable {
     n: usize,
     p: u64,
+    /// `2p`, the lazy-reduction bound used by every butterfly pass.
+    two_p: u64,
+    /// Barrett reducer for the pointwise product stage (replaces `u128 %`).
+    barrett: BarrettU128,
     /// ψ^bitrev(i) for the forward (decimation-in-time, CT) transform.
     root_powers: Vec<u64>,
     /// Shoup constants for `root_powers`.
@@ -88,6 +112,8 @@ impl NttTable {
         NttTable {
             n,
             p,
+            two_p: 2 * p,
+            barrett: BarrettU128::new(p),
             root_powers,
             root_powers_shoup,
             inv_root_powers,
@@ -113,13 +139,268 @@ impl NttTable {
     }
 
     /// In-place forward negacyclic NTT (coefficient order → bit-reversed
-    /// evaluation order).
+    /// evaluation order), Harvey lazy-reduction kernel.
+    ///
+    /// Accepts any input values below `4p` (canonical inputs included) and
+    /// produces fully reduced canonical outputs, bit-identical to
+    /// [`NttTable::forward_reference`] on canonical inputs.
     ///
     /// # Panics
     ///
     /// Panics if `values.len() != n`.
     // hesgx-lint: hot
     pub fn forward(&self, values: &mut [u64]) {
+        self.forward_lazy(values);
+        // Single correction sweep: [0, 4p) -> [0, p).
+        let (p, two_p) = (self.p, self.two_p);
+        for v in values.iter_mut() {
+            let mut x = *v;
+            let d = x.wrapping_sub(two_p);
+            x = d.wrapping_add(two_p & (((d as i64) >> 63) as u64));
+            let d = x.wrapping_sub(p);
+            *v = d.wrapping_add(p & (((d as i64) >> 63) as u64));
+        }
+    }
+
+    /// Forward butterfly passes only: inputs in `[0, 4p)`, outputs in
+    /// `[0, 4p)`. Each pass reduces the upper operand into `[0, 2p)` with one
+    /// conditional `2p` subtraction and takes the twiddle product through the
+    /// lazy Shoup form, so no butterfly ever fully reduces.
+    // hesgx-lint: hot
+    fn forward_lazy(&self, values: &mut [u64]) {
+        assert_eq!(values.len(), self.n);
+        let p = self.p;
+        let two_p = self.two_p;
+        let mut t = self.n;
+        let mut m = 1;
+        while m < self.n {
+            t >>= 1;
+            for (i, block) in values.chunks_exact_mut(2 * t).enumerate() {
+                let s = self.root_powers[m + i];
+                let s_shoup = self.root_powers_shoup[m + i];
+                let (left, right) = block.split_at_mut(t);
+                for (a, b) in left.iter_mut().zip(right.iter_mut()) {
+                    // u: [0, 4p) -> [0, 2p); v: lazy product in [0, 2p).
+                    let d = (*a).wrapping_sub(two_p);
+                    let u = d.wrapping_add(two_p & (((d as i64) >> 63) as u64));
+                    let v = mul_mod_shoup_lazy(*b, s, s_shoup, p);
+                    *a = u + v;
+                    *b = u + two_p - v;
+                }
+            }
+            m <<= 1;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (bit-reversed evaluation order →
+    /// coefficient order), Harvey lazy-reduction kernel.
+    ///
+    /// Accepts any input values below `2p` and produces fully reduced
+    /// canonical outputs, bit-identical to [`NttTable::inverse_reference`]
+    /// on canonical inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != n`.
+    // hesgx-lint: hot
+    pub fn inverse(&self, values: &mut [u64]) {
+        self.inverse_lazy(values);
+        self.scale_inv_n(values);
+    }
+
+    /// Inverse (GS) butterfly passes only: inputs in `[0, 2p)`, outputs in
+    /// `[0, 2p)`. The sum arm takes one conditional `2p` subtraction; the
+    /// difference arm shifts by `2p` before the lazy twiddle product.
+    // hesgx-lint: hot
+    fn inverse_lazy(&self, values: &mut [u64]) {
+        assert_eq!(values.len(), self.n);
+        let p = self.p;
+        let two_p = self.two_p;
+        let mut t = 1;
+        let mut m = self.n;
+        while m > 1 {
+            let h = m >> 1;
+            for (i, block) in values.chunks_exact_mut(2 * t).enumerate() {
+                let s = self.inv_root_powers[h + i];
+                let s_shoup = self.inv_root_powers_shoup[h + i];
+                let (left, right) = block.split_at_mut(t);
+                for (a, b) in left.iter_mut().zip(right.iter_mut()) {
+                    let u = *a;
+                    let v = *b;
+                    // u + v in [0, 4p): one conditional subtract -> [0, 2p).
+                    let d = (u + v).wrapping_sub(two_p);
+                    *a = d.wrapping_add(two_p & (((d as i64) >> 63) as u64));
+                    // u + 2p - v in (0, 4p) < 2^64; lazy product -> [0, 2p).
+                    *b = mul_mod_shoup_lazy(u + two_p - v, s, s_shoup, p);
+                }
+            }
+            t <<= 1;
+            m = h;
+        }
+    }
+
+    /// Final `n^{-1}` scaling with a single correction: `[0, 2p)` inputs to
+    /// canonical `[0, p)` outputs.
+    // hesgx-lint: hot
+    fn scale_inv_n(&self, values: &mut [u64]) {
+        let p = self.p;
+        for v in values.iter_mut() {
+            let r = mul_mod_shoup_lazy(*v, self.inv_n, self.inv_n_shoup, p);
+            let d = r.wrapping_sub(p);
+            *v = d.wrapping_add(p & (((d as i64) >> 63) as u64));
+        }
+    }
+
+    /// Negacyclic convolution of `a` and `b` (both length `n`, coefficients
+    /// mod `p`), returning the product modulo `x^n + 1`.
+    ///
+    /// The whole pipeline stays lazy: both forward transforms leave values
+    /// in `[0, 4p)`, the pointwise stage Barrett-reduces the `< 16p^2`
+    /// products straight to canonical form (no `u128 %` division), and only
+    /// the inverse side corrects.
+    // hesgx-lint: hot
+    pub fn negacyclic_multiply(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut fa = a.to_vec();
+        let mut fb = b.to_vec();
+        self.forward_lazy(&mut fa);
+        self.forward_lazy(&mut fb);
+        for (x, y) in fa.iter_mut().zip(fb.iter()) {
+            *x = self.barrett.mul_mod(*x, *y);
+        }
+        self.inverse_lazy(&mut fa);
+        self.scale_inv_n(&mut fa);
+        fa
+    }
+
+    /// Precomputes the evaluation form of a *reused* operand — typically a
+    /// provisioned model weight — for [`Self::negacyclic_multiply_cached`].
+    ///
+    /// The cached form is `NTT(b) · n^{-1} mod p` in canonical range: the
+    /// `n^{-1}` scaling that [`Self::negacyclic_multiply`] applies after its
+    /// inverse transform is folded into the cached operand up front (the
+    /// transforms are linear, so scaling before the pointwise stage and
+    /// scaling after the inverse pass compute the same residues). Each slot
+    /// also carries a Shoup constant, so the per-request pointwise stage is
+    /// two multiplications per slot with no reduction branch. Paying the
+    /// forward transform and the Shoup divisions once at provisioning
+    /// removes them — and the scaling pass — from every per-request
+    /// multiply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n`.
+    pub fn prepare_cached_operand(&self, b: &[u64]) -> CachedNttOperand {
+        let mut values = b.to_vec();
+        self.forward_lazy(&mut values);
+        self.scale_inv_n(&mut values);
+        let shoup = values
+            .iter()
+            .map(|&v| shoup_precompute(v, self.p))
+            .collect();
+        CachedNttOperand { values, shoup }
+    }
+
+    /// Negacyclic convolution against a cached operand from
+    /// [`Self::prepare_cached_operand`]: one forward transform, then a
+    /// single fused inverse in which the first butterfly pass absorbs the
+    /// Shoup pointwise products against the provisioned constants and the
+    /// last pass emits canonical values — no second forward transform, no
+    /// Shoup divisions, no `n^{-1}` scaling pass, and no separate pointwise
+    /// or correction sweeps over the coefficient array.
+    ///
+    /// Bit-identical to `negacyclic_multiply(a, b)`: the fused pointwise
+    /// stage leaves `NTT(a) · (NTT(b)·n^{-1})` as `[0, 2p)` residues the
+    /// inverse butterflies accept, the passes compute `n · INTT(·)` over the
+    /// same residues mod `p` exactly, and linearity moves the folded
+    /// `n^{-1}` to where the eager pipeline applies it. Both paths end
+    /// canonical, so equal residues mean equal bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n` or the operand was prepared for another `n`.
+    // hesgx-lint: hot
+    pub fn negacyclic_multiply_cached(&self, a: &[u64], cached: &CachedNttOperand) -> Vec<u64> {
+        assert_eq!(a.len(), self.n, "operand length != n");
+        assert_eq!(cached.values.len(), self.n, "cached operand length != n");
+        let p = self.p;
+        if self.n == 1 {
+            // Degenerate degree: the transforms are the identity.
+            return vec![mul_mod_shoup(
+                a[0] % p,
+                cached.values[0],
+                cached.shoup[0],
+                p,
+            )];
+        }
+        let mut fa = a.to_vec();
+        self.forward_lazy(&mut fa);
+        self.inverse_lazy_fused(&mut fa, cached);
+        fa
+    }
+
+    /// Inverse (GS) butterfly passes with the cached-operand pointwise
+    /// products fused into the first pass and the canonical correction fused
+    /// into the last: inputs in `[0, 4p)` (forward-transform output times
+    /// the canonical cached slots stays below `2^64` inside the Shoup
+    /// product), outputs in `[0, p)`.
+    ///
+    /// The `first`/`last` flags are loop-invariant per pass, so the branches
+    /// predict perfectly; what the fusion buys is two fewer full sweeps over
+    /// the coefficient array per multiply.
+    // hesgx-lint: hot
+    fn inverse_lazy_fused(&self, values: &mut [u64], cached: &CachedNttOperand) {
+        assert_eq!(values.len(), self.n);
+        let p = self.p;
+        let two_p = self.two_p;
+        let mut t = 1;
+        let mut m = self.n;
+        while m > 1 {
+            let h = m >> 1;
+            let first = t == 1;
+            let last = h == 1;
+            for (i, block) in values.chunks_exact_mut(2 * t).enumerate() {
+                let s = self.inv_root_powers[h + i];
+                let s_shoup = self.inv_root_powers_shoup[h + i];
+                let (left, right) = block.split_at_mut(t);
+                for (j, (a, b)) in left.iter_mut().zip(right.iter_mut()).enumerate() {
+                    let (mut u, mut v) = (*a, *b);
+                    if first {
+                        // Pointwise stage, absorbed: `a` sits at global
+                        // index 2ti + j, `b` at 2ti + j + t. Lazy Shoup
+                        // products land both operands in [0, 2p).
+                        let idx = 2 * t * i + j;
+                        u = mul_mod_shoup_lazy(u, cached.values[idx], cached.shoup[idx], p);
+                        v = mul_mod_shoup_lazy(v, cached.values[idx + t], cached.shoup[idx + t], p);
+                    }
+                    // u + v in [0, 4p): one conditional subtract -> [0, 2p).
+                    let d = (u + v).wrapping_sub(two_p);
+                    let sum = d.wrapping_add(two_p & (((d as i64) >> 63) as u64));
+                    // u + 2p - v in (0, 4p) < 2^64; lazy product -> [0, 2p).
+                    let diff = mul_mod_shoup_lazy(u + two_p - v, s, s_shoup, p);
+                    if last {
+                        // Canonical correction, absorbed: [0, 2p) -> [0, p).
+                        let ds = sum.wrapping_sub(p);
+                        *a = ds.wrapping_add(p & (((ds as i64) >> 63) as u64));
+                        let dd = diff.wrapping_sub(p);
+                        *b = dd.wrapping_add(p & (((dd as i64) >> 63) as u64));
+                    } else {
+                        *a = sum;
+                        *b = diff;
+                    }
+                }
+            }
+            t <<= 1;
+            m = h;
+        }
+    }
+
+    /// Pre-lazy eager forward transform (every butterfly fully reduces).
+    /// Retained as the differential-test oracle and bench baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != n`.
+    pub fn forward_reference(&self, values: &mut [u64]) {
         assert_eq!(values.len(), self.n);
         let p = self.p;
         let mut t = self.n;
@@ -141,14 +422,13 @@ impl NttTable {
         }
     }
 
-    /// In-place inverse negacyclic NTT (bit-reversed evaluation order →
-    /// coefficient order).
+    /// Pre-lazy eager inverse transform (every butterfly fully reduces).
+    /// Retained as the differential-test oracle and bench baseline.
     ///
     /// # Panics
     ///
     /// Panics if `values.len() != n`.
-    // hesgx-lint: hot
-    pub fn inverse(&self, values: &mut [u64]) {
+    pub fn inverse_reference(&self, values: &mut [u64]) {
         assert_eq!(values.len(), self.n);
         let p = self.p;
         let mut t = 1;
@@ -174,19 +454,25 @@ impl NttTable {
         }
     }
 
-    /// Negacyclic convolution of `a` and `b` (both length `n`, coefficients
-    /// mod `p`), returning the product modulo `x^n + 1`.
-    // hesgx-lint: hot
-    pub fn negacyclic_multiply(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+    /// Pre-lazy eager negacyclic convolution (`u128 %` pointwise stage).
+    /// Retained as the differential-test oracle and bench baseline.
+    pub fn negacyclic_multiply_reference(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
         let mut fa = a.to_vec();
         let mut fb = b.to_vec();
-        self.forward(&mut fa);
-        self.forward(&mut fb);
+        self.forward_reference(&mut fa);
+        self.forward_reference(&mut fb);
         for (x, y) in fa.iter_mut().zip(fb.iter()) {
             *x = mul_mod(*x, *y, self.p);
         }
-        self.inverse(&mut fa);
+        self.inverse_reference(&mut fa);
         fa
+    }
+
+    /// The Barrett reducer bound to this table's modulus (shared with the
+    /// RNS pointwise kernels in `poly.rs`).
+    #[inline]
+    pub(crate) fn barrett(&self) -> BarrettU128 {
+        self.barrett
     }
 }
 
@@ -244,6 +530,26 @@ mod tests {
                 negacyclic_multiply_naive(&a, &b, p),
                 "degree {n}"
             );
+        }
+    }
+
+    #[test]
+    fn cached_operand_multiply_is_bit_identical() {
+        for n in [8usize, 64, 256, 1024] {
+            let p = crate::arith::largest_prime_congruent_one(40, 2 * n as u64);
+            let table = NttTable::new(n, p);
+            let mut rng = ChaChaRng::from_seed(1000 + n as u64);
+            let a: Vec<u64> = (0..n).map(|_| rng.next_below(p)).collect();
+            let b: Vec<u64> = (0..n).map(|_| rng.next_below(p)).collect();
+            let cached = table.prepare_cached_operand(&b);
+            let via_cache = table.negacyclic_multiply_cached(&a, &cached);
+            assert_eq!(via_cache, table.negacyclic_multiply(&a, &b), "degree {n}");
+            assert_eq!(
+                via_cache,
+                table.negacyclic_multiply_reference(&a, &b),
+                "degree {n} vs eager reference"
+            );
+            assert!(via_cache.iter().all(|&v| v < p), "canonical range n={n}");
         }
     }
 

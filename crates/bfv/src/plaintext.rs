@@ -1,5 +1,6 @@
 //! Plaintext polynomials over `R_t`.
 
+use crate::poly::RnsPoly;
 use serde::{Deserialize, Serialize};
 
 /// A plaintext: a polynomial with coefficients reduced modulo the plaintext
@@ -60,6 +61,25 @@ impl Plaintext {
 impl Default for Plaintext {
     fn default() -> Self {
         Plaintext::zero()
+    }
+}
+
+/// A plaintext cached in NTT (evaluation) form against one context — the
+/// centered lift and forward transform that
+/// [`crate::evaluator::Evaluator::mul_plain`] redoes per call, computed
+/// once at weight provisioning and reused by
+/// [`crate::evaluator::Evaluator::mul_plain_ntt`] for every request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NttPlaintext {
+    pub(crate) poly: RnsPoly,
+    /// Binds the cached transform to the parameter set that produced it.
+    pub(crate) context_id: [u8; 32],
+}
+
+impl NttPlaintext {
+    /// The context identifier this cached transform is bound to.
+    pub fn context_id(&self) -> &[u8; 32] {
+        &self.context_id
     }
 }
 

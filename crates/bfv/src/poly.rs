@@ -127,13 +127,17 @@ impl RnsPoly {
     }
 
     /// Pointwise product (both operands must be in NTT form).
+    ///
+    /// Uses the per-limb Barrett reducers (no `u128 %` division in the
+    /// loop); results are identical to the division form.
     pub fn mul_pointwise(&self, other: &RnsPoly, ctx: &BfvContext) -> RnsPoly {
         assert_eq!(self.form, PolyForm::Ntt);
         assert_eq!(other.form, PolyForm::Ntt);
         let mut out = self.clone();
-        for (i, &qi) in ctx.params().coeff_moduli().iter().enumerate() {
+        for (i, table) in ctx.ntt_tables.iter().enumerate() {
+            let barrett = table.barrett();
             for j in 0..out.limbs[i].len() {
-                out.limbs[i][j] = mul_mod(out.limbs[i][j], other.limbs[i][j], qi);
+                out.limbs[i][j] = barrett.mul_mod(out.limbs[i][j], other.limbs[i][j]);
             }
         }
         out
@@ -144,9 +148,16 @@ impl RnsPoly {
         assert_eq!(self.form, PolyForm::Ntt);
         assert_eq!(a.form, PolyForm::Ntt);
         assert_eq!(b.form, PolyForm::Ntt);
-        for (i, &qi) in ctx.params().coeff_moduli().iter().enumerate() {
+        for (i, (&qi, table)) in ctx
+            .params()
+            .coeff_moduli()
+            .iter()
+            .zip(ctx.ntt_tables.iter())
+            .enumerate()
+        {
+            let barrett = table.barrett();
             for j in 0..self.limbs[i].len() {
-                let prod = mul_mod(a.limbs[i][j], b.limbs[i][j], qi);
+                let prod = barrett.mul_mod(a.limbs[i][j], b.limbs[i][j]);
                 self.limbs[i][j] = add_mod(self.limbs[i][j], prod, qi);
             }
         }
@@ -160,6 +171,43 @@ impl RnsPoly {
             let s_shoup = crate::arith::shoup_precompute(s, qi);
             for v in self.limbs[i].iter_mut() {
                 *v = crate::arith::mul_mod_shoup(*v, s, s_shoup, qi);
+            }
+        }
+    }
+
+    /// [`RnsPoly::scale_u64`] with the per-limb `(s mod qi, shoup)` pairs
+    /// precomputed once at provisioning instead of per call — the per-limb
+    /// `u128` division in `shoup_precompute` is the dominant per-call cost
+    /// for small polynomials.
+    pub fn scale_u64_prepared(&mut self, scales: &[(u64, u64)], ctx: &BfvContext) {
+        for (i, &qi) in ctx.params().coeff_moduli().iter().enumerate() {
+            let (s, s_shoup) = scales[i];
+            for v in self.limbs[i].iter_mut() {
+                *v = crate::arith::mul_mod_shoup(*v, s, s_shoup, qi);
+            }
+        }
+    }
+
+    /// Fused scalar multiply-accumulate: `self += (±1)·src·s`, with the
+    /// per-limb `(s mod qi, shoup)` pairs precomputed. Value-for-value
+    /// identical to clone → `scale_u64` → `negate` → `add_assign`, without
+    /// the temporary polynomial.
+    pub fn scale_acc_prepared(
+        &mut self,
+        src: &RnsPoly,
+        scales: &[(u64, u64)],
+        negate: bool,
+        ctx: &BfvContext,
+    ) {
+        assert_eq!(self.form, src.form, "form mismatch in scale_acc");
+        for (i, &qi) in ctx.params().coeff_moduli().iter().enumerate() {
+            let (s, s_shoup) = scales[i];
+            for (dst, &v) in self.limbs[i].iter_mut().zip(src.limbs[i].iter()) {
+                let mut prod = crate::arith::mul_mod_shoup(v, s, s_shoup, qi);
+                if negate && prod != 0 {
+                    prod = qi - prod;
+                }
+                *dst = add_mod(*dst, prod, qi);
             }
         }
     }
@@ -287,6 +335,60 @@ mod tests {
         coeffs[7] = 500;
         let p = RnsPoly::from_signed(&ctx, &coeffs, PolyForm::Coeff);
         assert_eq!(p.centered_norm_bits(&ctx), 10); // |−1000| needs 10 bits
+    }
+
+    #[test]
+    fn prepared_scale_matches_scale_u64() {
+        let ctx = ctx();
+        let mut rng = ChaChaRng::from_seed(5);
+        let a = random_poly(&ctx, &mut rng);
+        for scalar in [0u64, 1, 3, 1000] {
+            let scales: Vec<(u64, u64)> = ctx
+                .params()
+                .coeff_moduli()
+                .iter()
+                .map(|&qi| {
+                    let s = scalar % qi;
+                    (s, crate::arith::shoup_precompute(s, qi))
+                })
+                .collect();
+            let mut plain = a.clone();
+            plain.scale_u64(scalar, &ctx);
+            let mut prepared = a.clone();
+            prepared.scale_u64_prepared(&scales, &ctx);
+            assert_eq!(plain, prepared, "scalar {scalar}");
+        }
+    }
+
+    #[test]
+    fn fused_scale_acc_matches_clone_scale_negate_add() {
+        let ctx = ctx();
+        let mut rng = ChaChaRng::from_seed(6);
+        let acc0 = random_poly(&ctx, &mut rng);
+        let src = random_poly(&ctx, &mut rng);
+        for (scalar, negate) in [(3u64, false), (3, true), (0, true), (7, false)] {
+            let scales: Vec<(u64, u64)> = ctx
+                .params()
+                .coeff_moduli()
+                .iter()
+                .map(|&qi| {
+                    let s = scalar % qi;
+                    (s, crate::arith::shoup_precompute(s, qi))
+                })
+                .collect();
+            // Reference: the pre-fusion temporary-ciphertext sequence.
+            let mut term = src.clone();
+            term.scale_u64(scalar, &ctx);
+            if negate {
+                term.negate(&ctx);
+            }
+            let mut want = acc0.clone();
+            want.add_assign(&term, &ctx);
+            // Fused path.
+            let mut got = acc0.clone();
+            got.scale_acc_prepared(&src, &scales, negate, &ctx);
+            assert_eq!(got, want, "scalar {scalar} negate {negate}");
+        }
     }
 
     #[test]

@@ -12,13 +12,14 @@ use crate::keydist::{
 use crate::planner::{plan_for, InferencePlan, PoolStrategy};
 use crate::recovery::RecoveryPolicy;
 use crate::sgx_ops::{sum_costs, InferenceEnclave};
-use hesgx_bfv::prelude::EvaluationKeys;
+use hesgx_bfv::prelude::{EvaluationKeys, PolyArena};
 use hesgx_chaos::FaultHook;
 use hesgx_crypto::rng::ChaChaRng;
 use hesgx_henn::crt::{CrtCiphertext, CrtPlainSystem};
 use hesgx_henn::image::EncryptedMap;
 use hesgx_henn::ops::{self, OpCounter};
 use hesgx_henn::par::ParExec;
+use hesgx_henn::weights::WeightBank;
 use hesgx_nn::layers::ActivationKind;
 use hesgx_nn::quantize::{QuantPipeline, QuantizedCnn};
 use hesgx_obs::{counters, Recorder};
@@ -154,6 +155,12 @@ pub struct ProvisionConfig {
     /// and the pipeline stages. The default is the disabled no-op recorder:
     /// recording costs nothing unless a caller installs an enabled one.
     pub recorder: Recorder,
+    /// Prepares every conv/FC weight form (Shoup constants, `Δ·c` bias
+    /// residues) once at provisioning and runs the cached layer kernels —
+    /// bit-identical logits and ciphertext bytes, zero per-request weight
+    /// preparation. `false` keeps the uncached kernels (the honest A/B
+    /// baseline the `ntt_bench` experiment measures against).
+    pub cached_weights: bool,
 }
 
 impl Default for ProvisionConfig {
@@ -170,6 +177,7 @@ impl Default for ProvisionConfig {
             refresh_auto: false,
             refresh_threshold_bits: None,
             recorder: Recorder::disabled(),
+            cached_weights: true,
         }
     }
 }
@@ -194,6 +202,13 @@ pub struct HybridInference {
     refresh_auto: bool,
     /// Observability recorder shared with the enclave and the worker pool.
     recorder: Recorder,
+    /// Conv and FC weight forms prepared once at provisioning
+    /// (`ProvisionConfig::cached_weights`); `None` runs the uncached
+    /// kernels — the A/B baseline for the bench experiments.
+    banks: Option<(WeightBank, WeightBank)>,
+    /// Session buffer pool: consumed feature maps recycle their limb
+    /// buffers here and the next stage's accumulator copies draw from it.
+    arena: PolyArena,
 }
 
 impl HybridInference {
@@ -219,6 +234,15 @@ impl HybridInference {
         let report = model.range_report();
         let sys = CrtPlainSystem::for_range(config.poly_degree, report.required_plain_bits)
             .map_err(Error::He)?;
+        let banks = if config.cached_weights {
+            let conv = WeightBank::prepare(&sys, &model.conv_weights, &model.conv_bias)
+                .map_err(Error::He)?;
+            let fc =
+                WeightBank::prepare(&sys, &model.fc_weights, &model.fc_bias).map_err(Error::He)?;
+            Some((conv, fc))
+        } else {
+            None
+        };
         // The enclave heap must hold a full encrypted feature map; the EPC
         // stays at its hardware size, so oversized working sets page (and are
         // charged) exactly as the paper's §III-B describes.
@@ -271,6 +295,8 @@ impl HybridInference {
             refresh_between_stages: config.refresh_between_stages,
             refresh_auto: config.refresh_auto,
             recorder: config.recorder,
+            banks,
+            arena: PolyArena::new(),
         };
         Ok((service, ceremony))
     }
@@ -463,17 +489,30 @@ impl HybridInference {
         // cells × CRT limbs (bit-identical for every pool size).
         let start = WallTimer::start();
         self.trace_stage_begin("infer.layer[0].he");
-        let conv = ops::he_conv2d_par(
-            &self.sys,
-            input,
-            &m.conv_weights,
-            &m.conv_bias,
-            m.conv_out,
-            m.kernel,
-            1,
-            &mut metrics.ops,
-            &self.pool,
-        )?;
+        let conv = match &self.banks {
+            Some((conv_bank, _)) => ops::he_conv2d_cached_par(
+                &self.sys,
+                input,
+                conv_bank,
+                m.conv_out,
+                m.kernel,
+                1,
+                &mut metrics.ops,
+                &self.pool,
+                &self.arena,
+            )?,
+            None => ops::he_conv2d_par(
+                &self.sys,
+                input,
+                &m.conv_weights,
+                &m.conv_bias,
+                m.conv_out,
+                m.kernel,
+                1,
+                &mut metrics.ops,
+                &self.pool,
+            )?,
+        };
         self.trace_stage_end("infer.layer[0].he");
         let conv_wall = start.elapsed();
         self.record_stage("infer.layer[0].he", conv_wall, None);
@@ -500,6 +539,9 @@ impl HybridInference {
         };
         self.probe_gauge("noise.budget.layer[1].post", activated.cells())?;
         self.trace_stage_end("infer.layer[1].ecall");
+        // The conv map is consumed; its limb buffers seed the pool stage's
+        // accumulator copies.
+        conv.recycle(&self.arena);
         let act_wall = start.elapsed();
         self.record_stage("infer.layer[1].ecall", act_wall, Some(&act_cost));
         metrics.stages.push(StageMetrics {
@@ -527,14 +569,19 @@ impl HybridInference {
                     m.window,
                     &mut metrics.ops,
                     &self.pool,
+                    &self.arena,
                 )?;
                 self.probe_gauge("noise.budget.layer[2].pre", summed.cells())?;
-                self.enclave
-                    .divide_map_par(&self.sys, &summed, m, &self.pool)?
+                let out = self
+                    .enclave
+                    .divide_map_par(&self.sys, &summed, m, &self.pool)?;
+                summed.recycle(&self.arena);
+                out
             }
         };
         self.probe_gauge("noise.budget.layer[2].post", pooled.cells())?;
         self.trace_stage_end("infer.layer[2].ecall");
+        activated.recycle(&self.arena);
         let pool_wall = start.elapsed();
         self.record_stage("infer.layer[2].ecall", pool_wall, Some(&pool_cost));
         metrics.stages.push(StageMetrics {
@@ -645,16 +692,28 @@ impl HybridInference {
         // classes × CRT limbs.
         let start = WallTimer::start();
         self.trace_stage_begin(&format!("infer.layer[{layer}].he"));
-        let logits = ops::he_fully_connected_par(
-            &self.sys,
-            &pooled,
-            &m.fc_weights,
-            &m.fc_bias,
-            m.classes,
-            &mut metrics.ops,
-            &self.pool,
-        )?;
+        let logits = match &self.banks {
+            Some((_, fc_bank)) => ops::he_fully_connected_cached_par(
+                &self.sys,
+                &pooled,
+                fc_bank,
+                m.classes,
+                &mut metrics.ops,
+                &self.pool,
+                &self.arena,
+            )?,
+            None => ops::he_fully_connected_par(
+                &self.sys,
+                &pooled,
+                &m.fc_weights,
+                &m.fc_bias,
+                m.classes,
+                &mut metrics.ops,
+                &self.pool,
+            )?,
+        };
         self.trace_stage_end(&format!("infer.layer[{layer}].he"));
+        pooled.recycle(&self.arena);
         let fc_wall = start.elapsed();
         self.record_stage(&format!("infer.layer[{layer}].he"), fc_wall, None);
         metrics.stages.push(StageMetrics {
@@ -716,17 +775,30 @@ impl HybridInference {
 
         let start = WallTimer::start();
         self.trace_stage_begin("infer.degraded.layer[0].he");
-        let conv = ops::he_conv2d_par(
-            &self.sys,
-            input,
-            &m.conv_weights,
-            &m.conv_bias,
-            m.conv_out,
-            m.kernel,
-            1,
-            &mut metrics.ops,
-            &self.pool,
-        )?;
+        let conv = match &self.banks {
+            Some((conv_bank, _)) => ops::he_conv2d_cached_par(
+                &self.sys,
+                input,
+                conv_bank,
+                m.conv_out,
+                m.kernel,
+                1,
+                &mut metrics.ops,
+                &self.pool,
+                &self.arena,
+            )?,
+            None => ops::he_conv2d_par(
+                &self.sys,
+                input,
+                &m.conv_weights,
+                &m.conv_bias,
+                m.conv_out,
+                m.kernel,
+                1,
+                &mut metrics.ops,
+                &self.pool,
+            )?,
+        };
         self.trace_stage_end("infer.degraded.layer[0].he");
         let wall = start.elapsed();
         self.record_stage("infer.degraded.layer[0].he", wall, None);
@@ -746,6 +818,7 @@ impl HybridInference {
             &self.pool,
         )?;
         self.trace_stage_end("infer.degraded.layer[1].he");
+        conv.recycle(&self.arena);
         let wall = start.elapsed();
         self.record_stage("infer.degraded.layer[1].he", wall, None);
         metrics.stages.push(StageMetrics {
@@ -762,8 +835,10 @@ impl HybridInference {
             m.window,
             &mut metrics.ops,
             &self.pool,
+            &self.arena,
         )?;
         self.trace_stage_end("infer.degraded.layer[2].he");
+        activated.recycle(&self.arena);
         let wall = start.elapsed();
         self.record_stage("infer.degraded.layer[2].he", wall, None);
         metrics.stages.push(StageMetrics {
@@ -774,16 +849,28 @@ impl HybridInference {
 
         let start = WallTimer::start();
         self.trace_stage_begin("infer.degraded.layer[3].he");
-        let logits = ops::he_fully_connected_par(
-            &self.sys,
-            &pooled,
-            &m.fc_weights,
-            &m.fc_bias,
-            m.classes,
-            &mut metrics.ops,
-            &self.pool,
-        )?;
+        let logits = match &self.banks {
+            Some((_, fc_bank)) => ops::he_fully_connected_cached_par(
+                &self.sys,
+                &pooled,
+                fc_bank,
+                m.classes,
+                &mut metrics.ops,
+                &self.pool,
+                &self.arena,
+            )?,
+            None => ops::he_fully_connected_par(
+                &self.sys,
+                &pooled,
+                &m.fc_weights,
+                &m.fc_bias,
+                m.classes,
+                &mut metrics.ops,
+                &self.pool,
+            )?,
+        };
         self.trace_stage_end("infer.degraded.layer[3].he");
+        pooled.recycle(&self.arena);
         let wall = start.elapsed();
         self.record_stage("infer.degraded.layer[3].he", wall, None);
         metrics.stages.push(StageMetrics {
@@ -974,5 +1061,90 @@ mod tests {
                 Some(cts) => assert_eq!(&logits, cts, "{threads} threads"),
             }
         }
+    }
+
+    /// The cached weight bank must be a pure speed change: logits (ciphertext
+    /// bytes, not just decrypted values) identical to the uncached kernels,
+    /// and zero per-request weight preparations versus the uncached path's
+    /// one-per-tap count.
+    #[test]
+    fn cached_weights_are_bit_identical_with_zero_weight_prep() {
+        let model = small_hybrid_model();
+        let images: Vec<Vec<i64>> = (0..2)
+            .map(|b| (0..64).map(|p| ((p * 5 + b * 3) % 16) as i64).collect())
+            .collect();
+        let mut runs = Vec::new();
+        for cached_weights in [true, false] {
+            let (service, _) = HybridInference::provision_with(
+                Platform::new(36),
+                model.clone(),
+                ProvisionConfig {
+                    poly_degree: 256,
+                    seed: 12,
+                    cached_weights,
+                    ..ProvisionConfig::default()
+                },
+            )
+            .unwrap();
+            let mut rng = ChaChaRng::from_seed(104);
+            let enc = EncryptedMap::encrypt_images(
+                &service.sys,
+                &images,
+                model.in_side,
+                service.enclave.public_keys(),
+                &mut rng,
+            )
+            .unwrap();
+            let (logits, metrics) = service.infer(&enc, EcallBatching::Batched).unwrap();
+            runs.push((logits, metrics.ops));
+        }
+        let (cached, uncached) = (&runs[0], &runs[1]);
+        assert_eq!(cached.0, uncached.0, "cached logits must match uncached");
+        assert_eq!(cached.1.ct_pt_mul, uncached.1.ct_pt_mul);
+        assert_eq!(cached.1.ct_pt_add, uncached.1.ct_pt_add);
+        assert_eq!(cached.1.weight_prep, 0, "no per-request weight prep");
+        // Conv: 2 channels × 6×6 cells × 3×3 taps + bias per cell;
+        // FC: 3 classes × 18 inputs + bias per class.
+        assert_eq!(
+            uncached.1.weight_prep as usize,
+            2 * 36 * 9 + 2 * 36 + 3 * 18 + 3
+        );
+    }
+
+    /// Degraded (pure-HE) inference takes the same cached conv/FC paths; the
+    /// fallback must stay bit-identical to its uncached form too.
+    #[test]
+    fn degraded_cached_weights_are_bit_identical() {
+        let model = small_hybrid_model();
+        let images = vec![(0..64).map(|p| ((p * 7) % 16) as i64).collect::<Vec<i64>>()];
+        let mut logits_runs = Vec::new();
+        for cached_weights in [true, false] {
+            let (service, _) = HybridInference::provision_with(
+                Platform::new(37),
+                model.clone(),
+                ProvisionConfig {
+                    poly_degree: 256,
+                    seed: 13,
+                    cached_weights,
+                    ..ProvisionConfig::default()
+                },
+            )
+            .unwrap();
+            let mut rng = ChaChaRng::from_seed(105);
+            let enc = EncryptedMap::encrypt_images(
+                &service.sys,
+                &images,
+                model.in_side,
+                service.enclave.public_keys(),
+                &mut rng,
+            )
+            .unwrap();
+            let (logits, metrics) = service.infer_degraded(&enc).unwrap();
+            if cached_weights {
+                assert_eq!(metrics.ops.weight_prep, 0);
+            }
+            logits_runs.push(logits);
+        }
+        assert_eq!(logits_runs[0], logits_runs[1]);
     }
 }

@@ -328,6 +328,7 @@ impl SessionBuilder {
             refresh_auto: self.policy.noise_refresh == NoiseRefresh::Auto,
             refresh_threshold_bits: self.policy.refresh_threshold_bits,
             recorder: self.recorder.clone(),
+            cached_weights: true,
         };
         let (mut service, ceremony) =
             HybridInference::provision_with(platform.clone(), model.clone(), config.clone())?;

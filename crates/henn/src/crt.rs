@@ -27,6 +27,15 @@ impl CrtCiphertext {
         self.parts.len()
     }
 
+    /// Borrows one component ciphertext (for serialization / auditing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.part_count()`.
+    pub fn part(&self, i: usize) -> &Ciphertext {
+        &self.parts[i]
+    }
+
     /// Approximate serialized size in bytes (for transfer/EPC modeling).
     pub fn byte_len(&self) -> usize {
         self.parts.iter().map(|c| c.byte_len()).sum()
@@ -35,6 +44,64 @@ impl CrtCiphertext {
     /// Largest component ciphertext size (2 fresh, 3 after a multiply).
     pub fn size(&self) -> usize {
         self.parts.iter().map(|c| c.size()).max().unwrap_or(0)
+    }
+
+    /// A copy whose limb buffers are drawn from `arena` instead of the
+    /// global allocator. Bit-identical to [`Clone::clone`].
+    pub fn arena_copy(&self, arena: &PolyArena) -> CrtCiphertext {
+        CrtCiphertext {
+            parts: self
+                .parts
+                .iter()
+                .map(|p| arena.copy_ciphertext(p))
+                .collect(),
+        }
+    }
+
+    /// Returns every limb buffer of a consumed ciphertext to `arena`.
+    pub fn recycle(self, arena: &PolyArena) {
+        for part in self.parts {
+            arena.recycle_ciphertext(part);
+        }
+    }
+}
+
+/// A scalar weight prepared for every CRT part: the per-part `rem_euclid`
+/// centering plus the per-limb Shoup precomputation that
+/// [`CrtPlainSystem::mul_scalar`] redoes on every call, hoisted to
+/// provisioning time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrtPreparedScalar {
+    pub(crate) parts: Vec<PlainScalar>,
+}
+
+impl CrtPreparedScalar {
+    /// Borrows the prepared form for CRT part `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn part(&self, i: usize) -> &PlainScalar {
+        &self.parts[i]
+    }
+}
+
+/// A bias constant prepared for every CRT part: the per-limb `Δ·c mod qi`
+/// values that [`CrtPlainSystem::add_scalar`] recomputes (plus a full
+/// polynomial allocation) on every call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrtPreparedBias {
+    pub(crate) parts: Vec<PreparedBias>,
+}
+
+impl CrtPreparedBias {
+    /// Borrows the prepared form for CRT part `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn part(&self, i: usize) -> &PreparedBias {
+        &self.parts[i]
     }
 }
 
@@ -326,6 +393,162 @@ impl CrtPlainSystem {
         self.evaluators[part].mul_plain_signed_scalar(a, centered)
     }
 
+    /// Prepares a signed scalar weight once for repeated multiplication —
+    /// [`CrtPlainSystem::mul_scalar`] with the centering and Shoup
+    /// precomputation hoisted out of the per-request path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates component failures.
+    pub fn prepare_scalar(&self, value: i64) -> hesgx_bfv::error::Result<CrtPreparedScalar> {
+        let mut parts = Vec::with_capacity(self.moduli.len());
+        for part in 0..self.moduli.len() {
+            let t = self.moduli[part] as i64;
+            let reduced = value.rem_euclid(t);
+            let centered = if reduced > t / 2 {
+                reduced - t
+            } else {
+                reduced
+            };
+            parts.push(self.evaluators[part].prepare_plain_scalar(centered)?);
+        }
+        Ok(CrtPreparedScalar { parts })
+    }
+
+    /// Multiplies by a prepared scalar. Bit-identical to
+    /// [`CrtPlainSystem::mul_scalar`] with the original value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates component failures.
+    pub fn mul_scalar_prepared(
+        &self,
+        a: &CrtCiphertext,
+        scalar: &CrtPreparedScalar,
+    ) -> hesgx_bfv::error::Result<CrtCiphertext> {
+        let mut parts = Vec::with_capacity(a.parts.len());
+        for i in 0..self.evaluators.len() {
+            parts.push(self.mul_scalar_prepared_part(&a.parts[i], scalar.part(i), i)?);
+        }
+        Ok(CrtCiphertext { parts })
+    }
+
+    /// Prepared scalar multiply of CRT part `part` only (limb-level entry
+    /// point).
+    ///
+    /// # Errors
+    ///
+    /// Propagates component failures.
+    pub fn mul_scalar_prepared_part(
+        &self,
+        a: &Ciphertext,
+        scalar: &PlainScalar,
+        part: usize,
+    ) -> hesgx_bfv::error::Result<Ciphertext> {
+        self.evaluators[part].mul_plain_scalar(a, scalar)
+    }
+
+    /// Prepared scalar multiply of part `part`, drawing the output's limb
+    /// buffers from `arena` (bit-identical to
+    /// [`CrtPlainSystem::mul_scalar_prepared_part`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates component failures.
+    pub fn mul_scalar_prepared_arena_part(
+        &self,
+        a: &Ciphertext,
+        scalar: &PlainScalar,
+        arena: &PolyArena,
+        part: usize,
+    ) -> hesgx_bfv::error::Result<Ciphertext> {
+        self.evaluators[part].mul_plain_scalar_arena(a, scalar, arena)
+    }
+
+    /// Fused multiply-accumulate `acc += a · w` on every CRT part — the
+    /// conv/FC inner loop without the temporary ciphertext. Accumulated
+    /// values are bit-identical to [`CrtPlainSystem::mul_scalar`] followed
+    /// by [`CrtPlainSystem::add_inplace`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates component failures.
+    pub fn mul_scalar_acc(
+        &self,
+        acc: &mut CrtCiphertext,
+        a: &CrtCiphertext,
+        scalar: &CrtPreparedScalar,
+    ) -> hesgx_bfv::error::Result<()> {
+        for i in 0..self.evaluators.len() {
+            self.mul_scalar_acc_part(&mut acc.parts[i], &a.parts[i], scalar.part(i), i)?;
+        }
+        Ok(())
+    }
+
+    /// Fused multiply-accumulate on CRT part `part` only (limb-level entry
+    /// point).
+    ///
+    /// # Errors
+    ///
+    /// Propagates component failures.
+    pub fn mul_scalar_acc_part(
+        &self,
+        acc: &mut Ciphertext,
+        a: &Ciphertext,
+        scalar: &PlainScalar,
+        part: usize,
+    ) -> hesgx_bfv::error::Result<()> {
+        self.evaluators[part].mul_plain_scalar_acc(acc, a, scalar)
+    }
+
+    /// Caches the evaluation (NTT) form of an encoded-weight plaintext for
+    /// CRT part `part` — the per-call centering + forward transform that
+    /// [`CrtPlainSystem::mul_plain_part`] redoes per request, done once at
+    /// weight provisioning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates component failures.
+    pub fn transform_plain_part(
+        &self,
+        plain: &Plaintext,
+        part: usize,
+    ) -> hesgx_bfv::error::Result<NttPlaintext> {
+        self.evaluators[part].transform_plain_to_ntt(plain)
+    }
+
+    /// Multiplies part `part` by a plaintext polynomial, re-transforming the
+    /// plaintext on every call (the uncached baseline for
+    /// [`CrtPlainSystem::mul_plain_ntt_part`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates component failures.
+    pub fn mul_plain_part(
+        &self,
+        a: &Ciphertext,
+        plain: &Plaintext,
+        part: usize,
+    ) -> hesgx_bfv::error::Result<Ciphertext> {
+        self.evaluators[part].mul_plain(a, plain)
+    }
+
+    /// Multiplies part `part` by a cached evaluation-form plaintext —
+    /// bit-identical to [`CrtPlainSystem::mul_plain_part`] without the
+    /// per-call transform.
+    ///
+    /// # Errors
+    ///
+    /// Propagates component failures.
+    pub fn mul_plain_ntt_part(
+        &self,
+        a: &Ciphertext,
+        plain: &NttPlaintext,
+        part: usize,
+    ) -> hesgx_bfv::error::Result<Ciphertext> {
+        self.evaluators[part].mul_plain_ntt(a, plain)
+    }
+
     /// Adds a signed integer constant (to all slots).
     ///
     /// # Errors
@@ -357,6 +580,55 @@ impl CrtPlainSystem {
         let t = self.moduli[part];
         let residue = value.rem_euclid(t as i64) as u64;
         self.evaluators[part].add_plain(a, &Plaintext::constant(residue))
+    }
+
+    /// Prepares a bias constant once for repeated in-place addition —
+    /// [`CrtPlainSystem::add_scalar`] without the per-call polynomial
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates component failures.
+    pub fn prepare_bias(&self, value: i64) -> hesgx_bfv::error::Result<CrtPreparedBias> {
+        let mut parts = Vec::with_capacity(self.moduli.len());
+        for part in 0..self.moduli.len() {
+            let t = self.moduli[part];
+            let residue = value.rem_euclid(t as i64) as u64;
+            parts.push(self.evaluators[part].prepare_plain_bias(residue)?);
+        }
+        Ok(CrtPreparedBias { parts })
+    }
+
+    /// Adds a prepared bias in place on every CRT part. Values are
+    /// bit-identical to [`CrtPlainSystem::add_scalar`] with the original
+    /// constant (pinned by the bfv evaluator tests), with no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates component failures.
+    pub fn add_bias_inplace(
+        &self,
+        a: &mut CrtCiphertext,
+        bias: &CrtPreparedBias,
+    ) -> hesgx_bfv::error::Result<()> {
+        for i in 0..self.evaluators.len() {
+            self.add_bias_inplace_part(&mut a.parts[i], bias.part(i), i)?;
+        }
+        Ok(())
+    }
+
+    /// Prepared bias add on CRT part `part` only (limb-level entry point).
+    ///
+    /// # Errors
+    ///
+    /// Propagates component failures.
+    pub fn add_bias_inplace_part(
+        &self,
+        a: &mut Ciphertext,
+        bias: &PreparedBias,
+        part: usize,
+    ) -> hesgx_bfv::error::Result<()> {
+        self.evaluators[part].add_plain_bias_inplace(a, bias)
     }
 
     /// Slot-wise square (`C × C` multiply). Output parts have size 3 until
@@ -508,6 +780,78 @@ mod tests {
         let back = sys.decrypt_slots(&relin, &keys.secret).unwrap();
         assert_eq!(back[0], 111 * 111);
         assert_eq!(back[1], 42 * 42);
+    }
+
+    #[test]
+    fn prepared_scalar_and_bias_match_uncached_bitwise() {
+        let (sys, keys, mut rng) = system();
+        let a = sys
+            .encrypt_slots(&[10, -20, 7], &keys.public, &mut rng)
+            .unwrap();
+        for v in [-9_000i64, -1, 0, 1, 4, 11_000] {
+            let prepared = sys.prepare_scalar(v).unwrap();
+            assert_eq!(
+                sys.mul_scalar_prepared(&a, &prepared).unwrap(),
+                sys.mul_scalar(&a, v).unwrap(),
+                "prepared multiply diverged for {v}"
+            );
+            // Fused accumulate vs multiply-then-add.
+            let mut fused = a.clone();
+            sys.mul_scalar_acc(&mut fused, &a, &prepared).unwrap();
+            let term = sys.mul_scalar(&a, v).unwrap();
+            let mut want = a.clone();
+            sys.add_inplace(&mut want, &term).unwrap();
+            assert_eq!(fused, want, "fused accumulate diverged for {v}");
+
+            let bias = sys.prepare_bias(v).unwrap();
+            let mut got = a.clone();
+            sys.add_bias_inplace(&mut got, &bias).unwrap();
+            assert_eq!(
+                got,
+                sys.add_scalar(&a, v).unwrap(),
+                "prepared bias diverged for {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn arena_prepared_multiply_is_bit_identical() {
+        let (sys, keys, mut rng) = system();
+        let arena = PolyArena::new();
+        let a = sys
+            .encrypt_slots(&[42, -3], &keys.public, &mut rng)
+            .unwrap();
+        let prepared = sys.prepare_scalar(-6).unwrap();
+        for part in 0..sys.part_count() {
+            let got = sys
+                .mul_scalar_prepared_arena_part(&a.parts[part], prepared.part(part), &arena, part)
+                .unwrap();
+            assert_eq!(
+                got,
+                sys.mul_scalar_prepared_part(&a.parts[part], prepared.part(part), part)
+                    .unwrap()
+            );
+            arena.recycle_ciphertext(got);
+        }
+        assert!(arena.free_buffers() > 0);
+    }
+
+    #[test]
+    fn cached_ntt_plain_part_matches_per_call_transform() {
+        let (sys, keys, mut rng) = system();
+        let a = sys.encrypt_slots(&[5, -2], &keys.public, &mut rng).unwrap();
+        // A low-norm integer-encoded weight, as produced by the SEAL-style
+        // encoder: a few small signed digits.
+        let plain = Plaintext::from_coeffs(vec![3, 0, 1, 12288]);
+        for part in 0..sys.part_count() {
+            let cached = sys.transform_plain_part(&plain, part).unwrap();
+            assert_eq!(
+                sys.mul_plain_ntt_part(&a.parts[part], &cached, part)
+                    .unwrap(),
+                sys.mul_plain_part(&a.parts[part], &plain, part).unwrap(),
+                "part {part}"
+            );
+        }
     }
 
     #[test]

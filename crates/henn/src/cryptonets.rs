@@ -9,7 +9,9 @@
 use crate::crt::{CrtCiphertext, CrtKeys, CrtPlainSystem};
 use crate::image::EncryptedMap;
 use crate::ops::{self, OpCounter};
+use crate::weights::WeightBank;
 use hesgx_bfv::error::Result;
+use hesgx_bfv::prelude::PolyArena;
 use hesgx_crypto::rng::ChaChaRng;
 use hesgx_nn::quantize::{QuantPipeline, QuantizedCnn};
 
@@ -18,6 +20,13 @@ use hesgx_nn::quantize::{QuantPipeline, QuantizedCnn};
 pub struct CryptoNets {
     sys: CrtPlainSystem,
     model: QuantizedCnn,
+    /// Conv weights/biases prepared once at construction — no request
+    /// re-derives Shoup constants or `Δ·c` residues.
+    conv_bank: WeightBank,
+    /// FC weights/biases prepared once at construction.
+    fc_bank: WeightBank,
+    /// Session buffer pool shared by every inference this engine runs.
+    arena: PolyArena,
 }
 
 impl CryptoNets {
@@ -41,7 +50,15 @@ impl CryptoNets {
         // Depth-1 pipeline (the square) — small CRT moduli keep the
         // multiplication noise growth manageable.
         let sys = CrtPlainSystem::for_range_deep(poly_degree, report.required_plain_bits)?;
-        Ok(CryptoNets { sys, model })
+        let conv_bank = WeightBank::prepare(&sys, &model.conv_weights, &model.conv_bias)?;
+        let fc_bank = WeightBank::prepare(&sys, &model.fc_weights, &model.fc_bias)?;
+        Ok(CryptoNets {
+            sys,
+            model,
+            conv_bank,
+            fc_bank,
+            arena: PolyArena::new(),
+        })
     }
 
     /// The underlying CRT system (key generation, encryption).
@@ -83,26 +100,31 @@ impl CryptoNets {
     ) -> Result<(Vec<CrtCiphertext>, OpCounter)> {
         let m = &self.model;
         let mut counter = OpCounter::default();
-        let conv = ops::he_conv2d(
+        let conv = ops::he_conv2d_cached(
             &self.sys,
             input,
-            &m.conv_weights,
-            &m.conv_bias,
+            &self.conv_bank,
             m.conv_out,
             m.kernel,
             1,
             &mut counter,
+            &self.arena,
         )?;
         let squared = ops::he_square_activation(&self.sys, &conv, &keys.evaluation, &mut counter)?;
-        let pooled = ops::he_scaled_mean_pool(&self.sys, &squared, m.window, &mut counter)?;
-        let logits = ops::he_fully_connected(
+        // The conv map is consumed; its buffers seed the pool accumulators.
+        conv.recycle(&self.arena);
+        let pooled =
+            ops::he_scaled_mean_pool(&self.sys, &squared, m.window, &mut counter, &self.arena)?;
+        squared.recycle(&self.arena);
+        let logits = ops::he_fully_connected_cached(
             &self.sys,
             &pooled,
-            &m.fc_weights,
-            &m.fc_bias,
+            &self.fc_bank,
             m.classes,
             &mut counter,
+            &self.arena,
         )?;
+        pooled.recycle(&self.arena);
         Ok((logits, counter))
     }
 
@@ -201,6 +223,8 @@ mod tests {
         assert_eq!(counter.ct_pt_mul as usize, 2 * 36 * 9 + 3 * 18);
         assert_eq!(counter.ct_ct_mul as usize, 2 * 36);
         assert_eq!(counter.relin as usize, 2 * 36);
+        // Every weight form was prepared at construction, none per request.
+        assert_eq!(counter.weight_prep, 0);
     }
 
     #[test]

@@ -2,11 +2,12 @@
 //! mean-pool, and the square activation — with operation counting for the
 //! paper's Fig. 4 analysis.
 
-use crate::crt::{CrtCiphertext, CrtPlainSystem};
+use crate::crt::{CrtCiphertext, CrtPlainSystem, CrtPreparedScalar};
 use crate::image::EncryptedMap;
 use crate::par::ParExec;
+use crate::weights::WeightBank;
 use hesgx_bfv::error::Result;
-use hesgx_bfv::prelude::{Ciphertext, EvaluationKeys};
+use hesgx_bfv::prelude::{Ciphertext, EvaluationKeys, PolyArena};
 
 /// Counts of homomorphic primitive operations (the paper's `C×P` / `C+C`
 /// terminology in Fig. 4).
@@ -22,6 +23,12 @@ pub struct OpCounter {
     pub ct_ct_mul: u64,
     /// Relinearizations.
     pub relin: u64,
+    /// Per-call weight-operand preparations (centering + Shoup
+    /// precomputation for a scalar, `Δ·m` embedding for a bias) performed
+    /// *inside* the layer op. The uncached kernels pay one per `C×P` and
+    /// one per bias; the [`WeightBank`]-driven kernels pay zero — all
+    /// preparation happened at provisioning.
+    pub weight_prep: u64,
 }
 
 impl OpCounter {
@@ -77,6 +84,7 @@ pub fn he_conv2d(
                             let x = input.cell(i, oy * stride + ky, ox * stride + kx);
                             let term = sys.mul_scalar(x, wgt)?;
                             counter.ct_pt_mul += 1;
+                            counter.weight_prep += 1;
                             match acc.as_mut() {
                                 None => acc = Some(term),
                                 Some(a) => {
@@ -88,6 +96,86 @@ pub fn he_conv2d(
                     }
                 }
                 let acc = sys.add_scalar(&acc.expect("kernel is non-empty"), bias[o])?;
+                counter.ct_pt_add += 1;
+                counter.weight_prep += 1;
+                cells.push(acc);
+            }
+        }
+    }
+    Ok(EncryptedMap::new(out_channels, oh, ow, cells))
+}
+
+/// Arena-backed whole-ciphertext prepared multiply (all CRT parts) — the
+/// first term of an accumulator chain, drawing its buffers from the
+/// session arena instead of the global allocator.
+fn mul_prepared_arena(
+    sys: &CrtPlainSystem,
+    a: &CrtCiphertext,
+    scalar: &CrtPreparedScalar,
+    arena: &PolyArena,
+) -> Result<CrtCiphertext> {
+    let mut parts = Vec::with_capacity(a.parts.len());
+    for i in 0..a.parts.len() {
+        parts.push(sys.mul_scalar_prepared_arena_part(&a.parts[i], scalar.part(i), arena, i)?);
+    }
+    Ok(CrtCiphertext { parts })
+}
+
+/// [`he_conv2d`] driven by a provisioned [`WeightBank`]: identical
+/// arithmetic — output ciphertexts are bit-identical to the uncached
+/// kernel — but no per-call weight preparation (`weight_prep` stays 0),
+/// fused multiply-accumulate instead of a temporary ciphertext per tap,
+/// and the one remaining allocation per output cell (the initial
+/// accumulator) drawn from `arena`.
+///
+/// # Errors
+///
+/// Propagates homomorphic-operation failures.
+#[allow(clippy::too_many_arguments)]
+// hesgx-lint: hot
+pub fn he_conv2d_cached(
+    sys: &CrtPlainSystem,
+    input: &EncryptedMap,
+    bank: &WeightBank,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    counter: &mut OpCounter,
+    arena: &PolyArena,
+) -> Result<EncryptedMap> {
+    let (in_channels, h, w) = input.shape();
+    assert_eq!(
+        bank.scalars.len(),
+        out_channels * in_channels * kernel * kernel,
+        "weight count mismatch"
+    );
+    assert_eq!(bank.biases.len(), out_channels);
+    let oh = (h - kernel) / stride + 1;
+    let ow = (w - kernel) / stride + 1;
+    let mut cells = Vec::with_capacity(out_channels * oh * ow);
+    for o in 0..out_channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc: Option<CrtCiphertext> = None;
+                for i in 0..in_channels {
+                    for ky in 0..kernel {
+                        for kx in 0..kernel {
+                            let wgt =
+                                &bank.scalars[((o * in_channels + i) * kernel + ky) * kernel + kx];
+                            let x = input.cell(i, oy * stride + ky, ox * stride + kx);
+                            counter.ct_pt_mul += 1;
+                            match acc.as_mut() {
+                                None => acc = Some(mul_prepared_arena(sys, x, wgt, arena)?),
+                                Some(a) => {
+                                    sys.mul_scalar_acc(a, x, wgt)?;
+                                    counter.ct_ct_add += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                let mut acc = acc.expect("kernel is non-empty");
+                sys.add_bias_inplace(&mut acc, &bank.biases[o])?;
                 counter.ct_pt_add += 1;
                 cells.push(acc);
             }
@@ -122,6 +210,7 @@ pub fn he_fully_connected(
         for (i, cell) in input.cells().iter().enumerate() {
             let term = sys.mul_scalar(cell, weights[o * flat + i])?;
             counter.ct_pt_mul += 1;
+            counter.weight_prep += 1;
             match acc.as_mut() {
                 None => acc = Some(term),
                 Some(a) => {
@@ -132,13 +221,62 @@ pub fn he_fully_connected(
         }
         let acc = sys.add_scalar(&acc.expect("FC input non-empty"), bias[o])?;
         counter.ct_pt_add += 1;
+        counter.weight_prep += 1;
+        out.push(acc);
+    }
+    Ok(out)
+}
+
+/// [`he_fully_connected`] driven by a provisioned [`WeightBank`]:
+/// bit-identical logits with zero per-call weight preparation and
+/// arena-backed accumulators.
+///
+/// # Errors
+///
+/// Propagates homomorphic-operation failures.
+// hesgx-lint: hot
+pub fn he_fully_connected_cached(
+    sys: &CrtPlainSystem,
+    input: &EncryptedMap,
+    bank: &WeightBank,
+    out_dim: usize,
+    counter: &mut OpCounter,
+    arena: &PolyArena,
+) -> Result<Vec<CrtCiphertext>> {
+    let flat = input.cells().len();
+    assert_eq!(
+        bank.scalars.len(),
+        out_dim * flat,
+        "FC weight count mismatch"
+    );
+    assert_eq!(bank.biases.len(), out_dim);
+    let mut out = Vec::with_capacity(out_dim);
+    for o in 0..out_dim {
+        let mut acc: Option<CrtCiphertext> = None;
+        for (i, cell) in input.cells().iter().enumerate() {
+            let wgt = &bank.scalars[o * flat + i];
+            counter.ct_pt_mul += 1;
+            match acc.as_mut() {
+                None => acc = Some(mul_prepared_arena(sys, cell, wgt, arena)?),
+                Some(a) => {
+                    sys.mul_scalar_acc(a, cell, wgt)?;
+                    counter.ct_ct_add += 1;
+                }
+            }
+        }
+        let mut acc = acc.expect("FC input non-empty");
+        sys.add_bias_inplace(&mut acc, &bank.biases[o])?;
+        counter.ct_pt_add += 1;
         out.push(acc);
     }
     Ok(out)
 }
 
 /// Scaled mean-pooling: the window **sum** (no division — HE cannot divide;
-/// paper §III-A). Output values are `window²` times the true mean.
+/// paper §III-A). Output values are `window²` times the true mean. The
+/// window accumulator owns its ciphertext (an in-place borrow would alias
+/// the input map); its buffers come from `arena`, so the copy recycles the
+/// previous stage's limbs instead of allocating.
 ///
 /// # Errors
 ///
@@ -149,6 +287,7 @@ pub fn he_scaled_mean_pool(
     input: &EncryptedMap,
     window: usize,
     counter: &mut OpCounter,
+    arena: &PolyArena,
 ) -> Result<EncryptedMap> {
     let (c, h, w) = input.shape();
     assert_eq!(h % window, 0);
@@ -158,8 +297,7 @@ pub fn he_scaled_mean_pool(
     for ch in 0..c {
         for oy in 0..oh {
             for ox in 0..ow {
-                // hesgx-lint: allow(hot-path-alloc, reason = "the window accumulator must own its ciphertext; an in-place borrow would alias the input map (ROADMAP item 1 tracks buffer reuse)")
-                let mut acc = input.cell(ch, oy * window, ox * window).clone();
+                let mut acc = input.cell(ch, oy * window, ox * window).arena_copy(arena);
                 for dy in 0..window {
                     for dx in 0..window {
                         if dy == 0 && dx == 0 {
@@ -306,6 +444,105 @@ pub fn he_conv2d_par(
     counter.ct_pt_mul += n_cells as u64 * muls;
     counter.ct_ct_add += n_cells as u64 * (muls - 1);
     counter.ct_pt_add += n_cells as u64;
+    counter.weight_prep += n_cells as u64 * (muls + 1);
+    Ok(EncryptedMap::new(
+        out_channels,
+        oh,
+        ow,
+        assemble_cells(parts, n_cells, n_parts),
+    ))
+}
+
+/// One output cell of [`he_conv2d_cached`], restricted to CRT part `part`:
+/// the same fused multiply-accumulate sequence the cached serial path
+/// applies to this limb, so the result is bit-identical for any
+/// scheduling.
+#[allow(clippy::too_many_arguments)]
+fn conv_cell_part_cached(
+    sys: &CrtPlainSystem,
+    input: &EncryptedMap,
+    bank: &WeightBank,
+    in_channels: usize,
+    kernel: usize,
+    stride: usize,
+    o: usize,
+    oy: usize,
+    ox: usize,
+    part: usize,
+    arena: &PolyArena,
+) -> Result<Ciphertext> {
+    let mut acc: Option<Ciphertext> = None;
+    for i in 0..in_channels {
+        for ky in 0..kernel {
+            for kx in 0..kernel {
+                let wgt =
+                    bank.scalars[((o * in_channels + i) * kernel + ky) * kernel + kx].part(part);
+                let x = &input.cell(i, oy * stride + ky, ox * stride + kx).parts[part];
+                match acc.as_mut() {
+                    None => acc = Some(sys.mul_scalar_prepared_arena_part(x, wgt, arena, part)?),
+                    Some(a) => sys.mul_scalar_acc_part(a, x, wgt, part)?,
+                }
+            }
+        }
+    }
+    let mut acc = acc.expect("kernel is non-empty");
+    sys.add_bias_inplace_part(&mut acc, bank.biases[o].part(part), part)?;
+    Ok(acc)
+}
+
+/// Parallel [`he_conv2d_cached`]: output cells × CRT limbs as independent
+/// tasks, fused accumulate, zero per-call weight preparation. Bit-identical
+/// to both the cached serial kernel and the uncached paths.
+///
+/// # Errors
+///
+/// Propagates homomorphic-operation failures (lowest task index first).
+#[allow(clippy::too_many_arguments)]
+// hesgx-lint: hot
+pub fn he_conv2d_cached_par(
+    sys: &CrtPlainSystem,
+    input: &EncryptedMap,
+    bank: &WeightBank,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    counter: &mut OpCounter,
+    pool: &ParExec,
+    arena: &PolyArena,
+) -> Result<EncryptedMap> {
+    let (in_channels, h, w) = input.shape();
+    assert_eq!(
+        bank.scalars.len(),
+        out_channels * in_channels * kernel * kernel,
+        "weight count mismatch"
+    );
+    assert_eq!(bank.biases.len(), out_channels);
+    let oh = (h - kernel) / stride + 1;
+    let ow = (w - kernel) / stride + 1;
+    let n_cells = out_channels * oh * ow;
+    let n_parts = sys.part_count();
+    let parts = pool.try_run(n_cells * n_parts, |t| {
+        let (ci, part) = (t / n_parts, t % n_parts);
+        let o = ci / (oh * ow);
+        let rem = ci % (oh * ow);
+        conv_cell_part_cached(
+            sys,
+            input,
+            bank,
+            in_channels,
+            kernel,
+            stride,
+            o,
+            rem / ow,
+            rem % ow,
+            part,
+            arena,
+        )
+    })?;
+    let muls = (in_channels * kernel * kernel) as u64;
+    counter.ct_pt_mul += n_cells as u64 * muls;
+    counter.ct_ct_add += n_cells as u64 * (muls - 1);
+    counter.ct_pt_add += n_cells as u64;
     Ok(EncryptedMap::new(
         out_channels,
         oh,
@@ -349,6 +586,59 @@ pub fn he_fully_connected_par(
     counter.ct_pt_mul += (out_dim * flat) as u64;
     counter.ct_ct_add += (out_dim * (flat - 1)) as u64;
     counter.ct_pt_add += out_dim as u64;
+    counter.weight_prep += (out_dim * (flat + 1)) as u64;
+    Ok(assemble_cells(parts, out_dim, n_parts))
+}
+
+/// Parallel [`he_fully_connected_cached`]: output neurons × CRT limbs as
+/// independent tasks, fused accumulate, zero per-call weight preparation.
+/// Bit-identical to both the cached serial kernel and the uncached paths.
+///
+/// # Errors
+///
+/// Propagates homomorphic-operation failures (lowest task index first).
+// hesgx-lint: hot
+pub fn he_fully_connected_cached_par(
+    sys: &CrtPlainSystem,
+    input: &EncryptedMap,
+    bank: &WeightBank,
+    out_dim: usize,
+    counter: &mut OpCounter,
+    pool: &ParExec,
+    arena: &PolyArena,
+) -> Result<Vec<CrtCiphertext>> {
+    let flat = input.cells().len();
+    assert_eq!(
+        bank.scalars.len(),
+        out_dim * flat,
+        "FC weight count mismatch"
+    );
+    assert_eq!(bank.biases.len(), out_dim);
+    let n_parts = sys.part_count();
+    let parts = pool.try_run(out_dim * n_parts, |t| -> Result<Ciphertext> {
+        let (o, part) = (t / n_parts, t % n_parts);
+        let mut acc: Option<Ciphertext> = None;
+        for (i, cell) in input.cells().iter().enumerate() {
+            let wgt = bank.scalars[o * flat + i].part(part);
+            match acc.as_mut() {
+                None => {
+                    acc = Some(sys.mul_scalar_prepared_arena_part(
+                        &cell.parts[part],
+                        wgt,
+                        arena,
+                        part,
+                    )?);
+                }
+                Some(a) => sys.mul_scalar_acc_part(a, &cell.parts[part], wgt, part)?,
+            }
+        }
+        let mut acc = acc.expect("FC input non-empty");
+        sys.add_bias_inplace_part(&mut acc, bank.biases[o].part(part), part)?;
+        Ok(acc)
+    })?;
+    counter.ct_pt_mul += (out_dim * flat) as u64;
+    counter.ct_ct_add += (out_dim * (flat - 1)) as u64;
+    counter.ct_pt_add += out_dim as u64;
     Ok(assemble_cells(parts, out_dim, n_parts))
 }
 
@@ -365,6 +655,7 @@ pub fn he_scaled_mean_pool_par(
     window: usize,
     counter: &mut OpCounter,
     pool: &ParExec,
+    arena: &PolyArena,
 ) -> Result<EncryptedMap> {
     let (c, h, w) = input.shape();
     assert_eq!(h % window, 0);
@@ -377,7 +668,7 @@ pub fn he_scaled_mean_pool_par(
         let ch = ci / (oh * ow);
         let rem = ci % (oh * ow);
         let (oy, ox) = (rem / ow, rem % ow);
-        let mut acc = input.cell(ch, oy * window, ox * window).parts[part].clone();
+        let mut acc = arena.copy_ciphertext(&input.cell(ch, oy * window, ox * window).parts[part]);
         for dy in 0..window {
             for dx in 0..window {
                 if dy == 0 && dx == 0 {
@@ -505,7 +796,8 @@ mod tests {
         let enc =
             EncryptedMap::encrypt_images(&sys, &images, side, &keys.public, &mut rng).unwrap();
         let mut counter = OpCounter::default();
-        let pooled = he_scaled_mean_pool(&sys, &enc, 2, &mut counter).unwrap();
+        let arena = PolyArena::new();
+        let pooled = he_scaled_mean_pool(&sys, &enc, 2, &mut counter, &arena).unwrap();
         assert_eq!(pooled.shape(), (1, 2, 2));
         let dec = pooled.decrypt_all(&sys, &keys.secret, 1).unwrap();
         // windows: [1,2,5,6]=14, [3,4,7,8]=22, [9,10,13,14]=46, [11,12,15,16]=54.
@@ -540,6 +832,104 @@ mod tests {
             .map(|ct| sys.decrypt_slots(ct, &keys.secret).unwrap()[0])
             .collect();
         assert_eq!(logits, vec![(1 - 2 + 6) + 10, 4 - 10]);
+    }
+
+    #[test]
+    fn cached_conv_is_bit_identical_with_zero_weight_prep() {
+        let (sys, keys, mut rng) = setup();
+        let side = 6;
+        let k = 3;
+        let images: Vec<Vec<i64>> = (0..2)
+            .map(|b| {
+                (0..side * side)
+                    .map(|p| ((p * 7 + b * 3) % 16) as i64)
+                    .collect()
+            })
+            .collect();
+        let weights: Vec<i64> = (0..2 * k * k).map(|i| (i as i64 % 5) - 2).collect();
+        let bias = vec![4i64, -3];
+        let enc =
+            EncryptedMap::encrypt_images(&sys, &images, side, &keys.public, &mut rng).unwrap();
+        let mut uncached = OpCounter::default();
+        let base = he_conv2d(&sys, &enc, &weights, &bias, 2, k, 1, &mut uncached).unwrap();
+        let bank = WeightBank::prepare(&sys, &weights, &bias).unwrap();
+        let arena = PolyArena::new();
+        let mut cached = OpCounter::default();
+        let fast = he_conv2d_cached(&sys, &enc, &bank, 2, k, 1, &mut cached, &arena).unwrap();
+        // Ciphertext-level bit-identity, not just equal decryptions.
+        assert_eq!(fast.cells(), base.cells());
+        // Same homomorphic work, but every per-call weight preparation
+        // (2·16 cells × 9 taps + 2·16 biases in the uncached kernel) drops
+        // to zero — the satellite op-count pin.
+        assert_eq!(cached.ct_pt_mul, uncached.ct_pt_mul);
+        assert_eq!(cached.ct_ct_add, uncached.ct_ct_add);
+        assert_eq!(cached.ct_pt_add, uncached.ct_pt_add);
+        assert_eq!(uncached.weight_prep, 2 * 16 * 9 + 2 * 16);
+        assert_eq!(cached.weight_prep, 0);
+        // The parallel cached kernel agrees for every pool size.
+        for threads in [1, 2, 4] {
+            let pool = ParExec::new(threads);
+            let mut par_counter = OpCounter::default();
+            let par =
+                he_conv2d_cached_par(&sys, &enc, &bank, 2, k, 1, &mut par_counter, &pool, &arena)
+                    .unwrap();
+            assert_eq!(par.cells(), base.cells(), "{threads} threads");
+            assert_eq!(par_counter, cached, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn cached_fc_is_bit_identical_with_zero_weight_prep() {
+        let (sys, keys, mut rng) = setup();
+        let images = vec![vec![1i64, 2, 3, 4]];
+        let enc = EncryptedMap::encrypt_images(&sys, &images, 2, &keys.public, &mut rng).unwrap();
+        let weights = vec![1i64, -1, 2, 0, /* row 2 */ 3, 3, -3, 1];
+        let bias = vec![10, -10];
+        let mut uncached = OpCounter::default();
+        let base = he_fully_connected(&sys, &enc, &weights, &bias, 2, &mut uncached).unwrap();
+        let bank = WeightBank::prepare(&sys, &weights, &bias).unwrap();
+        let arena = PolyArena::new();
+        let mut cached = OpCounter::default();
+        let fast = he_fully_connected_cached(&sys, &enc, &bank, 2, &mut cached, &arena).unwrap();
+        assert_eq!(fast, base);
+        assert_eq!(uncached.weight_prep, 2 * 4 + 2);
+        assert_eq!(cached.weight_prep, 0);
+        for threads in [1, 3] {
+            let pool = ParExec::new(threads);
+            let mut par_counter = OpCounter::default();
+            let par = he_fully_connected_cached_par(
+                &sys,
+                &enc,
+                &bank,
+                2,
+                &mut par_counter,
+                &pool,
+                &arena,
+            )
+            .unwrap();
+            assert_eq!(par, base, "{threads} threads");
+            assert_eq!(par_counter, cached, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn pool_recycles_arena_buffers() {
+        let (sys, keys, mut rng) = setup();
+        let side = 4;
+        let images = vec![(1..=16i64).collect::<Vec<_>>()];
+        let enc =
+            EncryptedMap::encrypt_images(&sys, &images, side, &keys.public, &mut rng).unwrap();
+        let arena = PolyArena::new();
+        // Park one consumed cell's buffers; the pool accumulators must
+        // drain them and still produce the exact sums.
+        enc.cells()[0].clone().recycle(&arena);
+        let parked = arena.free_buffers();
+        assert!(parked > 0);
+        let mut counter = OpCounter::default();
+        let pooled = he_scaled_mean_pool(&sys, &enc, 2, &mut counter, &arena).unwrap();
+        assert!(arena.free_buffers() < parked);
+        let dec = pooled.decrypt_all(&sys, &keys.secret, 1).unwrap();
+        assert_eq!(dec[0], vec![14, 22, 46, 54]);
     }
 
     #[test]

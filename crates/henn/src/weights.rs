@@ -3,16 +3,83 @@
 //! the workload of Fig. 3 ("the encoding time has a linear relationship with
 //! the weights' number").
 
-use crate::crt::CrtPlainSystem;
+use crate::crt::{CrtPlainSystem, CrtPreparedBias, CrtPreparedScalar};
 use hesgx_bfv::encoding::IntegerEncoder;
 use hesgx_bfv::error::Result;
-use hesgx_bfv::plaintext::Plaintext;
+use hesgx_bfv::plaintext::{NttPlaintext, Plaintext};
 
 /// The plaintext encodings of one weight across every CRT modulus.
 #[derive(Debug, Clone)]
 pub struct EncodedWeight {
     /// One plaintext per plaintext modulus.
     pub parts: Vec<Plaintext>,
+}
+
+/// One weight cached in evaluation (NTT) form for every CRT modulus — the
+/// centered lift and forward transform that a per-request `mul_plain` would
+/// redo, computed once at provisioning and reused by
+/// [`CrtPlainSystem::mul_plain_ntt_part`].
+#[derive(Debug, Clone)]
+pub struct EncodedWeightNtt {
+    /// One cached transform per plaintext modulus.
+    pub parts: Vec<NttPlaintext>,
+}
+
+/// Caches the evaluation form of already-encoded weights.
+///
+/// # Errors
+///
+/// Propagates transform validation failures.
+pub fn prepare_encoded_weights(
+    sys: &CrtPlainSystem,
+    encoded: &[EncodedWeight],
+) -> Result<Vec<EncodedWeightNtt>> {
+    encoded
+        .iter()
+        .map(|w| {
+            let parts: Result<Vec<NttPlaintext>> = w
+                .parts
+                .iter()
+                .enumerate()
+                .map(|(i, p)| sys.transform_plain_part(p, i))
+                .collect();
+            Ok(EncodedWeightNtt { parts: parts? })
+        })
+        .collect()
+}
+
+/// All prepared operands of one linear layer (conv or FC): scalar weights
+/// with their per-limb Shoup constants and biases with their `Δ·c` residues,
+/// computed once at provisioning. The cached layer kernels in
+/// [`crate::ops`] consume a bank instead of raw integers, so no request
+/// ever re-derives a weight form.
+#[derive(Debug, Clone)]
+pub struct WeightBank {
+    /// Prepared multiply operands, in the layer's flattened weight order.
+    pub scalars: Vec<CrtPreparedScalar>,
+    /// Prepared bias operands, one per output channel / neuron.
+    pub biases: Vec<CrtPreparedBias>,
+}
+
+impl WeightBank {
+    /// Prepares every weight and bias of one layer.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a weight exceeds a plaintext modulus (never the case for
+    /// quantized model weights).
+    pub fn prepare(sys: &CrtPlainSystem, weights: &[i64], biases: &[i64]) -> Result<WeightBank> {
+        Ok(WeightBank {
+            scalars: weights
+                .iter()
+                .map(|&w| sys.prepare_scalar(w))
+                .collect::<Result<_>>()?,
+            biases: biases
+                .iter()
+                .map(|&b| sys.prepare_bias(b))
+                .collect::<Result<_>>()?,
+        })
+    }
 }
 
 /// Encodes a model's integer weights into per-modulus plaintexts using the
@@ -66,6 +133,31 @@ mod tests {
         // 11 kernels of 3×3 -> 99 weights + 11 biases.
         assert_eq!(conv_weight_count(11, 3), 110);
         assert_eq!(conv_weight_count(26, 5), 26 * 25 + 26);
+    }
+
+    #[test]
+    fn weight_bank_prepares_every_operand() {
+        let sys = CrtPlainSystem::new(256, &[12289, 13313]).unwrap();
+        let weights: Vec<i64> = (-6..6).collect();
+        let biases = vec![7i64, -11];
+        let bank = WeightBank::prepare(&sys, &weights, &biases).unwrap();
+        assert_eq!(bank.scalars.len(), 12);
+        assert_eq!(bank.biases.len(), 2);
+        assert!(bank.scalars.iter().all(|s| {
+            (0..sys.part_count()).all(|i| {
+                let _ = s.part(i);
+                true
+            })
+        }));
+    }
+
+    #[test]
+    fn prepared_encoded_weights_cover_every_part() {
+        let sys = CrtPlainSystem::new(256, &[12289, 13313]).unwrap();
+        let encoded = encode_weights(&sys, &[-42, 0, 1234]).unwrap();
+        let cached = prepare_encoded_weights(&sys, &encoded).unwrap();
+        assert_eq!(cached.len(), 3);
+        assert!(cached.iter().all(|w| w.parts.len() == 2));
     }
 
     #[test]

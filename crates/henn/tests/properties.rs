@@ -1,6 +1,7 @@
 //! Property-based tests of the homomorphic NN layers: every encrypted
 //! operation must agree with its plaintext counterpart on random inputs.
 
+use hesgx_bfv::prelude::PolyArena;
 use hesgx_crypto::rng::ChaChaRng;
 use hesgx_henn::crt::{CrtKeys, CrtPlainSystem};
 use hesgx_henn::image::EncryptedMap;
@@ -93,7 +94,7 @@ proptest! {
         let mut rng = ChaChaRng::from_seed(seed);
         let enc = EncryptedMap::encrypt_images(sys, std::slice::from_ref(&pixels), 4, &keys.public, &mut rng).unwrap();
         let mut counter = OpCounter::default();
-        let pooled = ops::he_scaled_mean_pool(sys, &enc, 2, &mut counter).unwrap();
+        let pooled = ops::he_scaled_mean_pool(sys, &enc, 2, &mut counter, &PolyArena::new()).unwrap();
         let dec = pooled.decrypt_all(sys, &keys.secret, 1).unwrap();
         for oy in 0..2 {
             for ox in 0..2 {
@@ -151,10 +152,10 @@ proptest! {
         let mut rng = ChaChaRng::from_seed(seed);
         let enc = EncryptedMap::encrypt_images(sys, &[pixels], 4, &keys.public, &mut rng).unwrap();
         let mut serial_counter = OpCounter::default();
-        let serial = ops::he_scaled_mean_pool(sys, &enc, 2, &mut serial_counter).unwrap();
+        let serial = ops::he_scaled_mean_pool(sys, &enc, 2, &mut serial_counter, &PolyArena::new()).unwrap();
         let pool = ParExec::new(threads);
         let mut par_counter = OpCounter::default();
-        let par = ops::he_scaled_mean_pool_par(sys, &enc, 2, &mut par_counter, &pool).unwrap();
+        let par = ops::he_scaled_mean_pool_par(sys, &enc, 2, &mut par_counter, &pool, &PolyArena::new()).unwrap();
         prop_assert_eq!(serial.cells(), par.cells(), "pooled ciphertext mismatch at {} threads", threads);
         prop_assert_eq!(serial_counter, par_counter);
     }

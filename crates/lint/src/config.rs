@@ -280,14 +280,22 @@ pub const RNG_SAFE_METHODS: &[&str] = &["fork", "clone"];
 /// Allocating methods banned inside hot-path loops (`hot-path-alloc`).
 pub const HOT_ALLOC_METHODS: &[&str] = &["to_vec", "to_owned", "clone", "collect"];
 
+/// Scratch-buffer pool types whose methods *recycle* rather than allocate
+/// (`hot-path-alloc` rule). A `.clone()` on an arena handle bumps an `Arc`,
+/// and the copy methods draw from the pooled free list — the exact pattern
+/// the rule exists to push hot kernels toward, so arena-tagged receivers
+/// are exempt.
+pub const ARENA_TYPES: &[&str] = &["PolyArena"];
+
 /// Every type name the dataflow pass tracks: the secret registry plus the
-/// unordered containers and the session API types.
+/// unordered containers, the session API types, and the scratch arenas.
 pub fn tracked_types() -> Vec<&'static str> {
     SECRET_TYPES
         .iter()
         .map(|t| t.name)
         .chain(TRACKED_CONTAINER_TYPES.iter().copied())
         .chain(SESSION_TYPES.iter().copied())
+        .chain(ARENA_TYPES.iter().copied())
         .collect()
 }
 

@@ -145,7 +145,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         let start = Instant::now();
         let mut counter = OpCounter::default();
-        let summed = ops::he_scaled_mean_pool(&sys, &input, window, &mut counter)?;
+        let summed =
+            ops::he_scaled_mean_pool(&sys, &input, window, &mut counter, &PolyArena::new())?;
         let (_, div_cost) = ie.divide_map(&sys, &summed, &model)?;
         let div_ms = start.elapsed().as_secs_f64() * 1e3
             + (div_cost.total_ns().saturating_sub(div_cost.real_ns)) as f64 / 1e6;
