@@ -102,4 +102,19 @@ cargo run --release -q -p hesgx-bench --offline --bin repro -- ntt_bench --quick
 diff target/bench/BENCH_ntt.deterministic.first.json target/bench/BENCH_ntt.deterministic.json
 rm -f target/bench/BENCH_ntt.deterministic.first.json
 
+# Transciphered-ingress gate: wall times live in BENCH_transcipher.json
+# (informative, never diffed); the replay-stable face — upload bytes both
+# ways, the reduction ratio, logit-identity and cost-reconciliation flags,
+# the modeled ECALL cost — is BENCH_transcipher.deterministic.json, which
+# must be byte-identical across two runs. Each run serves the same batch
+# through both ingress modes at HE pool sizes 1/2/4.
+echo "==> transcipher bench (two runs, deterministic sections diffed)"
+cargo run --release -q -p hesgx-bench --offline --bin repro -- transcipher --quick
+test -s target/bench/BENCH_transcipher.json
+test -s target/bench/BENCH_transcipher.deterministic.json
+cp target/bench/BENCH_transcipher.deterministic.json target/bench/BENCH_transcipher.deterministic.first.json
+cargo run --release -q -p hesgx-bench --offline --bin repro -- transcipher --quick
+diff target/bench/BENCH_transcipher.deterministic.first.json target/bench/BENCH_transcipher.deterministic.json
+rm -f target/bench/BENCH_transcipher.deterministic.first.json
+
 echo "ci: all checks passed"

@@ -8,7 +8,7 @@
 
 use hesgx_bench::experiments::{
     ablation, chaos_sweep, e2e, figures, ntt_bench, obs_report, par_sweep, serve_load, tables,
-    trace, RunConfig,
+    trace, transcipher, RunConfig,
 };
 use hesgx_bench::PaperEnv;
 
@@ -31,6 +31,7 @@ const EXPERIMENTS: &[&str] = &[
     "trace",
     "serve_load",
     "ntt_bench",
+    "transcipher",
 ];
 
 fn main() {
@@ -144,6 +145,9 @@ fn main() {
     }
     if wanted("ntt_bench") {
         ntt_bench::ntt_bench(cfg);
+    }
+    if wanted("transcipher") {
+        transcipher::transcipher(cfg);
     }
     println!();
     println!("done.");

@@ -14,6 +14,7 @@ pub mod par_sweep;
 pub mod serve_load;
 pub mod tables;
 pub mod trace;
+pub mod transcipher;
 
 /// Repetition policy: `quick` trades statistical depth for runtime.
 #[derive(Debug, Clone, Copy)]

@@ -1,0 +1,302 @@
+//! `transcipher` — transciphered ingress versus FV-ciphertext ingress
+//! (DESIGN.md §17; the upload-bandwidth escape hatch the paper's client
+//! cannot afford to skip at WAN link speeds).
+//!
+//! The same image batch is served twice per HE pool size: once uploaded the
+//! classic way (one FV ciphertext per pixel — megabytes), once as a
+//! ChaCha20-sealed stream payload that the enclave re-encrypts under FV
+//! behind `ecall_Transcipher` (4 bytes per quantized pixel plus framing —
+//! kilobytes). Three claims are asserted and written to the artifacts:
+//!
+//! 1. **Logit bit-identity** — both ingress modes produce byte-identical
+//!    logits at every HE pool size (1/2/4); the in-enclave re-encryption
+//!    decrypts to exactly the pixels the client packed.
+//! 2. **Upload reduction** — the transciphered payload is at least 50×
+//!    smaller than the FV upload (acceptance floor; the realized ratio at
+//!    these parameters is far higher).
+//! 3. **Cost reconciliation** — the new ECALL's modeled cost lands in the
+//!    session's books ns-for-ns: folding the recorder's `infer.*.ecall`
+//!    spans (now including `infer.ingress.ecall`) reproduces
+//!    `total_enclave_cost` exactly.
+//!
+//! Artifacts: `target/bench/BENCH_transcipher.json` (wall times included —
+//! informative, not replay-stable) and
+//! `target/bench/BENCH_transcipher.deterministic.json` (upload bytes,
+//! reduction ratio, identity/reconciliation flags, modeled ns — byte-stable;
+//! CI runs the experiment twice and diffs it).
+
+use super::{header, RunConfig};
+use hesgx_core::pipeline::total_enclave_cost;
+use hesgx_core::request::{InferRequest, Ingress};
+use hesgx_core::session::{ParamsPreset, Session, SessionBuilder};
+use hesgx_nn::quantize::{QuantPipeline, QuantizedCnn};
+use hesgx_obs::{Recorder, SpanCost};
+use hesgx_tee::enclave::Platform;
+use hesgx_tee::wall::WallTimer;
+use std::fmt::Write as _;
+
+/// Session seed: both ingress modes provision from the same seed so the key
+/// domain, the ingress key, and every RNG stream line up.
+const SEED: u64 = 1721;
+
+/// HE worker-pool sizes the identity claim is checked at.
+const POOLS: [usize; 3] = [1, 2, 4];
+
+/// One `(pool, ingress)` cell of the sweep.
+#[derive(Debug, Clone)]
+struct ServeRun {
+    logits: Vec<Vec<i64>>,
+    upload_bytes: u64,
+    wall_ns: u64,
+    ingress_model_ns: u64,
+}
+
+/// The experiment summary the integration tests assert on.
+#[derive(Debug, Clone)]
+pub struct TranscipherBench {
+    /// FV-ciphertext upload bytes for the batch.
+    pub fv_upload_bytes: u64,
+    /// Transciphered payload bytes for the same batch.
+    pub transcipher_upload_bytes: u64,
+    /// Logits byte-identical across both modes and every pool size.
+    pub logits_match: bool,
+    /// Folded `infer.*.ecall` spans reproduced `total_enclave_cost` exactly
+    /// on the transciphered serve.
+    pub cost_reconciles: bool,
+    /// Modeled ns of the `ecall_Transcipher` ingress stage.
+    pub ingress_model_ns: u64,
+}
+
+impl TranscipherBench {
+    /// Upload-bytes reduction of transciphered over FV ingress (integer).
+    pub fn reduction(&self) -> u64 {
+        self.fv_upload_bytes / self.transcipher_upload_bytes.max(1)
+    }
+}
+
+/// The served model: the paper CNN's dimensions in full mode, a scaled-down
+/// stand-in in quick mode. Deterministic formula weights — the A/B
+/// comparison needs identical models, not trained ones.
+fn model(quick: bool) -> QuantizedCnn {
+    let (in_side, conv_out, kernel, window, classes) = if quick {
+        (12, 2, 3, 2, 3)
+    } else {
+        (28, 5, 5, 2, 10)
+    };
+    let out_side = in_side - kernel + 1;
+    let flat = conv_out * (out_side / window) * (out_side / window);
+    QuantizedCnn {
+        pipeline: QuantPipeline::Hybrid,
+        in_side,
+        conv_out,
+        kernel,
+        window,
+        classes,
+        conv_weights: (0..conv_out * kernel * kernel)
+            .map(|i| (i % 7) as i64 - 3)
+            .collect(),
+        conv_bias: (0..conv_out).map(|i| (i as i64 % 5) - 2).collect(),
+        fc_weights: (0..classes * flat).map(|i| (i % 5) as i64 - 2).collect(),
+        fc_bias: (0..classes).map(|i| (i as i64 % 9) - 4).collect(),
+        weight_scale: 8,
+        fc_scale: 8,
+        act_scale: 16,
+    }
+}
+
+fn build_session(
+    preset: ParamsPreset,
+    threads: usize,
+    model: &QuantizedCnn,
+) -> (Session, Recorder) {
+    let rec = Recorder::enabled();
+    let session = SessionBuilder::new()
+        .params(preset)
+        .threads(threads)
+        .seed(SEED)
+        .recorder(rec.clone())
+        .build(Platform::new(1721), model.clone())
+        .expect("transcipher bench session provisions");
+    (session, rec)
+}
+
+/// Serves `images` once on a fresh session and books the run. A fresh
+/// session per serve keeps every RNG stream at its origin, so logits are
+/// comparable bit-for-bit across cells of the sweep.
+fn serve_once(
+    preset: ParamsPreset,
+    threads: usize,
+    model: &QuantizedCnn,
+    images: &[Vec<i64>],
+    ingress: Ingress,
+) -> (ServeRun, bool) {
+    let (session, rec) = build_session(preset, threads, model);
+    let timer = WallTimer::start();
+    let response = session
+        .serve(InferRequest::batch(images.to_vec()).ingress(ingress))
+        .expect("transcipher bench serve succeeds");
+    let wall_ns = timer.elapsed_ns();
+    let metrics = session.metrics().expect("one inference ran");
+    // Reconciliation: fold exactly the `.ecall` pipeline spans (the `.he`
+    // spans carry wall time only) and compare against the session's books.
+    let folded = rec
+        .spans_with_prefix("infer.")
+        .into_iter()
+        .filter(|(name, _)| name.ends_with(".ecall"))
+        .fold(SpanCost::default(), |acc, (_, s)| {
+            acc.saturating_add(s.cost)
+        });
+    let reconciles = folded == total_enclave_cost(&metrics).span_cost();
+    let ingress_model_ns = metrics
+        .stages
+        .iter()
+        .find(|s| s.name.contains("Transciphered"))
+        .and_then(|s| s.enclave.as_ref())
+        .map(|c| c.span_cost().model_ns())
+        .unwrap_or(0);
+    (
+        ServeRun {
+            logits: response.logits,
+            upload_bytes: response.upload_bytes,
+            wall_ns,
+            ingress_model_ns,
+        },
+        reconciles,
+    )
+}
+
+/// Runs the transciphered-ingress experiment and writes both artifacts.
+pub fn transcipher(cfg: RunConfig) -> TranscipherBench {
+    header("TRANSCIPHER: stream-cipher ingress vs FV-ciphertext ingress (DESIGN.md §17)");
+    let (preset, degree) = if cfg.quick {
+        (ParamsPreset::Small, 256)
+    } else {
+        (ParamsPreset::Paper, crate::PAPER_POLY_DEGREE)
+    };
+    let m = model(cfg.quick);
+    let pixels = m.in_side * m.in_side;
+    let images: Vec<Vec<i64>> = (0..crate::PAPER_BATCH_SIZE)
+        .map(|b| (0..pixels).map(|p| ((p * 3 + b * 7) % 16) as i64).collect())
+        .collect();
+    println!(
+        "batch of {} {}x{} images at poly degree {degree}; fresh session per \
+         serve, seed {SEED}",
+        images.len(),
+        m.in_side,
+        m.in_side,
+    );
+    println!(
+        "\n{:>5} {:>14} {:>18} {:>16} {:>14}",
+        "pool", "ingress", "upload (bytes)", "wall (ns)", "logits"
+    );
+
+    let mut fv_upload = 0u64;
+    let mut tc_upload = 0u64;
+    let mut logits_match = true;
+    let mut cost_reconciles = true;
+    let mut ingress_model_ns = 0u64;
+    let mut reference: Option<Vec<Vec<i64>>> = None;
+    let mut rows: Vec<(usize, &'static str, u64, u64)> = Vec::new();
+    for &threads in &POOLS {
+        for ingress in [Ingress::FvCiphertext, Ingress::Transciphered] {
+            let (run, reconciled) = serve_once(preset, threads, &m, &images, ingress);
+            cost_reconciles &= reconciled;
+            let matches = match &reference {
+                None => {
+                    reference = Some(run.logits.clone());
+                    true
+                }
+                Some(reference) => reference == &run.logits,
+            };
+            logits_match &= matches;
+            let label = match ingress {
+                Ingress::FvCiphertext => {
+                    fv_upload = run.upload_bytes;
+                    "fv-ciphertext"
+                }
+                Ingress::Transciphered => {
+                    tc_upload = run.upload_bytes;
+                    ingress_model_ns = run.ingress_model_ns;
+                    "transciphered"
+                }
+            };
+            println!(
+                "{:>5} {:>14} {:>18} {:>16} {:>14}",
+                threads,
+                label,
+                run.upload_bytes,
+                run.wall_ns,
+                if matches { "identical" } else { "DIVERGED" }
+            );
+            rows.push((threads, label, run.upload_bytes, run.wall_ns));
+        }
+    }
+
+    let summary = TranscipherBench {
+        fv_upload_bytes: fv_upload,
+        transcipher_upload_bytes: tc_upload,
+        logits_match,
+        cost_reconciles,
+        ingress_model_ns,
+    };
+    println!(
+        "\nupload reduction: {} bytes -> {} bytes ({}x; acceptance floor: 50x)",
+        summary.fv_upload_bytes,
+        summary.transcipher_upload_bytes,
+        summary.reduction()
+    );
+    println!(
+        "ecall_Transcipher modeled cost: {} ns; obs reconciliation: {}",
+        summary.ingress_model_ns,
+        if summary.cost_reconciles {
+            "ns-for-ns"
+        } else {
+            "FAILED"
+        }
+    );
+
+    // Full artifact: wall times included (informative, not replay-stable).
+    let mut json = String::from("{\"experiment\":\"transcipher\",\"runs\":[");
+    for (i, (pool, label, upload, wall)) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"pool\":{pool},\"ingress\":\"{label}\",\"upload_bytes\":{upload},\
+             \"wall_ns\":{wall}}}"
+        );
+    }
+    let _ = write!(
+        json,
+        "],\"reduction\":{},\"logits_match\":{},\"cost_reconciles\":{}}}",
+        summary.reduction(),
+        summary.logits_match,
+        summary.cost_reconciles
+    );
+    if let Some(path) = crate::write_bench_file("BENCH_transcipher.json", &json) {
+        println!("bench table written to {}", path.display());
+    }
+
+    // Deterministic artifact: pure function of the seeds — CI runs the
+    // experiment twice and byte-diffs this file.
+    let det = format!(
+        "{{\"experiment\":\"transcipher\",\"batch\":{},\"pixels\":{},\
+         \"fv_upload_bytes\":{},\"transcipher_upload_bytes\":{},\
+         \"reduction\":{},\"logits_match\":{},\"cost_reconciles\":{},\
+         \"ingress_model_ns\":{}}}",
+        images.len(),
+        pixels,
+        summary.fv_upload_bytes,
+        summary.transcipher_upload_bytes,
+        summary.reduction(),
+        summary.logits_match,
+        summary.cost_reconciles,
+        summary.ingress_model_ns
+    );
+    if let Some(path) = crate::write_bench_file("BENCH_transcipher.deterministic.json", &det) {
+        println!("deterministic table written to {}", path.display());
+    }
+
+    summary
+}

@@ -66,12 +66,17 @@ pub enum FaultSite {
     /// A noise-refresh request before it reaches the enclave
     /// (`ecall_DecreaseNoise` — the request is dropped and must be retried).
     NoiseRefresh,
+    /// A transciphered ingress payload before it reaches the enclave
+    /// (`ecall_Transcipher` — the sealed upload is dropped in transit and
+    /// must be retried).
+    Transcipher,
 }
 
 impl FaultSite {
     /// All sites, in declaration order (stable: report indices and JSON rely
-    /// on it).
-    pub const ALL: [FaultSite; 8] = [
+    /// on it; new sites append, so existing per-site RNG streams — forked by
+    /// name — never shift).
+    pub const ALL: [FaultSite; 9] = [
         FaultSite::EcallEnter,
         FaultSite::EcallExit,
         FaultSite::EpcLoad,
@@ -80,6 +85,7 @@ impl FaultSite {
         FaultSite::Unseal,
         FaultSite::AttestationVerify,
         FaultSite::NoiseRefresh,
+        FaultSite::Transcipher,
     ];
 
     /// Stable machine name (used in the report JSON and RNG domain
@@ -94,6 +100,7 @@ impl FaultSite {
             FaultSite::Unseal => "unseal",
             FaultSite::AttestationVerify => "attestation-verify",
             FaultSite::NoiseRefresh => "noise-refresh",
+            FaultSite::Transcipher => "transcipher",
         }
     }
 
@@ -108,6 +115,7 @@ impl FaultSite {
             FaultSite::Unseal => 5,
             FaultSite::AttestationVerify => 6,
             FaultSite::NoiseRefresh => 7,
+            FaultSite::Transcipher => 8,
         }
     }
 
@@ -118,7 +126,8 @@ impl FaultSite {
             FaultSite::EcallEnter
             | FaultSite::EcallExit
             | FaultSite::AttestationVerify
-            | FaultSite::NoiseRefresh => FaultKind::Transient,
+            | FaultSite::NoiseRefresh
+            | FaultSite::Transcipher => FaultKind::Transient,
             FaultSite::EpcLoad | FaultSite::EpcEvict => FaultKind::Pressure,
             FaultSite::Seal | FaultSite::Unseal => FaultKind::Corruption,
         }

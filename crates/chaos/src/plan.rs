@@ -104,10 +104,11 @@ impl FaultPlan {
     }
 
     /// Convenience: a transient-only plan that faults the retryable boundary
-    /// sites (ECALL enter/exit, noise refresh) at `rate` plus EPC pressure,
-    /// capped at `cap` injections per site. With `cap` below the pipeline's
-    /// retry budget this plan is guaranteed recoverable, which is what the
-    /// bit-identical-output property tests rely on.
+    /// sites (ECALL enter/exit, noise refresh, transciphered ingress) at
+    /// `rate` plus EPC pressure, capped at `cap` injections per site. With
+    /// `cap` below the pipeline's retry budget this plan is guaranteed
+    /// recoverable, which is what the bit-identical-output property tests
+    /// rely on.
     pub fn transient_only(seed: u64, rate: f64, cap: u64) -> Self {
         FaultPlan::new(seed)
             .rate(FaultSite::EcallEnter, rate)
@@ -116,6 +117,8 @@ impl FaultPlan {
             .cap(FaultSite::EcallExit, cap)
             .rate(FaultSite::NoiseRefresh, rate)
             .cap(FaultSite::NoiseRefresh, cap)
+            .rate(FaultSite::Transcipher, rate)
+            .cap(FaultSite::Transcipher, cap)
             .rate(FaultSite::EpcLoad, rate)
             .cap(FaultSite::EpcLoad, cap)
             .rate(FaultSite::EpcEvict, rate)

@@ -1,0 +1,87 @@
+//! Transciphered-ingress dispatch (DESIGN.md §17): the glue between a
+//! client's ChaCha20-sealed pixel payload and `ecall_Transcipher`.
+//!
+//! The client side is [`seal_ingress_payload`] — quantized pixels framed and
+//! stream-encrypted under the per-session [`IngressKey`] both ends derive
+//! from the key-ceremony transcript (see [`crate::keydist::derive_ingress_key`]).
+//! The service side is [`HybridInference::transcipher_ingress`], which sends
+//! the payload through the enclave wrapper and shapes the re-encrypted cells
+//! into the [`EncryptedMap`] the conv layer expects, recording an
+//! `infer.ingress.ecall` stage span so the obs fold still reconciles
+//! ns-for-ns with [`crate::pipeline::total_enclave_cost`].
+//!
+//! This file sits on the audited ECALL surface (`hesgx-lint`'s `ecall-cost`
+//! scope): every `pub fn` here either threads the enclave
+//! [`CostBreakdown`] through its return value or carries a justified allow.
+
+use crate::error::{Error, Result};
+use crate::pipeline::HybridInference;
+use hesgx_crypto::chacha20::NONCE_LEN;
+use hesgx_crypto::rng::ChaChaRng;
+use hesgx_crypto::transcipher::{self, IngressKey};
+use hesgx_henn::image::EncryptedMap;
+use hesgx_tee::cost::CostBreakdown;
+use hesgx_tee::wall::WallTimer;
+use std::time::Duration;
+
+/// Seals a quantized image batch under the session ingress key — the client
+/// side of transciphered ingress. The nonce is drawn from `rng` (12 bytes),
+/// so the caller controls determinism: the session forks a dedicated
+/// `transcipher-nonce` stream and replays produce byte-identical payloads.
+///
+/// # Errors
+///
+/// Fails when the batch is empty, ragged, out of the `i32` pixel range, or
+/// larger than the framing's body cap.
+// hesgx-lint: allow(ecall-cost, reason = "client-side sealing; runs outside the enclave boundary")
+pub fn seal_ingress_payload(
+    key: &IngressKey,
+    rng: &mut ChaChaRng,
+    images: &[Vec<i64>],
+) -> Result<Vec<u8>> {
+    let mut nonce = [0u8; NONCE_LEN];
+    rng.fill_bytes(&mut nonce);
+    transcipher::seal_images(key, &nonce, images)
+        .map_err(|e| Error::Config(format!("transcipher ingress: {e}")))
+}
+
+impl HybridInference {
+    /// Transciphered ingress at the pipeline level: opens the client's
+    /// sealed payload inside the enclave (`ecall_Transcipher`), re-encrypts
+    /// the pixels under FV, and shapes the cells into the [`EncryptedMap`]
+    /// the conv layer expects — one ciphertext per pixel, batch in the SIMD
+    /// slots, exactly what `EncryptedMap::encrypt_images_par` produces on
+    /// the FV-ciphertext path, so the rest of the pipeline is identical.
+    ///
+    /// Returns the map, the wall time of the dispatch, and the enclave cost
+    /// (also recorded as the `infer.ingress.ecall` stage span).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the payload does not authenticate, is malformed, or its
+    /// per-image pixel count does not match the model's input side;
+    /// propagates HE/TEE failures.
+    pub fn transcipher_ingress(
+        &self,
+        key: &IngressKey,
+        payload: &[u8],
+    ) -> Result<(EncryptedMap, Duration, CostBreakdown)> {
+        let start = WallTimer::start();
+        self.trace_stage_begin("infer.ingress.ecall");
+        let (cells, _batch, cost) =
+            self.enclave()
+                .transcipher_ingress(self.system(), key, payload, self.pool())?;
+        self.trace_stage_end("infer.ingress.ecall");
+        let side = self.model().in_side;
+        if cells.len() != side * side {
+            return Err(Error::Config(format!(
+                "transcipher payload carries {} pixels per image, the model expects {}×{side}",
+                cells.len(),
+                side
+            )));
+        }
+        let wall = start.elapsed();
+        self.record_stage("infer.ingress.ecall", wall, Some(&cost));
+        Ok((EncryptedMap::new(1, side, side, cells), wall, cost))
+    }
+}

@@ -22,6 +22,7 @@ use crate::error::{Error, Result};
 use hesgx_bfv::prelude::{PublicKey, SecretKey};
 use hesgx_crypto::rng::ChaChaRng;
 use hesgx_crypto::sha256::Sha256;
+use hesgx_crypto::transcipher::IngressKey;
 use hesgx_henn::crt::{CrtKeys, CrtPlainSystem};
 use hesgx_tee::attestation::{AttestationService, Quote};
 use hesgx_tee::cost::CostBreakdown;
@@ -163,6 +164,21 @@ pub fn seal_secret_keys(enclave: &Enclave, secret: &[SecretKey]) -> hesgx_tee::s
     enclave.seal(&secret_key_bytes(secret)).0
 }
 
+/// Derives the per-session transcipher ingress key from the key-distribution
+/// handshake (DESIGN.md §17). Both ends can compute it independently after
+/// the ceremony: the FV secret keys — which the user received over the
+/// attested channel and the enclave retains — are the input key material,
+/// the attested public-key digest is the salt (binding the derivation to
+/// this ceremony), and a fixed info string domain-separates the use. No
+/// extra round trip, and nothing new crosses the wire.
+pub fn derive_ingress_key(public: &[PublicKey], secret: &[SecretKey]) -> IngressKey {
+    IngressKey::derive(
+        &digest_public_keys(public),
+        &secret_key_bytes(secret),
+        b"hesgx-transcipher-ingress-v1",
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,6 +255,44 @@ mod tests {
         let a = sys.generate_keys(&mut rng);
         let b = sys.generate_keys(&mut rng);
         assert_ne!(digest_public_keys(&a.public), digest_public_keys(&b.public));
+    }
+
+    #[test]
+    fn ingress_key_agrees_across_the_handshake() {
+        let (_platform, enclave, sys, _service) = setup();
+        let mut rng = ChaChaRng::from_seed(87);
+        let (keys, ceremony) = enclave_generate_keys(&enclave, &sys, &mut rng).unwrap();
+        // The user derives from the ceremony material, the enclave from its
+        // retained keys; a payload sealed on one end opens on the other.
+        let user_key = derive_ingress_key(&ceremony.public, &ceremony.user_secret);
+        let enclave_key = derive_ingress_key(&keys.public, &keys.secret);
+        let batch = vec![vec![1i64, -2, 3]];
+        let payload =
+            hesgx_crypto::transcipher::seal_images(&user_key, &[1u8; 12], &batch).unwrap();
+        assert_eq!(
+            hesgx_crypto::transcipher::open_images(&enclave_key, &payload).unwrap(),
+            batch
+        );
+    }
+
+    #[test]
+    fn ingress_key_differs_across_ceremonies() {
+        let (_platform, enclave, sys, _service) = setup();
+        let mut rng = ChaChaRng::from_seed(88);
+        let (keys_a, _) = enclave_generate_keys(&enclave, &sys, &mut rng).unwrap();
+        let (keys_b, _) = enclave_generate_keys(&enclave, &sys, &mut rng).unwrap();
+        let batch = vec![vec![7i64]];
+        let payload = hesgx_crypto::transcipher::seal_images(
+            &derive_ingress_key(&keys_a.public, &keys_a.secret),
+            &[2u8; 12],
+            &batch,
+        )
+        .unwrap();
+        assert!(hesgx_crypto::transcipher::open_images(
+            &derive_ingress_key(&keys_b.public, &keys_b.secret),
+            &payload,
+        )
+        .is_err());
     }
 
     #[test]

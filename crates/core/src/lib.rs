@@ -69,6 +69,7 @@
 #![forbid(unsafe_code)]
 
 pub mod error;
+pub mod ingress;
 pub mod keydist;
 pub mod pipeline;
 pub mod planner;
@@ -82,7 +83,8 @@ pub use pipeline::{EcallBatching, HybridInference, HybridMetrics, ProvisionConfi
 pub use planner::{InferencePlan, Placement, PoolStrategy};
 pub use recovery::RecoveryPolicy;
 pub use request::{
-    InferRequest, InferResponse, NoiseRefresh, Resilience, ServePolicy, TenantId, VirtualNs,
+    InferRequest, InferResponse, Ingress, NoiseRefresh, Resilience, ServePolicy, TenantId,
+    VirtualNs,
 };
 pub use session::{ParamsPreset, Served, Session, SessionBuilder};
 #[allow(deprecated)]
@@ -96,7 +98,8 @@ pub mod prelude {
     pub use crate::planner::PoolStrategy;
     pub use crate::recovery::RecoveryPolicy;
     pub use crate::request::{
-        InferRequest, InferResponse, NoiseRefresh, Resilience, ServePolicy, TenantId, VirtualNs,
+        InferRequest, InferResponse, Ingress, NoiseRefresh, Resilience, ServePolicy, TenantId,
+        VirtualNs,
     };
     pub use crate::session::{ParamsPreset, Served, Session, SessionBuilder};
     pub use hesgx_chaos::{FaultPlan, FaultReport, FaultSite};

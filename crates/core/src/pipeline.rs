@@ -402,7 +402,7 @@ impl HybridInference {
     /// (no boundary crossing, so no modeled terms), `.ecall` stages carry the
     /// stage's full [`CostBreakdown`] — which is what makes the obs totals
     /// reconcile ns-for-ns with [`total_enclave_cost`].
-    fn record_stage(&self, name: &str, wall: Duration, enclave: Option<&CostBreakdown>) {
+    pub(crate) fn record_stage(&self, name: &str, wall: Duration, enclave: Option<&CostBreakdown>) {
         if !self.recorder.is_enabled() {
             return;
         }
@@ -419,15 +419,20 @@ impl HybridInference {
         }
     }
 
+    /// The HE worker pool (crate-internal: the ingress dispatch shares it).
+    pub(crate) fn pool(&self) -> &ParExec {
+        &self.pool
+    }
+
     /// Opens a stage slice on the trace timeline (no-op without one).
-    fn trace_stage_begin(&self, name: &str) {
+    pub(crate) fn trace_stage_begin(&self, name: &str) {
         if self.recorder.trace_enabled() {
             self.recorder.trace_begin(name, &[]);
         }
     }
 
     /// Closes a stage slice on the trace timeline (no-op without one).
-    fn trace_stage_end(&self, name: &str) {
+    pub(crate) fn trace_stage_end(&self, name: &str) {
         if self.recorder.trace_enabled() {
             self.recorder.trace_end(name);
         }

@@ -51,13 +51,14 @@ impl RecoveryPolicy {
     }
 
     /// Deterministic backoff before retry `attempt` (zero-based):
-    /// `backoff_base_ns << attempt`, saturating.
+    /// `backoff_base_ns << attempt`, saturating. `checked_shl` keeps
+    /// attempts ≥ 64 at the saturation plateau instead of overflowing the
+    /// shift (a debug panic / release wrap that would collapse the backoff
+    /// back to tiny values).
     // hesgx-lint: allow(ecall-cost, reason = "pure arithmetic; performs no enclave computation")
     pub fn backoff_ns(&self, attempt: u32) -> u64 {
-        if attempt >= 64 {
-            return u64::MAX;
-        }
-        self.backoff_base_ns.saturating_mul(1u64 << attempt)
+        let factor = 1u64.checked_shl(attempt).unwrap_or(u64::MAX);
+        self.backoff_base_ns.saturating_mul(factor)
     }
 }
 
@@ -168,8 +169,21 @@ mod tests {
         assert_eq!(p.backoff_ns(1), 2000);
         assert_eq!(p.backoff_ns(2), 4000);
         assert_eq!(p.backoff_ns(63), u64::MAX); // 1000 << 63 saturates
+                                                // At 64 and beyond the shift itself overflows; checked_shl pins the
+                                                // factor (and therefore the product) to the saturation plateau
+                                                // rather than wrapping back to small values.
         assert_eq!(p.backoff_ns(64), u64::MAX);
+        assert_eq!(p.backoff_ns(200), u64::MAX);
+        assert_eq!(
+            RecoveryPolicy {
+                max_retries: 3,
+                backoff_base_ns: 1,
+            }
+            .backoff_ns(63),
+            1u64 << 63
+        );
         assert_eq!(RecoveryPolicy::none().backoff_ns(5), 0);
+        assert_eq!(RecoveryPolicy::none().backoff_ns(200), 0);
     }
 
     #[test]

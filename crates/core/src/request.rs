@@ -30,6 +30,24 @@ pub type TenantId = u32;
 /// never wall time — that is what keeps load replays byte-identical.
 pub type VirtualNs = u64;
 
+/// How a request's image batch crosses the wire into the pipeline
+/// (DESIGN.md §17).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Ingress {
+    /// The client FV-encrypts the batch locally and uploads one ciphertext
+    /// per pixel position — the paper's original ingress. Maximum client
+    /// cost, megabytes on the wire, nothing extra inside the enclave.
+    #[default]
+    FvCiphertext,
+    /// Transciphered ingress: the client seals the quantized pixels under
+    /// the per-session ChaCha20 ingress key (kilobytes on the wire) and the
+    /// enclave authenticates, opens, and re-encrypts under FV inside
+    /// (`ecall_Transcipher`). Logits are bit-identical to
+    /// [`Ingress::FvCiphertext`] — both paths feed the same plaintext
+    /// pixels into the same pipeline.
+    Transciphered,
+}
+
 /// Failure posture of a single request once the pipeline's bounded retries
 /// are exhausted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -63,6 +81,9 @@ pub struct InferRequest {
     /// batch rides the SIMD slots of one ciphertext, so its length is
     /// bounded by the slot count of the session's FV parameters.
     pub images: Vec<Vec<i64>>,
+    /// How the batch crosses the wire (FV ciphertexts or a transciphered
+    /// stream payload).
+    pub ingress: Ingress,
     /// What to do when the enclave stays unavailable after bounded retries.
     pub resilience: Resilience,
     /// Optional absolute virtual-clock deadline. The session itself does
@@ -82,9 +103,17 @@ impl InferRequest {
         InferRequest {
             tenant: 0,
             images,
+            ingress: Ingress::default(),
             resilience: Resilience::default(),
             deadline: None,
         }
+    }
+
+    /// Sets how the batch crosses the wire into the pipeline.
+    #[must_use]
+    pub fn ingress(mut self, ingress: Ingress) -> Self {
+        self.ingress = ingress;
+        self
     }
 
     /// Sets the tenant the broker should account this request to.
@@ -121,6 +150,11 @@ pub struct InferResponse {
     pub served: Served,
     /// Per-stage metrics of the run that produced the logits.
     pub metrics: HybridMetrics,
+    /// Bytes the client shipped over the wire for this request's batch:
+    /// the FV ciphertext map for [`Ingress::FvCiphertext`], the sealed
+    /// stream payload for [`Ingress::Transciphered`]. The serving broker
+    /// books this into its load report's upload column.
+    pub upload_bytes: u64,
     /// Deterministic request identifier `req-<seed:016x>-<ordinal>`: a pure
     /// function of the session seed and the per-session request ordinal,
     /// never of wall time, so replays produce identical IDs. Matches the
@@ -194,10 +228,12 @@ mod tests {
     fn request_builders_set_policy_fields() {
         let req = InferRequest::single(vec![1, 2, 3])
             .tenant(7)
+            .ingress(Ingress::Transciphered)
             .resilience(Resilience::Degrade)
             .deadline(99);
         assert_eq!(req.images, vec![vec![1, 2, 3]]);
         assert_eq!(req.tenant, 7);
+        assert_eq!(req.ingress, Ingress::Transciphered);
         assert_eq!(req.resilience, Resilience::Degrade);
         assert_eq!(req.deadline, Some(99));
     }
@@ -206,6 +242,7 @@ mod tests {
     fn defaults_match_the_old_infer_batch_contract() {
         let req = InferRequest::batch(vec![vec![0; 4]]);
         assert_eq!(req.tenant, 0);
+        assert_eq!(req.ingress, Ingress::FvCiphertext);
         assert_eq!(req.resilience, Resilience::FailFast);
         assert_eq!(req.deadline, None);
     }

@@ -55,13 +55,17 @@
 //! ```
 
 use crate::error::{Error, FaultClass, Result};
-use crate::keydist::{verify_key_ceremony, KeyCeremonyPublic};
-use crate::pipeline::{EcallBatching, HybridInference, HybridMetrics, ProvisionConfig};
+use crate::ingress::seal_ingress_payload;
+use crate::keydist::{derive_ingress_key, verify_key_ceremony, KeyCeremonyPublic};
+use crate::pipeline::{
+    EcallBatching, HybridInference, HybridMetrics, ProvisionConfig, StageMetrics,
+};
 use crate::planner::PoolStrategy;
 use crate::recovery::{retry_with_cost, RecoveryPolicy};
-use crate::request::{InferRequest, InferResponse, NoiseRefresh, Resilience, ServePolicy};
+use crate::request::{InferRequest, InferResponse, Ingress, NoiseRefresh, Resilience, ServePolicy};
 use hesgx_chaos::{FaultHook, FaultInjector, FaultPlan, FaultReport, RecoveryEvent};
 use hesgx_crypto::rng::ChaChaRng;
+use hesgx_crypto::transcipher::IngressKey;
 use hesgx_henn::crt::CrtCiphertext;
 use hesgx_henn::image::EncryptedMap;
 use hesgx_henn::par::ParExec;
@@ -356,9 +360,14 @@ impl SessionBuilder {
         verified?;
 
         let pool = ParExec::new(self.threads).with_recorder(self.recorder.clone());
+        // The user role derives the transciphered-ingress key from the
+        // ceremony material it already holds; the enclave side derives the
+        // same key independently, so nothing new crosses the wire.
+        let ingress_key = derive_ingress_key(&ceremony.public, &ceremony.user_secret);
         Ok(Session {
             service: RwLock::new(service),
             ceremony,
+            ingress_key,
             batching: self.batching,
             rng: Mutex::new(ChaChaRng::from_seed(self.seed).fork("session-client")),
             pool,
@@ -380,6 +389,10 @@ impl SessionBuilder {
 pub struct Session {
     service: RwLock<HybridInference>,
     ceremony: KeyCeremonyPublic,
+    /// Per-session transciphered-ingress key, derived from the ceremony
+    /// transcript by both roles (DESIGN.md §17). Survives re-provisioning:
+    /// same seed → same ceremony → same key.
+    ingress_key: IngressKey,
     batching: EcallBatching,
     rng: Mutex<ChaChaRng>,
     pool: ParExec,
@@ -428,7 +441,7 @@ impl Session {
         let traced = self.trace_request_begin(request.images.len(), &trace_id);
         let result = self.serve_inner(&request);
         self.trace_request_end(traced, result.is_ok());
-        let (logits, served) = result?;
+        let (logits, served, upload_bytes) = result?;
         let metrics = self
             .last_metrics
             .lock()
@@ -438,6 +451,7 @@ impl Session {
             logits,
             served,
             metrics,
+            upload_bytes,
             trace_id,
         })
     }
@@ -490,11 +504,87 @@ impl Session {
 
     /// The recovery ladder around one encrypted batch: exact attempts with
     /// bounded re-provisions, then the resilience-gated degraded fallback.
-    fn serve_inner(&self, request: &InferRequest) -> Result<(Vec<Vec<i64>>, Served)> {
-        let enc = self.encrypt_batch(&request.images)?;
+    fn serve_inner(&self, request: &InferRequest) -> Result<(Vec<Vec<i64>>, Served, u64)> {
+        let (enc, upload_bytes, ingress_stage) = self.ingest(request)?;
+        let (rows, served) = self.ladder(request, &enc)?;
+        // The ingress ECALL ran once, before the ladder; prepend its stage so
+        // the metrics carry it and the obs `.ecall` span fold still equals
+        // `total_enclave_cost` ns-for-ns.
+        if let Some(stage) = ingress_stage {
+            if let Some(metrics) = self.last_metrics.lock().as_mut() {
+                metrics.stages.insert(0, stage);
+            }
+        }
+        Ok((rows, served, upload_bytes))
+    }
+
+    /// Brings a request's batch into the pipeline as an [`EncryptedMap`],
+    /// by the request's [`Ingress`] mode. Returns the map, the bytes the
+    /// client shipped, and the ingress stage metrics when an ECALL ran.
+    fn ingest(&self, request: &InferRequest) -> Result<(EncryptedMap, u64, Option<StageMetrics>)> {
+        match request.ingress {
+            Ingress::FvCiphertext => {
+                let enc = self.encrypt_batch(&request.images)?;
+                let bytes: u64 = enc.cells().iter().map(|c| c.byte_len() as u64).sum();
+                self.recorder.incr(counters::INGRESS_UPLOAD_BYTES, bytes);
+                Ok((enc, bytes, None))
+            }
+            Ingress::Transciphered => {
+                let (enc, stage, payload_len) = self.transcipher_batch(&request.images)?;
+                Ok((enc, payload_len as u64, Some(stage)))
+            }
+        }
+    }
+
+    /// Transciphered ingress: seals the batch under the session ingress key
+    /// (the client role) and re-encrypts it under FV inside the enclave
+    /// (`ecall_Transcipher`). The nonce comes from a dedicated fork of the
+    /// client stream, advanced once per request — deterministic for a fixed
+    /// seed, fresh across requests.
+    fn transcipher_batch(
+        &self,
+        images: &[Vec<i64>],
+    ) -> Result<(EncryptedMap, StageMetrics, usize)> {
+        if images.is_empty() {
+            return Err(Error::Config("empty image batch".into()));
+        }
+        let service = self.service.read();
+        let slots = service.system().slot_count();
+        if images.len() > slots {
+            return Err(Error::Config(format!(
+                "batch of {} exceeds the {} SIMD slots",
+                images.len(),
+                slots
+            )));
+        }
+        let payload = {
+            let mut rng = self.rng.lock();
+            let mut nonce_rng = rng.fork("transcipher-nonce");
+            rng.next_u64();
+            seal_ingress_payload(&self.ingress_key, &mut nonce_rng, images)?
+        };
+        let payload_len = payload.len();
+        let (enc, wall, cost) = service.transcipher_ingress(&self.ingress_key, &payload)?;
+        Ok((
+            enc,
+            StageMetrics {
+                name: "Transciphered Ingress (SGX inside)".into(),
+                wall,
+                enclave: Some(cost),
+            },
+            payload_len,
+        ))
+    }
+
+    /// The exact-with-reprovision / degrade ladder over an ingested batch.
+    fn ladder(
+        &self,
+        request: &InferRequest,
+        enc: &EncryptedMap,
+    ) -> Result<(Vec<Vec<i64>>, Served)> {
         let mut reprovisions = 0u32;
         loop {
-            match self.run_exact(&enc, request.images.len()) {
+            match self.run_exact(enc, request.images.len()) {
                 Ok(rows) => {
                     self.recorder.incr(counters::SERVED_EXACT, 1);
                     return Ok((rows, Served::Exact));
@@ -522,7 +612,7 @@ impl Session {
                                 )],
                             );
                         }
-                        let (logits, metrics) = self.service.read().infer_degraded(&enc)?;
+                        let (logits, metrics) = self.service.read().infer_degraded(enc)?;
                         *self.last_metrics.lock() = Some(metrics);
                         let rows = self.decrypt_logits(&logits, request.images.len())?;
                         self.recorder.incr(counters::SERVED_DEGRADED, 1);
@@ -832,6 +922,33 @@ mod tests {
         let refreshed_resp = refreshed.serve(InferRequest::single(image)).unwrap();
         assert_eq!(plain_resp.logits, refreshed_resp.logits);
         assert_eq!(refreshed_resp.metrics.stages.len(), 5);
+    }
+
+    #[test]
+    fn transciphered_ingress_matches_fv_ingress_with_smaller_upload() {
+        let images: Vec<Vec<i64>> = (0..2)
+            .map(|b| (0..64).map(|p| ((p * 3 + b) % 16) as i64).collect())
+            .collect();
+        let fv = build(1, 16)
+            .serve(InferRequest::batch(images.clone()))
+            .unwrap();
+        let tc = build(1, 16)
+            .serve(InferRequest::batch(images).ingress(Ingress::Transciphered))
+            .unwrap();
+        assert_eq!(fv.logits, tc.logits, "ingress mode must not change logits");
+        assert_eq!(tc.served, Served::Exact);
+        assert!(
+            tc.upload_bytes * 10 < fv.upload_bytes,
+            "stream payload ({}) must undercut the FV upload ({}) by 10x+",
+            tc.upload_bytes,
+            fv.upload_bytes
+        );
+        // The transciphered run carries the extra ingress ECALL stage.
+        assert_eq!(tc.metrics.stages.len(), fv.metrics.stages.len() + 1);
+        assert_eq!(
+            tc.metrics.stages[0].name,
+            "Transciphered Ingress (SGX inside)"
+        );
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::recovery::{retry_with_cost, RecoveryPolicy};
 use hesgx_bfv::prelude::{PublicKey, SecretKey};
 use hesgx_chaos::{FaultHook, FaultSite};
 use hesgx_crypto::rng::ChaChaRng;
+use hesgx_crypto::transcipher::{self, IngressKey};
 use hesgx_henn::crt::{CrtCiphertext, CrtPlainSystem};
 use hesgx_henn::image::EncryptedMap;
 use hesgx_henn::par::ParExec;
@@ -400,6 +401,119 @@ impl InferenceEnclave {
             pool,
         )?;
         Ok((EncryptedMap::new(c, h, w, out), cost))
+    }
+
+    /// Transciphered ingress (`ecall_Transcipher`, DESIGN.md §17): the
+    /// client's ChaCha20-sealed pixel payload enters the enclave, is
+    /// authenticated and opened *inside*, and the quantized pixels are
+    /// re-encrypted under FV — one ciphertext per pixel position with the
+    /// batch riding the SIMD slots, exactly the layout
+    /// `EncryptedMap::encrypt_images_par` produces on the client for the
+    /// FV-ciphertext ingress path.
+    ///
+    /// The upload is kilobytes where an FV-ciphertext upload is megabytes;
+    /// the price is the in-enclave FV encryption, which is charged honestly:
+    /// EPC touches for the marshalled payload region, measured CPU time for
+    /// the authenticate+stream-decrypt and for every per-pixel FV encryption
+    /// (summed across pool workers via
+    /// [`hesgx_tee::enclave::EnclaveCtx::record_cpu_ns`]), and output
+    /// marshalling sized from a deterministic probe encryption — fresh
+    /// ciphertext sizes depend only on the FV parameters, and the produced
+    /// map must leave the enclave for the HE-outside linear layers.
+    ///
+    /// [`FaultSite::Transcipher`] is consulted before every attempt (the
+    /// upload can be dropped in transit); transient faults retry under the
+    /// enclave's [`RecoveryPolicy`]. The RNG base is forked once per logical
+    /// call *outside* the retry loop and every cell encrypts from its own
+    /// `cell-{pixel}` fork, so retries are bit-invisible and the ciphertext
+    /// bits are identical for every pool size.
+    ///
+    /// Returns the per-pixel ciphertext cells, the batch size the payload
+    /// carried, and the boundary cost.
+    ///
+    /// # Errors
+    ///
+    /// Fails without retry when the payload does not authenticate or is
+    /// malformed ([`Error::Config`] — a forged upload must not burn the
+    /// retry budget), or when its batch exceeds the SIMD slot count;
+    /// propagates HE/TEE failures.
+    pub fn transcipher_ingress(
+        &self,
+        sys: &CrtPlainSystem,
+        key: &IngressKey,
+        payload: &[u8],
+        pool: &ParExec,
+    ) -> Result<(Vec<CrtCiphertext>, usize, CostBreakdown)> {
+        let in_bytes = payload.len();
+        // The clear framing header sizes the out-marshalling before the tag
+        // is checked; a lying header can only mis-price a request that then
+        // fails authentication, never desynchronize unpacking (the shape is
+        // re-read from the authenticated header inside the ECALL body).
+        let (_, pixels) = transcipher::peek_shape(payload)
+            .map_err(|e| Error::Config(format!("transcipher ingress: {e}")))?;
+        let call = self.calls.fetch_add(1, Ordering::Relaxed);
+        let base = self.rng.lock().fork(&format!("transcipher-call-{call}"));
+        let out_bytes = {
+            let mut probe_rng = base.fork("size-probe");
+            let probe = sys.encrypt_slots(&[0], &self.public, &mut probe_rng)?;
+            probe.byte_len().saturating_mul(pixels)
+        };
+        let (result, cost) = retry_with_cost(&self.recovery, self.hook(), self.obs(), || {
+            if let Err(e) = self.consult_pre_site(Some(FaultSite::Transcipher)) {
+                return (Err(e), CostBreakdown::default());
+            }
+            let (res, cost) =
+                self.enclave
+                    .ecall_fallible("ecall_Transcipher", in_bytes, out_bytes, |ctx| {
+                        let region = ctx.alloc(in_bytes.max(4096)).map_err(Error::Tee)?;
+                        // First pass marshals the payload in (cold faults);
+                        // the open pass re-reads the header page, now
+                        // resident — the spot where injected EPC load
+                        // pressure strikes.
+                        ctx.touch(region).map_err(Error::Tee)?;
+                        ctx.touch_bytes(region, 1).map_err(Error::Tee)?;
+                        let open_timer = WallTimer::start();
+                        let images = transcipher::open_images(key, payload)
+                            .map_err(|e| Error::Config(format!("transcipher ingress: {e}")))?;
+                        let mut cpu_ns = open_timer.elapsed_ns();
+                        let batch = images.len();
+                        let Some(first) = images.first() else {
+                            return Err(Error::Internal("transcipher payload opened empty"));
+                        };
+                        if batch > sys.slot_count() {
+                            return Err(Error::Config(format!(
+                                "transcipher batch of {batch} images exceeds the {} SIMD slots",
+                                sys.slot_count()
+                            )));
+                        }
+                        let pixels = first.len();
+                        let images = &images;
+                        let tasks = pool.try_run(pixels, |pixel| {
+                            let start = WallTimer::start();
+                            let mut rng = base.fork(&format!("cell-{pixel}"));
+                            let slots: Vec<i64> = images.iter().map(|img| img[pixel]).collect();
+                            let ct = sys.encrypt_slots(&slots, &self.public, &mut rng)?;
+                            Ok::<_, Error>((ct, start.elapsed_ns()))
+                        })?;
+                        let mut out = Vec::with_capacity(tasks.len());
+                        for (ct, ns) in tasks {
+                            out.push(ct);
+                            cpu_ns = cpu_ns.saturating_add(ns);
+                        }
+                        ctx.record_cpu_ns(cpu_ns);
+                        ctx.free(region).map_err(Error::Tee)?;
+                        Ok::<_, Error>((out, batch))
+                    });
+            match res {
+                Ok(inner) => (inner, cost),
+                Err(tee) => (Err(Error::Tee(tee)), cost),
+            }
+        });
+        let (cells, batch) = result?;
+        self.obs().incr(hesgx_obs::counters::TRANSCIPHERS, 1);
+        self.obs()
+            .incr(hesgx_obs::counters::INGRESS_UPLOAD_BYTES, in_bytes as u64);
+        Ok((cells, batch, cost))
     }
 
     /// `SGXPool` (paper §VI-D): the whole feature map enters the enclave and
@@ -956,6 +1070,76 @@ mod tests {
             "activation ciphertexts changed by retry"
         );
         assert_eq!(clean.1, faulted.1, "pool ciphertexts changed by retry");
+    }
+
+    #[test]
+    fn transcipher_ingress_recovers_pixels_and_retries_are_bit_invisible() {
+        use hesgx_chaos::{FaultInjector, FaultKind, FaultPlan};
+        use std::sync::Arc;
+        let images: Vec<Vec<i64>> = (0..2)
+            .map(|b| (0..16).map(|p| (p * 3 + b) as i64 - 7).collect())
+            .collect();
+        let key = IngressKey::derive(b"salt", b"ikm", b"test-ingress");
+        let payload = transcipher::seal_images(&key, &[9u8; 12], &images).unwrap();
+        let run = |hook: Option<Arc<FaultInjector>>, threads: usize| {
+            let platform = Platform::new(21);
+            let mut builder = EnclaveBuilder::new("test-enclave").add_code(b"v1");
+            if let Some(h) = hook {
+                builder = builder.fault_hook(h);
+            }
+            let enclave = builder.build(platform);
+            let sys = CrtPlainSystem::new(256, &[12289, 13313]).unwrap();
+            let mut rng = ChaChaRng::from_seed(91);
+            let (keys, _) = enclave_generate_keys(&enclave, &sys, &mut rng).expect("key ceremony");
+            let ie = InferenceEnclave::new(enclave, keys.secret, keys.public, 92);
+            let pool = ParExec::new(threads);
+            let (cells, batch, cost) = ie.transcipher_ingress(&sys, &key, &payload, &pool).unwrap();
+            assert_eq!(batch, 2);
+            assert_eq!(cells.len(), 16);
+            assert!(cost.total_ns() > 0);
+            // The re-encrypted cells decrypt to exactly the sealed pixels,
+            // slot b = image b — the layout the conv layer expects.
+            for (pixel, ct) in cells.iter().enumerate() {
+                let slots = sys.decrypt_slots(ct, &ie.secret).unwrap();
+                for (b, img) in images.iter().enumerate() {
+                    assert_eq!(slots[b], img[pixel] as i128, "pixel {pixel} batch {b}");
+                }
+            }
+            cells
+        };
+        let clean = run(None, 1);
+        let par = run(None, 4);
+        assert_eq!(clean, par, "pool size must not change ciphertext bits");
+        let injector = Arc::new(
+            FaultPlan::new(6)
+                .script(FaultSite::Transcipher, 0, FaultKind::Transient)
+                .build(),
+        );
+        let faulted = run(Some(injector.clone()), 2);
+        assert_eq!(
+            injector.report().retries(),
+            1,
+            "fault delivered and retried"
+        );
+        assert_eq!(clean, faulted, "retry must be bit-invisible");
+    }
+
+    #[test]
+    fn transcipher_ingress_rejects_forged_payloads_without_retrying() {
+        let (ie, sys, _) = setup();
+        let images = vec![vec![1i64, 2, 3, 4]];
+        let key = IngressKey::derive(b"salt", b"ikm", b"test-ingress");
+        let mut payload = transcipher::seal_images(&key, &[1u8; 12], &images).unwrap();
+        let mid = payload.len() / 2;
+        payload[mid] ^= 0x40;
+        let pool = ParExec::new(1);
+        let err = ie
+            .transcipher_ingress(&sys, &key, &payload, &pool)
+            .unwrap_err();
+        assert!(
+            matches!(err, Error::Config(_)),
+            "auth failure must be fatal, not transient: {err}"
+        );
     }
 
     #[test]

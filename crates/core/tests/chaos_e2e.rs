@@ -14,7 +14,9 @@
 //! * `ecall-enter` / `ecall-exit` — the first activation ECALL is
 //!   interrupted on entry, a later ECALL on exit (both retried);
 //! * `noise-refresh` — the refresh request between pooling and the FC layer
-//!   is dropped once (retried).
+//!   is dropped once (retried);
+//! * `transcipher` — the request ships as a transciphered payload and the
+//!   first upload is dropped in transit (retried).
 //!
 //! After all of that, the decrypted logits must still be bit-identical to
 //! the plaintext reference — recovery is invisible in the output.
@@ -34,7 +36,8 @@ fn every_fault_site_fires_once_and_inference_stays_exact() {
         .script(FaultSite::EpcEvict, 0, FaultKind::Pressure)
         .script(FaultSite::EcallEnter, 0, FaultKind::Transient)
         .script(FaultSite::EcallExit, 1, FaultKind::Transient)
-        .script(FaultSite::NoiseRefresh, 0, FaultKind::Transient);
+        .script(FaultSite::NoiseRefresh, 0, FaultKind::Transient)
+        .script(FaultSite::Transcipher, 0, FaultKind::Transient);
 
     let model = testutil::hybrid_paper_model(1);
     let session = SessionBuilder::new()
@@ -53,16 +56,19 @@ fn every_fault_site_fires_once_and_inference_stays_exact() {
         "corrupted seal must force a re-provision"
     );
 
-    // Full 28×28 inference through the faulty boundary.
+    // Full 28×28 inference through the faulty boundary, shipped as a
+    // transciphered payload so the new ingress site is exercised too.
     let image: Vec<i64> = (0..28 * 28).map(|p| (p % 16) as i64).collect();
-    let response = session.serve(InferRequest::single(image.clone())).unwrap();
+    let response = session
+        .serve(InferRequest::single(image.clone()).ingress(Ingress::Transciphered))
+        .unwrap();
     assert_eq!(
         response.logits,
         vec![model.forward_ints(&image)],
         "recovered inference must stay bit-identical to the reference"
     );
 
-    // Coverage: every one of the eight sites injected at least once.
+    // Coverage: every one of the nine sites injected at least once.
     let report = session.fault_report().expect("chaos plan installed");
     assert_eq!(
         report.sites_injected(),
@@ -71,9 +77,13 @@ fn every_fault_site_fires_once_and_inference_stays_exact() {
         report.to_json()
     );
     assert!(report.reprovisioned(), "seal corruption must re-provision");
-    assert!(report.retries() >= 3, "enter/exit/refresh faults all retry");
-    // Five stages ran (noise refresh enabled) and the report is reproducible.
-    assert_eq!(session.metrics().unwrap().stages.len(), 5);
+    assert!(
+        report.retries() >= 4,
+        "enter/exit/refresh/transcipher faults all retry"
+    );
+    // Six stages ran (transciphered ingress + noise refresh enabled) and the
+    // report is reproducible.
+    assert_eq!(session.metrics().unwrap().stages.len(), 6);
 }
 
 /// Exhausting the retry budget must not kill the service: the resilient

@@ -63,8 +63,25 @@ pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8;
     out
 }
 
+/// Bytes one `(key, nonce)` keystream can produce starting at block
+/// `initial_counter` before the 32-bit counter would wrap: RFC 8439 gives
+/// the counter 32 bits, so blocks `initial_counter..=u32::MAX` are the
+/// entire stream.
+pub fn stream_capacity(initial_counter: u32) -> u64 {
+    (u64::from(u32::MAX - initial_counter) + 1) * BLOCK_LEN as u64
+}
+
 /// Encrypts or decrypts `data` in place (XOR keystream; the operation is its
 /// own inverse). The keystream starts at block `initial_counter`.
+///
+/// # Panics
+///
+/// `data` must fit in [`stream_capacity`]`(initial_counter)` bytes — the
+/// hard cap of the 32-bit block counter. Beyond it the counter would wrap
+/// and reuse keystream, which breaks confidentiality, so the length check
+/// refuses up front. Callers facing untrusted sizes must bound their
+/// payloads below the cap before calling (the transcipher ingress framing
+/// enforces its own much smaller limit with a recoverable error).
 ///
 /// # Examples
 ///
@@ -84,8 +101,17 @@ pub fn xor_stream(
     nonce: &[u8; NONCE_LEN],
     data: &mut [u8],
 ) {
+    assert!(
+        data.len() as u64 <= stream_capacity(initial_counter),
+        "ChaCha20 keystream exhausted: {} bytes exceeds the {}-byte capacity at counter {}",
+        data.len(),
+        stream_capacity(initial_counter),
+        initial_counter,
+    );
     for (block_idx, chunk) in data.chunks_mut(BLOCK_LEN).enumerate() {
-        let ks = block(key, initial_counter.wrapping_add(block_idx as u32), nonce);
+        // In bounds by the capacity check above: block_idx fits u32 and the
+        // sum never wraps, so no keystream block is ever reused.
+        let ks = block(key, initial_counter + block_idx as u32, nonce);
         for (b, k) in chunk.iter_mut().zip(ks.iter()) {
             *b ^= k;
         }
@@ -141,5 +167,37 @@ mod tests {
         let a = block(&key, 0, &[0u8; 12]);
         let b = block(&key, 0, &[1u8; 12]);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn stream_capacity_counts_remaining_blocks() {
+        assert_eq!(stream_capacity(u32::MAX), BLOCK_LEN as u64);
+        assert_eq!(stream_capacity(u32::MAX - 1), 2 * BLOCK_LEN as u64);
+        assert_eq!(stream_capacity(0), (1u64 << 32) * BLOCK_LEN as u64);
+        assert_eq!(stream_capacity(1), ((1u64 << 32) - 1) * BLOCK_LEN as u64);
+    }
+
+    #[test]
+    fn counter_boundary_uses_the_last_blocks_without_wrapping() {
+        // Two blocks starting at u32::MAX - 1 are the final two keystream
+        // blocks; the old wrapping arithmetic would have reused block 0 for
+        // the second chunk.
+        let key = [5u8; 32];
+        let nonce = [9u8; 12];
+        let mut data = [0u8; 2 * BLOCK_LEN];
+        xor_stream(&key, u32::MAX - 1, &nonce, &mut data);
+        assert_eq!(data[..BLOCK_LEN], block(&key, u32::MAX - 1, &nonce));
+        assert_eq!(data[BLOCK_LEN..], block(&key, u32::MAX, &nonce));
+        assert_ne!(data[BLOCK_LEN..], block(&key, 0, &nonce));
+    }
+
+    #[test]
+    #[should_panic(expected = "keystream exhausted")]
+    fn crossing_the_counter_boundary_is_refused() {
+        let key = [5u8; 32];
+        let nonce = [9u8; 12];
+        // Three blocks needed, two remain: refused before touching data.
+        let mut data = [0u8; 2 * BLOCK_LEN + 1];
+        xor_stream(&key, u32::MAX - 1, &nonce, &mut data);
     }
 }

@@ -17,6 +17,9 @@
 //! * [`kdf`] — HKDF-SHA256 (EGETKEY-style key-derivation tree).
 //! * [`schnorr`] — Schnorr signatures over prime-field groups (the quoting
 //!   enclave's attestation signature, standing in for DCAP's ECDSA).
+//! * [`transcipher`] — the transciphered-ingress payload framing: quantized
+//!   pixels sealed under a per-session ChaCha20 key for cheap upload, opened
+//!   inside the enclave for FV re-encryption.
 //! * [`uint`] — fixed-width `U256`/`U512` arithmetic with Barrett-style
 //!   reciprocal reduction, shared with `hesgx-bfv`'s exact ciphertext
 //!   multiplication.
@@ -49,6 +52,7 @@ pub mod kdf;
 pub mod rng;
 pub mod schnorr;
 pub mod sha256;
+pub mod transcipher;
 pub mod uint;
 
 pub use rng::ChaChaRng;

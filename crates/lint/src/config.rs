@@ -73,6 +73,21 @@ pub const SECRET_TYPES: &[SecretType] = &[
         ]),
     },
     SecretType {
+        name: "IngressKey",
+        // Both halves (ChaCha20 + HMAC keys) redact via a manual Debug impl.
+        no_debug: true,
+        // The transcipher ingress key crosses exactly the paths of the
+        // client → enclave upload: derivation, client-side sealing, the
+        // ECALL wrapper, and the Session entry point.
+        pub_sig_allowed: Some(&[
+            "crates/crypto/src/transcipher.rs",
+            "crates/core/src/keydist.rs",
+            "crates/core/src/sgx_ops.rs",
+            "crates/core/src/ingress.rs",
+            "crates/core/src/session.rs",
+        ]),
+    },
+    SecretType {
         name: "SigningKey",
         no_debug: true,
         pub_sig_allowed: Some(&["crates/crypto/src/schnorr.rs", "crates/tee/src"]),
@@ -117,6 +132,7 @@ pub const CONST_TIME_PATHS: &[&str] = &["crates/crypto/src", "fixtures/const-tim
 pub const ECALL_PATHS: &[&str] = &[
     "crates/core/src/sgx_ops.rs",
     "crates/core/src/recovery.rs",
+    "crates/core/src/ingress.rs",
     "crates/serve/src/dispatch.rs",
     "fixtures/ecall-cost",
 ];

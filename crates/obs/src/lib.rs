@@ -97,6 +97,11 @@ pub mod counters {
     pub const NOISE_REFRESHES: &str = "noise.refreshes";
     /// Auto-mode refreshes skipped because the budget was above threshold.
     pub const NOISE_REFRESH_SKIPS: &str = "noise.refresh_skips";
+    /// Transciphered-ingress payloads opened and re-encrypted under FV.
+    pub const TRANSCIPHERS: &str = "ingress.transciphers";
+    /// Client upload bytes accepted at ingress (stream payloads or FV
+    /// ciphertext maps, whichever the request shipped).
+    pub const INGRESS_UPLOAD_BYTES: &str = "ingress.upload_bytes";
 }
 
 /// Virtual-clock cost attached to a span entry.

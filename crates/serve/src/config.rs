@@ -26,6 +26,11 @@ pub struct HeCostModel {
     pub ct_ct_mul_ns: u64,
     /// Relinearization.
     pub relin_ns: u64,
+    /// Per-byte ingress transfer cost — what the broker charges for moving
+    /// a request's upload (FV ciphertexts or a transciphered stream payload)
+    /// into the service. This is where transciphered ingress pays off on the
+    /// virtual clock: kilobyte payloads instead of megabyte ciphertexts.
+    pub ingress_byte_ns: u64,
 }
 
 impl HeCostModel {
@@ -39,7 +44,14 @@ impl HeCostModel {
             ct_pt_add_ns: 6_000,
             ct_ct_mul_ns: 450_000,
             relin_ns: 900_000,
+            // ~500 MB/s modeled ingest path (TLS + copy), 2 ns per byte.
+            ingress_byte_ns: 2,
         }
+    }
+
+    /// The modeled transfer time of `upload_bytes` of client payload.
+    pub fn ingress_ns(&self, upload_bytes: u64) -> u64 {
+        upload_bytes.saturating_mul(self.ingress_byte_ns)
     }
 
     /// The modeled evaluator time of one pipeline run with the given

@@ -29,10 +29,11 @@ pub fn dispatch_batch(
 }
 
 /// The modeled service time of a dispatched batch on the virtual clock:
-/// the HE evaluator ops priced through the cost table plus the *modeled*
-/// enclave terms (transitions, copies, paging) of the charged cost. Wall
-/// terms are deliberately excluded — they vary per run and per thread
-/// count, and the virtual clock must not.
+/// the HE evaluator ops priced through the cost table, the ingress transfer
+/// of the request's upload bytes, plus the *modeled* enclave terms
+/// (transitions, copies, paging) of the charged cost. Wall terms are
+/// deliberately excluded — they vary per run and per thread count, and the
+/// virtual clock must not.
 // hesgx-lint: allow(ecall-cost, reason = "pure arithmetic over an already-charged cost")
 pub fn modeled_service_ns(
     response: &InferResponse,
@@ -41,6 +42,7 @@ pub fn modeled_service_ns(
 ) -> VirtualNs {
     he_costs
         .eval_ns(&response.metrics.ops)
+        .saturating_add(he_costs.ingress_ns(response.upload_bytes))
         .saturating_add(charged.span_cost().model_ns())
         .max(1)
 }
@@ -86,10 +88,13 @@ mod tests {
         );
         let ns = modeled_service_ns(&response, &cost, &HeCostModel::paper());
         assert!(ns >= cost.span_cost().model_ns());
-        // The evaluator share prices the recorded op counts.
+        assert!(response.upload_bytes > 0, "FV ingress uploads ciphertexts");
+        // The remainder beyond the charged enclave time prices the recorded
+        // op counts plus the ingress transfer of the upload bytes.
         assert_eq!(
             ns - cost.span_cost().model_ns(),
             HeCostModel::paper().eval_ns(&response.metrics.ops)
+                + HeCostModel::paper().ingress_ns(response.upload_bytes)
         );
     }
 }

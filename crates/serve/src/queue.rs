@@ -101,9 +101,12 @@ impl AdmissionQueue {
 
     /// Selects the next batch to dispatch at virtual time `now`, packing up
     /// to `max_images` images deficit-round-robin across tenants. Requests
-    /// whose deadline already passed are dropped into `expired` instead of
-    /// the batch. An empty return with a non-empty `expired` means the
-    /// queue held only dead requests.
+    /// whose deadline lies *strictly before* `now` (`deadline < now`) are
+    /// dropped into `expired` instead of the batch; a request with
+    /// `deadline == now` still dispatches, so on a zero-latency virtual
+    /// clock an arrival deadlined "now" is served rather than stillborn.
+    /// An empty return with a non-empty `expired` means the queue held only
+    /// dead requests.
     pub fn take_batch(
         &mut self,
         now: VirtualNs,
@@ -233,6 +236,31 @@ mod tests {
         assert_eq!(batch.len(), 1);
         assert_eq!(batch[0].id, 1);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn deadline_equal_to_now_still_dispatches() {
+        // The expiry boundary is strict: `deadline < now` expires,
+        // `deadline == now` dispatches (pinned so a doc/code drift like the
+        // one this test was added for cannot silently recur).
+        let mut q = AdmissionQueue::new(16, 4);
+        let mut p = pend(0, 0, 1);
+        p.request = p.request.deadline(50);
+        q.offer(p, 8);
+        let mut expired = Vec::new();
+        let batch = q.take_batch(50, 8, &mut expired);
+        assert!(expired.is_empty());
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].id, 0);
+
+        // One tick later the same deadline is dead.
+        let mut p = pend(1, 0, 1);
+        p.request = p.request.deadline(50);
+        q.offer(p, 8);
+        let batch = q.take_batch(51, 8, &mut expired);
+        assert!(batch.is_empty());
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].id, 1);
     }
 
     #[test]

@@ -115,6 +115,10 @@ pub struct LoadReport {
     pub total_service_ns: VirtualNs,
     /// The HE evaluator share of `total_service_ns`.
     pub total_he_ns: VirtualNs,
+    /// Client upload bytes carried by all dispatched batches (FV
+    /// ciphertexts or transciphered stream payloads) — the column the
+    /// transcipher experiment compares across ingress modes.
+    pub total_upload_bytes: u64,
     /// Latency percentiles over completed requests.
     pub latency: LatencyStats,
     /// Per-tenant accounting, keyed by tenant ID.
@@ -172,6 +176,7 @@ impl LoadReport {
         field("makespan_ns", self.makespan_ns);
         field("total_service_ns", self.total_service_ns);
         field("total_he_ns", self.total_he_ns);
+        field("total_upload_bytes", self.total_upload_bytes);
         field("he_ns_per_request", self.he_ns_per_request());
         field("latency_p50_ns", self.latency.p50_ns);
         field("latency_p95_ns", self.latency.p95_ns);
