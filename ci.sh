@@ -117,4 +117,22 @@ cargo run --release -q -p hesgx-bench --offline --bin repro -- transcipher --qui
 diff target/bench/BENCH_transcipher.deterministic.first.json target/bench/BENCH_transcipher.deterministic.json
 rm -f target/bench/BENCH_transcipher.deterministic.first.json
 
+# Profile gate: the run itself asserts the deterministic face (tree shape,
+# call counts, bytes — no nanoseconds) is byte-identical across HE pool
+# sizes 1/2/4, that profiled logits match an unprofiled serve bit-for-bit,
+# and that the measured/modeled drift ratio stays inside the checked-in
+# budget band. The run-twice diff below covers the cross-run half of the
+# contract; the flamegraph and hotspot table are wall-face artifacts for
+# humans, never diffed.
+echo "==> profile (two runs, deterministic sections diffed)"
+cargo run --release -q -p hesgx-bench --offline --bin repro -- profile --quick
+test -s target/bench/BENCH_profile.json
+test -s target/bench/BENCH_profile.deterministic.json
+test -s target/bench/profile.collapsed.txt
+test -s target/bench/profile_hotspots.txt
+cp target/bench/BENCH_profile.deterministic.json target/bench/BENCH_profile.deterministic.first.json
+cargo run --release -q -p hesgx-bench --offline --bin repro -- profile --quick
+diff target/bench/BENCH_profile.deterministic.first.json target/bench/BENCH_profile.deterministic.json
+rm -f target/bench/BENCH_profile.deterministic.first.json
+
 echo "ci: all checks passed"

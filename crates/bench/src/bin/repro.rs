@@ -7,8 +7,8 @@
 //! ```
 
 use hesgx_bench::experiments::{
-    ablation, chaos_sweep, e2e, figures, ntt_bench, obs_report, par_sweep, serve_load, tables,
-    trace, transcipher, RunConfig,
+    ablation, bench_trajectory, chaos_sweep, e2e, figures, ntt_bench, obs_report, par_sweep,
+    profile, serve_load, tables, trace, transcipher, RunConfig,
 };
 use hesgx_bench::PaperEnv;
 
@@ -32,6 +32,8 @@ const EXPERIMENTS: &[&str] = &[
     "serve_load",
     "ntt_bench",
     "transcipher",
+    "profile",
+    "bench_trajectory",
 ];
 
 fn main() {
@@ -148,6 +150,14 @@ fn main() {
     }
     if wanted("transcipher") {
         transcipher::transcipher(cfg);
+    }
+    if wanted("profile") {
+        profile::profile(cfg);
+    }
+    // Explicit-only: appends a dated row to a checked-in results file, a
+    // commit-time action — never part of the run-everything sweep.
+    if selected.contains(&"bench_trajectory") {
+        bench_trajectory::bench_trajectory(cfg);
     }
     println!();
     println!("done.");

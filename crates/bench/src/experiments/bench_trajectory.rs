@@ -1,0 +1,224 @@
+//! `bench_trajectory` — appends the current headline bench numbers as a
+//! dated row to `results/bench_trajectory.md`, the longitudinal record of
+//! how the hot-path wall times move across commits.
+//!
+//! Reads the *already written* artifacts (`target/bench/BENCH_ntt.json`,
+//! `target/bench/BENCH_transcipher.json`) rather than re-running the
+//! benches, so a trajectory entry always describes exactly the run that
+//! produced the artifacts. Run `repro ntt_bench` and `repro transcipher`
+//! first; this helper prints guidance and appends nothing when either
+//! artifact is missing.
+//!
+//! Deliberately *not* part of `repro` run-all: it mutates a checked-in
+//! results file and stamps a wall-clock date, both of which are commit-time
+//! actions, not CI actions.
+
+use super::{header, RunConfig};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// What the helper did, for the caller and the integration tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrajectoryAppend {
+    /// A dated section was appended to `results/bench_trajectory.md`.
+    pub appended: bool,
+    /// NTT tiers parsed out of `BENCH_ntt.json`.
+    pub tiers: usize,
+}
+
+/// One parsed `ntt_bench` tier: `(n, p, cached_ns, reference_ns)` of the
+/// negacyclic-multiply table.
+type Tier = (u64, u64, u64, u64);
+
+/// Finds `"key":<integer>` at or after `from` and parses the integer.
+fn num_after(s: &str, key: &str, from: usize) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = s[from..].find(&needle)? + from + needle.len();
+    let digits: String = s[at..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Pulls the negacyclic-multiply rows out of the `BENCH_ntt.json` text with
+/// a string scan (the artifact writer is ours; the shape is fixed).
+fn parse_ntt_tiers(json: &str) -> Vec<Tier> {
+    let mut tiers = Vec::new();
+    for chunk in json.split("{\"n\":").skip(1) {
+        let digits: String = chunk.chars().take_while(char::is_ascii_digit).collect();
+        let Ok(n) = digits.parse::<u64>() else {
+            continue;
+        };
+        let Some(p) = num_after(chunk, "p", 0) else {
+            continue;
+        };
+        let Some(neg) = chunk.find("\"negacyclic_multiply\":{") else {
+            continue;
+        };
+        let (Some(cached), Some(reference)) = (
+            num_after(chunk, "cached_ns", neg),
+            num_after(chunk, "reference_ns", neg),
+        ) else {
+            continue;
+        };
+        tiers.push((n, p, cached, reference));
+    }
+    tiers
+}
+
+/// Days-since-epoch to civil `(year, month, day)` (Gregorian; Howard
+/// Hinnant's `civil_from_days` algorithm, integer-only).
+fn civil_from_days(days: i64) -> (i64, u32, u32) {
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32;
+    let y = yoe as i64 + era * 400 + i64::from(m <= 2);
+    (y, m, d)
+}
+
+/// Today's date as `YYYY-MM-DD` from the system clock (the bench crate is
+/// inside the wall-clock lint's allow list; trajectory rows are dated by
+/// design — this file is the one place wall-clock dates are the point).
+fn today() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Appends the dated headline row; see the module docs for the contract.
+pub fn bench_trajectory(_cfg: RunConfig) -> TrajectoryAppend {
+    header("BENCH TRAJECTORY: append dated headline numbers to results/bench_trajectory.md");
+    let ntt_path = Path::new("target/bench/BENCH_ntt.json");
+    let tc_path = Path::new("target/bench/BENCH_transcipher.json");
+    let Ok(ntt) = std::fs::read_to_string(ntt_path) else {
+        println!(
+            "missing {}; run `repro ntt_bench` first, then re-run bench_trajectory",
+            ntt_path.display()
+        );
+        return TrajectoryAppend {
+            appended: false,
+            tiers: 0,
+        };
+    };
+    let tiers = parse_ntt_tiers(&ntt);
+    if tiers.is_empty() {
+        println!(
+            "no tiers parsed from {}; artifact malformed?",
+            ntt_path.display()
+        );
+        return TrajectoryAppend {
+            appended: false,
+            tiers: 0,
+        };
+    }
+
+    let mut section = String::new();
+    let _ = writeln!(
+        section,
+        "\n## {} — `repro bench_trajectory` snapshot",
+        today()
+    );
+    let _ = writeln!(
+        section,
+        "\n| n    | p     | mul cached (ns) | mul ref (ns) | speedup |"
+    );
+    let _ = writeln!(
+        section,
+        "|------|-------|-----------------|--------------|---------|"
+    );
+    let mut worst_permille = u64::MAX;
+    for &(n, p, cached, reference) in &tiers {
+        let permille = reference.saturating_mul(1000) / cached.max(1);
+        worst_permille = worst_permille.min(permille);
+        let _ = writeln!(
+            section,
+            "| {n:<4} | {p:<5} | {cached:<15} | {reference:<12} | {}.{:02}× |",
+            permille / 1000,
+            (permille % 1000) / 10
+        );
+    }
+    let _ = writeln!(
+        section,
+        "\n- Headline: **{}.{:02}× worst-tier negacyclic speedup** (cached vs eager reference).",
+        worst_permille / 1000,
+        (worst_permille % 1000) / 10
+    );
+    match std::fs::read_to_string(tc_path) {
+        Ok(tc) => {
+            let fv = tc
+                .find("\"ingress\":\"fv-ciphertext\"")
+                .and_then(|at| num_after(&tc, "upload_bytes", at))
+                .unwrap_or(0);
+            let reduction = num_after(&tc, "reduction", 0).unwrap_or(0);
+            let _ = writeln!(
+                section,
+                "- Transciphered ingress: FV upload {fv} bytes, reduction {reduction}× \
+                 (from `BENCH_transcipher.json`)."
+            );
+        }
+        Err(_) => {
+            println!(
+                "missing {}; transcipher line omitted (run `repro transcipher` to include it)",
+                tc_path.display()
+            );
+        }
+    }
+
+    let out = Path::new("results/bench_trajectory.md");
+    let existing = std::fs::read_to_string(out).unwrap_or_else(|_| {
+        String::from("# Bench trajectory\n\nLongitudinal record of headline bench numbers.\n")
+    });
+    let appended = std::fs::write(out, existing + &section).is_ok();
+    if appended {
+        println!("appended {} tier rows to {}", tiers.len(), out.display());
+        print!("{section}");
+    } else {
+        println!("could not write {}", out.display());
+    }
+    TrajectoryAppend {
+        appended,
+        tiers: tiers.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tiers_out_of_the_ntt_artifact_shape() {
+        let json = "{\"experiment\":\"ntt_bench\",\"reps\":3,\"tiers\":[\
+            {\"n\":256,\"p\":12289,\"forward\":{\"optimized_ns\":1,\"reference_ns\":2},\
+            \"negacyclic_multiply\":{\"cached_ns\":3220,\"symmetric_lazy_ns\":4855,\
+            \"reference_ns\":7094},\"product_checksum\":1},\
+            {\"n\":1024,\"p\":65537,\"negacyclic_multiply\":{\"cached_ns\":13656,\
+            \"symmetric_lazy_ns\":21740,\"reference_ns\":28949}}]}";
+        let tiers = parse_ntt_tiers(json);
+        assert_eq!(
+            tiers,
+            vec![(256, 12289, 3220, 7094), (1024, 65537, 13656, 28949)]
+        );
+    }
+
+    #[test]
+    fn tier_reference_ns_comes_from_the_negacyclic_table_not_forward() {
+        let json = "{\"tiers\":[{\"n\":8,\"p\":17,\
+            \"forward\":{\"optimized_ns\":1,\"reference_ns\":999},\
+            \"negacyclic_multiply\":{\"cached_ns\":10,\"reference_ns\":20}}]}";
+        assert_eq!(parse_ntt_tiers(json), vec![(8, 17, 10, 20)]);
+    }
+
+    #[test]
+    fn civil_from_days_hits_known_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1));
+        // Leap day.
+        assert_eq!(civil_from_days(19_782), (2024, 2, 29));
+    }
+}

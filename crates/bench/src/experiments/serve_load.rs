@@ -20,9 +20,10 @@
 //! `target/bench/BENCH_serve.json` (the sweep table, integers only).
 
 use super::{chaos_sweep::sweep_model, header, RunConfig};
+use hesgx_core::request::Ingress;
 use hesgx_core::session::ParamsPreset;
 use hesgx_obs::Recorder;
-use hesgx_serve::{Broker, BrokerConfig, LoadReport, LoadSpec, LoadTrace};
+use hesgx_serve::{Broker, BrokerConfig, HeCostModel, LoadReport, LoadSpec, LoadTrace};
 use std::fmt::Write as _;
 
 /// Broker seed: one key domain for the whole sweep.
@@ -89,6 +90,17 @@ pub struct ServeLoad {
     /// The high-rate batched report replayed byte-identically at HE pools
     /// 1/2/4.
     pub pool_identical: bool,
+    /// WAN scenario: the saturated trace under WAN-priced ingress, FV
+    /// ciphertext uploads.
+    pub wan_fv: PointStats,
+    /// WAN scenario: the same trace, transciphered uploads.
+    pub wan_transciphered: PointStats,
+    /// The per-byte ingress price at which transciphered ingress starts to
+    /// beat FV uploads for this traffic (0 = no crossover computed).
+    pub wan_crossover_byte_ns: u64,
+    /// At WAN prices (80 ns/B), transciphered ingress yields lower mean
+    /// modeled latency than FV-ciphertext uploads.
+    pub transcipher_wins_at_wan: bool,
 }
 
 fn broker(max_batch: usize, he_threads: usize, quick: bool, recorder: Recorder) -> Broker {
@@ -104,6 +116,33 @@ fn broker(max_batch: usize, he_threads: usize, quick: bool, recorder: Recorder) 
         recorder,
     )
     .expect("serve_load broker provisions on the deterministic platform")
+}
+
+/// A batching broker with ingress priced at WAN rates (80 ns/byte) — the
+/// bandwidth-constrained-client scenario.
+fn wan_broker(quick: bool) -> Broker {
+    Broker::new(
+        BrokerConfig::new()
+            .workers(2)
+            .max_batch(8)
+            .queue_cap(64)
+            .he_costs(HeCostModel::wan()),
+        sweep_model(quick),
+        ParamsPreset::Small,
+        SEED,
+        2,
+        Recorder::disabled(),
+    )
+    .expect("serve_load WAN broker provisions on the deterministic platform")
+}
+
+/// The same trace with every request switched to transciphered ingress.
+fn transciphered(trace: &LoadTrace) -> LoadTrace {
+    let mut wan = trace.clone();
+    for arrival in &mut wan.arrivals {
+        arrival.request = arrival.request.clone().ingress(Ingress::Transciphered);
+    }
+    wan
 }
 
 fn spec(quick: bool, mean_gap_ns: u64, requests: usize) -> LoadSpec {
@@ -201,6 +240,39 @@ pub fn serve_load(cfg: RunConfig) -> ServeLoad {
         if pool_identical { "ok" } else { "DIVERGED" }
     );
 
+    // WAN ingress scenario (ROADMAP item 2 follow-on): replay the
+    // saturated trace with ingress priced at WAN rates, once with FV
+    // ciphertext uploads and once transciphered, and solve for the
+    // per-byte price where the modes cross over.
+    let wan = HeCostModel::wan();
+    let wan_trace = LoadTrace::generate(&spec(cfg.quick, gaps[1], requests));
+    let mut wan_fv_report = wan_broker(cfg.quick).run(&wan_trace);
+    let mut wan_tc_report = wan_broker(cfg.quick).run(&transciphered(&wan_trace));
+    let wan_crossover_byte_ns =
+        LoadReport::ingress_crossover_byte_ns(&wan_fv_report, &wan_tc_report, wan.ingress_byte_ns);
+    wan_fv_report.crossover_byte_ns = wan_crossover_byte_ns;
+    wan_tc_report.crossover_byte_ns = wan_crossover_byte_ns;
+    let wan_fv = PointStats::from_report(&wan_fv_report);
+    let wan_transciphered = PointStats::from_report(&wan_tc_report);
+    let transcipher_wins_at_wan = wan_tc_report.latency.mean_ns < wan_fv_report.latency.mean_ns;
+    println!();
+    println!(
+        "WAN ingress ({} ns/B): FV mean latency {} ns ({} B up) vs transciphered {} ns ({} B up)",
+        wan.ingress_byte_ns,
+        wan_fv_report.latency.mean_ns,
+        wan_fv_report.total_upload_bytes,
+        wan_tc_report.latency.mean_ns,
+        wan_tc_report.total_upload_bytes,
+    );
+    println!(
+        "ingress price crossover: transciphering wins above {wan_crossover_byte_ns} ns/B ({})",
+        if transcipher_wins_at_wan {
+            "WAN is past the crossover — transciphered ingress wins"
+        } else {
+            "WAN is below the crossover — FV upload still fine"
+        }
+    );
+
     // Artifacts: obs snapshot + Prometheus export of the high-rate batched
     // run, and the sweep table for CI to archive and diff.
     if let Some(path) = crate::write_obs_file("serve-load.json", &replays[0].1) {
@@ -232,9 +304,22 @@ pub fn serve_load(cfg: RunConfig) -> ServeLoad {
             stat(&p.unbatched)
         );
     }
+    let stat = |s: &PointStats| {
+        format!(
+            "{{\"admitted\":{},\"completed\":{},\"dropped\":{},\"fill_permille\":{},\"he_ns_per_request\":{},\"p50_ns\":{},\"p99_ns\":{}}}",
+            s.admitted, s.completed, s.dropped, s.fill_permille, s.he_ns_per_request, s.p50_ns, s.p99_ns
+        )
+    };
     let _ = write!(
         json,
-        "],\"batching_amortizes_he\":{batching_amortizes_he},\"batching_helps_tail\":{batching_helps_tail},\"pool_identical\":{pool_identical}}}"
+        "],\"wan\":{{\"ingress_byte_ns\":{},\"fv\":{},\"transciphered\":{},\"crossover_byte_ns\":{wan_crossover_byte_ns},\"transcipher_wins\":{transcipher_wins_at_wan}}},",
+        wan.ingress_byte_ns,
+        stat(&wan_fv),
+        stat(&wan_transciphered)
+    );
+    let _ = write!(
+        json,
+        "\"batching_amortizes_he\":{batching_amortizes_he},\"batching_helps_tail\":{batching_helps_tail},\"pool_identical\":{pool_identical}}}"
     );
     if let Some(path) = crate::write_bench_file("BENCH_serve.json", &json) {
         println!("bench table written to {}", path.display());
@@ -245,5 +330,9 @@ pub fn serve_load(cfg: RunConfig) -> ServeLoad {
         batching_amortizes_he,
         batching_helps_tail,
         pool_identical,
+        wan_fv,
+        wan_transciphered,
+        wan_crossover_byte_ns,
+        transcipher_wins_at_wan,
     }
 }

@@ -15,6 +15,7 @@ use crate::error::{BfvError, Result};
 use crate::keys::EvaluationKeys;
 use crate::plaintext::{NttPlaintext, Plaintext};
 use crate::poly::{PolyForm, RnsPoly};
+use hesgx_obs::prof;
 
 use std::sync::Arc;
 
@@ -161,6 +162,7 @@ impl Evaluator {
     /// `t/2` become negative) to keep noise growth proportional to the true
     /// magnitude of the weights.
     pub fn mul_plain(&self, a: &Ciphertext, plain: &Plaintext) -> Result<Ciphertext> {
+        let _prof = prof::span("bfv.eval.mul_plain");
         self.check(a)?;
         self.check_plain(plain)?;
         let ctx = &self.ctx;
@@ -190,6 +192,7 @@ impl Evaluator {
     /// done once (at weight provisioning) for reuse by
     /// [`Evaluator::mul_plain_ntt`].
     pub fn transform_plain_to_ntt(&self, plain: &Plaintext) -> Result<NttPlaintext> {
+        let _prof = prof::span("bfv.eval.plain_to_ntt");
         self.check_plain(plain)?;
         let ctx = &self.ctx;
         let t = ctx.params().plain_modulus();
@@ -211,6 +214,7 @@ impl Evaluator {
     /// per-call centering and forward transform of the plaintext. Results
     /// are bit-identical to the uncached path.
     pub fn mul_plain_ntt(&self, a: &Ciphertext, plain: &NttPlaintext) -> Result<Ciphertext> {
+        let _prof = prof::span("bfv.eval.mul_plain_ntt");
         self.check(a)?;
         if plain.context_id != *self.ctx.id() {
             return Err(BfvError::ContextMismatch);
@@ -440,6 +444,7 @@ impl Evaluator {
     /// Homomorphic multiplication: the FV tensor product with exact
     /// `round(t·x/q)` rescaling. Output size is `a.size() + b.size() - 1`.
     pub fn multiply(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext> {
+        let _prof = prof::span("bfv.eval.multiply");
         self.check(a)?;
         self.check(b)?;
         let ctx = &self.ctx;
@@ -496,6 +501,7 @@ impl Evaluator {
     /// Fails when the ciphertext has size 2 already ([`BfvError::NothingToRelinearize`]),
     /// when contexts mismatch, or when the keys have the wrong component count.
     pub fn relinearize(&self, ct: &Ciphertext, evk: &EvaluationKeys) -> Result<Ciphertext> {
+        let _prof = prof::span("bfv.eval.relinearize");
         self.check(ct)?;
         if evk.context_id() != self.ctx.id() {
             return Err(BfvError::ContextMismatch);

@@ -9,6 +9,7 @@ use crate::arith::{
     add_mod, inv_mod, mul_mod, mul_mod_shoup, mul_mod_shoup_lazy, primitive_root_of_unity,
     shoup_precompute, sub_mod, BarrettU128,
 };
+use hesgx_obs::prof;
 
 /// A reusable multiplicand provisioned into evaluation form by
 /// [`NttTable::prepare_cached_operand`]: `NTT(b) · n^{-1} mod p` per slot
@@ -150,6 +151,7 @@ impl NttTable {
     /// Panics if `values.len() != n`.
     // hesgx-lint: hot
     pub fn forward(&self, values: &mut [u64]) {
+        let _prof = prof::span("bfv.ntt.forward");
         self.forward_lazy(values);
         // Single correction sweep: [0, 4p) -> [0, p).
         let (p, two_p) = (self.p, self.two_p);
@@ -204,6 +206,7 @@ impl NttTable {
     /// Panics if `values.len() != n`.
     // hesgx-lint: hot
     pub fn inverse(&self, values: &mut [u64]) {
+        let _prof = prof::span("bfv.ntt.inverse");
         self.inverse_lazy(values);
         self.scale_inv_n(values);
     }
@@ -260,6 +263,7 @@ impl NttTable {
     /// the inverse side corrects.
     // hesgx-lint: hot
     pub fn negacyclic_multiply(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let _prof = prof::span("bfv.ntt.negacyclic");
         let mut fa = a.to_vec();
         let mut fb = b.to_vec();
         self.forward_lazy(&mut fa);
@@ -320,6 +324,7 @@ impl NttTable {
     /// Panics if `a.len() != n` or the operand was prepared for another `n`.
     // hesgx-lint: hot
     pub fn negacyclic_multiply_cached(&self, a: &[u64], cached: &CachedNttOperand) -> Vec<u64> {
+        let _prof = prof::span("bfv.ntt.negacyclic_cached");
         assert_eq!(a.len(), self.n, "operand length != n");
         assert_eq!(cached.values.len(), self.n, "cached operand length != n");
         let p = self.p;

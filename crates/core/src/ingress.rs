@@ -68,9 +68,13 @@ impl HybridInference {
     ) -> Result<(EncryptedMap, Duration, CostBreakdown)> {
         let start = WallTimer::start();
         self.trace_stage_begin("infer.ingress.ecall");
+        // Same name as the recorder stage span so the profiler's drift
+        // report joins the measured wall time against the modeled cost.
+        let prof_stage = hesgx_obs::prof::span("infer.ingress.ecall");
         let (cells, _batch, cost) =
             self.enclave()
                 .transcipher_ingress(self.system(), key, payload, self.pool())?;
+        drop(prof_stage);
         self.trace_stage_end("infer.ingress.ecall");
         let side = self.model().in_side;
         if cells.len() != side * side {

@@ -22,7 +22,7 @@ use hesgx_henn::par::ParExec;
 use hesgx_henn::weights::WeightBank;
 use hesgx_nn::layers::ActivationKind;
 use hesgx_nn::quantize::{QuantPipeline, QuantizedCnn};
-use hesgx_obs::{counters, Recorder};
+use hesgx_obs::{counters, prof, Recorder};
 use hesgx_tee::cost::{CostBreakdown, CostModel};
 use hesgx_tee::enclave::{EnclaveBuilder, Platform};
 use hesgx_tee::error::TeeError;
@@ -494,6 +494,7 @@ impl HybridInference {
         // cells × CRT limbs (bit-identical for every pool size).
         let start = WallTimer::start();
         self.trace_stage_begin("infer.layer[0].he");
+        let prof_stage = prof::span("infer.layer[0].he");
         let conv = match &self.banks {
             Some((conv_bank, _)) => ops::he_conv2d_cached_par(
                 &self.sys,
@@ -518,6 +519,7 @@ impl HybridInference {
                 &self.pool,
             )?,
         };
+        drop(prof_stage);
         self.trace_stage_end("infer.layer[0].he");
         let conv_wall = start.elapsed();
         self.record_stage("infer.layer[0].he", conv_wall, None);
@@ -531,6 +533,7 @@ impl HybridInference {
         // ECALL boundary once, the per-cell work parallelizes inside.
         let start = WallTimer::start();
         self.trace_stage_begin("infer.layer[1].ecall");
+        let prof_stage = prof::span("infer.layer[1].ecall");
         self.probe_gauge("noise.budget.layer[1].pre", conv.cells())?;
         let (activated, act_cost) = match batching {
             EcallBatching::Batched => {
@@ -543,6 +546,7 @@ impl HybridInference {
             }
         };
         self.probe_gauge("noise.budget.layer[1].post", activated.cells())?;
+        drop(prof_stage);
         self.trace_stage_end("infer.layer[1].ecall");
         // The conv map is consumed; its limb buffers seed the pool stage's
         // accumulator copies.
@@ -561,6 +565,7 @@ impl HybridInference {
         // (noisier) for SgxDiv.
         let start = WallTimer::start();
         self.trace_stage_begin("infer.layer[2].ecall");
+        let prof_stage = prof::span("infer.layer[2].ecall");
         let (pooled, pool_cost) = match self.plan.pool_strategy {
             PoolStrategy::SgxPool => {
                 self.probe_gauge("noise.budget.layer[2].pre", activated.cells())?;
@@ -585,6 +590,7 @@ impl HybridInference {
             }
         };
         self.probe_gauge("noise.budget.layer[2].post", pooled.cells())?;
+        drop(prof_stage);
         self.trace_stage_end("infer.layer[2].ecall");
         activated.recycle(&self.arena);
         let pool_wall = start.elapsed();
@@ -607,6 +613,7 @@ impl HybridInference {
             let stage = format!("infer.layer[{layer}].ecall");
             let start = WallTimer::start();
             self.trace_stage_begin(&stage);
+            let prof_stage = prof::span(&stage);
             // Functional probe: it decides the refresh, so its cost belongs
             // to the stage — folded into the stage metrics *and* the stage
             // span, keeping the reconciliation invariant exact.
@@ -650,6 +657,7 @@ impl HybridInference {
                 threshold_bits: threshold,
                 refreshed,
             });
+            drop(prof_stage);
             self.trace_stage_end(&stage);
             layer += 1;
             out
@@ -657,6 +665,7 @@ impl HybridInference {
             let stage = format!("infer.layer[{layer}].ecall");
             let start = WallTimer::start();
             self.trace_stage_begin(&stage);
+            let prof_stage = prof::span(&stage);
             // Always mode refreshes unconditionally; budget telemetry around
             // it is recorder-gated and cost-invisible to the stage books.
             let before =
@@ -686,6 +695,7 @@ impl HybridInference {
                 wall: refresh_wall,
                 enclave: Some(cost),
             });
+            drop(prof_stage);
             self.trace_stage_end(&stage);
             layer += 1;
             fresh
@@ -697,6 +707,7 @@ impl HybridInference {
         // classes × CRT limbs.
         let start = WallTimer::start();
         self.trace_stage_begin(&format!("infer.layer[{layer}].he"));
+        let prof_stage = prof::span(&format!("infer.layer[{layer}].he"));
         let logits = match &self.banks {
             Some((_, fc_bank)) => ops::he_fully_connected_cached_par(
                 &self.sys,
@@ -717,6 +728,7 @@ impl HybridInference {
                 &self.pool,
             )?,
         };
+        drop(prof_stage);
         self.trace_stage_end(&format!("infer.layer[{layer}].he"));
         pooled.recycle(&self.arena);
         let fc_wall = start.elapsed();

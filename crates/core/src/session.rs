@@ -71,7 +71,7 @@ use hesgx_henn::image::EncryptedMap;
 use hesgx_henn::par::ParExec;
 use hesgx_nn::layers::ActivationKind;
 use hesgx_nn::quantize::QuantizedCnn;
-use hesgx_obs::{counters, Recorder};
+use hesgx_obs::{counters, prof, Profiler, Recorder};
 use hesgx_tee::attestation::AttestationService;
 use hesgx_tee::cost::{CostBreakdown, CostModel};
 use hesgx_tee::enclave::Platform;
@@ -130,6 +130,7 @@ pub struct SessionBuilder {
     policy: ServePolicy,
     chaos: Option<FaultPlan>,
     recorder: Recorder,
+    profiler: Profiler,
 }
 
 impl Default for SessionBuilder {
@@ -145,6 +146,7 @@ impl Default for SessionBuilder {
             policy: ServePolicy::default(),
             chaos: None,
             recorder: Recorder::disabled(),
+            profiler: Profiler::disabled(),
         }
     }
 }
@@ -298,6 +300,18 @@ impl SessionBuilder {
         self
     }
 
+    /// Installs a wall-clock profiler: the session installs it as the
+    /// ambient per-thread profiler around provisioning and every `serve`,
+    /// so the BFV kernels, henn ops, ECALL dispatcher, and EPC paths feed
+    /// a stack-attributed hotspot tree (`hesgx_obs::prof`). The default is
+    /// the disabled no-op profiler (zero overhead). Wall numbers never
+    /// reach deterministic artifacts — see DESIGN.md §18.
+    #[must_use]
+    pub fn profiler(mut self, profiler: Profiler) -> Self {
+        self.profiler = profiler;
+        self
+    }
+
     /// Provisions the service on `platform`, runs the key ceremony,
     /// verifies the attested quote (retrying transient attestation faults
     /// under the recovery policy), and returns the ready session.
@@ -334,8 +348,11 @@ impl SessionBuilder {
             recorder: self.recorder.clone(),
             cached_weights: true,
         };
+        let _prof_install = self.profiler.install();
+        let provision_span = prof::span("session.provision");
         let (mut service, ceremony) =
             HybridInference::provision_with(platform.clone(), model.clone(), config.clone())?;
+        drop(provision_span);
         service.set_activation(self.activation);
 
         // The user role verifies the quote before trusting the keys (§IV-A).
@@ -378,6 +395,7 @@ impl SessionBuilder {
             activation: self.activation,
             chaos,
             recorder: self.recorder,
+            profiler: self.profiler,
             requests: AtomicU64::new(0),
         })
     }
@@ -406,6 +424,7 @@ pub struct Session {
     activation: ActivationKind,
     chaos: Option<Arc<FaultInjector>>,
     recorder: Recorder,
+    profiler: Profiler,
     /// Monotone per-session request counter; combined with the seed it
     /// yields the deterministic trace ID `req-<seed:016x>-<n>` so timelines
     /// from different sessions (or re-runs) line up byte-for-byte.
@@ -436,6 +455,8 @@ impl Session {
     /// propagates HE/TEE failures (under [`Resilience::Degrade`], only
     /// fatal ones — including failures of the fallback itself).
     pub fn serve(&self, request: InferRequest) -> Result<InferResponse> {
+        let _prof_install = self.profiler.install();
+        let _prof = prof::span("session.serve");
         let ordinal = self.requests.fetch_add(1, Ordering::Relaxed);
         let trace_id = format!("req-{:016x}-{ordinal}", self.config.seed);
         let traced = self.trace_request_begin(request.images.len(), &trace_id);
@@ -522,6 +543,7 @@ impl Session {
     /// by the request's [`Ingress`] mode. Returns the map, the bytes the
     /// client shipped, and the ingress stage metrics when an ECALL ran.
     fn ingest(&self, request: &InferRequest) -> Result<(EncryptedMap, u64, Option<StageMetrics>)> {
+        let _prof = prof::span("session.ingest");
         match request.ingress {
             Ingress::FvCiphertext => {
                 let enc = self.encrypt_batch(&request.images)?;
@@ -582,6 +604,7 @@ impl Session {
         request: &InferRequest,
         enc: &EncryptedMap,
     ) -> Result<(Vec<Vec<i64>>, Served)> {
+        let _prof = prof::span("session.ladder");
         let mut reprovisions = 0u32;
         loop {
             match self.run_exact(enc, request.images.len()) {
@@ -644,6 +667,7 @@ impl Session {
 
     /// Encrypts a batch after validating its shape.
     fn encrypt_batch(&self, images: &[Vec<i64>]) -> Result<EncryptedMap> {
+        let _prof = prof::span("session.encrypt");
         if images.is_empty() {
             return Err(Error::Config("empty image batch".into()));
         }
@@ -681,6 +705,7 @@ impl Session {
 
     /// Decrypts per-class logit ciphertexts into one row per batched image.
     fn decrypt_logits(&self, logits: &[CrtCiphertext], batch: usize) -> Result<Vec<Vec<i64>>> {
+        let _prof = prof::span("session.decrypt");
         let service = self.service.read();
         let mut out = vec![Vec::with_capacity(logits.len()); batch];
         for ct in logits {
@@ -700,6 +725,7 @@ impl Session {
     /// everything the user already holds (public keys, secret copy, the
     /// encrypted batch in flight) stays valid.
     fn reprovision(&self, reason: &'static str) -> Result<()> {
+        let _prof = prof::span("session.reprovision");
         let (mut service, ceremony) = HybridInference::provision_with(
             self.platform.clone(),
             self.model.clone(),
@@ -795,6 +821,12 @@ impl Session {
     /// (the disabled no-op recorder when none was).
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    /// The wall-clock profiler installed via [`SessionBuilder::profiler`]
+    /// (the disabled no-op profiler when none was).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
     }
 
     /// The deterministic JSON snapshot of the session's recorder: sorted

@@ -63,6 +63,7 @@ pub fn he_conv2d(
     stride: usize,
     counter: &mut OpCounter,
 ) -> Result<EncryptedMap> {
+    let _prof = hesgx_obs::prof::span("henn.conv2d");
     let (in_channels, h, w) = input.shape();
     assert_eq!(
         weights.len(),
@@ -143,6 +144,7 @@ pub fn he_conv2d_cached(
     counter: &mut OpCounter,
     arena: &PolyArena,
 ) -> Result<EncryptedMap> {
+    let _prof = hesgx_obs::prof::span("henn.conv2d_cached");
     let (in_channels, h, w) = input.shape();
     assert_eq!(
         bank.scalars.len(),
@@ -201,6 +203,7 @@ pub fn he_fully_connected(
     out_dim: usize,
     counter: &mut OpCounter,
 ) -> Result<Vec<CrtCiphertext>> {
+    let _prof = hesgx_obs::prof::span("henn.fc");
     let flat = input.cells().len();
     assert_eq!(weights.len(), out_dim * flat, "FC weight count mismatch");
     assert_eq!(bias.len(), out_dim);
@@ -243,6 +246,7 @@ pub fn he_fully_connected_cached(
     counter: &mut OpCounter,
     arena: &PolyArena,
 ) -> Result<Vec<CrtCiphertext>> {
+    let _prof = hesgx_obs::prof::span("henn.fc_cached");
     let flat = input.cells().len();
     assert_eq!(
         bank.scalars.len(),
@@ -289,6 +293,7 @@ pub fn he_scaled_mean_pool(
     counter: &mut OpCounter,
     arena: &PolyArena,
 ) -> Result<EncryptedMap> {
+    let _prof = hesgx_obs::prof::span("henn.pool");
     let (c, h, w) = input.shape();
     assert_eq!(h % window, 0);
     assert_eq!(w % window, 0);
@@ -331,6 +336,7 @@ pub fn he_square_activation(
     evk: &[EvaluationKeys],
     counter: &mut OpCounter,
 ) -> Result<EncryptedMap> {
+    let _prof = hesgx_obs::prof::span("henn.square");
     let (c, h, w) = input.shape();
     let mut cells = Vec::with_capacity(input.cells().len());
     for cell in input.cells() {
@@ -411,6 +417,7 @@ pub fn he_conv2d_par(
     counter: &mut OpCounter,
     pool: &ParExec,
 ) -> Result<EncryptedMap> {
+    let _prof = hesgx_obs::prof::span("henn.conv2d");
     let (in_channels, h, w) = input.shape();
     assert_eq!(
         weights.len(),
@@ -510,6 +517,7 @@ pub fn he_conv2d_cached_par(
     pool: &ParExec,
     arena: &PolyArena,
 ) -> Result<EncryptedMap> {
+    let _prof = hesgx_obs::prof::span("henn.conv2d_cached");
     let (in_channels, h, w) = input.shape();
     assert_eq!(
         bank.scalars.len(),
@@ -567,6 +575,7 @@ pub fn he_fully_connected_par(
     counter: &mut OpCounter,
     pool: &ParExec,
 ) -> Result<Vec<CrtCiphertext>> {
+    let _prof = hesgx_obs::prof::span("henn.fc");
     let flat = input.cells().len();
     assert_eq!(weights.len(), out_dim * flat, "FC weight count mismatch");
     assert_eq!(bias.len(), out_dim);
@@ -607,6 +616,7 @@ pub fn he_fully_connected_cached_par(
     pool: &ParExec,
     arena: &PolyArena,
 ) -> Result<Vec<CrtCiphertext>> {
+    let _prof = hesgx_obs::prof::span("henn.fc_cached");
     let flat = input.cells().len();
     assert_eq!(
         bank.scalars.len(),
@@ -657,6 +667,7 @@ pub fn he_scaled_mean_pool_par(
     pool: &ParExec,
     arena: &PolyArena,
 ) -> Result<EncryptedMap> {
+    let _prof = hesgx_obs::prof::span("henn.pool");
     let (c, h, w) = input.shape();
     assert_eq!(h % window, 0);
     assert_eq!(w % window, 0);
@@ -703,6 +714,7 @@ pub fn he_square_activation_par(
     counter: &mut OpCounter,
     pool: &ParExec,
 ) -> Result<EncryptedMap> {
+    let _prof = hesgx_obs::prof::span("henn.square");
     let (c, h, w) = input.shape();
     let n_cells = input.cells().len();
     let n_parts = sys.part_count();

@@ -14,7 +14,7 @@
 //! *do* need randomness (encryption) fork an independent, index-keyed RNG
 //! stream per task — see [`crate::image::EncryptedMap::encrypt_images_par`].
 
-use hesgx_obs::{counters, Recorder};
+use hesgx_obs::{counters, Profiler, Recorder};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
@@ -173,14 +173,21 @@ impl ParExec {
     {
         self.recorder.incr(counters::PAR_TASKS, n as u64);
         self.recorder.observe("par.batch", n as u64);
+        // Captured on the submitting thread: worker threads have no ambient
+        // profiler of their own, so each re-roots at `par.worker[w]` under
+        // the caller's tree (the deterministic export merges the workers).
+        let profiler = Profiler::current();
         let workers = self.threads.min(n.max(1));
         if workers <= 1 {
+            let _scope = profiler.worker_scope(0);
             return (0..n).map(f).collect();
         }
         assert!(u32::try_from(n).is_ok(), "task set too large");
         let ranges = Ranges::new(n as u32, workers);
         let results: Vec<OnceLock<T>> = (0..n).map(|_| OnceLock::new()).collect();
+        let profiler = &profiler;
         let run_worker = |w: usize| {
+            let _scope = profiler.worker_scope(w);
             while let Some(idx) = ranges.pop_own(w).or_else(|| ranges.steal_into(w)) {
                 let idx = idx as usize;
                 if results[idx].set(f(idx)).is_err() {

@@ -303,6 +303,9 @@ mod tests {
         let src = "fn f() {\n    let t = Instant::now();\n}\n";
         assert!(diags("crates/tee/src/wall.rs", src).is_empty());
         assert!(diags("crates/bench/src/main.rs", src).is_empty());
+        // The profiler exemption is file-scoped: prof.rs alone, not obs.
+        assert!(diags("crates/obs/src/prof.rs", src).is_empty());
+        assert_eq!(diags("crates/obs/src/lib.rs", src).len(), 1);
     }
 
     #[test]

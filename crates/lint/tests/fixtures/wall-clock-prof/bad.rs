@@ -1,0 +1,11 @@
+//! Seeded defect: the profiler's wall-clock exemption is *file*-scoped to
+//! `crates/obs/src/prof.rs` — the same raw clock read anywhere else in the
+//! obs crate must still fire. The self-test scans this file under a
+//! non-exempt obs path and expects a `wall-clock` finding.
+
+use std::time::Instant;
+
+pub fn observe_wall_ns() -> u64 {
+    let t0 = Instant::now(); // finding: wall-clock (outside prof.rs)
+    t0.elapsed().as_nanos() as u64
+}

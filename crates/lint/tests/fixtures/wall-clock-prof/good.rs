@@ -1,0 +1,22 @@
+//! Clean counterpart: the profiler file itself (`crates/obs/src/prof.rs`)
+//! is on the `wall-clock` allow list — it sits below `hesgx-tee`, so it
+//! cannot route through the `WallTimer` shim without a dependency cycle,
+//! and its wall numbers are quarantined to non-deterministic exports
+//! (DESIGN.md §18). The self-test scans this file under the prof.rs path
+//! and expects no `wall-clock` finding.
+
+use std::time::Instant;
+
+pub struct SpanGuard {
+    started: Instant,
+}
+
+pub fn open_span() -> SpanGuard {
+    SpanGuard {
+        started: Instant::now(), // sanctioned: prof.rs is the audited reader
+    }
+}
+
+pub fn close_span(guard: SpanGuard) -> u64 {
+    guard.started.elapsed().as_nanos() as u64
+}

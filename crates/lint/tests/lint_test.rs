@@ -255,6 +255,41 @@ fn stale_suppressions_are_itemized_in_json() {
 }
 
 #[test]
+fn wall_clock_exemption_is_scoped_to_the_profiler_file() {
+    // The profiler's wall-clock exemption (`WALL_OK_PATHS`) is file-scoped:
+    // the fixture pair is scanned under *remapped* workspace paths (not the
+    // fixtures/ directory, which the RULES table covers) so the test proves
+    // the boundary itself — the same tokens are clean at prof.rs and a
+    // finding one file over.
+    let dir = fixture_dir().join("wall-clock-prof");
+    let read = |which: &str| {
+        let path = dir.join(which);
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+    };
+    let good = read("good.rs");
+    let report = lint_sources(&[SourceFile::scan("crates/obs/src/prof.rs", &good)]);
+    assert!(
+        report.findings.iter().all(|d| d.rule != "wall-clock"),
+        "prof.rs is on the wall-clock allow list; got: {:?}",
+        report.findings
+    );
+    // The identical sanctioned pattern leaks nowhere else in the obs crate…
+    let report = lint_sources(&[SourceFile::scan("crates/obs/src/hist.rs", &good)]);
+    assert!(
+        report.findings.iter().any(|d| d.rule == "wall-clock"),
+        "the exemption must not cover the rest of crates/obs"
+    );
+    // …and the seeded defect fires under a non-exempt path as usual.
+    let bad = read("bad.rs");
+    let report = lint_sources(&[SourceFile::scan("crates/obs/src/export.rs", &bad)]);
+    assert!(
+        report.findings.iter().any(|d| d.rule == "wall-clock"),
+        "bad fixture must fire outside prof.rs; got: {:?}",
+        report.findings
+    );
+}
+
+#[test]
 fn baseline_roundtrip_grandfathers_current_findings() {
     // Render the bad fixture's findings as a baseline, re-lint with it
     // applied: everything is grandfathered and the report turns clean.

@@ -229,6 +229,33 @@ mod tests {
     }
 
     #[test]
+    fn prometheus_le_sequence_is_nondecreasing_with_extreme_buckets() {
+        let mut state = State::default();
+        let hist = state.hists.entry("extremes".to_owned()).or_default();
+        hist.record(0);
+        hist.record(1);
+        hist.record(u64::MAX);
+        hist.record(u64::MAX);
+        let text = prometheus(&state);
+        // The bucket-64 line carries the u64::MAX upper bound, and the
+        // cumulative counts never decrease walking down the le ladder.
+        assert!(text.contains(&format!(
+            "hesgx_hist_bucket{{name=\"extremes\",le=\"{}\"}} 4\n",
+            u64::MAX
+        )));
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("hesgx_hist_bucket{name=\"extremes\""))
+            .map(|l| l.rsplit_once(' ').expect("value").1.parse().expect("u64"))
+            .collect();
+        assert_eq!(counts.last(), Some(&4), "+Inf bucket equals total count");
+        assert!(
+            counts.windows(2).all(|w| w[0] <= w[1]),
+            "le buckets must be cumulative: {counts:?}"
+        );
+    }
+
+    #[test]
     fn empty_state_renders_empty_exposition() {
         assert_eq!(prometheus(&State::default()), "");
     }

@@ -177,4 +177,57 @@ mod tests {
         assert_eq!(h.sum(), u64::MAX);
         assert_eq!(h.count(), 2);
     }
+
+    #[test]
+    fn empty_histogram_every_percentile_is_zero() {
+        let h = Histogram::default();
+        for p in 0..=100u8 {
+            assert_eq!(h.percentile(p), 0, "p{p} of an empty histogram");
+        }
+        // Out-of-range percentiles clamp rather than panic.
+        assert_eq!(h.percentile(200), 0);
+    }
+
+    #[test]
+    fn single_observation_pins_every_percentile_to_its_bucket() {
+        for v in [0u64, 1, 2, 1000, 1 << 33, u64::MAX] {
+            let mut h = Histogram::default();
+            h.record(v);
+            let upper = bucket_upper(bucket_index(v));
+            for p in [0u8, 1, 50, 95, 99, 100] {
+                assert_eq!(h.percentile(p), upper, "p{p} of single observation {v}");
+            }
+            assert_eq!(h.nonzero_buckets(), vec![(bucket_index(v), 1)]);
+        }
+    }
+
+    #[test]
+    fn u64_max_observations_land_in_bucket_64_and_stay_monotone() {
+        let mut h = Histogram::default();
+        for _ in 0..3 {
+            h.record(u64::MAX);
+        }
+        h.record(1);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(h.bucket_counts()[64], 3);
+        let (p50, p95, p99) = (h.percentile(50), h.percentile(95), h.percentile(99));
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert_eq!(p95, u64::MAX);
+        assert_eq!(p99, u64::MAX);
+        assert_eq!(h.percentile(100), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_monotone_across_all_p_for_mixed_observations() {
+        let mut h = Histogram::default();
+        for v in [0u64, 0, 1, 5, 5, 60_000, 1 << 50, u64::MAX] {
+            h.record(v);
+        }
+        let mut prev = 0u64;
+        for p in 0..=100u8 {
+            let q = h.percentile(p);
+            assert!(q >= prev, "percentile dipped at p{p}: {q} < {prev}");
+            prev = q;
+        }
+    }
 }

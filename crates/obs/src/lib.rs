@@ -52,9 +52,11 @@
 
 mod export;
 mod hist;
+pub mod prof;
 mod trace;
 
 pub use hist::{bucket_index, bucket_upper, Histogram, BUCKETS};
+pub use prof::{DriftEntry, DriftReport, Hotspot, Profiler};
 pub use trace::{TraceEvent, TracePhase};
 
 use std::collections::BTreeMap;

@@ -49,6 +49,18 @@ impl HeCostModel {
         }
     }
 
+    /// The paper table with ingress priced at WAN rates: 80 ns per byte
+    /// (~100 Mbit/s), the bandwidth-constrained-client scenario from
+    /// ROADMAP item 2. At this price the megabyte FV ciphertext upload
+    /// dominates modeled latency and transciphered ingress crosses over —
+    /// `repro serve_load` measures exactly where.
+    pub fn wan() -> Self {
+        HeCostModel {
+            ingress_byte_ns: 80,
+            ..HeCostModel::paper()
+        }
+    }
+
     /// The modeled transfer time of `upload_bytes` of client payload.
     pub fn ingress_ns(&self, upload_bytes: u64) -> u64 {
         upload_bytes.saturating_mul(self.ingress_byte_ns)

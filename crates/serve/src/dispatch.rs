@@ -19,6 +19,7 @@ pub fn dispatch_batch(
     session: &Session,
     request: InferRequest,
 ) -> (Result<InferResponse>, CostBreakdown) {
+    let _prof = hesgx_obs::prof::span("serve.dispatch");
     match session.serve(request) {
         Ok(response) => {
             let cost = total_enclave_cost(&response.metrics);

@@ -121,6 +121,12 @@ pub struct LoadReport {
     pub total_upload_bytes: u64,
     /// Latency percentiles over completed requests.
     pub latency: LatencyStats,
+    /// FV-vs-transciphered ingress crossover: the per-byte ingress price
+    /// (virtual ns/byte) above which transciphered ingress yields lower
+    /// modeled service time than FV-ciphertext upload for this traffic.
+    /// Zero when the run did not compute a crossover (single-ingress runs).
+    /// Set from a paired run via [`LoadReport::ingress_crossover_byte_ns`].
+    pub crossover_byte_ns: u64,
     /// Per-tenant accounting, keyed by tenant ID.
     pub per_tenant: BTreeMap<TenantId, TenantStats>,
     /// Per-request outcomes in completion order (not serialized).
@@ -153,6 +159,39 @@ impl LoadReport {
         self.total_he_ns / done as u64
     }
 
+    /// The FV-vs-transciphered ingress price crossover, from a paired run
+    /// of the same trace under both ingress modes at the same priced rate
+    /// `priced_byte_ns` (the rate both reports' `total_service_ns` already
+    /// include).
+    ///
+    /// Per completed request, modeled service time at an arbitrary ingress
+    /// price `r` is `base + r·bytes`, where `base` strips the ingress term
+    /// actually charged: `(total_service_ns − priced·total_upload_bytes) /
+    /// completed`. Transciphering pays a higher base (the in-enclave
+    /// re-encryption ECALL) to ship fewer bytes, so the crossover price is
+    /// `(base_tc − base_fv) / (bytes_fv − bytes_tc)` per request — above
+    /// it, the WAN is slow enough that transciphered ingress wins. Returns
+    /// 0 when either run completed nothing or the byte ordering is not
+    /// FV > transciphered (no crossover exists).
+    pub fn ingress_crossover_byte_ns(fv: &LoadReport, tc: &LoadReport, priced_byte_ns: u64) -> u64 {
+        let (fv_done, tc_done) = (fv.completed() as u128, tc.completed() as u128);
+        if fv_done == 0 || tc_done == 0 {
+            return 0;
+        }
+        let base = |r: &LoadReport, done: u128| -> u128 {
+            let ingress =
+                u128::from(priced_byte_ns).saturating_mul(u128::from(r.total_upload_bytes));
+            u128::from(r.total_service_ns).saturating_sub(ingress) / done
+        };
+        let bytes_per = |r: &LoadReport, done: u128| u128::from(r.total_upload_bytes) / done;
+        let (base_fv, base_tc) = (base(fv, fv_done), base(tc, tc_done));
+        let (bytes_fv, bytes_tc) = (bytes_per(fv, fv_done), bytes_per(tc, tc_done));
+        if bytes_fv <= bytes_tc || base_tc <= base_fv {
+            return 0;
+        }
+        ((base_tc - base_fv).div_ceil(bytes_fv - bytes_tc)) as u64
+    }
+
     /// Deterministic JSON encoding: fixed field order, integers only,
     /// tenants sorted by ID. Per-request outcomes are summarized by the
     /// aggregate fields rather than serialized.
@@ -183,6 +222,7 @@ impl LoadReport {
         field("latency_p99_ns", self.latency.p99_ns);
         field("latency_max_ns", self.latency.max_ns);
         field("latency_mean_ns", self.latency.mean_ns);
+        field("crossover_byte_ns", self.crossover_byte_ns);
         out.push_str("\"tenants\":[");
         for (i, (tenant, stats)) in self.per_tenant.iter().enumerate() {
             if i > 0 {
@@ -217,6 +257,34 @@ mod tests {
     #[test]
     fn empty_latencies_are_all_zero() {
         assert_eq!(LatencyStats::from_latencies(&[]), LatencyStats::default());
+    }
+
+    #[test]
+    fn crossover_price_solves_the_linear_model() {
+        // FV: 10 requests, 1 MB/request, base 2 ms/request.
+        // TC: 10 requests, 5 KB/request, base 3 ms/request.
+        // Crossover: 1 ms over 995 KB ≈ 1005 ns/byte, rounded up.
+        let priced = 2u64;
+        let fv = LoadReport {
+            completed_exact: 10,
+            total_upload_bytes: 10_000_000,
+            total_service_ns: 10 * 2_000_000 + priced * 10_000_000,
+            ..LoadReport::default()
+        };
+        let tc = LoadReport {
+            completed_exact: 10,
+            total_upload_bytes: 50_000,
+            total_service_ns: 10 * 3_000_000 + priced * 50_000,
+            ..LoadReport::default()
+        };
+        let r = LoadReport::ingress_crossover_byte_ns(&fv, &tc, priced);
+        assert_eq!(r, 1_000_000u64.div_ceil(995_000));
+        // Degenerate inputs yield no crossover.
+        assert_eq!(LoadReport::ingress_crossover_byte_ns(&tc, &fv, priced), 0);
+        assert_eq!(
+            LoadReport::ingress_crossover_byte_ns(&fv, &LoadReport::default(), priced),
+            0
+        );
     }
 
     #[test]

@@ -296,6 +296,10 @@ impl Enclave {
         output_bytes: usize,
         body: impl FnOnce(&mut EnclaveCtx<'_>) -> R,
     ) -> (R, CostBreakdown) {
+        // Same frame name the recorder uses for its span, so the profiler's
+        // drift report joins measured wall ns against the modeled cost.
+        let _prof = hesgx_obs::prof::span2("ecall", name);
+        hesgx_obs::prof::add_bytes((input_bytes + output_bytes) as u64);
         {
             let mut mon = self.monitor.lock();
             mon.record(SideChannelEvent::EcallEnter {

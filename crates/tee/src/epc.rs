@@ -200,6 +200,7 @@ impl Epc {
             }
         }
         // Fault: evict if full, then load.
+        let _prof = hesgx_obs::prof::span("epc.load");
         self.stats.faults += 1;
         self.recorder.record_zero_attempt("epc.load");
         self.recorder.incr(counters::EPC_PAGE_FAULTS, 1);
@@ -231,6 +232,7 @@ impl Epc {
 
     /// Bumps the eviction stat and its observability mirror together.
     fn record_eviction(&mut self) {
+        let _prof = hesgx_obs::prof::span("epc.evict");
         self.stats.evictions += 1;
         self.recorder.record_zero_attempt("epc.evict");
         self.recorder.incr(counters::EPC_EVICTIONS, 1);
